@@ -1,0 +1,20 @@
+//! Ablation: P_plw vs P_gld (the paper's central communication claim,
+//! Fig. 4 / Fig. 9 discussion) — wall time on a stable-column closure.
+use criterion::{criterion_group, criterion_main, Criterion};
+use mura_bench::{run_system, yago_db, Limits, SystemId, Workload};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_comm");
+    g.sample_size(10);
+    let db = yago_db(400);
+    let limits = Limits::default();
+    let w = Workload::ucrpq("?a, ?b <- ?a isLocatedIn+ ?b");
+    g.bench_function("auto_plw", |b| b.iter(|| run_system(SystemId::DistMuRA, &db, &w, limits)));
+    g.bench_function("forced_gld", |b| {
+        b.iter(|| run_system(SystemId::DistMuRAGld, &db, &w, limits))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Ablation: the logical rewriter on vs off (per DESIGN.md's design-choice
+//! index) on a C2 query, where reversal + filter pushing matters most.
+use criterion::{criterion_group, criterion_main, Criterion};
+use mura_bench::yago_db;
+use mura_dist::QueryEngine;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_rewrites");
+    g.sample_size(10);
+    let query = "?x <- ?x isLocatedIn+ Japan";
+    g.bench_function("with_rewrites", |b| {
+        b.iter_batched(
+            || QueryEngine::new(yago_db(400)),
+            |mut e| e.run_ucrpq(query).unwrap(),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("without_rewrites", |b| {
+        b.iter_batched(
+            || QueryEngine::new(yago_db(400)).without_rewrites(),
+            |mut e| e.run_ucrpq(query).unwrap(),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Fig. 10: concatenated closures a1+/../an+ (all C6).
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mura_bench::{labeled_rnd_db, run_system, Limits, SystemId, Workload};
+use mura_ucrpq::suites::concat_closure_query;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_concat");
+    g.sample_size(10);
+    let db = labeled_rnd_db(300, 0.04, 10, 77);
+    let limits = Limits::default();
+    for n in [2usize, 3, 4] {
+        let w = Workload::Ucrpq(concat_closure_query(n));
+        g.bench_with_input(BenchmarkId::new("dist_mura", n), &w, |b, w| {
+            b.iter(|| run_system(SystemId::DistMuRA, &db, w, limits))
+        });
+        g.bench_with_input(BenchmarkId::new("bigdatalog", n), &w, |b, w| {
+            b.iter(|| run_system(SystemId::BigDatalog, &db, w, limits))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

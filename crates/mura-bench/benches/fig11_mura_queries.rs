@@ -1,0 +1,29 @@
+//! Fig. 11: the non-regular mu-RA queries (anbn / same generation / reach).
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mura_bench::{labeled_rnd_db, rnd_db, run_system, tree_db, Limits, SystemId, Workload};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11_mura_queries");
+    g.sample_size(10);
+    let limits = Limits::default();
+    let cases: Vec<(&str, mura_core::Database, Workload)> = vec![
+        (
+            "anbn",
+            labeled_rnd_db(300, 0.02, 2, 1),
+            Workload::AnBn { a: "a1".into(), b: "a2".into() },
+        ),
+        ("same_gen", tree_db(500, 3), Workload::SameGeneration { rel: "edge".into() }),
+        ("reach", rnd_db(400, 0.01, 5), Workload::Reach { rel: "edge".into(), source: 0 }),
+    ];
+    for (name, db, w) in &cases {
+        for s in [SystemId::DistMuRA, SystemId::BigDatalog] {
+            g.bench_with_input(BenchmarkId::new(s.name(), name), w, |b, w| {
+                b.iter(|| run_system(s, db, w, limits))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Fig. 12: same generation, Dist-muRA vs Myria.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mura_bench::{run_system, tree_db, Limits, SystemId, Workload};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12_myria_sg");
+    g.sample_size(10);
+    let limits = Limits::default();
+    let w = Workload::SameGeneration { rel: "edge".into() };
+    for n in [200u64, 500] {
+        let db = tree_db(n, 1);
+        g.bench_with_input(BenchmarkId::new("dist_mura", n), &db, |b, db| {
+            b.iter(|| run_system(SystemId::DistMuRA, db, &w, limits))
+        });
+        g.bench_with_input(BenchmarkId::new("myria", n), &db, |b, db| {
+            b.iter(|| run_system(SystemId::Myria, db, &w, limits))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Fig. 13: Uniprot queries across systems.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mura_bench::{run_system, uniprot_db, Limits, SystemId, Workload};
+use mura_ucrpq::suites::uniprot_queries;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig13_uniprot");
+    g.sample_size(10);
+    let db = uniprot_db(4_000);
+    let limits = Limits::default();
+    let suite = uniprot_queries();
+    for id in ["Q36", "Q49", "Q42"] {
+        let q = suite.iter().find(|q| q.id == id).expect("suite query");
+        let w = Workload::ucrpq(q.text);
+        for s in [SystemId::DistMuRA, SystemId::BigDatalog, SystemId::GraphX] {
+            g.bench_with_input(BenchmarkId::new(s.name(), id), &w, |b, w| {
+                b.iter(|| run_system(s, &db, w, limits))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

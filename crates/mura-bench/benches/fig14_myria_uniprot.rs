@@ -1,0 +1,17 @@
+//! Fig. 14: Myria vs Dist-muRA on the small Uniprot graph.
+use criterion::{criterion_group, criterion_main, Criterion};
+use mura_bench::{run_system, uniprot_db, Limits, SystemId, Workload};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig14_myria_uniprot");
+    g.sample_size(10);
+    let db = uniprot_db(3_000);
+    let limits = Limits::default();
+    let w = Workload::ucrpq("?x <- HubProtein (encodes/-encodes)+ ?x");
+    g.bench_function("dist_mura", |b| b.iter(|| run_system(SystemId::DistMuRA, &db, &w, limits)));
+    g.bench_function("myria", |b| b.iter(|| run_system(SystemId::Myria, &db, &w, limits)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Fig. 7: P_plw local engines (SetRDD vs sorted/pg) on a Yago query.
+use criterion::{criterion_group, criterion_main, Criterion};
+use mura_bench::{run_system, yago_db, Limits, SystemId, Workload};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_plw_impls");
+    g.sample_size(10);
+    let db = yago_db(400);
+    let w = Workload::ucrpq("?x <- ?x isLocatedIn+/dealsWith+ United_States");
+    let limits = Limits::default();
+    g.bench_function("setrdd", |b| {
+        b.iter(|| run_system(SystemId::DistMuRA, &db, &w, limits))
+    });
+    g.bench_function("sorted_pg", |b| {
+        b.iter(|| run_system(SystemId::DistMuRAPlwSorted, &db, &w, limits))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Fig. 8: Uniprot scalability, Dist-muRA vs BigDatalog (Q31).
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mura_bench::{run_system, uniprot_db, Limits, SystemId, Workload};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_scalability");
+    g.sample_size(10);
+    let w = Workload::ucrpq("?x, ?y <- ?x interacts+/(occurs/-occurs)+ ?y");
+    let limits = Limits::default();
+    for edges in [4_000u64, 8_000] {
+        let db = uniprot_db(edges);
+        g.bench_with_input(BenchmarkId::new("dist_mura", edges), &db, |b, db| {
+            b.iter(|| run_system(SystemId::DistMuRA, db, &w, limits))
+        });
+        g.bench_with_input(BenchmarkId::new("bigdatalog", edges), &db, |b, db| {
+            b.iter(|| run_system(SystemId::BigDatalog, db, &w, limits))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Fig. 9: representative Yago queries (Q9: C2, Q13: C6) across systems.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mura_bench::{run_system, yago_db, Limits, SystemId, Workload};
+use mura_ucrpq::suites::yago_queries;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_yago");
+    g.sample_size(10);
+    let db = yago_db(400);
+    let limits = Limits::default();
+    let suite = yago_queries();
+    for id in ["Q9", "Q13", "Q22"] {
+        let q = suite.iter().find(|q| q.id == id).expect("suite query");
+        let w = Workload::ucrpq(q.text);
+        for s in [SystemId::DistMuRA, SystemId::DistMuRAGld, SystemId::BigDatalog, SystemId::Centralized] {
+            g.bench_with_input(BenchmarkId::new(s.name(), id), &w, |b, w| {
+                b.iter(|| run_system(s, &db, w, limits))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

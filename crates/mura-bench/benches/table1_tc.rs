@@ -1,0 +1,16 @@
+//! Table I: transitive closure size computation on the synthetic graphs.
+use criterion::{criterion_group, criterion_main, Criterion};
+use mura_datagen::{erdos_renyi, random_tree, tc_size};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_tc");
+    g.sample_size(10);
+    let rnd = erdos_renyi(400, 0.01, 42);
+    g.bench_function("tc_rnd_400_0.01", |b| b.iter(|| tc_size(std::hint::black_box(&rnd))));
+    let tree = random_tree(1000, 42);
+    g.bench_function("tc_tree_1000", |b| b.iter(|| tc_size(std::hint::black_box(&tree))));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Runs the complete evaluation and prints every table/figure in order.
+//! Set REPRO_QUICK=1 for a fast pass.
+use mura_bench::*;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Table I — real and synthetic graphs (scaled)");
+    table1(scale).print();
+    banner("Figs. 5/6 — query classification C1..C6");
+    class_matrix().print();
+    banner("Fig. 7 — P_plw implementations on Yago");
+    fig7(scale).print();
+    banner("Fig. 9 — Yago suite across systems");
+    fig9(scale).print();
+    banner("Fig. 10 — concatenated closures");
+    fig10(scale).print();
+    banner("Fig. 11 — mu-RA queries");
+    fig11(scale).print();
+    banner("Fig. 12 — same generation vs Myria");
+    fig12(scale).print();
+    banner("Fig. 13 — Uniprot suite across systems");
+    fig13(scale).print();
+    banner("Fig. 14 — Myria comparison on small Uniprot");
+    fig14(scale).print();
+    banner("Fig. 8 — Uniprot scalability sweep");
+    fig8(scale).print();
+    banner("Communication ablation — P_plw vs P_gld per class");
+    comm_ablation(scale).print();
+}

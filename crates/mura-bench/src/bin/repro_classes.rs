@@ -1,0 +1,7 @@
+//! Regenerates the C1..C6 class matrix of the query suites (Figs. 5 and 6).
+use mura_bench::{banner, class_matrix};
+
+fn main() {
+    banner("Figs. 5/6 — query classification C1..C6");
+    class_matrix().print();
+}

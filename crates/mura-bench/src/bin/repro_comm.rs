@@ -1,0 +1,8 @@
+//! Communication ablation: P_plw vs P_gld shuffle/broadcast volumes per
+//! query class (the claim behind paper Fig. 4 and the Fig. 9 discussion).
+use mura_bench::{banner, comm_ablation, Scale};
+
+fn main() {
+    banner("Communication ablation — P_plw vs P_gld per class");
+    comm_ablation(Scale::from_env()).print();
+}

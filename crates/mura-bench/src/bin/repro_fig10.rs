@@ -1,0 +1,7 @@
+//! Fig. 10: concatenated closure queries a1+/../an+.
+use mura_bench::{banner, fig10, Scale};
+
+fn main() {
+    banner("Fig. 10 — concatenated closures (all C6)");
+    fig10(Scale::from_env()).print();
+}

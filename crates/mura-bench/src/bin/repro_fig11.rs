@@ -1,0 +1,7 @@
+//! Fig. 11: the non-regular mu-RA queries (anbn, same generation, reach).
+use mura_bench::{banner, fig11, Scale};
+
+fn main() {
+    banner("Fig. 11 — mu-RA queries (C1)");
+    fig11(Scale::from_env()).print();
+}

@@ -1,0 +1,7 @@
+//! Fig. 12: Myria vs Dist-muRA on same generation over growing graphs.
+use mura_bench::{banner, fig12, Scale};
+
+fn main() {
+    banner("Fig. 12 — same generation vs Myria");
+    fig12(Scale::from_env()).print();
+}

@@ -1,0 +1,7 @@
+//! Fig. 13: the Uniprot suite (Q26..Q50) across systems.
+use mura_bench::{banner, fig13, Scale};
+
+fn main() {
+    banner("Fig. 13 — Uniprot suite across systems (scaled uniprot_1M)");
+    fig13(Scale::from_env()).print();
+}

@@ -1,0 +1,7 @@
+//! Fig. 14: Myria vs Dist-muRA on the small Uniprot graph.
+use mura_bench::{banner, fig14, Scale};
+
+fn main() {
+    banner("Fig. 14 — Myria comparison (scaled uniprot_100k)");
+    fig14(Scale::from_env()).print();
+}

@@ -1,0 +1,7 @@
+//! Fig. 7: the two P_plw implementations (SetRDD vs sorted/pg) on Yago.
+use mura_bench::{banner, fig7, Scale};
+
+fn main() {
+    banner("Fig. 7 — P_plw implementations on Yago (scaled)");
+    fig7(Scale::from_env()).print();
+}

@@ -1,0 +1,7 @@
+//! Fig. 8: Dist-muRA vs BigDatalog scalability on growing Uniprot graphs.
+use mura_bench::{banner, fig8, Scale};
+
+fn main() {
+    banner("Fig. 8 — Uniprot scalability sweep (scaled 1M/5M/10M)");
+    fig8(Scale::from_env()).print();
+}

@@ -1,0 +1,7 @@
+//! Fig. 9: running times on Yago for Q1..Q25 across all systems.
+use mura_bench::{banner, fig9, Scale};
+
+fn main() {
+    banner("Fig. 9 — Yago suite across systems (scaled; paper timeout 1000s)");
+    fig9(Scale::from_env()).print();
+}

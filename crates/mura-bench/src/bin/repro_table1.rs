@@ -1,0 +1,8 @@
+//! Regenerates Table I (dataset inventory with exact transitive closure
+//! sizes) at the scaled sizes documented in `mura_bench::datasets`.
+use mura_bench::{banner, table1, Scale};
+
+fn main() {
+    banner("Table I — real and synthetic graphs (scaled)");
+    table1(Scale::from_env()).print();
+}

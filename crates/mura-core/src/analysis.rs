@@ -1,0 +1,629 @@
+//! Static analysis of μ-RA terms.
+//!
+//! This module implements:
+//!
+//! * schema inference ([`infer_schema`]);
+//! * the `F_cond` conditions of the paper (§II-B): *positive*, *linear*,
+//!   *non-mutually-recursive* ([`check_fcond`]);
+//! * decomposition of a fixpoint body into constant part `R` and variable
+//!   part `φ` (`μ(X = R ∪ φ)`, Proposition 2) ([`decompose_fixpoint`]);
+//! * column provenance through the recursive step and the **stabilizer**
+//!   (Definition 10 of the μ-RA paper): the set of columns left unchanged by
+//!   the fixpoint iteration ([`stable_columns`]). Stable columns drive both
+//!   filter pushing (rewrites) and the data repartitioning of the `P_plw`
+//!   distributed plan (§IV-A2).
+
+use crate::catalog::Database;
+use crate::error::{MuraError, Result};
+use crate::fxhash::FxHashMap;
+use crate::schema::Schema;
+use crate::term::Term;
+use crate::value::Sym;
+
+/// Maps relation/recursion variables to their schemas during inference.
+#[derive(Debug, Clone, Default)]
+pub struct TypeEnv {
+    map: FxHashMap<Sym, Schema>,
+}
+
+impl TypeEnv {
+    /// Empty environment.
+    pub fn new() -> Self {
+        TypeEnv::default()
+    }
+
+    /// Environment with all catalog relations bound.
+    pub fn from_db(db: &Database) -> Self {
+        let mut env = TypeEnv::new();
+        for (name, rel) in db.relations() {
+            env.bind(name, rel.schema().clone());
+        }
+        env
+    }
+
+    /// Binds `v` to `schema`, returning the previous binding (for scoped
+    /// restore).
+    pub fn bind(&mut self, v: Sym, schema: Schema) -> Option<Schema> {
+        self.map.insert(v, schema)
+    }
+
+    /// Removes the binding of `v` (restoring `prev` if given).
+    pub fn unbind(&mut self, v: Sym, prev: Option<Schema>) {
+        match prev {
+            Some(s) => {
+                self.map.insert(v, s);
+            }
+            None => {
+                self.map.remove(&v);
+            }
+        }
+    }
+
+    /// Schema of `v`, if bound.
+    pub fn get(&self, v: Sym) -> Option<&Schema> {
+        self.map.get(&v)
+    }
+}
+
+/// Infers the schema of `term` under `env`.
+///
+/// For fixpoints the schema is inferred from the constant part of the body
+/// (which must exist and which all recursive branches must agree with).
+pub fn infer_schema(term: &Term, env: &mut TypeEnv) -> Result<Schema> {
+    match term {
+        Term::Var(v) => env
+            .get(*v)
+            .cloned()
+            .ok_or(MuraError::UnboundVariable(*v)),
+        Term::Cst(r) => Ok(r.schema().clone()),
+        Term::Filter(preds, t) => {
+            let s = infer_schema(t, env)?;
+            for p in preds {
+                for c in p.columns() {
+                    if !s.contains(c) {
+                        return Err(MuraError::UnknownColumn {
+                            column: c,
+                            schema: s,
+                            context: "filter",
+                        });
+                    }
+                }
+            }
+            Ok(s)
+        }
+        Term::Rename(from, to, t) => {
+            let s = infer_schema(t, env)?;
+            if !s.contains(*from) {
+                return Err(MuraError::UnknownColumn {
+                    column: *from,
+                    schema: s,
+                    context: "rename",
+                });
+            }
+            s.rename(*from, *to).ok_or(MuraError::RenameCollision {
+                from: *from,
+                to: *to,
+                schema: infer_schema(t, env)?,
+            })
+        }
+        Term::AntiProject(cols, t) => {
+            let s = infer_schema(t, env)?;
+            s.antiproject(cols).ok_or_else(|| MuraError::UnknownColumn {
+                column: *cols
+                    .iter()
+                    .find(|c| !s.contains(**c))
+                    .expect("some column missing"),
+                schema: s.clone(),
+                context: "antiprojection",
+            })
+        }
+        Term::Join(a, b) => {
+            let sa = infer_schema(a, env)?;
+            let sb = infer_schema(b, env)?;
+            Ok(sa.union(&sb))
+        }
+        Term::Antijoin(a, b) => {
+            infer_schema(b, env)?;
+            infer_schema(a, env)
+        }
+        Term::Union(a, b) => {
+            let sa = infer_schema(a, env)?;
+            let sb = infer_schema(b, env)?;
+            if sa != sb {
+                return Err(MuraError::SchemaMismatch { left: sa, right: sb, context: "union" });
+            }
+            Ok(sa)
+        }
+        Term::Fix(x, body) => {
+            let (consts, recs) = decompose_fixpoint(*x, body)?;
+            // Schema = schema of the constant part.
+            let mut schema: Option<Schema> = None;
+            for c in &consts {
+                let s = infer_schema(c, env)?;
+                match &schema {
+                    None => schema = Some(s),
+                    Some(prev) if *prev != s => {
+                        return Err(MuraError::SchemaMismatch {
+                            left: prev.clone(),
+                            right: s,
+                            context: "fixpoint constant part",
+                        })
+                    }
+                    _ => {}
+                }
+            }
+            let schema = schema.expect("decompose guarantees a constant part");
+            let prev = env.bind(*x, schema.clone());
+            let check = (|| {
+                for r in &recs {
+                    let s = infer_schema(r, env)?;
+                    if s != schema {
+                        return Err(MuraError::SchemaMismatch {
+                            left: schema.clone(),
+                            right: s,
+                            context: "fixpoint recursive part",
+                        });
+                    }
+                }
+                Ok(())
+            })();
+            env.unbind(*x, prev);
+            check?;
+            Ok(schema)
+        }
+    }
+}
+
+/// Checks the three `F_cond` conditions on every fixpoint in `term`:
+///
+/// * **positive** — no recursive variable occurs in the right operand of an
+///   antijoin;
+/// * **linear** — no join/antijoin has a recursive variable free on both
+///   sides;
+/// * **non-mutually-recursive** — an inner fixpoint body must not mention an
+///   outer fixpoint's variable.
+///
+/// Also rejects shadowing (two nested fixpoints binding the same variable),
+/// which our frontends never produce and which would make analyses ambiguous.
+pub fn check_fcond(term: &Term) -> Result<()> {
+    fn go(t: &Term, active: &mut Vec<Sym>) -> Result<()> {
+        match t {
+            Term::Var(_) | Term::Cst(_) => Ok(()),
+            Term::Filter(_, t) | Term::Rename(_, _, t) | Term::AntiProject(_, t) => go(t, active),
+            Term::Union(a, b) => {
+                go(a, active)?;
+                go(b, active)
+            }
+            Term::Join(a, b) => {
+                for &v in active.iter() {
+                    if a.has_free_var(v) && b.has_free_var(v) {
+                        return Err(MuraError::NotLinear(v));
+                    }
+                }
+                go(a, active)?;
+                go(b, active)
+            }
+            Term::Antijoin(a, b) => {
+                for &v in active.iter() {
+                    if b.has_free_var(v) {
+                        return Err(MuraError::NotPositive(v));
+                    }
+                    if a.has_free_var(v) && b.has_free_var(v) {
+                        return Err(MuraError::NotLinear(v));
+                    }
+                }
+                go(a, active)?;
+                go(b, active)
+            }
+            Term::Fix(x, body) => {
+                if active.contains(x) {
+                    return Err(MuraError::ShadowedVariable(*x));
+                }
+                for &v in active.iter() {
+                    if body.has_free_var(v) {
+                        return Err(MuraError::MutuallyRecursive(v));
+                    }
+                }
+                active.push(*x);
+                let r = go(body, active);
+                active.pop();
+                r
+            }
+        }
+    }
+    go(term, &mut Vec::new())
+}
+
+/// Splits a fixpoint body into constant branches (no free `x`) and recursive
+/// branches, flattening unions (Proposition 2: `μ(X = R ∪ φ)`).
+///
+/// Errors if there is no constant branch (such a fixpoint denotes the empty
+/// relation but has no inferable schema).
+pub fn decompose_fixpoint(x: Sym, body: &Term) -> Result<(Vec<&Term>, Vec<&Term>)> {
+    let mut consts = Vec::new();
+    let mut recs = Vec::new();
+    fn flatten<'t>(t: &'t Term, x: Sym, consts: &mut Vec<&'t Term>, recs: &mut Vec<&'t Term>) {
+        match t {
+            Term::Union(a, b) => {
+                flatten(a, x, consts, recs);
+                flatten(b, x, consts, recs);
+            }
+            _ => {
+                if t.has_free_var(x) {
+                    recs.push(t);
+                } else {
+                    consts.push(t);
+                }
+            }
+        }
+    }
+    flatten(body, x, &mut consts, &mut recs);
+    if consts.is_empty() {
+        return Err(MuraError::Other(format!(
+            "fixpoint on {x} has no constant part (denotes the empty relation)"
+        )));
+    }
+    Ok((consts, recs))
+}
+
+/// Where an output column's value comes from, relative to the recursive
+/// variable `X` of a fixpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Provenance {
+    /// The value is always copied verbatim from the given column of `X`.
+    FromVar(Sym),
+    /// The value does not (provably) come from `X`.
+    Other,
+}
+
+/// Computes, for one recursive branch `φ` of a fixpoint on `x`, the
+/// provenance of each output column. Conservative: `Other` whenever the
+/// analysis cannot prove the copy.
+pub fn branch_provenance(
+    branch: &Term,
+    x: Sym,
+    x_schema: &Schema,
+    env: &mut TypeEnv,
+) -> Result<FxHashMap<Sym, Provenance>> {
+    fn go(
+        t: &Term,
+        x: Sym,
+        x_schema: &Schema,
+        env: &mut TypeEnv,
+    ) -> Result<FxHashMap<Sym, Provenance>> {
+        Ok(match t {
+            Term::Var(v) if *v == x => x_schema
+                .columns()
+                .iter()
+                .map(|&c| (c, Provenance::FromVar(c)))
+                .collect(),
+            Term::Var(v) => {
+                let s = env.get(*v).cloned().ok_or(MuraError::UnboundVariable(*v))?;
+                s.columns().iter().map(|&c| (c, Provenance::Other)).collect()
+            }
+            Term::Cst(r) => r
+                .schema()
+                .columns()
+                .iter()
+                .map(|&c| (c, Provenance::Other))
+                .collect(),
+            Term::Filter(_, t) => go(t, x, x_schema, env)?,
+            Term::Rename(from, to, t) => {
+                let mut m = go(t, x, x_schema, env)?;
+                if let Some(p) = m.remove(from) {
+                    m.insert(*to, p);
+                }
+                m
+            }
+            Term::AntiProject(cols, t) => {
+                let mut m = go(t, x, x_schema, env)?;
+                for c in cols {
+                    m.remove(c);
+                }
+                m
+            }
+            Term::Join(a, b) => {
+                let ma = go(a, x, x_schema, env)?;
+                let mb = go(b, x, x_schema, env)?;
+                let mut m = FxHashMap::default();
+                for (c, p) in &ma {
+                    m.insert(*c, *p);
+                }
+                for (c, p) in &mb {
+                    match m.get(c) {
+                        // Common column: join equality means either side's
+                        // provenance is valid; prefer a FromVar witness.
+                        Some(Provenance::FromVar(_)) => {}
+                        _ => {
+                            m.insert(*c, *p);
+                        }
+                    }
+                }
+                m
+            }
+            Term::Antijoin(a, b) => {
+                // b is constant in x (F_cond positivity); output is a subset
+                // of a's rows.
+                let _ = go(b, x, x_schema, env)?;
+                go(a, x, x_schema, env)?
+            }
+            Term::Union(a, b) => {
+                let ma = go(a, x, x_schema, env)?;
+                let mb = go(b, x, x_schema, env)?;
+                let mut m = FxHashMap::default();
+                for (c, pa) in &ma {
+                    let p = match (pa, mb.get(c)) {
+                        (Provenance::FromVar(ca), Some(Provenance::FromVar(cb))) if ca == cb => {
+                            Provenance::FromVar(*ca)
+                        }
+                        _ => Provenance::Other,
+                    };
+                    m.insert(*c, p);
+                }
+                m
+            }
+            Term::Fix(y, _) => {
+                // F_cond guarantees x does not occur inside a nested
+                // fixpoint, so nothing flows from x through it.
+                let s = infer_schema(t, env)?;
+                let _ = y;
+                s.columns().iter().map(|&c| (c, Provenance::Other)).collect()
+            }
+        })
+    }
+    go(branch, x, x_schema, env)
+}
+
+/// The **stabilizer** of a fixpoint `μ(x = body)`: the set of columns `c`
+/// such that every recursive branch provably copies the value at `c` from
+/// the same column `c` of `X`. Tuples produced during iteration therefore
+/// never change their value at a stable column — filters on `c` commute with
+/// the fixpoint, and partitioning the constant part by `c` makes the local
+/// fixpoints disjoint (paper §IV-A2, proof of Proposition 3's refinement).
+///
+/// Returns the stable columns (sorted). A fixpoint with no recursive branch
+/// has every column stable.
+pub fn stable_columns(x: Sym, body: &Term, env: &mut TypeEnv) -> Result<Vec<Sym>> {
+    let fix_term = Term::Fix(x, Box::new(body.clone()));
+    let schema = infer_schema(&fix_term, env)?;
+    let (_, recs) = decompose_fixpoint(x, body)?;
+    let prev = env.bind(x, schema.clone());
+    let result = (|| {
+        let mut stable: Vec<Sym> = schema.columns().to_vec();
+        for r in &recs {
+            let prov = branch_provenance(r, x, &schema, env)?;
+            stable.retain(|c| matches!(prov.get(c), Some(Provenance::FromVar(src)) if src == c));
+        }
+        Ok(stable)
+    })();
+    env.unbind(x, prev);
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Dictionary;
+    use crate::relation::Relation;
+
+    struct Fixture {
+        dict: Dictionary,
+        x: Sym,
+        e: Sym,
+        s: Sym,
+        src: Sym,
+        dst: Sym,
+        m: Sym,
+        env: TypeEnv,
+    }
+
+    fn fixture() -> Fixture {
+        let mut dict = Dictionary::new();
+        let x = dict.intern("X");
+        let e = dict.intern("E");
+        let s = dict.intern("S");
+        let src = dict.intern("src");
+        let dst = dict.intern("dst");
+        let m = dict.intern("m");
+        let mut env = TypeEnv::new();
+        env.bind(e, Schema::new(vec![src, dst]));
+        env.bind(s, Schema::new(vec![src, dst]));
+        Fixture { dict, x, e, s, src, dst, m, env }
+    }
+
+    /// The paper's Example 2 fixpoint:
+    /// μ(X = S ∪ π̃_m(ρ_dst→m(X) ⋈ ρ_src→m(E)))
+    fn example2(f: &Fixture) -> Term {
+        let step = Term::var(f.x)
+            .rename(f.dst, f.m)
+            .join(Term::var(f.e).rename(f.src, f.m))
+            .antiproject(f.m);
+        Term::var(f.s).union(step).fix(f.x)
+    }
+
+    #[test]
+    fn infer_schema_example2() {
+        let mut f = fixture();
+        let t = example2(&f);
+        let s = infer_schema(&t, &mut f.env).unwrap();
+        assert_eq!(s, Schema::new(vec![f.src, f.dst]));
+    }
+
+    #[test]
+    fn infer_schema_errors() {
+        let mut f = fixture();
+        let _ = &f.dict;
+        // unknown filter column
+        let bad = Term::var(f.e).filter_eq(f.m, 1i64);
+        assert!(matches!(
+            infer_schema(&bad, &mut f.env),
+            Err(MuraError::UnknownColumn { .. })
+        ));
+        // union mismatch
+        let bad = Term::var(f.e).union(Term::var(f.e).antiproject(f.dst));
+        assert!(matches!(
+            infer_schema(&bad, &mut f.env),
+            Err(MuraError::SchemaMismatch { .. })
+        ));
+        // unbound var
+        let bad = Term::var(f.x);
+        assert!(matches!(
+            infer_schema(&bad, &mut f.env),
+            Err(MuraError::UnboundVariable(_))
+        ));
+    }
+
+    #[test]
+    fn fcond_accepts_example2() {
+        let f = fixture();
+        check_fcond(&example2(&f)).unwrap();
+    }
+
+    #[test]
+    fn fcond_rejects_nonpositive() {
+        let f = fixture();
+        // μ(X = E ∪ (E ▷ X)): X on the right of an antijoin.
+        let t = Term::var(f.e)
+            .union(Term::var(f.e).antijoin(Term::var(f.x)))
+            .fix(f.x);
+        assert_eq!(check_fcond(&t), Err(MuraError::NotPositive(f.x)));
+    }
+
+    #[test]
+    fn fcond_rejects_nonlinear() {
+        let f = fixture();
+        // μ(X = E ∪ (X ⋈ X))
+        let t = Term::var(f.e)
+            .union(Term::var(f.x).join(Term::var(f.x)))
+            .fix(f.x);
+        assert_eq!(check_fcond(&t), Err(MuraError::NotLinear(f.x)));
+    }
+
+    #[test]
+    fn fcond_rejects_mutual_recursion() {
+        let mut f = fixture();
+        let y = f.dict.intern("Y");
+        // μ(X = E ∪ μ(Y = X ∪ Y))
+        let inner = Term::var(f.x).union(Term::var(y)).fix(y);
+        let t = Term::var(f.e).union(inner).fix(f.x);
+        assert_eq!(check_fcond(&t), Err(MuraError::MutuallyRecursive(f.x)));
+    }
+
+    #[test]
+    fn fcond_rejects_shadowing() {
+        let f = fixture();
+        let inner = Term::var(f.e).union(Term::var(f.x)).fix(f.x);
+        let t = Term::var(f.e).union(inner.join(Term::var(f.x))).fix(f.x);
+        assert_eq!(check_fcond(&t), Err(MuraError::ShadowedVariable(f.x)));
+    }
+
+    #[test]
+    fn fcond_accepts_separate_inner_fixpoint() {
+        let mut f = fixture();
+        let y = f.dict.intern("Y");
+        // μ(X = R ∪ X ⋈ μ(Y = φ(Y))) satisfies F_cond (paper example).
+        let inner = Term::var(f.e).union(Term::var(y)).fix(y);
+        let t = Term::var(f.e).union(Term::var(f.x).join(inner)).fix(f.x);
+        check_fcond(&t).unwrap();
+    }
+
+    #[test]
+    fn decompose_splits_branches() {
+        let f = fixture();
+        let t = example2(&f);
+        if let Term::Fix(x, body) = &t {
+            let (consts, recs) = decompose_fixpoint(*x, body).unwrap();
+            assert_eq!(consts.len(), 1);
+            assert_eq!(recs.len(), 1);
+            assert_eq!(consts[0], &Term::var(f.s));
+        } else {
+            panic!("not a fixpoint");
+        }
+    }
+
+    #[test]
+    fn decompose_requires_constant_part() {
+        let f = fixture();
+        let body = Term::var(f.x)
+            .rename(f.dst, f.m)
+            .join(Term::var(f.e).rename(f.src, f.m))
+            .antiproject(f.m);
+        assert!(decompose_fixpoint(f.x, &body).is_err());
+    }
+
+    #[test]
+    fn stabilizer_example2_src_stable() {
+        // Paper §IV-A2: 'src' is stable in Example 2, 'dst' is not.
+        let mut f = fixture();
+        let t = example2(&f);
+        if let Term::Fix(x, body) = &t {
+            let stable = stable_columns(*x, body, &mut f.env).unwrap();
+            assert_eq!(stable, vec![f.src]);
+        } else {
+            panic!();
+        }
+    }
+
+    #[test]
+    fn stabilizer_left_linear_dst_stable() {
+        // Left-linear closure: prepend E on the left; dst is stable.
+        let mut f = fixture();
+        let step = Term::var(f.x)
+            .rename(f.src, f.m)
+            .join(Term::var(f.e).rename(f.dst, f.m))
+            .antiproject(f.m);
+        let body = Term::var(f.s).union(step);
+        let stable = stable_columns(f.x, &body, &mut f.env).unwrap();
+        assert_eq!(stable, vec![f.dst]);
+    }
+
+    #[test]
+    fn stabilizer_both_linear_nothing_stable() {
+        // Both-linear (merged) fixpoint: prepend on left OR append on right:
+        // no stable column.
+        let mut f = fixture();
+        let append = Term::var(f.x)
+            .rename(f.dst, f.m)
+            .join(Term::var(f.e).rename(f.src, f.m))
+            .antiproject(f.m);
+        let prepend = Term::var(f.x)
+            .rename(f.src, f.m)
+            .join(Term::var(f.e).rename(f.dst, f.m))
+            .antiproject(f.m);
+        let body = Term::var(f.s).union(append).union(prepend);
+        let stable = stable_columns(f.x, &body, &mut f.env).unwrap();
+        assert!(stable.is_empty());
+    }
+
+    #[test]
+    fn stabilizer_no_recursion_all_stable() {
+        let mut f = fixture();
+        let body = Term::var(f.s);
+        let stable = stable_columns(f.x, &body, &mut f.env).unwrap();
+        assert_eq!(stable, vec![f.src, f.dst]);
+    }
+
+    #[test]
+    fn provenance_through_filter_and_antijoin() {
+        let mut f = fixture();
+        let x_schema = Schema::new(vec![f.src, f.dst]);
+        f.env.bind(f.x, x_schema.clone());
+        // σ(X) ▷ E keeps both provenances from X.
+        let t = Term::var(f.x)
+            .filter_eq(f.src, 3i64)
+            .antijoin(Term::var(f.e));
+        let prov = branch_provenance(&t, f.x, &x_schema, &mut f.env).unwrap();
+        assert_eq!(prov.get(&f.src), Some(&Provenance::FromVar(f.src)));
+        assert_eq!(prov.get(&f.dst), Some(&Provenance::FromVar(f.dst)));
+    }
+
+    #[test]
+    fn provenance_constant_relation() {
+        let mut f = fixture();
+        let x_schema = Schema::new(vec![f.src, f.dst]);
+        let rel = Relation::from_pairs(f.src, f.dst, [(1, 2)]);
+        let t = Term::cst(rel);
+        let prov = branch_provenance(&t, f.x, &x_schema, &mut f.env).unwrap();
+        assert_eq!(prov.get(&f.src), Some(&Provenance::Other));
+    }
+}

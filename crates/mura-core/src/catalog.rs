@@ -1,0 +1,199 @@
+//! String interning and the database catalog.
+
+use crate::fxhash::FxHashMap;
+use crate::relation::Relation;
+use crate::value::Sym;
+
+/// Interns strings to [`Sym`]s and resolves them back.
+#[derive(Debug, Default, Clone)]
+pub struct Dictionary {
+    map: FxHashMap<Box<str>, Sym>,
+    names: Vec<Box<str>>,
+    fresh_counter: u32,
+}
+
+impl Dictionary {
+    /// Empty dictionary.
+    pub fn new() -> Self {
+        Dictionary::default()
+    }
+
+    /// Interns `s`, returning its symbol (stable across calls).
+    pub fn intern(&mut self, s: &str) -> Sym {
+        if let Some(&sym) = self.map.get(s) {
+            return sym;
+        }
+        let sym = Sym(self.names.len() as u32);
+        self.names.push(s.into());
+        self.map.insert(s.into(), sym);
+        sym
+    }
+
+    /// Looks up an already-interned string.
+    pub fn lookup(&self, s: &str) -> Option<Sym> {
+        self.map.get(s).copied()
+    }
+
+    /// Resolves a symbol to its string.
+    ///
+    /// # Panics
+    /// Panics if the symbol comes from another dictionary.
+    pub fn resolve(&self, sym: Sym) -> &str {
+        &self.names[sym.index()]
+    }
+
+    /// Number of interned strings.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Interns a globally fresh symbol with the given prefix — used for
+    /// fixpoint variables and intermediate column names that must not
+    /// collide with anything user-visible.
+    pub fn fresh(&mut self, prefix: &str) -> Sym {
+        loop {
+            self.fresh_counter += 1;
+            let name = format!("{prefix}#{}", self.fresh_counter);
+            if self.lookup(&name).is_none() {
+                return self.intern(&name);
+            }
+        }
+    }
+}
+
+/// A named-relation catalog plus its dictionary.
+///
+/// Free variables of μ-RA terms are resolved against the catalog during
+/// evaluation. `Database` also records the standard `src`/`dst` column
+/// symbols used by the graph frontends.
+#[derive(Debug, Default, Clone)]
+pub struct Database {
+    dict: Dictionary,
+    rels: FxHashMap<Sym, Relation>,
+    constants: FxHashMap<Sym, crate::value::Value>,
+}
+
+impl Database {
+    /// Empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Shared dictionary.
+    pub fn dict(&self) -> &Dictionary {
+        &self.dict
+    }
+
+    /// Mutable dictionary (interning query constants, fresh columns…).
+    pub fn dict_mut(&mut self) -> &mut Dictionary {
+        &mut self.dict
+    }
+
+    /// Interns a string in the database dictionary.
+    pub fn intern(&mut self, s: &str) -> Sym {
+        self.dict.intern(s)
+    }
+
+    /// Registers (or replaces) relation `name`.
+    pub fn insert_relation(&mut self, name: &str, rel: Relation) -> Sym {
+        let sym = self.dict.intern(name);
+        self.rels.insert(sym, rel);
+        sym
+    }
+
+    /// Registers a relation under an existing symbol.
+    pub fn insert_relation_sym(&mut self, name: Sym, rel: Relation) {
+        self.rels.insert(name, rel);
+    }
+
+    /// Resolves a relation by symbol.
+    pub fn relation(&self, name: Sym) -> Option<&Relation> {
+        self.rels.get(&name)
+    }
+
+    /// Resolves a relation by name.
+    pub fn relation_by_name(&self, name: &str) -> Option<&Relation> {
+        self.dict.lookup(name).and_then(|s| self.rels.get(&s))
+    }
+
+    /// Iterates over (name, relation) pairs.
+    pub fn relations(&self) -> impl Iterator<Item = (Sym, &Relation)> {
+        self.rels.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Number of registered relations.
+    pub fn relation_count(&self) -> usize {
+        self.rels.len()
+    }
+
+    /// Total number of rows across all relations.
+    pub fn total_rows(&self) -> usize {
+        self.rels.values().map(|r| r.len()).sum()
+    }
+
+    /// Registers a named constant (e.g. `Japan` → node id). Query frontends
+    /// resolve bare identifiers in queries against this registry.
+    pub fn bind_constant(&mut self, name: &str, value: crate::value::Value) -> Sym {
+        let sym = self.dict.intern(name);
+        self.constants.insert(sym, value);
+        sym
+    }
+
+    /// Looks up a named constant by string.
+    pub fn constant(&self, name: &str) -> Option<crate::value::Value> {
+        self.dict.lookup(name).and_then(|s| self.constants.get(&s)).copied()
+    }
+
+    /// Iterates over registered constants.
+    pub fn constants(&self) -> impl Iterator<Item = (Sym, crate::value::Value)> + '_ {
+        self.constants.iter().map(|(k, v)| (*k, *v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    #[test]
+    fn intern_is_stable() {
+        let mut d = Dictionary::new();
+        let a1 = d.intern("a");
+        let b = d.intern("b");
+        let a2 = d.intern("a");
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b);
+        assert_eq!(d.resolve(a1), "a");
+        assert_eq!(d.lookup("b"), Some(b));
+        assert_eq!(d.lookup("zzz"), None);
+    }
+
+    #[test]
+    fn fresh_never_collides() {
+        let mut d = Dictionary::new();
+        d.intern("X#1");
+        let f1 = d.fresh("X");
+        let f2 = d.fresh("X");
+        assert_ne!(f1, f2);
+        assert_ne!(d.resolve(f1), "X#1");
+    }
+
+    #[test]
+    fn database_round_trip() {
+        let mut db = Database::new();
+        let src = db.intern("src");
+        let dst = db.intern("dst");
+        let e = db.insert_relation("E", Relation::from_pairs(src, dst, [(1, 2)]));
+        assert_eq!(db.relation(e).unwrap().len(), 1);
+        assert_eq!(db.relation_by_name("E").unwrap().len(), 1);
+        assert!(db.relation_by_name("missing").is_none());
+        db.insert_relation("empty", Relation::new(Schema::empty()));
+        assert_eq!(db.relation_count(), 2);
+        assert_eq!(db.total_rows(), 1);
+    }
+}

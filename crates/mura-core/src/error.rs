@@ -1,0 +1,69 @@
+//! Error types shared across the workspace's core layers.
+
+use crate::schema::Schema;
+use crate::value::Sym;
+use std::fmt;
+
+/// Result alias for μ-RA operations.
+pub type Result<T> = std::result::Result<T, MuraError>;
+
+/// Errors raised by term analysis and evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MuraError {
+    /// A free variable has no binding in the catalog or environment.
+    UnboundVariable(Sym),
+    /// Union (or fixpoint branches) over incompatible schemas.
+    SchemaMismatch { left: Schema, right: Schema, context: &'static str },
+    /// A column referenced by filter/rename/antiprojection is missing.
+    UnknownColumn { column: Sym, schema: Schema, context: &'static str },
+    /// Rename target already exists in the schema.
+    RenameCollision { from: Sym, to: Sym, schema: Schema },
+    /// The fixpoint violates one of the `F_cond` conditions.
+    NotPositive(Sym),
+    /// The fixpoint is not linear in its recursive variable.
+    NotLinear(Sym),
+    /// Mutual recursion between fixpoint variables.
+    MutuallyRecursive(Sym),
+    /// The same variable is bound twice by nested fixpoints.
+    ShadowedVariable(Sym),
+    /// A resource budget was exceeded (used to model the paper's
+    /// "system crashed" outcomes honestly).
+    ResourceExhausted { what: &'static str, limit: u64, reached: u64 },
+    /// Evaluation exceeded the configured timeout.
+    Timeout { millis: u64 },
+    /// Frontend (parser / translation) error.
+    Frontend(String),
+    /// Anything else.
+    Other(String),
+}
+
+impl fmt::Display for MuraError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MuraError::UnboundVariable(v) => write!(f, "unbound relation variable {v}"),
+            MuraError::SchemaMismatch { left, right, context } => {
+                write!(f, "schema mismatch in {context}: {left} vs {right}")
+            }
+            MuraError::UnknownColumn { column, schema, context } => {
+                write!(f, "unknown column {column} in {context} over {schema}")
+            }
+            MuraError::RenameCollision { from, to, schema } => {
+                write!(f, "rename {from}->{to} collides in {schema}")
+            }
+            MuraError::NotPositive(v) => {
+                write!(f, "fixpoint on {v} is not positive (recursion under antijoin right side)")
+            }
+            MuraError::NotLinear(v) => write!(f, "fixpoint on {v} is not linear"),
+            MuraError::MutuallyRecursive(v) => write!(f, "fixpoint on {v} is mutually recursive"),
+            MuraError::ShadowedVariable(v) => write!(f, "fixpoint variable {v} is shadowed"),
+            MuraError::ResourceExhausted { what, limit, reached } => {
+                write!(f, "resource exhausted: {what} reached {reached} (limit {limit})")
+            }
+            MuraError::Timeout { millis } => write!(f, "evaluation timed out after {millis} ms"),
+            MuraError::Frontend(s) => write!(f, "frontend error: {s}"),
+            MuraError::Other(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl std::error::Error for MuraError {}

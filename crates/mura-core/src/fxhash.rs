@@ -1,0 +1,129 @@
+//! A small, fast, non-cryptographic hasher (the FxHash algorithm used by
+//! rustc), implemented in-tree so the workspace stays within its allowed
+//! dependency set. Relations are hash sets of rows; hashing dominates many
+//! inner loops, so the default SipHash would be a significant tax.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Hash set keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+/// Hash map keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// FxHash: multiply-rotate word-at-a-time hashing. Not HashDoS-resistant,
+/// which is acceptable here: all keys are internally generated.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+}
+
+/// Hash a single `u64` to a well-mixed `u64`; used by partitioners that need
+/// a stable hash independent of hasher state.
+#[inline]
+pub fn hash_u64(x: u64) -> u64 {
+    // splitmix64 finalizer: good avalanche, cheap.
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn fx<T: Hash + ?Sized>(t: &T) -> u64 {
+        let mut h = FxHasher::default();
+        t.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(fx(&42u64), fx(&42u64));
+        assert_eq!(fx(&"hello"), fx(&"hello"));
+    }
+
+    #[test]
+    fn distinguishes_values() {
+        assert_ne!(fx(&1u64), fx(&2u64));
+        assert_ne!(fx(&"a"), fx(&"b"));
+        assert_ne!(fx(&[1u8, 2, 3][..]), fx(&[1u8, 2, 4][..]));
+    }
+
+    #[test]
+    fn partial_chunks_differ_from_padded(// trailing bytes must not collide with explicit zero padding
+    ) {
+        assert_ne!(fx(&[1u8, 0][..]), fx(&[1u8][..]));
+    }
+
+    #[test]
+    fn hash_u64_mixes() {
+        // consecutive inputs should land far apart
+        let a = hash_u64(1);
+        let b = hash_u64(2);
+        assert_ne!(a & 0xffff, b & 0xffff);
+    }
+
+    #[test]
+    fn fxmap_works() {
+        let mut m: FxHashMap<u32, u32> = FxHashMap::default();
+        for i in 0..1000 {
+            m.insert(i, i * 2);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m[&999], 1998);
+    }
+}

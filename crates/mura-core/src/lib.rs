@@ -1,0 +1,56 @@
+//! # mura-core — recursive relational algebra (μ-RA)
+//!
+//! This crate implements the μ-RA algebra of Jachiet et al. (SIGMOD'20) as
+//! used by the Dist-μ-RA system (Chlyah, Genevès, Layaïda): Codd's relational
+//! algebra extended with a fixpoint operator `μ(X = Ψ)`.
+//!
+//! The grammar (paper Fig. 1):
+//!
+//! ```text
+//! φ, ψ ::=  X                   relation variable (free: database relation,
+//!                               bound: recursive variable of a fixpoint)
+//!        |  |c₁ → v₁, …|        constant relation
+//!        |  σ_p(φ)              filter
+//!        |  ρ_a^b(φ)            rename column a to b
+//!        |  π̃_c(φ)              antiprojection (drop column c)
+//!        |  φ ⋈ ψ               natural join
+//!        |  φ ∪ ψ               union
+//!        |  φ ▷ ψ               antijoin
+//!        |  μ(X = φ)            fixpoint
+//! ```
+//!
+//! Provided here:
+//!
+//! * the data model ([`value`], [`schema`], [`relation`]): relations are sets
+//!   of tuples mapping column names to values;
+//! * the term language ([`term`]) with builder helpers;
+//! * static analysis ([`analysis`]): free variables, the `F_cond` conditions
+//!   (positive / linear / non-mutually-recursive), decomposition of a fixpoint
+//!   body into constant part `R` and variable part `φ`, and the *stabilizer*
+//!   (the set of columns left unchanged by the recursive step — the key to
+//!   both filter pushing and the `P_plw` distributed plan);
+//! * centralized evaluation ([`eval`]): naive and semi-naive (Algorithm 1)
+//!   fixpoint computation;
+//! * a named-relation [`catalog`] with string interning.
+//!
+//! Higher layers build on this: `mura-rewrite` (logical optimization),
+//! `mura-dist` (distributed physical plans), `mura-ucrpq` (query frontend).
+
+pub mod analysis;
+pub mod catalog;
+pub mod error;
+pub mod eval;
+pub mod fxhash;
+pub mod relation;
+pub mod schema;
+pub mod sql;
+pub mod term;
+pub mod value;
+
+pub use catalog::{Database, Dictionary};
+pub use error::{MuraError, Result};
+pub use eval::{eval, eval_naive_fixpoints, EvalStats, Evaluator};
+pub use relation::{Relation, Row};
+pub use schema::Schema;
+pub use term::{Pred, Term};
+pub use value::{Sym, Value};

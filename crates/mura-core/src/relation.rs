@@ -1,0 +1,452 @@
+//! Relations: sets of tuples over a schema.
+//!
+//! The μ-RA data model is set-based (no duplicates). A [`Relation`] stores a
+//! [`Schema`] plus a hash set of rows whose fields are aligned with the
+//! schema's sorted column order. All algebra operators (filter, rename,
+//! antiprojection, natural join, antijoin, union, difference) are implemented
+//! here on materialized relations; the distributed layer reuses these
+//! per-partition.
+
+use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::schema::Schema;
+use crate::value::{Sym, Value};
+use std::fmt;
+
+/// A tuple. Fields are ordered by the owning relation's schema.
+pub type Row = Box<[Value]>;
+
+/// A set of rows with a fixed schema.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Relation {
+    schema: Schema,
+    rows: FxHashSet<Row>,
+}
+
+impl Relation {
+    /// Empty relation with the given schema.
+    pub fn new(schema: Schema) -> Self {
+        Relation { schema, rows: FxHashSet::default() }
+    }
+
+    /// Builds a relation from rows, deduplicating.
+    ///
+    /// # Panics
+    /// Panics if a row's arity differs from the schema's.
+    pub fn from_rows<I>(schema: Schema, rows: I) -> Self
+    where
+        I: IntoIterator<Item = Row>,
+    {
+        let mut r = Relation::new(schema);
+        for row in rows {
+            r.insert(row);
+        }
+        r
+    }
+
+    /// Convenience: a binary relation over `(a, b)` from integer pairs.
+    pub fn from_pairs(a: Sym, b: Sym, pairs: impl IntoIterator<Item = (u64, u64)>) -> Self {
+        let schema = Schema::new(vec![a, b]);
+        // Schema sorts columns; figure out which position a and b landed in.
+        let pa = schema.position(a).unwrap();
+        let mut rel = Relation::new(schema);
+        for (x, y) in pairs {
+            let mut row = vec![Value::node(0); 2];
+            row[pa] = Value::node(x);
+            row[1 - pa] = Value::node(y);
+            rel.insert(row.into_boxed_slice());
+        }
+        rel
+    }
+
+    /// The relation's schema.
+    #[inline]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the relation has no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Row iterator (unordered).
+    pub fn iter(&self) -> impl Iterator<Item = &Row> {
+        self.rows.iter()
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, row: &[Value]) -> bool {
+        self.rows.contains(row)
+    }
+
+    /// Inserts a row; returns `true` if it was new.
+    ///
+    /// # Panics
+    /// Panics if the row arity differs from the schema arity.
+    pub fn insert(&mut self, row: Row) -> bool {
+        assert_eq!(
+            row.len(),
+            self.schema.arity(),
+            "row arity {} != schema arity {}",
+            row.len(),
+            self.schema.arity()
+        );
+        self.rows.insert(row)
+    }
+
+    /// Moves all rows of `other` into `self` (schemas must match).
+    pub fn absorb(&mut self, other: Relation) {
+        assert_eq!(self.schema, other.schema, "union of incompatible schemas");
+        if self.rows.is_empty() {
+            self.rows = other.rows;
+        } else {
+            self.rows.extend(other.rows);
+        }
+    }
+
+    /// Consumes the relation, yielding its rows.
+    pub fn into_rows(self) -> FxHashSet<Row> {
+        self.rows
+    }
+
+    /// Rows kept only when `pred` holds.
+    pub fn filter(&self, pred: impl Fn(&[Value]) -> bool) -> Relation {
+        Relation {
+            schema: self.schema.clone(),
+            rows: self.rows.iter().filter(|r| pred(r)).cloned().collect(),
+        }
+    }
+
+    /// ρ_from^to: renames a column. The schema stays sorted, so row fields are
+    /// permuted accordingly.
+    ///
+    /// # Panics
+    /// Panics if `from` is absent or `to` already exists.
+    pub fn rename(&self, from: Sym, to: Sym) -> Relation {
+        let new_schema = self
+            .schema
+            .rename(from, to)
+            .unwrap_or_else(|| panic!("invalid rename {from:?} -> {to:?} on {}", self.schema));
+        // For each position in the new schema, the source position in the old.
+        let perm: Vec<usize> = new_schema
+            .columns()
+            .iter()
+            .map(|&c| {
+                let oc = if c == to { from } else { c };
+                self.schema.position(oc).unwrap()
+            })
+            .collect();
+        let identity = perm.iter().enumerate().all(|(i, &p)| i == p);
+        let rows = if identity {
+            self.rows.clone()
+        } else {
+            self.rows
+                .iter()
+                .map(|r| perm.iter().map(|&p| r[p]).collect::<Row>())
+                .collect()
+        };
+        Relation { schema: new_schema, rows }
+    }
+
+    /// π̃_cols: drops the given columns, deduplicating the result.
+    ///
+    /// # Panics
+    /// Panics if a dropped column is absent.
+    pub fn antiproject(&self, drop: &[Sym]) -> Relation {
+        let new_schema = self
+            .schema
+            .antiproject(drop)
+            .unwrap_or_else(|| panic!("invalid antiprojection of {drop:?} on {}", self.schema));
+        let keep: Vec<usize> = new_schema
+            .columns()
+            .iter()
+            .map(|&c| self.schema.position(c).unwrap())
+            .collect();
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| keep.iter().map(|&p| r[p]).collect::<Row>())
+            .collect();
+        Relation { schema: new_schema, rows }
+    }
+
+    /// Natural join on all common columns. If there are no common columns the
+    /// result is the cartesian product.
+    pub fn join(&self, other: &Relation) -> Relation {
+        join_plan(&self.schema, &other.schema).execute(self, other)
+    }
+
+    /// φ ▷ ψ: rows of `self` with **no** match in `other` on the common
+    /// columns. With no common columns, returns `self` if `other` is empty
+    /// and the empty relation otherwise (standard antijoin semantics).
+    pub fn antijoin(&self, other: &Relation) -> Relation {
+        let common = self.schema.intersection(&other.schema);
+        if common.is_empty() {
+            return if other.is_empty() {
+                self.clone()
+            } else {
+                Relation::new(self.schema.clone())
+            };
+        }
+        let my_pos: Vec<usize> = common.iter().map(|&c| self.schema.position(c).unwrap()).collect();
+        let their_pos: Vec<usize> =
+            common.iter().map(|&c| other.schema.position(c).unwrap()).collect();
+        let keys: FxHashSet<Row> = other
+            .rows
+            .iter()
+            .map(|r| their_pos.iter().map(|&p| r[p]).collect::<Row>())
+            .collect();
+        let rows = self
+            .rows
+            .iter()
+            .filter(|r| {
+                let k: Row = my_pos.iter().map(|&p| r[p]).collect();
+                !keys.contains(&k)
+            })
+            .cloned()
+            .collect();
+        Relation { schema: self.schema.clone(), rows }
+    }
+
+    /// Set union (schemas must match).
+    pub fn union(&self, other: &Relation) -> Relation {
+        assert_eq!(self.schema, other.schema, "union of incompatible schemas");
+        let (big, small) = if self.len() >= other.len() { (self, other) } else { (other, self) };
+        let mut rows = big.rows.clone();
+        rows.extend(small.rows.iter().cloned());
+        Relation { schema: self.schema.clone(), rows }
+    }
+
+    /// Set difference `self \ other` (schemas must match).
+    pub fn minus(&self, other: &Relation) -> Relation {
+        assert_eq!(self.schema, other.schema, "difference of incompatible schemas");
+        let rows = self.rows.iter().filter(|r| !other.rows.contains(*r)).cloned().collect();
+        Relation { schema: self.schema.clone(), rows }
+    }
+
+    /// Sorted list of rows; useful for deterministic test assertions.
+    pub fn sorted_rows(&self) -> Vec<Row> {
+        let mut v: Vec<Row> = self.rows.iter().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} [{} rows]", self.schema, self.len())?;
+        for row in self.sorted_rows().iter().take(20) {
+            write!(f, "  (")?;
+            for (i, v) in row.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{v}")?;
+            }
+            writeln!(f, ")")?;
+        }
+        if self.len() > 20 {
+            writeln!(f, "  …")?;
+        }
+        Ok(())
+    }
+}
+
+/// Precomputed positional plan for a natural join between two schemas.
+/// The distributed layer builds this once per join and reuses it per
+/// partition.
+#[derive(Debug, Clone)]
+pub struct JoinPlan {
+    /// Output schema (union of inputs).
+    pub out_schema: Schema,
+    /// Positions of the join key in the left input.
+    pub left_key: Vec<usize>,
+    /// Positions of the join key in the right input.
+    pub right_key: Vec<usize>,
+    /// For each output position: (from_left, source position).
+    pub out_src: Vec<(bool, usize)>,
+}
+
+/// Computes the join plan between two schemas.
+pub fn join_plan(left: &Schema, right: &Schema) -> JoinPlan {
+    let common = left.intersection(right);
+    let left_key = common.iter().map(|&c| left.position(c).unwrap()).collect();
+    let right_key = common.iter().map(|&c| right.position(c).unwrap()).collect();
+    let out_schema = left.union(right);
+    let out_src = out_schema
+        .columns()
+        .iter()
+        .map(|&c| match left.position(c) {
+            Some(p) => (true, p),
+            None => (false, right.position(c).unwrap()),
+        })
+        .collect();
+    JoinPlan { out_schema, left_key, right_key, out_src }
+}
+
+impl JoinPlan {
+    /// Hash join of two relations with this plan. Builds on the smaller side.
+    pub fn execute(&self, left: &Relation, right: &Relation) -> Relation {
+        let mut out = Relation::new(self.out_schema.clone());
+        if left.is_empty() || right.is_empty() {
+            return out;
+        }
+        // Build a hash table keyed by the join key on the smaller input.
+        let build_left = left.len() <= right.len();
+        let (build, probe) = if build_left { (left, right) } else { (right, left) };
+        let (build_key, probe_key) = if build_left {
+            (&self.left_key, &self.right_key)
+        } else {
+            (&self.right_key, &self.left_key)
+        };
+        let mut table: FxHashMap<Row, Vec<&Row>> = FxHashMap::default();
+        for row in build.iter() {
+            let k: Row = build_key.iter().map(|&p| row[p]).collect();
+            table.entry(k).or_default().push(row);
+        }
+        for prow in probe.iter() {
+            let k: Row = probe_key.iter().map(|&p| prow[p]).collect();
+            if let Some(matches) = table.get(&k) {
+                for brow in matches {
+                    let (lrow, rrow): (&Row, &Row) =
+                        if build_left { (brow, prow) } else { (prow, brow) };
+                    let out_row: Row = self
+                        .out_src
+                        .iter()
+                        .map(|&(from_left, p)| if from_left { lrow[p] } else { rrow[p] })
+                        .collect();
+                    out.insert(out_row);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(i: u32) -> Sym {
+        Sym(i)
+    }
+
+    fn rel(cols: &[u32], rows: &[&[i64]]) -> Relation {
+        let schema = Schema::new(cols.iter().map(|&c| sym(c)).collect());
+        // Caller gives rows in the *given* column order; permute to schema order.
+        let perm: Vec<usize> = schema
+            .columns()
+            .iter()
+            .map(|c| cols.iter().position(|&x| sym(x) == *c).unwrap())
+            .collect();
+        Relation::from_rows(
+            schema,
+            rows.iter()
+                .map(|r| perm.iter().map(|&p| Value::Int(r[p])).collect::<Row>()),
+        )
+    }
+
+    #[test]
+    fn dedup_on_insert() {
+        let r = rel(&[1, 2], &[&[1, 2], &[1, 2], &[3, 4]]);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn filter_keeps_matching() {
+        let r = rel(&[1], &[&[1], &[2], &[3]]);
+        let f = r.filter(|row| row[0].as_int().unwrap() >= 2);
+        assert_eq!(f.len(), 2);
+        assert!(f.contains(&[Value::Int(2)]));
+    }
+
+    #[test]
+    fn rename_permutes_fields() {
+        // schema (1,2); rename 1 -> 5 gives sorted schema (2,5): fields swap.
+        let r = rel(&[1, 2], &[&[10, 20]]);
+        let rn = r.rename(sym(1), sym(5));
+        assert_eq!(rn.schema().columns(), &[sym(2), sym(5)]);
+        assert!(rn.contains(&[Value::Int(20), Value::Int(10)]));
+    }
+
+    #[test]
+    fn antiproject_dedups() {
+        let r = rel(&[1, 2], &[&[1, 10], &[1, 20]]);
+        let p = r.antiproject(&[sym(2)]);
+        assert_eq!(p.len(), 1);
+        assert!(p.contains(&[Value::Int(1)]));
+    }
+
+    #[test]
+    fn natural_join_basic() {
+        // R(a=1,b=2), S(b=2,c=3): join on b.
+        let r = rel(&[1, 2], &[&[1, 10], &[2, 20]]);
+        let s = rel(&[2, 3], &[&[10, 100], &[10, 101], &[30, 300]]);
+        let j = r.join(&s);
+        assert_eq!(j.schema().columns(), &[sym(1), sym(2), sym(3)]);
+        assert_eq!(j.len(), 2);
+        assert!(j.contains(&[Value::Int(1), Value::Int(10), Value::Int(100)]));
+        assert!(j.contains(&[Value::Int(1), Value::Int(10), Value::Int(101)]));
+    }
+
+    #[test]
+    fn join_no_common_is_product() {
+        let r = rel(&[1], &[&[1], &[2]]);
+        let s = rel(&[2], &[&[10], &[20]]);
+        assert_eq!(r.join(&s).len(), 4);
+    }
+
+    #[test]
+    fn join_same_schema_is_intersection() {
+        let r = rel(&[1], &[&[1], &[2]]);
+        let s = rel(&[1], &[&[2], &[3]]);
+        let j = r.join(&s);
+        assert_eq!(j.len(), 1);
+        assert!(j.contains(&[Value::Int(2)]));
+    }
+
+    #[test]
+    fn antijoin_filters_matches() {
+        let r = rel(&[1, 2], &[&[1, 10], &[2, 20]]);
+        let s = rel(&[2], &[&[10]]);
+        let a = r.antijoin(&s);
+        assert_eq!(a.len(), 1);
+        assert!(a.contains(&[Value::Int(2), Value::Int(20)]));
+    }
+
+    #[test]
+    fn antijoin_disjoint_schemas() {
+        let r = rel(&[1], &[&[1]]);
+        let empty = rel(&[9], &[]);
+        let nonempty = rel(&[9], &[&[5]]);
+        assert_eq!(r.antijoin(&empty).len(), 1);
+        assert_eq!(r.antijoin(&nonempty).len(), 0);
+    }
+
+    #[test]
+    fn union_minus() {
+        let r = rel(&[1], &[&[1], &[2]]);
+        let s = rel(&[1], &[&[2], &[3]]);
+        assert_eq!(r.union(&s).len(), 3);
+        let d = r.minus(&s);
+        assert_eq!(d.len(), 1);
+        assert!(d.contains(&[Value::Int(1)]));
+    }
+
+    #[test]
+    fn from_pairs_respects_column_order() {
+        // (b, a) given in that order: schema sorts to (a, b) but the pair
+        // (x, y) must still mean b=x, a=y.
+        let r = Relation::from_pairs(sym(2), sym(1), [(10, 20)]);
+        assert_eq!(r.schema().columns(), &[sym(1), sym(2)]);
+        assert!(r.contains(&[Value::Int(20), Value::Int(10)]));
+    }
+}

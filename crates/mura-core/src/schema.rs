@@ -1,0 +1,183 @@
+//! Relation schemas.
+//!
+//! A schema is the set of column names of a relation. μ-RA's data model is
+//! *named*: joins are natural joins on common column names, renames change
+//! a column's name. We store schemas as a sorted `Vec<Sym>` so that rows of
+//! equal relations have a canonical field order; all physical operators
+//! compute positional permutations from schemas once, then work on positions.
+
+use crate::value::Sym;
+use std::fmt;
+
+/// A sorted, duplicate-free list of column names.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Schema(Vec<Sym>);
+
+impl Schema {
+    /// Builds a schema from columns; sorts and checks for duplicates.
+    ///
+    /// # Panics
+    /// Panics if a column appears twice (a relation cannot have two columns
+    /// with the same name).
+    pub fn new(mut cols: Vec<Sym>) -> Self {
+        cols.sort_unstable();
+        for w in cols.windows(2) {
+            assert!(w[0] != w[1], "duplicate column {:?} in schema", w[0]);
+        }
+        Schema(cols)
+    }
+
+    /// The empty schema (schema of the 0-ary relation).
+    pub fn empty() -> Self {
+        Schema(Vec::new())
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if there are no columns.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Sorted column list.
+    #[inline]
+    pub fn columns(&self) -> &[Sym] {
+        &self.0
+    }
+
+    /// Position of column `c` in rows of this schema.
+    #[inline]
+    pub fn position(&self, c: Sym) -> Option<usize> {
+        self.0.binary_search(&c).ok()
+    }
+
+    /// True if the schema contains column `c`.
+    #[inline]
+    pub fn contains(&self, c: Sym) -> bool {
+        self.position(c).is_some()
+    }
+
+    /// Columns present in both schemas (sorted).
+    pub fn intersection(&self, other: &Schema) -> Vec<Sym> {
+        self.0.iter().copied().filter(|c| other.contains(*c)).collect()
+    }
+
+    /// Union of both schemas as a new schema.
+    pub fn union(&self, other: &Schema) -> Schema {
+        let mut cols = self.0.clone();
+        for &c in &other.0 {
+            if !self.contains(c) {
+                cols.push(c);
+            }
+        }
+        Schema::new(cols)
+    }
+
+    /// Schema with column `from` renamed to `to`.
+    ///
+    /// Returns `None` if `from` is absent or `to` already present.
+    pub fn rename(&self, from: Sym, to: Sym) -> Option<Schema> {
+        if !self.contains(from) || self.contains(to) || from == to {
+            return None;
+        }
+        let cols = self
+            .0
+            .iter()
+            .map(|&c| if c == from { to } else { c })
+            .collect();
+        Some(Schema::new(cols))
+    }
+
+    /// Schema with the given columns removed.
+    ///
+    /// Returns `None` if any of `drop` is absent.
+    pub fn antiproject(&self, drop: &[Sym]) -> Option<Schema> {
+        for &d in drop {
+            if !self.contains(d) {
+                return None;
+            }
+        }
+        Some(Schema(
+            self.0.iter().copied().filter(|c| !drop.contains(c)).collect(),
+        ))
+    }
+
+    /// For each column of `self`, its position in `other` (if present).
+    /// Used to compute row projections between schemas.
+    pub fn positions_in(&self, other: &Schema) -> Vec<Option<usize>> {
+        self.0.iter().map(|&c| other.position(c)).collect()
+    }
+}
+
+impl FromIterator<Sym> for Schema {
+    fn from_iter<I: IntoIterator<Item = Sym>>(iter: I) -> Self {
+        Schema::new(iter.into_iter().collect())
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(ids: &[u32]) -> Schema {
+        Schema::new(ids.iter().map(|&i| Sym(i)).collect())
+    }
+
+    #[test]
+    fn sorted_and_positions() {
+        let sch = s(&[3, 1, 2]);
+        assert_eq!(sch.columns(), &[Sym(1), Sym(2), Sym(3)]);
+        assert_eq!(sch.position(Sym(2)), Some(1));
+        assert_eq!(sch.position(Sym(9)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn rejects_duplicates() {
+        s(&[1, 1]);
+    }
+
+    #[test]
+    fn rename_ok_and_err() {
+        let sch = s(&[1, 2]);
+        assert_eq!(sch.rename(Sym(1), Sym(5)), Some(s(&[5, 2])));
+        assert_eq!(sch.rename(Sym(9), Sym(5)), None, "absent source");
+        assert_eq!(sch.rename(Sym(1), Sym(2)), None, "target collision");
+        assert_eq!(sch.rename(Sym(1), Sym(1)), None, "self rename");
+    }
+
+    #[test]
+    fn antiproject_and_set_ops() {
+        let sch = s(&[1, 2, 3]);
+        assert_eq!(sch.antiproject(&[Sym(2)]), Some(s(&[1, 3])));
+        assert_eq!(sch.antiproject(&[Sym(7)]), None);
+        assert_eq!(sch.intersection(&s(&[2, 3, 4])), vec![Sym(2), Sym(3)]);
+        assert_eq!(sch.union(&s(&[3, 4])), s(&[1, 2, 3, 4]));
+    }
+
+    #[test]
+    fn positions_in_other() {
+        let a = s(&[1, 3]);
+        let b = s(&[1, 2, 3]);
+        assert_eq!(a.positions_in(&b), vec![Some(0), Some(2)]);
+        assert_eq!(b.positions_in(&a), vec![Some(0), None, Some(1)]);
+    }
+}

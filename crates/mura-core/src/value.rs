@@ -1,0 +1,136 @@
+//! Values and interned symbols.
+//!
+//! μ-RA tuples map column names to values. Values in graph workloads are
+//! overwhelmingly node identifiers and interned strings (labels, constants
+//! such as `Japan`), so [`Value`] is a compact `Copy` enum: 64-bit integers
+//! and interned symbols. Strings are interned once in a
+//! [`Dictionary`](crate::catalog::Dictionary) and referenced by [`Sym`].
+
+use std::fmt;
+
+/// An interned string: index into a [`Dictionary`](crate::catalog::Dictionary).
+///
+/// `Sym` is used for column names, relation names, recursion variable names
+/// and string-valued tuple fields. Two `Sym`s from the same dictionary are
+/// equal iff their strings are equal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Sym(pub u32);
+
+impl Sym {
+    /// Raw index of this symbol in its dictionary.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// A tuple field value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// 64-bit integer, used for graph node identifiers.
+    Int(i64),
+    /// Interned string (named constants such as `Japan`, RDF IRIs, …).
+    Str(Sym),
+}
+
+impl Value {
+    /// Convenience constructor for node identifiers.
+    #[inline]
+    pub fn node(id: u64) -> Self {
+        Value::Int(id as i64)
+    }
+
+    /// Returns the integer payload, if this is an `Int`.
+    #[inline]
+    pub fn as_int(self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(i),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// Returns the symbol payload, if this is a `Str`.
+    #[inline]
+    pub fn as_sym(self) -> Option<Sym> {
+        match self {
+            Value::Str(s) => Some(s),
+            Value::Int(_) => None,
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(i: u64) -> Self {
+        Value::Int(i as i64)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(i: u32) -> Self {
+        Value::Int(i as i64)
+    }
+}
+
+impl From<Sym> for Value {
+    fn from(s: Sym) -> Self {
+        Value::Str(s)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_is_small() {
+        // Hot type: rows are slices of Value. Keep it two words max.
+        assert!(std::mem::size_of::<Value>() <= 16);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3u32), Value::Int(3));
+        assert_eq!(Value::from(-7i64), Value::Int(-7));
+        assert_eq!(Value::from(Sym(4)), Value::Str(Sym(4)));
+        assert_eq!(Value::node(9), Value::Int(9));
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(5).as_int(), Some(5));
+        assert_eq!(Value::Int(5).as_sym(), None);
+        assert_eq!(Value::Str(Sym(2)).as_sym(), Some(Sym(2)));
+        assert_eq!(Value::Str(Sym(2)).as_int(), None);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut vs = vec![Value::Str(Sym(1)), Value::Int(2), Value::Int(1), Value::Str(Sym(0))];
+        vs.sort();
+        assert_eq!(
+            vs,
+            vec![Value::Int(1), Value::Int(2), Value::Str(Sym(0)), Value::Str(Sym(1))]
+        );
+    }
+}

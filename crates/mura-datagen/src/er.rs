@@ -1,0 +1,123 @@
+//! Erdős–Rényi random graphs (`rnd_n_p` in the paper's Table I).
+
+use crate::graph::Graph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates `rnd_n_p`: every unordered node pair `{i, j}` becomes a
+/// directed edge with probability `p`, with uniformly random orientation.
+///
+/// This matches the paper's counts (e.g. `rnd_10k_0.001` has ≈ 50k edges =
+/// `p · n(n-1)/2`). Pair enumeration uses geometric skipping, so generation
+/// is `O(edges)` rather than `O(n²)`.
+pub fn erdos_renyi(n: u64, p: f64, seed: u64) -> Graph {
+    assert!(n >= 2, "need at least two nodes");
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::new(n);
+    let label = g.add_label("edge");
+    if p == 0.0 {
+        return g;
+    }
+    let total_pairs = n * (n - 1) / 2;
+    // Skip-sampling: jump over non-edges with geometric gaps.
+    let log_q = (1.0 - p).ln();
+    let mut idx: u64 = 0;
+    loop {
+        if p < 1.0 {
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let skip = (u.ln() / log_q).floor() as u64;
+            idx = idx.saturating_add(skip);
+        }
+        if idx >= total_pairs {
+            break;
+        }
+        let (i, j) = pair_from_index(idx, n);
+        if rng.gen_bool(0.5) {
+            g.add_edge(i, label, j);
+        } else {
+            g.add_edge(j, label, i);
+        }
+        idx += 1;
+    }
+    g
+}
+
+/// Maps a linear index in `0..n(n-1)/2` to the unordered pair `(i, j)`,
+/// `i < j`, in row-major order over the strict upper triangle.
+fn pair_from_index(idx: u64, n: u64) -> (u64, u64) {
+    // Row i holds (n-1-i) pairs; find i by solving the triangular prefix.
+    // prefix(i) = i*n - i*(i+1)/2 pairs precede row i.
+    let mut lo = 0u64;
+    let mut hi = n - 1;
+    while lo < hi {
+        let mid = (lo + hi + 1) / 2;
+        let prefix = mid * n - mid * (mid + 1) / 2;
+        if prefix <= idx {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    let i = lo;
+    let prefix = i * n - i * (i + 1) / 2;
+    let j = i + 1 + (idx - prefix);
+    (i, j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_index_bijection() {
+        let n = 7;
+        let mut seen = std::collections::HashSet::new();
+        for idx in 0..n * (n - 1) / 2 {
+            let (i, j) = pair_from_index(idx, n);
+            assert!(i < j && j < n, "bad pair ({i},{j})");
+            assert!(seen.insert((i, j)), "duplicate pair");
+        }
+        assert_eq!(seen.len() as u64, n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn edge_count_close_to_expectation() {
+        let n = 2000;
+        let p = 0.002;
+        let g = erdos_renyi(n, p, 42);
+        let expect = (n * (n - 1) / 2) as f64 * p;
+        let got = g.edge_count() as f64;
+        assert!(
+            (got - expect).abs() < expect * 0.15,
+            "got {got}, expected about {expect}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = erdos_renyi(500, 0.01, 1);
+        let b = erdos_renyi(500, 0.01, 1);
+        let c = erdos_renyi(500, 0.01, 2);
+        assert_eq!(a.edges, b.edges);
+        assert_ne!(a.edges, c.edges);
+    }
+
+    #[test]
+    fn p_zero_and_one() {
+        assert_eq!(erdos_renyi(100, 0.0, 3).edge_count(), 0);
+        let full = erdos_renyi(50, 1.0, 3);
+        assert_eq!(full.edge_count() as u64, 50 * 49 / 2);
+    }
+
+    #[test]
+    fn no_self_loops_or_dup_pairs() {
+        let g = erdos_renyi(300, 0.05, 9);
+        let mut pairs = std::collections::HashSet::new();
+        for &(s, _, d) in &g.edges {
+            assert_ne!(s, d);
+            let key = (s.min(d), s.max(d));
+            assert!(pairs.insert(key), "pair sampled twice");
+        }
+    }
+}

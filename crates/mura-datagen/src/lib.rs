@@ -1,0 +1,40 @@
+//! # mura-datagen — graphs and datasets for Dist-μ-RA experiments
+//!
+//! The paper evaluates on real graphs (Yago2s, SNAP collections) and
+//! synthetic ones (Erdős–Rényi `rnd_n_p`, random trees `tree_n`, gMark
+//! Uniprot `uniprot_n`). Real downloads are not available offline, so this
+//! crate provides generators that preserve what the queries actually depend
+//! on: predicate schemas, selectivity skew, hierarchy shapes and transitive
+//! closure blow-up.
+//!
+//! * [`erdos_renyi`] — `rnd_n_p`: each unordered pair is an edge with
+//!   probability `p`, randomly oriented (matches the paper's edge counts:
+//!   `rnd_10k_0.001` ≈ 50k directed edges).
+//! * [`random_tree`] — `tree_n`: node *i+1* attaches to a uniformly random
+//!   earlier node.
+//! * [`with_random_labels`] — relabels a graph with `k` edge labels (for the
+//!   concatenated-closure and aⁿbⁿ experiments).
+//! * [`yago_like`] — a knowledge graph with the 15 predicates and the named
+//!   constants used by queries Q1–Q25.
+//! * [`uniprot_like`] — a gMark-style protein graph with the 7 predicates
+//!   used by queries Q26–Q50.
+//! * [`tc`] — exact transitive closure size via SCC condensation + bitsets
+//!   (regenerates Table I's `TC size` column).
+
+pub mod er;
+pub mod graph;
+pub mod io;
+pub mod tc;
+pub mod tree;
+pub mod uniprot;
+pub mod yago;
+pub mod zipf;
+
+pub use er::erdos_renyi;
+pub use graph::{with_random_labels, Graph};
+pub use io::{load_edge_list, parse_edge_list, save_edge_list};
+pub use tc::tc_size;
+pub use tree::random_tree;
+pub use uniprot::{uniprot_like, UniprotConfig};
+pub use yago::{yago_like, YagoConfig};
+pub use zipf::Zipf;

@@ -1,0 +1,63 @@
+//! Random recursive trees (`tree_n` in the paper's Table I).
+
+use crate::graph::Graph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates `tree_n`: starting from a single node, node `i` (for `i ≥ 1`)
+/// is attached as a child of a uniformly random node among `0..i`. Edges
+/// point parent → child, matching the paper's "connected as a child of a
+/// randomly selected node" construction (`n-1` edges).
+pub fn random_tree(n: u64, seed: u64) -> Graph {
+    assert!(n >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::new(n);
+    let label = g.add_label("edge");
+    for i in 1..n {
+        let parent = rng.gen_range(0..i);
+        g.add_edge(parent, label, i);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tc::tc_size;
+
+    #[test]
+    fn has_n_minus_one_edges() {
+        assert_eq!(random_tree(1, 0).edge_count(), 0);
+        assert_eq!(random_tree(100, 0).edge_count(), 99);
+    }
+
+    #[test]
+    fn every_nonroot_has_one_parent() {
+        let g = random_tree(200, 5);
+        let mut indeg = vec![0u32; 200];
+        for &(s, _, d) in &g.edges {
+            assert!(s < d, "parent must precede child");
+            indeg[d as usize] += 1;
+        }
+        assert_eq!(indeg[0], 0);
+        assert!(indeg[1..].iter().all(|&d| d == 1));
+    }
+
+    #[test]
+    fn tc_matches_depth_sum() {
+        // In a tree, |TC| = sum over nodes of their depth.
+        let g = random_tree(50, 1);
+        let mut parent = vec![u64::MAX; 50];
+        for &(s, _, d) in &g.edges {
+            parent[d as usize] = s;
+        }
+        let mut depth_sum = 0u64;
+        for mut v in 1..50u64 {
+            while parent[v as usize] != u64::MAX {
+                depth_sum += 1;
+                v = parent[v as usize];
+            }
+        }
+        assert_eq!(tc_size(&g), depth_sum);
+    }
+}

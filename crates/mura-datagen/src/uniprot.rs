@@ -1,0 +1,202 @@
+//! Uniprot-like protein graph generator (gMark-style).
+//!
+//! The paper generates `uniprot_n` graphs with the gMark benchmark tool
+//! modelling the Uniprot protein database. Queries Q26–Q50 use seven
+//! predicates; this generator produces the same schema with gMark's Zipfian
+//! degree skew:
+//!
+//! | predicate   | shape                    |
+//! |-------------|--------------------------|
+//! | interacts   | protein → protein        |
+//! | encodes     | protein → gene           |
+//! | occurs      | protein → tissue         |
+//! | hasKeyword  | protein → keyword        |
+//! | reference   | protein → reference      |
+//! | authoredBy  | reference → author       |
+//! | publishes   | reference → journal      |
+//!
+//! Hub constants are exported for the constant-anchored queries:
+//! `HubProtein`, `HubKeyword`, `HubJournal`.
+
+use crate::graph::Graph;
+use crate::zipf::Zipf;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Size knobs for [`uniprot_like`].
+#[derive(Debug, Clone, Copy)]
+pub struct UniprotConfig {
+    /// Approximate number of edges in the generated graph (the paper's
+    /// `uniprot_1M/5M/10M` are scaled through this knob).
+    pub target_edges: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for UniprotConfig {
+    fn default() -> Self {
+        UniprotConfig { target_edges: 50_000, seed: 0x09 }
+    }
+}
+
+/// Generates a Uniprot-schema graph. See the module docs.
+pub fn uniprot_like(cfg: UniprotConfig) -> Graph {
+    let e = cfg.target_edges.max(1000);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    let n_proteins = (e / 5).max(50);
+    let n_genes = (n_proteins / 2).max(20);
+    let n_tissues = (n_proteins / 50).max(15);
+    let n_keywords = (n_proteins / 20).max(20);
+    let n_refs = (n_proteins / 2).max(20);
+    let n_authors = (n_refs / 3).max(10);
+    let n_journals = (n_refs / 50).max(5);
+
+    let base_proteins = 0;
+    let base_genes = base_proteins + n_proteins;
+    let base_tissues = base_genes + n_genes;
+    let base_keywords = base_tissues + n_tissues;
+    let base_refs = base_keywords + n_keywords;
+    let base_authors = base_refs + n_refs;
+    let base_journals = base_authors + n_authors;
+    let n_total = base_journals + n_journals;
+
+    let mut g = Graph::new(n_total);
+    let l_int = g.add_label("interacts");
+    let l_enc = g.add_label("encodes");
+    let l_occ = g.add_label("occurs");
+    let l_kw = g.add_label("hasKeyword");
+    let l_ref = g.add_label("reference");
+    let l_auth = g.add_label("authoredBy");
+    let l_pub = g.add_label("publishes");
+
+    let zp = Zipf::new(n_proteins as usize, 0.6);
+    let zg = Zipf::new(n_genes as usize, 0.6);
+    let zt = Zipf::new(n_tissues as usize, 0.7);
+    let zk = Zipf::new(n_keywords as usize, 0.8);
+    let zr = Zipf::new(n_refs as usize, 0.6);
+    let za = Zipf::new(n_authors as usize, 0.7);
+    let zj = Zipf::new(n_journals as usize, 0.8);
+
+    // interacts: 30% of edges; both endpoints Zipf over proteins, so the
+    // hub protein is extremely connected (the (int)+ closure saturates).
+    for _ in 0..e * 30 / 100 {
+        let a = zp.sample(&mut rng) as u64;
+        let b = zp.sample(&mut rng) as u64;
+        if a != b {
+            g.add_edge(base_proteins + a, l_int, base_proteins + b);
+        }
+    }
+    // encodes: shared genes create the (enc/-enc)+ protein-similarity closure.
+    for _ in 0..e * 10 / 100 {
+        let p = rng.gen_range(0..n_proteins);
+        let gene = zg.sample(&mut rng) as u64;
+        g.add_edge(base_proteins + p, l_enc, base_genes + gene);
+    }
+    // occurs.
+    for _ in 0..e * 15 / 100 {
+        let p = rng.gen_range(0..n_proteins);
+        let t = zt.sample(&mut rng) as u64;
+        g.add_edge(base_proteins + p, l_occ, base_tissues + t);
+    }
+    // hasKeyword.
+    for _ in 0..e * 15 / 100 {
+        let p = rng.gen_range(0..n_proteins);
+        let k = zk.sample(&mut rng) as u64;
+        g.add_edge(base_proteins + p, l_kw, base_keywords + k);
+    }
+    // reference.
+    for _ in 0..e * 15 / 100 {
+        let p = rng.gen_range(0..n_proteins);
+        let r = zr.sample(&mut rng) as u64;
+        g.add_edge(base_proteins + p, l_ref, base_refs + r);
+    }
+    // authoredBy.
+    for _ in 0..e * 10 / 100 {
+        let r = rng.gen_range(0..n_refs);
+        let a = za.sample(&mut rng) as u64;
+        g.add_edge(base_refs + r, l_auth, base_authors + a);
+    }
+    // publishes (reference published in journal).
+    for _ in 0..e * 5 / 100 {
+        let r = rng.gen_range(0..n_refs);
+        let j = zj.sample(&mut rng) as u64;
+        g.add_edge(base_refs + r, l_pub, base_journals + j);
+    }
+
+    g.edges.sort_unstable();
+    g.edges.dedup();
+
+    g.name_node("HubProtein", base_proteins);
+    g.name_node("HubKeyword", base_keywords);
+    g.name_node("HubJournal", base_journals);
+    g.name_node("HubReference", base_refs);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_and_constants() {
+        let g = uniprot_like(UniprotConfig { target_edges: 5000, seed: 1 });
+        let counts = g.label_counts();
+        for pred in [
+            "interacts",
+            "encodes",
+            "occurs",
+            "hasKeyword",
+            "reference",
+            "authoredBy",
+            "publishes",
+        ] {
+            let c = counts.iter().find(|(n, _)| n == pred).unwrap();
+            assert!(c.1 > 0, "{pred} empty");
+        }
+        for name in ["HubProtein", "HubKeyword", "HubJournal"] {
+            assert!(g.named_nodes.iter().any(|(n, _)| n == name));
+        }
+    }
+
+    #[test]
+    fn interacts_dominates() {
+        let g = uniprot_like(UniprotConfig { target_edges: 20_000, seed: 2 });
+        let counts = g.label_counts();
+        let get = |p: &str| counts.iter().find(|(n, _)| n == p).unwrap().1;
+        assert!(get("interacts") > get("encodes"));
+        assert!(get("interacts") > get("publishes"));
+    }
+
+    #[test]
+    fn edge_count_near_target() {
+        let cfg = UniprotConfig { target_edges: 30_000, seed: 3 };
+        let g = uniprot_like(cfg);
+        let got = g.edge_count() as f64;
+        // All fractions sum to 100%; dedup removes a few.
+        assert!(got > 20_000.0 && got < 31_000.0, "got {got}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = uniprot_like(UniprotConfig { target_edges: 4000, seed: 4 });
+        let b = uniprot_like(UniprotConfig { target_edges: 4000, seed: 4 });
+        assert_eq!(a.edges, b.edges);
+    }
+
+    #[test]
+    fn type_partitions_do_not_overlap() {
+        // Every predicate must connect the right node kinds: spot-check that
+        // encodes sources are proteins (< n_proteins) and targets are genes.
+        let cfg = UniprotConfig { target_edges: 5000, seed: 5 };
+        let g = uniprot_like(cfg);
+        let n_proteins = (cfg.target_edges / 5).max(50);
+        let enc = g.labels.iter().position(|l| l == "encodes").unwrap() as u32;
+        for &(s, l, d) in &g.edges {
+            if l == enc {
+                assert!(s < n_proteins);
+                assert!(d >= n_proteins);
+            }
+        }
+    }
+}

@@ -1,0 +1,305 @@
+//! Yago-like knowledge graph generator.
+//!
+//! The paper queries Yago2s through 15 predicates (Fig. 5). Since the real
+//! dump is not available offline, this generator produces a graph with the
+//! same predicate schema, the same named constants, and the structural
+//! features the queries exercise:
+//!
+//! * a **deep `isLocatedIn` hierarchy** (city → city chains → region →
+//!   country) so `isL+` has nontrivial depth;
+//! * a **dense `dealsWith`** digraph over countries so `dw+` saturates;
+//! * a **Zipf-skewed `actedIn`** bipartite graph whose hub actor is named
+//!   `Kevin_Bacon`, making `(actedIn/-actedIn)+` the co-actor closure the
+//!   paper's Q9 navigates;
+//! * symmetric **`isConnectedTo`** flight connections with `Shannon_Airport`;
+//! * people relations (`isMarriedTo`, `hasChild`, `influences`, …) with the
+//!   acyclicity/symmetry each predicate has in Yago.
+
+use crate::graph::Graph;
+use crate::zipf::Zipf;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Size knobs for [`yago_like`]. `people` scales everything else.
+#[derive(Debug, Clone, Copy)]
+pub struct YagoConfig {
+    /// Number of person entities (the dominant entity kind).
+    pub people: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for YagoConfig {
+    fn default() -> Self {
+        YagoConfig { people: 2000, seed: 0xa60 }
+    }
+}
+
+/// Generates a Yago-schema knowledge graph. See the module docs.
+pub fn yago_like(cfg: YagoConfig) -> Graph {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let p = cfg.people.max(50);
+
+    // Entity id ranges (contiguous).
+    let n_countries = 40u64;
+    let n_regions = (p / 50).max(10);
+    let n_cities = (p / 10).max(30);
+    let n_movies = (p / 10).max(10);
+    let n_airports = (p / 50).max(12);
+    let n_companies = (p / 25).max(10);
+    let n_classes = 20u64;
+
+    let base_countries = 0;
+    let base_regions = base_countries + n_countries;
+    let base_cities = base_regions + n_regions;
+    let base_people = base_cities + n_cities;
+    let base_movies = base_people + p;
+    let base_airports = base_movies + n_movies;
+    let base_companies = base_airports + n_airports;
+    let base_classes = base_companies + n_companies;
+    let n_total = base_classes + n_classes;
+
+    let mut g = Graph::new(n_total);
+    let l_isl = g.add_label("isLocatedIn");
+    let l_dw = g.add_label("dealsWith");
+    let l_married = g.add_label("isMarriedTo");
+    let l_child = g.add_label("hasChild");
+    let l_infl = g.add_label("influences");
+    let l_succ = g.add_label("hasSuccessor");
+    let l_pred = g.add_label("hasPredecessor");
+    let l_advisor = g.add_label("hasAcademicAdvisor");
+    let l_lives = g.add_label("livesIn");
+    let l_born = g.add_label("wasBornIn");
+    let l_acted = g.add_label("actedIn");
+    let l_conn = g.add_label("isConnectedTo");
+    let l_owns = g.add_label("owns");
+    let l_type = g.add_label("type");
+    let l_subclass = g.add_label("subClassOf");
+
+    let zipf_country = Zipf::new(n_countries as usize, 0.8);
+    let zipf_city = Zipf::new(n_cities as usize, 0.7);
+
+    // isLocatedIn: 15% of cities chain under an earlier city (depth), the
+    // rest under a region; regions under Zipf-chosen countries.
+    for c in 0..n_cities {
+        if c > 0 && rng.gen_bool(0.15) {
+            let target = base_cities + rng.gen_range(0..c);
+            g.add_edge(base_cities + c, l_isl, target);
+        } else {
+            let r = base_regions + rng.gen_range(0..n_regions);
+            g.add_edge(base_cities + c, l_isl, r);
+        }
+    }
+    for r in 0..n_regions {
+        let country = base_countries + zipf_country.sample(&mut rng) as u64;
+        g.add_edge(base_regions + r, l_isl, country);
+    }
+    for comp in 0..n_companies {
+        let city = base_cities + zipf_city.sample(&mut rng) as u64;
+        g.add_edge(base_companies + comp, l_isl, city);
+    }
+    for a in 0..n_airports {
+        let city = base_cities + zipf_city.sample(&mut rng) as u64;
+        g.add_edge(base_airports + a, l_isl, city);
+    }
+
+    // dealsWith: each country trades with 2..=4 Zipf partners.
+    for c in 0..n_countries {
+        let k = rng.gen_range(2..=4);
+        for _ in 0..k {
+            let other = zipf_country.sample(&mut rng) as u64;
+            if other != c {
+                g.add_edge(base_countries + c, l_dw, base_countries + other);
+            }
+        }
+    }
+
+    // People relations.
+    let person = |i: u64| base_people + i;
+    for _ in 0..p / 3 {
+        let a = rng.gen_range(0..p);
+        let b = rng.gen_range(0..p);
+        if a != b {
+            g.add_edge(person(a), l_married, person(b));
+            g.add_edge(person(b), l_married, person(a));
+        }
+    }
+    for i in 0..p {
+        // hasChild: acyclic (children have higher ids), avg ~0.8.
+        if i + 1 < p {
+            let k = [0, 0, 1, 1, 2][rng.gen_range(0..5)];
+            for _ in 0..k {
+                let child = rng.gen_range(i + 1..p);
+                g.add_edge(person(i), l_child, person(child));
+            }
+        }
+        // livesIn / wasBornIn: exactly one city each.
+        g.add_edge(person(i), l_lives, base_cities + zipf_city.sample(&mut rng) as u64);
+        g.add_edge(person(i), l_born, base_cities + zipf_city.sample(&mut rng) as u64);
+    }
+    for (label, frac) in [(l_infl, 4u64), (l_succ, 5), (l_pred, 5), (l_advisor, 6)] {
+        for _ in 0..p / frac {
+            let a = rng.gen_range(0..p);
+            let b = rng.gen_range(0..p);
+            if a != b {
+                g.add_edge(person(a), label, person(b));
+            }
+        }
+    }
+
+    // actedIn: actors are the first third of people; Zipf rank 0 is the hub
+    // ("Kevin_Bacon"). Each movie casts 3..=8 actors.
+    let n_actors = (p / 3).max(5);
+    let zipf_actor = Zipf::new(n_actors as usize, 1.0);
+    for m in 0..n_movies {
+        let cast = rng.gen_range(3..=8);
+        for _ in 0..cast {
+            let actor = zipf_actor.sample(&mut rng) as u64;
+            g.add_edge(person(actor), l_acted, base_movies + m);
+        }
+    }
+
+    // isConnectedTo: 3 outgoing connections per airport, plus the reverse
+    // edge (flight connections are bidirectional in Yago).
+    for a in 0..n_airports {
+        for _ in 0..3 {
+            let b = rng.gen_range(0..n_airports);
+            if a != b {
+                g.add_edge(base_airports + a, l_conn, base_airports + b);
+                g.add_edge(base_airports + b, l_conn, base_airports + a);
+            }
+        }
+    }
+
+    // owns: sparse person → company.
+    for _ in 0..p / 10 {
+        let a = rng.gen_range(0..p);
+        let c = rng.gen_range(0..n_companies);
+        g.add_edge(person(a), l_owns, base_companies + c);
+    }
+
+    // type: cities typed; ~8% are capitals (class 0 = wce). subClassOf tree.
+    let zipf_class = Zipf::new(n_classes as usize - 1, 0.5);
+    for c in 0..n_cities {
+        let class = if rng.gen_bool(0.08) {
+            0
+        } else {
+            1 + zipf_class.sample(&mut rng) as u64
+        };
+        g.add_edge(base_cities + c, l_type, base_classes + class);
+    }
+    for cl in 1..n_classes {
+        g.add_edge(base_classes + cl, l_subclass, base_classes + cl / 2);
+    }
+
+    dedup_edges(&mut g);
+
+    // Named constants used by Q1..Q25.
+    g.name_node("United_States", base_countries);
+    g.name_node("USA", base_countries);
+    g.name_node("Japan", base_countries + 1);
+    g.name_node("Argentina", base_countries + 2);
+    g.name_node("Sweden", base_countries + 3);
+    g.name_node("India", base_countries + 4);
+    g.name_node("Germany", base_countries + 5);
+    g.name_node("Netherlands", base_countries + 6);
+    g.name_node("Kevin_Bacon", person(0));
+    g.name_node("John_Lawrence_Toole", person(1));
+    g.name_node("Jay_Kappraff", person(2));
+    g.name_node("Shannon_Airport", base_airports);
+    g.name_node("wikicat_Capitals_in_Europe", base_classes);
+    g
+}
+
+fn dedup_edges(g: &mut Graph) {
+    g.edges.sort_unstable();
+    g.edges.dedup();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_all_predicates_and_constants() {
+        let g = yago_like(YagoConfig { people: 300, seed: 1 });
+        for pred in [
+            "isLocatedIn",
+            "dealsWith",
+            "isMarriedTo",
+            "hasChild",
+            "influences",
+            "hasSuccessor",
+            "hasPredecessor",
+            "hasAcademicAdvisor",
+            "livesIn",
+            "wasBornIn",
+            "actedIn",
+            "isConnectedTo",
+            "owns",
+            "type",
+            "subClassOf",
+        ] {
+            let counts = g.label_counts();
+            let c = counts.iter().find(|(n, _)| n == pred).unwrap_or_else(|| panic!("{pred} missing"));
+            assert!(c.1 > 0, "{pred} has no edges");
+        }
+        for name in [
+            "Japan",
+            "United_States",
+            "USA",
+            "Kevin_Bacon",
+            "Shannon_Airport",
+            "wikicat_Capitals_in_Europe",
+        ] {
+            assert!(g.named_nodes.iter().any(|(n, _)| n == name), "{name} missing");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = yago_like(YagoConfig { people: 200, seed: 9 });
+        let b = yago_like(YagoConfig { people: 200, seed: 9 });
+        assert_eq!(a.edges, b.edges);
+    }
+
+    #[test]
+    fn kevin_bacon_is_the_hub_actor() {
+        let g = yago_like(YagoConfig { people: 600, seed: 2 });
+        let kb = g.named_nodes.iter().find(|(n, _)| n == "Kevin_Bacon").unwrap().1;
+        let acted = g.labels.iter().position(|l| l == "actedIn").unwrap() as u32;
+        let mut deg = std::collections::HashMap::new();
+        for &(s, l, _) in &g.edges {
+            if l == acted {
+                *deg.entry(s).or_insert(0u32) += 1;
+            }
+        }
+        let kb_deg = deg.get(&kb).copied().unwrap_or(0);
+        let max_deg = deg.values().copied().max().unwrap();
+        assert_eq!(kb_deg, max_deg, "hub actor must be Kevin_Bacon");
+    }
+
+    #[test]
+    fn located_in_reaches_countries() {
+        // Every city must reach some country through isLocatedIn+.
+        let g = yago_like(YagoConfig { people: 300, seed: 3 });
+        let isl = g.labels.iter().position(|l| l == "isLocatedIn").unwrap() as u32;
+        let mut next = std::collections::HashMap::new();
+        for &(s, l, d) in &g.edges {
+            if l == isl {
+                next.entry(s).or_insert_with(Vec::new).push(d);
+            }
+        }
+        // Follow any chain from each isLocatedIn source; must terminate < 50 hops.
+        for &start in next.keys() {
+            let mut cur = start;
+            let mut hops = 0;
+            while let Some(ds) = next.get(&cur) {
+                cur = ds[0];
+                hops += 1;
+                assert!(hops < 50, "isLocatedIn chain too deep / cyclic");
+            }
+            assert!(cur < 40, "chain from {start} ends at non-country {cur}");
+        }
+    }
+}

@@ -1,0 +1,312 @@
+//! Datalog abstract syntax with the restrictions the paper's systems rely
+//! on: positive programs (no negation), *linear* recursion, and safety
+//! (every head variable occurs in the body).
+
+use mura_core::{MuraError, Result, Value};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A term in an atom: a variable or a constant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DlTerm {
+    Var(String),
+    Cst(Value),
+}
+
+impl fmt::Display for DlTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DlTerm::Var(v) => write!(f, "{}", v.to_uppercase()),
+            DlTerm::Cst(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// A predicate applied to terms, e.g. `tc(X, Y)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DlAtom {
+    pub pred: String,
+    pub args: Vec<DlTerm>,
+}
+
+impl DlAtom {
+    /// Convenience constructor with variable arguments.
+    pub fn new(pred: &str, vars: &[&str]) -> Self {
+        DlAtom {
+            pred: pred.to_string(),
+            args: vars.iter().map(|v| DlTerm::Var(v.to_string())).collect(),
+        }
+    }
+
+    /// Variables occurring in the atom.
+    pub fn vars(&self) -> Vec<&str> {
+        self.args
+            .iter()
+            .filter_map(|t| match t {
+                DlTerm::Var(v) => Some(v.as_str()),
+                DlTerm::Cst(_) => None,
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for DlAtom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.pred)?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A Horn rule `head :- body`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    pub head: DlAtom,
+    pub body: Vec<DlAtom>,
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} :- ", self.head)?;
+        for (i, a) in self.body.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ".")
+    }
+}
+
+/// A Datalog program with a goal atom.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    pub rules: Vec<Rule>,
+    /// The answer predicate (all-variable atom).
+    pub query: DlAtom,
+}
+
+impl Program {
+    /// Names of intensional predicates (those with rules).
+    pub fn idb_preds(&self) -> BTreeSet<&str> {
+        self.rules.iter().map(|r| r.head.pred.as_str()).collect()
+    }
+
+    /// Names of extensional predicates (referenced but never derived).
+    pub fn edb_preds(&self) -> BTreeSet<&str> {
+        let idb = self.idb_preds();
+        self.rules
+            .iter()
+            .flat_map(|r| r.body.iter())
+            .map(|a| a.pred.as_str())
+            .filter(|p| !idb.contains(p))
+            .collect()
+    }
+
+    /// Checks the paper-level restrictions: safety (head variables bound in
+    /// the body, no constants in heads), consistent arities, **linear**
+    /// recursion (at most one occurrence of the head's own predicate per
+    /// body), no mutual recursion between predicates, and a defined query
+    /// predicate.
+    pub fn validate(&self) -> Result<()> {
+        let err = |m: String| Err(MuraError::Frontend(m));
+        // Arities.
+        let mut arity: std::collections::BTreeMap<String, usize> = Default::default();
+        let mut check_arity = |a: &DlAtom| -> Result<()> {
+            match arity.get(&a.pred) {
+                Some(&k) if k != a.args.len() => Err(MuraError::Frontend(format!(
+                    "predicate {} used with arities {} and {}",
+                    a.pred,
+                    k,
+                    a.args.len()
+                ))),
+                _ => {
+                    arity.insert(a.pred.clone(), a.args.len());
+                    Ok(())
+                }
+            }
+        };
+        for r in &self.rules {
+            check_arity(&r.head)?;
+            for a in &r.body {
+                check_arity(a)?;
+            }
+        }
+        check_arity(&self.query)?;
+        for r in &self.rules {
+            if r.body.is_empty() {
+                return err(format!("rule {} has an empty body", r));
+            }
+            let body_vars: BTreeSet<&str> = r.body.iter().flat_map(|a| a.vars()).collect();
+            for t in &r.head.args {
+                match t {
+                    DlTerm::Var(v) => {
+                        if !body_vars.contains(v.as_str()) {
+                            return err(format!("unsafe rule (head var {v} unbound): {r}"));
+                        }
+                    }
+                    DlTerm::Cst(_) => {
+                        return err(format!("constants in rule heads are unsupported: {r}"))
+                    }
+                }
+            }
+            // Head vars must be distinct.
+            let hv: Vec<&str> = r.head.vars();
+            let hset: BTreeSet<&str> = hv.iter().copied().collect();
+            if hv.len() != hset.len() {
+                return err(format!("repeated head variable: {r}"));
+            }
+            // Linearity.
+            let self_atoms = r.body.iter().filter(|a| a.pred == r.head.pred).count();
+            if self_atoms > 1 {
+                return err(format!("non-linear recursion: {r}"));
+            }
+        }
+        // No mutual recursion: the predicate dependency graph, restricted
+        // to IDB→IDB edges excluding self-loops, must be acyclic.
+        let idb: Vec<&str> = self.idb_preds().into_iter().collect();
+        let index = |p: &str| idb.iter().position(|q| *q == p);
+        let n = idb.len();
+        let mut adj = vec![Vec::new(); n];
+        for r in &self.rules {
+            let h = index(&r.head.pred).expect("head is idb");
+            for a in &r.body {
+                if let Some(b) = index(&a.pred) {
+                    if b != h {
+                        adj[h].push(b);
+                    }
+                }
+            }
+        }
+        // Cycle detection (3-color DFS).
+        let mut color = vec![0u8; n];
+        fn dfs(v: usize, adj: &[Vec<usize>], color: &mut [u8]) -> bool {
+            color[v] = 1;
+            for &w in &adj[v] {
+                if color[w] == 1 || (color[w] == 0 && dfs(w, adj, color)) {
+                    return true;
+                }
+            }
+            color[v] = 2;
+            false
+        }
+        for v in 0..n {
+            if color[v] == 0 && dfs(v, &adj, &mut color) {
+                return err("mutual recursion between predicates is unsupported".into());
+            }
+        }
+        if !self.idb_preds().contains(self.query.pred.as_str()) {
+            return err(format!("query predicate {} has no rules", self.query.pred));
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.rules {
+            writeln!(f, "{r}")?;
+        }
+        write!(f, "?- {}.", self.query)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// tc(X,Y) :- edge(X,Y). tc(X,Y) :- tc(X,Z), edge(Z,Y).
+    fn tc_program() -> Program {
+        Program {
+            rules: vec![
+                Rule {
+                    head: DlAtom::new("tc", &["x", "y"]),
+                    body: vec![DlAtom::new("edge", &["x", "y"])],
+                },
+                Rule {
+                    head: DlAtom::new("tc", &["x", "y"]),
+                    body: vec![DlAtom::new("tc", &["x", "z"]), DlAtom::new("edge", &["z", "y"])],
+                },
+            ],
+            query: DlAtom::new("tc", &["x", "y"]),
+        }
+    }
+
+    #[test]
+    fn tc_program_validates() {
+        tc_program().validate().unwrap();
+    }
+
+    #[test]
+    fn idb_edb_partition() {
+        let p = tc_program();
+        assert_eq!(p.idb_preds().into_iter().collect::<Vec<_>>(), vec!["tc"]);
+        assert_eq!(p.edb_preds().into_iter().collect::<Vec<_>>(), vec!["edge"]);
+    }
+
+    #[test]
+    fn display_is_datalog_syntax() {
+        let p = tc_program();
+        let s = p.to_string();
+        assert!(s.contains("tc(X, Y) :- edge(X, Y)."), "{s}");
+        assert!(s.contains("?- tc(X, Y)."), "{s}");
+    }
+
+    #[test]
+    fn rejects_unsafe_rule() {
+        let mut p = tc_program();
+        p.rules[0].head.args.push(DlTerm::Var("w".into()));
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_nonlinear() {
+        let p = Program {
+            rules: vec![
+                Rule {
+                    head: DlAtom::new("p", &["x", "y"]),
+                    body: vec![DlAtom::new("e", &["x", "y"])],
+                },
+                Rule {
+                    head: DlAtom::new("p", &["x", "y"]),
+                    body: vec![DlAtom::new("p", &["x", "z"]), DlAtom::new("p", &["z", "y"])],
+                },
+            ],
+            query: DlAtom::new("p", &["x", "y"]),
+        };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_mutual_recursion() {
+        let p = Program {
+            rules: vec![
+                Rule {
+                    head: DlAtom::new("p", &["x", "y"]),
+                    body: vec![DlAtom::new("q", &["x", "y"])],
+                },
+                Rule {
+                    head: DlAtom::new("q", &["x", "y"]),
+                    body: vec![DlAtom::new("p", &["x", "y"])],
+                },
+            ],
+            query: DlAtom::new("p", &["x", "y"]),
+        };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_arity_mismatch_and_missing_query() {
+        let mut p = tc_program();
+        p.rules[1].body[1] = DlAtom::new("edge", &["z"]);
+        assert!(p.validate().is_err());
+        let mut p2 = tc_program();
+        p2.query = DlAtom::new("nope", &["x"]);
+        assert!(p2.validate().is_err());
+    }
+}

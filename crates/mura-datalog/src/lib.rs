@@ -1,0 +1,34 @@
+//! # mura-datalog — Datalog engine baselines
+//!
+//! The paper compares Dist-μ-RA against two distributed Datalog systems:
+//! **BigDatalog** (SIGMOD'16, Datalog on Spark) and **Myria** (VLDB'15).
+//! This crate rebuilds that comparison axis as a real linear-Datalog
+//! pipeline on the same substrate:
+//!
+//! 1. a Datalog [`ast`] with validation (safety, linear recursion);
+//! 2. a UCRPQ → Datalog [`translate`]r that writes programs **left to
+//!    right** — exactly how the paper feeds regular path queries to
+//!    BigDatalog, and the root of its optimization asymmetry;
+//! 3. a Datalog → μ-RA [`compile`]r (rules become joins; self-recursive
+//!    predicates become fixpoints);
+//! 4. an [`engine`] with two styles:
+//!    * [`DatalogStyle::BigDatalog`] — magic-sets-equivalent rewrites only
+//!      (selections/projections pushed in the written direction; **no**
+//!      fixpoint merging or reversal, §VI), GPS-style decomposable plans
+//!      (the `P_plw`-like SetRDD execution when the first argument is
+//!      preserved);
+//!    * [`DatalogStyle::Myria`] — incremental (semi-naive) evaluation but
+//!      no recursion-aware logical optimization and no `P_plw` equivalent:
+//!      every iteration synchronizes globally.
+
+pub mod ast;
+pub mod compile;
+pub mod engine;
+pub mod parser;
+pub mod translate;
+
+pub use ast::{DlAtom, DlTerm, Program, Rule};
+pub use compile::compile_program;
+pub use engine::{DatalogEngine, DatalogStyle};
+pub use parser::parse_program;
+pub use translate::ucrpq_to_program;

@@ -1,0 +1,241 @@
+//! UCRPQ → Datalog translation, **written left to right**.
+//!
+//! This mirrors how the paper feeds regular path queries to BigDatalog:
+//! a closure `p+` becomes
+//!
+//! ```text
+//! plusK(X, Y) :- p(X, Y).
+//! plusK(X, Y) :- plusK(X, Z), p(Z, Y).
+//! ```
+//!
+//! Constants at the *left* endpoint become bound first arguments that the
+//! magic-sets-equivalent optimization can exploit (specializing the seed);
+//! constants at the *right* endpoint end up as plain filters applied after
+//! the full closure is computed — the asymmetry the paper attributes to
+//! Datalog engines that cannot reverse fixpoints (§VI).
+
+use crate::ast::{DlAtom, DlTerm, Program, Rule};
+use mura_core::{Database, MuraError, Result, Value};
+use mura_ucrpq::translate::normalize;
+use mura_ucrpq::{Endpoint, Path, Ucrpq};
+
+struct Ctx<'a> {
+    rules: Vec<Rule>,
+    fresh_pred: u32,
+    fresh_var: u32,
+    db: &'a Database,
+}
+
+impl Ctx<'_> {
+    fn fresh_pred(&mut self, hint: &str) -> String {
+        self.fresh_pred += 1;
+        format!("{hint}_{}", self.fresh_pred)
+    }
+
+    fn fresh_var(&mut self) -> String {
+        self.fresh_var += 1;
+        // '$' cannot occur in parsed query variables, so no collisions.
+        format!("mid${}", self.fresh_var)
+    }
+
+    /// Emits body atoms traversing `path` from variable `from` to `to`.
+    fn path_atoms(&mut self, path: &Path, from: &str, to: &str) -> Result<Vec<DlAtom>> {
+        Ok(match path {
+            Path::Label(l) => {
+                if self.db.relation_by_name(l).is_none() {
+                    return Err(MuraError::Frontend(format!("unknown edge label '{l}'")));
+                }
+                vec![DlAtom::new(l, &[from, to])]
+            }
+            Path::Inverse(inner) => {
+                let Path::Label(l) = &**inner else {
+                    return Err(MuraError::Frontend(
+                        "inverse of a compound path must be normalized away".into(),
+                    ));
+                };
+                if self.db.relation_by_name(l).is_none() {
+                    return Err(MuraError::Frontend(format!("unknown edge label '{l}'")));
+                }
+                vec![DlAtom::new(l, &[to, from])]
+            }
+            Path::Concat(a, b) => {
+                let mid = self.fresh_var();
+                let mut atoms = self.path_atoms(a, from, &mid)?;
+                atoms.extend(self.path_atoms(b, &mid, to)?);
+                atoms
+            }
+            Path::Alt(_, _) => {
+                // A fresh predicate with one rule per branch.
+                let pred = self.fresh_pred("alt");
+                for branch in mura_ucrpq::translate::alt_list(path) {
+                    let body = self.path_atoms(branch, "x", "y")?;
+                    let head = DlAtom::new(&pred, &["x", "y"]);
+                    self.rules.push(Rule { head, body });
+                }
+                vec![DlAtom::new(&pred, &[from, to])]
+            }
+            Path::Plus(inner) => {
+                let pred = self.fresh_pred("plus");
+                // Base: plus(X,Y) :- inner(X,Y).
+                let base_body = self.path_atoms(inner, "x", "y")?;
+                self.rules.push(Rule { head: DlAtom::new(&pred, &["x", "y"]), body: base_body });
+                // Left-to-right recursion: plus(X,Y) :- plus(X,Z), inner(Z,Y).
+                let mut rec_body = vec![DlAtom::new(&pred, &["x", "z"])];
+                rec_body.extend(self.path_atoms(inner, "z", "y")?);
+                self.rules.push(Rule { head: DlAtom::new(&pred, &["x", "y"]), body: rec_body });
+                vec![DlAtom::new(&pred, &[from, to])]
+            }
+            Path::Star(_) | Path::Optional(_) => {
+                return Err(MuraError::Frontend("'*' must be normalized away".into()))
+            }
+        })
+    }
+}
+
+fn resolve_const(name: &str, db: &Database) -> Result<Value> {
+    if let Some(v) = db.constant(name) {
+        return Ok(v);
+    }
+    name.parse::<i64>()
+        .map(Value::Int)
+        .map_err(|_| MuraError::Frontend(format!("unknown constant '{name}'")))
+}
+
+/// Translates a UCRPQ into a left-to-right Datalog program whose goal
+/// predicate is `goal/|head|`.
+pub fn ucrpq_to_program(q: &Ucrpq, db: &Database) -> Result<Program> {
+    let mut ctx = Ctx { rules: Vec::new(), fresh_pred: 0, fresh_var: 0, db };
+    let head_vars: Vec<&str> = q.head().iter().map(|s| s.as_str()).collect();
+    for branch in &q.branches {
+        let mut body = Vec::new();
+        for atom in &branch.atoms {
+            let (core, eps) = normalize(&atom.path);
+            if eps {
+                return Err(MuraError::Frontend(format!(
+                    "path '{}' can match the empty word",
+                    atom.path
+                )));
+            }
+            let core = core.ok_or_else(|| {
+                MuraError::Frontend(format!("path '{}' denotes only the empty word", atom.path))
+            })?;
+            // Endpoints: variables stay variables; constants become fresh
+            // variables bound by equality — inlined directly as constant
+            // arguments on the produced atoms.
+            let (from, from_const) = match &atom.left {
+                Endpoint::Var(v) => (v.clone(), None),
+                Endpoint::Const(c) => (ctx.fresh_var(), Some(resolve_const(c, db)?)),
+            };
+            let (to, to_const) = match &atom.right {
+                Endpoint::Var(v) => (v.clone(), None),
+                Endpoint::Const(c) => (ctx.fresh_var(), Some(resolve_const(c, db)?)),
+            };
+            let mut atoms = ctx.path_atoms(&core, &from, &to)?;
+            // Substitute constant endpoints into the atoms.
+            for a in &mut atoms {
+                for t in &mut a.args {
+                    let DlTerm::Var(v) = t else { continue };
+                    if let Some(c) = from_const.filter(|_| *v == from) {
+                        *t = DlTerm::Cst(c);
+                    } else if let Some(c) = to_const.filter(|_| *v == to) {
+                        *t = DlTerm::Cst(c);
+                    }
+                }
+            }
+            body.extend(atoms);
+        }
+        ctx.rules.push(Rule {
+            head: DlAtom {
+                pred: "goal".to_string(),
+                args: head_vars.iter().map(|v| DlTerm::Var(v.to_string())).collect(),
+            },
+            body,
+        });
+    }
+    let program = Program {
+        rules: ctx.rules,
+        query: DlAtom {
+            pred: "goal".to_string(),
+            args: head_vars.iter().map(|v| DlTerm::Var(v.to_string())).collect(),
+        },
+    };
+    program.validate()?;
+    Ok(program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mura_core::Relation;
+    use mura_ucrpq::parse_ucrpq;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        let src = db.intern("src");
+        let dst = db.intern("dst");
+        db.insert_relation("a", Relation::from_pairs(src, dst, [(0, 1), (1, 2)]));
+        db.insert_relation("b", Relation::from_pairs(src, dst, [(2, 3)]));
+        db.bind_constant("C", Value::node(3));
+        db
+    }
+
+    #[test]
+    fn closure_becomes_left_to_right_rules() {
+        let q = parse_ucrpq("?x, ?y <- ?x a+ ?y").unwrap();
+        let p = ucrpq_to_program(&q, &db()).unwrap();
+        let text = p.to_string();
+        // The recursive rule must extend on the right.
+        assert!(text.contains("plus_1(X, Y) :- plus_1(X, Z), a(Z, Y)."), "{text}");
+        assert!(text.contains("goal(X, Y) :- plus_1(X, Y)."), "{text}");
+    }
+
+    #[test]
+    fn left_constant_is_inlined() {
+        let q = parse_ucrpq("?y <- C a+ ?y").unwrap();
+        let p = ucrpq_to_program(&q, &db()).unwrap();
+        let text = p.to_string();
+        assert!(text.contains("goal(Y) :- plus_1(3, Y)."), "{text}");
+    }
+
+    #[test]
+    fn inverse_swaps_arguments() {
+        let q = parse_ucrpq("?x, ?y <- ?x -a ?y").unwrap();
+        let p = ucrpq_to_program(&q, &db()).unwrap();
+        assert!(p.to_string().contains("goal(X, Y) :- a(Y, X)."), "{p}");
+    }
+
+    #[test]
+    fn alternation_gets_multiple_rules() {
+        let q = parse_ucrpq("?x, ?y <- ?x (a|b) ?y").unwrap();
+        let p = ucrpq_to_program(&q, &db()).unwrap();
+        let n_alt_rules = p.rules.iter().filter(|r| r.head.pred.starts_with("alt")).count();
+        assert_eq!(n_alt_rules, 2);
+    }
+
+    #[test]
+    fn conjunction_in_one_rule() {
+        let q = parse_ucrpq("?x, ?z <- ?x a ?y, ?y b ?z").unwrap();
+        let p = ucrpq_to_program(&q, &db()).unwrap();
+        let goal = p.rules.iter().find(|r| r.head.pred == "goal").unwrap();
+        assert_eq!(goal.body.len(), 2);
+    }
+
+    #[test]
+    fn produced_programs_validate() {
+        for q in [
+            "?x <- ?x a+/b C",
+            "?x, ?y <- ?x (a/-a)+ ?y",
+            "?x <- C (a|b)+ ?x",
+            "?x, ?y <- ?x a+ ?y ; ?x, ?y <- ?x b ?y",
+        ] {
+            let parsed = parse_ucrpq(q).unwrap();
+            ucrpq_to_program(&parsed, &db()).unwrap_or_else(|e| panic!("{q}: {e}"));
+        }
+    }
+
+    #[test]
+    fn unknown_label_rejected() {
+        let q = parse_ucrpq("?x, ?y <- ?x nope ?y").unwrap();
+        assert!(ucrpq_to_program(&q, &db()).is_err());
+    }
+}

@@ -1,0 +1,97 @@
+//! The simulated cluster: a worker pool plus shared communication metrics.
+//!
+//! Workers are real OS threads (scoped), so partition-parallel operators
+//! genuinely run in parallel; "communication" is modeled as movement of
+//! rows between partitions and is charged to [`CommStats`].
+
+use crate::metrics::CommStats;
+use std::sync::Arc;
+
+/// A simulated Spark-like cluster.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    workers: usize,
+    metrics: Arc<CommStats>,
+}
+
+impl Cluster {
+    /// A cluster with `workers` workers (the paper uses 4).
+    pub fn new(workers: usize) -> Self {
+        assert!(workers >= 1, "need at least one worker");
+        Cluster { workers, metrics: Arc::new(CommStats::default()) }
+    }
+
+    /// Number of workers (= number of partitions of every dataset).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Shared communication counters.
+    pub fn metrics(&self) -> &CommStats {
+        &self.metrics
+    }
+
+    /// Runs `f(i, &items[i])` on every worker in parallel, collecting the
+    /// results in worker order.
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        assert_eq!(items.len(), self.workers, "one item per worker expected");
+        if self.workers == 1 {
+            return vec![f(0, &items[0])];
+        }
+        std::thread::scope(|s| {
+            let handles: Vec<_> = items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| s.spawn({ let f = &f; move || f(i, item) }))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        })
+    }
+}
+
+impl Default for Cluster {
+    /// The paper's 4-worker setup.
+    fn default() -> Self {
+        Cluster::new(4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let c = Cluster::new(4);
+        let data = vec![1u64, 2, 3, 4];
+        let out = c.par_map(&data, |i, x| (i, x * 10));
+        assert_eq!(out, vec![(0, 10), (1, 20), (2, 30), (3, 40)]);
+    }
+
+    #[test]
+    fn single_worker_runs_inline() {
+        let c = Cluster::new(1);
+        let out = c.par_map(&[7u64], |_, x| x + 1);
+        assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one item per worker")]
+    fn wrong_partition_count_panics() {
+        let c = Cluster::new(2);
+        c.par_map(&[1], |_, x| *x);
+    }
+
+    #[test]
+    fn metrics_shared_across_clones() {
+        let c = Cluster::new(2);
+        let c2 = c.clone();
+        c.metrics().record_shuffle(5);
+        assert_eq!(c2.metrics().snapshot().rows_shuffled, 5);
+    }
+}

@@ -1,0 +1,268 @@
+//! The Dist-μ-RA query engine: the full pipeline of the paper's Fig. 3.
+//!
+//! `UCRPQ → Query2Mu → MuRewriter + CostEstimator → PhysicalPlanGenerator →
+//! distributed execution`, returning both the answer relation and the
+//! execution/communication statistics.
+
+use crate::exec::{DistEvaluator, ExecConfig, ExecStats};
+use crate::metrics::CommSnapshot;
+use mura_core::{Database, Relation, Result, Term};
+use mura_rewrite::Rewriter;
+use mura_ucrpq::{parse_ucrpq, to_mura};
+use std::time::{Duration, Instant};
+
+/// Result of a query execution.
+#[derive(Debug, Clone)]
+pub struct QueryOutput {
+    /// The answer relation.
+    pub relation: Relation,
+    /// Wall-clock time of planning + execution.
+    pub wall: Duration,
+    /// Execution counters.
+    pub stats: ExecStats,
+    /// Communication during this query.
+    pub comm: CommSnapshot,
+    /// The optimized logical plan that was executed.
+    pub plan: Term,
+}
+
+impl QueryOutput {
+    /// Renders a physical-plan explanation: the operator tree with every
+    /// fixpoint annotated by its stable columns and the plan the
+    /// `PhysicalPlanGenerator` policy selects for it (§IV-B c).
+    pub fn explain(&self, db: &Database) -> String {
+        let mut out = String::new();
+        let mut env = mura_core::analysis::TypeEnv::from_db(db);
+        explain_rec(&self.plan, db, &mut env, 0, &mut out);
+        out
+    }
+}
+
+fn explain_rec(
+    t: &Term,
+    db: &Database,
+    env: &mut mura_core::analysis::TypeEnv,
+    depth: usize,
+    out: &mut String,
+) {
+    use std::fmt::Write;
+    let pad = "  ".repeat(depth);
+    match t {
+        Term::Var(v) => {
+            let _ = writeln!(out, "{pad}scan {}", db.dict().resolve(*v));
+        }
+        Term::Cst(r) => {
+            let _ = writeln!(out, "{pad}const [{} rows]", r.len());
+        }
+        Term::Filter(ps, inner) => {
+            let _ = writeln!(out, "{pad}filter ({} predicates)", ps.len());
+            explain_rec(inner, db, env, depth + 1, out);
+        }
+        Term::Rename(a, b, inner) => {
+            let _ = writeln!(
+                out,
+                "{pad}rename {} -> {}",
+                db.dict().resolve(*a),
+                db.dict().resolve(*b)
+            );
+            explain_rec(inner, db, env, depth + 1, out);
+        }
+        Term::AntiProject(cs, inner) => {
+            let cols: Vec<&str> = cs.iter().map(|c| db.dict().resolve(*c)).collect();
+            let _ = writeln!(out, "{pad}drop {}", cols.join(","));
+            explain_rec(inner, db, env, depth + 1, out);
+        }
+        Term::Join(a, b) => {
+            let _ = writeln!(out, "{pad}join");
+            explain_rec(a, db, env, depth + 1, out);
+            explain_rec(b, db, env, depth + 1, out);
+        }
+        Term::Antijoin(a, b) => {
+            let _ = writeln!(out, "{pad}antijoin");
+            explain_rec(a, db, env, depth + 1, out);
+            explain_rec(b, db, env, depth + 1, out);
+        }
+        Term::Union(a, b) => {
+            let _ = writeln!(out, "{pad}union");
+            explain_rec(a, db, env, depth + 1, out);
+            explain_rec(b, db, env, depth + 1, out);
+        }
+        Term::Fix(x, body) => {
+            let note = match mura_core::analysis::stable_columns(*x, body, env) {
+                Ok(stable) if !stable.is_empty() => {
+                    let cols: Vec<&str> =
+                        stable.iter().map(|c| db.dict().resolve(*c)).collect();
+                    format!("stable: {} -> P_plw", cols.join(","))
+                }
+                Ok(_) => "no stable column -> P_gld".to_string(),
+                Err(e) => format!("analysis failed: {e}"),
+            };
+            let _ = writeln!(out, "{pad}fixpoint μ({}) [{note}]", db.dict().resolve(*x));
+            // Bind the recursion variable's schema while explaining the body.
+            let schema = mura_core::analysis::infer_schema(t, env).ok();
+            let prev = schema.map(|s| (env.bind(*x, s.clone()), s));
+            explain_rec(body, db, env, depth + 1, out);
+            if let Some((prev, _)) = prev {
+                env.unbind(*x, prev);
+            }
+        }
+    }
+}
+
+/// The end-to-end Dist-μ-RA engine over one database.
+pub struct QueryEngine {
+    db: Database,
+    config: ExecConfig,
+    /// Skip the logical rewriter (for ablation experiments).
+    optimize: bool,
+}
+
+impl QueryEngine {
+    /// Engine with default configuration (4 workers, auto plan selection).
+    pub fn new(db: Database) -> Self {
+        QueryEngine { db, config: ExecConfig::default(), optimize: true }
+    }
+
+    /// Engine with an explicit configuration.
+    pub fn with_config(db: Database, config: ExecConfig) -> Self {
+        QueryEngine { db, config, optimize: true }
+    }
+
+    /// Disables the logical rewriter (naive plans; ablation baseline).
+    pub fn without_rewrites(mut self) -> Self {
+        self.optimize = false;
+        self
+    }
+
+    /// The database (e.g. to resolve result symbols).
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// Mutable database access (load more relations / constants).
+    pub fn db_mut(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    /// Current execution configuration.
+    pub fn config(&self) -> &ExecConfig {
+        &self.config
+    }
+
+    /// Parses, optimizes and executes a UCRPQ.
+    pub fn run_ucrpq(&mut self, query: &str) -> Result<QueryOutput> {
+        let q = parse_ucrpq(query)?;
+        let term = to_mura(&q, &mut self.db)?;
+        self.run_term(&term)
+    }
+
+    /// Optimizes and executes a μ-RA term.
+    pub fn run_term(&mut self, term: &Term) -> Result<QueryOutput> {
+        let start = Instant::now();
+        let plan = if self.optimize {
+            let rewriter = Rewriter::new(&mut self.db);
+            rewriter.optimize(term, &mut self.db)?
+        } else {
+            term.clone()
+        };
+        let mut ev = DistEvaluator::new(&self.db, self.config.clone());
+        let before = ev.cluster().metrics().snapshot();
+        let relation = ev.eval_collect(&plan)?;
+        let comm = ev.cluster().metrics().snapshot().since(&before);
+        Ok(QueryOutput {
+            relation,
+            wall: start.elapsed(),
+            stats: ev.stats().clone(),
+            comm,
+            plan,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::FixpointPlan;
+    use mura_core::{eval, Value};
+    use mura_datagen::{erdos_renyi, with_random_labels};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn engine() -> QueryEngine {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = erdos_renyi(200, 0.012, 5);
+        let lg = with_random_labels(&g, 2, &mut rng);
+        let mut db = lg.to_database();
+        db.bind_constant("C", Value::node(11));
+        QueryEngine::new(db)
+    }
+
+    #[test]
+    fn end_to_end_matches_centralized() {
+        let mut e = engine();
+        for q in [
+            "?x, ?y <- ?x a1+ ?y",
+            "?x <- ?x a1+ C",
+            "?x <- C a1+ ?x",
+            "?x, ?y <- ?x a1+/a2 ?y",
+            "?x, ?y <- ?x a2/a1+ ?y",
+            "?x, ?y <- ?x a1+/a2+ ?y",
+        ] {
+            let out = e.run_ucrpq(q).unwrap();
+            // Reference: unoptimized centralized evaluation.
+            let parsed = mura_ucrpq::parse_ucrpq(q).unwrap();
+            let term = mura_ucrpq::to_mura(&parsed, e.db_mut()).unwrap();
+            let expected = eval(&term, e.db()).unwrap();
+            assert_eq!(
+                out.relation.sorted_rows(),
+                expected.sorted_rows(),
+                "query {q} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn without_rewrites_same_answers() {
+        let mut opt = engine();
+        let mut naive = engine().without_rewrites();
+        let q = "?x <- ?x a1+ C";
+        let a = opt.run_ucrpq(q).unwrap();
+        let b = naive.run_ucrpq(q).unwrap();
+        assert_eq!(a.relation.sorted_rows(), b.relation.sorted_rows());
+    }
+
+    #[test]
+    fn plan_override_is_respected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = erdos_renyi(100, 0.02, 5);
+        let lg = with_random_labels(&g, 2, &mut rng);
+        let db = lg.to_database();
+        let config = ExecConfig { plan: FixpointPlan::ForceGld, ..Default::default() };
+        let mut e = QueryEngine::with_config(db, config);
+        let out = e.run_ucrpq("?x, ?y <- ?x a1+ ?y").unwrap();
+        assert!(out.stats.gld_fixpoints >= 1);
+        assert_eq!(out.stats.plw_fixpoints, 0);
+    }
+
+    #[test]
+    fn explain_annotates_fixpoints() {
+        let mut e = engine();
+        let out = e.run_ucrpq("?x, ?y <- ?x a1+ ?y").unwrap();
+        let plan = out.explain(e.db());
+        assert!(plan.contains("fixpoint"), "{plan}");
+        assert!(plan.contains("P_plw"), "stable closure must pick P_plw:\n{plan}");
+        let out2 = e.run_ucrpq("?x, ?y <- ?x a1+/a2+ ?y").unwrap();
+        let plan2 = out2.explain(e.db());
+        assert!(plan2.contains("P_gld"), "merged fixpoint has no stable column:\n{plan2}");
+    }
+
+    #[test]
+    fn output_reports_comm_and_plan() {
+        let mut e = engine();
+        let out = e.run_ucrpq("?x, ?y <- ?x a1+ ?y").unwrap();
+        assert!(out.stats.fixpoint_iterations >= 1);
+        assert!(out.plan.fixpoint_count() >= 1);
+        // Some data always moves (broadcasts or shuffles).
+        assert!(out.comm.rows_broadcast + out.comm.rows_shuffled > 0);
+    }
+}

@@ -1,0 +1,722 @@
+//! Distributed evaluation of μ-RA terms: physical plan selection and the
+//! `P_gld` / `P_plw` fixpoint plans (paper §IV).
+//!
+//! Non-recursive operators map to partitioned dataset operations (the role
+//! Spark's Dataset API plays in the paper). For every fixpoint the
+//! `PhysicalPlanGenerator` logic applies (§IV-B c): *if the fixpoint has a
+//! stable column, repartition the constant part by it and run `P_plw`
+//! (parallel local loops, no communication during recursion, no final
+//! distinct); otherwise run `P_gld` (global driver loop, one shuffle per
+//! iteration).*
+
+use crate::cluster::Cluster;
+use crate::distrel::DistRel;
+use crate::localfix::{local_fixpoint, Budget, LocalEngine};
+use mura_core::analysis::{check_fcond, decompose_fixpoint, stable_columns, TypeEnv};
+use mura_core::fxhash::FxHashMap;
+use mura_core::{Database, MuraError, Relation, Result, Schema, Sym, Term};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Fixpoint plan selection policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FixpointPlan {
+    /// The paper's policy: `P_plw` when a stable column exists, else
+    /// `P_gld`.
+    #[default]
+    Auto,
+    /// Always use the global driver loop (the paper's "Dist-μ-RA with
+    /// P_gld" configuration of Fig. 9).
+    ForceGld,
+    /// Always use parallel local loops (without a stable column this adds
+    /// a final global distinct, per Proposition 3).
+    ForcePlw,
+    /// Asynchronous evaluation (Myria's async mode, §VI): workers exchange
+    /// deltas through channels with no global barriers. See
+    /// [`crate::asyncfix`].
+    ForceAsync,
+}
+
+/// Row/time budgets; exceeding them aborts with
+/// [`MuraError::ResourceExhausted`] / [`MuraError::Timeout`] — how the
+/// paper's "system crashed" and "timeout" outcomes are reproduced honestly.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ResourceLimits {
+    pub max_rows: Option<u64>,
+    pub timeout: Option<Duration>,
+}
+
+/// Execution configuration.
+#[derive(Debug, Clone)]
+pub struct ExecConfig {
+    /// Number of workers (the paper's cluster has 4).
+    pub workers: usize,
+    /// Fixpoint plan policy.
+    pub plan: FixpointPlan,
+    /// Local engine for `P_plw` loops.
+    pub local_engine: LocalEngine,
+    /// Relations up to this many rows are broadcast instead of shuffled.
+    pub broadcast_threshold: usize,
+    /// Budgets.
+    pub limits: ResourceLimits,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            workers: 4,
+            plan: FixpointPlan::Auto,
+            local_engine: LocalEngine::SetRdd,
+            broadcast_threshold: 1_000_000,
+            limits: ResourceLimits::default(),
+        }
+    }
+}
+
+/// Counters reported after a distributed evaluation.
+#[derive(Debug, Clone, Default)]
+pub struct ExecStats {
+    /// Fixpoint iterations across all fixpoints.
+    pub fixpoint_iterations: u64,
+    /// Fixpoints executed with `P_plw`.
+    pub plw_fixpoints: u64,
+    /// Fixpoints executed with `P_gld`.
+    pub gld_fixpoints: u64,
+    /// Total rows materialized (budget meter).
+    pub produced_rows: u64,
+}
+
+/// A value during distributed evaluation: partitioned, or replicated to
+/// every worker (a Spark broadcast variable).
+#[derive(Clone)]
+enum DVal {
+    Dist(DistRel),
+    Repl(Arc<Relation>),
+}
+
+impl DVal {
+    fn schema(&self) -> &Schema {
+        match self {
+            DVal::Dist(d) => d.schema(),
+            DVal::Repl(r) => r.schema(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            DVal::Dist(d) => d.len(),
+            DVal::Repl(r) => r.len(),
+        }
+    }
+
+    fn into_dist(self, cluster: &Cluster) -> DistRel {
+        match self {
+            DVal::Dist(d) => d,
+            // Materializing a replicated value into partitions drops the
+            // extra copies — a local operation, no communication.
+            DVal::Repl(r) => DistRel::from_relation(&r, cluster),
+        }
+    }
+}
+
+/// Distributed evaluator for μ-RA terms.
+pub struct DistEvaluator<'db> {
+    db: &'db Database,
+    cluster: Cluster,
+    config: ExecConfig,
+    stats: ExecStats,
+    budget: Budget,
+    bound: FxHashMap<Sym, DVal>,
+    /// Fresh symbols for hoisted loop invariants (must not collide with
+    /// dictionary symbols; the dictionary cannot grow during evaluation).
+    next_fresh: u32,
+}
+
+impl<'db> DistEvaluator<'db> {
+    /// New evaluator over a database with the given configuration.
+    pub fn new(db: &'db Database, config: ExecConfig) -> Self {
+        let cluster = Cluster::new(config.workers);
+        let deadline = config.limits.timeout.map(|t| Instant::now() + t);
+        let budget = Budget::new(config.limits.max_rows, deadline);
+        let next_fresh = db.dict().len() as u32 + 1_000_000;
+        DistEvaluator {
+            db,
+            cluster,
+            config,
+            stats: ExecStats::default(),
+            budget,
+            bound: FxHashMap::default(),
+            next_fresh,
+        }
+    }
+
+    /// The underlying cluster (for communication metrics).
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Execution counters.
+    pub fn stats(&self) -> &ExecStats {
+        &self.stats
+    }
+
+    /// Evaluates a closed term and collects the result on the driver.
+    pub fn eval_collect(&mut self, term: &Term) -> Result<Relation> {
+        check_fcond(term)?;
+        let v = self.eval(term)?;
+        Ok(match v {
+            DVal::Dist(d) => d.distinct(&self.cluster).collect(),
+            DVal::Repl(r) => (*r).clone(),
+        })
+    }
+
+    fn fresh(&mut self, _hint: &str) -> Sym {
+        self.next_fresh += 1;
+        Sym(self.next_fresh)
+    }
+
+    fn type_env(&self) -> TypeEnv {
+        let mut env = TypeEnv::from_db(self.db);
+        for (v, val) in &self.bound {
+            env.bind(*v, val.schema().clone());
+        }
+        env
+    }
+
+    fn charge(&mut self, rows: usize) -> Result<()> {
+        self.stats.produced_rows += rows as u64;
+        self.budget.charge(rows as u64)
+    }
+
+    fn eval(&mut self, term: &Term) -> Result<DVal> {
+        let out = match term {
+            Term::Var(v) => {
+                if let Some(val) = self.bound.get(v) {
+                    val.clone()
+                } else if let Some(rel) = self.db.relation(*v) {
+                    DVal::Dist(DistRel::from_relation(rel, &self.cluster))
+                } else {
+                    return Err(MuraError::UnboundVariable(*v));
+                }
+            }
+            Term::Cst(r) => {
+                if r.len() <= self.config.broadcast_threshold {
+                    // Driver-side constant shipped to every worker.
+                    self.cluster
+                        .metrics()
+                        .record_broadcast(r.len() as u64, self.cluster.workers());
+                    DVal::Repl(r.clone())
+                } else {
+                    DVal::Dist(DistRel::from_relation(r, &self.cluster))
+                }
+            }
+            Term::Filter(preds, t) => match self.eval(t)? {
+                DVal::Dist(d) => DVal::Dist(d.filter_preds(preds, &self.cluster)?),
+                DVal::Repl(r) => DVal::Repl(Arc::new(mura_core::eval::apply_filter(&r, preds)?)),
+            },
+            Term::Rename(from, to, t) => {
+                let child = self.eval(t)?;
+                self.check_rename(child.schema(), *from, *to)?;
+                match child {
+                    DVal::Dist(d) => DVal::Dist(d.rename(*from, *to, &self.cluster)),
+                    DVal::Repl(r) => DVal::Repl(Arc::new(r.rename(*from, *to))),
+                }
+            }
+            Term::AntiProject(cols, t) => {
+                let child = self.eval(t)?;
+                for c in cols {
+                    if !child.schema().contains(*c) {
+                        return Err(MuraError::UnknownColumn {
+                            column: *c,
+                            schema: child.schema().clone(),
+                            context: "antiprojection",
+                        });
+                    }
+                }
+                match child {
+                    DVal::Dist(d) => {
+                        // Dropping columns can create duplicates across
+                        // partitions; dedup before further use.
+                        DVal::Dist(d.antiproject(cols, &self.cluster).distinct(&self.cluster))
+                    }
+                    DVal::Repl(r) => DVal::Repl(Arc::new(r.antiproject(cols))),
+                }
+            }
+            Term::Join(a, b) => {
+                let va = self.eval(a)?;
+                let vb = self.eval(b)?;
+                self.join(va, vb)?
+            }
+            Term::Antijoin(a, b) => {
+                let va = self.eval(a)?;
+                let vb = self.eval(b)?;
+                self.antijoin(va, vb)?
+            }
+            Term::Union(a, b) => {
+                let va = self.eval(a)?;
+                let vb = self.eval(b)?;
+                if va.schema() != vb.schema() {
+                    return Err(MuraError::SchemaMismatch {
+                        left: va.schema().clone(),
+                        right: vb.schema().clone(),
+                        context: "union",
+                    });
+                }
+                match (va, vb) {
+                    (DVal::Repl(x), DVal::Repl(y)) => DVal::Repl(Arc::new(x.union(&y))),
+                    (x, y) => {
+                        let dx = x.into_dist(&self.cluster);
+                        let dy = y.into_dist(&self.cluster);
+                        DVal::Dist(dx.union(&dy, &self.cluster))
+                    }
+                }
+            }
+            Term::Fix(x, body) => DVal::Dist(self.eval_fixpoint(*x, body)?),
+        };
+        self.charge(out.len())?;
+        Ok(out)
+    }
+
+    fn check_rename(&self, schema: &Schema, from: Sym, to: Sym) -> Result<()> {
+        if !schema.contains(from) {
+            return Err(MuraError::UnknownColumn {
+                column: from,
+                schema: schema.clone(),
+                context: "rename",
+            });
+        }
+        if schema.rename(from, to).is_none() {
+            return Err(MuraError::RenameCollision { from, to, schema: schema.clone() });
+        }
+        Ok(())
+    }
+
+    fn join(&mut self, a: DVal, b: DVal) -> Result<DVal> {
+        Ok(match (a, b) {
+            (DVal::Repl(x), DVal::Repl(y)) => DVal::Repl(Arc::new(x.join(&y))),
+            // A replicated side joins locally on every worker (the
+            // broadcast was already charged when the value was created).
+            (DVal::Dist(d), DVal::Repl(r)) | (DVal::Repl(r), DVal::Dist(d)) => {
+                DVal::Dist(d.join_local(&r, &self.cluster))
+            }
+            (DVal::Dist(x), DVal::Dist(y)) => {
+                let common = x.schema().intersection(y.schema());
+                let (small, big) = if x.len() <= y.len() { (&x, &y) } else { (&y, &x) };
+                if small.len() <= self.config.broadcast_threshold || common.is_empty() {
+                    let rel = small.collect();
+                    self.cluster
+                        .metrics()
+                        .record_broadcast(rel.len() as u64, self.cluster.workers());
+                    DVal::Dist(big.join_local(&rel, &self.cluster))
+                } else {
+                    DVal::Dist(x.join_shuffle(&y, &self.cluster))
+                }
+            }
+        })
+    }
+
+    fn antijoin(&mut self, a: DVal, b: DVal) -> Result<DVal> {
+        Ok(match (a, b) {
+            (DVal::Repl(x), DVal::Repl(y)) => DVal::Repl(Arc::new(x.antijoin(&y))),
+            (DVal::Dist(d), DVal::Repl(r)) => DVal::Dist(d.antijoin_local(&r, &self.cluster)),
+            (DVal::Repl(x), DVal::Dist(y)) => {
+                let dx = DistRel::from_relation(&x, &self.cluster);
+                self.antijoin(DVal::Dist(dx), DVal::Dist(y))?
+            }
+            (DVal::Dist(x), DVal::Dist(y)) => {
+                let common = x.schema().intersection(y.schema());
+                if y.len() <= self.config.broadcast_threshold || common.is_empty() {
+                    let rel = y.collect();
+                    self.cluster
+                        .metrics()
+                        .record_broadcast(rel.len() as u64, self.cluster.workers());
+                    DVal::Dist(x.antijoin_local(&rel, &self.cluster))
+                } else {
+                    DVal::Dist(x.antijoin_shuffle(&y, &self.cluster))
+                }
+            }
+        })
+    }
+
+    // ------------------------------------------------------------ fixpoint
+
+    fn eval_fixpoint(&mut self, x: Sym, body: &Term) -> Result<DistRel> {
+        let (consts, recs) = decompose_fixpoint(x, body)?;
+        // Constant part.
+        let mut seed: Option<DVal> = None;
+        for c in &consts {
+            let v = self.eval(c)?;
+            seed = Some(match seed {
+                None => v,
+                Some(s) => {
+                    if s.schema() != v.schema() {
+                        return Err(MuraError::SchemaMismatch {
+                            left: s.schema().clone(),
+                            right: v.schema().clone(),
+                            context: "fixpoint constant part",
+                        });
+                    }
+                    let ds = s.into_dist(&self.cluster);
+                    let dv = v.into_dist(&self.cluster);
+                    DVal::Dist(ds.union(&dv, &self.cluster))
+                }
+            });
+        }
+        let seed = seed.expect("decompose guarantees a constant part").into_dist(&self.cluster);
+        let seed = seed.distinct(&self.cluster);
+        if recs.is_empty() {
+            return Ok(seed);
+        }
+        // Hoist loop invariants: x-free subterms of the recursive branches
+        // are evaluated once and bound to fresh variables.
+        let recs: Vec<Term> = {
+            let mut hoisted = Vec::with_capacity(recs.len());
+            for r in &recs {
+                hoisted.push(self.hoist(r, x)?);
+            }
+            hoisted
+        };
+        // Plan selection (§IV-B c): stable column → P_plw, else P_gld.
+        let mut env = self.type_env();
+        let stable = stable_columns(x, body, &mut env)?;
+        match self.config.plan {
+            FixpointPlan::Auto if !stable.is_empty() => {
+                self.stats.plw_fixpoints += 1;
+                self.eval_plw(x, seed, &recs, &stable)
+            }
+            FixpointPlan::ForcePlw => {
+                self.stats.plw_fixpoints += 1;
+                self.eval_plw(x, seed, &recs, &stable)
+            }
+            FixpointPlan::ForceAsync => self.eval_async_plan(x, seed, &recs),
+            _ => {
+                self.stats.gld_fixpoints += 1;
+                self.eval_gld(x, seed, &recs)
+            }
+        }
+    }
+
+    /// `P_async`: barrier-free delta exchange (see [`crate::asyncfix`]).
+    /// Like `P_plw`, workers need local copies of the loop invariants.
+    fn eval_async_plan(&mut self, x: Sym, seed: DistRel, recs: &[Term]) -> Result<DistRel> {
+        let mut recs_local = Vec::with_capacity(recs.len());
+        for r in recs {
+            recs_local.push(self.resolve_to_constants(r, x)?);
+        }
+        self.stats.fixpoint_iterations += 1;
+        crate::asyncfix::eval_async(&seed, &recs_local, x, &self.cluster, &self.budget)
+    }
+
+    /// Replaces maximal `x`-free subterms by fresh bound variables holding
+    /// their (once-)evaluated value.
+    fn hoist(&mut self, t: &Term, x: Sym) -> Result<Term> {
+        if !t.has_free_var(x) {
+            let v = self.eval(t)?;
+            let name = self.fresh("inv");
+            self.bound.insert(name, v);
+            return Ok(Term::Var(name));
+        }
+        Ok(match t {
+            Term::Var(_) | Term::Cst(_) => t.clone(),
+            Term::Filter(ps, inner) => Term::Filter(ps.clone(), Box::new(self.hoist(inner, x)?)),
+            Term::Rename(a, b, inner) => Term::Rename(*a, *b, Box::new(self.hoist(inner, x)?)),
+            Term::AntiProject(cs, inner) => {
+                Term::AntiProject(cs.clone(), Box::new(self.hoist(inner, x)?))
+            }
+            Term::Join(a, b) => {
+                Term::Join(Box::new(self.hoist(a, x)?), Box::new(self.hoist(b, x)?))
+            }
+            Term::Antijoin(a, b) => {
+                Term::Antijoin(Box::new(self.hoist(a, x)?), Box::new(self.hoist(b, x)?))
+            }
+            Term::Union(a, b) => {
+                Term::Union(Box::new(self.hoist(a, x)?), Box::new(self.hoist(b, x)?))
+            }
+            Term::Fix(_, _) => unreachable!("F_cond: x cannot occur under a nested fixpoint"),
+        })
+    }
+
+    /// `P_gld`: the driver iterates; every step runs as distributed dataset
+    /// operations, and the union/difference with the accumulator forces a
+    /// shuffle of the new tuples each iteration (paper §IV-A1).
+    fn eval_gld(&mut self, x: Sym, seed: DistRel, recs: &[Term]) -> Result<DistRel> {
+        let mut acc = seed;
+        let mut delta = acc.clone();
+        while !delta.is_empty() {
+            self.stats.fixpoint_iterations += 1;
+            self.bound.insert(x, DVal::Dist(delta.clone()));
+            let mut new: Option<DVal> = None;
+            for r in recs {
+                let produced = self.eval(r)?;
+                new = Some(match new {
+                    None => produced,
+                    Some(n) => {
+                        let dn = n.into_dist(&self.cluster);
+                        let dp = produced.into_dist(&self.cluster);
+                        DVal::Dist(dn.union(&dp, &self.cluster))
+                    }
+                });
+            }
+            self.bound.remove(&x);
+            let new = new.expect("at least one recursive branch").into_dist(&self.cluster);
+            if new.schema() != acc.schema() {
+                return Err(MuraError::SchemaMismatch {
+                    left: acc.schema().clone(),
+                    right: new.schema().clone(),
+                    context: "fixpoint recursive part",
+                });
+            }
+            let new = new.minus(&acc, &self.cluster);
+            self.charge(new.len())?;
+            if new.is_empty() {
+                break;
+            }
+            acc = acc.union(&new, &self.cluster);
+            delta = new;
+        }
+        Ok(acc)
+    }
+
+    /// `P_plw`: repartition the constant part (by the stable columns when
+    /// available), broadcast the loop invariants, and let every worker run
+    /// its own local fixpoint. With a stable-column partitioning the local
+    /// results are disjoint, so no final distinct is needed (§IV-A2).
+    fn eval_plw(
+        &mut self,
+        x: Sym,
+        seed: DistRel,
+        recs: &[Term],
+        stable: &[Sym],
+    ) -> Result<DistRel> {
+        let seed = if stable.is_empty() {
+            seed
+        } else {
+            seed.repartition(stable, &self.cluster)
+        };
+        // Resolve hoisted invariants to full local copies (broadcast).
+        let mut recs_local = Vec::with_capacity(recs.len());
+        for r in recs {
+            recs_local.push(self.resolve_to_constants(r, x)?);
+        }
+        let engine = self.config.local_engine;
+        let budget = &self.budget;
+        let results: Vec<Result<Relation>> = self.cluster.par_map(seed.parts(), |_, part| {
+            local_fixpoint(part, &recs_local, x, engine, budget)
+        });
+        let parts = results.into_iter().collect::<Result<Vec<_>>>()?;
+        self.stats.fixpoint_iterations += 1; // the parallel local loops count once globally
+        let schema = seed.schema().clone();
+        let out = DistRel::from_parts(
+            schema,
+            parts,
+            if stable.is_empty() { None } else { Some(stable.to_vec()) },
+        );
+        Ok(if stable.is_empty() {
+            // Prop. 3 general case: local fixpoints may overlap.
+            out.distinct(&self.cluster)
+        } else {
+            out
+        })
+    }
+
+    /// Replaces hoisted variables by broadcast constant relations inside a
+    /// recursive branch (for worker-local execution).
+    fn resolve_to_constants(&mut self, t: &Term, x: Sym) -> Result<Term> {
+        Ok(match t {
+            Term::Var(v) if *v == x => t.clone(),
+            Term::Var(v) => {
+                let val =
+                    self.bound.get(v).cloned().ok_or(MuraError::UnboundVariable(*v))?;
+                let rel = match val {
+                    DVal::Repl(r) => r,
+                    DVal::Dist(d) => {
+                        // Workers need the full relation locally: broadcast.
+                        let rel = Arc::new(d.collect());
+                        self.cluster
+                            .metrics()
+                            .record_broadcast(rel.len() as u64, self.cluster.workers());
+                        let repl = DVal::Repl(rel.clone());
+                        self.bound.insert(*v, repl);
+                        rel
+                    }
+                };
+                Term::Cst(rel)
+            }
+            Term::Cst(_) => t.clone(),
+            Term::Filter(ps, inner) => {
+                Term::Filter(ps.clone(), Box::new(self.resolve_to_constants(inner, x)?))
+            }
+            Term::Rename(a, b, inner) => {
+                Term::Rename(*a, *b, Box::new(self.resolve_to_constants(inner, x)?))
+            }
+            Term::AntiProject(cs, inner) => {
+                Term::AntiProject(cs.clone(), Box::new(self.resolve_to_constants(inner, x)?))
+            }
+            Term::Join(a, b) => Term::Join(
+                Box::new(self.resolve_to_constants(a, x)?),
+                Box::new(self.resolve_to_constants(b, x)?),
+            ),
+            Term::Antijoin(a, b) => Term::Antijoin(
+                Box::new(self.resolve_to_constants(a, x)?),
+                Box::new(self.resolve_to_constants(b, x)?),
+            ),
+            Term::Union(a, b) => Term::Union(
+                Box::new(self.resolve_to_constants(a, x)?),
+                Box::new(self.resolve_to_constants(b, x)?),
+            ),
+            Term::Fix(_, _) => {
+                return Err(MuraError::Other(
+                    "nested fixpoint must be hoisted before P_plw".into(),
+                ))
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mura_core::eval as eval_central;
+
+    /// The paper's Fig. 2 graph.
+    fn paper_db() -> (Database, Term) {
+        let mut db = Database::new();
+        let src = db.intern("src");
+        let dst = db.intern("dst");
+        let m = db.intern("m");
+        let x = db.intern("X");
+        let e = db.insert_relation(
+            "E",
+            Relation::from_pairs(
+                src,
+                dst,
+                [(1, 2), (1, 4), (10, 11), (10, 13), (2, 3), (4, 5), (11, 5), (13, 12), (3, 6), (5, 6)],
+            ),
+        );
+        let s = db.insert_relation(
+            "S",
+            Relation::from_pairs(src, dst, [(1, 2), (1, 4), (10, 11), (10, 13)]),
+        );
+        let step = Term::var(x)
+            .rename(dst, m)
+            .join(Term::var(e).rename(src, m))
+            .antiproject(m);
+        let term = Term::var(s).union(step).fix(x);
+        (db, term)
+    }
+
+    fn run(plan: FixpointPlan, engine: LocalEngine) -> (Relation, ExecStats, crate::CommSnapshot) {
+        let (db, term) = paper_db();
+        let config = ExecConfig { plan, local_engine: engine, ..Default::default() };
+        let mut ev = DistEvaluator::new(&db, config);
+        let rel = ev.eval_collect(&term).unwrap();
+        let stats = ev.stats().clone();
+        let comm = ev.cluster().metrics().snapshot();
+        (rel, stats, comm)
+    }
+
+    #[test]
+    fn all_plans_match_centralized() {
+        let (db, term) = paper_db();
+        let expected = eval_central(&term, &db).unwrap();
+        for plan in [FixpointPlan::Auto, FixpointPlan::ForceGld, FixpointPlan::ForcePlw, FixpointPlan::ForceAsync] {
+            for engine in [LocalEngine::SetRdd, LocalEngine::Sorted] {
+                let (got, _, _) = run(plan, engine);
+                assert_eq!(
+                    got.sorted_rows(),
+                    expected.sorted_rows(),
+                    "{plan:?}/{engine:?} diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn auto_selects_plw_for_stable_fixpoint() {
+        let (_, stats, _) = run(FixpointPlan::Auto, LocalEngine::SetRdd);
+        assert_eq!(stats.plw_fixpoints, 1);
+        assert_eq!(stats.gld_fixpoints, 0);
+    }
+
+    #[test]
+    fn plw_shuffles_less_than_gld() {
+        let (_, _, comm_plw) = run(FixpointPlan::ForcePlw, LocalEngine::SetRdd);
+        let (_, _, comm_gld) = run(FixpointPlan::ForceGld, LocalEngine::SetRdd);
+        assert!(
+            comm_plw.shuffles < comm_gld.shuffles,
+            "P_plw {comm_plw:?} must shuffle less than P_gld {comm_gld:?}"
+        );
+    }
+
+    #[test]
+    fn gld_counts_iterations() {
+        let (_, stats, _) = run(FixpointPlan::ForceGld, LocalEngine::SetRdd);
+        assert_eq!(stats.fixpoint_iterations, 3);
+    }
+
+    #[test]
+    fn budget_aborts_distributed_eval() {
+        let (db, term) = paper_db();
+        let config = ExecConfig {
+            limits: ResourceLimits { max_rows: Some(5), timeout: None },
+            ..Default::default()
+        };
+        let mut ev = DistEvaluator::new(&db, config);
+        assert!(matches!(
+            ev.eval_collect(&term),
+            Err(MuraError::ResourceExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn same_generation_runs_gld_under_auto() {
+        // No stable column → auto must choose P_gld.
+        let mut db = Database::new();
+        let src = db.intern("src");
+        let dst = db.intern("dst");
+        db.insert_relation(
+            "R",
+            Relation::from_pairs(src, dst, [(0, 1), (0, 2), (1, 3), (2, 4)]),
+        );
+        let term = mura_ucrpq::suites::same_generation_term(&mut db, "R").unwrap();
+        let expected = eval_central(&term, &db).unwrap();
+        let mut ev = DistEvaluator::new(&db, ExecConfig::default());
+        let got = ev.eval_collect(&term).unwrap();
+        assert_eq!(got.sorted_rows(), expected.sorted_rows());
+        assert_eq!(ev.stats().gld_fixpoints, 1);
+        assert_eq!(ev.stats().plw_fixpoints, 0);
+    }
+
+    #[test]
+    fn plw_without_stable_column_still_correct() {
+        let mut db = Database::new();
+        let src = db.intern("src");
+        let dst = db.intern("dst");
+        db.insert_relation(
+            "R",
+            Relation::from_pairs(src, dst, [(0, 1), (0, 2), (1, 3), (2, 4), (3, 5), (4, 5)]),
+        );
+        let term = mura_ucrpq::suites::same_generation_term(&mut db, "R").unwrap();
+        let expected = eval_central(&term, &db).unwrap();
+        let config = ExecConfig { plan: FixpointPlan::ForcePlw, ..Default::default() };
+        let mut ev = DistEvaluator::new(&db, config);
+        let got = ev.eval_collect(&term).unwrap();
+        assert_eq!(got.sorted_rows(), expected.sorted_rows());
+    }
+
+    #[test]
+    fn nested_fixpoints_evaluate() {
+        // (a+)∘(b+)-style nested term where the inner fixpoint is hoisted.
+        let mut db = Database::new();
+        let src = db.intern("src");
+        let dst = db.intern("dst");
+        db.insert_relation("a", Relation::from_pairs(src, dst, [(0, 1), (1, 2)]));
+        db.insert_relation("b", Relation::from_pairs(src, dst, [(2, 3), (3, 4)]));
+        let q = mura_ucrpq::parse_ucrpq("?x, ?y <- ?x a+/b+ ?y").unwrap();
+        let term = mura_ucrpq::to_mura(&q, &mut db).unwrap();
+        let expected = eval_central(&term, &db).unwrap();
+        let mut ev = DistEvaluator::new(&db, ExecConfig::default());
+        let got = ev.eval_collect(&term).unwrap();
+        assert_eq!(got.sorted_rows(), expected.sorted_rows());
+    }
+}

@@ -1,0 +1,41 @@
+//! # mura-dist — distributed evaluation of μ-RA terms
+//!
+//! This crate is the Rust substitute for the Spark substrate the paper
+//! deploys on: an in-process cluster simulator with explicit partitions,
+//! hash shuffles, broadcasts and **communication accounting**, plus the
+//! paper's two distributed fixpoint plans:
+//!
+//! * `P_gld` — *global loop on the driver*: each semi-naive
+//!   iteration runs as distributed dataset operations; the union/distinct
+//!   forces **at least one shuffle per iteration** (paper §IV-A1);
+//! * `P_plw` — *parallel local loops on the workers*: the constant
+//!   part is partitioned across workers (by a **stable column** when one
+//!   exists — then local results are provably disjoint and the final
+//!   `distinct` is skipped, paper §IV-A2) and every worker runs its own
+//!   semi-naive loop against broadcast step relations — **no communication
+//!   during the recursion**.
+//!
+//! `P_plw` has two worker-local engines, mirroring the paper's two
+//! implementations (§IV-B): [`localfix::LocalEngine::SetRdd`] (hash-based,
+//! after BigDatalog's SetRDD) and [`localfix::LocalEngine::Sorted`]
+//! (sort-merge based, standing in for the per-worker PostgreSQL instances
+//! of `P_plw^pg`).
+//!
+//! The top-level entry point is [`QueryEngine`]: UCRPQ → μ-RA → rewrite →
+//! physical plan → distributed execution with [`CommStats`].
+
+pub mod asyncfix;
+pub mod cluster;
+pub mod distrel;
+pub mod engine;
+pub mod exec;
+pub mod localfix;
+pub mod metrics;
+pub mod sorted;
+
+pub use cluster::Cluster;
+pub use distrel::DistRel;
+pub use engine::{QueryEngine, QueryOutput};
+pub use exec::{DistEvaluator, ExecConfig, ExecStats, FixpointPlan, ResourceLimits};
+pub use localfix::LocalEngine;
+pub use metrics::{CommSnapshot, CommStats};

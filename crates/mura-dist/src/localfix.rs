@@ -1,0 +1,388 @@
+//! Worker-local fixpoint execution for the `P_plw` plan.
+//!
+//! Each worker receives its share of the fixpoint's constant part plus
+//! broadcast copies of every loop-invariant relation, and iterates the
+//! recursive step locally — no cluster communication at all during the
+//! recursion (the paper's key advantage of `P_plw` over `P_gld`).
+//!
+//! Two interchangeable local engines implement the iteration, mirroring the
+//! paper's two `P_plw` implementations (§IV-B a):
+//!
+//! * [`LocalEngine::SetRdd`] — hash-set relations (BigDatalog's SetRDD
+//!   style);
+//! * [`LocalEngine::Sorted`] — sort-merge relations standing in for the
+//!   per-worker PostgreSQL instances of `P_plw^pg`.
+
+use crate::sorted::SortedRelation;
+use mura_core::{MuraError, Pred, Relation, Result, Schema, Sym, Term, Value};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Which local engine runs the per-worker loops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LocalEngine {
+    /// Hash-based sets (the paper's `P_plw^s`, the faster variant).
+    #[default]
+    SetRdd,
+    /// Sort-merge engine (the paper's `P_plw^pg` stand-in).
+    Sorted,
+}
+
+/// Shared row budget + deadline, checked by every worker loop. Models the
+/// paper's out-of-memory failures and timeouts.
+#[derive(Debug)]
+pub struct Budget {
+    produced: AtomicU64,
+    max_rows: Option<u64>,
+    deadline: Option<Instant>,
+}
+
+impl Budget {
+    /// A budget with optional row cap and deadline.
+    pub fn new(max_rows: Option<u64>, deadline: Option<Instant>) -> Self {
+        Budget { produced: AtomicU64::new(0), max_rows, deadline }
+    }
+
+    /// Charges `rows` produced rows; errors when over budget or past the
+    /// deadline.
+    pub fn charge(&self, rows: u64) -> Result<()> {
+        let total = self.produced.fetch_add(rows, Ordering::Relaxed) + rows;
+        if let Some(max) = self.max_rows {
+            if total > max {
+                return Err(MuraError::ResourceExhausted {
+                    what: "materialized rows",
+                    limit: max,
+                    reached: total,
+                });
+            }
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() > d {
+                return Err(MuraError::Timeout { millis: 0 });
+            }
+        }
+        Ok(())
+    }
+
+    /// Rows charged so far.
+    pub fn produced(&self) -> u64 {
+        self.produced.load(Ordering::Relaxed)
+    }
+}
+
+/// Local relation operations shared by the two engines.
+pub trait LocalRel: Sized + Clone {
+    fn from_relation(r: &Relation) -> Self;
+    fn into_relation(self) -> Relation;
+    fn schema(&self) -> &Schema;
+    fn len(&self) -> usize;
+    fn is_empty(&self) -> bool;
+    fn filter_preds(&self, preds: &[Pred]) -> Result<Self>;
+    fn rename_col(&self, from: Sym, to: Sym) -> Self;
+    fn antiproject_cols(&self, cols: &[Sym]) -> Self;
+    fn join_with(&self, other: &Self) -> Self;
+    fn antijoin_with(&self, other: &Self) -> Self;
+    fn union_with(&self, other: &Self) -> Self;
+    fn minus_with(&self, other: &Self) -> Self;
+}
+
+/// Compiles predicates to a positional closure over a schema.
+fn compile_preds(schema: &Schema, preds: &[Pred]) -> Result<Vec<CompiledPred>> {
+    let mut out = Vec::with_capacity(preds.len());
+    for p in preds {
+        for c in p.columns() {
+            if !schema.contains(c) {
+                return Err(MuraError::UnknownColumn {
+                    column: c,
+                    schema: schema.clone(),
+                    context: "local filter",
+                });
+            }
+        }
+        out.push(match p {
+            Pred::Eq(c, v) => CompiledPred::Eq(schema.position(*c).unwrap(), *v),
+            Pred::Neq(c, v) => CompiledPred::Neq(schema.position(*c).unwrap(), *v),
+            Pred::EqCol(a, b) => CompiledPred::EqCol(
+                schema.position(*a).unwrap(),
+                schema.position(*b).unwrap(),
+            ),
+        });
+    }
+    Ok(out)
+}
+
+enum CompiledPred {
+    Eq(usize, Value),
+    Neq(usize, Value),
+    EqCol(usize, usize),
+}
+
+impl CompiledPred {
+    fn matches(&self, row: &[Value]) -> bool {
+        match self {
+            CompiledPred::Eq(p, v) => row[*p] == *v,
+            CompiledPred::Neq(p, v) => row[*p] != *v,
+            CompiledPred::EqCol(a, b) => row[*a] == row[*b],
+        }
+    }
+}
+
+impl LocalRel for Relation {
+    fn from_relation(r: &Relation) -> Self {
+        r.clone()
+    }
+    fn into_relation(self) -> Relation {
+        self
+    }
+    fn schema(&self) -> &Schema {
+        Relation::schema(self)
+    }
+    fn len(&self) -> usize {
+        Relation::len(self)
+    }
+    fn is_empty(&self) -> bool {
+        Relation::is_empty(self)
+    }
+    fn filter_preds(&self, preds: &[Pred]) -> Result<Self> {
+        let compiled = compile_preds(Relation::schema(self), preds)?;
+        Ok(self.filter(|row| compiled.iter().all(|p| p.matches(row))))
+    }
+    fn rename_col(&self, from: Sym, to: Sym) -> Self {
+        self.rename(from, to)
+    }
+    fn antiproject_cols(&self, cols: &[Sym]) -> Self {
+        self.antiproject(cols)
+    }
+    fn join_with(&self, other: &Self) -> Self {
+        self.join(other)
+    }
+    fn antijoin_with(&self, other: &Self) -> Self {
+        self.antijoin(other)
+    }
+    fn union_with(&self, other: &Self) -> Self {
+        self.union(other)
+    }
+    fn minus_with(&self, other: &Self) -> Self {
+        self.minus(other)
+    }
+}
+
+impl LocalRel for SortedRelation {
+    fn from_relation(r: &Relation) -> Self {
+        SortedRelation::from_relation(r)
+    }
+    fn into_relation(self) -> Relation {
+        self.to_relation()
+    }
+    fn schema(&self) -> &Schema {
+        SortedRelation::schema(self)
+    }
+    fn len(&self) -> usize {
+        SortedRelation::len(self)
+    }
+    fn is_empty(&self) -> bool {
+        SortedRelation::is_empty(self)
+    }
+    fn filter_preds(&self, preds: &[Pred]) -> Result<Self> {
+        let compiled = compile_preds(SortedRelation::schema(self), preds)?;
+        Ok(self.filter(|row| compiled.iter().all(|p| p.matches(row))))
+    }
+    fn rename_col(&self, from: Sym, to: Sym) -> Self {
+        self.rename(from, to)
+    }
+    fn antiproject_cols(&self, cols: &[Sym]) -> Self {
+        self.antiproject(cols)
+    }
+    fn join_with(&self, other: &Self) -> Self {
+        self.join(other)
+    }
+    fn antijoin_with(&self, other: &Self) -> Self {
+        self.antijoin(other)
+    }
+    fn union_with(&self, other: &Self) -> Self {
+        self.union(other)
+    }
+    fn minus_with(&self, other: &Self) -> Self {
+        self.minus(other)
+    }
+}
+
+/// A recursive branch compiled for local execution: every leaf is either
+/// the recursion variable (delta) or an already-materialized constant
+/// (pre-converted to the engine's representation once, not per iteration).
+pub enum Prepared<R> {
+    Delta,
+    Const(R),
+    Filter(Vec<Pred>, Box<Prepared<R>>),
+    Rename(Sym, Sym, Box<Prepared<R>>),
+    AntiProject(Vec<Sym>, Box<Prepared<R>>),
+    Join(Box<Prepared<R>>, Box<Prepared<R>>),
+    Antijoin(Box<Prepared<R>>, Box<Prepared<R>>),
+    Union(Box<Prepared<R>>, Box<Prepared<R>>),
+}
+
+/// Compiles a hoisted recursive branch (all `x`-free subterms are `Cst`).
+pub fn prepare<R: LocalRel>(term: &Term, x: Sym) -> Result<Prepared<R>> {
+    Ok(match term {
+        Term::Var(v) if *v == x => Prepared::Delta,
+        Term::Var(v) => {
+            return Err(MuraError::Other(format!(
+                "unhoisted variable {v} in local fixpoint branch"
+            )))
+        }
+        Term::Cst(r) => Prepared::Const(R::from_relation(r)),
+        Term::Filter(ps, t) => Prepared::Filter(ps.clone(), Box::new(prepare(t, x)?)),
+        Term::Rename(a, b, t) => Prepared::Rename(*a, *b, Box::new(prepare(t, x)?)),
+        Term::AntiProject(cs, t) => Prepared::AntiProject(cs.clone(), Box::new(prepare(t, x)?)),
+        Term::Join(a, b) => Prepared::Join(Box::new(prepare(a, x)?), Box::new(prepare(b, x)?)),
+        Term::Antijoin(a, b) => {
+            Prepared::Antijoin(Box::new(prepare(a, x)?), Box::new(prepare(b, x)?))
+        }
+        Term::Union(a, b) => Prepared::Union(Box::new(prepare(a, x)?), Box::new(prepare(b, x)?)),
+        Term::Fix(_, _) => {
+            return Err(MuraError::Other(
+                "nested fixpoint must be hoisted before local execution".into(),
+            ))
+        }
+    })
+}
+
+fn eval_prepared<R: LocalRel>(p: &Prepared<R>, delta: &R) -> Result<R> {
+    Ok(match p {
+        Prepared::Delta => delta.clone(),
+        Prepared::Const(r) => r.clone(),
+        Prepared::Filter(ps, t) => eval_prepared(t, delta)?.filter_preds(ps)?,
+        Prepared::Rename(a, b, t) => eval_prepared(t, delta)?.rename_col(*a, *b),
+        Prepared::AntiProject(cs, t) => eval_prepared(t, delta)?.antiproject_cols(cs),
+        Prepared::Join(a, b) => eval_prepared(a, delta)?.join_with(&eval_prepared(b, delta)?),
+        Prepared::Antijoin(a, b) => {
+            eval_prepared(a, delta)?.antijoin_with(&eval_prepared(b, delta)?)
+        }
+        Prepared::Union(a, b) => eval_prepared(a, delta)?.union_with(&eval_prepared(b, delta)?),
+    })
+}
+
+/// Runs a worker-local semi-naive fixpoint (Algorithm 1) over this
+/// worker's `seed` with the given engine.
+pub fn local_fixpoint(
+    seed: &Relation,
+    recs: &[Term],
+    x: Sym,
+    engine: LocalEngine,
+    budget: &Budget,
+) -> Result<Relation> {
+    match engine {
+        LocalEngine::SetRdd => local_fixpoint_typed::<Relation>(seed, recs, x, budget),
+        LocalEngine::Sorted => local_fixpoint_typed::<SortedRelation>(seed, recs, x, budget),
+    }
+}
+
+fn local_fixpoint_typed<R: LocalRel>(
+    seed: &Relation,
+    recs: &[Term],
+    x: Sym,
+    budget: &Budget,
+) -> Result<Relation> {
+    let prepared: Vec<Prepared<R>> = recs.iter().map(|r| prepare(r, x)).collect::<Result<_>>()?;
+    let mut acc = R::from_relation(seed);
+    let mut delta = acc.clone();
+    while !delta.is_empty() {
+        let mut new: Option<R> = None;
+        for p in &prepared {
+            let produced = eval_prepared(p, &delta)?;
+            new = Some(match new {
+                None => produced,
+                Some(n) => n.union_with(&produced),
+            });
+        }
+        let new = match new {
+            None => break, // no recursive branch
+            Some(n) => n.minus_with(&acc),
+        };
+        budget.charge(new.len() as u64)?;
+        if new.is_empty() {
+            break;
+        }
+        acc = acc.union_with(&new);
+        delta = new;
+    }
+    Ok(acc.into_relation())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mura_core::Database;
+
+    fn setup() -> (Database, Relation, Vec<Term>, Sym) {
+        let mut db = Database::new();
+        let src = db.intern("src");
+        let dst = db.intern("dst");
+        let m = db.intern("m");
+        let x = db.intern("X");
+        let e = Relation::from_pairs(src, dst, [(0, 1), (1, 2), (2, 3), (3, 0), (7, 8)]);
+        // Hoisted step: π̃_m(ρ_dst→m(X) ⋈ ρ_src→m(Cst(E))).
+        let step = Term::var(x)
+            .rename(dst, m)
+            .join(Term::cst(e.clone()).rename(src, m))
+            .antiproject(m);
+        (db, e, vec![step], x)
+    }
+
+    #[test]
+    fn both_engines_agree_on_tc() {
+        let (_db, e, recs, x) = setup();
+        let budget = Budget::new(None, None);
+        let hash = local_fixpoint(&e, &recs, x, LocalEngine::SetRdd, &budget).unwrap();
+        let sorted = local_fixpoint(&e, &recs, x, LocalEngine::Sorted, &budget).unwrap();
+        assert_eq!(hash.sorted_rows(), sorted.sorted_rows());
+        // 4-cycle {0,1,2,3}: all 16 pairs, plus (7,8).
+        assert_eq!(hash.len(), 17);
+    }
+
+    #[test]
+    fn budget_exhaustion_reported() {
+        let (_db, e, recs, x) = setup();
+        let budget = Budget::new(Some(3), None);
+        let err = local_fixpoint(&e, &recs, x, LocalEngine::SetRdd, &budget).unwrap_err();
+        assert!(matches!(err, MuraError::ResourceExhausted { .. }));
+    }
+
+    #[test]
+    fn unhoisted_variable_rejected() {
+        let (mut db, e, _, x) = setup();
+        let free = db.intern("FREE");
+        let recs = vec![Term::var(x).join(Term::var(free))];
+        let budget = Budget::new(None, None);
+        assert!(local_fixpoint(&e, &recs, x, LocalEngine::SetRdd, &budget).is_err());
+    }
+
+    #[test]
+    fn no_recursive_branch_returns_seed() {
+        let (_db, e, _, x) = setup();
+        let budget = Budget::new(None, None);
+        let out = local_fixpoint(&e, &[], x, LocalEngine::SetRdd, &budget).unwrap();
+        assert_eq!(out.sorted_rows(), e.sorted_rows());
+    }
+
+    #[test]
+    fn filter_inside_branch() {
+        let (mut db, e, _, x) = setup();
+        let src = db.intern("src");
+        let dst = db.intern("dst");
+        let m = db.intern("m");
+        // Step filtered to never extend (src of E = 100 doesn't exist).
+        let step = Term::var(x)
+            .rename(dst, m)
+            .join(
+                Term::cst(e.clone())
+                    .filter_eq(src, 100i64)
+                    .rename(src, m),
+            )
+            .antiproject(m);
+        let budget = Budget::new(None, None);
+        let out = local_fixpoint(&e, &[step], x, LocalEngine::Sorted, &budget).unwrap();
+        assert_eq!(out.len(), e.len());
+        let _ = dst;
+    }
+}

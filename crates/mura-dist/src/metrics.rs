@@ -1,0 +1,120 @@
+//! Communication accounting.
+//!
+//! The paper's central claim is about *communication during recursion*:
+//! `P_gld` shuffles every iteration, `P_plw` only repartitions once up
+//! front. These counters make that observable: every shuffle, shuffled row
+//! and broadcast row in the simulated cluster is counted here.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared, thread-safe communication counters for one cluster.
+#[derive(Debug, Default)]
+pub struct CommStats {
+    /// Number of shuffle operations (each repartition of a dataset).
+    pub shuffles: AtomicU64,
+    /// Rows written during shuffles (every row of a repartitioned dataset,
+    /// matching Spark's shuffle-write accounting).
+    pub rows_shuffled: AtomicU64,
+    /// Rows replicated by broadcasts (`rows × (workers − 1)`).
+    pub rows_broadcast: AtomicU64,
+    /// Number of broadcast operations.
+    pub broadcasts: AtomicU64,
+}
+
+impl CommStats {
+    /// Records one shuffle of `rows` rows.
+    pub fn record_shuffle(&self, rows: u64) {
+        self.shuffles.fetch_add(1, Ordering::Relaxed);
+        self.rows_shuffled.fetch_add(rows, Ordering::Relaxed);
+    }
+
+    /// Records one broadcast of `rows` rows to `workers` workers.
+    pub fn record_broadcast(&self, rows: u64, workers: usize) {
+        self.broadcasts.fetch_add(1, Ordering::Relaxed);
+        self.rows_broadcast
+            .fetch_add(rows * (workers.saturating_sub(1)) as u64, Ordering::Relaxed);
+    }
+
+    /// Immutable snapshot of the counters.
+    pub fn snapshot(&self) -> CommSnapshot {
+        CommSnapshot {
+            shuffles: self.shuffles.load(Ordering::Relaxed),
+            rows_shuffled: self.rows_shuffled.load(Ordering::Relaxed),
+            rows_broadcast: self.rows_broadcast.load(Ordering::Relaxed),
+            broadcasts: self.broadcasts.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&self) {
+        self.shuffles.store(0, Ordering::Relaxed);
+        self.rows_shuffled.store(0, Ordering::Relaxed);
+        self.rows_broadcast.store(0, Ordering::Relaxed);
+        self.broadcasts.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of [`CommStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommSnapshot {
+    pub shuffles: u64,
+    pub rows_shuffled: u64,
+    pub rows_broadcast: u64,
+    pub broadcasts: u64,
+}
+
+impl CommSnapshot {
+    /// Difference against an earlier snapshot.
+    pub fn since(&self, earlier: &CommSnapshot) -> CommSnapshot {
+        CommSnapshot {
+            shuffles: self.shuffles - earlier.shuffles,
+            rows_shuffled: self.rows_shuffled - earlier.rows_shuffled,
+            rows_broadcast: self.rows_broadcast - earlier.rows_broadcast,
+            broadcasts: self.broadcasts - earlier.broadcasts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_snapshots() {
+        let m = CommStats::default();
+        m.record_shuffle(100);
+        m.record_shuffle(50);
+        m.record_broadcast(10, 4);
+        let s = m.snapshot();
+        assert_eq!(s.shuffles, 2);
+        assert_eq!(s.rows_shuffled, 150);
+        assert_eq!(s.rows_broadcast, 30);
+        assert_eq!(s.broadcasts, 1);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let m = CommStats::default();
+        m.record_shuffle(10);
+        let a = m.snapshot();
+        m.record_shuffle(5);
+        let d = m.snapshot().since(&a);
+        assert_eq!(d.shuffles, 1);
+        assert_eq!(d.rows_shuffled, 5);
+    }
+
+    #[test]
+    fn broadcast_to_single_worker_is_free() {
+        let m = CommStats::default();
+        m.record_broadcast(100, 1);
+        assert_eq!(m.snapshot().rows_broadcast, 0);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let m = CommStats::default();
+        m.record_shuffle(10);
+        m.reset();
+        assert_eq!(m.snapshot(), CommSnapshot::default());
+    }
+}

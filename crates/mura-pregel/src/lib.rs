@@ -1,0 +1,26 @@
+//! # mura-pregel — vertex-centric BSP baseline (GraphX-style)
+//!
+//! The paper compares Dist-μ-RA against GraphX by compiling UCRPQs to
+//! Pregel programs (§V-C): the regular expression is traversed left to
+//! right while messages carry, per vertex, the set of *(origin,
+//! automaton-state)* pairs of partial matches that reached it. This crate
+//! rebuilds that baseline:
+//!
+//! * [`nfa`] — a regular-path-query → NFA compiler (labels and inverse
+//!   labels as alphabet symbols, ε-elimination);
+//! * [`engine`] — a bulk-synchronous Pregel runtime over hash-partitioned
+//!   vertices with per-superstep message accounting and message budgets
+//!   (GraphX's crashes in the paper are out-of-memory blow-ups of exactly
+//!   these message sets).
+//!
+//! The baseline inherits GraphX's structural weaknesses faithfully:
+//! selections are only exploited at the *start* of the traversal (a
+//! constant left endpoint seeds a single origin; a constant right endpoint
+//! is filtered only at the end), and unanchored queries flood the graph
+//! with `O(V)` origins.
+
+pub mod engine;
+pub mod nfa;
+
+pub use engine::{PregelConfig, PregelEngine, PregelOutput, PregelStats};
+pub use nfa::Nfa;

@@ -1,0 +1,248 @@
+//! Regular path query → NFA compilation.
+//!
+//! Alphabet symbols are `(label, direction)`: traversing an edge forward
+//! (`a`) or backward (`-a`). Thompson construction with ε transitions,
+//! followed by ε-elimination, yields the ε-free automaton the Pregel
+//! engine steps through.
+
+use mura_core::{MuraError, Result};
+use mura_ucrpq::translate::normalize;
+use mura_ucrpq::Path;
+
+/// An alphabet symbol: an edge label traversed forward or backward.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LabelDir {
+    pub label: String,
+    pub inverse: bool,
+}
+
+/// An ε-free NFA over [`LabelDir`] symbols.
+#[derive(Debug, Clone)]
+pub struct Nfa {
+    /// Number of states (`0..n_states`).
+    pub n_states: u32,
+    /// Start state.
+    pub start: u32,
+    /// Accepting states.
+    pub accept: Vec<u32>,
+    /// Transitions `(from, symbol, to)`.
+    pub transitions: Vec<(u32, LabelDir, u32)>,
+}
+
+impl Nfa {
+    /// Compiles a path expression (normalizing it first). Errors when the
+    /// path can match the empty word (same restriction as the μ-RA
+    /// frontend).
+    pub fn from_path(path: &Path) -> Result<Nfa> {
+        let (core, eps) = normalize(path);
+        if eps {
+            return Err(MuraError::Frontend(format!(
+                "path '{path}' can match the empty word"
+            )));
+        }
+        let core = core.ok_or_else(|| {
+            MuraError::Frontend(format!("path '{path}' denotes only the empty word"))
+        })?;
+        let mut b = Builder::default();
+        let (s, e) = b.build(&core)?;
+        b.eliminate_epsilon(s, e)
+    }
+
+    /// Transitions leaving `state`.
+    pub fn transitions_from(&self, state: u32) -> impl Iterator<Item = (&LabelDir, u32)> {
+        self.transitions
+            .iter()
+            .filter(move |(f, _, _)| *f == state)
+            .map(|(_, l, t)| (l, *t))
+    }
+
+    /// True if `state` accepts.
+    pub fn is_accepting(&self, state: u32) -> bool {
+        self.accept.contains(&state)
+    }
+
+    /// All labels referenced (deduplicated).
+    pub fn labels(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for (_, l, _) in &self.transitions {
+            if !out.contains(&l.label.as_str()) {
+                out.push(&l.label);
+            }
+        }
+        out
+    }
+}
+
+#[derive(Default)]
+struct Builder {
+    n: u32,
+    labeled: Vec<(u32, LabelDir, u32)>,
+    eps: Vec<(u32, u32)>,
+}
+
+impl Builder {
+    fn fresh(&mut self) -> u32 {
+        self.n += 1;
+        self.n - 1
+    }
+
+    /// Thompson fragment `(in, out)` for the (normalized) path.
+    fn build(&mut self, p: &Path) -> Result<(u32, u32)> {
+        Ok(match p {
+            Path::Label(l) => {
+                let (s, e) = (self.fresh(), self.fresh());
+                self.labeled.push((s, LabelDir { label: l.clone(), inverse: false }, e));
+                (s, e)
+            }
+            Path::Inverse(inner) => {
+                let Path::Label(l) = &**inner else {
+                    return Err(MuraError::Frontend(
+                        "inverse of compound path must be normalized away".into(),
+                    ));
+                };
+                let (s, e) = (self.fresh(), self.fresh());
+                self.labeled.push((s, LabelDir { label: l.clone(), inverse: true }, e));
+                (s, e)
+            }
+            Path::Concat(a, b) => {
+                let (sa, ea) = self.build(a)?;
+                let (sb, eb) = self.build(b)?;
+                self.eps.push((ea, sb));
+                (sa, eb)
+            }
+            Path::Alt(a, b) => {
+                let (s, e) = (self.fresh(), self.fresh());
+                for branch in [a, b] {
+                    let (sb, eb) = self.build(branch)?;
+                    self.eps.push((s, sb));
+                    self.eps.push((eb, e));
+                }
+                (s, e)
+            }
+            Path::Plus(inner) => {
+                let (si, ei) = self.build(inner)?;
+                self.eps.push((ei, si)); // loop back for one-or-more
+                (si, ei)
+            }
+            Path::Star(_) | Path::Optional(_) => {
+                return Err(MuraError::Frontend("'*' must be normalized away".into()))
+            }
+        })
+    }
+
+    /// ε-elimination: for every state, labeled edges reachable through ε
+    /// paths are added directly; acceptance propagates backwards through ε.
+    fn eliminate_epsilon(self, start: u32, end: u32) -> Result<Nfa> {
+        let n = self.n as usize;
+        // ε-closure by BFS per state (automata here are tiny).
+        let mut closure: Vec<Vec<u32>> = (0..n).map(|s| vec![s as u32]).collect();
+        for s in 0..n {
+            let mut stack = vec![s as u32];
+            while let Some(v) = stack.pop() {
+                for &(f, t) in &self.eps {
+                    if f == v && !closure[s].contains(&t) {
+                        closure[s].push(t);
+                        stack.push(t);
+                    }
+                }
+            }
+        }
+        let mut transitions = Vec::new();
+        for s in 0..n {
+            for &c in &closure[s] {
+                for (f, l, t) in &self.labeled {
+                    if *f == c {
+                        let tr = (s as u32, l.clone(), *t);
+                        if !transitions.contains(&tr) {
+                            transitions.push(tr);
+                        }
+                    }
+                }
+            }
+        }
+        let accept: Vec<u32> = (0..n as u32)
+            .filter(|&s| closure[s as usize].contains(&end))
+            .collect();
+        Ok(Nfa { n_states: self.n, start, accept, transitions })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mura_ucrpq::parse_ucrpq;
+
+    fn nfa_of(path_text: &str) -> Nfa {
+        let q = parse_ucrpq(&format!("?x, ?y <- ?x {path_text} ?y")).unwrap();
+        Nfa::from_path(&q.branches[0].atoms[0].path).unwrap()
+    }
+
+    /// Simulates the NFA on a word of (label, inverse) symbols.
+    fn accepts(nfa: &Nfa, word: &[(&str, bool)]) -> bool {
+        let mut states = vec![nfa.start];
+        for (label, inv) in word {
+            let mut next = Vec::new();
+            for &s in &states {
+                for (l, t) in nfa.transitions_from(s) {
+                    if l.label == *label && l.inverse == *inv && !next.contains(&t) {
+                        next.push(t);
+                    }
+                }
+            }
+            states = next;
+            if states.is_empty() {
+                return false;
+            }
+        }
+        states.iter().any(|&s| nfa.is_accepting(s))
+    }
+
+    #[test]
+    fn single_label() {
+        let n = nfa_of("a");
+        assert!(accepts(&n, &[("a", false)]));
+        assert!(!accepts(&n, &[("b", false)]));
+        assert!(!accepts(&n, &[]));
+        assert!(!accepts(&n, &[("a", false), ("a", false)]));
+    }
+
+    #[test]
+    fn concat_and_alt() {
+        let n = nfa_of("a/(b|c)");
+        assert!(accepts(&n, &[("a", false), ("b", false)]));
+        assert!(accepts(&n, &[("a", false), ("c", false)]));
+        assert!(!accepts(&n, &[("a", false)]));
+    }
+
+    #[test]
+    fn plus_loops() {
+        let n = nfa_of("a+");
+        assert!(accepts(&n, &[("a", false)]));
+        assert!(accepts(&n, &[("a", false), ("a", false), ("a", false)]));
+        assert!(!accepts(&n, &[]));
+    }
+
+    #[test]
+    fn inverse_symbols() {
+        let n = nfa_of("(a/-a)+");
+        assert!(accepts(&n, &[("a", false), ("a", true)]));
+        assert!(accepts(&n, &[("a", false), ("a", true), ("a", false), ("a", true)]));
+        assert!(!accepts(&n, &[("a", false), ("a", false)]));
+    }
+
+    #[test]
+    fn compound_expression() {
+        let n = nfa_of("a/b+/c");
+        assert!(accepts(&n, &[("a", false), ("b", false), ("c", false)]));
+        assert!(accepts(&n, &[("a", false), ("b", false), ("b", false), ("c", false)]));
+        assert!(!accepts(&n, &[("a", false), ("c", false)]));
+    }
+
+    #[test]
+    fn labels_listing() {
+        let n = nfa_of("a/(b|a)+");
+        let mut ls = n.labels();
+        ls.sort();
+        assert_eq!(ls, vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,459 @@
+//! Closure forms: recognition and emission of path-closure fixpoints.
+//!
+//! UCRPQ translation produces fixpoints of a canonical shape over the
+//! binary path schema `{src, dst}`. We abstract them as
+//!
+//! ```text
+//! ClosureForm { seed: S, left: L?, right: R? }   ≐   L* ∘ S ∘ R*
+//! ```
+//!
+//! * `right`-only (`S ∘ R*`) is the **right-linear** closure `RL(S, R)`:
+//!   `μ(X = S ∪ π̃_m(ρ_dst→m(X) ⋈ ρ_src→m(R)))` — appends `R` at `dst`;
+//!   its `src` column is stable.
+//! * `left`-only (`L* ∘ S`) is the **left-linear** closure `LL(S, L)` —
+//!   prepends `L` at `src`; its `dst` column is stable.
+//! * both (`L* ∘ S ∘ R*`) is the **merged** form the paper's
+//!   *merge fixpoints* rule produces for `a+/b+` (= `BL(a∘b, a, b)`);
+//!   no column is stable.
+//!
+//! On these forms the paper's structural rules become algebra on small
+//! records: *reversing* `a+` converts `RL(a,a) ↔ LL(a,a)`; *pushing a join*
+//! composes into the seed; *merging* combines an `LL`-able left operand with
+//! an `RL`-able right operand.
+
+use mura_core::analysis::{decompose_fixpoint, infer_schema, TypeEnv};
+use mura_core::{Dictionary, Sym, Term};
+
+/// A recognized (or synthesized) closure fixpoint `L* ∘ seed ∘ R*` over the
+/// binary path schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClosureForm {
+    /// Constant part of the fixpoint.
+    pub seed: Term,
+    /// Step relation prepended at `src` each iteration, if any.
+    pub left: Option<Term>,
+    /// Step relation appended at `dst` each iteration, if any.
+    pub right: Option<Term>,
+    /// The closure's source column.
+    pub src: Sym,
+    /// The closure's destination column.
+    pub dst: Sym,
+}
+
+impl ClosureForm {
+    /// Right-linear closure `seed ∘ step*`.
+    pub fn right_linear(seed: Term, step: Term, src: Sym, dst: Sym) -> Self {
+        ClosureForm { seed, left: None, right: Some(step), src, dst }
+    }
+
+    /// Left-linear closure `step* ∘ seed`.
+    pub fn left_linear(seed: Term, step: Term, src: Sym, dst: Sym) -> Self {
+        ClosureForm { seed, left: Some(step), right: None, src, dst }
+    }
+
+    /// True if this is a *pure* closure `r+` (seed equals the step
+    /// relation), which is reversible between left- and right-linear form.
+    pub fn is_pure(&self) -> bool {
+        match (&self.left, &self.right) {
+            (None, Some(r)) => *r == self.seed,
+            (Some(l), None) => *l == self.seed,
+            _ => false,
+        }
+    }
+
+    /// Converts to left-linear form if semantically possible:
+    /// already left-only, or a pure right-linear closure (`a+`), or no
+    /// recursion at all.
+    pub fn to_left_linear(&self) -> Option<ClosureForm> {
+        match (&self.left, &self.right) {
+            (_, None) => Some(self.clone()),
+            (None, Some(r)) if self.is_pure() => {
+                Some(ClosureForm::left_linear(r.clone(), r.clone(), self.src, self.dst))
+            }
+            _ => None,
+        }
+    }
+
+    /// Converts to right-linear form if semantically possible.
+    pub fn to_right_linear(&self) -> Option<ClosureForm> {
+        match (&self.left, &self.right) {
+            (None, _) => Some(self.clone()),
+            (Some(l), None) if self.is_pure() => {
+                Some(ClosureForm::right_linear(l.clone(), l.clone(), self.src, self.dst))
+            }
+            _ => None,
+        }
+    }
+
+    /// Emits the μ-RA fixpoint term for this closure.
+    pub fn emit(&self, dict: &mut Dictionary) -> Term {
+        if self.left.is_none() && self.right.is_none() {
+            return self.seed.clone();
+        }
+        let x = dict.fresh("X");
+        let mut branches = vec![self.seed.clone()];
+        if let Some(l) = &self.left {
+            let m = dict.fresh("m");
+            branches.push(
+                l.clone()
+                    .rename(self.dst, m)
+                    .join(Term::var(x).rename(self.src, m))
+                    .antiproject(m),
+            );
+        }
+        if let Some(r) = &self.right {
+            let m = dict.fresh("m");
+            branches.push(
+                Term::var(x)
+                    .rename(self.dst, m)
+                    .join(r.clone().rename(self.src, m))
+                    .antiproject(m),
+            );
+        }
+        Term::union_all(branches).fix(x)
+    }
+}
+
+/// Composition `a ∘ b` over the binary path schema:
+/// `π̃_m(ρ_dst→m(a) ⋈ ρ_src→m(b))`.
+pub fn compose(a: Term, b: Term, src: Sym, dst: Sym, dict: &mut Dictionary) -> Term {
+    let m = dict.fresh("m");
+    a.rename(dst, m).join(b.rename(src, m)).antiproject(m)
+}
+
+/// Tries to recognize `term` as a closure fixpoint over columns
+/// `{src, dst}`. The seed may be any `x`-free term of the right schema; the
+/// step branches must have the canonical append/prepend shape the frontend
+/// (and [`ClosureForm::emit`]) produce.
+pub fn recognize(term: &Term, src: Sym, dst: Sym, env: &mut TypeEnv) -> Option<ClosureForm> {
+    let Term::Fix(x, body) = term else { return None };
+    let (consts, recs) = decompose_fixpoint(*x, body).ok()?;
+    // Closure schema must be exactly {src, dst}.
+    let schema = infer_schema(term, env).ok()?;
+    if schema.columns() != [src.min(dst), src.max(dst)] {
+        return None;
+    }
+    let mut seed: Option<Term> = None;
+    for c in consts {
+        seed = Some(match seed {
+            None => c.clone(),
+            Some(s) => s.union(c.clone()),
+        });
+    }
+    let seed = seed.expect("decompose guarantees a constant part");
+    let mut left: Option<Term> = None;
+    let mut right: Option<Term> = None;
+    for rec in recs {
+        let (grow_col, step) = match_step_branch(rec, *x)?;
+        // Step relation must itself have schema {src, dst} and be x-free.
+        if step.has_free_var(*x) {
+            return None;
+        }
+        let step_schema = infer_schema(&step, env).ok()?;
+        if step_schema.columns() != [src.min(dst), src.max(dst)] {
+            return None;
+        }
+        if grow_col == dst {
+            // Appends at dst: right step. Two right branches union into one
+            // step relation.
+            right = Some(match right {
+                None => step,
+                Some(r) => r.union(step),
+            });
+        } else if grow_col == src {
+            left = Some(match left {
+                None => step,
+                Some(l) => l.union(step),
+            });
+        } else {
+            return None;
+        }
+    }
+    Some(ClosureForm { seed, left, right, src, dst })
+}
+
+/// Matches one recursive branch of a closure:
+/// `π̃_m(ρ_g→m(X) ⋈ ρ_h→m(step))` where `g` is the growing column of `X`
+/// and `h` is the opposite column of the step relation. Returns
+/// `(grow_col, step)`.
+fn match_step_branch(branch: &Term, x: Sym) -> Option<(Sym, Term)> {
+    let Term::AntiProject(cols, inner) = branch else { return None };
+    let [m] = cols.as_slice() else { return None };
+    let Term::Join(a, b) = &**inner else { return None };
+    for (xa, sb) in [(a, b), (b, a)] {
+        let Term::Rename(gx, mx, xv) = &**xa else { continue };
+        if mx != m || **xv != Term::Var(x) {
+            continue;
+        }
+        let Term::Rename(hs, ms, step) = &**sb else { continue };
+        if ms != m {
+            continue;
+        }
+        // grow col gx of X is joined against column hs of the step; for an
+        // append (gx = dst) the step joins at its src (hs = src), i.e. hs
+        // must be the opposite column of gx. The caller validates schemas;
+        // here we only require gx != hs.
+        if gx == hs {
+            continue;
+        }
+        return Some((*gx, (**step).clone()));
+    }
+    None
+}
+
+/// Alternatives for a composition `a ∘ b` (the caller keeps the original as
+/// alternative 0). Each alternative is a complete replacement term.
+///
+/// Generated (when the operands have the required forms):
+///
+/// 1. **merge / push-join** — left operand convertible to `L* ∘ S_a`, right
+///    operand convertible to `S_b ∘ R*`: `L* ∘ (S_a∘S_b) ∘ R*`. With a
+///    plain (non-closure) operand this degenerates to the paper's
+///    *pushing joins into fixpoints*; with two pure closures it is
+///    *merging fixpoints*.
+/// 2. **reverse-then-push (right)** — `RL(S,R) ∘ b  →  S ∘ LL(b, R)`:
+///    re-orients the closure so it grows from `b`'s side (profitable when
+///    `b` is small, e.g. filtered by a constant).
+/// 3. **reverse-then-push (left)** — `a ∘ LL(S,L)  →  RL(a, L) ∘ S`.
+pub fn compose_alternatives(
+    a: &Term,
+    b: &Term,
+    src: Sym,
+    dst: Sym,
+    env: &mut TypeEnv,
+    dict: &mut Dictionary,
+) -> Vec<Term> {
+    let mut out = Vec::new();
+    let fa = recognize(a, src, dst, env);
+    let fb = recognize(b, src, dst, env);
+    let plain =
+        |t: &Term| ClosureForm { seed: t.clone(), left: None, right: None, src, dst };
+    let ca = fa.clone().unwrap_or_else(|| plain(a));
+    let cb = fb.clone().unwrap_or_else(|| plain(b));
+    // 1. merge / push-join: combine an LL-able left with an RL-able right.
+    // A non-convertible closure operand can still participate *as a plain
+    // term* (its emitted fixpoint becomes part of the seed) — this is how
+    // chains like (a1+∘a2+)∘a3+ keep merging.
+    let left_options: Vec<ClosureForm> = {
+        let mut v = Vec::new();
+        if let Some(la) = ca.to_left_linear() {
+            v.push(la);
+        } else {
+            v.push(plain(a));
+        }
+        v
+    };
+    let right_options: Vec<ClosureForm> = {
+        let mut v = Vec::new();
+        if let Some(rb) = cb.to_right_linear() {
+            v.push(rb);
+        } else {
+            v.push(plain(b));
+        }
+        v
+    };
+    for la in &left_options {
+        for rb in &right_options {
+            if la.left.is_none() && rb.right.is_none() {
+                continue; // no recursion to merge — plain composition
+            }
+            let seed = compose(la.seed.clone(), rb.seed.clone(), src, dst, dict);
+            let merged = ClosureForm {
+                seed,
+                left: la.left.clone(),
+                right: rb.right.clone(),
+                src,
+                dst,
+            };
+            out.push(merged.emit(dict));
+        }
+    }
+    // 2. RL(S,R) ∘ b → S ∘ LL(b, R).
+    if let Some(f) = &fa {
+        if let (None, Some(r)) = (&f.left, &f.right) {
+            if !f.is_pure() {
+                let ll = ClosureForm::left_linear(b.clone(), r.clone(), src, dst);
+                out.push(compose(f.seed.clone(), ll.emit(dict), src, dst, dict));
+            }
+        }
+    }
+    // 3. a ∘ LL(S,L) → RL(a, L) ∘ S.
+    if let Some(f) = &fb {
+        if let (Some(l), None) = (&f.left, &f.right) {
+            if !f.is_pure() {
+                let rl = ClosureForm::right_linear(a.clone(), l.clone(), src, dst);
+                out.push(compose(rl.emit(dict), f.seed.clone(), src, dst, dict));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mura_core::{eval, Database, Relation, Schema};
+
+    struct Fx {
+        db: Database,
+        src: Sym,
+        dst: Sym,
+        a: Sym,
+        b: Sym,
+    }
+
+    fn fixture() -> Fx {
+        let mut db = Database::new();
+        let src = db.intern("src");
+        let dst = db.intern("dst");
+        // a: chain 0→1→2; b: chain 2→3→4.
+        let a = db.insert_relation("a", Relation::from_pairs(src, dst, [(0, 1), (1, 2)]));
+        let b = db.insert_relation("b", Relation::from_pairs(src, dst, [(2, 3), (3, 4)]));
+        Fx { db, src, dst, a, b }
+    }
+
+    fn env(f: &Fx) -> TypeEnv {
+        TypeEnv::from_db(&f.db)
+    }
+
+    #[test]
+    fn emit_then_recognize_round_trips() {
+        let mut f = fixture();
+        for form in [
+            ClosureForm::right_linear(Term::var(f.a), Term::var(f.a), f.src, f.dst),
+            ClosureForm::left_linear(Term::var(f.a), Term::var(f.a), f.src, f.dst),
+            ClosureForm {
+                seed: Term::var(f.a),
+                left: Some(Term::var(f.a)),
+                right: Some(Term::var(f.b)),
+                src: f.src,
+                dst: f.dst,
+            },
+        ] {
+            let term = form.emit(f.db.dict_mut());
+            let mut e = env(&f);
+            let back = recognize(&term, f.src, f.dst, &mut e).expect("recognize");
+            assert_eq!(back.seed, form.seed);
+            assert_eq!(back.left, form.left);
+            assert_eq!(back.right, form.right);
+        }
+    }
+
+    #[test]
+    fn rl_and_ll_compute_same_pure_closure() {
+        let mut f = fixture();
+        let rl = ClosureForm::right_linear(Term::var(f.a), Term::var(f.a), f.src, f.dst)
+            .emit(f.db.dict_mut());
+        let ll = ClosureForm::left_linear(Term::var(f.a), Term::var(f.a), f.src, f.dst)
+            .emit(f.db.dict_mut());
+        let ra = eval(&rl, &f.db).unwrap();
+        let rb = eval(&ll, &f.db).unwrap();
+        assert_eq!(ra.sorted_rows(), rb.sorted_rows());
+        assert_eq!(ra.len(), 3); // (0,1) (1,2) (0,2)
+    }
+
+    #[test]
+    fn pure_conversion() {
+        let f = fixture();
+        let rl = ClosureForm::right_linear(Term::var(f.a), Term::var(f.a), f.src, f.dst);
+        assert!(rl.is_pure());
+        let ll = rl.to_left_linear().unwrap();
+        assert_eq!(ll.left, Some(Term::var(f.a)));
+        assert_eq!(ll.right, None);
+        // Non-pure RL cannot convert.
+        let rl2 = ClosureForm::right_linear(Term::var(f.b), Term::var(f.a), f.src, f.dst);
+        assert!(rl2.to_left_linear().is_none());
+    }
+
+    #[test]
+    fn merged_closure_equals_composed_closures() {
+        // a+ ∘ b+ (composed) vs merged BL(a∘b, a, b).
+        let mut f = fixture();
+        let a_plus = ClosureForm::right_linear(Term::var(f.a), Term::var(f.a), f.src, f.dst)
+            .emit(f.db.dict_mut());
+        let b_plus = ClosureForm::right_linear(Term::var(f.b), Term::var(f.b), f.src, f.dst)
+            .emit(f.db.dict_mut());
+        let composed = compose(a_plus.clone(), b_plus.clone(), f.src, f.dst, f.db.dict_mut());
+        let mut e = env(&f);
+        let alts = compose_alternatives(&a_plus, &b_plus, f.src, f.dst, &mut e, f.db.dict_mut());
+        assert!(!alts.is_empty(), "merge alternative must be generated");
+        let expected = eval(&composed, &f.db).unwrap();
+        for alt in &alts {
+            let got = eval(alt, &f.db).unwrap();
+            assert_eq!(got.sorted_rows(), expected.sorted_rows());
+        }
+        // The merged fixpoint has both a left and a right branch.
+        let merged = &alts[0];
+        let mut e2 = env(&f);
+        let form = recognize(merged, f.src, f.dst, &mut e2).unwrap();
+        assert!(form.left.is_some() && form.right.is_some());
+    }
+
+    #[test]
+    fn push_join_into_rl() {
+        // b ∘ a+ → RL(b∘a, a): same result, seed is the composition.
+        let mut f = fixture();
+        let a_plus = ClosureForm::right_linear(Term::var(f.a), Term::var(f.a), f.src, f.dst)
+            .emit(f.db.dict_mut());
+        let composed =
+            compose(Term::var(f.b), a_plus.clone(), f.src, f.dst, f.db.dict_mut());
+        let mut e = env(&f);
+        let alts = compose_alternatives(
+            &Term::var(f.b),
+            &a_plus,
+            f.src,
+            f.dst,
+            &mut e,
+            f.db.dict_mut(),
+        );
+        assert!(!alts.is_empty());
+        let expected = eval(&composed, &f.db).unwrap();
+        for alt in &alts {
+            assert_eq!(eval(alt, &f.db).unwrap().sorted_rows(), expected.sorted_rows());
+        }
+    }
+
+    #[test]
+    fn reverse_push_on_impure_rl() {
+        // RL(b, a) ∘ b  →  b ∘ LL(b, a): alternative 2 fires.
+        let mut f = fixture();
+        let rl = ClosureForm::right_linear(Term::var(f.b), Term::var(f.a), f.src, f.dst)
+            .emit(f.db.dict_mut());
+        let composed = compose(rl.clone(), Term::var(f.b), f.src, f.dst, f.db.dict_mut());
+        let mut e = env(&f);
+        let alts =
+            compose_alternatives(&rl, &Term::var(f.b), f.src, f.dst, &mut e, f.db.dict_mut());
+        assert!(!alts.is_empty());
+        let expected = eval(&composed, &f.db).unwrap();
+        for alt in &alts {
+            assert_eq!(eval(alt, &f.db).unwrap().sorted_rows(), expected.sorted_rows());
+        }
+    }
+
+    #[test]
+    fn recognize_rejects_non_binary_schema() {
+        let mut f = fixture();
+        let c = f.db.intern("c");
+        // Ternary relation fixpoint is not a closure.
+        let schema = Schema::new(vec![f.src, f.dst, c]);
+        let tern = Relation::new(schema);
+        f.db.insert_relation("T", tern);
+        let t = f.db.dict().lookup("T").unwrap();
+        let x = f.db.dict_mut().fresh("X");
+        let term = Term::var(t).union(Term::var(x)).fix(x);
+        let mut e = env(&f);
+        assert!(recognize(&term, f.src, f.dst, &mut e).is_none());
+    }
+
+    #[test]
+    fn recognize_rejects_same_generation_shape() {
+        // Same-generation's step is not a simple append/prepend.
+        let mut db = Database::new();
+        let src = db.intern("src");
+        let dst = db.intern("dst");
+        db.insert_relation("R", Relation::from_pairs(src, dst, [(0, 1), (0, 2)]));
+        let t = mura_ucrpq::suites::same_generation_term(&mut db, "R").unwrap();
+        let mut e = TypeEnv::from_db(&db);
+        assert!(recognize(&t, src, dst, &mut e).is_none());
+    }
+}

@@ -1,0 +1,33 @@
+//! # mura-rewrite — logical optimization of μ-RA terms (`MuRewriter`)
+//!
+//! Implements the rewrite rules the paper leverages from the μ-RA work
+//! (§III) together with classical relational-algebra rules, and a
+//! cardinality-based cost model in the spirit of the CIKM'20 estimator
+//! ([20]) used by the paper's `CostEstimator`:
+//!
+//! * **Pushing filters into fixpoints** — a filter on a *stable* column
+//!   commutes with the fixpoint and is applied to the constant part.
+//! * **Pushing joins into fixpoints** — a join on stable columns restarts
+//!   the fixpoint from the joined constant part (e.g. `?x isMarriedTo/knows+
+//!   ?y` starts from `isMarriedTo/knows`).
+//! * **Pushing antiprojections into fixpoints** — unused stable columns are
+//!   dropped before iterating.
+//! * **Merging fixpoints** — `a+/b+` becomes one fixpoint seeded with `a∘b`
+//!   that grows `a` to the left or `b` to the right.
+//! * **Reversing fixpoints** — a right-linear closure is re-expressed
+//!   left-linearly (and vice versa) so filters/joins on the *other* side
+//!   become pushable.
+//!
+//! The rewriter applies cheap normalization rules greedily
+//! ([`rules`]) and takes cost-based decisions where plans genuinely diverge
+//! (closure orientation, merging, join pushing — [`closure`], [`rewriter`]),
+//! mirroring the paper's MuRewriter + CostEstimator split.
+
+pub mod closure;
+pub mod cost;
+pub mod rewriter;
+pub mod rules;
+
+pub use closure::ClosureForm;
+pub use cost::{CostModel, Stats};
+pub use rewriter::{optimize, Rewriter};

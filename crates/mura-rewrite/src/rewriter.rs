@@ -1,0 +1,413 @@
+//! The rewrite driver: greedy normalization + cost-based closure decisions.
+//!
+//! Mirrors the paper's architecture (§III): `MuRewriter` explores
+//! semantically equivalent plans; the `CostEstimator` selects the best
+//! recursive plan. Always-profitable rules (filter / antiprojection /
+//! rename / join pushing, §[`crate::rules`]) are applied greedily; plans
+//! genuinely diverge only at *closure decisions* — merging two fixpoints,
+//! pushing a composition into a fixpoint, or reversing a fixpoint to expose
+//! the other side — and those are chosen by estimated cost.
+
+use crate::closure::{compose, recognize, ClosureForm};
+use crate::cost::{CostModel, Stats};
+use crate::rules;
+use mura_core::analysis::TypeEnv;
+use mura_core::{Database, Pred, Result, Sym, Term};
+
+/// Maximum normalize+closure sweeps. Each sweep only accepts strictly
+/// cheaper plans, so this is a safety bound rather than a tuning knob.
+const MAX_PASSES: usize = 5;
+
+/// Required relative improvement to adopt an alternative plan (guards
+/// against oscillation between reversible forms of equal cost).
+const IMPROVEMENT: f64 = 0.999;
+
+/// Cost-based μ-RA optimizer.
+pub struct Rewriter {
+    stats: Stats,
+    src: Sym,
+    dst: Sym,
+}
+
+impl Rewriter {
+    /// Builds a rewriter for a database (collects base statistics).
+    pub fn new(db: &mut Database) -> Self {
+        let stats = Stats::from_db(db);
+        let src = db.intern("src");
+        let dst = db.intern("dst");
+        Rewriter { stats, src, dst }
+    }
+
+    /// Optimizes a term: returns a semantically equivalent, estimated-cheaper
+    /// plan.
+    pub fn optimize(&self, term: &Term, db: &mut Database) -> Result<Term> {
+        // Closure decisions run *before* normalization in each sweep: the
+        // frontend emits pristine composition patterns, and normalization
+        // (e.g. pushing a rename into a fixpoint's seed) can obscure them.
+        let mut t = term.clone();
+        for _ in 0..MAX_PASSES {
+            let mut env = TypeEnv::from_db(db);
+            let t2 = self.closure_pass(&t, db, &mut env, &mut Vec::new())?;
+            let t2 = rules::normalize(&t2, &mut env);
+            if t2 == t {
+                break;
+            }
+            t = t2;
+        }
+        Ok(t)
+    }
+
+    /// Estimated cost of a plan (exposed for benchmarking/ablation).
+    pub fn cost(&self, term: &Term) -> Result<f64> {
+        CostModel::new(&self.stats).cost(term)
+    }
+
+    /// One bottom-up sweep taking cost-based decisions at composition
+    /// patterns and filtered closures. `bound` tracks enclosing fixpoint
+    /// variables: subterms mentioning them are not closed, so no
+    /// alternatives are generated (they cannot be costed independently).
+    fn closure_pass(
+        &self,
+        t: &Term,
+        db: &mut Database,
+        env: &mut TypeEnv,
+        bound: &mut Vec<Sym>,
+    ) -> Result<Term> {
+        let closed = |t: &Term, bound: &[Sym]| !bound.iter().any(|v| t.has_free_var(*v));
+        // Composition pattern? Optimize operands first, then compare
+        // alternatives.
+        if let Some((a, b, _m)) = recognize_compose(t, self.src, self.dst) {
+            if closed(&a, bound) && closed(&b, bound) {
+                let a = self.closure_pass(&a, db, env, bound)?;
+                let b = self.closure_pass(&b, db, env, bound)?;
+                let original = compose(a.clone(), b.clone(), self.src, self.dst, db.dict_mut());
+                let mut alts = crate::closure::compose_alternatives(
+                    &a,
+                    &b,
+                    self.src,
+                    self.dst,
+                    env,
+                    db.dict_mut(),
+                );
+                // Normalize alternatives so their costs reflect final shape.
+                for alt in &mut alts {
+                    *alt = rules::normalize(alt, env);
+                }
+                return self.pick(original, alts);
+            }
+        }
+        // Filter over a closure: consider reversing it so the filter can be
+        // pushed into the seed of the reoriented fixpoint.
+        if let Term::Filter(preds, inner) = t {
+            if matches!(&**inner, Term::Fix(_, _)) && closed(inner, bound) {
+                let inner_opt = self.closure_pass(inner, db, env, bound)?;
+                let original = Term::Filter(preds.clone(), Box::new(inner_opt.clone()));
+                let mut alts = Vec::new();
+                if let Some(form) = recognize(&inner_opt, self.src, self.dst, env) {
+                    alts.extend(self.reversal_alternatives(preds, &form, db));
+                }
+                for alt in &mut alts {
+                    *alt = rules::normalize(alt, env);
+                }
+                return self.pick(original, alts);
+            }
+        }
+        // Cross-atom joins: consider pushing one operand into the other's
+        // fixpoint through its rename chain (e.g. Q18-style conjunctions,
+        // `?a isL+ Japan, ?a isConnectedTo+ ?c`). Cost decides — carrying
+        // extra columns through the iteration is not always a win.
+        if let Term::Join(a, b) = t {
+            if closed(a, bound) && closed(b, bound) {
+                let a = self.closure_pass(a, db, env, bound)?;
+                let b = self.closure_pass(b, db, env, bound)?;
+                let mut alts = Vec::new();
+                if let Some(alt) = rules::join_into_fix_through_renames(&a, &b, env) {
+                    alts.push(rules::normalize(&alt, env));
+                }
+                if let Some(alt) = rules::join_into_fix_through_renames(&b, &a, env) {
+                    alts.push(rules::normalize(&alt, env));
+                }
+                return self.pick(a.join(b), alts);
+            }
+        }
+        // Otherwise: rebuild with optimized children.
+        Ok(match t {
+            Term::Var(_) | Term::Cst(_) => t.clone(),
+            Term::Filter(ps, inner) => {
+                Term::Filter(ps.clone(), Box::new(self.closure_pass(inner, db, env, bound)?))
+            }
+            Term::Rename(a, b, inner) => {
+                Term::Rename(*a, *b, Box::new(self.closure_pass(inner, db, env, bound)?))
+            }
+            Term::AntiProject(cs, inner) => {
+                Term::AntiProject(cs.clone(), Box::new(self.closure_pass(inner, db, env, bound)?))
+            }
+            Term::Join(a, b) => Term::Join(
+                Box::new(self.closure_pass(a, db, env, bound)?),
+                Box::new(self.closure_pass(b, db, env, bound)?),
+            ),
+            Term::Antijoin(a, b) => Term::Antijoin(
+                Box::new(self.closure_pass(a, db, env, bound)?),
+                Box::new(self.closure_pass(b, db, env, bound)?),
+            ),
+            Term::Union(a, b) => Term::Union(
+                Box::new(self.closure_pass(a, db, env, bound)?),
+                Box::new(self.closure_pass(b, db, env, bound)?),
+            ),
+            Term::Fix(x, body) => {
+                bound.push(*x);
+                let body2 = self.closure_pass(body, db, env, bound);
+                bound.pop();
+                Term::Fix(*x, Box::new(body2?))
+            }
+        })
+    }
+
+    /// Reversal alternatives for `σ_preds(closure)` when the predicates sit
+    /// on the closure's non-stable end (the paper's *reversing a fixpoint*,
+    /// needed by classes C2/C4):
+    ///
+    /// * pure `RL(r,r)` with a `dst` filter → `LL(σ(r), r)` (and the
+    ///   symmetric case);
+    /// * impure `RL(S,R)` with a `dst` filter →
+    ///   `σ(S) ∪ S ∘ LL(σ(R), R)` (filter reaches the seed of the reversed
+    ///   tail closure).
+    fn reversal_alternatives(
+        &self,
+        preds: &[Pred],
+        form: &ClosureForm,
+        db: &mut Database,
+    ) -> Vec<Term> {
+        let mut out = Vec::new();
+        let on = |col: Sym| preds.iter().all(|p| p.columns().iter().all(|c| *c == col));
+        match (&form.left, &form.right) {
+            // Right-linear, filter on dst.
+            (None, Some(r)) if on(form.dst) => {
+                let filtered_r = Term::Filter(preds.to_vec(), Box::new(r.clone()));
+                if form.is_pure() {
+                    out.push(
+                        ClosureForm::left_linear(filtered_r, r.clone(), form.src, form.dst)
+                            .emit(db.dict_mut()),
+                    );
+                } else {
+                    let tail = ClosureForm::left_linear(filtered_r, r.clone(), form.src, form.dst)
+                        .emit(db.dict_mut());
+                    let seed_filtered =
+                        Term::Filter(preds.to_vec(), Box::new(form.seed.clone()));
+                    let extended =
+                        compose(form.seed.clone(), tail, form.src, form.dst, db.dict_mut());
+                    out.push(seed_filtered.union(extended));
+                }
+            }
+            // Left-linear, filter on src.
+            (Some(l), None) if on(form.src) => {
+                let filtered_l = Term::Filter(preds.to_vec(), Box::new(l.clone()));
+                if form.is_pure() {
+                    out.push(
+                        ClosureForm::right_linear(filtered_l, l.clone(), form.src, form.dst)
+                            .emit(db.dict_mut()),
+                    );
+                } else {
+                    let head = ClosureForm::right_linear(filtered_l, l.clone(), form.src, form.dst)
+                        .emit(db.dict_mut());
+                    let seed_filtered =
+                        Term::Filter(preds.to_vec(), Box::new(form.seed.clone()));
+                    let extended =
+                        compose(head, form.seed.clone(), form.src, form.dst, db.dict_mut());
+                    out.push(seed_filtered.union(extended));
+                }
+            }
+            _ => {}
+        }
+        out
+    }
+
+    /// Picks the cheapest among the original and the alternatives (with a
+    /// strict-improvement margin).
+    fn pick(&self, original: Term, alts: Vec<Term>) -> Result<Term> {
+        let cm = CostModel::new(&self.stats);
+        let mut best = original;
+        let mut best_cost = match cm.cost(&best) {
+            Ok(c) => c,
+            // Un-costable (e.g. constants only known upstream): keep as is.
+            Err(_) => return Ok(best),
+        };
+        for alt in alts {
+            // Alternatives whose cost cannot be estimated are skipped.
+            if let Ok(c) = cm.cost(&alt) {
+                if c < best_cost * IMPROVEMENT {
+                    best = alt;
+                    best_cost = c;
+                }
+            }
+        }
+        Ok(best)
+    }
+}
+
+/// Matches the composition pattern `π̃_m(ρ_dst→m(A) ⋈ ρ_src→m(B))`,
+/// returning `(A, B, m)`.
+pub fn recognize_compose(t: &Term, src: Sym, dst: Sym) -> Option<(Term, Term, Sym)> {
+    let Term::AntiProject(cols, inner) = t else { return None };
+    let [m] = cols.as_slice() else { return None };
+    let Term::Join(l, r) = &**inner else { return None };
+    for (x, y) in [(l, r), (r, l)] {
+        let Term::Rename(fa, ma, a) = &**x else { continue };
+        let Term::Rename(fb, mb, b) = &**y else { continue };
+        if *fa == dst && *ma == *m && *fb == src && *mb == *m {
+            return Some(((**a).clone(), (**b).clone(), *m));
+        }
+    }
+    None
+}
+
+/// Optimizes `term` against `db` (convenience wrapper).
+pub fn optimize(term: &Term, db: &mut Database) -> Result<Term> {
+    Rewriter::new(db).optimize(term, db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mura_core::{eval, Database, Relation};
+    use mura_datagen::{erdos_renyi, with_random_labels};
+    use mura_ucrpq::{parse_ucrpq, to_mura};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Labeled random graph database for end-to-end rewrite tests.
+    fn test_db() -> Database {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = erdos_renyi(300, 0.01, 4);
+        let lg = with_random_labels(&g, 3, &mut rng);
+        let mut db = lg.to_database();
+        db.bind_constant("C", mura_core::Value::node(7));
+        db
+    }
+
+    fn check(query: &str) -> (Term, Term, Database) {
+        let mut db = test_db();
+        let q = parse_ucrpq(query).unwrap();
+        let naive = to_mura(&q, &mut db).unwrap();
+        let opt = optimize(&naive, &mut db).unwrap();
+        let a = eval(&naive, &db).unwrap();
+        let b = eval(&opt, &db).unwrap();
+        assert_eq!(a.sorted_rows(), b.sorted_rows(), "optimized plan changed semantics");
+        (naive, opt, db)
+    }
+
+    #[test]
+    fn c1_unchanged_semantics() {
+        check("?x, ?y <- ?x a1+ ?y");
+    }
+
+    #[test]
+    fn c2_filter_right_reverses() {
+        let (_, opt, db) = check("?x <- ?x a1+ C");
+        // The optimized plan must contain no filter above a fixpoint: the
+        // reversal pushed it into a seed.
+        fn filter_over_fix(t: &Term) -> bool {
+            match t {
+                Term::Filter(_, inner) => {
+                    matches!(**inner, Term::Fix(_, _))
+                        || filter_over_fix(inner)
+                        || false
+                }
+                _ => t.children().iter().any(|c| filter_over_fix(c)),
+            }
+        }
+        assert!(!filter_over_fix(&opt), "{}", opt.display(db.dict()));
+    }
+
+    #[test]
+    fn c3_filter_left_pushes() {
+        let (_, opt, db) = check("?x <- C a1+ ?x");
+        fn filter_over_fix(t: &Term) -> bool {
+            match t {
+                Term::Filter(_, inner) => matches!(**inner, Term::Fix(_, _)) || filter_over_fix(inner),
+                _ => t.children().iter().any(|c| filter_over_fix(c)),
+            }
+        }
+        assert!(!filter_over_fix(&opt), "{}", opt.display(db.dict()));
+    }
+
+    #[test]
+    fn c4_concat_right_optimizes() {
+        check("?x, ?y <- ?x a1+/a2 ?y");
+    }
+
+    #[test]
+    fn c5_concat_left_pushes_join() {
+        let (naive, opt, _) = check("?x, ?y <- ?x a2/a1+ ?y");
+        // Pushing the join into the fixpoint removes the top-level compose:
+        // the optimized term has no more fixpoints than the naive one and
+        // the join moved inside.
+        assert!(opt.fixpoint_count() <= naive.fixpoint_count());
+    }
+
+    #[test]
+    fn c6_merge_fixpoints() {
+        let (naive, opt, _) = check("?x, ?y <- ?x a1+/a2+ ?y");
+        // Naive: two fixpoints joined. Merged: a single two-branch fixpoint.
+        assert_eq!(naive.fixpoint_count(), 2);
+        assert!(opt.fixpoint_count() <= 1, "expected merged fixpoint");
+    }
+
+    #[test]
+    fn mixed_classes_still_correct() {
+        check("?x <- C a2/a1+ ?x");
+        check("?x <- ?x a1+/a2 C");
+        check("?x, ?y <- ?x a1/a2+/a3+ ?y");
+    }
+
+    #[test]
+    fn conjunction_correct() {
+        check("?x, ?z <- ?x a1+ ?y, ?y a2+ ?z");
+    }
+
+    #[test]
+    fn optimized_cost_not_worse() {
+        let mut db = test_db();
+        let rw = Rewriter::new(&mut db);
+        for q in ["?x <- ?x a1+ C", "?x, ?y <- ?x a1+/a2+ ?y", "?x <- C a1+ ?x"] {
+            let parsed = parse_ucrpq(q).unwrap();
+            let naive = to_mura(&parsed, &mut db).unwrap();
+            let opt = rw.optimize(&naive, &mut db).unwrap();
+            let cn = rw.cost(&naive).unwrap();
+            let co = rw.cost(&opt).unwrap();
+            assert!(co <= cn, "{q}: cost went up ({co} > {cn})");
+        }
+    }
+
+    #[test]
+    fn recognize_compose_matches_frontend_output() {
+        let mut db = Database::new();
+        let src = db.intern("src");
+        let dst = db.intern("dst");
+        db.insert_relation("a", Relation::from_pairs(src, dst, [(0, 1)]));
+        db.insert_relation("b", Relation::from_pairs(src, dst, [(1, 2)]));
+        let q = parse_ucrpq("?x, ?y <- ?x a/b ?y").unwrap();
+        let t = to_mura(&q, &mut db).unwrap();
+        // Strip the outer renames (?x, ?y) to reach the compose node.
+        fn find_compose(t: &Term, src: Sym, dst: Sym) -> bool {
+            if recognize_compose(t, src, dst).is_some() {
+                return true;
+            }
+            t.children().iter().any(|c| find_compose(c, src, dst))
+        }
+        assert!(find_compose(&t, src, dst));
+    }
+
+    #[test]
+    fn idempotent_on_nonrecursive() {
+        let mut db = test_db();
+        let q = parse_ucrpq("?x, ?y <- ?x a1/a2 ?y").unwrap();
+        let t = to_mura(&q, &mut db).unwrap();
+        let o1 = optimize(&t, &mut db).unwrap();
+        let o2 = optimize(&o1, &mut db).unwrap();
+        assert_eq!(
+            eval(&o1, &db).unwrap().sorted_rows(),
+            eval(&o2, &db).unwrap().sorted_rows()
+        );
+    }
+}

@@ -1,0 +1,91 @@
+//! Property tests: the optimizer preserves semantics on randomly generated
+//! regular path queries over random labeled graphs, and never increases
+//! the estimated cost.
+
+use mura_core::{eval, Database, Relation};
+use mura_rewrite::{optimize, Rewriter};
+use mura_ucrpq::{to_mura, Atom, Crpq, Endpoint, Path, Ucrpq};
+use proptest::prelude::*;
+
+fn path_strategy() -> impl Strategy<Value = Path> {
+    let leaf = prop_oneof![
+        Just(Path::label("a")),
+        Just(Path::label("b")),
+        Just(Path::label("a").inverse()),
+    ];
+    leaf.prop_recursive(3, 10, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| x.then(y)),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| x.or(y)),
+            inner.prop_map(|x| x.plus()),
+        ]
+    })
+}
+
+fn endpoint(var: &'static str) -> impl Strategy<Value = Endpoint> {
+    prop_oneof![
+        2 => Just(Endpoint::Var(var.to_string())),
+        1 => (0u64..25).prop_map(|n| Endpoint::Const(n.to_string())),
+    ]
+}
+
+fn db_from(edges: &[(u64, u64, bool)]) -> Database {
+    let mut db = Database::new();
+    let src = db.intern("src");
+    let dst = db.intern("dst");
+    let a: Vec<_> = edges.iter().filter(|e| e.2).map(|&(s, d, _)| (s, d)).collect();
+    let b: Vec<_> = edges.iter().filter(|e| !e.2).map(|&(s, d, _)| (s, d)).collect();
+    db.insert_relation("a", Relation::from_pairs(src, dst, a));
+    db.insert_relation("b", Relation::from_pairs(src, dst, b));
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn optimize_preserves_semantics(
+        edges in prop::collection::vec((0u64..25, 0u64..25, any::<bool>()), 1..50),
+        path in path_strategy(),
+        left in endpoint("x"),
+        right in endpoint("y"),
+    ) {
+        let mut head = Vec::new();
+        if let Endpoint::Var(v) = &left { head.push(v.clone()); }
+        if let Endpoint::Var(v) = &right { if !head.contains(v) { head.push(v.clone()); } }
+        if head.is_empty() { return Ok(()); }
+        let q = Ucrpq {
+            branches: vec![Crpq { head, atoms: vec![Atom { left, path, right }] }],
+        };
+        let mut db = db_from(&edges);
+        let Ok(term) = to_mura(&q, &mut db) else { return Ok(()) };
+        let expected = eval(&term, &db).expect("naive eval");
+        let opt = optimize(&term, &mut db).expect("optimize");
+        let got = eval(&opt, &db).expect("optimized eval");
+        prop_assert_eq!(got.sorted_rows(), expected.sorted_rows(), "query {}", q);
+    }
+
+    #[test]
+    fn optimize_never_raises_estimated_cost(
+        edges in prop::collection::vec((0u64..25, 0u64..25, any::<bool>()), 5..50),
+        path in path_strategy(),
+    ) {
+        let q = Ucrpq {
+            branches: vec![Crpq {
+                head: vec!["x".into(), "y".into()],
+                atoms: vec![Atom {
+                    left: Endpoint::Var("x".into()),
+                    path,
+                    right: Endpoint::Var("y".into()),
+                }],
+            }],
+        };
+        let mut db = db_from(&edges);
+        let Ok(term) = to_mura(&q, &mut db) else { return Ok(()) };
+        let rw = Rewriter::new(&mut db);
+        let opt = rw.optimize(&term, &mut db).expect("optimize");
+        let (Ok(c_naive), Ok(c_opt)) = (rw.cost(&term), rw.cost(&opt)) else { return Ok(()) };
+        // Small tolerance: normalization can reshape plans of equal cost.
+        prop_assert!(c_opt <= c_naive * 1.05, "cost {c_opt} > naive {c_naive}");
+    }
+}

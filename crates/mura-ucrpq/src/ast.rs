@@ -1,0 +1,277 @@
+//! UCRPQ abstract syntax.
+
+use std::fmt;
+
+/// A regular path expression over edge labels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Path {
+    /// An edge label, e.g. `isLocatedIn`.
+    Label(String),
+    /// Reverse traversal `-p`.
+    Inverse(Box<Path>),
+    /// Concatenation `p/q`.
+    Concat(Box<Path>, Box<Path>),
+    /// Alternation `p|q`.
+    Alt(Box<Path>, Box<Path>),
+    /// One-or-more `p+`.
+    Plus(Box<Path>),
+    /// Zero-or-more `p*` (desugared to `ε | p+` during normalization).
+    Star(Box<Path>),
+    /// Zero-or-one `p?` (desugared to `ε | p` during normalization).
+    Optional(Box<Path>),
+}
+
+impl Path {
+    /// Label leaf.
+    pub fn label(l: &str) -> Path {
+        Path::Label(l.to_string())
+    }
+
+    /// `self/other`.
+    pub fn then(self, other: Path) -> Path {
+        Path::Concat(Box::new(self), Box::new(other))
+    }
+
+    /// `self|other`.
+    pub fn or(self, other: Path) -> Path {
+        Path::Alt(Box::new(self), Box::new(other))
+    }
+
+    /// `self+`.
+    pub fn plus(self) -> Path {
+        Path::Plus(Box::new(self))
+    }
+
+    /// `-self`.
+    pub fn inverse(self) -> Path {
+        Path::Inverse(Box::new(self))
+    }
+
+    /// True if the expression contains a `+` or `*` (recursion).
+    pub fn is_recursive(&self) -> bool {
+        match self {
+            Path::Label(_) => false,
+            Path::Plus(_) | Path::Star(_) => true,
+            Path::Inverse(p) | Path::Optional(p) => p.is_recursive(),
+            Path::Concat(a, b) | Path::Alt(a, b) => a.is_recursive() || b.is_recursive(),
+        }
+    }
+
+    /// `self?`.
+    pub fn optional(self) -> Path {
+        Path::Optional(Box::new(self))
+    }
+
+    /// Bounded repetition `self{lo, hi}` (or `self{lo,}` when `hi` is
+    /// `None`), desugared into concatenations / optionals / `+`.
+    ///
+    /// # Panics
+    /// Panics when `hi < lo` or when the range is `{0, 0}`.
+    pub fn repeat(self, lo: u32, hi: Option<u32>) -> Path {
+        if let Some(h) = hi {
+            assert!(h >= lo, "invalid repetition bounds");
+            assert!(h > 0, "p{{0,0}} denotes only the empty word");
+        }
+        match hi {
+            // p{m,}: m-1 mandatory copies then p+.
+            None => {
+                let mut out = self.clone().plus();
+                for _ in 1..lo.max(1) {
+                    out = self.clone().then(out);
+                }
+                if lo == 0 {
+                    out = Path::Star(Box::new(self));
+                }
+                out
+            }
+            Some(h) => {
+                // Optional tail of (h - lo) copies, innermost first.
+                let mut tail: Option<Path> = None;
+                for _ in 0..h - lo {
+                    let inner = match tail {
+                        None => self.clone(),
+                        Some(t) => self.clone().then(t),
+                    };
+                    tail = Some(inner.optional());
+                }
+                // lo mandatory copies.
+                let mut parts: Vec<Path> = (0..lo).map(|_| self.clone()).collect();
+                if let Some(t) = tail {
+                    parts.push(t);
+                }
+                let mut it = parts.into_iter();
+                let first = it.next().expect("h > 0 guarantees a part");
+                it.fold(first, |acc, p| acc.then(p))
+            }
+        }
+    }
+
+    /// All labels mentioned (with duplicates removed, in first-seen order).
+    pub fn labels(&self) -> Vec<&str> {
+        fn go<'p>(p: &'p Path, out: &mut Vec<&'p str>) {
+            match p {
+                Path::Label(l) => {
+                    if !out.contains(&l.as_str()) {
+                        out.push(l);
+                    }
+                }
+                Path::Inverse(p) | Path::Plus(p) | Path::Star(p) | Path::Optional(p) => {
+                    go(p, out)
+                }
+                Path::Concat(a, b) | Path::Alt(a, b) => {
+                    go(a, out);
+                    go(b, out);
+                }
+            }
+        }
+        let mut out = Vec::new();
+        go(self, &mut out);
+        out
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Path::Label(l) => write!(f, "{l}"),
+            Path::Inverse(p) => write!(f, "-{p}"),
+            Path::Concat(a, b) => write!(f, "{a}/{b}"),
+            Path::Alt(a, b) => write!(f, "({a}|{b})"),
+            // Alt prints its own parentheses; labels and inverses bind
+            // tighter than the postfix operator.
+            Path::Plus(p) => match **p {
+                Path::Label(_) | Path::Alt(_, _) | Path::Inverse(_) => write!(f, "{p}+"),
+                _ => write!(f, "({p})+"),
+            },
+            Path::Star(p) => match **p {
+                Path::Label(_) | Path::Alt(_, _) | Path::Inverse(_) => write!(f, "{p}*"),
+                _ => write!(f, "({p})*"),
+            },
+            Path::Optional(p) => match **p {
+                Path::Label(_) | Path::Alt(_, _) | Path::Inverse(_) => write!(f, "{p}?"),
+                _ => write!(f, "({p})?"),
+            },
+        }
+    }
+}
+
+/// An endpoint of a path atom: a variable (`?x`) or a named constant
+/// (`Japan`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// Query variable, stored without the `?` sigil.
+    Var(String),
+    /// Named constant, resolved against the database's constant registry.
+    Const(String),
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Endpoint::Var(v) => write!(f, "?{v}"),
+            Endpoint::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// One regular path atom: `left path right`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Atom {
+    pub left: Endpoint,
+    pub path: Path,
+    pub right: Endpoint,
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.left, self.path, self.right)
+    }
+}
+
+/// A conjunction of path atoms with a projection head.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Crpq {
+    /// Head variables (without `?`).
+    pub head: Vec<String>,
+    /// Body atoms, implicitly joined on shared variables.
+    pub atoms: Vec<Atom>,
+}
+
+/// A union of CRPQs sharing the same head.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ucrpq {
+    pub branches: Vec<Crpq>,
+}
+
+impl Ucrpq {
+    /// Head variables (all branches share them).
+    pub fn head(&self) -> &[String] {
+        &self.branches[0].head
+    }
+
+    /// All body variables across branches and atoms.
+    pub fn body_vars(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for b in &self.branches {
+            for a in &b.atoms {
+                for e in [&a.left, &a.right] {
+                    if let Endpoint::Var(v) = e {
+                        if !out.contains(&v.as_str()) {
+                            out.push(v);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Ucrpq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, b) in self.branches.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ; ")?;
+            }
+            for (j, h) in b.head.iter().enumerate() {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "?{h}")?;
+            }
+            write!(f, " <- ")?;
+            for (j, a) in b.atoms.iter().enumerate() {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{a}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recursive_detection() {
+        let p = Path::label("a").then(Path::label("b").plus());
+        assert!(p.is_recursive());
+        assert!(!Path::label("a").then(Path::label("b")).is_recursive());
+        assert!(Path::Star(Box::new(Path::label("a"))).is_recursive());
+    }
+
+    #[test]
+    fn labels_deduplicated() {
+        let p = Path::label("a").then(Path::label("a").plus().or(Path::label("b")));
+        assert_eq!(p.labels(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn display_round_shapes() {
+        let p = Path::label("a").inverse().then(Path::label("b").or(Path::label("c")).plus());
+        assert_eq!(p.to_string(), "-a/(b|c)+");
+    }
+}

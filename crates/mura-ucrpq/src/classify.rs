@@ -1,0 +1,164 @@
+//! The paper's query classification `C1..C6` (§V-D).
+//!
+//! Each class captures one recursive feature; a query may belong to several
+//! classes, and the more classes it belongs to the more optimization
+//! techniques its evaluation requires:
+//!
+//! | class | feature                                             | example              |
+//! |-------|-----------------------------------------------------|----------------------|
+//! | C1    | single recursion                                    | `?x a+ ?y`           |
+//! | C2    | filter to the right of a recursion                  | `?x a+ C`            |
+//! | C3    | filter to the left of a recursion                   | `C a+ ?x`            |
+//! | C4    | non-recursive term concatenated right of recursion  | `?x a+/b ?y`         |
+//! | C5    | non-recursive term concatenated left of recursion   | `?x b/a+ ?y`         |
+//! | C6    | concatenation of recursions                         | `?x a+/b+ ?y`        |
+
+use crate::ast::{Endpoint, Path, Ucrpq};
+use crate::translate::{alt_list, concat_list, normalize};
+use std::fmt;
+
+/// One of the six query classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum QueryClass {
+    C1,
+    C2,
+    C3,
+    C4,
+    C5,
+    C6,
+}
+
+impl fmt::Display for QueryClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", *self as u8 + 1)
+    }
+}
+
+/// Classifies a query into the classes it belongs to (sorted, deduplicated).
+///
+/// Classification follows the paper's per-feature definitions and is applied
+/// per atom; the query's classes are the union over atoms. Star-desugared
+/// alternatives are each inspected.
+pub fn classify(q: &Ucrpq) -> Vec<QueryClass> {
+    use QueryClass::*;
+    let mut out = Vec::new();
+    let add = |c: QueryClass, out: &mut Vec<QueryClass>| {
+        if !out.contains(&c) {
+            out.push(c);
+        }
+    };
+    for branch in &q.branches {
+        for atom in &branch.atoms {
+            let (core, _eps) = normalize(&atom.path);
+            let Some(core) = core else { continue };
+            let atom_recursive = core.is_recursive();
+            let left_const = matches!(atom.left, Endpoint::Const(_));
+            let right_const = matches!(atom.right, Endpoint::Const(_));
+            if atom_recursive && right_const {
+                add(C2, &mut out);
+            }
+            if atom_recursive && left_const {
+                add(C3, &mut out);
+            }
+            for alternative in alt_list(&core) {
+                let elems = concat_list(alternative);
+                let rec: Vec<bool> = elems.iter().map(|e| is_closure(e)).collect();
+                let n_rec = rec.iter().filter(|&&r| r).count();
+                if elems.len() == 1 && rec[0] && !left_const && !right_const {
+                    add(C1, &mut out);
+                }
+                if n_rec >= 2 {
+                    add(C6, &mut out);
+                }
+                // C4/C5: a non-recursive element on the appropriate side of
+                // some recursion.
+                for i in 0..elems.len() {
+                    if !rec[i] {
+                        continue;
+                    }
+                    if rec[i + 1..].iter().any(|r| !r) {
+                        add(C4, &mut out);
+                    }
+                    if rec[..i].iter().any(|r| !r) {
+                        add(C5, &mut out);
+                    }
+                }
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// True if the element is itself a closure (`p+`), as opposed to merely
+/// containing one deeper inside a concatenation.
+fn is_closure(p: &Path) -> bool {
+    matches!(p, Path::Plus(_) | Path::Star(_))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::QueryClass::*;
+    use super::*;
+    use crate::parser::parse_ucrpq;
+
+    fn classes(q: &str) -> Vec<QueryClass> {
+        classify(&parse_ucrpq(q).unwrap())
+    }
+
+    #[test]
+    fn paper_class_examples() {
+        // The six canonical examples from §V-D.
+        assert_eq!(classes("?x, ?y <- ?x a+ ?y"), vec![C1]);
+        assert_eq!(classes("?x <- ?x a+ C"), vec![C2]);
+        assert_eq!(classes("?x <- C a+ ?x"), vec![C3]);
+        assert_eq!(classes("?x, ?y <- ?x a+/b ?y"), vec![C4]);
+        assert_eq!(classes("?x, ?y <- ?x b/a+ ?y"), vec![C5]);
+        assert_eq!(classes("?x, ?y <- ?x a+/b+ ?y"), vec![C6]);
+    }
+
+    #[test]
+    fn paper_combined_example() {
+        // "?x ← C a/b+ ?x belongs to C3 … and also belongs to C5" (§V-D).
+        assert_eq!(classes("?x <- C a/b+ ?x"), vec![C3, C5]);
+    }
+
+    #[test]
+    fn q9_is_c2() {
+        // §V-E: "Q9 for instance belongs to C2".
+        let c = classes("?x <- ?x (actedIn/-actedIn)+ Kevin_Bacon");
+        assert!(c.contains(&C2));
+        assert!(!c.contains(&C1));
+    }
+
+    #[test]
+    fn concatenated_closures_are_c6() {
+        let c = classes("?x, ?y <- ?x a1+/a2+/a3+ ?y");
+        assert_eq!(c, vec![C6]);
+    }
+
+    #[test]
+    fn q2_shape() {
+        // hasChild/livesIn/isL+/dw+ Japan: C2 (const right), C5 (non-rec
+        // before recursion), C6 (two closures).
+        let c = classes("?x <- ?x hasChild/livesIn/isL+/dw+ Japan");
+        assert_eq!(c, vec![C2, C5, C6]);
+    }
+
+    #[test]
+    fn conjunction_unions_classes() {
+        let c = classes("?a, ?c <- ?a isL+ Japan, ?a isConnectedTo+ ?c");
+        assert!(c.contains(&C2));
+        assert!(c.contains(&C1));
+    }
+
+    #[test]
+    fn non_recursive_query_has_no_class() {
+        assert!(classes("?x, ?y <- ?x a/b ?y").is_empty());
+    }
+
+    #[test]
+    fn alternation_inside_closure_is_single_recursion() {
+        assert_eq!(classes("?a, ?b <- ?a (isL|dw|isConnectedTo)+ ?b"), vec![C1]);
+    }
+}

@@ -1,0 +1,343 @@
+//! Recursive-descent parser for the paper's UCRPQ notation.
+//!
+//! Grammar:
+//!
+//! ```text
+//! query    := crpq (';' crpq)*                 -- union of branches
+//! crpq     := head ('<-' | '←') atoms
+//! head     := var (',' var)*
+//! atoms    := atom (',' atom)*
+//! atom     := endpoint path endpoint
+//! endpoint := var | constant
+//! path     := alt
+//! alt      := seq ('|' seq)*
+//! seq      := postfix ('/' postfix)*
+//! postfix  := primary ('+' | '*')*
+//! primary  := '-' primary | label | '(' alt ')'
+//! var      := '?' ident
+//! ```
+//!
+//! Labels and constants are identifiers over `[A-Za-z0-9_:.']`, so RDF-style
+//! names like `rdfs:subClassOf` and `wikicat_Capitals_in_Europe` parse as-is.
+
+use crate::ast::{Atom, Crpq, Endpoint, Path, Ucrpq};
+use mura_core::{MuraError, Result};
+
+/// Parses a UCRPQ from the paper's notation.
+pub fn parse_ucrpq(input: &str) -> Result<Ucrpq> {
+    let mut p = Parser { input: input.as_bytes(), pos: 0 };
+    let q = p.query()?;
+    p.skip_ws();
+    if p.pos < p.input.len() {
+        return Err(p.err("trailing input"));
+    }
+    // All branches must share the head.
+    for b in &q.branches[1..] {
+        if b.head != q.branches[0].head {
+            return Err(MuraError::Frontend(
+                "union branches must share the same head variables".into(),
+            ));
+        }
+    }
+    Ok(q)
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> MuraError {
+        let around: String = String::from_utf8_lossy(
+            &self.input[self.pos.min(self.input.len())..(self.pos + 20).min(self.input.len())],
+        )
+        .into_owned();
+        MuraError::Frontend(format!("parse error at byte {}: {msg} (near '{around}')", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.input.len() && self.input[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.input.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<()> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", c as char)))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.input.len() {
+            let c = self.input[self.pos];
+            if c.is_ascii_alphanumeric() || matches!(c, b'_' | b':' | b'.' | b'\'') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected identifier"));
+        }
+        Ok(String::from_utf8_lossy(&self.input[start..self.pos]).into_owned())
+    }
+
+    fn var(&mut self) -> Result<String> {
+        self.expect(b'?')?;
+        // No whitespace allowed between ? and the name.
+        if self.input.get(self.pos).is_none_or(|c| c.is_ascii_whitespace()) {
+            return Err(self.err("expected variable name after '?'"));
+        }
+        self.ident()
+    }
+
+    fn query(&mut self) -> Result<Ucrpq> {
+        let mut branches = vec![self.crpq()?];
+        while self.eat(b';') {
+            branches.push(self.crpq()?);
+        }
+        Ok(Ucrpq { branches })
+    }
+
+    fn crpq(&mut self) -> Result<Crpq> {
+        let mut head = vec![self.var()?];
+        while self.eat(b',') {
+            head.push(self.var()?);
+        }
+        // '<-' or '←' (UTF-8: e2 86 90)
+        self.skip_ws();
+        if self.input[self.pos..].starts_with(b"<-") {
+            self.pos += 2;
+        } else if self.input[self.pos..].starts_with("←".as_bytes()) {
+            self.pos += "←".len();
+        } else {
+            return Err(self.err("expected '<-'"));
+        }
+        let mut atoms = vec![self.atom()?];
+        while self.eat(b',') {
+            atoms.push(self.atom()?);
+        }
+        Ok(Crpq { head, atoms })
+    }
+
+    fn endpoint(&mut self) -> Result<Endpoint> {
+        if self.peek() == Some(b'?') {
+            Ok(Endpoint::Var(self.var()?))
+        } else {
+            Ok(Endpoint::Const(self.ident()?))
+        }
+    }
+
+    fn atom(&mut self) -> Result<Atom> {
+        let left = self.endpoint()?;
+        let path = self.alt()?;
+        let right = self.endpoint()?;
+        Ok(Atom { left, path, right })
+    }
+
+    fn alt(&mut self) -> Result<Path> {
+        let mut p = self.seq()?;
+        while self.eat(b'|') {
+            p = p.or(self.seq()?);
+        }
+        Ok(p)
+    }
+
+    fn seq(&mut self) -> Result<Path> {
+        let mut p = self.postfix()?;
+        while self.eat(b'/') {
+            p = p.then(self.postfix()?);
+        }
+        Ok(p)
+    }
+
+    fn postfix(&mut self) -> Result<Path> {
+        let mut p = self.primary()?;
+        loop {
+            if self.eat(b'+') {
+                p = p.plus();
+            } else if self.eat(b'*') {
+                p = Path::Star(Box::new(p));
+            } else if self.peek() == Some(b'?') && !self.next_is_var() {
+                self.pos += 1;
+                p = p.optional();
+            } else if self.eat(b'{') {
+                let lo = self.number()?;
+                let hi = if self.eat(b',') {
+                    if self.peek() == Some(b'}') {
+                        None // open-ended {m,}
+                    } else {
+                        Some(self.number()?)
+                    }
+                } else {
+                    Some(lo) // exact {m}
+                };
+                self.expect(b'}')?;
+                if let Some(h) = hi {
+                    if h < lo || h == 0 {
+                        return Err(self.err("invalid repetition bounds"));
+                    }
+                }
+                p = p.repeat(lo, hi);
+            } else {
+                return Ok(p);
+            }
+        }
+    }
+
+    /// Distinguishes the optional operator `p?` from a variable endpoint
+    /// `?y`: a `?` immediately followed by an identifier character is a
+    /// variable sigil (variables never have a space after `?`).
+    fn next_is_var(&mut self) -> bool {
+        debug_assert_eq!(self.peek(), Some(b'?'));
+        matches!(
+            self.input.get(self.pos + 1),
+            Some(c) if c.is_ascii_alphanumeric() || matches!(c, b'_' | b':' | b'.' | b'\'')
+        )
+    }
+
+    fn number(&mut self) -> Result<u32> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.input.len() && self.input[self.pos].is_ascii_digit() {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected number"));
+        }
+        std::str::from_utf8(&self.input[start..self.pos])
+            .expect("ascii digits")
+            .parse()
+            .map_err(|_| self.err("number too large"))
+    }
+
+    fn primary(&mut self) -> Result<Path> {
+        if self.eat(b'-') {
+            return Ok(self.primary()?.inverse());
+        }
+        if self.eat(b'(') {
+            let p = self.alt()?;
+            self.expect(b')')?;
+            return Ok(p);
+        }
+        Ok(Path::Label(self.ident()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_q1() {
+        let q = parse_ucrpq("?x <- ?x isMarriedTo/livesIn/isL+/dw+ Argentina").unwrap();
+        assert_eq!(q.head(), &["x".to_string()]);
+        let atom = &q.branches[0].atoms[0];
+        assert_eq!(atom.left, Endpoint::Var("x".into()));
+        assert_eq!(atom.right, Endpoint::Const("Argentina".into()));
+        assert_eq!(atom.path.to_string(), "isMarriedTo/livesIn/isL+/dw+");
+    }
+
+    #[test]
+    fn parses_inverse_and_groups() {
+        let q = parse_ucrpq("?x <- ?x (actedIn/-actedIn)+ Kevin_Bacon").unwrap();
+        let atom = &q.branches[0].atoms[0];
+        assert_eq!(atom.path.to_string(), "(actedIn/-actedIn)+");
+    }
+
+    #[test]
+    fn parses_alternation() {
+        let q = parse_ucrpq("?a, ?b <- ?a (isL|dw|rdfs:subClassOf|isConnectedTo)+ ?b").unwrap();
+        assert!(q.branches[0].atoms[0].path.is_recursive());
+    }
+
+    #[test]
+    fn parses_conjunction() {
+        let q = parse_ucrpq("?a, ?b, ?c <- ?a wasBornIn/isL+ ?b, ?b isConnectedTo+ ?c").unwrap();
+        assert_eq!(q.branches[0].atoms.len(), 2);
+    }
+
+    #[test]
+    fn parses_union_branches() {
+        let q = parse_ucrpq("?x <- ?x a+ ?y ; ?x <- ?x b+ ?y").unwrap();
+        assert_eq!(q.branches.len(), 2);
+    }
+
+    #[test]
+    fn rejects_mismatched_union_heads() {
+        assert!(parse_ucrpq("?x <- ?x a ?y ; ?y <- ?x b ?y").is_err());
+    }
+
+    #[test]
+    fn parses_unicode_arrow() {
+        let q = parse_ucrpq("?x ← ?x a+ C").unwrap();
+        assert_eq!(q.branches[0].atoms[0].right, Endpoint::Const("C".into()));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_ucrpq("").is_err());
+        assert!(parse_ucrpq("?x <-").is_err());
+        assert!(parse_ucrpq("?x <- ?x a+ ?y extra!").is_err());
+        assert!(parse_ucrpq("?x <- ?x (a ?y").is_err());
+        assert!(parse_ucrpq("x <- ?x a ?y").is_err());
+    }
+
+    #[test]
+    fn star_parses() {
+        let q = parse_ucrpq("?x, ?y <- ?x a/b* ?y").unwrap();
+        assert!(matches!(
+            q.branches[0].atoms[0].path,
+            Path::Concat(_, ref b) if matches!(**b, Path::Star(_))
+        ));
+    }
+
+    #[test]
+    fn optional_operator_vs_variable_sigil() {
+        // `b?` is the optional operator; `?y` is a variable.
+        let q = parse_ucrpq("?x, ?y <- ?x a/b? ?y").unwrap();
+        assert_eq!(q.branches[0].atoms[0].path.to_string(), "a/b?");
+        assert_eq!(q.branches[0].atoms[0].right, Endpoint::Var("y".into()));
+        // Optional directly before the endpoint still disambiguates.
+        let q2 = parse_ucrpq("?x, ?y <- ?x (a/b)? ?y").unwrap();
+        assert!(matches!(q2.branches[0].atoms[0].path, Path::Optional(_)));
+    }
+
+    #[test]
+    fn bounded_repetition() {
+        let q = parse_ucrpq("?x, ?y <- ?x a{2,3} ?y").unwrap();
+        // a{2,3} desugars to a/a/a? (concatenation with optional tail).
+        assert_eq!(q.branches[0].atoms[0].path.to_string(), "a/a/a?");
+        let q2 = parse_ucrpq("?x, ?y <- ?x a{2} ?y").unwrap();
+        assert_eq!(q2.branches[0].atoms[0].path.to_string(), "a/a");
+        let q3 = parse_ucrpq("?x, ?y <- ?x a{2,} ?y").unwrap();
+        assert_eq!(q3.branches[0].atoms[0].path.to_string(), "a/a+");
+        assert!(parse_ucrpq("?x, ?y <- ?x a{3,2} ?y").is_err());
+        assert!(parse_ucrpq("?x, ?y <- ?x a{0,0} ?y").is_err());
+    }
+
+    #[test]
+    fn constant_left_endpoint() {
+        let q = parse_ucrpq("?x <- Jay_Kappraff (livesIn/isL/-livesIn)+ ?x").unwrap();
+        assert_eq!(q.branches[0].atoms[0].left, Endpoint::Const("Jay_Kappraff".into()));
+    }
+}

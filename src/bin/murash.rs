@@ -1,0 +1,276 @@
+//! `murash` — an interactive shell for Dist-μ-RA.
+//!
+//! ```sh
+//! cargo run --release --bin murash
+//! ```
+//!
+//! Load or generate a graph, then type UCRPQ queries:
+//!
+//! ```text
+//! μ> .gen yago 1000
+//! μ> ?x <- ?x isLocatedIn+ Japan
+//! μ> .explain ?a, ?b <- ?a isLocatedIn+/dealsWith+ ?b
+//! μ> .sql ?x, ?y <- ?x isLocatedIn+ ?y
+//! μ> .help
+//! ```
+
+use dist_mu_ra::prelude::*;
+use mura_core::analysis::TypeEnv;
+use mura_core::sql::to_sql;
+use mura_datagen::{load_edge_list, save_edge_list, UniprotConfig, YagoConfig};
+use mura_datalog::ucrpq_to_program;
+use mura_dist::exec::FixpointPlan;
+use mura_dist::LocalEngine;
+use mura_ucrpq::to_mura;
+
+struct Shell {
+    db: Database,
+    graph: Option<mura_datagen::Graph>,
+    config: ExecConfig,
+    optimize: bool,
+}
+
+const HELP: &str = "\
+commands:
+  .gen yago <people> | uniprot <edges> | rnd <n> <p> [labels] | tree <n>
+  .load <path>           load an edge-list file (src [label] dst, @node name id)
+  .save <path>           save the current graph
+  .rels                  list relations
+  .consts                list named constants
+  .const <name> <id>     name a node
+  .workers <n>           set worker count (default 4)
+  .plan auto|gld|plw     fixpoint plan policy
+  .engine setrdd|sorted  P_plw local engine
+  .rewrites on|off       toggle the logical optimizer
+  .classes <query>       classify a query (C1..C6)
+  .explain <query>       show the physical plan with fixpoint annotations
+  .plan-of <query>       show the optimized logical plan
+  .sql <query>           translate the optimized plan to PostgreSQL SQL
+  .datalog <query>       show the left-to-right Datalog translation
+  .help                  this text
+  .quit                  exit
+anything else is parsed as a UCRPQ query and executed.";
+
+fn main() {
+    let mut shell = Shell {
+        db: Database::new(),
+        graph: None,
+        config: ExecConfig::default(),
+        optimize: true,
+    };
+    println!("Dist-μ-RA shell — .help for commands");
+    while let Some(line) = mura_datagen::io::read_line("μ> ") {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == ".quit" || line == ".exit" {
+            break;
+        }
+        if let Err(e) = shell.dispatch(line) {
+            println!("error: {e}");
+        }
+    }
+}
+
+impl Shell {
+    fn dispatch(&mut self, line: &str) -> Result<()> {
+        if let Some(rest) = line.strip_prefix('.') {
+            let mut parts = rest.split_whitespace();
+            let cmd = parts.next().unwrap_or("");
+            let args: Vec<&str> = parts.collect();
+            return self.command(cmd, &args, rest);
+        }
+        self.run_query(line)
+    }
+
+    fn command(&mut self, cmd: &str, args: &[&str], full: &str) -> Result<()> {
+        let arg_err = |msg: &str| Err(MuraError::Frontend(msg.to_string()));
+        match cmd {
+            "help" => println!("{HELP}"),
+            "gen" => {
+                let graph = match args {
+                    ["yago", people] => mura_datagen::yago_like(YagoConfig {
+                        people: parse_num(people)?,
+                        seed: 0xa60,
+                    }),
+                    ["uniprot", edges] => mura_datagen::uniprot_like(UniprotConfig {
+                        target_edges: parse_num(edges)?,
+                        seed: 0x09,
+                    }),
+                    ["rnd", n, p] | ["rnd", n, p, _] => {
+                        let base = mura_datagen::erdos_renyi(
+                            parse_num(n)?,
+                            p.parse::<f64>()
+                                .map_err(|_| MuraError::Frontend("invalid p".into()))?,
+                            42,
+                        );
+                        if let Some(k) = args.get(3) {
+                            use rand::SeedableRng;
+                            let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+                            mura_datagen::with_random_labels(
+                                &base,
+                                parse_num(k)? as u32,
+                                &mut rng,
+                            )
+                        } else {
+                            base
+                        }
+                    }
+                    ["tree", n] => mura_datagen::random_tree(parse_num(n)?, 42),
+                    _ => return arg_err("usage: .gen yago <people> | uniprot <edges> | rnd <n> <p> [labels] | tree <n>"),
+                };
+                println!(
+                    "generated: {} nodes, {} edges, labels: {}",
+                    graph.n_nodes,
+                    graph.edge_count(),
+                    graph.labels.join(", ")
+                );
+                self.db = graph.to_database();
+                self.graph = Some(graph);
+            }
+            "load" => {
+                let [path] = args else { return arg_err("usage: .load <path>") };
+                let graph = load_edge_list(path)?;
+                println!("loaded: {} nodes, {} edges", graph.n_nodes, graph.edge_count());
+                self.db = graph.to_database();
+                self.graph = Some(graph);
+            }
+            "save" => {
+                let [path] = args else { return arg_err("usage: .save <path>") };
+                let Some(g) = &self.graph else {
+                    return arg_err("no generated/loaded graph to save");
+                };
+                save_edge_list(g, path)?;
+                println!("saved to {path}");
+            }
+            "rels" => {
+                let mut rels: Vec<(String, usize)> = self
+                    .db
+                    .relations()
+                    .map(|(s, r)| (self.db.dict().resolve(s).to_string(), r.len()))
+                    .collect();
+                rels.sort();
+                for (name, len) in rels {
+                    println!("  {name:<24} {len} rows");
+                }
+            }
+            "consts" => {
+                for (s, v) in self.db.constants() {
+                    println!("  {:<24} {v}", self.db.dict().resolve(s));
+                }
+            }
+            "const" => {
+                let [name, id] = args else { return arg_err("usage: .const <name> <id>") };
+                self.db.bind_constant(name, Value::node(parse_num(id)?));
+                println!("bound {name}");
+            }
+            "workers" => {
+                let [n] = args else { return arg_err("usage: .workers <n>") };
+                self.config.workers = parse_num(n)? as usize;
+            }
+            "plan" => match args {
+                ["auto"] => self.config.plan = FixpointPlan::Auto,
+                ["gld"] => self.config.plan = FixpointPlan::ForceGld,
+                ["plw"] => self.config.plan = FixpointPlan::ForcePlw,
+                _ => return arg_err("usage: .plan auto|gld|plw"),
+            },
+            "engine" => match args {
+                ["setrdd"] => self.config.local_engine = LocalEngine::SetRdd,
+                ["sorted"] => self.config.local_engine = LocalEngine::Sorted,
+                _ => return arg_err("usage: .engine setrdd|sorted"),
+            },
+            "rewrites" => match args {
+                ["on"] => self.optimize = true,
+                ["off"] => self.optimize = false,
+                _ => return arg_err("usage: .rewrites on|off"),
+            },
+            "classes" => {
+                let q = parse_ucrpq(strip_cmd(full, "classes"))?;
+                println!("classes: {:?}", classify(&q));
+            }
+            "explain" => {
+                let out = self.execute(strip_cmd(full, "explain"))?;
+                print!("{}", out.explain(&self.db));
+            }
+            "plan-of" => {
+                let query = strip_cmd(full, "plan-of");
+                let q = parse_ucrpq(query)?;
+                let term = to_mura(&q, &mut self.db)?;
+                let plan = if self.optimize {
+                    optimize(&term, &mut self.db)?
+                } else {
+                    term
+                };
+                println!("{}", plan.display(self.db.dict()));
+            }
+            "sql" => {
+                let query = strip_cmd(full, "sql");
+                let q = parse_ucrpq(query)?;
+                let term = to_mura(&q, &mut self.db)?;
+                // Merged fixpoints don't fit one CTE; keep the naive form
+                // for SQL unless it translates.
+                let plan = if self.optimize { optimize(&term, &mut self.db)? } else { term.clone() };
+                let env = TypeEnv::from_db(&self.db);
+                match to_sql(&plan, self.db.dict(), env) {
+                    Ok(sql) => println!("{sql}"),
+                    Err(_) => {
+                        let env = TypeEnv::from_db(&self.db);
+                        println!("{}", to_sql(&term, self.db.dict(), env)?);
+                    }
+                }
+            }
+            "datalog" => {
+                let q = parse_ucrpq(strip_cmd(full, "datalog"))?;
+                println!("{}", ucrpq_to_program(&q, &self.db)?);
+            }
+            other => {
+                return Err(MuraError::Frontend(format!(
+                    "unknown command '.{other}' — .help for commands"
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    fn execute(&mut self, query: &str) -> Result<QueryOutput> {
+        let mut engine = QueryEngine::with_config(self.db.clone(), self.config.clone());
+        if !self.optimize {
+            engine = engine.without_rewrites();
+        }
+        let out = engine.run_ucrpq(query)?;
+        // Keep interned symbols (query columns, constants) for later use.
+        self.db = engine.db().clone();
+        Ok(out)
+    }
+
+    fn run_query(&mut self, query: &str) -> Result<()> {
+        let out = self.execute(query)?;
+        let rel = &out.relation;
+        println!(
+            "{} rows in {:.1?}  ({} fixpoint iterations, {} shuffles, {} rows shuffled, {} broadcast)",
+            rel.len(),
+            out.wall,
+            out.stats.fixpoint_iterations,
+            out.comm.shuffles,
+            out.comm.rows_shuffled,
+            out.comm.rows_broadcast,
+        );
+        for row in rel.sorted_rows().iter().take(20) {
+            let vals: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+            println!("  ({})", vals.join(", "));
+        }
+        if rel.len() > 20 {
+            println!("  … {} more", rel.len() - 20);
+        }
+        Ok(())
+    }
+}
+
+fn parse_num(s: &str) -> Result<u64> {
+    s.parse().map_err(|_| MuraError::Frontend(format!("invalid number '{s}'")))
+}
+
+fn strip_cmd<'a>(full: &'a str, cmd: &str) -> &'a str {
+    full[cmd.len()..].trim()
+}

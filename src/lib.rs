@@ -1,0 +1,35 @@
+//! # Dist-μ-RA — distributed evaluation of recursive graph queries
+//!
+//! Facade crate re-exporting the whole workspace. See the README for a tour
+//! and `DESIGN.md` for the architecture.
+//!
+//! ```
+//! use dist_mu_ra::prelude::*;
+//!
+//! // Tiny graph: 0 -> 1 -> 2, one edge label "a".
+//! let mut db = Database::new();
+//! let src = db.intern("src");
+//! let dst = db.intern("dst");
+//! let _ = db.insert_relation("a", Relation::from_pairs(src, dst, [(0, 1), (1, 2)]));
+//!
+//! // Transitive closure via the UCRPQ frontend.
+//! let answers = QueryEngine::new(db).run_ucrpq("?x, ?y <- ?x a+ ?y").unwrap();
+//! assert_eq!(answers.relation.len(), 3); // (0,1) (1,2) (0,2)
+//! ```
+
+pub use mura_core as core;
+pub use mura_datagen as datagen;
+pub use mura_datalog as datalog;
+pub use mura_dist as dist;
+pub use mura_pregel as pregel;
+pub use mura_rewrite as rewrite;
+pub use mura_ucrpq as ucrpq;
+
+pub mod prelude {
+    //! One-stop imports for applications.
+    pub use mura_core::{Database, Dictionary, MuraError, Pred, Relation, Result, Schema, Sym, Term, Value};
+    pub use mura_datagen::{erdos_renyi, random_tree, uniprot_like, yago_like, Graph};
+    pub use mura_dist::{Cluster, CommStats, ExecConfig, QueryEngine, QueryOutput};
+    pub use mura_rewrite::{optimize, CostModel, Rewriter};
+    pub use mura_ucrpq::{classify, parse_ucrpq, QueryClass, Ucrpq};
+}

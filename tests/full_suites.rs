@@ -1,0 +1,68 @@
+//! Every query of the paper's suites (Q1..Q25 Yago, Q26..Q50 Uniprot) runs
+//! end to end, and the optimized distributed answers match the unoptimized
+//! centralized reference.
+
+use dist_mu_ra::prelude::*;
+use mura_datagen::{UniprotConfig, YagoConfig};
+use mura_ucrpq::suites::{uniprot_queries, yago_queries};
+use mura_ucrpq::to_mura;
+
+fn check_suite(db: &Database, queries: &[mura_ucrpq::suites::NamedQuery]) {
+    for q in queries {
+        let parsed = parse_ucrpq(q.text).unwrap_or_else(|e| panic!("{}: parse: {e}", q.id));
+        // Reference: unoptimized, centralized.
+        let mut ref_db = db.clone();
+        let term = to_mura(&parsed, &mut ref_db).unwrap_or_else(|e| panic!("{}: {e}", q.id));
+        let expected = mura_core::eval(&term, &ref_db).unwrap_or_else(|e| panic!("{}: {e}", q.id));
+        // System under test: rewritten, distributed, auto plan.
+        let mut qe = QueryEngine::new(db.clone());
+        let out = qe.run_ucrpq(q.text).unwrap_or_else(|e| panic!("{}: dist: {e}", q.id));
+        assert_eq!(
+            out.relation.sorted_rows(),
+            expected.sorted_rows(),
+            "{} diverged\n  optimized plan: {}",
+            q.id,
+            out.plan.display(qe.db().dict())
+        );
+    }
+}
+
+// Dataset sizes are deliberately small: the *reference* evaluation is the
+// unoptimized plan, whose intermediate results explode combinatorially on
+// multi-closure queries (that blow-up is the paper's point — here we only
+// need answer equality).
+
+#[test]
+fn yago_suite_q1_to_q25() {
+    let db = mura_datagen::yago_like(YagoConfig { people: 250, seed: 11 }).to_database();
+    check_suite(&db, &yago_queries());
+}
+
+#[test]
+fn uniprot_suite_q26_to_q50() {
+    let db = mura_datagen::uniprot_like(UniprotConfig { target_edges: 1_500, seed: 5 })
+        .to_database();
+    check_suite(&db, &uniprot_queries());
+}
+
+#[test]
+fn concatenated_closures_small() {
+    let db = mura_bench_like_labeled_db();
+    for n in 2..=4 {
+        let q = mura_ucrpq::suites::concat_closure_query(n);
+        let parsed = parse_ucrpq(&q).unwrap();
+        let mut ref_db = db.clone();
+        let term = to_mura(&parsed, &mut ref_db).unwrap();
+        let expected = mura_core::eval(&term, &ref_db).unwrap();
+        let mut qe = QueryEngine::new(db.clone());
+        let out = qe.run_ucrpq(&q).unwrap();
+        assert_eq!(out.relation.sorted_rows(), expected.sorted_rows(), "n={n}");
+    }
+}
+
+fn mura_bench_like_labeled_db() -> Database {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    let g = mura_datagen::erdos_renyi(200, 0.02, 9);
+    mura_datagen::with_random_labels(&g, 10, &mut rng).to_database()
+}
