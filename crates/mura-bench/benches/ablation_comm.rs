@@ -1,6 +1,7 @@
 //! Ablation: P_plw vs P_gld (the paper's central communication claim,
 //! Fig. 4 / Fig. 9 discussion) — wall time on a stable-column closure.
-use criterion::{criterion_group, criterion_main, Criterion};
+use mura_bench::harness::Criterion;
+use mura_bench::{criterion_group, criterion_main};
 use mura_bench::{run_system, yago_db, Limits, SystemId, Workload};
 
 fn bench(c: &mut Criterion) {

@@ -1,7 +1,8 @@
 //! Ablation: the logical rewriter on vs off (per DESIGN.md's design-choice
 //! index) on a C2 query, where reversal + filter pushing matters most.
-use criterion::{criterion_group, criterion_main, Criterion};
+use mura_bench::harness::Criterion;
 use mura_bench::yago_db;
+use mura_bench::{criterion_group, criterion_main};
 use mura_dist::QueryEngine;
 
 fn bench(c: &mut Criterion) {
@@ -12,14 +13,14 @@ fn bench(c: &mut Criterion) {
         b.iter_batched(
             || QueryEngine::new(yago_db(400)),
             |mut e| e.run_ucrpq(query).unwrap(),
-            criterion::BatchSize::LargeInput,
+            mura_bench::harness::BatchSize::LargeInput,
         )
     });
     g.bench_function("without_rewrites", |b| {
         b.iter_batched(
             || QueryEngine::new(yago_db(400)).without_rewrites(),
             |mut e| e.run_ucrpq(query).unwrap(),
-            criterion::BatchSize::LargeInput,
+            mura_bench::harness::BatchSize::LargeInput,
         )
     });
     g.finish();

@@ -1,5 +1,6 @@
 //! Fig. 10: concatenated closures a1+/../an+ (all C6).
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mura_bench::harness::{BenchmarkId, Criterion};
+use mura_bench::{criterion_group, criterion_main};
 use mura_bench::{labeled_rnd_db, run_system, Limits, SystemId, Workload};
 use mura_ucrpq::suites::concat_closure_query;
 

@@ -1,5 +1,6 @@
 //! Fig. 11: the non-regular mu-RA queries (anbn / same generation / reach).
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mura_bench::harness::{BenchmarkId, Criterion};
+use mura_bench::{criterion_group, criterion_main};
 use mura_bench::{labeled_rnd_db, rnd_db, run_system, tree_db, Limits, SystemId, Workload};
 
 fn bench(c: &mut Criterion) {

@@ -1,5 +1,6 @@
 //! Fig. 12: same generation, Dist-muRA vs Myria.
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mura_bench::harness::{BenchmarkId, Criterion};
+use mura_bench::{criterion_group, criterion_main};
 use mura_bench::{run_system, tree_db, Limits, SystemId, Workload};
 
 fn bench(c: &mut Criterion) {

@@ -1,5 +1,6 @@
 //! Fig. 13: Uniprot queries across systems.
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mura_bench::harness::{BenchmarkId, Criterion};
+use mura_bench::{criterion_group, criterion_main};
 use mura_bench::{run_system, uniprot_db, Limits, SystemId, Workload};
 use mura_ucrpq::suites::uniprot_queries;
 

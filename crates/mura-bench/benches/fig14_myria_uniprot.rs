@@ -1,5 +1,6 @@
 //! Fig. 14: Myria vs Dist-muRA on the small Uniprot graph.
-use criterion::{criterion_group, criterion_main, Criterion};
+use mura_bench::harness::Criterion;
+use mura_bench::{criterion_group, criterion_main};
 use mura_bench::{run_system, uniprot_db, Limits, SystemId, Workload};
 
 fn bench(c: &mut Criterion) {

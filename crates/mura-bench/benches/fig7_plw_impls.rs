@@ -1,5 +1,6 @@
 //! Fig. 7: P_plw local engines (SetRDD vs sorted/pg) on a Yago query.
-use criterion::{criterion_group, criterion_main, Criterion};
+use mura_bench::harness::Criterion;
+use mura_bench::{criterion_group, criterion_main};
 use mura_bench::{run_system, yago_db, Limits, SystemId, Workload};
 
 fn bench(c: &mut Criterion) {
@@ -8,9 +9,7 @@ fn bench(c: &mut Criterion) {
     let db = yago_db(400);
     let w = Workload::ucrpq("?x <- ?x isLocatedIn+/dealsWith+ United_States");
     let limits = Limits::default();
-    g.bench_function("setrdd", |b| {
-        b.iter(|| run_system(SystemId::DistMuRA, &db, &w, limits))
-    });
+    g.bench_function("setrdd", |b| b.iter(|| run_system(SystemId::DistMuRA, &db, &w, limits)));
     g.bench_function("sorted_pg", |b| {
         b.iter(|| run_system(SystemId::DistMuRAPlwSorted, &db, &w, limits))
     });

@@ -1,5 +1,6 @@
 //! Fig. 8: Uniprot scalability, Dist-muRA vs BigDatalog (Q31).
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mura_bench::harness::{BenchmarkId, Criterion};
+use mura_bench::{criterion_group, criterion_main};
 use mura_bench::{run_system, uniprot_db, Limits, SystemId, Workload};
 
 fn bench(c: &mut Criterion) {

@@ -1,5 +1,6 @@
 //! Fig. 9: representative Yago queries (Q9: C2, Q13: C6) across systems.
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mura_bench::harness::{BenchmarkId, Criterion};
+use mura_bench::{criterion_group, criterion_main};
 use mura_bench::{run_system, yago_db, Limits, SystemId, Workload};
 use mura_ucrpq::suites::yago_queries;
 
@@ -12,7 +13,9 @@ fn bench(c: &mut Criterion) {
     for id in ["Q9", "Q13", "Q22"] {
         let q = suite.iter().find(|q| q.id == id).expect("suite query");
         let w = Workload::ucrpq(q.text);
-        for s in [SystemId::DistMuRA, SystemId::DistMuRAGld, SystemId::BigDatalog, SystemId::Centralized] {
+        for s in
+            [SystemId::DistMuRA, SystemId::DistMuRAGld, SystemId::BigDatalog, SystemId::Centralized]
+        {
             g.bench_with_input(BenchmarkId::new(s.name(), id), &w, |b, w| {
                 b.iter(|| run_system(s, &db, w, limits))
             });

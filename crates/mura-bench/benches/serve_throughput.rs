@@ -1,0 +1,91 @@
+//! Serving-layer throughput: queries/sec through `mura-serve` at 1, 4 and
+//! 16 concurrent clients, with the result cache on and off.
+//!
+//! Each configuration replays a fixed mixed-UCRPQ workload; clients pull
+//! query indices from a shared counter until the workload is exhausted, so
+//! adding clients increases concurrency, not total work. With the cache on,
+//! repeats are answered from the result cache and throughput should scale
+//! far past the cache-off numbers.
+
+use mura_core::Value;
+use mura_datagen::{erdos_renyi, with_random_labels, SplitMix64};
+use mura_dist::QueryEngine;
+use mura_serve::{ServeConfig, Server};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+const QUERIES: [&str; 8] = [
+    "?x, ?y <- ?x a1+ ?y",
+    "?x <- ?x a1+ C",
+    "?y <- C a1+ ?y",
+    "?x, ?y <- ?x a1+/a2+ ?y",
+    "?x, ?y <- ?x a2/a1+ ?y",
+    "?x, ?y <- ?x a2+ ?y",
+    "?x, ?y <- ?x a1/a2 ?y",
+    "?x, ?y <- ?x (a1|a2)+ ?y",
+];
+
+/// Total queries per configuration: every query repeated this many times.
+const REPEATS: usize = 8;
+
+fn engine() -> QueryEngine {
+    let mut rng = SplitMix64::seed_from_u64(29);
+    let g = erdos_renyi(200, 0.015, 13);
+    let lg = with_random_labels(&g, 2, &mut rng);
+    let mut db = lg.to_database();
+    db.bind_constant("C", Value::node(7));
+    QueryEngine::new(db)
+}
+
+fn run_workload(clients: usize, cache: bool) -> f64 {
+    let server = Server::start(
+        engine(),
+        ServeConfig {
+            workers: clients.min(8),
+            queue_depth: 256,
+            result_cache: if cache { 128 } else { 0 },
+            plan_cache: if cache { 128 } else { 0 },
+            ..Default::default()
+        },
+    );
+    let total = QUERIES.len() * REPEATS;
+    let next = Arc::new(AtomicUsize::new(0));
+    let start = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|_| {
+            let client = server.client();
+            let next = Arc::clone(&next);
+            std::thread::spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= total {
+                    return;
+                }
+                client.query(QUERIES[i % QUERIES.len()]).expect("query failed");
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let elapsed = start.elapsed();
+    let qps = total as f64 / elapsed.as_secs_f64();
+    let stats = server.stats();
+    println!(
+        "serve_throughput/clients={clients}/cache={}  {qps:8.1} q/s  \
+         ({total} queries in {elapsed:.2?}, hit rate {:.0}%)",
+        if cache { "on" } else { "off" },
+        stats.hit_rate() * 100.0,
+    );
+    server.shutdown();
+    qps
+}
+
+fn main() {
+    println!("== serve_throughput ==");
+    for cache in [false, true] {
+        for clients in [1usize, 4, 16] {
+            run_workload(clients, cache);
+        }
+    }
+}

@@ -1,5 +1,6 @@
 //! Table I: transitive closure size computation on the synthetic graphs.
-use criterion::{criterion_group, criterion_main, Criterion};
+use mura_bench::harness::Criterion;
+use mura_bench::{criterion_group, criterion_main};
 use mura_datagen::{erdos_renyi, random_tree, tc_size};
 
 fn bench(c: &mut Criterion) {

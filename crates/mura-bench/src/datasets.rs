@@ -12,12 +12,11 @@
 //! | tree_10 / tree_150 (thousands of nodes) | tree_{200..2000} | tree_200 |
 
 use mura_core::Database;
+use mura_datagen::SplitMix64;
 use mura_datagen::{
     erdos_renyi, random_tree, uniprot_like, with_random_labels, yago_like, Graph, UniprotConfig,
     YagoConfig,
 };
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Yago-like database (repro scale).
 pub fn yago_db(people: u64) -> Database {
@@ -41,7 +40,7 @@ pub fn labeled_rnd_db(n: u64, p: f64, k: u32, seed: u64) -> Database {
 
 /// The underlying labeled graph (for Table I-style stats).
 pub fn labeled_rnd_graph(n: u64, p: f64, k: u32, seed: u64) -> Graph {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+    let mut rng = SplitMix64::seed_from_u64(seed ^ 0x5eed);
     let g = erdos_renyi(n, p, seed);
     with_random_labels(&g, k, &mut rng)
 }

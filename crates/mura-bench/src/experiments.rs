@@ -125,9 +125,8 @@ pub fn class_matrix() -> Table {
     let mut t = Table::new(&["query", "C1", "C2", "C3", "C4", "C5", "C6", "text"]);
     for q in yago_queries().iter().chain(uniprot_queries().iter()) {
         let classes = classify(&parse_ucrpq(q.text).expect("suite query parses"));
-        let mark = |c: mura_ucrpq::QueryClass| {
-            if classes.contains(&c) { "x" } else { "" }.to_string()
-        };
+        let mark =
+            |c: mura_ucrpq::QueryClass| if classes.contains(&c) { "x" } else { "" }.to_string();
         use mura_ucrpq::QueryClass::*;
         t.row(vec![
             q.id.to_string(),
@@ -205,12 +204,8 @@ pub fn fig8(scale: Scale) -> Table {
 pub fn fig10(scale: Scale) -> Table {
     let db = labeled_rnd_db(600, 0.03, 10, 77);
     let limits = scale.limits();
-    let systems = [
-        SystemId::DistMuRA,
-        SystemId::BigDatalog,
-        SystemId::GraphX,
-        SystemId::Centralized,
-    ];
+    let systems =
+        [SystemId::DistMuRA, SystemId::BigDatalog, SystemId::GraphX, SystemId::Centralized];
     let mut header: Vec<&str> = vec!["n"];
     header.extend(systems.iter().map(|s| s.name()));
     let mut t = Table::new(&header);
@@ -244,13 +239,28 @@ pub fn fig11(scale: Scale) -> Table {
     }
     for n in [1000u64, 5000] {
         let db = tree_db(n, 3);
-        run("same_gen", &format!("tree_{n}"), &db, &Workload::SameGeneration { rel: "edge".into() });
+        run(
+            "same_gen",
+            &format!("tree_{n}"),
+            &db,
+            &Workload::SameGeneration { rel: "edge".into() },
+        );
     }
     for (n, p) in [(400u64, 0.01), (1000, 0.004)] {
         let db = rnd_db(n, p, 5);
-        run("same_gen", &format!("rnd_{n}_{p}"), &db, &Workload::SameGeneration { rel: "edge".into() });
+        run(
+            "same_gen",
+            &format!("rnd_{n}_{p}"),
+            &db,
+            &Workload::SameGeneration { rel: "edge".into() },
+        );
         let db2 = rnd_db(n, p, 6);
-        run("reach", &format!("rnd_{n}_{p}"), &db2, &Workload::Reach { rel: "edge".into(), source: 0 });
+        run(
+            "reach",
+            &format!("rnd_{n}_{p}"),
+            &db2,
+            &Workload::Reach { rel: "edge".into(), source: 0 },
+        );
     }
     t
 }
@@ -283,12 +293,8 @@ pub fn fig12(scale: Scale) -> Table {
 pub fn fig13(scale: Scale) -> Table {
     let db = uniprot_db(scale.uniprot_sizes[0]);
     let limits = scale.limits();
-    let systems = [
-        SystemId::DistMuRA,
-        SystemId::DistMuRAGld,
-        SystemId::BigDatalog,
-        SystemId::GraphX,
-    ];
+    let systems =
+        [SystemId::DistMuRA, SystemId::DistMuRAGld, SystemId::BigDatalog, SystemId::GraphX];
     let mut header: Vec<&str> = vec!["query"];
     header.extend(systems.iter().map(|s| s.name()));
     let mut t = Table::new(&header);
@@ -334,18 +340,10 @@ pub fn comm_ablation(scale: Scale) -> Table {
         ("C5", "?a, ?b <- ?a wasBornIn/isLocatedIn+ ?b"),
         ("C6", "?a, ?b <- ?a isLocatedIn+/dealsWith+ ?b"),
     ];
-    let mut t = Table::new(&[
-        "class",
-        "plan",
-        "time",
-        "shuffles",
-        "rows shuffled",
-        "rows broadcast",
-    ]);
+    let mut t =
+        Table::new(&["class", "plan", "time", "shuffles", "rows shuffled", "rows broadcast"]);
     for (class, q) in queries {
-        for (plan_name, system) in
-            [("auto", SystemId::DistMuRA), ("Pgld", SystemId::DistMuRAGld)]
-        {
+        for (plan_name, system) in [("auto", SystemId::DistMuRA), ("Pgld", SystemId::DistMuRAGld)] {
             let out = run_system(system, &db, &Workload::ucrpq(q), limits);
             let (shuffled, broadcast) = match &out {
                 Outcome::Ok { comm_rows, .. } => (*comm_rows, 0),
@@ -395,11 +393,12 @@ fn detailed_comm(
         local_engine: mura_dist::LocalEngine::SetRdd,
         broadcast_threshold: 1_000_000,
         limits: ResourceLimits { max_rows: Some(limits.max_rows), timeout: Some(limits.timeout) },
+        cancel: None,
     };
     let mut qe = mura_dist::QueryEngine::with_config(db.clone(), config);
     let out = qe.run_ucrpq(query).ok()?;
     Some((
-        out.wall.as_secs_f64() * 1e3,
+        out.wall().as_secs_f64() * 1e3,
         out.comm.shuffles,
         out.comm.rows_shuffled,
         out.comm.rows_broadcast,
@@ -433,14 +432,8 @@ mod tests {
         let limits = scale.limits();
         let auto = detailed_comm(&db, "?a, ?b <- ?a isLocatedIn+ ?b", SystemId::DistMuRA, limits)
             .expect("auto run succeeds");
-        let gld =
-            detailed_comm(&db, "?a, ?b <- ?a isLocatedIn+ ?b", SystemId::DistMuRAGld, limits)
-                .expect("gld run succeeds");
-        assert!(
-            auto.1 < gld.1,
-            "P_plw must shuffle fewer times ({} vs {})",
-            auto.1,
-            gld.1
-        );
+        let gld = detailed_comm(&db, "?a, ?b <- ?a isLocatedIn+ ?b", SystemId::DistMuRAGld, limits)
+            .expect("gld run succeeds");
+        assert!(auto.1 < gld.1, "P_plw must shuffle fewer times ({} vs {})", auto.1, gld.1);
     }
 }

@@ -1,0 +1,201 @@
+//! Minimal benchmark harness with a criterion-compatible surface.
+//!
+//! The workspace builds fully offline, so the benches cannot depend on the
+//! criterion crate. This module implements the small slice of its API the
+//! bench files use — `Criterion`, `benchmark_group`, `bench_function`,
+//! `bench_with_input`, `Bencher::iter`/`iter_batched`, `BenchmarkId`,
+//! `BatchSize` and the `criterion_group!`/`criterion_main!` macros — on
+//! plain `std::time::Instant` timing. Keeping the surface identical means
+//! the bench files read like every other Rust benchmark suite.
+//!
+//! Each benchmark runs one untimed warmup, then `sample_size` timed
+//! samples, and prints `mean [min .. max]` to stdout.
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Top-level driver; holds nothing but exists for API compatibility.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Display) -> Group {
+        println!("\n== {name} ==");
+        Group { samples: 20 }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(&id.to_string(), 20, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a sample size.
+pub struct Group {
+    samples: usize,
+}
+
+impl Group {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Benchmarks a closure under the given name.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(&id.to_string(), self.samples, f);
+        self
+    }
+
+    /// Benchmarks a closure that receives a shared input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(&id.0, self.samples, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (printing is incremental, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// A `function/parameter` benchmark label.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Joins a function name and a parameter into one label.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+
+    /// Label from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// How per-iteration setup output is batched. Only a hint in criterion;
+/// ignored here (every iteration gets a fresh setup value).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Collects timed samples for one benchmark.
+pub struct Bencher {
+    samples: usize,
+    timings: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f` over all samples (one untimed warmup first).
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        black_box(f());
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            black_box(f());
+            self.timings.push(t.elapsed());
+        }
+    }
+
+    /// Times `routine` on fresh values from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        black_box(routine(setup()));
+        for _ in 0..self.samples {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.timings.push(t.elapsed());
+        }
+    }
+}
+
+fn run_one(label: &str, samples: usize, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher { samples, timings: Vec::with_capacity(samples) };
+    f(&mut b);
+    if b.timings.is_empty() {
+        println!("{label:<40} (no samples)");
+        return;
+    }
+    let total: Duration = b.timings.iter().sum();
+    let mean = total / b.timings.len() as u32;
+    let min = b.timings.iter().min().unwrap();
+    let max = b.timings.iter().max().unwrap();
+    println!(
+        "{label:<40} {:>10.3?} [{:.3?} .. {:.3?}] ({} samples)",
+        mean,
+        min,
+        max,
+        b.timings.len()
+    );
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::harness::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_requested_samples() {
+        let mut b = Bencher { samples: 5, timings: Vec::new() };
+        b.iter(|| 1 + 1);
+        assert_eq!(b.timings.len(), 5);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut setups = 0;
+        let mut b = Bencher { samples: 3, timings: Vec::new() };
+        b.iter_batched(
+            || {
+                setups += 1;
+                setups
+            },
+            |x| x * 2,
+            BatchSize::LargeInput,
+        );
+        // 1 warmup + 3 samples.
+        assert_eq!(setups, 4);
+        assert_eq!(b.timings.len(), 3);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("sys", 42).0, "sys/42");
+        assert_eq!(BenchmarkId::from_parameter("x").0, "x");
+    }
+}

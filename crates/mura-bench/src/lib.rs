@@ -27,6 +27,7 @@
 
 pub mod datasets;
 pub mod experiments;
+pub mod harness;
 pub mod report;
 pub mod systems;
 

@@ -104,14 +104,8 @@ mod tests {
 
     #[test]
     fn outcome_formatting() {
-        assert_eq!(
-            fmt_outcome(&Outcome::Ok { millis: 12.34, rows: 5, comm_rows: 0 }),
-            "12.3ms"
-        );
-        assert_eq!(
-            fmt_outcome(&Outcome::Ok { millis: 2500.0, rows: 5, comm_rows: 0 }),
-            "2.50s"
-        );
+        assert_eq!(fmt_outcome(&Outcome::Ok { millis: 12.34, rows: 5, comm_rows: 0 }), "12.3ms");
+        assert_eq!(fmt_outcome(&Outcome::Ok { millis: 2500.0, rows: 5, comm_rows: 0 }), "2.50s");
         assert_eq!(fmt_outcome(&Outcome::Failed("OOM".into())), "fail(OOM)");
         assert_eq!(fmt_outcome(&Outcome::Timeout), "timeout");
         assert_eq!(fmt_outcome(&Outcome::Unsupported), "n/a");

@@ -71,11 +71,19 @@ impl SystemId {
 pub enum Workload {
     Ucrpq(String),
     /// aⁿbⁿ over two edge labels.
-    AnBn { a: String, b: String },
+    AnBn {
+        a: String,
+        b: String,
+    },
     /// Same generation over a parent relation.
-    SameGeneration { rel: String },
+    SameGeneration {
+        rel: String,
+    },
     /// Reachability from a source node.
-    Reach { rel: String, source: u64 },
+    Reach {
+        rel: String,
+        source: u64,
+    },
 }
 
 impl Workload {
@@ -162,6 +170,7 @@ fn exec_config(limits: Limits, plan: FixpointPlan, engine: LocalEngine) -> ExecC
         local_engine: engine,
         broadcast_threshold: 1_000_000,
         limits: ResourceLimits { max_rows: Some(limits.max_rows), timeout: Some(limits.timeout) },
+        cancel: None,
     }
 }
 
@@ -189,7 +198,7 @@ fn run_dist(
     };
     match result {
         Ok(out) => Outcome::Ok {
-            millis: out.wall.as_secs_f64() * 1e3,
+            millis: out.wall().as_secs_f64() * 1e3,
             rows: out.relation.len(),
             comm_rows: out.comm.rows_shuffled + out.comm.rows_broadcast,
         },
@@ -224,7 +233,7 @@ fn run_datalog(db: &Database, w: &Workload, limits: Limits, style: DatalogStyle)
     };
     match result {
         Ok(out) => Outcome::Ok {
-            millis: out.wall.as_secs_f64() * 1e3,
+            millis: out.wall().as_secs_f64() * 1e3,
             rows: out.relation.len(),
             comm_rows: out.comm.rows_shuffled + out.comm.rows_broadcast,
         },
@@ -266,12 +275,11 @@ fn run_centralized(db: &Database, w: &Workload, limits: Limits) -> Outcome {
     let mut db = db.clone();
     let start = Instant::now();
     let term = match w {
-        Workload::Ucrpq(q) => mura_ucrpq::parse_ucrpq(q)
-            .and_then(|p| mura_ucrpq::to_mura(&p, &mut db)),
-        Workload::AnBn { a, b } => mura_ucrpq::suites::anbn_term(&mut db, a, b),
-        Workload::SameGeneration { rel } => {
-            mura_ucrpq::suites::same_generation_term(&mut db, rel)
+        Workload::Ucrpq(q) => {
+            mura_ucrpq::parse_ucrpq(q).and_then(|p| mura_ucrpq::to_mura(&p, &mut db))
         }
+        Workload::AnBn { a, b } => mura_ucrpq::suites::anbn_term(&mut db, a, b),
+        Workload::SameGeneration { rel } => mura_ucrpq::suites::same_generation_term(&mut db, rel),
         Workload::Reach { rel, source } => {
             mura_ucrpq::suites::reach_term(&mut db, rel, Value::node(*source))
         }
@@ -359,10 +367,7 @@ pub fn reach_program(rel: &str, source: u64) -> Program {
             },
             Rule {
                 head: DlAtom::new("reach", &["y"]),
-                body: vec![
-                    DlAtom::new("reach", &["x"]),
-                    DlAtom::new(rel, &["x", "y"]),
-                ],
+                body: vec![DlAtom::new("reach", &["x"]), DlAtom::new(rel, &["x", "y"])],
             },
         ],
         query: DlAtom::new("reach", &["y"]),
@@ -419,10 +424,7 @@ mod tests {
                 assert_eq!(out.rows(), Some(expected), "{} on {w:?}: {out:?}", s.name());
             }
             // Not a regular path query.
-            assert!(matches!(
-                run_system(SystemId::GraphX, &db, &w, limits),
-                Outcome::Unsupported
-            ));
+            assert!(matches!(run_system(SystemId::GraphX, &db, &w, limits), Outcome::Unsupported));
         }
     }
 

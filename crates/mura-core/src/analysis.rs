@@ -71,10 +71,7 @@ impl TypeEnv {
 /// (which must exist and which all recursive branches must agree with).
 pub fn infer_schema(term: &Term, env: &mut TypeEnv) -> Result<Schema> {
     match term {
-        Term::Var(v) => env
-            .get(*v)
-            .cloned()
-            .ok_or(MuraError::UnboundVariable(*v)),
+        Term::Var(v) => env.get(*v).cloned().ok_or(MuraError::UnboundVariable(*v)),
         Term::Cst(r) => Ok(r.schema().clone()),
         Term::Filter(preds, t) => {
             let s = infer_schema(t, env)?;
@@ -109,10 +106,7 @@ pub fn infer_schema(term: &Term, env: &mut TypeEnv) -> Result<Schema> {
         Term::AntiProject(cols, t) => {
             let s = infer_schema(t, env)?;
             s.antiproject(cols).ok_or_else(|| MuraError::UnknownColumn {
-                column: *cols
-                    .iter()
-                    .find(|c| !s.contains(**c))
-                    .expect("some column missing"),
+                column: *cols.iter().find(|c| !s.contains(**c)).expect("some column missing"),
                 schema: s.clone(),
                 context: "antiprojection",
             })
@@ -292,21 +286,14 @@ pub fn branch_provenance(
         env: &mut TypeEnv,
     ) -> Result<FxHashMap<Sym, Provenance>> {
         Ok(match t {
-            Term::Var(v) if *v == x => x_schema
-                .columns()
-                .iter()
-                .map(|&c| (c, Provenance::FromVar(c)))
-                .collect(),
+            Term::Var(v) if *v == x => {
+                x_schema.columns().iter().map(|&c| (c, Provenance::FromVar(c))).collect()
+            }
             Term::Var(v) => {
                 let s = env.get(*v).cloned().ok_or(MuraError::UnboundVariable(*v))?;
                 s.columns().iter().map(|&c| (c, Provenance::Other)).collect()
             }
-            Term::Cst(r) => r
-                .schema()
-                .columns()
-                .iter()
-                .map(|&c| (c, Provenance::Other))
-                .collect(),
+            Term::Cst(r) => r.schema().columns().iter().map(|&c| (c, Provenance::Other)).collect(),
             Term::Filter(_, t) => go(t, x, x_schema, env)?,
             Term::Rename(from, to, t) => {
                 let mut m = go(t, x, x_schema, env)?;
@@ -455,22 +442,13 @@ mod tests {
         let _ = &f.dict;
         // unknown filter column
         let bad = Term::var(f.e).filter_eq(f.m, 1i64);
-        assert!(matches!(
-            infer_schema(&bad, &mut f.env),
-            Err(MuraError::UnknownColumn { .. })
-        ));
+        assert!(matches!(infer_schema(&bad, &mut f.env), Err(MuraError::UnknownColumn { .. })));
         // union mismatch
         let bad = Term::var(f.e).union(Term::var(f.e).antiproject(f.dst));
-        assert!(matches!(
-            infer_schema(&bad, &mut f.env),
-            Err(MuraError::SchemaMismatch { .. })
-        ));
+        assert!(matches!(infer_schema(&bad, &mut f.env), Err(MuraError::SchemaMismatch { .. })));
         // unbound var
         let bad = Term::var(f.x);
-        assert!(matches!(
-            infer_schema(&bad, &mut f.env),
-            Err(MuraError::UnboundVariable(_))
-        ));
+        assert!(matches!(infer_schema(&bad, &mut f.env), Err(MuraError::UnboundVariable(_))));
     }
 
     #[test]
@@ -483,9 +461,7 @@ mod tests {
     fn fcond_rejects_nonpositive() {
         let f = fixture();
         // μ(X = E ∪ (E ▷ X)): X on the right of an antijoin.
-        let t = Term::var(f.e)
-            .union(Term::var(f.e).antijoin(Term::var(f.x)))
-            .fix(f.x);
+        let t = Term::var(f.e).union(Term::var(f.e).antijoin(Term::var(f.x))).fix(f.x);
         assert_eq!(check_fcond(&t), Err(MuraError::NotPositive(f.x)));
     }
 
@@ -493,9 +469,7 @@ mod tests {
     fn fcond_rejects_nonlinear() {
         let f = fixture();
         // μ(X = E ∪ (X ⋈ X))
-        let t = Term::var(f.e)
-            .union(Term::var(f.x).join(Term::var(f.x)))
-            .fix(f.x);
+        let t = Term::var(f.e).union(Term::var(f.x).join(Term::var(f.x))).fix(f.x);
         assert_eq!(check_fcond(&t), Err(MuraError::NotLinear(f.x)));
     }
 
@@ -609,9 +583,7 @@ mod tests {
         let x_schema = Schema::new(vec![f.src, f.dst]);
         f.env.bind(f.x, x_schema.clone());
         // σ(X) ▷ E keeps both provenances from X.
-        let t = Term::var(f.x)
-            .filter_eq(f.src, 3i64)
-            .antijoin(Term::var(f.e));
+        let t = Term::var(f.x).filter_eq(f.src, 3i64).antijoin(Term::var(f.e));
         let prov = branch_provenance(&t, f.x, &x_schema, &mut f.env).unwrap();
         assert_eq!(prov.get(&f.src), Some(&Provenance::FromVar(f.src)));
         assert_eq!(prov.get(&f.dst), Some(&Provenance::FromVar(f.dst)));

@@ -31,6 +31,13 @@ pub enum MuraError {
     ResourceExhausted { what: &'static str, limit: u64, reached: u64 },
     /// Evaluation exceeded the configured timeout.
     Timeout { millis: u64 },
+    /// The query was cancelled through its [`CancellationToken`]
+    /// (crate::cancel::CancellationToken).
+    Cancelled,
+    /// A per-request deadline passed; `millis` is the granted budget.
+    /// Distinct from [`MuraError::Timeout`], which reports the engine-level
+    /// resource limit rather than a client deadline.
+    DeadlineExceeded { millis: u64 },
     /// Frontend (parser / translation) error.
     Frontend(String),
     /// Anything else.
@@ -60,6 +67,10 @@ impl fmt::Display for MuraError {
                 write!(f, "resource exhausted: {what} reached {reached} (limit {limit})")
             }
             MuraError::Timeout { millis } => write!(f, "evaluation timed out after {millis} ms"),
+            MuraError::Cancelled => write!(f, "query cancelled"),
+            MuraError::DeadlineExceeded { millis } => {
+                write!(f, "deadline exceeded (budget {millis} ms)")
+            }
             MuraError::Frontend(s) => write!(f, "frontend error: {s}"),
             MuraError::Other(s) => write!(f, "{s}"),
         }

@@ -57,7 +57,13 @@ pub struct Evaluator<'db> {
 impl<'db> Evaluator<'db> {
     /// New evaluator with the given options.
     pub fn new(db: &'db Database, opts: EvalOptions) -> Self {
-        Evaluator { db, opts, stats: EvalStats::default(), start: Instant::now(), bound: FxHashMap::default() }
+        Evaluator {
+            db,
+            opts,
+            stats: EvalStats::default(),
+            start: Instant::now(),
+            bound: FxHashMap::default(),
+        }
     }
 
     /// Evaluates a closed term (checks `F_cond` on all fixpoints first).
@@ -306,10 +312,9 @@ pub fn apply_filter(rel: &Relation, preds: &[Pred]) -> Result<Relation> {
         compiled.push(match p {
             Pred::Eq(c, v) => C::Eq(rel.schema().position(*c).unwrap(), *v),
             Pred::Neq(c, v) => C::Neq(rel.schema().position(*c).unwrap(), *v),
-            Pred::EqCol(a, b) => C::EqCol(
-                rel.schema().position(*a).unwrap(),
-                rel.schema().position(*b).unwrap(),
-            ),
+            Pred::EqCol(a, b) => {
+                C::EqCol(rel.schema().position(*a).unwrap(), rel.schema().position(*b).unwrap())
+            }
         });
     }
     Ok(rel.filter(|row| {
@@ -347,18 +352,8 @@ mod tests {
         let dst = db.intern("dst");
         let m = db.intern("m");
         let x = db.intern("X");
-        let e_edges = [
-            (1, 2),
-            (1, 4),
-            (10, 11),
-            (10, 13),
-            (2, 3),
-            (4, 5),
-            (11, 5),
-            (13, 12),
-            (3, 6),
-            (5, 6),
-        ];
+        let e_edges =
+            [(1, 2), (1, 4), (10, 11), (10, 13), (2, 3), (4, 5), (11, 5), (13, 12), (3, 6), (5, 6)];
         let s_edges = [(1, 2), (1, 4), (10, 11), (10, 13)];
         let e = db.insert_relation("E", Relation::from_pairs(src, dst, e_edges));
         let s = db.insert_relation("S", Relation::from_pairs(src, dst, s_edges));
@@ -366,10 +361,7 @@ mod tests {
     }
 
     fn reach_term(e: Sym, s: Sym, src: Sym, dst: Sym, m: Sym, x: Sym) -> Term {
-        let step = Term::var(x)
-            .rename(dst, m)
-            .join(Term::var(e).rename(src, m))
-            .antiproject(m);
+        let step = Term::var(x).rename(dst, m).join(Term::var(e).rename(src, m)).antiproject(m);
         Term::var(s).union(step).fix(x)
     }
 
@@ -470,10 +462,7 @@ mod tests {
         let x = db.intern("X");
         // 3-cycle: TC is all 9 pairs.
         let e = db.insert_relation("E", Relation::from_pairs(src, dst, [(0, 1), (1, 2), (2, 0)]));
-        let step = Term::var(x)
-            .rename(dst, m)
-            .join(Term::var(e).rename(src, m))
-            .antiproject(m);
+        let step = Term::var(x).rename(dst, m).join(Term::var(e).rename(src, m)).antiproject(m);
         let t = Term::var(e).union(step).fix(x);
         let r = eval(&t, &db).unwrap();
         assert_eq!(r.len(), 9);

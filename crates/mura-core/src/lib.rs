@@ -37,6 +37,7 @@
 //! `mura-dist` (distributed physical plans), `mura-ucrpq` (query frontend).
 
 pub mod analysis;
+pub mod cancel;
 pub mod catalog;
 pub mod error;
 pub mod eval;
@@ -47,6 +48,7 @@ pub mod sql;
 pub mod term;
 pub mod value;
 
+pub use cancel::CancellationToken;
 pub use catalog::{Database, Dictionary};
 pub use error::{MuraError, Result};
 pub use eval::{eval, eval_naive_fixpoints, EvalStats, Evaluator};

@@ -148,10 +148,7 @@ impl Relation {
         let rows = if identity {
             self.rows.clone()
         } else {
-            self.rows
-                .iter()
-                .map(|r| perm.iter().map(|&p| r[p]).collect::<Row>())
-                .collect()
+            self.rows.iter().map(|r| perm.iter().map(|&p| r[p]).collect::<Row>()).collect()
         };
         Relation { schema: new_schema, rows }
     }
@@ -165,16 +162,9 @@ impl Relation {
             .schema
             .antiproject(drop)
             .unwrap_or_else(|| panic!("invalid antiprojection of {drop:?} on {}", self.schema));
-        let keep: Vec<usize> = new_schema
-            .columns()
-            .iter()
-            .map(|&c| self.schema.position(c).unwrap())
-            .collect();
-        let rows = self
-            .rows
-            .iter()
-            .map(|r| keep.iter().map(|&p| r[p]).collect::<Row>())
-            .collect();
+        let keep: Vec<usize> =
+            new_schema.columns().iter().map(|&c| self.schema.position(c).unwrap()).collect();
+        let rows = self.rows.iter().map(|r| keep.iter().map(|&p| r[p]).collect::<Row>()).collect();
         Relation { schema: new_schema, rows }
     }
 
@@ -199,11 +189,8 @@ impl Relation {
         let my_pos: Vec<usize> = common.iter().map(|&c| self.schema.position(c).unwrap()).collect();
         let their_pos: Vec<usize> =
             common.iter().map(|&c| other.schema.position(c).unwrap()).collect();
-        let keys: FxHashSet<Row> = other
-            .rows
-            .iter()
-            .map(|r| their_pos.iter().map(|&p| r[p]).collect::<Row>())
-            .collect();
+        let keys: FxHashSet<Row> =
+            other.rows.iter().map(|r| their_pos.iter().map(|&p| r[p]).collect::<Row>()).collect();
         let rows = self
             .rows
             .iter()
@@ -349,8 +336,7 @@ mod tests {
             .collect();
         Relation::from_rows(
             schema,
-            rows.iter()
-                .map(|r| perm.iter().map(|&p| Value::Int(r[p])).collect::<Row>()),
+            rows.iter().map(|r| perm.iter().map(|&p| Value::Int(r[p])).collect::<Row>()),
         )
     }
 

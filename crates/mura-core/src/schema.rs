@@ -85,11 +85,7 @@ impl Schema {
         if !self.contains(from) || self.contains(to) || from == to {
             return None;
         }
-        let cols = self
-            .0
-            .iter()
-            .map(|&c| if c == from { to } else { c })
-            .collect();
+        let cols = self.0.iter().map(|&c| if c == from { to } else { c }).collect();
         Some(Schema::new(cols))
     }
 
@@ -102,9 +98,7 @@ impl Schema {
                 return None;
             }
         }
-        Some(Schema(
-            self.0.iter().copied().filter(|c| !drop.contains(c)).collect(),
-        ))
+        Some(Schema(self.0.iter().copied().filter(|c| !drop.contains(c)).collect()))
     }
 
     /// For each column of `self`, its position in `other` (if present).

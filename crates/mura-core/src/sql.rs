@@ -92,10 +92,8 @@ impl SqlGen<'_> {
             Term::Cst(r) => {
                 // Inline VALUES list.
                 if r.is_empty() {
-                    let cols: Vec<String> = out_cols
-                        .iter()
-                        .map(|c| format!("NULL AS {}", self.col(*c)))
-                        .collect();
+                    let cols: Vec<String> =
+                        out_cols.iter().map(|c| format!("NULL AS {}", self.col(*c))).collect();
                     return Ok(format!("SELECT {} WHERE FALSE", cols.join(", ")));
                 }
                 let mut rows: Vec<String> = r
@@ -108,11 +106,7 @@ impl SqlGen<'_> {
                     .collect();
                 rows.sort();
                 let cols: Vec<String> = out_cols.iter().map(|c| self.col(*c)).collect();
-                Ok(format!(
-                    "SELECT * FROM (VALUES {}) AS t({})",
-                    rows.join(", "),
-                    cols.join(", ")
-                ))
+                Ok(format!("SELECT * FROM (VALUES {}) AS t({})", rows.join(", "), cols.join(", ")))
             }
             Term::Filter(preds, inner) => {
                 let sub = self.subquery(inner)?;
@@ -157,8 +151,7 @@ impl SqlGen<'_> {
             Term::Join(a, b) => {
                 let sa = self.schema_cols(a)?;
                 let sb = self.schema_cols(b)?;
-                let common: Vec<Sym> =
-                    sa.iter().copied().filter(|c| sb.contains(c)).collect();
+                let common: Vec<Sym> = sa.iter().copied().filter(|c| sb.contains(c)).collect();
                 let qa = self.subquery(a)?;
                 let qb = self.subquery(b)?;
                 let select: Vec<String> = out_cols
@@ -168,31 +161,22 @@ impl SqlGen<'_> {
                         format!("{side}.{}", self.col(*c))
                     })
                     .collect();
-                let using: Vec<String> = common
-                    .iter()
-                    .map(|c| format!("l.{0} = r.{0}", self.col(*c)))
-                    .collect();
+                let using: Vec<String> =
+                    common.iter().map(|c| format!("l.{0} = r.{0}", self.col(*c))).collect();
                 let cond = if using.is_empty() { "TRUE".to_string() } else { using.join(" AND ") };
-                Ok(format!(
-                    "SELECT {} FROM {qa} AS l JOIN {qb} AS r ON {cond}",
-                    select.join(", ")
-                ))
+                Ok(format!("SELECT {} FROM {qa} AS l JOIN {qb} AS r ON {cond}", select.join(", ")))
             }
             Term::Antijoin(a, b) => {
                 let sa = self.schema_cols(a)?;
                 let sb = self.schema_cols(b)?;
-                let common: Vec<Sym> =
-                    sa.iter().copied().filter(|c| sb.contains(c)).collect();
+                let common: Vec<Sym> = sa.iter().copied().filter(|c| sb.contains(c)).collect();
                 let qa = self.subquery(a)?;
                 let qb = self.subquery(b)?;
                 let select: Vec<String> =
                     out_cols.iter().map(|c| format!("l.{}", self.col(*c))).collect();
-                let cond: Vec<String> = common
-                    .iter()
-                    .map(|c| format!("l.{0} = r.{0}", self.col(*c)))
-                    .collect();
-                let cond =
-                    if cond.is_empty() { "TRUE".to_string() } else { cond.join(" AND ") };
+                let cond: Vec<String> =
+                    common.iter().map(|c| format!("l.{0} = r.{0}", self.col(*c))).collect();
+                let cond = if cond.is_empty() { "TRUE".to_string() } else { cond.join(" AND ") };
                 Ok(format!(
                     "SELECT {} FROM {qa} AS l WHERE NOT EXISTS (SELECT 1 FROM {qb} AS r WHERE {cond})",
                     select.join(", ")
@@ -247,11 +231,8 @@ impl SqlGen<'_> {
         for cpart in &consts {
             seed_parts.push(self.select_with_cols(cpart, &cols)?);
         }
-        let rec_sql = if let Some(r) = recs.first() {
-            Some(self.select_with_cols(r, &cols)?)
-        } else {
-            None
-        };
+        let rec_sql =
+            if let Some(r) = recs.first() { Some(self.select_with_cols(r, &cols)?) } else { None };
         self.env.unbind(x, prev);
         let mut def = seed_parts.join("\nUNION\n");
         if let Some(rec) = rec_sql {
@@ -277,10 +258,7 @@ mod tests {
         let e = db.insert_relation("edge", Relation::from_pairs(src, dst, [(0, 1), (1, 2)]));
         let m = db.intern("m");
         let x = db.intern("tcvar");
-        let step = Term::var(x)
-            .rename(dst, m)
-            .join(Term::var(e).rename(src, m))
-            .antiproject(m);
+        let step = Term::var(x).rename(dst, m).join(Term::var(e).rename(src, m)).antiproject(m);
         let fix = Term::var(e).union(step).fix(x);
         (db, fix)
     }
@@ -331,14 +309,10 @@ mod tests {
         let m1 = db.intern("m1");
         let m2 = db.intern("m2");
         let x = db.intern("X2");
-        let append = Term::var(x)
-            .rename(dst, m1)
-            .join(Term::var(e).rename(src, m1))
-            .antiproject(m1);
-        let prepend = Term::var(x)
-            .rename(src, m2)
-            .join(Term::var(e).rename(dst, m2))
-            .antiproject(m2);
+        let append =
+            Term::var(x).rename(dst, m1).join(Term::var(e).rename(src, m1)).antiproject(m1);
+        let prepend =
+            Term::var(x).rename(src, m2).join(Term::var(e).rename(dst, m2)).antiproject(m2);
         let fix = Term::var(e).union(append).union(prepend).fix(x);
         let err = to_sql(&fix, db.dict(), TypeEnv::from_db(&db)).unwrap_err();
         assert!(err.to_string().contains("re-nest"), "{err}");

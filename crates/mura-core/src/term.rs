@@ -134,7 +134,10 @@ impl Term {
     pub fn children(&self) -> Vec<&Term> {
         match self {
             Term::Var(_) | Term::Cst(_) => vec![],
-            Term::Filter(_, t) | Term::Rename(_, _, t) | Term::AntiProject(_, t) | Term::Fix(_, t) => {
+            Term::Filter(_, t)
+            | Term::Rename(_, _, t)
+            | Term::AntiProject(_, t)
+            | Term::Fix(_, t) => {
                 vec![t]
             }
             Term::Join(a, b) | Term::Antijoin(a, b) | Term::Union(a, b) => vec![a, b],
@@ -224,10 +227,7 @@ impl Term {
                     // v is shadowed: no free occurrences below.
                     self.clone()
                 } else {
-                    assert!(
-                        !by.has_free_var(*x),
-                        "substitution would capture fixpoint variable"
-                    );
+                    assert!(!by.has_free_var(*x), "substitution would capture fixpoint variable");
                     Term::Fix(*x, Box::new(body.substitute(v, by)))
                 }
             }
@@ -269,12 +269,8 @@ impl std::fmt::Display for TermDisplay<'_> {
                             write!(f, " ∧ ")?;
                         }
                         match p {
-                            Pred::Eq(c, v) => {
-                                write!(f, "{}={}", dict.resolve(*c), val(dict, v))?
-                            }
-                            Pred::Neq(c, v) => {
-                                write!(f, "{}≠{}", dict.resolve(*c), val(dict, v))?
-                            }
+                            Pred::Eq(c, v) => write!(f, "{}={}", dict.resolve(*c), val(dict, v))?,
+                            Pred::Neq(c, v) => write!(f, "{}≠{}", dict.resolve(*c), val(dict, v))?,
                             Pred::EqCol(a, b) => {
                                 write!(f, "{}={}", dict.resolve(*a), dict.resolve(*b))?
                             }
@@ -379,9 +375,7 @@ mod tests {
     #[test]
     fn filter_builder_merges() {
         let e = s(1);
-        let t = Term::var(e)
-            .filter_eq(s(2), 5i64)
-            .filter(Pred::Neq(s(3), Value::Int(1)));
+        let t = Term::var(e).filter_eq(s(2), 5i64).filter(Pred::Neq(s(3), Value::Int(1)));
         match t {
             Term::Filter(ps, _) => assert_eq!(ps.len(), 2),
             _ => panic!("expected merged filter"),

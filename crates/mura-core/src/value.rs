@@ -128,9 +128,6 @@ mod tests {
     fn ordering_is_total() {
         let mut vs = vec![Value::Str(Sym(1)), Value::Int(2), Value::Int(1), Value::Str(Sym(0))];
         vs.sort();
-        assert_eq!(
-            vs,
-            vec![Value::Int(1), Value::Int(2), Value::Str(Sym(0)), Value::Str(Sym(1))]
-        );
+        assert_eq!(vs, vec![Value::Int(1), Value::Int(2), Value::Str(Sym(0)), Value::Str(Sym(1))]);
     }
 }

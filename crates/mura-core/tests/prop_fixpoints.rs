@@ -1,12 +1,33 @@
-//! Property tests of fixpoint evaluation and the stabilizer on random
+//! Randomized tests of fixpoint evaluation and the stabilizer on random
 //! graphs: the core obligations behind Propositions 1–3 of the paper.
 
 use mura_core::analysis::{stable_columns, TypeEnv};
 use mura_core::{eval, eval_naive_fixpoints, Database, Pred, Relation, Term, Value};
-use proptest::prelude::*;
 
-fn edges() -> impl Strategy<Value = Vec<(u64, u64)>> {
-    prop::collection::vec((0u64..20, 0u64..20), 1..50)
+const CASES: u64 = 64;
+
+/// Minimal SplitMix64 for seeded random inputs. `mura-core` sits below
+/// `mura-datagen` in the crate graph, so it cannot borrow the shared PRNG
+/// without a dependency cycle; this is a deliberate local copy.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+}
+
+fn edges(rng: &mut Rng) -> Vec<(u64, u64)> {
+    let len = 1 + rng.below(49) as usize;
+    (0..len).map(|_| (rng.below(20), rng.below(20))).collect()
 }
 
 struct Fx {
@@ -32,105 +53,105 @@ fn setup(e_edges: &[(u64, u64)], s_edges: &[(u64, u64)]) -> Fx {
 
 /// Right-linear closure μ(X = S ∪ X∘E).
 fn rl(f: &Fx) -> Term {
-    let step = Term::var(f.x)
-        .rename(f.dst, f.m)
-        .join(Term::var(f.e).rename(f.src, f.m))
-        .antiproject(f.m);
+    let step =
+        Term::var(f.x).rename(f.dst, f.m).join(Term::var(f.e).rename(f.src, f.m)).antiproject(f.m);
     Term::var(f.s).union(step).fix(f.x)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Proposition 1 consequence: semi-naive (delta) iteration computes
-    /// the same fixpoint as naive reevaluation.
-    #[test]
-    fn semi_naive_equals_naive(e in edges(), s in edges()) {
-        let f = setup(&e, &s);
+/// Proposition 1 consequence: semi-naive (delta) iteration computes
+/// the same fixpoint as naive reevaluation.
+#[test]
+fn semi_naive_equals_naive() {
+    for case in 0..CASES {
+        let mut rng = Rng(0x5e71 ^ case);
+        let f = setup(&edges(&mut rng), &edges(&mut rng));
         let t = rl(&f);
         let a = eval(&t, &f.db).unwrap();
         let b = eval_naive_fixpoints(&t, &f.db).unwrap();
-        prop_assert_eq!(a.sorted_rows(), b.sorted_rows());
+        assert_eq!(a.sorted_rows(), b.sorted_rows(), "case {case}");
     }
+}
 
-    /// The stabilizer of a right-linear closure is exactly {src}.
-    #[test]
-    fn rl_stabilizer_is_src(e in edges(), s in edges()) {
-        let f = setup(&e, &s);
+/// The stabilizer of a right-linear closure is exactly {src}.
+#[test]
+fn rl_stabilizer_is_src() {
+    for case in 0..CASES {
+        let mut rng = Rng(0x57ab ^ case);
+        let f = setup(&edges(&mut rng), &edges(&mut rng));
         let Term::Fix(x, body) = rl(&f) else { unreachable!() };
         let mut env = TypeEnv::from_db(&f.db);
         let stable = stable_columns(x, &body, &mut env).unwrap();
-        prop_assert_eq!(stable, vec![f.src]);
+        assert_eq!(stable, vec![f.src], "case {case}");
     }
+}
 
-    /// Filter-pushing soundness (the rule behind class C3): filtering a
-    /// stable column before or after the fixpoint gives the same result.
-    #[test]
-    fn stable_filter_commutes_with_fixpoint(e in edges(), s in edges(), v in 0u64..20) {
-        let f = setup(&e, &s);
+/// Filter-pushing soundness (the rule behind class C3): filtering a
+/// stable column before or after the fixpoint gives the same result.
+#[test]
+fn stable_filter_commutes_with_fixpoint() {
+    for case in 0..CASES {
+        let mut rng = Rng(0xf117 ^ case);
+        let f = setup(&edges(&mut rng), &edges(&mut rng));
+        let v = rng.below(20);
         let outside = rl(&f).filter(Pred::Eq(f.src, Value::node(v)));
         // Pushed: μ(X = σ(S) ∪ X∘E).
         let step = Term::var(f.x)
             .rename(f.dst, f.m)
             .join(Term::var(f.e).rename(f.src, f.m))
             .antiproject(f.m);
-        let pushed = Term::var(f.s)
-            .filter(Pred::Eq(f.src, Value::node(v)))
-            .union(step)
-            .fix(f.x);
+        let pushed = Term::var(f.s).filter(Pred::Eq(f.src, Value::node(v))).union(step).fix(f.x);
         let a = eval(&outside, &f.db).unwrap();
         let b = eval(&pushed, &f.db).unwrap();
-        prop_assert_eq!(a.sorted_rows(), b.sorted_rows());
+        assert_eq!(a.sorted_rows(), b.sorted_rows(), "case {case}");
     }
+}
 
-    /// Unstable-column filters do NOT commute in general — the evaluation
-    /// of the pushed form must be a subset (sanity check that the
-    /// stabilizer condition is doing real work).
-    #[test]
-    fn unstable_filter_pushed_is_subset(e in edges(), s in edges(), v in 0u64..20) {
-        let f = setup(&e, &s);
+/// Unstable-column filters do NOT commute in general — the evaluation
+/// of the pushed form must be a subset (sanity check that the
+/// stabilizer condition is doing real work).
+#[test]
+fn unstable_filter_pushed_is_subset() {
+    for case in 0..CASES {
+        let mut rng = Rng(0x5b5e7 ^ case);
+        let f = setup(&edges(&mut rng), &edges(&mut rng));
+        let v = rng.below(20);
         let outside = rl(&f).filter(Pred::Eq(f.dst, Value::node(v)));
         let step = Term::var(f.x)
             .rename(f.dst, f.m)
             .join(Term::var(f.e).rename(f.src, f.m))
             .antiproject(f.m);
-        let pushed = Term::var(f.s)
-            .filter(Pred::Eq(f.dst, Value::node(v)))
-            .union(step)
-            .fix(f.x);
+        let pushed = Term::var(f.s).filter(Pred::Eq(f.dst, Value::node(v))).union(step).fix(f.x);
         let full = eval(&outside, &f.db).unwrap();
         let sub = eval(&pushed, &f.db).unwrap();
         // pushed starts from fewer seeds but then extends freely; filtering
         // ITS results by dst=v must be a subset of the correct answer...
-        let sub_filtered = sub.filter(|row| {
-            row[sub.schema().position(f.dst).unwrap()] == Value::node(v)
-        });
+        let sub_filtered =
+            sub.filter(|row| row[sub.schema().position(f.dst).unwrap()] == Value::node(v));
         for row in sub_filtered.iter() {
-            prop_assert!(full.contains(row));
+            assert!(full.contains(row), "case {case}");
         }
     }
+}
 
-    /// Proposition 3: μ(X = R₁ ∪ R₂ ∪ φ) = μ(X = R₁ ∪ φ) ∪ μ(X = R₂ ∪ φ).
-    #[test]
-    fn fixpoint_distributes_over_seed_union(e in edges(), s1 in edges(), s2 in edges()) {
+/// Proposition 3: μ(X = R₁ ∪ R₂ ∪ φ) = μ(X = R₁ ∪ φ) ∪ μ(X = R₂ ∪ φ).
+#[test]
+fn fixpoint_distributes_over_seed_union() {
+    for case in 0..CASES {
+        let mut rng = Rng(0xd157 ^ case);
+        let e = edges(&mut rng);
+        let s1 = edges(&mut rng);
+        let s2 = edges(&mut rng);
         let f = setup(&e, &s1);
         let src = f.src;
         let dst = f.dst;
         let r2 = Relation::from_pairs(src, dst, s2.iter().copied());
-        let step = |x, m| {
-            Term::var(x)
-                .rename(dst, m)
-                .join(Term::var(f.e).rename(src, m))
-                .antiproject(m)
-        };
-        let merged = Term::var(f.s)
-            .union(Term::cst(r2.clone()))
-            .union(step(f.x, f.m))
-            .fix(f.x);
+        let step =
+            |x, m| Term::var(x).rename(dst, m).join(Term::var(f.e).rename(src, m)).antiproject(m);
+        let merged = Term::var(f.s).union(Term::cst(r2.clone())).union(step(f.x, f.m)).fix(f.x);
         let part1 = Term::var(f.s).union(step(f.x, f.m)).fix(f.x);
         let part2 = Term::cst(r2).union(step(f.x, f.m)).fix(f.x);
         let a = eval(&merged, &f.db).unwrap();
         let b = eval(&part1, &f.db).unwrap().union(&eval(&part2, &f.db).unwrap());
-        prop_assert_eq!(a.sorted_rows(), b.sorted_rows());
+        assert_eq!(a.sorted_rows(), b.sorted_rows(), "case {case}");
     }
 }

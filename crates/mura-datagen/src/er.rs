@@ -1,8 +1,7 @@
 //! Erdős–Rényi random graphs (`rnd_n_p` in the paper's Table I).
 
 use crate::graph::Graph;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SplitMix64;
 
 /// Generates `rnd_n_p`: every unordered node pair `{i, j}` becomes a
 /// directed edge with probability `p`, with uniformly random orientation.
@@ -13,7 +12,7 @@ use rand::{Rng, SeedableRng};
 pub fn erdos_renyi(n: u64, p: f64, seed: u64) -> Graph {
     assert!(n >= 2, "need at least two nodes");
     assert!((0.0..=1.0).contains(&p), "p must be a probability");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut g = Graph::new(n);
     let label = g.add_label("edge");
     if p == 0.0 {
@@ -51,7 +50,7 @@ fn pair_from_index(idx: u64, n: u64) -> (u64, u64) {
     let mut lo = 0u64;
     let mut hi = n - 1;
     while lo < hi {
-        let mid = (lo + hi + 1) / 2;
+        let mid = (lo + hi).div_ceil(2);
         let prefix = mid * n - mid * (mid + 1) / 2;
         if prefix <= idx {
             lo = mid;
@@ -88,10 +87,7 @@ mod tests {
         let g = erdos_renyi(n, p, 42);
         let expect = (n * (n - 1) / 2) as f64 * p;
         let got = g.edge_count() as f64;
-        assert!(
-            (got - expect).abs() < expect * 0.15,
-            "got {got}, expected about {expect}"
-        );
+        assert!((got - expect).abs() < expect * 0.15, "got {got}, expected about {expect}");
     }
 
     #[test]

@@ -1,8 +1,7 @@
 //! Labeled directed multigraphs and their conversion to μ-RA databases.
 
+use crate::rng::SplitMix64;
 use mura_core::{Database, Relation, Schema, Value};
-use rand::seq::SliceRandom;
-use rand::Rng;
 
 /// A directed graph with labeled edges and optional named nodes
 /// (query constants such as `Japan` or `Kevin_Bacon`).
@@ -25,7 +24,11 @@ impl Graph {
     }
 
     /// Single-label graph from an edge list.
-    pub fn single_label(label: &str, n_nodes: u64, edges: impl IntoIterator<Item = (u64, u64)>) -> Self {
+    pub fn single_label(
+        label: &str,
+        n_nodes: u64,
+        edges: impl IntoIterator<Item = (u64, u64)>,
+    ) -> Self {
         let mut g = Graph::new(n_nodes);
         let l = g.add_label(label);
         for (s, d) in edges {
@@ -89,7 +92,8 @@ impl Graph {
         let dst = db.intern("dst");
         let schema = Schema::new(vec![src, dst]);
         let ps = schema.position(src).unwrap();
-        let mut rels: Vec<Relation> = (0..self.labels.len()).map(|_| Relation::new(schema.clone())).collect();
+        let mut rels: Vec<Relation> =
+            (0..self.labels.len()).map(|_| Relation::new(schema.clone())).collect();
         for &(s, l, d) in &self.edges {
             let mut row = vec![Value::node(0); 2];
             row[ps] = Value::node(s);
@@ -109,11 +113,11 @@ impl Graph {
 /// Returns a copy of `g` whose edges are uniformly re-labeled with `k` fresh
 /// labels `a1..ak` (the paper's "graphs derived from rnd_p_n by adding a set
 /// of predefined labels randomly", used for concatenated closures and aⁿbⁿ).
-pub fn with_random_labels(g: &Graph, k: u32, rng: &mut impl Rng) -> Graph {
+pub fn with_random_labels(g: &Graph, k: u32, rng: &mut SplitMix64) -> Graph {
     let mut out = Graph::new(g.n_nodes);
     let labels: Vec<u32> = (1..=k).map(|i| out.add_label(&format!("a{i}"))).collect();
     for &(s, _, d) in &g.edges {
-        let l = *labels.choose(rng).expect("k >= 1");
+        let l = *rng.choose(&labels).expect("k >= 1");
         out.add_edge(s, l, d);
     }
     out.named_nodes = g.named_nodes.clone();
@@ -123,8 +127,6 @@ pub fn with_random_labels(g: &Graph, k: u32, rng: &mut impl Rng) -> Graph {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn build_and_export() {
@@ -149,7 +151,7 @@ mod tests {
 
     #[test]
     fn relabel_preserves_structure() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = SplitMix64::seed_from_u64(7);
         let g = Graph::single_label("edge", 10, (0..9).map(|i| (i, i + 1)));
         let lg = with_random_labels(&g, 3, &mut rng);
         assert_eq!(lg.edge_count(), g.edge_count());
@@ -159,7 +161,7 @@ mod tests {
 
     #[test]
     fn label_counts_sum() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = SplitMix64::seed_from_u64(3);
         let g = Graph::single_label("edge", 100, (0..99).map(|i| (i, i + 1)));
         let lg = with_random_labels(&g, 4, &mut rng);
         let total: usize = lg.label_counts().iter().map(|(_, c)| c).sum();

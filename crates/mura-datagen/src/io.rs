@@ -126,10 +126,8 @@ mod tests {
 
     #[test]
     fn parses_triples_and_pairs() {
-        let g = parse_edge_list(
-            "# a comment\n0 knows 1\n1 knows 2\n\n3 4\n@node root 0\n",
-        )
-        .unwrap();
+        let g =
+            parse_edge_list("# a comment\n0 knows 1\n1 knows 2\n\n3 4\n@node root 0\n").unwrap();
         assert_eq!(g.edge_count(), 3);
         assert_eq!(g.n_nodes, 5);
         assert_eq!(g.labels.len(), 2); // knows + edge
@@ -159,11 +157,7 @@ mod tests {
         assert_eq!(db1.total_rows(), db2.total_rows());
         for (name, rel) in db1.relations() {
             let n = db1.dict().resolve(name);
-            assert_eq!(
-                db2.relation_by_name(n).map(|r| r.len()),
-                Some(rel.len()),
-                "{n} differs"
-            );
+            assert_eq!(db2.relation_by_name(n).map(|r| r.len()), Some(rel.len()), "{n} differs");
         }
     }
 

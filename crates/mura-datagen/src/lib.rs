@@ -24,6 +24,7 @@
 pub mod er;
 pub mod graph;
 pub mod io;
+pub mod rng;
 pub mod tc;
 pub mod tree;
 pub mod uniprot;
@@ -33,6 +34,7 @@ pub mod zipf;
 pub use er::erdos_renyi;
 pub use graph::{with_random_labels, Graph};
 pub use io::{load_edge_list, parse_edge_list, save_edge_list};
+pub use rng::SplitMix64;
 pub use tc::tc_size;
 pub use tree::random_tree;
 pub use uniprot::{uniprot_like, UniprotConfig};

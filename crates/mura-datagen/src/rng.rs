@@ -1,0 +1,178 @@
+//! A small in-tree seeded PRNG (SplitMix64).
+//!
+//! The generators in this crate only need a fast, deterministic,
+//! well-mixed source of `u64`s — not cryptographic strength. SplitMix64
+//! (Steele, Lea & Flood, *Fast Splittable Pseudorandom Number Generators*)
+//! fits in a dozen lines and passes BigCrush, which keeps the whole
+//! workspace free of external dependencies so it builds with no network
+//! access.
+
+use std::ops::{Range, RangeInclusive};
+
+/// SplitMix64: a 64-bit state marched through a Weyl sequence and
+/// finalized with an avalanche mix.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeds the generator. Equal seeds give equal streams.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)` (53 random mantissa bits).
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// True with probability `p`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// Uniform draw from a range; see [`SampleRange`] for supported types.
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// Uniformly chosen element of a slice (`None` when empty).
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
+        if items.is_empty() {
+            None
+        } else {
+            Some(&items[self.gen_range(0..items.len())])
+        }
+    }
+}
+
+/// Ranges [`SplitMix64::gen_range`] can sample from.
+pub trait SampleRange {
+    type Output;
+    fn sample(self, rng: &mut SplitMix64) -> Self::Output;
+}
+
+fn sample_u64(rng: &mut SplitMix64, lo: u64, width: u64) -> u64 {
+    debug_assert!(width > 0, "empty range");
+    // Multiply-shift mapping of a 64-bit draw onto the width; the modulo
+    // bias of `% width` is avoided by taking the high 64 bits of the
+    // 128-bit product (Lemire's unbiased-enough fast path).
+    lo + ((rng.next_u64() as u128 * width as u128) >> 64) as u64
+}
+
+impl SampleRange for Range<u64> {
+    type Output = u64;
+    fn sample(self, rng: &mut SplitMix64) -> u64 {
+        assert!(self.start < self.end, "empty range");
+        sample_u64(rng, self.start, self.end - self.start)
+    }
+}
+
+impl SampleRange for RangeInclusive<u64> {
+    type Output = u64;
+    fn sample(self, rng: &mut SplitMix64) -> u64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range");
+        // hi - lo + 1 can overflow only for the full u64 domain, which the
+        // generators never request.
+        sample_u64(rng, lo, hi - lo + 1)
+    }
+}
+
+impl SampleRange for Range<usize> {
+    type Output = usize;
+    fn sample(self, rng: &mut SplitMix64) -> usize {
+        assert!(self.start < self.end, "empty range");
+        sample_u64(rng, self.start as u64, (self.end - self.start) as u64) as usize
+    }
+}
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample(self, rng: &mut SplitMix64) -> f64 {
+        self.start + rng.gen_f64() * (self.end - self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SplitMix64::seed_from_u64(42);
+        let mut b = SplitMix64::seed_from_u64(42);
+        let mut c = SplitMix64::seed_from_u64(43);
+        let xs: Vec<u64> = (0..10).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..10).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..10).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn known_vector() {
+        // Reference outputs of SplitMix64 with seed 0 (from the original
+        // public-domain implementation).
+        let mut r = SplitMix64::seed_from_u64(0);
+        assert_eq!(r.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(r.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(r.next_u64(), 0x06C4_5D18_8009_454F);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = SplitMix64::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = r.gen_range(3u64..17);
+            assert!((3..17).contains(&x));
+            let y = r.gen_range(5u64..=9);
+            assert!((5..=9).contains(&y));
+            let z = r.gen_range(0..4usize);
+            assert!(z < 4);
+            let f = r.gen_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn range_is_roughly_uniform() {
+        let mut r = SplitMix64::seed_from_u64(1);
+        let mut counts = [0u32; 8];
+        for _ in 0..80_000 {
+            counts[r.gen_range(0..8usize)] += 1;
+        }
+        for c in counts {
+            assert!((c as i64 - 10_000).abs() < 600, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_p() {
+        let mut r = SplitMix64::seed_from_u64(2);
+        let hits = (0..100_000).filter(|_| r.gen_bool(0.3)).count();
+        assert!((hits as i64 - 30_000).abs() < 1_500, "{hits}");
+    }
+
+    #[test]
+    fn choose_covers_all_items() {
+        let mut r = SplitMix64::seed_from_u64(3);
+        let items = [1, 2, 3];
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(*r.choose(&items).unwrap());
+        }
+        assert_eq!(seen.len(), 3);
+        assert!(r.choose::<u8>(&[]).is_none());
+    }
+}

@@ -180,11 +180,12 @@ mod tests {
         }
         // Floyd-Warshall closure.
         for k in 0..n {
-            for i in 0..n {
-                if reach[i][k] {
-                    for j in 0..n {
-                        if reach[k][j] {
-                            reach[i][j] = true;
+            let row_k = reach[k].clone();
+            for row_i in reach.iter_mut() {
+                if row_i[k] {
+                    for (j, &via) in row_k.iter().enumerate() {
+                        if via {
+                            row_i[j] = true;
                         }
                     }
                 }
@@ -216,11 +217,7 @@ mod tests {
     #[test]
     fn two_cycles_bridged() {
         // cycle {0,1} -> cycle {2,3}: 2*2 (first) + 2*2 (second) + 2*2 cross = 12.
-        let g = Graph::single_label(
-            "edge",
-            4,
-            [(0, 1), (1, 0), (2, 3), (3, 2), (1, 2)],
-        );
+        let g = Graph::single_label("edge", 4, [(0, 1), (1, 0), (2, 3), (3, 2), (1, 2)]);
         assert_eq!(tc_size(&g), 12);
     }
 

@@ -1,8 +1,7 @@
 //! Random recursive trees (`tree_n` in the paper's Table I).
 
 use crate::graph::Graph;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SplitMix64;
 
 /// Generates `tree_n`: starting from a single node, node `i` (for `i ≥ 1`)
 /// is attached as a child of a uniformly random node among `0..i`. Edges
@@ -10,7 +9,7 @@ use rand::{Rng, SeedableRng};
 /// randomly selected node" construction (`n-1` edges).
 pub fn random_tree(n: u64, seed: u64) -> Graph {
     assert!(n >= 1);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut g = Graph::new(n);
     let label = g.add_label("edge");
     for i in 1..n {

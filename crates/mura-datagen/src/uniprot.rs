@@ -19,9 +19,8 @@
 //! `HubProtein`, `HubKeyword`, `HubJournal`.
 
 use crate::graph::Graph;
+use crate::rng::SplitMix64;
 use crate::zipf::Zipf;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Size knobs for [`uniprot_like`].
 #[derive(Debug, Clone, Copy)]
@@ -42,7 +41,7 @@ impl Default for UniprotConfig {
 /// Generates a Uniprot-schema graph. See the module docs.
 pub fn uniprot_like(cfg: UniprotConfig) -> Graph {
     let e = cfg.target_edges.max(1000);
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = SplitMix64::seed_from_u64(cfg.seed);
 
     let n_proteins = (e / 5).max(50);
     let n_genes = (n_proteins / 2).max(20);
@@ -142,15 +141,9 @@ mod tests {
     fn schema_and_constants() {
         let g = uniprot_like(UniprotConfig { target_edges: 5000, seed: 1 });
         let counts = g.label_counts();
-        for pred in [
-            "interacts",
-            "encodes",
-            "occurs",
-            "hasKeyword",
-            "reference",
-            "authoredBy",
-            "publishes",
-        ] {
+        for pred in
+            ["interacts", "encodes", "occurs", "hasKeyword", "reference", "authoredBy", "publishes"]
+        {
             let c = counts.iter().find(|(n, _)| n == pred).unwrap();
             assert!(c.1 > 0, "{pred} empty");
         }

@@ -16,9 +16,8 @@
 //!   acyclicity/symmetry each predicate has in Yago.
 
 use crate::graph::Graph;
+use crate::rng::SplitMix64;
 use crate::zipf::Zipf;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Size knobs for [`yago_like`]. `people` scales everything else.
 #[derive(Debug, Clone, Copy)]
@@ -37,7 +36,7 @@ impl Default for YagoConfig {
 
 /// Generates a Yago-schema knowledge graph. See the module docs.
 pub fn yago_like(cfg: YagoConfig) -> Graph {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = SplitMix64::seed_from_u64(cfg.seed);
     let p = cfg.people.max(50);
 
     // Entity id ranges (contiguous).
@@ -127,7 +126,7 @@ pub fn yago_like(cfg: YagoConfig) -> Graph {
     for i in 0..p {
         // hasChild: acyclic (children have higher ids), avg ~0.8.
         if i + 1 < p {
-            let k = [0, 0, 1, 1, 2][rng.gen_range(0..5)];
+            let k = [0, 0, 1, 1, 2][rng.gen_range(0..5usize)];
             for _ in 0..k {
                 let child = rng.gen_range(i + 1..p);
                 g.add_edge(person(i), l_child, person(child));
@@ -181,11 +180,7 @@ pub fn yago_like(cfg: YagoConfig) -> Graph {
     // type: cities typed; ~8% are capitals (class 0 = wce). subClassOf tree.
     let zipf_class = Zipf::new(n_classes as usize - 1, 0.5);
     for c in 0..n_cities {
-        let class = if rng.gen_bool(0.08) {
-            0
-        } else {
-            1 + zipf_class.sample(&mut rng) as u64
-        };
+        let class = if rng.gen_bool(0.08) { 0 } else { 1 + zipf_class.sample(&mut rng) as u64 };
         g.add_edge(base_cities + c, l_type, base_classes + class);
     }
     for cl in 1..n_classes {
@@ -241,7 +236,8 @@ mod tests {
             "subClassOf",
         ] {
             let counts = g.label_counts();
-            let c = counts.iter().find(|(n, _)| n == pred).unwrap_or_else(|| panic!("{pred} missing"));
+            let c =
+                counts.iter().find(|(n, _)| n == pred).unwrap_or_else(|| panic!("{pred} missing"));
             assert!(c.1 > 0, "{pred} has no edges");
         }
         for name in [

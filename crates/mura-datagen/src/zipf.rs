@@ -4,7 +4,7 @@
 //! entities like countries, popular actors and hub proteins. gMark models
 //! this with Zipfian in/out-degrees; we reuse the same family here.
 
-use rand::Rng;
+use crate::rng::SplitMix64;
 
 /// Samples ranks `0..n` with probability proportional to `1/(rank+1)^s`.
 #[derive(Debug, Clone)]
@@ -44,8 +44,8 @@ impl Zipf {
     }
 
     /// Draws one rank in `0..n`.
-    pub fn sample(&self, rng: &mut impl Rng) -> usize {
-        let u: f64 = rng.gen();
+    pub fn sample(&self, rng: &mut SplitMix64) -> usize {
+        let u: f64 = rng.gen_f64();
         match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("no NaN")) {
             Ok(i) => i,
             Err(i) => i.min(self.cdf.len() - 1),
@@ -56,13 +56,11 @@ impl Zipf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn uniform_when_s_zero() {
         let z = Zipf::new(4, 0.0);
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = SplitMix64::seed_from_u64(0);
         let mut counts = [0u32; 4];
         for _ in 0..40_000 {
             counts[z.sample(&mut rng)] += 1;
@@ -75,7 +73,7 @@ mod tests {
     #[test]
     fn skewed_when_s_one() {
         let z = Zipf::new(100, 1.0);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SplitMix64::seed_from_u64(1);
         let mut counts = vec![0u32; 100];
         for _ in 0..50_000 {
             counts[z.sample(&mut rng)] += 1;
@@ -89,7 +87,7 @@ mod tests {
     #[test]
     fn samples_in_range() {
         let z = Zipf::new(3, 2.0);
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = SplitMix64::seed_from_u64(2);
         for _ in 0..1000 {
             assert!(z.sample(&mut rng) < 3);
         }

@@ -83,9 +83,7 @@ impl Compiler<'_> {
                 }
                 Some(&first) => {
                     let aux = self.db.dict_mut().fresh("dup");
-                    term = term
-                        .rename(cols[i], aux)
-                        .filter(Pred::EqCol(first, aux));
+                    term = term.rename(cols[i], aux).filter(Pred::EqCol(first, aux));
                     drop_cols.push(aux);
                 }
             }
@@ -99,7 +97,8 @@ impl Compiler<'_> {
     /// Compiles one rule into a term with the head's positional columns.
     fn compile_rule(&mut self, rule: &Rule, self_var: Option<(&str, Sym)>) -> Result<Term> {
         let mut atoms = rule.body.iter();
-        let mut term = self.compile_atom(atoms.next().expect("validated: nonempty body"), self_var)?;
+        let mut term =
+            self.compile_atom(atoms.next().expect("validated: nonempty body"), self_var)?;
         for a in atoms {
             term = term.join(self.compile_atom(a, self_var)?);
         }
@@ -144,10 +143,8 @@ impl Compiler<'_> {
     fn compile_pred(&mut self, pred: &str, rules: &[&Rule]) -> Result<Term> {
         let recursive = rules.iter().any(|r| r.body.iter().any(|a| a.pred == pred));
         if !recursive {
-            let terms = rules
-                .iter()
-                .map(|r| self.compile_rule(r, None))
-                .collect::<Result<Vec<_>>>()?;
+            let terms =
+                rules.iter().map(|r| self.compile_rule(r, None)).collect::<Result<Vec<_>>>()?;
             return Ok(Term::union_all(terms));
         }
         let x = self.db.dict_mut().fresh(&format!("DL_{pred}"));
@@ -208,10 +205,7 @@ mod tests {
         let mut db = Database::new();
         let src = db.intern("src");
         let dst = db.intern("dst");
-        db.insert_relation(
-            "a",
-            Relation::from_pairs(src, dst, [(0, 1), (1, 2), (2, 0), (3, 4)]),
-        );
+        db.insert_relation("a", Relation::from_pairs(src, dst, [(0, 1), (1, 2), (2, 0), (3, 4)]));
         db.insert_relation("b", Relation::from_pairs(src, dst, [(2, 3), (4, 5)]));
         db.bind_constant("C", Value::node(2));
         db
@@ -336,7 +330,10 @@ mod tests {
             rules: vec![
                 Rule {
                     head: DlAtom::new("sg", &["x", "y"]),
-                    body: vec![DlAtom::new("parent", &["p", "x"]), DlAtom::new("parent", &["p", "y"])],
+                    body: vec![
+                        DlAtom::new("parent", &["p", "x"]),
+                        DlAtom::new("parent", &["p", "y"]),
+                    ],
                 },
                 Rule {
                     head: DlAtom::new("sg", &["x", "y"]),

@@ -43,11 +43,11 @@ pub struct DatalogEngine {
 impl DatalogEngine {
     /// New engine over a database.
     pub fn new(db: Database, style: DatalogStyle) -> Self {
-        let mut config = ExecConfig::default();
-        config.plan = match style {
+        let plan = match style {
             DatalogStyle::BigDatalog => FixpointPlan::Auto, // GPS decomposition
             DatalogStyle::Myria => FixpointPlan::ForceGld,
         };
+        let config = ExecConfig { plan, ..Default::default() };
         DatalogEngine { db, style, config }
     }
 
@@ -85,13 +85,16 @@ impl DatalogEngine {
         let start = Instant::now();
         let term = compile_program(program, &mut self.db)?;
         let plan = self.logical_optimize(&term);
+        let planning = start.elapsed();
+        let exec_start = Instant::now();
         let mut ev = DistEvaluator::new(&self.db, self.config.clone());
         let before = ev.cluster().metrics().snapshot();
         let relation = ev.eval_collect(&plan)?;
         let comm = ev.cluster().metrics().snapshot().since(&before);
         Ok(QueryOutput {
             relation,
-            wall: start.elapsed(),
+            planning,
+            execution: exec_start.elapsed(),
             stats: ev.stats().clone(),
             comm,
             plan,
@@ -113,12 +116,11 @@ impl DatalogEngine {
 mod tests {
     use super::*;
     use mura_core::{eval, Relation, Term, Value};
+    use mura_datagen::SplitMix64;
     use mura_datagen::{erdos_renyi, with_random_labels};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn db() -> Database {
-        let mut rng = StdRng::seed_from_u64(21);
+        let mut rng = SplitMix64::seed_from_u64(21);
         let g = erdos_renyi(150, 0.015, 9);
         let lg = with_random_labels(&g, 2, &mut rng);
         let mut db = lg.to_database();
@@ -137,7 +139,9 @@ mod tests {
     fn bigdatalog_answers_match() {
         let d = db();
         let mut e = DatalogEngine::new(d.clone(), DatalogStyle::BigDatalog);
-        for q in ["?x, ?y <- ?x a1+ ?y", "?x <- ?x a1+ C", "?y <- C a1+ ?y", "?x, ?y <- ?x a1+/a2+ ?y"] {
+        for q in
+            ["?x, ?y <- ?x a1+ ?y", "?x <- ?x a1+ C", "?y <- C a1+ ?y", "?x, ?y <- ?x a1+/a2+ ?y"]
+        {
             let out = e.run_ucrpq(q).unwrap();
             let expected = reference(q, &d);
             assert_eq!(out.relation.len(), expected.len(), "query {q}");

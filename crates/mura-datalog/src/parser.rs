@@ -66,7 +66,10 @@ impl Parser<'_> {
             &self.input[self.pos.min(self.input.len())..(self.pos + 24).min(self.input.len())],
         )
         .into_owned();
-        MuraError::Frontend(format!("datalog parse error at byte {}: {msg} (near '{around}')", self.pos))
+        MuraError::Frontend(format!(
+            "datalog parse error at byte {}: {msg} (near '{around}')",
+            self.pos
+        ))
     }
 
     fn skip_ws_and_comments(&mut self) {
@@ -217,9 +220,6 @@ mod tests {
         assert!(parse_program("tc(X, Y).").is_err(), "facts rejected");
         assert!(parse_program("tc(X, Y) :- edge(X, Y).").is_err(), "missing query");
         assert!(parse_program("Tc(X) :- e(X, X). ?- Tc(X).").is_err(), "uppercase pred");
-        assert!(parse_program(
-            "tc(X, Y) :- e(X, Y). ?- tc(X, Y). ?- tc(X, Y)."
-        )
-        .is_err());
+        assert!(parse_program("tc(X, Y) :- e(X, Y). ?- tc(X, Y). ?- tc(X, Y).").is_err());
     }
 }

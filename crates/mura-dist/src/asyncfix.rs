@@ -22,11 +22,11 @@
 use crate::cluster::Cluster;
 use crate::distrel::DistRel;
 use crate::localfix::{prepare, Budget, Prepared};
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use mura_core::fxhash::FxHasher;
 use mura_core::{Relation, Result, Row, Sym, Term};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::time::Duration;
 
 fn row_owner(row: &Row, n: usize) -> usize {
@@ -50,7 +50,7 @@ pub fn eval_async(
     let mut senders: Vec<Sender<Vec<Row>>> = Vec::with_capacity(n);
     let mut receivers: Vec<Receiver<Vec<Row>>> = Vec::with_capacity(n);
     for _ in 0..n {
-        let (s, r) = unbounded();
+        let (s, r) = channel();
         senders.push(s);
         receivers.push(r);
     }
@@ -86,17 +86,13 @@ pub fn eval_async(
                 let in_flight = &in_flight;
                 let cross_rows = &cross_rows;
                 let abort = &abort;
-                let recs = recs;
                 scope.spawn(move || -> Result<Relation> {
                     let fail = |e: mura_core::MuraError| {
                         abort.store(true, Ordering::SeqCst);
                         e
                     };
-                    let prepared: Vec<Prepared<Relation>> = recs
-                        .iter()
-                        .map(|r| prepare(r, x))
-                        .collect::<Result<_>>()
-                        .map_err(fail)?;
+                    let prepared: Vec<Prepared<Relation>> =
+                        recs.iter().map(|r| prepare(r, x)).collect::<Result<_>>().map_err(fail)?;
                     let mut acc = Relation::new(schema.clone());
                     loop {
                         let batch = match inbox.recv_timeout(Duration::from_millis(1)) {
@@ -107,12 +103,16 @@ pub fn eval_async(
                                 {
                                     return Ok(acc);
                                 }
+                                // Keep deadline/cancellation live even while
+                                // idle-waiting for batches.
+                                budget.check().map_err(fail)?;
                                 continue;
                             }
                         };
                         if abort.load(Ordering::SeqCst) {
                             return Ok(acc);
                         }
+                        budget.check().map_err(fail)?;
                         // Deduplicate against what this owner already has.
                         let mut delta = Relation::new(schema.clone());
                         for row in batch {
@@ -137,11 +137,12 @@ pub fn eval_async(
                                     continue;
                                 }
                                 if w != me {
-                                    cross_rows
-                                        .fetch_add(out.len() as i64, Ordering::Relaxed);
+                                    cross_rows.fetch_add(out.len() as i64, Ordering::Relaxed);
                                 }
                                 in_flight.fetch_add(1, Ordering::SeqCst);
-                                senders[w].send(out).expect("receiver alive");
+                                // A receiver is gone only if its worker
+                                // aborted; the abort flag unblocks everyone.
+                                let _ = senders[w].send(out);
                             }
                         }
                         in_flight.fetch_sub(1, Ordering::SeqCst);
@@ -195,10 +196,8 @@ mod tests {
             dst,
             [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (7, 8), (8, 9)],
         );
-        let step = Term::var(x)
-            .rename(dst, m)
-            .join(Term::cst(e.clone()).rename(src, m))
-            .antiproject(m);
+        let step =
+            Term::var(x).rename(dst, m).join(Term::cst(e.clone()).rename(src, m)).antiproject(m);
         let cluster = Cluster::new(4);
         let seed = DistRel::from_relation(&e, &cluster);
         (db, seed, vec![step], x, cluster)

@@ -47,7 +47,12 @@ impl Cluster {
             let handles: Vec<_> = items
                 .iter()
                 .enumerate()
-                .map(|(i, item)| s.spawn({ let f = &f; move || f(i, item) }))
+                .map(|(i, item)| {
+                    s.spawn({
+                        let f = &f;
+                        move || f(i, item)
+                    })
+                })
                 .collect();
             handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
         })

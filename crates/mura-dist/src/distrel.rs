@@ -118,9 +118,10 @@ impl DistRel {
     pub fn rename(&self, from: Sym, to: Sym, cluster: &Cluster) -> DistRel {
         let parts = cluster.par_map(&self.parts, |_, p| p.rename(from, to));
         let schema = parts[0].schema().clone();
-        let partitioned_by = self.partitioned_by.as_ref().map(|key| {
-            key.iter().map(|&c| if c == from { to } else { c }).collect()
-        });
+        let partitioned_by = self
+            .partitioned_by
+            .as_ref()
+            .map(|key| key.iter().map(|&c| if c == from { to } else { c }).collect());
         DistRel { schema, parts, partitioned_by }
     }
 
@@ -163,8 +164,7 @@ impl DistRel {
             }
             buckets
         });
-        let mut parts: Vec<Relation> =
-            (0..n).map(|_| Relation::new(self.schema.clone())).collect();
+        let mut parts: Vec<Relation> = (0..n).map(|_| Relation::new(self.schema.clone())).collect();
         for worker_buckets in bucketed {
             for (t, bucket) in worker_buckets.into_iter().enumerate() {
                 for row in bucket {
@@ -264,11 +264,7 @@ impl DistRel {
     /// communication charged.
     pub fn antijoin_local(&self, other: &Relation, cluster: &Cluster) -> DistRel {
         let parts = cluster.par_map(&self.parts, |_, p| p.antijoin(other));
-        DistRel {
-            schema: self.schema.clone(),
-            parts,
-            partitioned_by: self.partitioned_by.clone(),
-        }
+        DistRel { schema: self.schema.clone(), parts, partitioned_by: self.partitioned_by.clone() }
     }
 
     /// Antijoin via co-partitioning on the common columns.
@@ -479,11 +475,7 @@ mod tests {
         let r1 = rel(&mut db, &[(1, 2)]);
         let r2 = rel(&mut db, &[(1, 2), (3, 4)]);
         let c = Cluster::new(2);
-        let d = DistRel::from_parts(
-            r1.schema().clone(),
-            vec![r1.clone(), r2.clone()],
-            None,
-        );
+        let d = DistRel::from_parts(r1.schema().clone(), vec![r1.clone(), r2.clone()], None);
         assert_eq!(d.len(), 3, "duplicate present before distinct");
         let dd = d.distinct(&c);
         assert_eq!(dd.len(), 2);

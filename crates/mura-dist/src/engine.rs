@@ -16,8 +16,11 @@ use std::time::{Duration, Instant};
 pub struct QueryOutput {
     /// The answer relation.
     pub relation: Relation,
-    /// Wall-clock time of planning + execution.
-    pub wall: Duration,
+    /// Wall-clock time of parsing + rewriting (zero when the plan came from
+    /// a cache).
+    pub planning: Duration,
+    /// Wall-clock time of distributed execution.
+    pub execution: Duration,
     /// Execution counters.
     pub stats: ExecStats,
     /// Communication during this query.
@@ -27,6 +30,11 @@ pub struct QueryOutput {
 }
 
 impl QueryOutput {
+    /// Total wall-clock time (planning + execution).
+    pub fn wall(&self) -> Duration {
+        self.planning + self.execution
+    }
+
     /// Renders a physical-plan explanation: the operator tree with every
     /// fixpoint annotated by its stable columns and the plan the
     /// `PhysicalPlanGenerator` policy selects for it (§IV-B c).
@@ -59,12 +67,8 @@ fn explain_rec(
             explain_rec(inner, db, env, depth + 1, out);
         }
         Term::Rename(a, b, inner) => {
-            let _ = writeln!(
-                out,
-                "{pad}rename {} -> {}",
-                db.dict().resolve(*a),
-                db.dict().resolve(*b)
-            );
+            let _ =
+                writeln!(out, "{pad}rename {} -> {}", db.dict().resolve(*a), db.dict().resolve(*b));
             explain_rec(inner, db, env, depth + 1, out);
         }
         Term::AntiProject(cs, inner) => {
@@ -90,8 +94,7 @@ fn explain_rec(
         Term::Fix(x, body) => {
             let note = match mura_core::analysis::stable_columns(*x, body, env) {
                 Ok(stable) if !stable.is_empty() => {
-                    let cols: Vec<&str> =
-                        stable.iter().map(|c| db.dict().resolve(*c)).collect();
+                    let cols: Vec<&str> = stable.iter().map(|c| db.dict().resolve(*c)).collect();
                     format!("stable: {} -> P_plw", cols.join(","))
                 }
                 Ok(_) => "no stable column -> P_gld".to_string(),
@@ -151,32 +154,79 @@ impl QueryEngine {
 
     /// Parses, optimizes and executes a UCRPQ.
     pub fn run_ucrpq(&mut self, query: &str) -> Result<QueryOutput> {
-        let q = parse_ucrpq(query)?;
-        let term = to_mura(&q, &mut self.db)?;
-        self.run_term(&term)
+        let planned = self.plan_ucrpq(query)?;
+        self.execute_plan(&planned)
     }
 
     /// Optimizes and executes a μ-RA term.
     pub fn run_term(&mut self, term: &Term) -> Result<QueryOutput> {
+        let planned = self.plan_term(term)?;
+        self.execute_plan(&planned)
+    }
+
+    /// Parses and optimizes a UCRPQ without executing it. Planning needs
+    /// `&mut self` (translation interns symbols into the database); the
+    /// returned plan can then be executed any number of times through
+    /// [`QueryEngine::execute_plan`], which only needs `&self`.
+    pub fn plan_ucrpq(&mut self, query: &str) -> Result<PlannedQuery> {
         let start = Instant::now();
+        let q = parse_ucrpq(query)?;
+        let term = to_mura(&q, &mut self.db)?;
+        self.plan_term_from(&term, start)
+    }
+
+    /// Optimizes a μ-RA term without executing it.
+    pub fn plan_term(&mut self, term: &Term) -> Result<PlannedQuery> {
+        self.plan_term_from(term, Instant::now())
+    }
+
+    fn plan_term_from(&mut self, term: &Term, start: Instant) -> Result<PlannedQuery> {
         let plan = if self.optimize {
             let rewriter = Rewriter::new(&mut self.db);
             rewriter.optimize(term, &mut self.db)?
         } else {
             term.clone()
         };
-        let mut ev = DistEvaluator::new(&self.db, self.config.clone());
+        Ok(PlannedQuery { plan, planning: start.elapsed() })
+    }
+
+    /// Executes an already-planned query under the engine's configuration.
+    /// Read-only on the engine, so a serving layer can run many executions
+    /// concurrently against one shared engine.
+    pub fn execute_plan(&self, planned: &PlannedQuery) -> Result<QueryOutput> {
+        self.execute_plan_with(planned, self.config.clone())
+    }
+
+    /// Executes a planned query under per-query configuration overrides
+    /// (resource limits, cancellation token, plan policy).
+    pub fn execute_plan_with(
+        &self,
+        planned: &PlannedQuery,
+        config: ExecConfig,
+    ) -> Result<QueryOutput> {
+        let start = Instant::now();
+        let mut ev = DistEvaluator::new(&self.db, config);
         let before = ev.cluster().metrics().snapshot();
-        let relation = ev.eval_collect(&plan)?;
+        let relation = ev.eval_collect(&planned.plan)?;
         let comm = ev.cluster().metrics().snapshot().since(&before);
         Ok(QueryOutput {
             relation,
-            wall: start.elapsed(),
+            planning: planned.planning,
+            execution: start.elapsed(),
             stats: ev.stats().clone(),
             comm,
-            plan,
+            plan: planned.plan.clone(),
         })
     }
+}
+
+/// An optimized logical plan ready for (repeated) execution.
+#[derive(Debug, Clone)]
+pub struct PlannedQuery {
+    /// The optimized μ-RA term.
+    pub plan: Term,
+    /// How long parsing + rewriting took.
+    pub planning: Duration,
 }
 
 #[cfg(test)]
@@ -184,12 +234,11 @@ mod tests {
     use super::*;
     use crate::exec::FixpointPlan;
     use mura_core::{eval, Value};
+    use mura_datagen::SplitMix64;
     use mura_datagen::{erdos_renyi, with_random_labels};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn engine() -> QueryEngine {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = SplitMix64::seed_from_u64(3);
         let g = erdos_renyi(200, 0.012, 5);
         let lg = with_random_labels(&g, 2, &mut rng);
         let mut db = lg.to_database();
@@ -213,11 +262,7 @@ mod tests {
             let parsed = mura_ucrpq::parse_ucrpq(q).unwrap();
             let term = mura_ucrpq::to_mura(&parsed, e.db_mut()).unwrap();
             let expected = eval(&term, e.db()).unwrap();
-            assert_eq!(
-                out.relation.sorted_rows(),
-                expected.sorted_rows(),
-                "query {q} diverged"
-            );
+            assert_eq!(out.relation.sorted_rows(), expected.sorted_rows(), "query {q} diverged");
         }
     }
 
@@ -233,7 +278,7 @@ mod tests {
 
     #[test]
     fn plan_override_is_respected() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = SplitMix64::seed_from_u64(3);
         let g = erdos_renyi(100, 0.02, 5);
         let lg = with_random_labels(&g, 2, &mut rng);
         let db = lg.to_database();

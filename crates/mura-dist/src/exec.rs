@@ -14,7 +14,7 @@ use crate::distrel::DistRel;
 use crate::localfix::{local_fixpoint, Budget, LocalEngine};
 use mura_core::analysis::{check_fcond, decompose_fixpoint, stable_columns, TypeEnv};
 use mura_core::fxhash::FxHashMap;
-use mura_core::{Database, MuraError, Relation, Result, Schema, Sym, Term};
+use mura_core::{CancellationToken, Database, MuraError, Relation, Result, Schema, Sym, Term};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -59,6 +59,9 @@ pub struct ExecConfig {
     pub broadcast_threshold: usize,
     /// Budgets.
     pub limits: ResourceLimits,
+    /// Cooperative cancellation / per-request deadline, checked at every
+    /// fixpoint superstep.
+    pub cancel: Option<CancellationToken>,
 }
 
 impl Default for ExecConfig {
@@ -69,6 +72,7 @@ impl Default for ExecConfig {
             local_engine: LocalEngine::SetRdd,
             broadcast_threshold: 1_000_000,
             limits: ResourceLimits::default(),
+            cancel: None,
         }
     }
 }
@@ -137,7 +141,8 @@ impl<'db> DistEvaluator<'db> {
     pub fn new(db: &'db Database, config: ExecConfig) -> Self {
         let cluster = Cluster::new(config.workers);
         let deadline = config.limits.timeout.map(|t| Instant::now() + t);
-        let budget = Budget::new(config.limits.max_rows, deadline);
+        let budget =
+            Budget::new(config.limits.max_rows, deadline).with_cancel(config.cancel.clone());
         let next_fresh = db.dict().len() as u32 + 1_000_000;
         DistEvaluator {
             db,
@@ -202,9 +207,7 @@ impl<'db> DistEvaluator<'db> {
             Term::Cst(r) => {
                 if r.len() <= self.config.broadcast_threshold {
                     // Driver-side constant shipped to every worker.
-                    self.cluster
-                        .metrics()
-                        .record_broadcast(r.len() as u64, self.cluster.workers());
+                    self.cluster.metrics().record_broadcast(r.len() as u64, self.cluster.workers());
                     DVal::Repl(r.clone())
                 } else {
                     DVal::Dist(DistRel::from_relation(r, &self.cluster))
@@ -443,6 +446,7 @@ impl<'db> DistEvaluator<'db> {
         let mut acc = seed;
         let mut delta = acc.clone();
         while !delta.is_empty() {
+            self.budget.check()?;
             self.stats.fixpoint_iterations += 1;
             self.bound.insert(x, DVal::Dist(delta.clone()));
             let mut new: Option<DVal> = None;
@@ -488,11 +492,7 @@ impl<'db> DistEvaluator<'db> {
         recs: &[Term],
         stable: &[Sym],
     ) -> Result<DistRel> {
-        let seed = if stable.is_empty() {
-            seed
-        } else {
-            seed.repartition(stable, &self.cluster)
-        };
+        let seed = if stable.is_empty() { seed } else { seed.repartition(stable, &self.cluster) };
         // Resolve hoisted invariants to full local copies (broadcast).
         let mut recs_local = Vec::with_capacity(recs.len());
         for r in recs {
@@ -500,9 +500,9 @@ impl<'db> DistEvaluator<'db> {
         }
         let engine = self.config.local_engine;
         let budget = &self.budget;
-        let results: Vec<Result<Relation>> = self.cluster.par_map(seed.parts(), |_, part| {
-            local_fixpoint(part, &recs_local, x, engine, budget)
-        });
+        let results: Vec<Result<Relation>> = self
+            .cluster
+            .par_map(seed.parts(), |_, part| local_fixpoint(part, &recs_local, x, engine, budget));
         let parts = results.into_iter().collect::<Result<Vec<_>>>()?;
         self.stats.fixpoint_iterations += 1; // the parallel local loops count once globally
         let schema = seed.schema().clone();
@@ -525,8 +525,7 @@ impl<'db> DistEvaluator<'db> {
         Ok(match t {
             Term::Var(v) if *v == x => t.clone(),
             Term::Var(v) => {
-                let val =
-                    self.bound.get(v).cloned().ok_or(MuraError::UnboundVariable(*v))?;
+                let val = self.bound.get(v).cloned().ok_or(MuraError::UnboundVariable(*v))?;
                 let rel = match val {
                     DVal::Repl(r) => r,
                     DVal::Dist(d) => {
@@ -565,9 +564,7 @@ impl<'db> DistEvaluator<'db> {
                 Box::new(self.resolve_to_constants(b, x)?),
             ),
             Term::Fix(_, _) => {
-                return Err(MuraError::Other(
-                    "nested fixpoint must be hoisted before P_plw".into(),
-                ))
+                return Err(MuraError::Other("nested fixpoint must be hoisted before P_plw".into()))
             }
         })
     }
@@ -590,17 +587,25 @@ mod tests {
             Relation::from_pairs(
                 src,
                 dst,
-                [(1, 2), (1, 4), (10, 11), (10, 13), (2, 3), (4, 5), (11, 5), (13, 12), (3, 6), (5, 6)],
+                [
+                    (1, 2),
+                    (1, 4),
+                    (10, 11),
+                    (10, 13),
+                    (2, 3),
+                    (4, 5),
+                    (11, 5),
+                    (13, 12),
+                    (3, 6),
+                    (5, 6),
+                ],
             ),
         );
         let s = db.insert_relation(
             "S",
             Relation::from_pairs(src, dst, [(1, 2), (1, 4), (10, 11), (10, 13)]),
         );
-        let step = Term::var(x)
-            .rename(dst, m)
-            .join(Term::var(e).rename(src, m))
-            .antiproject(m);
+        let step = Term::var(x).rename(dst, m).join(Term::var(e).rename(src, m)).antiproject(m);
         let term = Term::var(s).union(step).fix(x);
         (db, term)
     }
@@ -619,7 +624,12 @@ mod tests {
     fn all_plans_match_centralized() {
         let (db, term) = paper_db();
         let expected = eval_central(&term, &db).unwrap();
-        for plan in [FixpointPlan::Auto, FixpointPlan::ForceGld, FixpointPlan::ForcePlw, FixpointPlan::ForceAsync] {
+        for plan in [
+            FixpointPlan::Auto,
+            FixpointPlan::ForceGld,
+            FixpointPlan::ForcePlw,
+            FixpointPlan::ForceAsync,
+        ] {
             for engine in [LocalEngine::SetRdd, LocalEngine::Sorted] {
                 let (got, _, _) = run(plan, engine);
                 assert_eq!(
@@ -662,10 +672,7 @@ mod tests {
             ..Default::default()
         };
         let mut ev = DistEvaluator::new(&db, config);
-        assert!(matches!(
-            ev.eval_collect(&term),
-            Err(MuraError::ResourceExhausted { .. })
-        ));
+        assert!(matches!(ev.eval_collect(&term), Err(MuraError::ResourceExhausted { .. })));
     }
 
     #[test]
@@ -674,10 +681,7 @@ mod tests {
         let mut db = Database::new();
         let src = db.intern("src");
         let dst = db.intern("dst");
-        db.insert_relation(
-            "R",
-            Relation::from_pairs(src, dst, [(0, 1), (0, 2), (1, 3), (2, 4)]),
-        );
+        db.insert_relation("R", Relation::from_pairs(src, dst, [(0, 1), (0, 2), (1, 3), (2, 4)]));
         let term = mura_ucrpq::suites::same_generation_term(&mut db, "R").unwrap();
         let expected = eval_central(&term, &db).unwrap();
         let mut ev = DistEvaluator::new(&db, ExecConfig::default());

@@ -35,7 +35,7 @@ pub mod sorted;
 
 pub use cluster::Cluster;
 pub use distrel::DistRel;
-pub use engine::{QueryEngine, QueryOutput};
+pub use engine::{PlannedQuery, QueryEngine, QueryOutput};
 pub use exec::{DistEvaluator, ExecConfig, ExecStats, FixpointPlan, ResourceLimits};
 pub use localfix::LocalEngine;
 pub use metrics::{CommSnapshot, CommStats};

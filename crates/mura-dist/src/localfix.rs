@@ -14,7 +14,7 @@
 //!   per-worker PostgreSQL instances of `P_plw^pg`.
 
 use crate::sorted::SortedRelation;
-use mura_core::{MuraError, Pred, Relation, Result, Schema, Sym, Term, Value};
+use mura_core::{CancellationToken, MuraError, Pred, Relation, Result, Schema, Sym, Term, Value};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
@@ -28,23 +28,31 @@ pub enum LocalEngine {
     Sorted,
 }
 
-/// Shared row budget + deadline, checked by every worker loop. Models the
-/// paper's out-of-memory failures and timeouts.
-#[derive(Debug)]
+/// Shared row budget + deadline + cancellation, checked by every worker
+/// loop. Models the paper's out-of-memory failures and timeouts, and gives
+/// the serving layer a handle to stop a query between supersteps.
+#[derive(Debug, Default)]
 pub struct Budget {
     produced: AtomicU64,
     max_rows: Option<u64>,
     deadline: Option<Instant>,
+    cancel: Option<CancellationToken>,
 }
 
 impl Budget {
     /// A budget with optional row cap and deadline.
     pub fn new(max_rows: Option<u64>, deadline: Option<Instant>) -> Self {
-        Budget { produced: AtomicU64::new(0), max_rows, deadline }
+        Budget { produced: AtomicU64::new(0), max_rows, deadline, cancel: None }
     }
 
-    /// Charges `rows` produced rows; errors when over budget or past the
-    /// deadline.
+    /// Attaches a cancellation token, consulted by [`Budget::check`].
+    pub fn with_cancel(mut self, cancel: Option<CancellationToken>) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
+    /// Charges `rows` produced rows; errors when over budget, past the
+    /// deadline, or cancelled.
     pub fn charge(&self, rows: u64) -> Result<()> {
         let total = self.produced.fetch_add(rows, Ordering::Relaxed) + rows;
         if let Some(max) = self.max_rows {
@@ -56,10 +64,21 @@ impl Budget {
                 });
             }
         }
+        self.check()
+    }
+
+    /// Superstep preemption point: errors when past the engine deadline
+    /// ([`MuraError::Timeout`]) or when the attached token was cancelled or
+    /// its per-request deadline passed (`Cancelled` / `DeadlineExceeded`).
+    /// Charges nothing, so loops can call it before producing any rows.
+    pub fn check(&self) -> Result<()> {
         if let Some(d) = self.deadline {
             if Instant::now() > d {
                 return Err(MuraError::Timeout { millis: 0 });
             }
+        }
+        if let Some(c) = &self.cancel {
+            c.check()?;
         }
         Ok(())
     }
@@ -102,10 +121,9 @@ fn compile_preds(schema: &Schema, preds: &[Pred]) -> Result<Vec<CompiledPred>> {
         out.push(match p {
             Pred::Eq(c, v) => CompiledPred::Eq(schema.position(*c).unwrap(), *v),
             Pred::Neq(c, v) => CompiledPred::Neq(schema.position(*c).unwrap(), *v),
-            Pred::EqCol(a, b) => CompiledPred::EqCol(
-                schema.position(*a).unwrap(),
-                schema.position(*b).unwrap(),
-            ),
+            Pred::EqCol(a, b) => {
+                CompiledPred::EqCol(schema.position(*a).unwrap(), schema.position(*b).unwrap())
+            }
         });
     }
     Ok(out)
@@ -287,6 +305,7 @@ fn local_fixpoint_typed<R: LocalRel>(
     let mut acc = R::from_relation(seed);
     let mut delta = acc.clone();
     while !delta.is_empty() {
+        budget.check()?;
         let mut new: Option<R> = None;
         for p in &prepared {
             let produced = eval_prepared(p, &delta)?;
@@ -322,10 +341,8 @@ mod tests {
         let x = db.intern("X");
         let e = Relation::from_pairs(src, dst, [(0, 1), (1, 2), (2, 3), (3, 0), (7, 8)]);
         // Hoisted step: π̃_m(ρ_dst→m(X) ⋈ ρ_src→m(Cst(E))).
-        let step = Term::var(x)
-            .rename(dst, m)
-            .join(Term::cst(e.clone()).rename(src, m))
-            .antiproject(m);
+        let step =
+            Term::var(x).rename(dst, m).join(Term::cst(e.clone()).rename(src, m)).antiproject(m);
         (db, e, vec![step], x)
     }
 
@@ -374,11 +391,7 @@ mod tests {
         // Step filtered to never extend (src of E = 100 doesn't exist).
         let step = Term::var(x)
             .rename(dst, m)
-            .join(
-                Term::cst(e.clone())
-                    .filter_eq(src, 100i64)
-                    .rename(src, m),
-            )
+            .join(Term::cst(e.clone()).filter_eq(src, 100i64).rename(src, m))
             .antiproject(m);
         let budget = Budget::new(None, None);
         let out = local_fixpoint(&e, &[step], x, LocalEngine::Sorted, &budget).unwrap();

@@ -31,8 +31,7 @@ impl CommStats {
     /// Records one broadcast of `rows` rows to `workers` workers.
     pub fn record_broadcast(&self, rows: u64, workers: usize) {
         self.broadcasts.fetch_add(1, Ordering::Relaxed);
-        self.rows_broadcast
-            .fetch_add(rows * (workers.saturating_sub(1)) as u64, Ordering::Relaxed);
+        self.rows_broadcast.fetch_add(rows * (workers.saturating_sub(1)) as u64, Ordering::Relaxed);
     }
 
     /// Immutable snapshot of the counters.
@@ -64,13 +63,15 @@ pub struct CommSnapshot {
 }
 
 impl CommSnapshot {
-    /// Difference against an earlier snapshot.
+    /// Difference against an earlier snapshot. Saturates at zero: the
+    /// counters can be `reset` between the two snapshots (the benchmark
+    /// harness does this per run), which would otherwise underflow.
     pub fn since(&self, earlier: &CommSnapshot) -> CommSnapshot {
         CommSnapshot {
-            shuffles: self.shuffles - earlier.shuffles,
-            rows_shuffled: self.rows_shuffled - earlier.rows_shuffled,
-            rows_broadcast: self.rows_broadcast - earlier.rows_broadcast,
-            broadcasts: self.broadcasts - earlier.broadcasts,
+            shuffles: self.shuffles.saturating_sub(earlier.shuffles),
+            rows_shuffled: self.rows_shuffled.saturating_sub(earlier.rows_shuffled),
+            rows_broadcast: self.rows_broadcast.saturating_sub(earlier.rows_broadcast),
+            broadcasts: self.broadcasts.saturating_sub(earlier.broadcasts),
         }
     }
 }
@@ -101,6 +102,19 @@ mod tests {
         let d = m.snapshot().since(&a);
         assert_eq!(d.shuffles, 1);
         assert_eq!(d.rows_shuffled, 5);
+    }
+
+    #[test]
+    fn since_saturates_after_reset() {
+        // A reset between snapshots must not underflow the difference.
+        let m = CommStats::default();
+        m.record_shuffle(10);
+        let before = m.snapshot();
+        m.reset();
+        m.record_shuffle(3);
+        let d = m.snapshot().since(&before);
+        assert_eq!(d.shuffles, 0);
+        assert_eq!(d.rows_shuffled, 0);
     }
 
     #[test]

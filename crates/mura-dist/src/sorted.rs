@@ -73,27 +73,18 @@ impl SortedRelation {
                 self.schema.position(oc).unwrap()
             })
             .collect();
-        let rows: Vec<Row> = self
-            .rows
-            .iter()
-            .map(|r| perm.iter().map(|&p| r[p]).collect::<Row>())
-            .collect();
+        let rows: Vec<Row> =
+            self.rows.iter().map(|r| perm.iter().map(|&p| r[p]).collect::<Row>()).collect();
         SortedRelation::from_sorted(new_schema, rows)
     }
 
     /// π̃ of the given columns (sort + dedup).
     pub fn antiproject(&self, drop: &[Sym]) -> SortedRelation {
         let new_schema = self.schema.antiproject(drop).expect("invalid antiprojection");
-        let keep: Vec<usize> = new_schema
-            .columns()
-            .iter()
-            .map(|&c| self.schema.position(c).unwrap())
-            .collect();
-        let rows: Vec<Row> = self
-            .rows
-            .iter()
-            .map(|r| keep.iter().map(|&p| r[p]).collect::<Row>())
-            .collect();
+        let keep: Vec<usize> =
+            new_schema.columns().iter().map(|&c| self.schema.position(c).unwrap()).collect();
+        let rows: Vec<Row> =
+            self.rows.iter().map(|r| keep.iter().map(|&p| r[p]).collect::<Row>()).collect();
         SortedRelation::from_sorted(new_schema, rows)
     }
 
@@ -199,15 +190,11 @@ impl SortedRelation {
                 SortedRelation::new(self.schema.clone())
             };
         }
-        let my_pos: Vec<usize> =
-            common.iter().map(|&c| self.schema.position(c).unwrap()).collect();
+        let my_pos: Vec<usize> = common.iter().map(|&c| self.schema.position(c).unwrap()).collect();
         let their_pos: Vec<usize> =
             common.iter().map(|&c| other.schema.position(c).unwrap()).collect();
-        let mut keys: Vec<Row> = other
-            .rows
-            .iter()
-            .map(|r| their_pos.iter().map(|&p| r[p]).collect::<Row>())
-            .collect();
+        let mut keys: Vec<Row> =
+            other.rows.iter().map(|r| their_pos.iter().map(|&p| r[p]).collect::<Row>()).collect();
         keys.sort_unstable();
         keys.dedup();
         let rows = self

@@ -1,0 +1,100 @@
+//! Resource-limit coverage across all fixpoint plans: row-cap exhaustion,
+//! timeout expiry and token cancellation must abort cleanly (no hang, no
+//! panic) under `P_gld`, `P_plw` and the asynchronous evaluator.
+
+use mura_core::{CancellationToken, Database, MuraError, Relation};
+use mura_dist::exec::{ExecConfig, FixpointPlan, ResourceLimits};
+use mura_dist::QueryEngine;
+use std::time::Duration;
+
+/// A directed cycle: its transitive closure has n² rows after n
+/// iterations, so every budget gets plenty of chances to trip.
+fn cycle_db(n: u64) -> Database {
+    let mut db = Database::new();
+    let src = db.intern("src");
+    let dst = db.intern("dst");
+    db.insert_relation("e", Relation::from_pairs(src, dst, (0..n).map(|i| (i, (i + 1) % n))));
+    db
+}
+
+const TC: &str = "?x, ?y <- ?x e+ ?y";
+
+const PLANS: [FixpointPlan; 3] =
+    [FixpointPlan::ForceGld, FixpointPlan::ForcePlw, FixpointPlan::ForceAsync];
+
+fn run_on(
+    n: u64,
+    plan: FixpointPlan,
+    limits: ResourceLimits,
+    cancel: Option<CancellationToken>,
+) -> Result<usize, MuraError> {
+    let config = ExecConfig { plan, limits, cancel, ..Default::default() };
+    let mut engine = QueryEngine::with_config(cycle_db(n), config);
+    engine.run_ucrpq(TC).map(|out| out.relation.len())
+}
+
+fn run(
+    plan: FixpointPlan,
+    limits: ResourceLimits,
+    cancel: Option<CancellationToken>,
+) -> Result<usize, MuraError> {
+    run_on(400, plan, limits, cancel)
+}
+
+#[test]
+fn max_rows_exhaustion_aborts_every_plan() {
+    for plan in PLANS {
+        let limits = ResourceLimits { max_rows: Some(500), timeout: None };
+        let err =
+            run(plan, limits, None).expect_err("closure of 160k rows must trip a 500-row cap");
+        assert!(
+            matches!(err, MuraError::ResourceExhausted { .. }),
+            "{plan:?}: expected ResourceExhausted, got {err}"
+        );
+    }
+}
+
+#[test]
+fn timeout_expiry_aborts_every_plan() {
+    for plan in PLANS {
+        let limits = ResourceLimits { max_rows: None, timeout: Some(Duration::from_millis(1)) };
+        let err = run(plan, limits, None).expect_err("1 ms budget must expire");
+        assert!(matches!(err, MuraError::Timeout { .. }), "{plan:?}: expected Timeout, got {err}");
+    }
+}
+
+#[test]
+fn pre_cancelled_token_aborts_every_plan() {
+    for plan in PLANS {
+        let token = CancellationToken::new();
+        token.cancel();
+        let err = run(plan, ResourceLimits::default(), Some(token))
+            .expect_err("cancelled token must abort");
+        assert!(matches!(err, MuraError::Cancelled), "{plan:?}: expected Cancelled, got {err}");
+    }
+}
+
+#[test]
+fn token_deadline_reports_deadline_exceeded() {
+    for plan in PLANS {
+        let token = CancellationToken::with_timeout(Duration::from_millis(1));
+        let err = run(plan, ResourceLimits::default(), Some(token))
+            .expect_err("1 ms token deadline must expire");
+        assert!(
+            matches!(err, MuraError::DeadlineExceeded { millis: 1 }),
+            "{plan:?}: expected DeadlineExceeded, got {err}"
+        );
+    }
+}
+
+#[test]
+fn generous_limits_do_not_interfere() {
+    for plan in PLANS {
+        let limits =
+            ResourceLimits { max_rows: Some(10_000_000), timeout: Some(Duration::from_secs(600)) };
+        // Small cycle: this one runs to completion, keep it quick.
+        let n = run_on(80, plan, limits, Some(CancellationToken::new()))
+            .expect("generous budgets must not abort");
+        assert_eq!(n, 80 * 80, "{plan:?}: full closure expected");
+    }
+}

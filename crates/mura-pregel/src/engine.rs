@@ -159,9 +159,7 @@ impl PregelEngine {
                 match v.as_int() {
                     Some(i) if i >= 0 => vec![i as u64],
                     _ => {
-                        return Err(MuraError::Frontend(format!(
-                            "constant '{c}' is not a node id"
-                        )))
+                        return Err(MuraError::Frontend(format!("constant '{c}' is not a node id")))
                     }
                 }
             }
@@ -214,11 +212,8 @@ impl PregelEngine {
                     .zip(inboxes.iter_mut())
                     .map(|(part_states, inbox)| {
                         s.spawn(move || {
-                            let mut out = PartOut {
-                                outbox: Vec::new(),
-                                accepted: Vec::new(),
-                                sent: 0,
-                            };
+                            let mut out =
+                                PartOut { outbox: Vec::new(), accepted: Vec::new(), sent: 0 };
                             for (v, o, st) in inbox.drain(..) {
                                 let seen = part_states.entry(v).or_default();
                                 if !seen.insert((o, st)) {
@@ -270,19 +265,16 @@ impl PregelEngine {
         Ok(results)
     }
 
-    fn pairs_to_relation(
-        &self,
-        atom: &Atom,
-        pairs: FxHashSet<(u64, u64)>,
-    ) -> Result<Relation> {
+    fn pairs_to_relation(&self, atom: &Atom, pairs: FxHashSet<(u64, u64)>) -> Result<Relation> {
         // Columns named like the μ-RA frontend (`?x`), resolved against the
         // dictionary; unseen variables must be interned by a prior
         // translation or direct lookup — fall back to a deterministic probe.
         let col = |v: &str| -> Result<mura_core::Sym> {
-            self.db
-                .dict()
-                .lookup(&format!("?{v}"))
-                .ok_or_else(|| MuraError::Frontend(format!("variable ?{v} missing from dictionary; run through PregelEngine::run_ucrpq")))
+            self.db.dict().lookup(&format!("?{v}")).ok_or_else(|| {
+                MuraError::Frontend(format!(
+                    "variable ?{v} missing from dictionary; run through PregelEngine::run_ucrpq"
+                ))
+            })
         };
         match (&atom.left, &atom.right) {
             (Endpoint::Var(l), Endpoint::Var(r)) if l == r => {
@@ -378,12 +370,11 @@ fn build_adjacency(db: &Database) -> Adjacency {
 mod tests {
     use super::*;
     use mura_core::eval;
+    use mura_datagen::SplitMix64;
     use mura_datagen::{erdos_renyi, with_random_labels};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn db() -> Database {
-        let mut rng = StdRng::seed_from_u64(33);
+        let mut rng = SplitMix64::seed_from_u64(33);
         let g = erdos_renyi(120, 0.02, 17);
         let lg = with_random_labels(&g, 2, &mut rng);
         let mut db = lg.to_database();
@@ -403,11 +394,7 @@ mod tests {
         let expected = reference(q, &mut d);
         let engine = PregelEngine::new(d, PregelConfig::default());
         let out = engine.run_ucrpq(q).unwrap();
-        assert_eq!(
-            out.relation.sorted_rows(),
-            expected.sorted_rows(),
-            "pregel diverged on {q}"
-        );
+        assert_eq!(out.relation.sorted_rows(), expected.sorted_rows(), "pregel diverged on {q}");
     }
 
     #[test]
@@ -461,10 +448,8 @@ mod tests {
     fn message_budget_aborts() {
         let mut d = db();
         let _ = reference("?x, ?y <- ?x a1+ ?y", &mut d);
-        let engine = PregelEngine::new(
-            d,
-            PregelConfig { max_messages: Some(10), ..Default::default() },
-        );
+        let engine =
+            PregelEngine::new(d, PregelConfig { max_messages: Some(10), ..Default::default() });
         let err = engine.run_ucrpq("?x, ?y <- ?x a1+ ?y").unwrap_err();
         assert!(matches!(err, MuraError::ResourceExhausted { .. }));
     }

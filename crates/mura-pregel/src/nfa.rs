@@ -36,9 +36,7 @@ impl Nfa {
     pub fn from_path(path: &Path) -> Result<Nfa> {
         let (core, eps) = normalize(path);
         if eps {
-            return Err(MuraError::Frontend(format!(
-                "path '{path}' can match the empty word"
-            )));
+            return Err(MuraError::Frontend(format!("path '{path}' can match the empty word")));
         }
         let core = core.ok_or_else(|| {
             MuraError::Frontend(format!("path '{path}' denotes only the empty word"))
@@ -50,10 +48,7 @@ impl Nfa {
 
     /// Transitions leaving `state`.
     pub fn transitions_from(&self, state: u32) -> impl Iterator<Item = (&LabelDir, u32)> {
-        self.transitions
-            .iter()
-            .filter(move |(f, _, _)| *f == state)
-            .map(|(_, l, t)| (l, *t))
+        self.transitions.iter().filter(move |(f, _, _)| *f == state).map(|(_, l, t)| (l, *t))
     }
 
     /// True if `state` accepts.
@@ -136,20 +131,20 @@ impl Builder {
         let n = self.n as usize;
         // ε-closure by BFS per state (automata here are tiny).
         let mut closure: Vec<Vec<u32>> = (0..n).map(|s| vec![s as u32]).collect();
-        for s in 0..n {
+        for (s, reach) in closure.iter_mut().enumerate() {
             let mut stack = vec![s as u32];
             while let Some(v) = stack.pop() {
                 for &(f, t) in &self.eps {
-                    if f == v && !closure[s].contains(&t) {
-                        closure[s].push(t);
+                    if f == v && !reach.contains(&t) {
+                        reach.push(t);
                         stack.push(t);
                     }
                 }
             }
         }
         let mut transitions = Vec::new();
-        for s in 0..n {
-            for &c in &closure[s] {
+        for (s, reach) in closure.iter().enumerate() {
+            for &c in reach {
                 for (f, l, t) in &self.labeled {
                     if *f == c {
                         let tr = (s as u32, l.clone(), *t);
@@ -160,9 +155,8 @@ impl Builder {
                 }
             }
         }
-        let accept: Vec<u32> = (0..n as u32)
-            .filter(|&s| closure[s as usize].contains(&end))
-            .collect();
+        let accept: Vec<u32> =
+            (0..n as u32).filter(|&s| closure[s as usize].contains(&end)).collect();
         Ok(Nfa { n_states: self.n, start, accept, transitions })
     }
 }

@@ -95,19 +95,13 @@ impl ClosureForm {
         if let Some(l) = &self.left {
             let m = dict.fresh("m");
             branches.push(
-                l.clone()
-                    .rename(self.dst, m)
-                    .join(Term::var(x).rename(self.src, m))
-                    .antiproject(m),
+                l.clone().rename(self.dst, m).join(Term::var(x).rename(self.src, m)).antiproject(m),
             );
         }
         if let Some(r) = &self.right {
             let m = dict.fresh("m");
             branches.push(
-                Term::var(x)
-                    .rename(self.dst, m)
-                    .join(r.clone().rename(self.src, m))
-                    .antiproject(m),
+                Term::var(x).rename(self.dst, m).join(r.clone().rename(self.src, m)).antiproject(m),
             );
         }
         Term::union_all(branches).fix(x)
@@ -226,8 +220,7 @@ pub fn compose_alternatives(
     let mut out = Vec::new();
     let fa = recognize(a, src, dst, env);
     let fb = recognize(b, src, dst, env);
-    let plain =
-        |t: &Term| ClosureForm { seed: t.clone(), left: None, right: None, src, dst };
+    let plain = |t: &Term| ClosureForm { seed: t.clone(), left: None, right: None, src, dst };
     let ca = fa.clone().unwrap_or_else(|| plain(a));
     let cb = fb.clone().unwrap_or_else(|| plain(b));
     // 1. merge / push-join: combine an LL-able left with an RL-able right.
@@ -258,13 +251,8 @@ pub fn compose_alternatives(
                 continue; // no recursion to merge — plain composition
             }
             let seed = compose(la.seed.clone(), rb.seed.clone(), src, dst, dict);
-            let merged = ClosureForm {
-                seed,
-                left: la.left.clone(),
-                right: rb.right.clone(),
-                src,
-                dst,
-            };
+            let merged =
+                ClosureForm { seed, left: la.left.clone(), right: rb.right.clone(), src, dst };
             out.push(merged.emit(dict));
         }
     }
@@ -395,17 +383,10 @@ mod tests {
         let mut f = fixture();
         let a_plus = ClosureForm::right_linear(Term::var(f.a), Term::var(f.a), f.src, f.dst)
             .emit(f.db.dict_mut());
-        let composed =
-            compose(Term::var(f.b), a_plus.clone(), f.src, f.dst, f.db.dict_mut());
+        let composed = compose(Term::var(f.b), a_plus.clone(), f.src, f.dst, f.db.dict_mut());
         let mut e = env(&f);
-        let alts = compose_alternatives(
-            &Term::var(f.b),
-            &a_plus,
-            f.src,
-            f.dst,
-            &mut e,
-            f.db.dict_mut(),
-        );
+        let alts =
+            compose_alternatives(&Term::var(f.b), &a_plus, f.src, f.dst, &mut e, f.db.dict_mut());
         assert!(!alts.is_empty());
         let expected = eval(&composed, &f.db).unwrap();
         for alt in &alts {

@@ -38,11 +38,9 @@ impl Stats {
         for (name, rel) in db.relations() {
             let mut cols = FxHashMap::default();
             for (i, &c) in rel.schema().columns().iter().enumerate() {
-                let distinct = rel
-                    .iter()
-                    .map(|row| row[i])
-                    .collect::<mura_core::fxhash::FxHashSet<_>>()
-                    .len() as f64;
+                let distinct =
+                    rel.iter().map(|row| row[i]).collect::<mura_core::fxhash::FxHashSet<_>>().len()
+                        as f64;
                 cols.insert(c, ColStats { distinct });
             }
             rels.insert(name, RelStats { rows: rel.len() as f64, cols });
@@ -185,12 +183,8 @@ impl<'s> CostModel<'s> {
             Term::Join(a, b) => {
                 let ca = self.cost_rec(a, env, total)?;
                 let cb = self.cost_rec(b, env, total)?;
-                let common: Vec<Sym> = ca
-                    .distinct
-                    .keys()
-                    .filter(|c| cb.distinct.contains_key(*c))
-                    .copied()
-                    .collect();
+                let common: Vec<Sym> =
+                    ca.distinct.keys().filter(|c| cb.distinct.contains_key(*c)).copied().collect();
                 let mut rows = ca.rows * cb.rows;
                 for c in &common {
                     let da = ca.distinct[c];
@@ -283,10 +277,8 @@ impl<'s> CostModel<'s> {
                     } else {
                         (seed.rows / (1.0 - fanout).max(0.05)).min(cap)
                     };
-                    let distinct = step_distinct
-                        .into_iter()
-                        .map(|(c, d)| (c, d.min(rows)))
-                        .collect();
+                    let distinct =
+                        step_distinct.into_iter().map(|(c, d)| (c, d.min(rows))).collect();
                     // Fixpoints are iterated: weight their output in the
                     // total cost more heavily than a one-shot operator.
                     *total += rows;
@@ -344,10 +336,7 @@ mod tests {
         let dst = db.intern("dst");
         let x = db.intern("X");
         let m = db.intern("m");
-        let step = Term::var(x)
-            .rename(dst, m)
-            .join(Term::var(e).rename(src, m))
-            .antiproject(m);
+        let step = Term::var(x).rename(dst, m).join(Term::var(e).rename(src, m)).antiproject(m);
         let fix = Term::var(e).union(step).fix(x);
         let cm = CostModel::new(&stats);
         let seed = cm.card(&Term::var(e)).unwrap().rows;
@@ -367,10 +356,7 @@ mod tests {
         let x = db.intern("X");
         let m = db.intern("m");
         let step = |seed: Term, db_e: Term| {
-            let s = Term::var(x)
-                .rename(dst, m)
-                .join(db_e.rename(src, m))
-                .antiproject(m);
+            let s = Term::var(x).rename(dst, m).join(db_e.rename(src, m)).antiproject(m);
             seed.union(s).fix(x)
         };
         let cm = CostModel::new(&stats);

@@ -192,8 +192,7 @@ impl Rewriter {
                 } else {
                     let tail = ClosureForm::left_linear(filtered_r, r.clone(), form.src, form.dst)
                         .emit(db.dict_mut());
-                    let seed_filtered =
-                        Term::Filter(preds.to_vec(), Box::new(form.seed.clone()));
+                    let seed_filtered = Term::Filter(preds.to_vec(), Box::new(form.seed.clone()));
                     let extended =
                         compose(form.seed.clone(), tail, form.src, form.dst, db.dict_mut());
                     out.push(seed_filtered.union(extended));
@@ -210,8 +209,7 @@ impl Rewriter {
                 } else {
                     let head = ClosureForm::right_linear(filtered_l, l.clone(), form.src, form.dst)
                         .emit(db.dict_mut());
-                    let seed_filtered =
-                        Term::Filter(preds.to_vec(), Box::new(form.seed.clone()));
+                    let seed_filtered = Term::Filter(preds.to_vec(), Box::new(form.seed.clone()));
                     let extended =
                         compose(head, form.seed.clone(), form.src, form.dst, db.dict_mut());
                     out.push(seed_filtered.union(extended));
@@ -270,14 +268,13 @@ pub fn optimize(term: &Term, db: &mut Database) -> Result<Term> {
 mod tests {
     use super::*;
     use mura_core::{eval, Database, Relation};
+    use mura_datagen::SplitMix64;
     use mura_datagen::{erdos_renyi, with_random_labels};
     use mura_ucrpq::{parse_ucrpq, to_mura};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     /// Labeled random graph database for end-to-end rewrite tests.
     fn test_db() -> Database {
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = SplitMix64::seed_from_u64(11);
         let g = erdos_renyi(300, 0.01, 4);
         let lg = with_random_labels(&g, 3, &mut rng);
         let mut db = lg.to_database();
@@ -309,9 +306,7 @@ mod tests {
         fn filter_over_fix(t: &Term) -> bool {
             match t {
                 Term::Filter(_, inner) => {
-                    matches!(**inner, Term::Fix(_, _))
-                        || filter_over_fix(inner)
-                        || false
+                    matches!(**inner, Term::Fix(_, _)) || filter_over_fix(inner)
                 }
                 _ => t.children().iter().any(|c| filter_over_fix(c)),
             }
@@ -324,7 +319,9 @@ mod tests {
         let (_, opt, db) = check("?x <- C a1+ ?x");
         fn filter_over_fix(t: &Term) -> bool {
             match t {
-                Term::Filter(_, inner) => matches!(**inner, Term::Fix(_, _)) || filter_over_fix(inner),
+                Term::Filter(_, inner) => {
+                    matches!(**inner, Term::Fix(_, _)) || filter_over_fix(inner)
+                }
                 _ => t.children().iter().any(|c| filter_over_fix(c)),
             }
         }
@@ -405,9 +402,6 @@ mod tests {
         let t = to_mura(&q, &mut db).unwrap();
         let o1 = optimize(&t, &mut db).unwrap();
         let o2 = optimize(&o1, &mut db).unwrap();
-        assert_eq!(
-            eval(&o1, &db).unwrap().sorted_rows(),
-            eval(&o2, &db).unwrap().sorted_rows()
-        );
+        assert_eq!(eval(&o1, &db).unwrap().sorted_rows(), eval(&o2, &db).unwrap().sorted_rows());
     }
 }

@@ -93,9 +93,7 @@ pub fn step_with(term: &Term, env: &mut TypeEnv, opts: &NormalizeOpts) -> Option
         Term::Union(a, b) => {
             step2(a, b, env, opts).map(|(a2, b2)| Term::Union(Box::new(a2), Box::new(b2)))
         }
-        Term::Fix(x, body) => {
-            step_with(body, env, opts).map(|b2| Term::Fix(*x, Box::new(b2)))
-        }
+        Term::Fix(x, body) => step_with(body, env, opts).map(|b2| Term::Fix(*x, Box::new(b2))),
     }
 }
 
@@ -166,10 +164,8 @@ fn filter_rules(
         ),
         // σ_p(ρ_a→b(t)) → ρ_a→b(σ_p'(t)) with b renamed back to a in p.
         Term::Rename(from, to, t) => {
-            let renamed: Vec<Pred> = preds
-                .iter()
-                .map(|p| rename_pred(p, *to, *from))
-                .collect::<Option<_>>()?;
+            let renamed: Vec<Pred> =
+                preds.iter().map(|p| rename_pred(p, *to, *from)).collect::<Option<_>>()?;
             Some(Term::Rename(*from, *to, Box::new(Term::Filter(renamed, t.clone()))))
         }
         // σ_p(π̃_c(t)) → π̃_c(σ_p(t)) (p cannot mention dropped columns).
@@ -407,8 +403,7 @@ fn join_into_fix(t: &Term, fix: &Term, env: &mut TypeEnv) -> Option<Term> {
     if !common.iter().all(|c| stable.contains(c)) {
         return None;
     }
-    let extra: Vec<Sym> =
-        st.columns().iter().copied().filter(|c| !sfix.contains(*c)).collect();
+    let extra: Vec<Sym> = st.columns().iter().copied().filter(|c| !sfix.contains(*c)).collect();
     let (consts, recs) = decompose_fixpoint(*x, body).ok()?;
     for r in &recs {
         // Join columns must be untouched (they are pass-through baggage of
@@ -424,8 +419,7 @@ fn join_into_fix(t: &Term, fix: &Term, env: &mut TypeEnv) -> Option<Term> {
             }
         }
     }
-    let mut branches: Vec<Term> =
-        consts.into_iter().map(|c| t.clone().join(c.clone())).collect();
+    let mut branches: Vec<Term> = consts.into_iter().map(|c| t.clone().join(c.clone())).collect();
     branches.extend(recs.into_iter().cloned());
     Some(Term::union_all(branches).fix(*x))
 }
@@ -543,10 +537,8 @@ mod tests {
         let mut db = Database::new();
         let src = db.intern("src");
         let dst = db.intern("dst");
-        let e = db.insert_relation(
-            "E",
-            Relation::from_pairs(src, dst, [(0, 1), (1, 2), (2, 3), (5, 6)]),
-        );
+        let e = db
+            .insert_relation("E", Relation::from_pairs(src, dst, [(0, 1), (1, 2), (2, 3), (5, 6)]));
         let x = db.intern("X");
         let m = db.intern("m");
         Fx { db, src, dst, e, x, m }
@@ -570,10 +562,7 @@ mod tests {
     #[test]
     fn filter_merges_and_pushes_through_union() {
         let f = fixture();
-        let t = Term::var(f.e)
-            .union(Term::var(f.e))
-            .filter_eq(f.src, 0i64)
-            .filter_eq(f.dst, 1i64);
+        let t = Term::var(f.e).union(Term::var(f.e)).filter_eq(f.src, 0i64).filter_eq(f.dst, 1i64);
         let mut env = TypeEnv::from_db(&f.db);
         let n = normalize(&t, &mut env);
         check_equiv(&t, &n, &f.db);
@@ -647,10 +636,8 @@ mod tests {
         // T(src) ⋈ E+ : join on stable src → seed becomes T ⋈ E.
         let f = fixture();
         let schema_src = mura_core::Schema::new(vec![f.src]);
-        let t_rel = Relation::from_rows(
-            schema_src,
-            [vec![mura_core::Value::node(0)].into_boxed_slice()],
-        );
+        let t_rel =
+            Relation::from_rows(schema_src, [vec![mura_core::Value::node(0)].into_boxed_slice()]);
         let t = Term::cst(t_rel).join(e_plus(&f));
         let mut env = TypeEnv::from_db(&f.db);
         let n = normalize(&t, &mut env);
@@ -662,10 +649,8 @@ mod tests {
     fn join_on_unstable_column_not_pushed() {
         let f = fixture();
         let schema_dst = mura_core::Schema::new(vec![f.dst]);
-        let t_rel = Relation::from_rows(
-            schema_dst,
-            [vec![mura_core::Value::node(3)].into_boxed_slice()],
-        );
+        let t_rel =
+            Relation::from_rows(schema_dst, [vec![mura_core::Value::node(3)].into_boxed_slice()]);
         let t = Term::cst(t_rel).join(e_plus(&f));
         let mut env = TypeEnv::from_db(&f.db);
         let n = normalize(&t, &mut env);

@@ -1,32 +1,44 @@
-//! Property tests: the optimizer preserves semantics on randomly generated
-//! regular path queries over random labeled graphs, and never increases
-//! the estimated cost.
+//! Randomized tests: the optimizer preserves semantics on randomly
+//! generated regular path queries over random labeled graphs, and never
+//! increases the estimated cost.
 
 use mura_core::{eval, Database, Relation};
+use mura_datagen::SplitMix64;
 use mura_rewrite::{optimize, Rewriter};
 use mura_ucrpq::{to_mura, Atom, Crpq, Endpoint, Path, Ucrpq};
-use proptest::prelude::*;
 
-fn path_strategy() -> impl Strategy<Value = Path> {
-    let leaf = prop_oneof![
-        Just(Path::label("a")),
-        Just(Path::label("b")),
-        Just(Path::label("a").inverse()),
-    ];
-    leaf.prop_recursive(3, 10, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(x, y)| x.then(y)),
-            (inner.clone(), inner.clone()).prop_map(|(x, y)| x.or(y)),
-            inner.prop_map(|x| x.plus()),
-        ]
-    })
+const CASES: u64 = 48;
+
+fn rand_path(rng: &mut SplitMix64, depth: u32) -> Path {
+    let leaf = |rng: &mut SplitMix64| match rng.gen_range(0..3u64) {
+        0 => Path::label("a"),
+        1 => Path::label("b"),
+        _ => Path::label("a").inverse(),
+    };
+    if depth == 0 {
+        return leaf(rng);
+    }
+    match rng.gen_range(0..6u64) {
+        0 | 1 => rand_path(rng, depth - 1).then(rand_path(rng, depth - 1)),
+        2 | 3 => rand_path(rng, depth - 1).or(rand_path(rng, depth - 1)),
+        4 => rand_path(rng, depth - 1).plus(),
+        _ => leaf(rng),
+    }
 }
 
-fn endpoint(var: &'static str) -> impl Strategy<Value = Endpoint> {
-    prop_oneof![
-        2 => Just(Endpoint::Var(var.to_string())),
-        1 => (0u64..25).prop_map(|n| Endpoint::Const(n.to_string())),
-    ]
+fn rand_endpoint(rng: &mut SplitMix64, var: &str) -> Endpoint {
+    if rng.gen_range(0..3u64) < 2 {
+        Endpoint::Var(var.to_string())
+    } else {
+        Endpoint::Const(rng.gen_range(0..25u64).to_string())
+    }
+}
+
+fn rand_edges(rng: &mut SplitMix64, min_len: usize) -> Vec<(u64, u64, bool)> {
+    let len = rng.gen_range(min_len..50usize);
+    (0..len)
+        .map(|_| (rng.gen_range(0..25u64), rng.gen_range(0..25u64), rng.gen_bool(0.5)))
+        .collect()
 }
 
 fn db_from(edges: &[(u64, u64, bool)]) -> Database {
@@ -40,36 +52,44 @@ fn db_from(edges: &[(u64, u64, bool)]) -> Database {
     db
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+#[test]
+fn optimize_preserves_semantics() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::seed_from_u64(0x0b71 ^ case);
+        let edges = rand_edges(&mut rng, 1);
+        let path = rand_path(&mut rng, 3);
+        let left = rand_endpoint(&mut rng, "x");
+        let right = rand_endpoint(&mut rng, "y");
 
-    #[test]
-    fn optimize_preserves_semantics(
-        edges in prop::collection::vec((0u64..25, 0u64..25, any::<bool>()), 1..50),
-        path in path_strategy(),
-        left in endpoint("x"),
-        right in endpoint("y"),
-    ) {
         let mut head = Vec::new();
-        if let Endpoint::Var(v) = &left { head.push(v.clone()); }
-        if let Endpoint::Var(v) = &right { if !head.contains(v) { head.push(v.clone()); } }
-        if head.is_empty() { return Ok(()); }
-        let q = Ucrpq {
-            branches: vec![Crpq { head, atoms: vec![Atom { left, path, right }] }],
-        };
+        if let Endpoint::Var(v) = &left {
+            head.push(v.clone());
+        }
+        if let Endpoint::Var(v) = &right {
+            if !head.contains(v) {
+                head.push(v.clone());
+            }
+        }
+        if head.is_empty() {
+            continue;
+        }
+        let q = Ucrpq { branches: vec![Crpq { head, atoms: vec![Atom { left, path, right }] }] };
         let mut db = db_from(&edges);
-        let Ok(term) = to_mura(&q, &mut db) else { return Ok(()) };
+        let Ok(term) = to_mura(&q, &mut db) else { continue };
         let expected = eval(&term, &db).expect("naive eval");
         let opt = optimize(&term, &mut db).expect("optimize");
         let got = eval(&opt, &db).expect("optimized eval");
-        prop_assert_eq!(got.sorted_rows(), expected.sorted_rows(), "query {}", q);
+        assert_eq!(got.sorted_rows(), expected.sorted_rows(), "case {case}: query {q}");
     }
+}
 
-    #[test]
-    fn optimize_never_raises_estimated_cost(
-        edges in prop::collection::vec((0u64..25, 0u64..25, any::<bool>()), 5..50),
-        path in path_strategy(),
-    ) {
+#[test]
+fn optimize_never_raises_estimated_cost() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::seed_from_u64(0xc057 ^ case);
+        let edges = rand_edges(&mut rng, 5);
+        let path = rand_path(&mut rng, 3);
+
         let q = Ucrpq {
             branches: vec![Crpq {
                 head: vec!["x".into(), "y".into()],
@@ -81,11 +101,11 @@ proptest! {
             }],
         };
         let mut db = db_from(&edges);
-        let Ok(term) = to_mura(&q, &mut db) else { return Ok(()) };
+        let Ok(term) = to_mura(&q, &mut db) else { continue };
         let rw = Rewriter::new(&mut db);
         let opt = rw.optimize(&term, &mut db).expect("optimize");
-        let (Ok(c_naive), Ok(c_opt)) = (rw.cost(&term), rw.cost(&opt)) else { return Ok(()) };
+        let (Ok(c_naive), Ok(c_opt)) = (rw.cost(&term), rw.cost(&opt)) else { continue };
         // Small tolerance: normalization can reshape plans of equal cost.
-        prop_assert!(c_opt <= c_naive * 1.05, "cost {c_opt} > naive {c_naive}");
+        assert!(c_opt <= c_naive * 1.05, "case {case}: cost {c_opt} > naive {c_naive}");
     }
 }

@@ -1,0 +1,91 @@
+//! Serving-layer errors.
+//!
+//! The serving layer distinguishes *admission* failures (the server refused
+//! to even start the query) from *engine* failures (the query ran and
+//! failed). Admission failures are cheap and immediate by design — a loaded
+//! server answers `Busy` in microseconds instead of queueing unboundedly.
+
+use mura_core::MuraError;
+use std::fmt;
+
+/// Result alias for serving operations.
+pub type ServeResult<T> = std::result::Result<T, ServeError>;
+
+/// Errors surfaced by [`crate::Server`] and [`crate::Client`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The admission queue is full. The query was **not** enqueued; the
+    /// client should back off and retry. `queue_depth` is the configured
+    /// bound that was hit.
+    Busy { queue_depth: usize },
+    /// The server has shut down (or shut down while the query was queued).
+    Closed,
+    /// The engine rejected or aborted the query. Cancellation, deadlines
+    /// and resource limits arrive here as [`MuraError::Cancelled`],
+    /// [`MuraError::DeadlineExceeded`], [`MuraError::ResourceExhausted`]
+    /// and [`MuraError::Timeout`].
+    Engine(MuraError),
+}
+
+impl ServeError {
+    /// True if this is a per-request deadline expiry.
+    pub fn is_deadline(&self) -> bool {
+        matches!(self, ServeError::Engine(MuraError::DeadlineExceeded { .. }))
+    }
+
+    /// True if the query was cancelled through its token.
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self, ServeError::Engine(MuraError::Cancelled))
+    }
+
+    /// True if the server refused admission.
+    pub fn is_busy(&self) -> bool {
+        matches!(self, ServeError::Busy { .. })
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Busy { queue_depth } => {
+                write!(f, "server busy (admission queue of {queue_depth} is full)")
+            }
+            ServeError::Closed => write!(f, "server closed"),
+            ServeError::Engine(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MuraError> for ServeError {
+    fn from(e: MuraError) -> Self {
+        ServeError::Engine(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_helpers() {
+        assert!(ServeError::Busy { queue_depth: 4 }.is_busy());
+        assert!(ServeError::Engine(MuraError::Cancelled).is_cancelled());
+        assert!(ServeError::Engine(MuraError::DeadlineExceeded { millis: 5 }).is_deadline());
+        assert!(!ServeError::Closed.is_busy());
+    }
+
+    #[test]
+    fn display_mentions_queue_depth() {
+        let s = ServeError::Busy { queue_depth: 7 }.to_string();
+        assert!(s.contains('7'), "{s}");
+    }
+}

@@ -1,0 +1,51 @@
+//! mura-serve: concurrent query serving over the Dist-μ-RA engine.
+//!
+//! The engine crates answer *one query at a time for one caller*. This
+//! crate turns an engine into a long-lived, shared **query service**:
+//!
+//! * [`Server`] owns a [`QueryEngine`](mura_dist::QueryEngine) behind a
+//!   read/write lock and a pool of executor threads. Planning (which
+//!   interns symbols) takes the write lock; executions share read locks
+//!   and run concurrently.
+//! * **Admission control** — a bounded queue in front of the pool. When
+//!   full, [`Client::submit`] fails *immediately* with
+//!   [`ServeError::Busy`] instead of queueing without bound.
+//! * **Caching** — an LRU result cache keyed by the canonical key of the
+//!   *optimized plan* plus the database *epoch*, and an LRU plan cache
+//!   keyed by query text plus epoch. [`Server::load`] bumps the epoch, so
+//!   mutations invalidate both caches wholesale.
+//! * **Cancellation & deadlines** — every query carries a
+//!   [`CancellationToken`](mura_core::CancellationToken) checked at each
+//!   fixpoint superstep; deadlines start at submission.
+//! * A line-oriented **TCP protocol** ([`protocol`]) compatible with the
+//!   `murash` shell's verbs, for out-of-process clients.
+//!
+//! ```
+//! use mura_core::{Database, Relation};
+//! use mura_dist::QueryEngine;
+//! use mura_serve::{ServeConfig, Server};
+//!
+//! let mut db = Database::new();
+//! let src = db.intern("src");
+//! let dst = db.intern("dst");
+//! db.insert_relation("a", Relation::from_pairs(src, dst, [(0, 1), (1, 2)]));
+//!
+//! let server = Server::start(QueryEngine::new(db), ServeConfig::default());
+//! let client = server.client();
+//! let out = client.query("?x, ?y <- ?x a+ ?y").unwrap();
+//! assert_eq!(out.relation.len(), 3);
+//! // Second run hits the result cache.
+//! client.query("?x, ?y <- ?x a+ ?y").unwrap();
+//! assert!(server.stats().result_hits >= 1);
+//! server.shutdown();
+//! ```
+
+pub mod cache;
+pub mod error;
+pub mod protocol;
+pub mod server;
+
+pub use cache::{plan_key, LruCache};
+pub use error::{ServeError, ServeResult};
+pub use protocol::{read_response, serve_tcp, TcpServeHandle};
+pub use server::{Client, Pending, ServeConfig, ServeStats, Server};

@@ -1,0 +1,214 @@
+//! A line-oriented TCP front end over [`Server`].
+//!
+//! The protocol mirrors the `murash` shell: any plain line is parsed as a
+//! UCRPQ query; dot-commands cover introspection. Every response is one
+//! status line (`OK …` or `ERR …`), zero or more body lines, and a final
+//! line containing a single `.` — so clients read until the terminator.
+//!
+//! ```text
+//! → ?x, ?y <- ?x a1+ ?y
+//! ← OK 42 rows planning=0.1ms execution=3.2ms
+//! ← (0, 3)
+//! ← …
+//! ← .
+//! → .deadline 500        set a per-connection deadline (0 clears)
+//! → .stats               serving counters
+//! → .rels                relations and row counts
+//! → .quit
+//! ```
+
+use crate::error::ServeResult;
+use crate::server::{Client, Server};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Response terminator line.
+pub const TERMINATOR: &str = ".";
+
+/// A running TCP acceptor; stop it with [`TcpServeHandle::stop`].
+pub struct TcpServeHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl TcpServeHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting connections and joins the acceptor thread.
+    /// Already-open connections finish on their own threads.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for TcpServeHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Binds `addr` (e.g. `"127.0.0.1:7687"`, port 0 for ephemeral) and serves
+/// connections against `server` on a background acceptor thread.
+pub fn serve_tcp(server: &Server, addr: &str) -> io::Result<TcpServeHandle> {
+    let listener = TcpListener::bind(addr)?;
+    // Non-blocking accept so the acceptor can observe the stop flag.
+    listener.set_nonblocking(true)?;
+    let local = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let client = server.client();
+    let thread = std::thread::Builder::new().name("mura-serve-tcp".into()).spawn(move || {
+        while !stop2.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let client = client.clone();
+                    let _ = std::thread::Builder::new().name("mura-serve-conn".into()).spawn(
+                        move || {
+                            let _ = handle_connection(stream, &client);
+                        },
+                    );
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(_) => break,
+            }
+        }
+    })?;
+    Ok(TcpServeHandle { addr: local, stop, thread: Some(thread) })
+}
+
+fn handle_connection(stream: TcpStream, client: &Client) -> io::Result<()> {
+    stream.set_nonblocking(false)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut out = stream;
+    let mut deadline: Option<Duration> = None;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(()); // EOF
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match line {
+            ".quit" | ".exit" => {
+                write_block(&mut out, "OK bye", &[])?;
+                return Ok(());
+            }
+            ".stats" => {
+                let stats = client.stats().to_string();
+                let body: Vec<String> = stats.lines().map(str::to_string).collect();
+                write_block(&mut out, "OK stats", &body)?;
+            }
+            ".rels" => {
+                let mut body = client.with_db(|db| {
+                    db.relations()
+                        .map(|(s, r)| format!("{} {} rows", db.dict().resolve(s), r.len()))
+                        .collect::<Vec<_>>()
+                });
+                body.sort();
+                write_block(&mut out, "OK rels", &body)?;
+            }
+            _ if line.starts_with(".deadline") => {
+                let arg = line[".deadline".len()..].trim();
+                match arg.parse::<u64>() {
+                    Ok(0) => {
+                        deadline = None;
+                        write_block(&mut out, "OK deadline off", &[])?;
+                    }
+                    Ok(ms) => {
+                        deadline = Some(Duration::from_millis(ms));
+                        write_block(&mut out, &format!("OK deadline {ms} ms"), &[])?;
+                    }
+                    Err(_) => write_block(&mut out, "ERR usage: .deadline <millis>", &[])?,
+                }
+            }
+            _ if line.starts_with('.') => {
+                write_block(&mut out, &format!("ERR unknown command '{line}'"), &[])?;
+            }
+            query => {
+                let result = run_query(client, query, deadline);
+                match result {
+                    Ok((header, rows)) => write_block(&mut out, &header, &rows)?,
+                    Err(e) => write_block(&mut out, &format!("ERR {e}"), &[])?,
+                }
+            }
+        }
+    }
+}
+
+type QueryBlock = (String, Vec<String>);
+
+fn run_query(client: &Client, query: &str, deadline: Option<Duration>) -> ServeResult<QueryBlock> {
+    let out = client.submit(query, deadline)?.wait()?;
+    let header = format!(
+        "OK {} rows planning={:.1?} execution={:.1?}",
+        out.relation.len(),
+        out.planning,
+        out.execution,
+    );
+    let rows = out
+        .relation
+        .sorted_rows()
+        .iter()
+        .map(|row| {
+            let vals: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+            format!("({})", vals.join(", "))
+        })
+        .collect();
+    Ok((header, rows))
+}
+
+fn write_block(out: &mut TcpStream, status: &str, body: &[String]) -> io::Result<()> {
+    let mut buf =
+        String::with_capacity(status.len() + 2 + body.iter().map(|l| l.len() + 1).sum::<usize>());
+    buf.push_str(status);
+    buf.push('\n');
+    for l in body {
+        buf.push_str(l);
+        buf.push('\n');
+    }
+    buf.push_str(TERMINATOR);
+    buf.push('\n');
+    out.write_all(buf.as_bytes())?;
+    out.flush()
+}
+
+/// Client-side helper: reads one protocol response (status line + body up
+/// to the `.` terminator). Returns `(status, body)`.
+pub fn read_response(reader: &mut impl BufRead) -> io::Result<(String, Vec<String>)> {
+    let mut status = String::new();
+    if reader.read_line(&mut status)? == 0 {
+        return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "connection closed"));
+    }
+    let status = status.trim_end().to_string();
+    let mut body = Vec::new();
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "missing terminator"));
+        }
+        let line = line.trim_end();
+        if line == TERMINATOR {
+            return Ok((status, body));
+        }
+        body.push(line.to_string());
+    }
+}

@@ -1,0 +1,451 @@
+//! The concurrent query server.
+//!
+//! Architecture (one process, many clients):
+//!
+//! ```text
+//!  Client ──try_send──▶ bounded queue ──▶ worker pool ──▶ QueryEngine
+//!     │       │                               │               │
+//!     │       └─ full → ServeError::Busy      │          RwLock<engine>
+//!     │                                       │   write: planning (interns
+//!     └── CancellationToken ──────────────────┘          symbols)
+//!                                                  read: execution (many
+//!                                                        at once)
+//! ```
+//!
+//! * **Admission control**: queries enter through a `sync_channel` bounded
+//!   at `queue_depth`. A full queue rejects immediately with
+//!   [`ServeError::Busy`] — the server never builds unbounded backlog.
+//! * **Caching**: a plan cache (query text → optimized plan) and a result
+//!   cache (canonical plan key → answer) both keyed additionally by the
+//!   **database epoch**, a counter bumped on every mutation through
+//!   [`Server::load`]. Old-epoch entries become unreachable and age out of
+//!   the LRU.
+//! * **Cancellation & deadlines**: every admitted query carries a
+//!   [`CancellationToken`]; deadlines start at submission, so time spent
+//!   queued counts against the budget. The evaluator checks the token at
+//!   every fixpoint superstep.
+
+use crate::cache::{plan_key, LruCache};
+use crate::error::{ServeError, ServeResult};
+use mura_core::{CancellationToken, Database, Term};
+use mura_dist::exec::ResourceLimits;
+use mura_dist::{PlannedQuery, QueryEngine, QueryOutput};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Serving configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Executor pool size: how many queries run concurrently.
+    pub workers: usize,
+    /// Admission queue bound: how many admitted queries may wait for a
+    /// worker. Beyond this, submissions fail fast with [`ServeError::Busy`].
+    pub queue_depth: usize,
+    /// Result cache capacity in entries (0 disables result caching).
+    pub result_cache: usize,
+    /// Plan cache capacity in entries (0 disables plan caching).
+    pub plan_cache: usize,
+    /// Deadline applied to queries submitted without an explicit one.
+    pub default_deadline: Option<Duration>,
+    /// Per-query resource limits enforced during execution.
+    pub limits: ResourceLimits,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            queue_depth: 8,
+            result_cache: 128,
+            plan_cache: 128,
+            default_deadline: None,
+            limits: ResourceLimits::default(),
+        }
+    }
+}
+
+/// Point-in-time serving counters (see [`Server::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Queries accepted into the queue.
+    pub submitted: u64,
+    /// Queries rejected with [`ServeError::Busy`].
+    pub rejected: u64,
+    /// Queries that finished with an answer.
+    pub completed: u64,
+    /// Queries that finished with an error (incl. cancelled / deadline).
+    pub failed: u64,
+    /// Plan-cache hits / misses.
+    pub plan_hits: u64,
+    pub plan_misses: u64,
+    /// Result-cache hits / misses.
+    pub result_hits: u64,
+    pub result_misses: u64,
+    /// Evictions from the result / plan caches.
+    pub result_evictions: u64,
+    pub plan_evictions: u64,
+    /// Current database epoch.
+    pub epoch: u64,
+}
+
+impl ServeStats {
+    /// Result-cache hit rate in `[0, 1]` (0 when nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.result_hits + self.result_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.result_hits as f64 / total as f64
+        }
+    }
+}
+
+impl std::fmt::Display for ServeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "submitted  {}", self.submitted)?;
+        writeln!(f, "rejected   {}", self.rejected)?;
+        writeln!(f, "completed  {}", self.completed)?;
+        writeln!(f, "failed     {}", self.failed)?;
+        writeln!(
+            f,
+            "plan cache   {} hits / {} misses ({} evictions)",
+            self.plan_hits, self.plan_misses, self.plan_evictions
+        )?;
+        writeln!(
+            f,
+            "result cache {} hits / {} misses ({} evictions), hit rate {:.0}%",
+            self.result_hits,
+            self.result_misses,
+            self.result_evictions,
+            self.hit_rate() * 100.0
+        )?;
+        write!(f, "epoch      {}", self.epoch)
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    plan_hits: AtomicU64,
+    plan_misses: AtomicU64,
+    result_hits: AtomicU64,
+    result_misses: AtomicU64,
+}
+
+struct QueryJob {
+    query: String,
+    token: CancellationToken,
+    reply: std::sync::mpsc::Sender<ServeResult<Arc<QueryOutput>>>,
+}
+
+enum Job {
+    Query(QueryJob),
+    /// Shutdown pill: one per worker, sent by [`Server::shutdown`].
+    Poison,
+}
+
+struct ServerInner {
+    engine: RwLock<QueryEngine>,
+    /// Bumped (under the engine write lock) on every [`Server::load`].
+    epoch: AtomicU64,
+    results: Mutex<LruCache<(u64, u64), Arc<QueryOutput>>>,
+    plans: Mutex<LruCache<(String, u64), Term>>,
+    counters: Counters,
+    closing: AtomicBool,
+    config: ServeConfig,
+}
+
+/// Poison-tolerant lock helpers: a worker that panicked mid-query must not
+/// take the whole server down with `PoisonError`s.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl ServerInner {
+    fn read_engine(&self) -> std::sync::RwLockReadGuard<'_, QueryEngine> {
+        self.engine.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write_engine(&self) -> std::sync::RwLockWriteGuard<'_, QueryEngine> {
+        self.engine.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn process(&self, job: &QueryJob) -> ServeResult<Arc<QueryOutput>> {
+        // A query may have spent its whole deadline waiting in the queue.
+        job.token.check()?;
+
+        // Plan: cache on (query text, epoch); misses take the engine write
+        // lock because UCRPQ translation interns symbols.
+        let mut epoch = self.epoch.load(Ordering::Acquire);
+        let plan_cache_key = (job.query.clone(), epoch);
+        let cached = lock(&self.plans).get(&plan_cache_key);
+        let planned = match cached {
+            Some(plan) => {
+                self.counters.plan_hits.fetch_add(1, Ordering::Relaxed);
+                PlannedQuery { plan, planning: Duration::ZERO }
+            }
+            None => {
+                self.counters.plan_misses.fetch_add(1, Ordering::Relaxed);
+                let mut engine = self.write_engine();
+                // Re-read under the lock: loads bump the epoch while holding
+                // it, so this pins the epoch the plan was made against.
+                epoch = self.epoch.load(Ordering::Acquire);
+                let planned = engine.plan_ucrpq(&job.query)?;
+                lock(&self.plans).insert((job.query.clone(), epoch), planned.plan.clone());
+                planned
+            }
+        };
+
+        // Result cache: canonical plan key + epoch.
+        let result_key = (plan_key(&planned.plan), epoch);
+        if let Some(hit) = lock(&self.results).get(&result_key) {
+            self.counters.result_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit);
+        }
+        self.counters.result_misses.fetch_add(1, Ordering::Relaxed);
+
+        // Execute under the read lock: many executions run concurrently;
+        // only planning and loads serialize.
+        let engine = self.read_engine();
+        let mut config = engine.config().clone();
+        config.limits = self.config.limits;
+        config.cancel = Some(job.token.clone());
+        let out = Arc::new(engine.execute_plan_with(&planned, config)?);
+        // A load may have slipped in between planning and taking the read
+        // lock. The answer is then computed against the newer data — still
+        // correct to return, but not safe to file under the old epoch.
+        if self.epoch.load(Ordering::Acquire) == epoch {
+            lock(&self.results).insert(result_key, out.clone());
+        }
+        Ok(out)
+    }
+}
+
+/// A running query server. Dropping (or [`Server::shutdown`]) stops the
+/// worker pool after draining queued queries.
+pub struct Server {
+    inner: Arc<ServerInner>,
+    tx: SyncSender<Job>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts the worker pool over an engine. The engine's `ExecConfig`
+    /// (worker count, plan policy, local engine) is used for every query;
+    /// `config.limits` and the per-query cancellation token override the
+    /// corresponding fields per execution.
+    pub fn start(engine: QueryEngine, config: ServeConfig) -> Server {
+        let workers = config.workers.max(1);
+        let (tx, rx) = sync_channel::<Job>(config.queue_depth.max(1));
+        let inner = Arc::new(ServerInner {
+            engine: RwLock::new(engine),
+            epoch: AtomicU64::new(0),
+            results: Mutex::new(LruCache::new(config.result_cache)),
+            plans: Mutex::new(LruCache::new(config.plan_cache)),
+            counters: Counters::default(),
+            closing: AtomicBool::new(false),
+            config,
+        });
+        let rx = Arc::new(Mutex::new(rx));
+        let handles = (0..workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("mura-serve-{i}"))
+                    .spawn(move || worker_loop(&inner, &rx))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Server { inner, tx, workers: handles }
+    }
+
+    /// A cheap, cloneable client handle. Clients stay valid for the
+    /// server's lifetime; after shutdown they get [`ServeError::Closed`].
+    pub fn client(&self) -> Client {
+        Client { inner: Arc::clone(&self.inner), tx: self.tx.clone() }
+    }
+
+    /// Current serving counters.
+    pub fn stats(&self) -> ServeStats {
+        stats_of(&self.inner)
+    }
+
+    /// Current database epoch (bumped by every [`Server::load`]).
+    pub fn epoch(&self) -> u64 {
+        self.inner.epoch.load(Ordering::Acquire)
+    }
+
+    /// Mutates the database (load relations, bind constants) and bumps the
+    /// epoch so cached plans and results for the old contents are never
+    /// served again. Blocks until in-flight executions finish.
+    pub fn load(&self, f: impl FnOnce(&mut Database)) {
+        let mut engine = self.inner.write_engine();
+        f(engine.db_mut());
+        self.inner.epoch.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Read access to the database (e.g. to resolve symbols in answers).
+    pub fn with_db<R>(&self, f: impl FnOnce(&Database) -> R) -> R {
+        f(self.inner.read_engine().db())
+    }
+
+    /// Stops accepting queries, drains the queue and joins the workers.
+    pub fn shutdown(mut self) {
+        self.inner.closing.store(true, Ordering::SeqCst);
+        for _ in 0..self.workers.len() {
+            // Blocking send: queued real work drains ahead of the pills.
+            let _ = self.tx.send(Job::Poison);
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.workers.is_empty() {
+            return; // already shut down explicitly
+        }
+        self.inner.closing.store(true, Ordering::SeqCst);
+        for _ in 0..self.workers.len() {
+            let _ = self.tx.send(Job::Poison);
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(inner: &ServerInner, rx: &Mutex<Receiver<Job>>) {
+    loop {
+        let job = match lock(rx).recv() {
+            Ok(Job::Query(j)) => j,
+            Ok(Job::Poison) | Err(_) => return,
+        };
+        let result = inner.process(&job);
+        match &result {
+            Ok(_) => inner.counters.completed.fetch_add(1, Ordering::Relaxed),
+            Err(_) => inner.counters.failed.fetch_add(1, Ordering::Relaxed),
+        };
+        // The submitter may have given up waiting; that's fine.
+        let _ = job.reply.send(result);
+    }
+}
+
+fn stats_of(inner: &ServerInner) -> ServeStats {
+    let c = &inner.counters;
+    ServeStats {
+        submitted: c.submitted.load(Ordering::Relaxed),
+        rejected: c.rejected.load(Ordering::Relaxed),
+        completed: c.completed.load(Ordering::Relaxed),
+        failed: c.failed.load(Ordering::Relaxed),
+        plan_hits: c.plan_hits.load(Ordering::Relaxed),
+        plan_misses: c.plan_misses.load(Ordering::Relaxed),
+        result_hits: c.result_hits.load(Ordering::Relaxed),
+        result_misses: c.result_misses.load(Ordering::Relaxed),
+        result_evictions: lock(&inner.results).evictions(),
+        plan_evictions: lock(&inner.plans).evictions(),
+        epoch: inner.epoch.load(Ordering::Acquire),
+    }
+}
+
+/// A handle for submitting queries to a [`Server`]. Cloneable and
+/// sendable across threads.
+#[derive(Clone)]
+pub struct Client {
+    inner: Arc<ServerInner>,
+    tx: SyncSender<Job>,
+}
+
+impl Client {
+    /// Submits a query and blocks for the answer, under the server's
+    /// default deadline (if any).
+    pub fn query(&self, query: &str) -> ServeResult<Arc<QueryOutput>> {
+        self.submit(query, self.inner.config.default_deadline)?.wait()
+    }
+
+    /// Submits a query and blocks for the answer under an explicit
+    /// deadline. The deadline clock starts now — queue time counts.
+    pub fn query_with_deadline(
+        &self,
+        query: &str,
+        deadline: Duration,
+    ) -> ServeResult<Arc<QueryOutput>> {
+        self.submit(query, Some(deadline))?.wait()
+    }
+
+    /// Non-blocking submission. Returns a [`Pending`] on admission, or
+    /// [`ServeError::Busy`] immediately when the queue is full.
+    pub fn submit(&self, query: &str, deadline: Option<Duration>) -> ServeResult<Pending> {
+        if self.inner.closing.load(Ordering::SeqCst) {
+            return Err(ServeError::Closed);
+        }
+        let token = match deadline {
+            Some(d) => CancellationToken::with_timeout(d),
+            None => CancellationToken::new(),
+        };
+        let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+        let job = QueryJob { query: query.to_string(), token: token.clone(), reply: reply_tx };
+        match self.tx.try_send(Job::Query(job)) {
+            Ok(()) => {
+                self.inner.counters.submitted.fetch_add(1, Ordering::Relaxed);
+                Ok(Pending { rx: reply_rx, token })
+            }
+            Err(TrySendError::Full(_)) => {
+                self.inner.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(ServeError::Busy { queue_depth: self.inner.config.queue_depth.max(1) })
+            }
+            Err(TrySendError::Disconnected(_)) => Err(ServeError::Closed),
+        }
+    }
+
+    /// Current serving counters.
+    pub fn stats(&self) -> ServeStats {
+        stats_of(&self.inner)
+    }
+
+    /// Read access to the database (resolve symbols, list relations).
+    pub fn with_db<R>(&self, f: impl FnOnce(&Database) -> R) -> R {
+        f(self.inner.read_engine().db())
+    }
+}
+
+/// An admitted, in-flight query.
+#[derive(Debug)]
+pub struct Pending {
+    rx: Receiver<ServeResult<Arc<QueryOutput>>>,
+    token: CancellationToken,
+}
+
+impl Pending {
+    /// Requests cancellation; the evaluator stops at its next superstep
+    /// and the query resolves to [`MuraError::Cancelled`]
+    /// (mura_core::MuraError::Cancelled).
+    pub fn cancel(&self) {
+        self.token.cancel();
+    }
+
+    /// The query's cancellation token (cloneable; share it to let others
+    /// cancel).
+    pub fn token(&self) -> &CancellationToken {
+        &self.token
+    }
+
+    /// Blocks until the query resolves.
+    pub fn wait(self) -> ServeResult<Arc<QueryOutput>> {
+        self.rx.recv().unwrap_or(Err(ServeError::Closed))
+    }
+
+    /// Non-blocking poll; `None` while still running.
+    pub fn try_wait(&self) -> Option<ServeResult<Arc<QueryOutput>>> {
+        self.rx.try_recv().ok()
+    }
+}

@@ -1,0 +1,247 @@
+//! Acceptance tests for the serving layer: concurrency, admission
+//! control, caching, cancellation and deadlines.
+
+use mura_core::{Database, Relation, Value};
+use mura_datagen::{erdos_renyi, with_random_labels, SplitMix64};
+use mura_dist::exec::{ExecConfig, FixpointPlan};
+use mura_dist::QueryEngine;
+use mura_serve::{protocol, serve_tcp, ServeConfig, ServeError, Server};
+use std::io::{BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A labelled random graph with a bound constant, as in the engine tests.
+fn test_db() -> Database {
+    let mut rng = SplitMix64::seed_from_u64(17);
+    let g = erdos_renyi(150, 0.02, 7);
+    let lg = with_random_labels(&g, 2, &mut rng);
+    let mut db = lg.to_database();
+    db.bind_constant("C", Value::node(5));
+    db
+}
+
+/// A database whose transitive closure is expensive: a single directed
+/// cycle of `n` nodes has an n²-row closure reached after n driver
+/// iterations under `P_gld` — slow, and rich in preemption points.
+fn cycle_db(n: u64) -> Database {
+    let mut db = Database::new();
+    let src = db.intern("src");
+    let dst = db.intern("dst");
+    let edges = (0..n).map(|i| (i, (i + 1) % n));
+    db.insert_relation("e", Relation::from_pairs(src, dst, edges));
+    db
+}
+
+fn slow_engine(n: u64) -> QueryEngine {
+    let config = ExecConfig { plan: FixpointPlan::ForceGld, ..Default::default() };
+    QueryEngine::with_config(cycle_db(n), config)
+}
+
+const SLOW_TC: &str = "?x, ?y <- ?x e+ ?y";
+
+const MIXED_QUERIES: [&str; 10] = [
+    "?x, ?y <- ?x a1+ ?y",
+    "?x <- ?x a1+ C",
+    "?y <- C a1+ ?y",
+    "?x, ?y <- ?x a1+/a2+ ?y",
+    "?x, ?y <- ?x a2/a1+ ?y",
+    "?x, ?y <- ?x a2+ ?y",
+    "?y <- C a2+ ?y",
+    "?x, ?y <- ?x a1/a2 ?y",
+    "?x, ?y <- ?x (a1|a2)+ ?y",
+    "?x <- ?x (a1/-a1)+ C",
+];
+
+#[test]
+fn concurrent_clients_match_direct_runs() {
+    let db = test_db();
+
+    // Reference answers straight from a private engine.
+    let mut reference = QueryEngine::new(db.clone());
+    let expected: Vec<_> = MIXED_QUERIES
+        .iter()
+        .map(|q| reference.run_ucrpq(q).unwrap().relation.sorted_rows())
+        .collect();
+    let expected = Arc::new(expected);
+
+    let server = Server::start(
+        QueryEngine::new(db),
+        ServeConfig { workers: 4, queue_depth: 128, ..Default::default() },
+    );
+
+    let handles: Vec<_> = (0..8)
+        .map(|t| {
+            let client = server.client();
+            let expected = Arc::clone(&expected);
+            std::thread::spawn(move || {
+                for i in 0..MIXED_QUERIES.len() {
+                    // Rotate per thread so planning collisions interleave.
+                    let q = (t + i) % MIXED_QUERIES.len();
+                    let out = client.query(MIXED_QUERIES[q]).unwrap();
+                    assert_eq!(
+                        out.relation.sorted_rows(),
+                        expected[q],
+                        "thread {t} query {:?} diverged",
+                        MIXED_QUERIES[q]
+                    );
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let stats = server.stats();
+    assert_eq!(stats.completed, 80);
+    assert_eq!(stats.failed, 0);
+    // 8 threads × 10 queries over 10 distinct plans: repeats must hit.
+    assert!(stats.result_hits > 0, "no cache hits across repeats: {stats:?}");
+    assert!(stats.hit_rate() > 0.0);
+    server.shutdown();
+}
+
+#[test]
+fn server_busy_at_queue_bound_one() {
+    let server = Server::start(
+        slow_engine(1200),
+        ServeConfig { workers: 1, queue_depth: 1, result_cache: 0, ..Default::default() },
+    );
+    let client = server.client();
+
+    // Occupy the single worker with a slow closure.
+    let running = client.submit(SLOW_TC, None).unwrap();
+    // Fill the one queue slot. The worker may not have dequeued the first
+    // job yet, so retry briefly until the slot frees.
+    let queued = loop {
+        match client.submit(SLOW_TC, None) {
+            Ok(p) => break p,
+            Err(ServeError::Busy { .. }) => std::thread::sleep(Duration::from_millis(1)),
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    };
+    // Worker busy + queue full: the next submission must bounce.
+    let err = client.submit(SLOW_TC, None).unwrap_err();
+    assert!(err.is_busy(), "expected Busy, got {err}");
+    assert!(server.stats().rejected >= 1);
+
+    // Cancel both in-flight queries so shutdown is quick.
+    running.cancel();
+    queued.cancel();
+    assert!(running.wait().unwrap_err().is_cancelled());
+    assert!(queued.wait().unwrap_err().is_cancelled());
+    server.shutdown();
+}
+
+#[test]
+fn deadline_exceeded_promptly_on_slow_query() {
+    let server = Server::start(slow_engine(1200), ServeConfig { workers: 1, ..Default::default() });
+    let client = server.client();
+    let start = Instant::now();
+    let err = client.query_with_deadline(SLOW_TC, Duration::from_millis(50)).unwrap_err();
+    let elapsed = start.elapsed();
+    assert!(err.is_deadline(), "expected DeadlineExceeded, got {err}");
+    // "Promptly": within a couple of supersteps of the 50 ms budget, far
+    // below the seconds the full closure would take.
+    assert!(elapsed < Duration::from_secs(2), "took {elapsed:?}");
+    assert_eq!(server.stats().failed, 1);
+    server.shutdown();
+}
+
+#[test]
+fn cancellation_stops_running_query() {
+    let server = Server::start(slow_engine(1200), ServeConfig::default());
+    let client = server.client();
+    let pending = client.submit(SLOW_TC, None).unwrap();
+    std::thread::sleep(Duration::from_millis(20));
+    pending.cancel();
+    let start = Instant::now();
+    let err = pending.wait().unwrap_err();
+    assert!(err.is_cancelled(), "expected Cancelled, got {err}");
+    assert!(start.elapsed() < Duration::from_secs(2));
+    server.shutdown();
+}
+
+#[test]
+fn epoch_bump_invalidates_caches() {
+    let server = Server::start(QueryEngine::new(test_db()), ServeConfig::default());
+    let client = server.client();
+    let q = "?x, ?y <- ?x a1+ ?y";
+
+    let first = client.query(q).unwrap();
+    client.query(q).unwrap();
+    let warm = server.stats();
+    assert_eq!(warm.result_hits, 1);
+    assert_eq!(warm.plan_hits, 1);
+
+    // Mutating the database must invalidate both caches.
+    server.load(|db| {
+        let src = db.intern("src");
+        let dst = db.intern("dst");
+        db.insert_relation("a1_extra", Relation::from_pairs(src, dst, [(900, 901)]));
+    });
+    assert_eq!(server.epoch(), 1);
+    client.query(q).unwrap();
+    let after = server.stats();
+    assert_eq!(after.result_hits, 1, "post-load run must miss the result cache");
+    assert_eq!(after.result_misses, warm.result_misses + 1);
+    assert_eq!(after.plan_misses, warm.plan_misses + 1);
+
+    // Same relation contents -> same answers, now cached under epoch 1.
+    let again = client.query(q).unwrap();
+    assert_eq!(again.relation.sorted_rows(), first.relation.sorted_rows());
+    assert_eq!(server.stats().result_hits, 2);
+    server.shutdown();
+}
+
+#[test]
+fn tcp_protocol_round_trip() {
+    let server = Server::start(QueryEngine::new(test_db()), ServeConfig::default());
+    let handle = serve_tcp(&server, "127.0.0.1:0").unwrap();
+    let addr = handle.addr();
+
+    let mut reference = QueryEngine::new(test_db());
+    let expected = reference.run_ucrpq("?x, ?y <- ?x a1+ ?y").unwrap().relation.len();
+
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let write = |line: &str| {
+        let mut s = stream.try_clone().unwrap();
+        s.write_all(format!("{line}\n").as_bytes()).unwrap();
+    };
+
+    write("?x, ?y <- ?x a1+ ?y");
+    let (status, rows) = protocol::read_response(&mut reader).unwrap();
+    assert!(status.starts_with(&format!("OK {expected} rows")), "{status}");
+    assert_eq!(rows.len(), expected);
+
+    write(".deadline 5000");
+    let (status, _) = protocol::read_response(&mut reader).unwrap();
+    assert_eq!(status, "OK deadline 5000 ms");
+
+    write(".rels");
+    let (status, body) = protocol::read_response(&mut reader).unwrap();
+    assert_eq!(status, "OK rels");
+    assert!(body.iter().any(|l| l.starts_with("a1 ")), "{body:?}");
+
+    write(".stats");
+    let (status, body) = protocol::read_response(&mut reader).unwrap();
+    assert_eq!(status, "OK stats");
+    assert!(body.iter().any(|l| l.starts_with("completed")), "{body:?}");
+
+    write("?x <- ?x nosuchlabel+ C");
+    let (status, _) = protocol::read_response(&mut reader).unwrap();
+    assert!(status.starts_with("ERR "), "{status}");
+
+    write(".bogus");
+    let (status, _) = protocol::read_response(&mut reader).unwrap();
+    assert!(status.starts_with("ERR unknown command"), "{status}");
+
+    write(".quit");
+    let (status, _) = protocol::read_response(&mut reader).unwrap();
+    assert_eq!(status, "OK bye");
+
+    handle.stop();
+    server.shutdown();
+}

@@ -115,9 +115,7 @@ impl Path {
                         out.push(l);
                     }
                 }
-                Path::Inverse(p) | Path::Plus(p) | Path::Star(p) | Path::Optional(p) => {
-                    go(p, out)
-                }
+                Path::Inverse(p) | Path::Plus(p) | Path::Star(p) | Path::Optional(p) => go(p, out),
                 Path::Concat(a, b) | Path::Alt(a, b) => {
                     go(a, out);
                     go(b, out);

@@ -28,29 +28,63 @@ pub struct NamedQuery {
 /// Q1..Q25 — the Yago suite (paper Fig. 5).
 pub fn yago_queries() -> Vec<NamedQuery> {
     vec![
-        NamedQuery { id: "Q1", text: "?x <- ?x isMarriedTo/livesIn/isLocatedIn+/dealsWith+ Argentina" },
+        NamedQuery {
+            id: "Q1",
+            text: "?x <- ?x isMarriedTo/livesIn/isLocatedIn+/dealsWith+ Argentina",
+        },
         NamedQuery { id: "Q2", text: "?x <- ?x hasChild/livesIn/isLocatedIn+/dealsWith+ Japan" },
         NamedQuery { id: "Q3", text: "?x <- ?x influences/livesIn/isLocatedIn+/dealsWith+ Sweden" },
         NamedQuery { id: "Q4", text: "?x <- ?x livesIn/isLocatedIn+/dealsWith+ United_States" },
-        NamedQuery { id: "Q5", text: "?x <- ?x hasSuccessor/livesIn/isLocatedIn+/dealsWith+ India" },
-        NamedQuery { id: "Q6", text: "?x <- ?x hasPredecessor/livesIn/isLocatedIn+/dealsWith+ Germany" },
-        NamedQuery { id: "Q7", text: "?x <- ?x hasAcademicAdvisor/livesIn/isLocatedIn+/dealsWith+ Netherlands" },
+        NamedQuery {
+            id: "Q5",
+            text: "?x <- ?x hasSuccessor/livesIn/isLocatedIn+/dealsWith+ India",
+        },
+        NamedQuery {
+            id: "Q6",
+            text: "?x <- ?x hasPredecessor/livesIn/isLocatedIn+/dealsWith+ Germany",
+        },
+        NamedQuery {
+            id: "Q7",
+            text: "?x <- ?x hasAcademicAdvisor/livesIn/isLocatedIn+/dealsWith+ Netherlands",
+        },
         NamedQuery { id: "Q8", text: "?x <- ?x isLocatedIn+/dealsWith+ United_States" },
         NamedQuery { id: "Q9", text: "?x <- ?x (actedIn/-actedIn)+ Kevin_Bacon" },
-        NamedQuery { id: "Q10", text: "?area <- wikicat_Capitals_in_Europe -type/(isLocatedIn+/dealsWith|dealsWith) ?area" },
-        NamedQuery { id: "Q11", text: "?person <- ?person (isMarriedTo+/owns/isLocatedIn+|owns/isLocatedIn+) USA" },
+        NamedQuery {
+            id: "Q10",
+            text:
+                "?area <- wikicat_Capitals_in_Europe -type/(isLocatedIn+/dealsWith|dealsWith) ?area",
+        },
+        NamedQuery {
+            id: "Q11",
+            text: "?person <- ?person (isMarriedTo+/owns/isLocatedIn+|owns/isLocatedIn+) USA",
+        },
         NamedQuery { id: "Q12", text: "?a, ?b <- ?a isLocatedIn+/dealsWith ?b" },
         NamedQuery { id: "Q13", text: "?a, ?b <- ?a isLocatedIn+/dealsWith+ ?b" },
-        NamedQuery { id: "Q14", text: "?a, ?b, ?c <- ?a wasBornIn/isLocatedIn+ ?b, ?b isConnectedTo+ ?c" },
-        NamedQuery { id: "Q15", text: "?a, ?b, ?c <- ?a (isLocatedIn|isConnectedTo)+ ?b, ?a wasBornIn ?c" },
-        NamedQuery { id: "Q16", text: "?a, ?b, ?c <- ?a wasBornIn/isLocatedIn+ Japan, ?b isConnectedTo+ ?c" },
+        NamedQuery {
+            id: "Q14",
+            text: "?a, ?b, ?c <- ?a wasBornIn/isLocatedIn+ ?b, ?b isConnectedTo+ ?c",
+        },
+        NamedQuery {
+            id: "Q15",
+            text: "?a, ?b, ?c <- ?a (isLocatedIn|isConnectedTo)+ ?b, ?a wasBornIn ?c",
+        },
+        NamedQuery {
+            id: "Q16",
+            text: "?a, ?b, ?c <- ?a wasBornIn/isLocatedIn+ Japan, ?b isConnectedTo+ ?c",
+        },
         NamedQuery { id: "Q17", text: "?a <- ?a isLocatedIn+/(isConnectedTo|dealsWith)+ Japan" },
         NamedQuery { id: "Q18", text: "?a, ?c <- ?a isLocatedIn+ Japan, ?a isConnectedTo+ ?c" },
         NamedQuery { id: "Q19", text: "?a <- ?a isLocatedIn+/isLocatedIn Japan" },
         NamedQuery { id: "Q20", text: "?a <- ?a isLocatedIn+/isConnectedTo+/dealsWith+ Japan" },
-        NamedQuery { id: "Q21", text: "?a, ?b <- ?a (isLocatedIn|dealsWith|subClassOf|isConnectedTo)+ ?b" },
+        NamedQuery {
+            id: "Q21",
+            text: "?a, ?b <- ?a (isLocatedIn|dealsWith|subClassOf|isConnectedTo)+ ?b",
+        },
         NamedQuery { id: "Q22", text: "?a <- ?a (isConnectedTo/-isConnectedTo)+ Shannon_Airport" },
-        NamedQuery { id: "Q23", text: "?a <- ?a (wasBornIn/isLocatedIn/-wasBornIn)+ John_Lawrence_Toole" },
+        NamedQuery {
+            id: "Q23",
+            text: "?a <- ?a (wasBornIn/isLocatedIn/-wasBornIn)+ John_Lawrence_Toole",
+        },
         NamedQuery { id: "Q24", text: "?x <- Jay_Kappraff (livesIn/isLocatedIn/-livesIn)+ ?x" },
         NamedQuery { id: "Q25", text: "?a, ?b <- ?a (actedIn/-actedIn)+/hasChild+ ?b" },
     ]
@@ -113,11 +147,7 @@ pub fn anbn_term(db: &mut Database, label_a: &str, label_b: &str) -> Result<Term
     let m = db.dict_mut().fresh("m");
     let n = db.dict_mut().fresh("n");
     // Seed: a ∘ b.
-    let seed = a
-        .clone()
-        .rename(dst, m)
-        .join(b.clone().rename(src, m))
-        .antiproject(m);
+    let seed = a.clone().rename(dst, m).join(b.clone().rename(src, m)).antiproject(m);
     // Step: a ∘ X ∘ b  (paper's nested antiprojection form).
     let left = a.rename(dst, m).join(Term::var(x).rename(src, m).rename(dst, n)).antiproject(m);
     let step = left.join(b.rename(src, n)).antiproject(n);
@@ -141,11 +171,7 @@ pub fn same_generation_term(db: &mut Database, parent_label: &str) -> Result<Ter
     let n = db.dict_mut().fresh("n");
     let tmp = db.dict_mut().fresh("t");
     // R with columns {m, src}: parent → m, child → src.
-    let r_left = r
-        .clone()
-        .rename(dst, tmp)
-        .rename(src, m)
-        .rename(tmp, src);
+    let r_left = r.clone().rename(dst, tmp).rename(src, m).rename(tmp, src);
     // R with columns {m, dst}: parent → m, child → dst.
     let r_right = r.clone().rename(src, m);
     // Seed: siblings (children of the same parent).
@@ -245,10 +271,7 @@ mod tests {
         let mut db = Database::new();
         let src = db.intern("src");
         let dst = db.intern("dst");
-        db.insert_relation(
-            "R",
-            Relation::from_pairs(src, dst, [(0, 1), (0, 2), (1, 3), (2, 4)]),
-        );
+        db.insert_relation("R", Relation::from_pairs(src, dst, [(0, 1), (0, 2), (1, 3), (2, 4)]));
         let t = same_generation_term(&mut db, "R").unwrap();
         let r = eval(&t, &db).unwrap();
         // Siblings of same parent include (x,x); generation-2: 3 with 4.

@@ -45,9 +45,7 @@ pub fn normalize(path: &Path) -> (Option<Path>, bool) {
                     Path::Concat(Box::new(push_inv(a, false)), Box::new(push_inv(b, false)))
                 }
             }
-            Path::Alt(a, b) => {
-                Path::Alt(Box::new(push_inv(a, inv)), Box::new(push_inv(b, inv)))
-            }
+            Path::Alt(a, b) => Path::Alt(Box::new(push_inv(a, inv)), Box::new(push_inv(b, inv))),
             Path::Plus(q) => Path::Plus(Box::new(push_inv(q, inv))),
             Path::Star(q) => Path::Star(Box::new(push_inv(q, inv))),
             Path::Optional(q) => Path::Optional(Box::new(push_inv(q, inv))),
@@ -167,10 +165,8 @@ fn path_term_inner(p: &Path, db: &mut Database, src: Sym, dst: Sym) -> Result<Te
             let inner = path_term_inner(q, db, src, dst)?;
             let x = db.dict_mut().fresh("X");
             let m = db.dict_mut().fresh("m");
-            let step = Term::var(x)
-                .rename(dst, m)
-                .join(inner.clone().rename(src, m))
-                .antiproject(m);
+            let step =
+                Term::var(x).rename(dst, m).join(inner.clone().rename(src, m)).antiproject(m);
             Ok(inner.union(step).fix(x))
         }
         Path::Star(_) | Path::Optional(_) => Err(MuraError::Frontend(
@@ -215,11 +211,7 @@ fn atom_term(atom: &Atom, db: &mut Database) -> Result<Term> {
         (Endpoint::Var(l), Endpoint::Var(r)) if l == r => {
             let col = var_column(l, db);
             let aux = db.dict_mut().fresh("self");
-            t = t
-                .rename(src, col)
-                .rename(dst, aux)
-                .filter(Pred::EqCol(col, aux))
-                .antiproject(aux);
+            t = t.rename(src, col).rename(dst, aux).filter(Pred::EqCol(col, aux)).antiproject(aux);
         }
         _ => {
             t = match &atom.left {

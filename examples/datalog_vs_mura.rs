@@ -26,7 +26,7 @@ fn main() -> Result<()> {
     println!(
         "BigDatalog-style: {} rows in {:.1?}\n  plan: {}\n",
         dl_out.relation.len(),
-        dl_out.wall,
+        dl_out.wall(),
         dl_out.plan.display(dl.db().dict())
     );
 
@@ -37,7 +37,7 @@ fn main() -> Result<()> {
     println!(
         "Dist-μ-RA: {} rows in {:.1?}\n  plan: {}\n",
         mura_out.relation.len(),
-        mura_out.wall,
+        mura_out.wall(),
         mura_out.plan.display(mura.db().dict())
     );
 

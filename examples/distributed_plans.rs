@@ -28,15 +28,10 @@ fn main() -> Result<()> {
             [(1, 2), (1, 4), (10, 11), (10, 13), (2, 3), (4, 5), (11, 5), (13, 12), (3, 6), (5, 6)],
         ),
     );
-    let s = db.insert_relation(
-        "S",
-        Relation::from_pairs(src, dst, [(1, 2), (1, 4), (10, 11), (10, 13)]),
-    );
+    let s = db
+        .insert_relation("S", Relation::from_pairs(src, dst, [(1, 2), (1, 4), (10, 11), (10, 13)]));
     // μ(X = S ∪ π̃_m(ρ_dst→m(X) ⋈ ρ_src→m(E)))
-    let step = Term::var(x)
-        .rename(dst, m)
-        .join(Term::var(e).rename(src, m))
-        .antiproject(m);
+    let step = Term::var(x).rename(dst, m).join(Term::var(e).rename(src, m)).antiproject(m);
     let body = Term::var(s).union(step);
     let fix = body.clone().fix(x);
 
@@ -67,7 +62,7 @@ fn main() -> Result<()> {
             out.comm.shuffles,
             out.comm.rows_shuffled,
             out.comm.rows_broadcast,
-            out.wall,
+            out.wall(),
         );
     }
     println!("\nP_plw repartitions once by the stable column and then iterates locally;");

@@ -37,7 +37,7 @@ fn main() -> Result<()> {
              ({} fixpoint iterations, {} shuffles)",
             classes,
             out.relation.len(),
-            out.wall,
+            out.wall(),
             out.stats.fixpoint_iterations,
             out.comm.shuffles,
         );

@@ -28,6 +28,7 @@ struct Shell {
     graph: Option<mura_datagen::Graph>,
     config: ExecConfig,
     optimize: bool,
+    serving: Option<(mura_serve::TcpServeHandle, mura_serve::Server)>,
 }
 
 const HELP: &str = "\
@@ -42,6 +43,8 @@ commands:
   .plan auto|gld|plw     fixpoint plan policy
   .engine setrdd|sorted  P_plw local engine
   .rewrites on|off       toggle the logical optimizer
+  .serve <addr>          serve queries over TCP (snapshot of the current db)
+  .serve stop            stop the running server
   .classes <query>       classify a query (C1..C6)
   .explain <query>       show the physical plan with fixpoint annotations
   .plan-of <query>       show the optimized logical plan
@@ -49,14 +52,30 @@ commands:
   .datalog <query>       show the left-to-right Datalog translation
   .help                  this text
   .quit                  exit
-anything else is parsed as a UCRPQ query and executed.";
+anything else is parsed as a UCRPQ query and executed.
+start with `murash --connect <addr>` to talk to a remote .serve instance.";
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let [_, flag, addr] = args.as_slice() {
+        if flag == "--connect" {
+            if let Err(e) = client_repl(addr) {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+            return;
+        }
+    }
+    if args.len() > 1 {
+        eprintln!("usage: murash [--connect <addr>]");
+        std::process::exit(2);
+    }
     let mut shell = Shell {
         db: Database::new(),
         graph: None,
         config: ExecConfig::default(),
         optimize: true,
+        serving: None,
     };
     println!("Dist-μ-RA shell — .help for commands");
     while let Some(line) = mura_datagen::io::read_line("μ> ") {
@@ -106,8 +125,7 @@ impl Shell {
                             42,
                         );
                         if let Some(k) = args.get(3) {
-                            use rand::SeedableRng;
-                            let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+                            let mut rng = mura_datagen::SplitMix64::seed_from_u64(42);
                             mura_datagen::with_random_labels(
                                 &base,
                                 parse_num(k)? as u32,
@@ -185,6 +203,42 @@ impl Shell {
                 ["off"] => self.optimize = false,
                 _ => return arg_err("usage: .rewrites on|off"),
             },
+            "serve" => match args {
+                ["stop"] => match self.serving.take() {
+                    Some((handle, server)) => {
+                        let stats = server.stats();
+                        handle.stop();
+                        server.shutdown();
+                        println!(
+                            "server stopped ({} completed, {} rejected)",
+                            stats.completed, stats.rejected
+                        );
+                    }
+                    None => println!("no server running"),
+                },
+                [addr] => {
+                    if self.serving.is_some() {
+                        return arg_err("already serving — .serve stop first");
+                    }
+                    // The server gets a snapshot: later shell-side loads
+                    // don't propagate (stop and re-serve to republish).
+                    let mut engine = QueryEngine::with_config(self.db.clone(), self.config.clone());
+                    if !self.optimize {
+                        engine = engine.without_rewrites();
+                    }
+                    let server =
+                        mura_serve::Server::start(engine, mura_serve::ServeConfig::default());
+                    let handle = mura_serve::serve_tcp(&server, addr)
+                        .map_err(|e| MuraError::Other(format!("bind {addr}: {e}")))?;
+                    println!(
+                        "serving on {} — connect with: murash --connect {}",
+                        handle.addr(),
+                        handle.addr()
+                    );
+                    self.serving = Some((handle, server));
+                }
+                _ => return arg_err("usage: .serve <addr> | .serve stop"),
+            },
             "classes" => {
                 let q = parse_ucrpq(strip_cmd(full, "classes"))?;
                 println!("classes: {:?}", classify(&q));
@@ -197,11 +251,7 @@ impl Shell {
                 let query = strip_cmd(full, "plan-of");
                 let q = parse_ucrpq(query)?;
                 let term = to_mura(&q, &mut self.db)?;
-                let plan = if self.optimize {
-                    optimize(&term, &mut self.db)?
-                } else {
-                    term
-                };
+                let plan = if self.optimize { optimize(&term, &mut self.db)? } else { term };
                 println!("{}", plan.display(self.db.dict()));
             }
             "sql" => {
@@ -210,7 +260,8 @@ impl Shell {
                 let term = to_mura(&q, &mut self.db)?;
                 // Merged fixpoints don't fit one CTE; keep the naive form
                 // for SQL unless it translates.
-                let plan = if self.optimize { optimize(&term, &mut self.db)? } else { term.clone() };
+                let plan =
+                    if self.optimize { optimize(&term, &mut self.db)? } else { term.clone() };
                 let env = TypeEnv::from_db(&self.db);
                 match to_sql(&plan, self.db.dict(), env) {
                     Ok(sql) => println!("{sql}"),
@@ -250,7 +301,7 @@ impl Shell {
         println!(
             "{} rows in {:.1?}  ({} fixpoint iterations, {} shuffles, {} rows shuffled, {} broadcast)",
             rel.len(),
-            out.wall,
+            out.wall(),
             out.stats.fixpoint_iterations,
             out.comm.shuffles,
             out.comm.rows_shuffled,
@@ -265,6 +316,34 @@ impl Shell {
         }
         Ok(())
     }
+}
+
+/// Interactive client against a `.serve` instance: forwards each line over
+/// TCP and prints the response block (status + body up to the `.`
+/// terminator).
+fn client_repl(addr: &str) -> std::io::Result<()> {
+    use std::io::Write;
+    let stream = std::net::TcpStream::connect(addr)?;
+    let mut reader = std::io::BufReader::new(stream.try_clone()?);
+    let mut out = stream;
+    println!("connected to {addr} — .help is server-side (.stats .rels .deadline <ms> .quit)");
+    while let Some(line) = mura_datagen::io::read_line(&format!("μ@{addr}> ")) {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        out.write_all(format!("{line}\n").as_bytes())?;
+        out.flush()?;
+        let (status, body) = mura_serve::read_response(&mut reader)?;
+        println!("{status}");
+        for l in &body {
+            println!("  {l}");
+        }
+        if line == ".quit" || line == ".exit" {
+            break;
+        }
+    }
+    Ok(())
 }
 
 fn parse_num(s: &str) -> Result<u64> {

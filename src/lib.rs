@@ -23,13 +23,18 @@ pub use mura_datalog as datalog;
 pub use mura_dist as dist;
 pub use mura_pregel as pregel;
 pub use mura_rewrite as rewrite;
+pub use mura_serve as serve;
 pub use mura_ucrpq as ucrpq;
 
 pub mod prelude {
     //! One-stop imports for applications.
-    pub use mura_core::{Database, Dictionary, MuraError, Pred, Relation, Result, Schema, Sym, Term, Value};
+    pub use mura_core::{
+        CancellationToken, Database, Dictionary, MuraError, Pred, Relation, Result, Schema, Sym,
+        Term, Value,
+    };
     pub use mura_datagen::{erdos_renyi, random_tree, uniprot_like, yago_like, Graph};
     pub use mura_dist::{Cluster, CommStats, ExecConfig, QueryEngine, QueryOutput};
     pub use mura_rewrite::{optimize, CostModel, Rewriter};
+    pub use mura_serve::{Client, ServeConfig, ServeError, ServeStats, Server};
     pub use mura_ucrpq::{classify, parse_ucrpq, QueryClass, Ucrpq};
 }

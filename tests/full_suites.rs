@@ -40,8 +40,8 @@ fn yago_suite_q1_to_q25() {
 
 #[test]
 fn uniprot_suite_q26_to_q50() {
-    let db = mura_datagen::uniprot_like(UniprotConfig { target_edges: 1_500, seed: 5 })
-        .to_database();
+    let db =
+        mura_datagen::uniprot_like(UniprotConfig { target_edges: 1_500, seed: 5 }).to_database();
     check_suite(&db, &uniprot_queries());
 }
 
@@ -61,8 +61,7 @@ fn concatenated_closures_small() {
 }
 
 fn mura_bench_like_labeled_db() -> Database {
-    use rand::SeedableRng;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    let mut rng = mura_datagen::SplitMix64::seed_from_u64(4);
     let g = mura_datagen::erdos_renyi(200, 0.02, 9);
     mura_datagen::with_random_labels(&g, 10, &mut rng).to_database()
 }

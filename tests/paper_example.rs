@@ -16,10 +16,7 @@ fn paper_db() -> Database {
             [(1, 2), (1, 4), (10, 11), (10, 13), (2, 3), (4, 5), (11, 5), (13, 12), (3, 6), (5, 6)],
         ),
     );
-    db.insert_relation(
-        "S",
-        Relation::from_pairs(src, dst, [(1, 2), (1, 4), (10, 11), (10, 13)]),
-    );
+    db.insert_relation("S", Relation::from_pairs(src, dst, [(1, 2), (1, 4), (10, 11), (10, 13)]));
     db
 }
 
@@ -32,10 +29,7 @@ fn example1_length_two_paths() {
     let c = db.intern("c");
     let s = db.dict().lookup("S").unwrap();
     let e = db.dict().lookup("E").unwrap();
-    let term = Term::var(s)
-        .rename(dst, c)
-        .join(Term::var(e).rename(src, c))
-        .antiproject(c);
+    let term = Term::var(s).rename(dst, c).join(Term::var(e).rename(src, c)).antiproject(c);
     let result = mura_core::eval(&term, &db).unwrap();
     let expected = Relation::from_pairs(src, dst, [(1, 3), (1, 5), (10, 5), (10, 12)]);
     assert_eq!(result.sorted_rows(), expected.sorted_rows());
@@ -51,18 +45,7 @@ fn example2_fixpoint_all_routes() {
     let expected = Relation::from_pairs(
         src,
         dst,
-        [
-            (1, 2),
-            (1, 4),
-            (10, 11),
-            (10, 13),
-            (1, 3),
-            (1, 5),
-            (10, 5),
-            (10, 12),
-            (1, 6),
-            (10, 6),
-        ],
+        [(1, 2), (1, 4), (10, 11), (10, 13), (1, 3), (1, 5), (10, 5), (10, 12), (1, 6), (10, 6)],
     );
 
     // Build μ(X = S ∪ π̃_m(ρ_dst→m(X) ⋈ ρ_src→m(E))).
@@ -72,12 +55,7 @@ fn example2_fixpoint_all_routes() {
     let s = db2.dict().lookup("S").unwrap();
     let e = db2.dict().lookup("E").unwrap();
     let term = Term::var(s)
-        .union(
-            Term::var(x)
-                .rename(dst, m)
-                .join(Term::var(e).rename(src, m))
-                .antiproject(m),
-        )
+        .union(Term::var(x).rename(dst, m).join(Term::var(e).rename(src, m)).antiproject(m))
         .fix(x);
 
     // Centralized (semi-naive and naive).
@@ -89,16 +67,17 @@ fn example2_fixpoint_all_routes() {
     // Distributed (all plans and both local engines).
     use mura_dist::exec::FixpointPlan;
     use mura_dist::LocalEngine;
-    for plan in [FixpointPlan::Auto, FixpointPlan::ForceGld, FixpointPlan::ForcePlw, FixpointPlan::ForceAsync] {
+    for plan in [
+        FixpointPlan::Auto,
+        FixpointPlan::ForceGld,
+        FixpointPlan::ForcePlw,
+        FixpointPlan::ForceAsync,
+    ] {
         for engine in [LocalEngine::SetRdd, LocalEngine::Sorted] {
             let config = ExecConfig { plan, local_engine: engine, ..Default::default() };
             let mut qe = QueryEngine::with_config(db2.clone(), config);
             let out = qe.run_term(&term).unwrap();
-            assert_eq!(
-                out.relation.sorted_rows(),
-                expected.sorted_rows(),
-                "{plan:?}/{engine:?}"
-            );
+            assert_eq!(out.relation.sorted_rows(), expected.sorted_rows(), "{plan:?}/{engine:?}");
         }
     }
 }
@@ -124,12 +103,7 @@ fn stable_partitioning_gives_disjoint_local_fixpoints() {
         let m = db_i.intern("m");
         let x = db_i.intern("X");
         let term = Term::cst(part_rel)
-            .union(
-                Term::var(x)
-                    .rename(dst, m)
-                    .join(Term::var(e).rename(src, m))
-                    .antiproject(m),
-            )
+            .union(Term::var(x).rename(dst, m).join(Term::var(e).rename(src, m)).antiproject(m))
             .fix(x);
         results.push(mura_core::eval(&term, &db_i).unwrap());
     }

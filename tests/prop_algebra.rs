@@ -1,117 +1,166 @@
-//! Property-based tests of the relational algebra core: classical algebra
-//! laws over randomly generated relations.
+//! Randomized tests of the relational algebra core: classical algebra laws
+//! over seeded randomly generated relations (64 cases per law, each case
+//! reproducible from its printed seed).
 
 use mura_core::{Relation, Schema, Sym, Value};
-use proptest::prelude::*;
+use mura_datagen::SplitMix64;
 
 const A: Sym = Sym(0);
 const B: Sym = Sym(1);
 const C: Sym = Sym(2);
+const CASES: u64 = 64;
 
-/// Strategy: a binary relation over (A, B) with small-domain values.
-fn rel_ab() -> impl Strategy<Value = Relation> {
-    prop::collection::vec((0u64..8, 0u64..8), 0..25)
-        .prop_map(|pairs| Relation::from_pairs(A, B, pairs))
+/// Random binary relation with small-domain values.
+fn rel(rng: &mut SplitMix64, x: Sym, y: Sym) -> Relation {
+    let len = rng.gen_range(0..25usize);
+    let pairs: Vec<(u64, u64)> =
+        (0..len).map(|_| (rng.gen_range(0..8u64), rng.gen_range(0..8u64))).collect();
+    Relation::from_pairs(x, y, pairs)
 }
 
-/// Strategy: a binary relation over (B, C).
-fn rel_bc() -> impl Strategy<Value = Relation> {
-    prop::collection::vec((0u64..8, 0u64..8), 0..25)
-        .prop_map(|pairs| Relation::from_pairs(B, C, pairs))
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn union_is_commutative_and_idempotent(r in rel_ab(), s in rel_ab()) {
-        prop_assert_eq!(r.union(&s).sorted_rows(), s.union(&r).sorted_rows());
-        prop_assert_eq!(r.union(&r).sorted_rows(), r.sorted_rows());
+fn for_each_case(f: impl Fn(&mut SplitMix64, u64)) {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::seed_from_u64(0x0a16_eb7a ^ case);
+        f(&mut rng, case);
     }
+}
 
-    #[test]
-    fn join_is_commutative_up_to_schema(r in rel_ab(), s in rel_bc()) {
+#[test]
+fn union_is_commutative_and_idempotent() {
+    for_each_case(|rng, case| {
+        let r = rel(rng, A, B);
+        let s = rel(rng, A, B);
+        assert_eq!(r.union(&s).sorted_rows(), s.union(&r).sorted_rows(), "case {case}");
+        assert_eq!(r.union(&r).sorted_rows(), r.sorted_rows(), "case {case}");
+    });
+}
+
+#[test]
+fn join_is_commutative_up_to_schema() {
+    for_each_case(|rng, case| {
+        let r = rel(rng, A, B);
+        let s = rel(rng, B, C);
         let rs = r.join(&s);
         let sr = s.join(&r);
-        prop_assert_eq!(rs.schema(), sr.schema());
-        prop_assert_eq!(rs.sorted_rows(), sr.sorted_rows());
-    }
+        assert_eq!(rs.schema(), sr.schema(), "case {case}");
+        assert_eq!(rs.sorted_rows(), sr.sorted_rows(), "case {case}");
+    });
+}
 
-    #[test]
-    fn join_with_self_is_identity(r in rel_ab()) {
-        prop_assert_eq!(r.join(&r).sorted_rows(), r.sorted_rows());
-    }
+#[test]
+fn join_with_self_is_identity() {
+    for_each_case(|rng, case| {
+        let r = rel(rng, A, B);
+        assert_eq!(r.join(&r).sorted_rows(), r.sorted_rows(), "case {case}");
+    });
+}
 
-    #[test]
-    fn minus_and_union_partition(r in rel_ab(), s in rel_ab()) {
+#[test]
+fn minus_and_union_partition() {
+    for_each_case(|rng, case| {
         // (r \ s) ∪ (r ⋂ s) == r, and (r \ s) ⋂ s == ∅.
+        let r = rel(rng, A, B);
+        let s = rel(rng, A, B);
         let diff = r.minus(&s);
         let inter = r.join(&s); // same schema: intersection
-        prop_assert_eq!(diff.union(&inter).sorted_rows(), r.sorted_rows());
-        prop_assert!(diff.join(&s).is_empty() || !diff.join(&s).iter().any(|row| s.contains(row)) == false);
+        assert_eq!(diff.union(&inter).sorted_rows(), r.sorted_rows(), "case {case}");
         for row in diff.iter() {
-            prop_assert!(!s.contains(row));
+            assert!(!s.contains(row), "case {case}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn antijoin_is_minus_of_matching(r in rel_ab(), s in rel_bc()) {
+#[test]
+fn antijoin_is_minus_of_matching() {
+    for_each_case(|rng, case| {
         // r ▷ s keeps exactly rows whose B value has no match in s.
+        let r = rel(rng, A, B);
+        let s = rel(rng, B, C);
         let aj = r.antijoin(&s);
         let b_pos = r.schema().position(B).unwrap();
         let s_b = s.schema().position(B).unwrap();
         let s_keys: std::collections::HashSet<Value> = s.iter().map(|row| row[s_b]).collect();
         for row in r.iter() {
             let keep = !s_keys.contains(&row[b_pos]);
-            prop_assert_eq!(aj.contains(row), keep);
+            assert_eq!(aj.contains(row), keep, "case {case}");
         }
-        prop_assert!(aj.len() <= r.len());
-    }
+        assert!(aj.len() <= r.len(), "case {case}");
+    });
+}
 
-    #[test]
-    fn rename_round_trips(r in rel_ab()) {
+#[test]
+fn rename_round_trips() {
+    for_each_case(|rng, case| {
+        let r = rel(rng, A, B);
         let rn = r.rename(A, C).rename(C, A);
-        prop_assert_eq!(rn.sorted_rows(), r.sorted_rows());
-    }
+        assert_eq!(rn.sorted_rows(), r.sorted_rows(), "case {case}");
+    });
+}
 
-    #[test]
-    fn antiproject_shrinks_schema_not_rows_beyond(r in rel_ab()) {
+#[test]
+fn antiproject_shrinks_schema_not_rows_beyond() {
+    for_each_case(|rng, case| {
+        let r = rel(rng, A, B);
         let p = r.antiproject(&[B]);
-        prop_assert_eq!(p.schema(), &Schema::new(vec![A]));
-        prop_assert!(p.len() <= r.len());
+        assert_eq!(p.schema(), &Schema::new(vec![A]), "case {case}");
+        assert!(p.len() <= r.len(), "case {case}");
         // Every projected value came from some row.
         let a_pos = r.schema().position(A).unwrap();
         for row in p.iter() {
-            prop_assert!(r.iter().any(|orig| orig[a_pos] == row[0]));
+            assert!(r.iter().any(|orig| orig[a_pos] == row[0]), "case {case}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn filter_is_monotone_and_exact(r in rel_ab(), v in 0u64..8) {
-        let target = Value::node(v);
+#[test]
+fn filter_is_monotone_and_exact() {
+    for_each_case(|rng, case| {
+        let r = rel(rng, A, B);
+        let target = Value::node(rng.gen_range(0..8u64));
         let a_pos = r.schema().position(A).unwrap();
         let f = r.filter(|row| row[a_pos] == target);
-        prop_assert!(f.len() <= r.len());
+        assert!(f.len() <= r.len(), "case {case}");
         for row in r.iter() {
-            prop_assert_eq!(f.contains(row), row[a_pos] == target);
+            assert_eq!(f.contains(row), row[a_pos] == target, "case {case}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn join_distributes_over_union(r in rel_ab(), s in rel_bc(), t in rel_bc()) {
+#[test]
+fn join_distributes_over_union() {
+    for_each_case(|rng, case| {
+        let r = rel(rng, A, B);
+        let s = rel(rng, B, C);
+        let t = rel(rng, B, C);
         let left = r.join(&s.union(&t));
         let right = r.join(&s).union(&r.join(&t));
-        prop_assert_eq!(left.sorted_rows(), right.sorted_rows());
-    }
+        assert_eq!(left.sorted_rows(), right.sorted_rows(), "case {case}");
+    });
+}
 
-    #[test]
-    fn sorted_engine_matches_hash_engine(r in rel_ab(), s in rel_bc()) {
+#[test]
+fn sorted_engine_matches_hash_engine() {
+    for_each_case(|rng, case| {
         use mura_dist::sorted::SortedRelation;
+        let r = rel(rng, A, B);
+        let s = rel(rng, B, C);
         let sr = SortedRelation::from_relation(&r);
         let ss = SortedRelation::from_relation(&s);
-        prop_assert_eq!(sr.join(&ss).to_relation().sorted_rows(), r.join(&s).sorted_rows());
-        prop_assert_eq!(sr.antijoin(&ss).to_relation().sorted_rows(), r.antijoin(&s).sorted_rows());
+        assert_eq!(
+            sr.join(&ss).to_relation().sorted_rows(),
+            r.join(&s).sorted_rows(),
+            "case {case}"
+        );
+        assert_eq!(
+            sr.antijoin(&ss).to_relation().sorted_rows(),
+            r.antijoin(&s).sorted_rows(),
+            "case {case}"
+        );
         let r2 = SortedRelation::from_relation(&r.rename(A, C).rename(C, A));
-        prop_assert_eq!(sr.union(&r2).to_relation().sorted_rows(), r.union(&r).sorted_rows());
-    }
+        assert_eq!(
+            sr.union(&r2).to_relation().sorted_rows(),
+            r.union(&r).sorted_rows(),
+            "case {case}"
+        );
+    });
 }

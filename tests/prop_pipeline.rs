@@ -1,4 +1,4 @@
-//! Property-based end-to-end tests: random graphs × random regular path
+//! Randomized end-to-end tests: random graphs × random regular path
 //! queries → every execution route agrees.
 //!
 //! This covers the main soundness obligations at once:
@@ -8,37 +8,45 @@
 //! * the Datalog and Pregel baselines compute the same answers.
 
 use dist_mu_ra::prelude::*;
+use mura_datagen::SplitMix64;
 use mura_ucrpq::{to_mura, Endpoint, Path};
-use proptest::prelude::*;
 
-/// Random path expressions over labels {a, b} with bounded depth.
-fn path_strategy() -> impl Strategy<Value = Path> {
-    let leaf = prop_oneof![
-        Just(Path::label("a")),
-        Just(Path::label("b")),
-        Just(Path::label("a").inverse()),
-        Just(Path::label("b").inverse()),
-    ];
-    leaf.prop_recursive(3, 12, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(x, y)| x.then(y)),
-            (inner.clone(), inner.clone()).prop_map(|(x, y)| x.or(y)),
-            inner.prop_map(|x| x.plus()),
-        ]
-    })
+const CASES: u64 = 48;
+
+/// Random path expression over labels {a, b} with bounded depth.
+fn rand_path(rng: &mut SplitMix64, depth: u32) -> Path {
+    let leaf = |rng: &mut SplitMix64| match rng.gen_range(0..4u64) {
+        0 => Path::label("a"),
+        1 => Path::label("b"),
+        2 => Path::label("a").inverse(),
+        _ => Path::label("b").inverse(),
+    };
+    if depth == 0 {
+        return leaf(rng);
+    }
+    match rng.gen_range(0..7u64) {
+        0 | 1 => rand_path(rng, depth - 1).then(rand_path(rng, depth - 1)),
+        2 | 3 => rand_path(rng, depth - 1).or(rand_path(rng, depth - 1)),
+        4 => rand_path(rng, depth - 1).plus(),
+        _ => leaf(rng),
+    }
 }
 
-/// Random endpoint: variable or a constant node.
-fn endpoint_strategy(var: &'static str) -> impl Strategy<Value = Endpoint> {
-    prop_oneof![
-        3 => Just(Endpoint::Var(var.to_string())),
-        1 => (0u64..30).prop_map(|n| Endpoint::Const(n.to_string())),
-    ]
+/// Random endpoint: variable (3:1) or a constant node.
+fn rand_endpoint(rng: &mut SplitMix64, var: &str) -> Endpoint {
+    if rng.gen_range(0..4u64) < 3 {
+        Endpoint::Var(var.to_string())
+    } else {
+        Endpoint::Const(rng.gen_range(0..30u64).to_string())
+    }
 }
 
-/// Random two-label graphs.
-fn graph_strategy() -> impl Strategy<Value = Vec<(u64, u64, bool)>> {
-    prop::collection::vec((0u64..30, 0u64..30, any::<bool>()), 1..60)
+/// Random two-label graph as (src, dst, is_a) triples.
+fn rand_graph(rng: &mut SplitMix64) -> Vec<(u64, u64, bool)> {
+    let len = rng.gen_range(1..60usize);
+    (0..len)
+        .map(|_| (rng.gen_range(0..30u64), rng.gen_range(0..30u64), rng.gen_bool(0.5)))
+        .collect()
 }
 
 fn build_db(edges: &[(u64, u64, bool)]) -> Database {
@@ -68,7 +76,9 @@ fn build_query(path: &Path, left: Endpoint, right: Endpoint) -> Ucrpq {
         // Both endpoints constant: keep one variable to have a head.
         head.push("x".to_string());
     }
-    let (left, right) = if head == ["x"] && matches!(left, Endpoint::Const(_)) && matches!(right, Endpoint::Const(_))
+    let (left, right) = if head == ["x"]
+        && matches!(left, Endpoint::Const(_))
+        && matches!(right, Endpoint::Const(_))
     {
         (left, Endpoint::Var("x".to_string()))
     } else {
@@ -82,69 +92,66 @@ fn build_query(path: &Path, left: Endpoint, right: Endpoint) -> Ucrpq {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+#[test]
+fn all_routes_agree() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::seed_from_u64(0x91be11e ^ case);
+        let edges = rand_graph(&mut rng);
+        let path = rand_path(&mut rng, 3);
+        let left = rand_endpoint(&mut rng, "x");
+        let right = rand_endpoint(&mut rng, "y");
 
-    #[test]
-    fn all_routes_agree(
-        edges in graph_strategy(),
-        path in path_strategy(),
-        left in endpoint_strategy("x"),
-        right in endpoint_strategy("y"),
-    ) {
         let db = build_db(&edges);
         let q = build_query(&path, left, right);
         // Skip queries the frontend rejects (e.g. ε-matching paths cannot
         // arise here — no star — but keep the guard for robustness).
         let mut ref_db = db.clone();
-        let Ok(term) = to_mura(&q, &mut ref_db) else { return Ok(()) };
+        let Ok(term) = to_mura(&q, &mut ref_db) else { continue };
         let expected = mura_core::eval(&term, &ref_db).expect("centralized eval");
 
         // Naive fixpoints agree.
         let naive = mura_core::eval::eval_naive_fixpoints(&term, &ref_db).unwrap();
-        prop_assert_eq!(naive.sorted_rows(), expected.sorted_rows());
+        assert_eq!(naive.sorted_rows(), expected.sorted_rows(), "case {case}: {q}");
 
         // Optimized + distributed (auto plan).
         let mut qe = QueryEngine::new(db.clone());
         let out = qe.run_term(&term).expect("distributed eval");
-        prop_assert_eq!(out.relation.sorted_rows(), expected.sorted_rows());
+        assert_eq!(out.relation.sorted_rows(), expected.sorted_rows(), "case {case}: {q}");
 
         // Forced P_gld.
-        let config = ExecConfig {
-            plan: mura_dist::exec::FixpointPlan::ForceGld,
-            ..Default::default()
-        };
+        let config =
+            ExecConfig { plan: mura_dist::exec::FixpointPlan::ForceGld, ..Default::default() };
         let mut qe2 = QueryEngine::with_config(db.clone(), config);
         let out2 = qe2.run_term(&term).expect("gld eval");
-        prop_assert_eq!(out2.relation.sorted_rows(), expected.sorted_rows());
+        assert_eq!(out2.relation.sorted_rows(), expected.sorted_rows(), "case {case}: {q}");
     }
+}
 
-    #[test]
-    fn baselines_agree_on_cardinality(
-        edges in graph_strategy(),
-        path in path_strategy(),
-    ) {
+#[test]
+fn baselines_agree_on_cardinality() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::seed_from_u64(0xba5e11e ^ case);
+        let edges = rand_graph(&mut rng);
+        let path = rand_path(&mut rng, 3);
+
         let db = build_db(&edges);
-        let q = build_query(
-            &path,
-            Endpoint::Var("x".to_string()),
-            Endpoint::Var("y".to_string()),
-        );
+        let q = build_query(&path, Endpoint::Var("x".to_string()), Endpoint::Var("y".to_string()));
         let query_text = q.to_string();
         let mut ref_db = db.clone();
-        let Ok(term) = to_mura(&q, &mut ref_db) else { return Ok(()) };
+        let Ok(term) = to_mura(&q, &mut ref_db) else { continue };
         let expected = mura_core::eval(&term, &ref_db).unwrap().len();
 
         // BigDatalog pipeline.
-        let mut dl = mura_datalog::DatalogEngine::new(db.clone(), mura_datalog::DatalogStyle::BigDatalog);
+        let mut dl =
+            mura_datalog::DatalogEngine::new(db.clone(), mura_datalog::DatalogStyle::BigDatalog);
         let dl_out = dl.run_ucrpq(&query_text).expect("datalog eval");
-        prop_assert_eq!(dl_out.relation.len(), expected, "datalog diverged on {}", query_text);
+        assert_eq!(dl_out.relation.len(), expected, "datalog diverged on {query_text}");
 
         // GraphX pipeline.
         let mut pdb = db.clone();
         mura_pregel::engine::intern_query_vars(&q, &mut pdb);
         let pregel = mura_pregel::PregelEngine::new(pdb, mura_pregel::PregelConfig::default());
         let p_out = pregel.run(&q).expect("pregel eval");
-        prop_assert_eq!(p_out.relation.len(), expected, "pregel diverged on {}", query_text);
+        assert_eq!(p_out.relation.len(), expected, "pregel diverged on {query_text}");
     }
 }

@@ -6,8 +6,7 @@ use dist_mu_ra::prelude::*;
 use mura_dist::exec::FixpointPlan;
 
 fn db() -> Database {
-    use rand::SeedableRng;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+    let mut rng = mura_datagen::SplitMix64::seed_from_u64(8);
     let g = erdos_renyi(150, 0.015, 23);
     let lg = mura_datagen::with_random_labels(&g, 2, &mut rng);
     let mut db = lg.to_database();
@@ -27,7 +26,12 @@ fn answers_invariant_under_worker_count() {
     for q in queries {
         let mut reference: Option<Vec<_>> = None;
         for workers in [1usize, 2, 3, 5, 8] {
-            for plan in [FixpointPlan::Auto, FixpointPlan::ForceGld, FixpointPlan::ForcePlw, FixpointPlan::ForceAsync] {
+            for plan in [
+                FixpointPlan::Auto,
+                FixpointPlan::ForceGld,
+                FixpointPlan::ForcePlw,
+                FixpointPlan::ForceAsync,
+            ] {
                 let config = ExecConfig { workers, plan, ..Default::default() };
                 let mut qe = QueryEngine::with_config(base.clone(), config);
                 let rows = qe
@@ -49,11 +53,7 @@ fn answers_invariant_under_worker_count() {
 #[test]
 fn single_worker_plw_equals_centralized() {
     let base = db();
-    let config = ExecConfig {
-        workers: 1,
-        plan: FixpointPlan::ForcePlw,
-        ..Default::default()
-    };
+    let config = ExecConfig { workers: 1, plan: FixpointPlan::ForcePlw, ..Default::default() };
     let mut qe = QueryEngine::with_config(base.clone(), config);
     let out = qe.run_ucrpq("?x, ?y <- ?x a1+ ?y").unwrap();
     // Single-worker P_plw moves no rows between partitions at all.
