@@ -1,0 +1,203 @@
+//! `bench-smoke`: a minutes-free sanity benchmark for the loop-invariant
+//! fixpoint kernels, suitable for CI.
+//!
+//! Computes the transitive closure of an Erdős–Rényi graph on a 4-worker
+//! cluster along the `P_plw` SetRdd path twice:
+//!
+//! * **reference** — the pre-optimization kernel (`local_fixpoint_reference`):
+//!   every worker re-evaluates constant subtrees and rebuilds its join hash
+//!   table on every iteration;
+//! * **optimized** — the current kernel: constants folded and the join index
+//!   built **once per fixpoint** (`prepare` + `local_fixpoint_prepared`),
+//!   shared by all workers.
+//!
+//! Both variants run over the *same* partitions with the same 4-way
+//! parallelism, so the measured difference is exactly the kernel work the
+//! optimization removes. Results (wall times, speedup, iteration counts,
+//! communication and kernel counters) are written to `BENCH_fixpoint.json`.
+//!
+//! Environment knobs: `BENCH_NODES`, `BENCH_EDGE_PROB`, `BENCH_SEED`,
+//! `BENCH_SAMPLES`, `BENCH_OUT` (output path), and `BENCH_MIN_SPEEDUP`
+//! (exit non-zero if the measured speedup falls below it; CI sets `2.0`).
+
+use std::time::{Duration, Instant};
+
+use mura_core::kernel::kernel_stats;
+use mura_core::{Database, Relation, Term};
+use mura_datagen::er::erdos_renyi;
+use mura_dist::localfix::{
+    local_fixpoint_prepared, local_fixpoint_reference, prepare, Budget, LocalEngine, Prepared,
+};
+use mura_dist::{Cluster, DistEvaluator, DistRel, ExecConfig, FixpointPlan};
+
+const WORKERS: usize = 4;
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn env_f64(key: &str, default: f64) -> f64 {
+    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+struct Timings {
+    mean_ms: f64,
+    min_ms: f64,
+    max_ms: f64,
+}
+
+fn summarize(samples: &[Duration]) -> Timings {
+    let ms = |d: &Duration| d.as_secs_f64() * 1e3;
+    let total: f64 = samples.iter().map(ms).sum();
+    Timings {
+        mean_ms: total / samples.len() as f64,
+        min_ms: samples.iter().map(ms).fold(f64::INFINITY, f64::min),
+        max_ms: samples.iter().map(ms).fold(0.0, f64::max),
+    }
+}
+
+fn json_timings(t: &Timings) -> String {
+    format!(
+        "{{\"mean_ms\": {:.3}, \"min_ms\": {:.3}, \"max_ms\": {:.3}}}",
+        t.mean_ms, t.min_ms, t.max_ms
+    )
+}
+
+fn main() {
+    // Defaults: a sparse supercritical ER graph (mean degree ~1.6) whose
+    // giant component has a long diameter — many semi-naive iterations, so
+    // the reference kernel's per-iteration constant re-evaluation and join
+    // table rebuilds dominate. Runs in well under a second per variant.
+    let n = env_u64("BENCH_NODES", 20_000);
+    let p = env_f64("BENCH_EDGE_PROB", 0.000_08);
+    let seed = env_u64("BENCH_SEED", 42);
+    let samples = env_u64("BENCH_SAMPLES", 3).max(1) as usize;
+    let out_path = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_fixpoint.json".into());
+
+    let mut db = Database::new();
+    let src = db.intern("src");
+    let dst = db.intern("dst");
+    let m = db.intern("m");
+    let x = db.intern("X");
+    let g = erdos_renyi(n, p, seed);
+    let e = Relation::from_pairs(src, dst, g.plain_edges());
+    let step = Term::var(x).rename(dst, m).join(Term::cst(e.clone()).rename(src, m)).antiproject(m);
+    let recs = vec![step.clone()];
+    let term = Term::cst(e.clone()).union(step).fix(x);
+
+    println!("bench-smoke: TC of ER(n={n}, p={p}, seed={seed}), {WORKERS} workers, P_plw/SetRdd");
+    println!("  edges: {}", e.len());
+
+    // Shared 4-way partitioning: both kernels see identical per-worker seeds.
+    let cluster = Cluster::new(WORKERS);
+    let seed_rel = DistRel::from_relation(&e, &cluster);
+    let budget = Budget::new(None, None);
+
+    // --- reference kernel: re-evaluates constants, rebuilds join tables ---
+    let mut ref_samples = Vec::with_capacity(samples);
+    let mut ref_rows = 0usize;
+    for round in 0..=samples {
+        let t = Instant::now();
+        let parts = cluster.par_map(seed_rel.parts(), |_, part| {
+            local_fixpoint_reference(part, &recs, x, LocalEngine::SetRdd, &budget)
+                .expect("reference fixpoint")
+        });
+        let wall = t.elapsed();
+        let mut acc = Relation::new(e.schema().clone());
+        for part in parts {
+            acc.absorb(part);
+        }
+        if round > 0 {
+            // Round 0 is the untimed warmup.
+            ref_samples.push(wall);
+        }
+        ref_rows = acc.len();
+    }
+
+    // --- optimized kernel: prepare once per fixpoint, probe cached index ---
+    let kernel_before = kernel_stats().snapshot();
+    let mut opt_samples = Vec::with_capacity(samples);
+    let mut opt_rows = 0usize;
+    let mut loop_iterations = 0u64;
+    for round in 0..=samples {
+        let iters_before = kernel_stats().snapshot();
+        let t = Instant::now();
+        let prepared: Vec<Prepared<Relation>> =
+            recs.iter().map(|r| prepare(r, x, e.schema()).expect("prepare")).collect();
+        let parts = cluster.par_map(seed_rel.parts(), |_, part| {
+            local_fixpoint_prepared(part, &prepared, &budget).expect("optimized fixpoint")
+        });
+        let wall = t.elapsed();
+        let mut acc = Relation::new(e.schema().clone());
+        for part in parts {
+            acc.absorb(part);
+        }
+        if round > 0 {
+            opt_samples.push(wall);
+        }
+        opt_rows = acc.len();
+        loop_iterations = kernel_stats().snapshot().since(&iters_before).iterations;
+    }
+    let kernel = kernel_stats().snapshot().since(&kernel_before);
+
+    assert_eq!(ref_rows, opt_rows, "kernels disagree on the fixpoint");
+
+    // --- full P_plw plan through the evaluator, for comm + kernel stats ---
+    let config = ExecConfig {
+        plan: FixpointPlan::ForcePlw,
+        local_engine: LocalEngine::SetRdd,
+        workers: WORKERS,
+        ..Default::default()
+    };
+    let mut ev = DistEvaluator::new(&db, config);
+    let comm_before = ev.cluster().metrics().snapshot();
+    let full = ev.eval_collect(&term).expect("P_plw evaluation");
+    let comm = ev.cluster().metrics().snapshot().since(&comm_before);
+    let plan_kernel = ev.stats().kernel;
+    assert_eq!(full.len(), opt_rows, "P_plw plan disagrees with kernel loops");
+
+    let reference = summarize(&ref_samples);
+    let optimized = summarize(&opt_samples);
+    let speedup = reference.mean_ms / optimized.mean_ms;
+
+    println!("  tc rows: {opt_rows}");
+    println!("  per-worker loop iterations (sum): {loop_iterations}");
+    println!(
+        "  reference: {:.1} ms  [{:.1} .. {:.1}]",
+        reference.mean_ms, reference.min_ms, reference.max_ms
+    );
+    println!(
+        "  optimized: {:.1} ms  [{:.1} .. {:.1}]",
+        optimized.mean_ms, optimized.min_ms, optimized.max_ms
+    );
+    println!("  speedup:   {speedup:.2}x");
+    println!(
+        "  plan comm: {} shuffles, {} rows shuffled; plan kernel: {} index builds, {} probes",
+        comm.shuffles, comm.rows_shuffled, plan_kernel.index_builds, plan_kernel.join_probes
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"fixpoint_tc_er\",\n  \"plan\": \"p_plw\",\n  \"engine\": \"set_rdd\",\n  \"workers\": {WORKERS},\n  \"graph\": {{\"nodes\": {n}, \"edge_prob\": {p}, \"seed\": {seed}, \"edges\": {}, \"tc_rows\": {opt_rows}}},\n  \"samples\": {samples},\n  \"iterations\": {loop_iterations},\n  \"reference\": {},\n  \"optimized\": {},\n  \"speedup\": {speedup:.3},\n  \"comm\": {{\"shuffles\": {}, \"rows_shuffled\": {}}},\n  \"kernel\": {{\"index_builds\": {}, \"key_index_builds\": {}, \"join_probes\": {}, \"antijoin_probes\": {}, \"rows_allocated\": {}, \"const_folds\": {}, \"iterations\": {}, \"eval_nanos\": {}}}\n}}\n",
+        e.len(),
+        json_timings(&reference),
+        json_timings(&optimized),
+        comm.shuffles,
+        comm.rows_shuffled,
+        kernel.index_builds,
+        kernel.key_index_builds,
+        kernel.join_probes,
+        kernel.antijoin_probes,
+        kernel.rows_allocated,
+        kernel.const_folds,
+        kernel.iterations,
+        kernel.eval_nanos,
+    );
+    std::fs::write(&out_path, json).expect("write BENCH_fixpoint.json");
+    println!("  wrote {out_path}");
+
+    let min_speedup = env_f64("BENCH_MIN_SPEEDUP", 0.0);
+    if speedup < min_speedup {
+        eprintln!("FAIL: speedup {speedup:.2}x below required {min_speedup:.2}x");
+        std::process::exit(1);
+    }
+}

@@ -42,6 +42,8 @@ pub mod catalog;
 pub mod error;
 pub mod eval;
 pub mod fxhash;
+pub mod index;
+pub mod kernel;
 pub mod relation;
 pub mod schema;
 pub mod sql;
@@ -52,6 +54,8 @@ pub use cancel::CancellationToken;
 pub use catalog::{Database, Dictionary};
 pub use error::{MuraError, Result};
 pub use eval::{eval, eval_naive_fixpoints, EvalStats, Evaluator};
+pub use index::{JoinIndex, KeyIndex};
+pub use kernel::{kernel_stats, KernelSnapshot, KernelStats};
 pub use relation::{Relation, Row};
 pub use schema::Schema;
 pub use term::{Pred, Term};

@@ -8,24 +8,32 @@
 //! per-partition.
 
 use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::index::hash_key;
 use crate::schema::Schema;
 use crate::value::{Sym, Value};
 use std::fmt;
+use std::sync::Arc;
 
 /// A tuple. Fields are ordered by the owning relation's schema.
 pub type Row = Box<[Value]>;
 
 /// A set of rows with a fixed schema.
+///
+/// Row storage is `Arc`-shared copy-on-write: cloning a relation, an
+/// identity rename, or a union with an empty side are O(1) pointer copies.
+/// Mutation goes through [`Arc::make_mut`], so the set is deep-copied only
+/// when actually shared — the fixpoint kernels rely on this to keep
+/// loop-invariant relations zero-copy across iterations.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Relation {
     schema: Schema,
-    rows: FxHashSet<Row>,
+    rows: Arc<FxHashSet<Row>>,
 }
 
 impl Relation {
     /// Empty relation with the given schema.
     pub fn new(schema: Schema) -> Self {
-        Relation { schema, rows: FxHashSet::default() }
+        Relation { schema, rows: Arc::new(FxHashSet::default()) }
     }
 
     /// Builds a relation from rows, deduplicating.
@@ -36,8 +44,10 @@ impl Relation {
     where
         I: IntoIterator<Item = Row>,
     {
+        let it = rows.into_iter();
         let mut r = Relation::new(schema);
-        for row in rows {
+        r.reserve(it.size_hint().0);
+        for row in it {
             r.insert(row);
         }
         r
@@ -48,14 +58,22 @@ impl Relation {
         let schema = Schema::new(vec![a, b]);
         // Schema sorts columns; figure out which position a and b landed in.
         let pa = schema.position(a).unwrap();
+        let it = pairs.into_iter();
         let mut rel = Relation::new(schema);
-        for (x, y) in pairs {
-            let mut row = vec![Value::node(0); 2];
-            row[pa] = Value::node(x);
-            row[1 - pa] = Value::node(y);
-            rel.insert(row.into_boxed_slice());
+        rel.reserve(it.size_hint().0);
+        for (x, y) in it {
+            let (vx, vy) = (Value::node(x), Value::node(y));
+            let row: Row = if pa == 0 { Box::new([vx, vy]) } else { Box::new([vy, vx]) };
+            rel.insert(row);
         }
         rel
+    }
+
+    /// Reserves capacity for at least `additional` more rows.
+    pub fn reserve(&mut self, additional: usize) {
+        if additional > 0 {
+            Arc::make_mut(&mut self.rows).reserve(additional);
+        }
     }
 
     /// The relation's schema.
@@ -99,29 +117,43 @@ impl Relation {
             row.len(),
             self.schema.arity()
         );
-        self.rows.insert(row)
+        Arc::make_mut(&mut self.rows).insert(row)
     }
 
-    /// Moves all rows of `other` into `self` (schemas must match).
+    /// Moves all rows of `other` into `self` (schemas must match). When one
+    /// side is empty this is an O(1) pointer move; otherwise the smaller row
+    /// set is drained into the larger one.
     pub fn absorb(&mut self, other: Relation) {
         assert_eq!(self.schema, other.schema, "union of incompatible schemas");
+        if other.rows.is_empty() {
+            return;
+        }
         if self.rows.is_empty() {
             self.rows = other.rows;
-        } else {
-            self.rows.extend(other.rows);
+            return;
+        }
+        let mut other = other;
+        if other.rows.len() > self.rows.len() {
+            std::mem::swap(&mut self.rows, &mut other.rows);
+        }
+        let dst = Arc::make_mut(&mut self.rows);
+        dst.reserve(other.rows.len());
+        match Arc::try_unwrap(other.rows) {
+            Ok(set) => dst.extend(set),
+            Err(shared) => dst.extend(shared.iter().cloned()),
         }
     }
 
-    /// Consumes the relation, yielding its rows.
+    /// Consumes the relation, yielding its rows (clones only if shared).
     pub fn into_rows(self) -> FxHashSet<Row> {
-        self.rows
+        Arc::try_unwrap(self.rows).unwrap_or_else(|shared| (*shared).clone())
     }
 
     /// Rows kept only when `pred` holds.
     pub fn filter(&self, pred: impl Fn(&[Value]) -> bool) -> Relation {
         Relation {
             schema: self.schema.clone(),
-            rows: self.rows.iter().filter(|r| pred(r)).cloned().collect(),
+            rows: Arc::new(self.rows.iter().filter(|r| pred(r)).cloned().collect()),
         }
     }
 
@@ -146,9 +178,13 @@ impl Relation {
             .collect();
         let identity = perm.iter().enumerate().all(|(i, &p)| i == p);
         let rows = if identity {
-            self.rows.clone()
+            // Identity permutation: share the row set, O(1).
+            Arc::clone(&self.rows)
         } else {
-            self.rows.iter().map(|r| perm.iter().map(|&p| r[p]).collect::<Row>()).collect()
+            let mut out = FxHashSet::default();
+            out.reserve(self.rows.len());
+            out.extend(self.rows.iter().map(|r| perm.iter().map(|&p| r[p]).collect::<Row>()));
+            Arc::new(out)
         };
         Relation { schema: new_schema, rows }
     }
@@ -162,10 +198,16 @@ impl Relation {
             .schema
             .antiproject(drop)
             .unwrap_or_else(|| panic!("invalid antiprojection of {drop:?} on {}", self.schema));
+        if new_schema.arity() == self.schema.arity() {
+            // Nothing actually dropped: share the row set, O(1).
+            return Relation { schema: new_schema, rows: Arc::clone(&self.rows) };
+        }
         let keep: Vec<usize> =
             new_schema.columns().iter().map(|&c| self.schema.position(c).unwrap()).collect();
-        let rows = self.rows.iter().map(|r| keep.iter().map(|&p| r[p]).collect::<Row>()).collect();
-        Relation { schema: new_schema, rows }
+        let mut rows = FxHashSet::default();
+        rows.reserve(self.rows.len());
+        rows.extend(self.rows.iter().map(|r| keep.iter().map(|&p| r[p]).collect::<Row>()));
+        Relation { schema: new_schema, rows: Arc::new(rows) }
     }
 
     /// Natural join on all common columns. If there are no common columns the
@@ -186,37 +228,57 @@ impl Relation {
                 Relation::new(self.schema.clone())
             };
         }
+        if other.is_empty() {
+            return self.clone();
+        }
         let my_pos: Vec<usize> = common.iter().map(|&c| self.schema.position(c).unwrap()).collect();
         let their_pos: Vec<usize> =
             common.iter().map(|&c| other.schema.position(c).unwrap()).collect();
-        let keys: FxHashSet<Row> =
-            other.rows.iter().map(|r| their_pos.iter().map(|&p| r[p]).collect::<Row>()).collect();
+        // Bucket the right side by key hash; probe without building key rows.
+        let mut keys: FxHashMap<u64, Vec<&Row>> = FxHashMap::default();
+        for r in other.rows.iter() {
+            keys.entry(hash_key(r, &their_pos)).or_default().push(r);
+        }
         let rows = self
             .rows
             .iter()
             .filter(|r| {
-                let k: Row = my_pos.iter().map(|&p| r[p]).collect();
-                !keys.contains(&k)
+                keys.get(&hash_key(r, &my_pos)).is_none_or(|bucket| {
+                    !bucket
+                        .iter()
+                        .any(|o| my_pos.iter().zip(&their_pos).all(|(&mp, &tp)| r[mp] == o[tp]))
+                })
             })
             .cloned()
             .collect();
-        Relation { schema: self.schema.clone(), rows }
+        Relation { schema: self.schema.clone(), rows: Arc::new(rows) }
     }
 
-    /// Set union (schemas must match).
+    /// Set union (schemas must match). O(1) when either side is empty.
     pub fn union(&self, other: &Relation) -> Relation {
         assert_eq!(self.schema, other.schema, "union of incompatible schemas");
+        if other.is_empty() {
+            return self.clone();
+        }
+        if self.is_empty() {
+            return other.clone();
+        }
         let (big, small) = if self.len() >= other.len() { (self, other) } else { (other, self) };
-        let mut rows = big.rows.clone();
+        let mut rows = (*big.rows).clone();
+        rows.reserve(small.len());
         rows.extend(small.rows.iter().cloned());
-        Relation { schema: self.schema.clone(), rows }
+        Relation { schema: self.schema.clone(), rows: Arc::new(rows) }
     }
 
-    /// Set difference `self \ other` (schemas must match).
+    /// Set difference `self \ other` (schemas must match). O(1) when `other`
+    /// is empty.
     pub fn minus(&self, other: &Relation) -> Relation {
         assert_eq!(self.schema, other.schema, "difference of incompatible schemas");
+        if other.is_empty() || self.is_empty() {
+            return self.clone();
+        }
         let rows = self.rows.iter().filter(|r| !other.rows.contains(*r)).cloned().collect();
-        Relation { schema: self.schema.clone(), rows }
+        Relation { schema: self.schema.clone(), rows: Arc::new(rows) }
     }
 
     /// Sorted list of rows; useful for deterministic test assertions.
@@ -280,7 +342,10 @@ pub fn join_plan(left: &Schema, right: &Schema) -> JoinPlan {
 }
 
 impl JoinPlan {
-    /// Hash join of two relations with this plan. Builds on the smaller side.
+    /// Hash join of two relations with this plan. Builds on the smaller
+    /// side. The table is keyed by a 64-bit hash of the join-key positions
+    /// (no boxed key rows on either build or probe path); bucket entries are
+    /// verified by positional equality.
     pub fn execute(&self, left: &Relation, right: &Relation) -> Relation {
         let mut out = Relation::new(self.out_schema.clone());
         if left.is_empty() || right.is_empty() {
@@ -294,24 +359,28 @@ impl JoinPlan {
         } else {
             (&self.right_key, &self.left_key)
         };
-        let mut table: FxHashMap<Row, Vec<&Row>> = FxHashMap::default();
+        let mut table: FxHashMap<u64, Vec<&Row>> = FxHashMap::default();
+        table.reserve(build.len());
         for row in build.iter() {
-            let k: Row = build_key.iter().map(|&p| row[p]).collect();
-            table.entry(k).or_default().push(row);
+            table.entry(hash_key(row, build_key)).or_default().push(row);
         }
+        out.reserve(probe.len());
         for prow in probe.iter() {
-            let k: Row = probe_key.iter().map(|&p| prow[p]).collect();
-            if let Some(matches) = table.get(&k) {
-                for brow in matches {
-                    let (lrow, rrow): (&Row, &Row) =
-                        if build_left { (brow, prow) } else { (prow, brow) };
-                    let out_row: Row = self
-                        .out_src
-                        .iter()
-                        .map(|&(from_left, p)| if from_left { lrow[p] } else { rrow[p] })
-                        .collect();
-                    out.insert(out_row);
+            let Some(matches) = table.get(&hash_key(prow, probe_key)) else {
+                continue;
+            };
+            for brow in matches {
+                if !probe_key.iter().zip(build_key).all(|(&pp, &bp)| prow[pp] == brow[bp]) {
+                    continue;
                 }
+                let (lrow, rrow): (&Row, &Row) =
+                    if build_left { (brow, prow) } else { (prow, brow) };
+                let out_row: Row = self
+                    .out_src
+                    .iter()
+                    .map(|&(from_left, p)| if from_left { lrow[p] } else { rrow[p] })
+                    .collect();
+                out.insert(out_row);
             }
         }
         out

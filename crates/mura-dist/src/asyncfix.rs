@@ -21,7 +21,7 @@
 
 use crate::cluster::Cluster;
 use crate::distrel::DistRel;
-use crate::localfix::{prepare, Budget, Prepared};
+use crate::localfix::{eval_branch, prepare, Budget, Prepared};
 use mura_core::fxhash::FxHasher;
 use mura_core::{Relation, Result, Row, Sym, Term};
 use std::hash::{Hash, Hasher};
@@ -46,6 +46,12 @@ pub fn eval_async(
 ) -> Result<DistRel> {
     let n = cluster.workers();
     let schema = seed.schema().clone();
+    // Prepare once (constant folding + index builds) and share the branches
+    // across all workers — the indexes are built per fixpoint, not per
+    // worker or per batch.
+    let prepared: Vec<Prepared<Relation>> =
+        recs.iter().map(|r| prepare(r, x, &schema)).collect::<Result<_>>()?;
+    let prepared = &prepared;
     // Channels: one inbox per worker.
     let mut senders: Vec<Sender<Vec<Row>>> = Vec::with_capacity(n);
     let mut receivers: Vec<Receiver<Vec<Row>>> = Vec::with_capacity(n);
@@ -91,8 +97,6 @@ pub fn eval_async(
                         abort.store(true, Ordering::SeqCst);
                         e
                     };
-                    let prepared: Vec<Prepared<Relation>> =
-                        recs.iter().map(|r| prepare(r, x)).collect::<Result<_>>().map_err(fail)?;
                     let mut acc = Relation::new(schema.clone());
                     loop {
                         let batch = match inbox.recv_timeout(Duration::from_millis(1)) {
@@ -126,7 +130,7 @@ pub fn eval_async(
                             // route the produced rows to their owners.
                             let mut outgoing: Vec<Vec<Row>> =
                                 (0..senders.len()).map(|_| Vec::new()).collect();
-                            for p in &prepared {
+                            for p in prepared {
                                 let produced = eval_branch(p, &delta).map_err(fail)?;
                                 for row in produced.into_rows() {
                                     outgoing[row_owner(&row, senders.len())].push(row);
@@ -159,25 +163,6 @@ pub fn eval_async(
         cluster.metrics().record_shuffle(moved);
     }
     Ok(DistRel::from_parts(schema, parts, None))
-}
-
-fn eval_branch(p: &Prepared<Relation>, delta: &Relation) -> Result<Relation> {
-    use crate::localfix::LocalRel;
-    // `Prepared` evaluation is private to localfix; re-expose the minimal
-    // recursion here via the trait.
-    fn go(p: &Prepared<Relation>, delta: &Relation) -> Result<Relation> {
-        Ok(match p {
-            Prepared::Delta => delta.clone(),
-            Prepared::Const(r) => r.clone(),
-            Prepared::Filter(ps, t) => go(t, delta)?.filter_preds(ps)?,
-            Prepared::Rename(a, b, t) => go(t, delta)?.rename_col(*a, *b),
-            Prepared::AntiProject(cs, t) => go(t, delta)?.antiproject_cols(cs),
-            Prepared::Join(a, b) => go(a, delta)?.join_with(&go(b, delta)?),
-            Prepared::Antijoin(a, b) => go(a, delta)?.antijoin_with(&go(b, delta)?),
-            Prepared::Union(a, b) => go(a, delta)?.union_with(&go(b, delta)?),
-        })
-    }
-    go(p, delta)
 }
 
 #[cfg(test)]

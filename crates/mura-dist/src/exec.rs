@@ -11,10 +11,16 @@
 
 use crate::cluster::Cluster;
 use crate::distrel::DistRel;
-use crate::localfix::{local_fixpoint, Budget, LocalEngine};
+use crate::localfix::{
+    eval_branch, local_fixpoint_prepared, prepare, Budget, LocalEngine, LocalRel, Prepared,
+};
+use crate::sorted::SortedRelation;
 use mura_core::analysis::{check_fcond, decompose_fixpoint, stable_columns, TypeEnv};
 use mura_core::fxhash::FxHashMap;
-use mura_core::{CancellationToken, Database, MuraError, Relation, Result, Schema, Sym, Term};
+use mura_core::kernel::kernel_stats;
+use mura_core::{
+    CancellationToken, Database, KernelSnapshot, MuraError, Relation, Result, Schema, Sym, Term,
+};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -88,6 +94,10 @@ pub struct ExecStats {
     pub gld_fixpoints: u64,
     /// Total rows materialized (budget meter).
     pub produced_rows: u64,
+    /// Kernel-level counters (index builds, probes, folds, per-iteration
+    /// timings) accumulated during this evaluation. Note: the underlying
+    /// counters are process-wide, so concurrent evaluations overlap.
+    pub kernel: KernelSnapshot,
 }
 
 /// A value during distributed evaluation: partitioned, or replicated to
@@ -134,6 +144,9 @@ pub struct DistEvaluator<'db> {
     /// Fresh symbols for hoisted loop invariants (must not collide with
     /// dictionary symbols; the dictionary cannot grow during evaluation).
     next_fresh: u32,
+    /// Kernel counters at construction time; `stats.kernel` reports the
+    /// delta accumulated by this evaluator.
+    kernel_base: KernelSnapshot,
 }
 
 impl<'db> DistEvaluator<'db> {
@@ -152,6 +165,7 @@ impl<'db> DistEvaluator<'db> {
             budget,
             bound: FxHashMap::default(),
             next_fresh,
+            kernel_base: kernel_stats().snapshot(),
         }
     }
 
@@ -168,8 +182,9 @@ impl<'db> DistEvaluator<'db> {
     /// Evaluates a closed term and collects the result on the driver.
     pub fn eval_collect(&mut self, term: &Term) -> Result<Relation> {
         check_fcond(term)?;
-        let v = self.eval(term)?;
-        Ok(match v {
+        let v = self.eval(term);
+        self.stats.kernel = kernel_stats().snapshot().since(&self.kernel_base);
+        Ok(match v? {
             DVal::Dist(d) => d.distinct(&self.cluster).collect(),
             DVal::Repl(r) => (*r).clone(),
         })
@@ -439,30 +454,45 @@ impl<'db> DistEvaluator<'db> {
         })
     }
 
-    /// `P_gld`: the driver iterates; every step runs as distributed dataset
-    /// operations, and the union/difference with the accumulator forces a
-    /// shuffle of the new tuples each iteration (paper §IV-A1).
+    /// `P_gld`: the driver iterates; every step applies the prepared
+    /// branch kernels partition-wise to the delta (loop invariants folded
+    /// and indexed once, before the loop starts), and the union/difference
+    /// with the accumulator forces a shuffle of the new tuples each
+    /// iteration (paper §IV-A1).
     fn eval_gld(&mut self, x: Sym, seed: DistRel, recs: &[Term]) -> Result<DistRel> {
+        // Resolve hoisted invariants to broadcast constants and compile the
+        // branches once per fixpoint: constant folding and join-index
+        // builds happen here, not inside the driver loop. Branch-wise
+        // evaluation distributes over delta partitions because F_cond
+        // guarantees linear recursion with `x` in monotone positions.
+        let mut recs_local = Vec::with_capacity(recs.len());
+        for r in recs {
+            recs_local.push(self.resolve_to_constants(r, x)?);
+        }
+        let prepared: Vec<Prepared<Relation>> =
+            recs_local.iter().map(|r| prepare(r, x, seed.schema())).collect::<Result<_>>()?;
         let mut acc = seed;
         let mut delta = acc.clone();
         while !delta.is_empty() {
             self.budget.check()?;
             self.stats.fixpoint_iterations += 1;
-            self.bound.insert(x, DVal::Dist(delta.clone()));
-            let mut new: Option<DVal> = None;
-            for r in recs {
-                let produced = self.eval(r)?;
+            kernel_stats().record_iteration();
+            let mut new: Option<DistRel> = None;
+            for p in &prepared {
+                let start = Instant::now();
+                let results: Vec<Result<Relation>> =
+                    self.cluster.par_map(delta.parts(), |_, part| eval_branch(p, part));
+                let parts = results.into_iter().collect::<Result<Vec<_>>>()?;
+                kernel_stats().record_eval_time(start.elapsed());
+                let schema = parts[0].schema().clone();
+                let produced = DistRel::from_parts(schema, parts, None);
+                self.charge(produced.len())?;
                 new = Some(match new {
                     None => produced,
-                    Some(n) => {
-                        let dn = n.into_dist(&self.cluster);
-                        let dp = produced.into_dist(&self.cluster);
-                        DVal::Dist(dn.union(&dp, &self.cluster))
-                    }
+                    Some(n) => n.union(&produced, &self.cluster),
                 });
             }
-            self.bound.remove(&x);
-            let new = new.expect("at least one recursive branch").into_dist(&self.cluster);
+            let new = new.expect("at least one recursive branch");
             if new.schema() != acc.schema() {
                 return Err(MuraError::SchemaMismatch {
                     left: acc.schema().clone(),
@@ -498,12 +528,10 @@ impl<'db> DistEvaluator<'db> {
         for r in recs {
             recs_local.push(self.resolve_to_constants(r, x)?);
         }
-        let engine = self.config.local_engine;
-        let budget = &self.budget;
-        let results: Vec<Result<Relation>> = self
-            .cluster
-            .par_map(seed.parts(), |_, part| local_fixpoint(part, &recs_local, x, engine, budget));
-        let parts = results.into_iter().collect::<Result<Vec<_>>>()?;
+        let parts = match self.config.local_engine {
+            LocalEngine::SetRdd => self.run_plw_typed::<Relation>(&seed, &recs_local, x)?,
+            LocalEngine::Sorted => self.run_plw_typed::<SortedRelation>(&seed, &recs_local, x)?,
+        };
         self.stats.fixpoint_iterations += 1; // the parallel local loops count once globally
         let schema = seed.schema().clone();
         let out = DistRel::from_parts(
@@ -517,6 +545,25 @@ impl<'db> DistEvaluator<'db> {
         } else {
             out
         })
+    }
+
+    /// Runs the per-worker local loops of `P_plw` with one engine type.
+    /// The branches are prepared **once per fixpoint** — constant folding
+    /// and join-index builds are shared by every worker, so `index_builds`
+    /// counts fixpoints, not workers or iterations.
+    fn run_plw_typed<R: LocalRel>(
+        &self,
+        seed: &DistRel,
+        recs: &[Term],
+        x: Sym,
+    ) -> Result<Vec<Relation>> {
+        let prepared: Vec<Prepared<R>> =
+            recs.iter().map(|r| prepare(r, x, seed.schema())).collect::<Result<_>>()?;
+        let budget = &self.budget;
+        let results: Vec<Result<Relation>> = self
+            .cluster
+            .par_map(seed.parts(), |_, part| local_fixpoint_prepared(part, &prepared, budget));
+        results.into_iter().collect()
     }
 
     /// Replaces hoisted variables by broadcast constant relations inside a

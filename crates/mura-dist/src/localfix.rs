@@ -14,7 +14,11 @@
 //!   per-worker PostgreSQL instances of `P_plw^pg`.
 
 use crate::sorted::SortedRelation;
-use mura_core::{CancellationToken, MuraError, Pred, Relation, Result, Schema, Sym, Term, Value};
+use mura_core::kernel::kernel_stats;
+use mura_core::{
+    CancellationToken, JoinIndex, KeyIndex, MuraError, Pred, Relation, Result, Row, Schema, Sym,
+    Term, Value,
+};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
@@ -89,8 +93,9 @@ impl Budget {
     }
 }
 
-/// Local relation operations shared by the two engines.
-pub trait LocalRel: Sized + Clone {
+/// Local relation operations shared by the two engines. `Send + Sync` so a
+/// branch prepared once can be shared by every worker of a fixpoint.
+pub trait LocalRel: Sized + Clone + Send + Sync {
     fn from_relation(r: &Relation) -> Self;
     fn into_relation(self) -> Relation;
     fn schema(&self) -> &Schema;
@@ -103,6 +108,10 @@ pub trait LocalRel: Sized + Clone {
     fn antijoin_with(&self, other: &Self) -> Self;
     fn union_with(&self, other: &Self) -> Self;
     fn minus_with(&self, other: &Self) -> Self;
+    /// Iterates rows in the engine's native storage order.
+    fn iter_rows(&self) -> impl Iterator<Item = &Row>;
+    /// Builds from raw rows, deduplicating as the engine requires.
+    fn from_row_vec(schema: Schema, rows: Vec<Row>) -> Self;
 }
 
 /// Compiles predicates to a positional closure over a schema.
@@ -183,6 +192,12 @@ impl LocalRel for Relation {
     fn minus_with(&self, other: &Self) -> Self {
         self.minus(other)
     }
+    fn iter_rows(&self) -> impl Iterator<Item = &Row> {
+        self.iter()
+    }
+    fn from_row_vec(schema: Schema, rows: Vec<Row>) -> Self {
+        Relation::from_rows(schema, rows)
+    }
 }
 
 impl LocalRel for SortedRelation {
@@ -223,11 +238,25 @@ impl LocalRel for SortedRelation {
     fn minus_with(&self, other: &Self) -> Self {
         self.minus(other)
     }
+    fn iter_rows(&self) -> impl Iterator<Item = &Row> {
+        self.iter()
+    }
+    fn from_row_vec(schema: Schema, rows: Vec<Row>) -> Self {
+        SortedRelation::from_rows(schema, rows)
+    }
 }
 
-/// A recursive branch compiled for local execution: every leaf is either
-/// the recursion variable (delta) or an already-materialized constant
-/// (pre-converted to the engine's representation once, not per iteration).
+/// A recursive branch compiled for local execution.
+///
+/// Built once per fixpoint by [`prepare`] and shared by every worker:
+///
+/// * every `x`-free subtree is **folded** into a single pre-materialized
+///   [`Prepared::Const`] before iteration starts (no per-iteration
+///   re-evaluation of loop-invariant expressions);
+/// * every `Join(delta-side, const-side)` carries a [`JoinIndex`] over the
+///   constant side, built once and probed with the delta each iteration
+///   ([`Prepared::JoinIdx`]); antijoins against a constant get the analogous
+///   cached key-set ([`Prepared::AntijoinIdx`]).
 pub enum Prepared<R> {
     Delta,
     Const(R),
@@ -237,26 +266,114 @@ pub enum Prepared<R> {
     Join(Box<Prepared<R>>, Box<Prepared<R>>),
     Antijoin(Box<Prepared<R>>, Box<Prepared<R>>),
     Union(Box<Prepared<R>>, Box<Prepared<R>>),
+    /// Delta-dependent subtree joined against a loop-invariant side through
+    /// a cached build-side index.
+    JoinIdx(Box<Prepared<R>>, JoinIndex),
+    /// Delta-dependent subtree antijoined against a cached key-set; the
+    /// schema is the subtree's output schema.
+    AntijoinIdx(Box<Prepared<R>>, KeyIndex, Schema),
 }
 
-/// Compiles a hoisted recursive branch (all `x`-free subterms are `Cst`).
-pub fn prepare<R: LocalRel>(term: &Term, x: Sym) -> Result<Prepared<R>> {
+/// Result of `prep`: a fully folded constant, or a delta-dependent kernel
+/// with its output schema.
+enum Prep<R> {
+    Const(Relation),
+    Dyn(Prepared<R>, Schema),
+}
+
+/// Evaluates a constant folding step, counting it so tests can assert the
+/// work happens at prepare time (once per fixpoint), not per iteration.
+fn fold<R>(r: Relation) -> Prep<R> {
+    kernel_stats().record_const_fold();
+    Prep::Const(r)
+}
+
+/// Compiles a hoisted recursive branch (all `x`-free subterms are `Cst`):
+/// folds loop-invariant subtrees and builds join/antijoin indexes against
+/// them. `delta_schema` is the schema bound to the recursion variable.
+pub fn prepare<R: LocalRel>(term: &Term, x: Sym, delta_schema: &Schema) -> Result<Prepared<R>> {
+    Ok(match prep(term, x, delta_schema)? {
+        Prep::Dyn(p, _) => p,
+        // A branch without the recursion variable at all: constant forever.
+        Prep::Const(r) => Prepared::Const(R::from_relation(&r)),
+    })
+}
+
+fn prep<R: LocalRel>(term: &Term, x: Sym, delta_schema: &Schema) -> Result<Prep<R>> {
     Ok(match term {
-        Term::Var(v) if *v == x => Prepared::Delta,
+        Term::Var(v) if *v == x => Prep::Dyn(Prepared::Delta, delta_schema.clone()),
         Term::Var(v) => {
             return Err(MuraError::Other(format!(
                 "unhoisted variable {v} in local fixpoint branch"
             )))
         }
-        Term::Cst(r) => Prepared::Const(R::from_relation(r)),
-        Term::Filter(ps, t) => Prepared::Filter(ps.clone(), Box::new(prepare(t, x)?)),
-        Term::Rename(a, b, t) => Prepared::Rename(*a, *b, Box::new(prepare(t, x)?)),
-        Term::AntiProject(cs, t) => Prepared::AntiProject(cs.clone(), Box::new(prepare(t, x)?)),
-        Term::Join(a, b) => Prepared::Join(Box::new(prepare(a, x)?), Box::new(prepare(b, x)?)),
-        Term::Antijoin(a, b) => {
-            Prepared::Antijoin(Box::new(prepare(a, x)?), Box::new(prepare(b, x)?))
+        Term::Cst(r) => Prep::Const((**r).clone()),
+        Term::Filter(ps, t) => match prep(t, x, delta_schema)? {
+            Prep::Const(r) => fold(LocalRel::filter_preds(&r, ps)?),
+            Prep::Dyn(p, s) => Prep::Dyn(Prepared::Filter(ps.clone(), Box::new(p)), s),
+        },
+        Term::Rename(a, b, t) => match prep(t, x, delta_schema)? {
+            Prep::Const(r) => fold(r.rename(*a, *b)),
+            Prep::Dyn(p, s) => {
+                let out = s
+                    .rename(*a, *b)
+                    .unwrap_or_else(|| panic!("invalid rename {a:?} -> {b:?} on {s}"));
+                Prep::Dyn(Prepared::Rename(*a, *b, Box::new(p)), out)
+            }
+        },
+        Term::AntiProject(cs, t) => match prep(t, x, delta_schema)? {
+            Prep::Const(r) => fold(r.antiproject(cs)),
+            Prep::Dyn(p, s) => {
+                let out = s
+                    .antiproject(cs)
+                    .unwrap_or_else(|| panic!("invalid antiprojection of {cs:?} on {s}"));
+                Prep::Dyn(Prepared::AntiProject(cs.clone(), Box::new(p)), out)
+            }
+        },
+        Term::Join(a, b) => {
+            match (prep(a, x, delta_schema)?, prep(b, x, delta_schema)?) {
+                (Prep::Const(ra), Prep::Const(rb)) => fold(ra.join(&rb)),
+                // One loop-invariant side: index it once, probe with the
+                // delta-dependent side each iteration.
+                (Prep::Const(ra), Prep::Dyn(p, s)) | (Prep::Dyn(p, s), Prep::Const(ra)) => {
+                    let idx = JoinIndex::build(&s, &ra);
+                    let out = idx.out_schema().clone();
+                    Prep::Dyn(Prepared::JoinIdx(Box::new(p), idx), out)
+                }
+                (Prep::Dyn(pa, sa), Prep::Dyn(pb, sb)) => {
+                    let out = sa.union(&sb);
+                    Prep::Dyn(Prepared::Join(Box::new(pa), Box::new(pb)), out)
+                }
+            }
         }
-        Term::Union(a, b) => Prepared::Union(Box::new(prepare(a, x)?), Box::new(prepare(b, x)?)),
+        Term::Antijoin(a, b) => {
+            match (prep(a, x, delta_schema)?, prep(b, x, delta_schema)?) {
+                (Prep::Const(ra), Prep::Const(rb)) => fold(ra.antijoin(&rb)),
+                // Loop-invariant right side: cache its key-set.
+                (Prep::Dyn(pa, sa), Prep::Const(rb)) => {
+                    let idx = KeyIndex::build(&sa, &rb);
+                    Prep::Dyn(Prepared::AntijoinIdx(Box::new(pa), idx, sa.clone()), sa)
+                }
+                (Prep::Const(ra), Prep::Dyn(pb, _)) => {
+                    let sa = ra.schema().clone();
+                    let ca = Prepared::Const(R::from_relation(&ra));
+                    Prep::Dyn(Prepared::Antijoin(Box::new(ca), Box::new(pb)), sa)
+                }
+                (Prep::Dyn(pa, sa), Prep::Dyn(pb, _)) => {
+                    Prep::Dyn(Prepared::Antijoin(Box::new(pa), Box::new(pb)), sa)
+                }
+            }
+        }
+        Term::Union(a, b) => match (prep(a, x, delta_schema)?, prep(b, x, delta_schema)?) {
+            (Prep::Const(ra), Prep::Const(rb)) => fold(ra.union(&rb)),
+            (Prep::Const(ra), Prep::Dyn(p, s)) | (Prep::Dyn(p, s), Prep::Const(ra)) => {
+                let ca = Prepared::Const(R::from_relation(&ra));
+                Prep::Dyn(Prepared::Union(Box::new(ca), Box::new(p)), s)
+            }
+            (Prep::Dyn(pa, sa), Prep::Dyn(pb, _)) => {
+                Prep::Dyn(Prepared::Union(Box::new(pa), Box::new(pb)), sa)
+            }
+        },
         Term::Fix(_, _) => {
             return Err(MuraError::Other(
                 "nested fixpoint must be hoisted before local execution".into(),
@@ -265,23 +382,103 @@ pub fn prepare<R: LocalRel>(term: &Term, x: Sym) -> Result<Prepared<R>> {
     })
 }
 
-fn eval_prepared<R: LocalRel>(p: &Prepared<R>, delta: &R) -> Result<R> {
-    Ok(match p {
-        Prepared::Delta => delta.clone(),
-        Prepared::Const(r) => r.clone(),
-        Prepared::Filter(ps, t) => eval_prepared(t, delta)?.filter_preds(ps)?,
-        Prepared::Rename(a, b, t) => eval_prepared(t, delta)?.rename_col(*a, *b),
-        Prepared::AntiProject(cs, t) => eval_prepared(t, delta)?.antiproject_cols(cs),
-        Prepared::Join(a, b) => eval_prepared(a, delta)?.join_with(&eval_prepared(b, delta)?),
-        Prepared::Antijoin(a, b) => {
-            eval_prepared(a, delta)?.antijoin_with(&eval_prepared(b, delta)?)
+/// Borrow-or-owned evaluation result: `Delta` and `Const` leaves evaluate to
+/// borrows (zero-clone), operators to owned values. A union with an empty
+/// side passes the other side through unchanged.
+enum Ev<'a, R> {
+    Ref(&'a R),
+    Own(R),
+}
+
+impl<R: LocalRel> Ev<'_, R> {
+    #[inline]
+    fn get(&self) -> &R {
+        match self {
+            Ev::Ref(r) => r,
+            Ev::Own(r) => r,
         }
-        Prepared::Union(a, b) => eval_prepared(a, delta)?.union_with(&eval_prepared(b, delta)?),
+    }
+
+    #[inline]
+    fn into_owned(self) -> R {
+        match self {
+            Ev::Ref(r) => r.clone(),
+            Ev::Own(r) => r,
+        }
+    }
+}
+
+fn eval_prepared<'a, R: LocalRel>(p: &'a Prepared<R>, delta: &'a R) -> Result<Ev<'a, R>> {
+    Ok(match p {
+        Prepared::Delta => Ev::Ref(delta),
+        Prepared::Const(r) => Ev::Ref(r),
+        Prepared::Filter(ps, t) => Ev::Own(eval_prepared(t, delta)?.get().filter_preds(ps)?),
+        Prepared::Rename(a, b, t) => Ev::Own(eval_prepared(t, delta)?.get().rename_col(*a, *b)),
+        Prepared::AntiProject(cs, t) => {
+            Ev::Own(eval_prepared(t, delta)?.get().antiproject_cols(cs))
+        }
+        Prepared::Join(a, b) => {
+            let ea = eval_prepared(a, delta)?;
+            let eb = eval_prepared(b, delta)?;
+            Ev::Own(ea.get().join_with(eb.get()))
+        }
+        Prepared::Antijoin(a, b) => {
+            let ea = eval_prepared(a, delta)?;
+            let eb = eval_prepared(b, delta)?;
+            Ev::Own(ea.get().antijoin_with(eb.get()))
+        }
+        Prepared::Union(a, b) => {
+            let ea = eval_prepared(a, delta)?;
+            let eb = eval_prepared(b, delta)?;
+            if ea.get().is_empty() {
+                eb
+            } else if eb.get().is_empty() {
+                ea
+            } else {
+                Ev::Own(ea.get().union_with(eb.get()))
+            }
+        }
+        Prepared::JoinIdx(t, idx) => {
+            let ev = eval_prepared(t, delta)?;
+            let input = ev.get();
+            let stats = kernel_stats();
+            stats.record_join_probes(input.len() as u64);
+            let mut rows = Vec::new();
+            if !idx.is_empty() && !input.is_empty() {
+                rows.reserve(input.len());
+                for prow in input.iter_rows() {
+                    idx.probe(prow, |row| rows.push(row));
+                }
+            }
+            stats.record_rows_allocated(rows.len() as u64);
+            Ev::Own(R::from_row_vec(idx.out_schema().clone(), rows))
+        }
+        Prepared::AntijoinIdx(t, idx, schema) => {
+            let ev = eval_prepared(t, delta)?;
+            let input = ev.get();
+            let stats = kernel_stats();
+            stats.record_antijoin_probes(input.len() as u64);
+            let mut rows = Vec::with_capacity(input.len());
+            for prow in input.iter_rows() {
+                if !idx.contains(prow) {
+                    rows.push(prow.clone());
+                }
+            }
+            stats.record_rows_allocated(rows.len() as u64);
+            Ev::Own(R::from_row_vec(schema.clone(), rows))
+        }
     })
 }
 
+/// Applies one prepared recursive branch to a delta, yielding an owned
+/// result (used by `P_async` workers and the `P_gld` driver).
+pub fn eval_branch<R: LocalRel>(p: &Prepared<R>, delta: &R) -> Result<R> {
+    Ok(eval_prepared(p, delta)?.into_owned())
+}
+
 /// Runs a worker-local semi-naive fixpoint (Algorithm 1) over this
-/// worker's `seed` with the given engine.
+/// worker's `seed` with the given engine. Prepares the branches (constant
+/// folding + index builds) once, then iterates.
 pub fn local_fixpoint(
     seed: &Relation,
     recs: &[Term],
@@ -290,25 +487,146 @@ pub fn local_fixpoint(
     budget: &Budget,
 ) -> Result<Relation> {
     match engine {
-        LocalEngine::SetRdd => local_fixpoint_typed::<Relation>(seed, recs, x, budget),
-        LocalEngine::Sorted => local_fixpoint_typed::<SortedRelation>(seed, recs, x, budget),
+        LocalEngine::SetRdd => {
+            let prepared: Vec<Prepared<Relation>> =
+                recs.iter().map(|r| prepare(r, x, seed.schema())).collect::<Result<_>>()?;
+            local_fixpoint_prepared(seed, &prepared, budget)
+        }
+        LocalEngine::Sorted => {
+            let prepared: Vec<Prepared<SortedRelation>> =
+                recs.iter().map(|r| prepare(r, x, seed.schema())).collect::<Result<_>>()?;
+            local_fixpoint_prepared(seed, &prepared, budget)
+        }
     }
 }
 
-fn local_fixpoint_typed<R: LocalRel>(
+/// Runs the semi-naive loop over already-prepared branches. Distributed
+/// callers prepare once and share the branches (and their cached indexes)
+/// across all workers of the fixpoint.
+pub fn local_fixpoint_prepared<R: LocalRel>(
+    seed: &Relation,
+    prepared: &[Prepared<R>],
+    budget: &Budget,
+) -> Result<Relation> {
+    let stats = kernel_stats();
+    let mut acc = R::from_relation(seed);
+    let mut delta = acc.clone();
+    while !delta.is_empty() {
+        budget.check()?;
+        let start = Instant::now();
+        let mut new: Option<R> = None;
+        for p in prepared {
+            let produced = eval_prepared(p, &delta)?;
+            new = Some(match new {
+                None => produced.into_owned(),
+                Some(n) => n.union_with(produced.get()),
+            });
+        }
+        let new = match new {
+            None => {
+                stats.record_eval_time(start.elapsed());
+                break; // no recursive branch
+            }
+            Some(n) => n.minus_with(&acc),
+        };
+        stats.record_eval_time(start.elapsed());
+        stats.record_iteration();
+        budget.charge(new.len() as u64)?;
+        if new.is_empty() {
+            break;
+        }
+        acc = acc.union_with(&new);
+        delta = new;
+    }
+    Ok(acc.into_relation())
+}
+
+/// Compiles a branch the way the pre-optimization kernel did: constants are
+/// converted but never folded, and joins rebuild their hash tables every
+/// iteration. Kept as a differential baseline for tests and benchmarks.
+pub fn prepare_reference<R: LocalRel>(term: &Term, x: Sym) -> Result<Prepared<R>> {
+    Ok(match term {
+        Term::Var(v) if *v == x => Prepared::Delta,
+        Term::Var(v) => {
+            return Err(MuraError::Other(format!(
+                "unhoisted variable {v} in local fixpoint branch"
+            )))
+        }
+        Term::Cst(r) => Prepared::Const(R::from_relation(r)),
+        Term::Filter(ps, t) => Prepared::Filter(ps.clone(), Box::new(prepare_reference(t, x)?)),
+        Term::Rename(a, b, t) => Prepared::Rename(*a, *b, Box::new(prepare_reference(t, x)?)),
+        Term::AntiProject(cs, t) => {
+            Prepared::AntiProject(cs.clone(), Box::new(prepare_reference(t, x)?))
+        }
+        Term::Join(a, b) => {
+            Prepared::Join(Box::new(prepare_reference(a, x)?), Box::new(prepare_reference(b, x)?))
+        }
+        Term::Antijoin(a, b) => Prepared::Antijoin(
+            Box::new(prepare_reference(a, x)?),
+            Box::new(prepare_reference(b, x)?),
+        ),
+        Term::Union(a, b) => {
+            Prepared::Union(Box::new(prepare_reference(a, x)?), Box::new(prepare_reference(b, x)?))
+        }
+        Term::Fix(_, _) => {
+            return Err(MuraError::Other(
+                "nested fixpoint must be hoisted before local execution".into(),
+            ))
+        }
+    })
+}
+
+fn eval_reference<R: LocalRel>(p: &Prepared<R>, delta: &R) -> Result<R> {
+    Ok(match p {
+        Prepared::Delta => delta.clone(),
+        Prepared::Const(r) => r.clone(),
+        Prepared::Filter(ps, t) => eval_reference(t, delta)?.filter_preds(ps)?,
+        Prepared::Rename(a, b, t) => eval_reference(t, delta)?.rename_col(*a, *b),
+        Prepared::AntiProject(cs, t) => eval_reference(t, delta)?.antiproject_cols(cs),
+        Prepared::Join(a, b) => eval_reference(a, delta)?.join_with(&eval_reference(b, delta)?),
+        Prepared::Antijoin(a, b) => {
+            eval_reference(a, delta)?.antijoin_with(&eval_reference(b, delta)?)
+        }
+        Prepared::Union(a, b) => eval_reference(a, delta)?.union_with(&eval_reference(b, delta)?),
+        Prepared::JoinIdx(..) | Prepared::AntijoinIdx(..) => {
+            unreachable!("reference kernel is built by prepare_reference (no index nodes)")
+        }
+    })
+}
+
+/// The pre-optimization semi-naive loop: re-evaluates every constant
+/// subtree and rebuilds every join table each iteration. Used only as the
+/// baseline in differential tests and `BENCH_fixpoint.json`.
+pub fn local_fixpoint_reference(
+    seed: &Relation,
+    recs: &[Term],
+    x: Sym,
+    engine: LocalEngine,
+    budget: &Budget,
+) -> Result<Relation> {
+    match engine {
+        LocalEngine::SetRdd => local_fixpoint_reference_typed::<Relation>(seed, recs, x, budget),
+        LocalEngine::Sorted => {
+            local_fixpoint_reference_typed::<SortedRelation>(seed, recs, x, budget)
+        }
+    }
+}
+
+fn local_fixpoint_reference_typed<R: LocalRel>(
     seed: &Relation,
     recs: &[Term],
     x: Sym,
     budget: &Budget,
 ) -> Result<Relation> {
-    let prepared: Vec<Prepared<R>> = recs.iter().map(|r| prepare(r, x)).collect::<Result<_>>()?;
+    let prepared: Vec<Prepared<R>> =
+        recs.iter().map(|r| prepare_reference(r, x)).collect::<Result<_>>()?;
     let mut acc = R::from_relation(seed);
     let mut delta = acc.clone();
     while !delta.is_empty() {
         budget.check()?;
         let mut new: Option<R> = None;
         for p in &prepared {
-            let produced = eval_prepared(p, &delta)?;
+            let produced = eval_reference(p, &delta)?;
             new = Some(match new {
                 None => produced,
                 Some(n) => n.union_with(&produced),

@@ -48,6 +48,16 @@ impl SortedRelation {
         self.rows.is_empty()
     }
 
+    /// Iterates rows in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = &Row> {
+        self.rows.iter()
+    }
+
+    /// Builds from raw rows (sorts and deduplicates once).
+    pub fn from_rows(schema: Schema, rows: Vec<Row>) -> Self {
+        SortedRelation::from_sorted(schema, rows)
+    }
+
     fn from_sorted(schema: Schema, mut rows: Vec<Row>) -> Self {
         rows.sort_unstable();
         rows.dedup();
@@ -91,6 +101,9 @@ impl SortedRelation {
     /// Sort-merge natural join on the common columns.
     pub fn join(&self, other: &SortedRelation) -> SortedRelation {
         let plan = join_plan(&self.schema, &other.schema);
+        if self.is_empty() || other.is_empty() {
+            return SortedRelation::new(plan.out_schema);
+        }
         // Sort both sides by join key.
         let key_of = |row: &Row, pos: &[usize]| -> Row { pos.iter().map(|&p| row[p]).collect() };
         let mut left: Vec<(Row, &Row)> =
@@ -131,6 +144,12 @@ impl SortedRelation {
     /// Merge union (schemas must match).
     pub fn union(&self, other: &SortedRelation) -> SortedRelation {
         assert_eq!(self.schema, other.schema);
+        if other.is_empty() {
+            return self.clone();
+        }
+        if self.is_empty() {
+            return other.clone();
+        }
         let mut out = Vec::with_capacity(self.rows.len() + other.rows.len());
         let (mut i, mut j) = (0usize, 0usize);
         while i < self.rows.len() && j < other.rows.len() {
@@ -158,6 +177,9 @@ impl SortedRelation {
     /// Merge difference `self \ other`.
     pub fn minus(&self, other: &SortedRelation) -> SortedRelation {
         assert_eq!(self.schema, other.schema);
+        if other.is_empty() || self.is_empty() {
+            return self.clone();
+        }
         let mut out = Vec::new();
         let (mut i, mut j) = (0usize, 0usize);
         while i < self.rows.len() {

@@ -1,0 +1,98 @@
+//! Regression tests for the loop-invariant guarantees of the prepared
+//! kernels, verified through the process-wide kernel counters:
+//!
+//! * constant subtrees are folded **once at prepare time** (counted via the
+//!   `const_folds` probe), never re-evaluated during iteration;
+//! * the build-side join index is constructed **once per fixpoint**, not
+//!   once per iteration or once per worker.
+//!
+//! The counters are global to the process, so everything lives in a single
+//! `#[test]` in its own integration-test binary: no other test can run
+//! concurrently and pollute the deltas.
+
+use mura_core::kernel::kernel_stats;
+use mura_core::{Database, Relation, Sym, Term};
+use mura_dist::localfix::{local_fixpoint_prepared, prepare, Budget, Prepared};
+use mura_dist::{DistEvaluator, ExecConfig, FixpointPlan, LocalEngine};
+
+fn tc_setup() -> (Database, Relation, Term, Sym) {
+    let mut db = Database::new();
+    let src = db.intern("src");
+    let dst = db.intern("dst");
+    let m = db.intern("m");
+    let x = db.intern("X");
+    // A long chain: many semi-naive iterations.
+    let e = Relation::from_pairs(src, dst, (0..12).map(|i| (i, i + 1)));
+    // The `ρ_src→m(Cst(E))` subtree is x-free: it must fold to a single
+    // pre-materialized constant and feed a cached join index.
+    let step = Term::var(x).rename(dst, m).join(Term::cst(e.clone()).rename(src, m)).antiproject(m);
+    (db, e, step, x)
+}
+
+#[test]
+fn const_folds_and_index_builds_happen_once_per_fixpoint() {
+    let (db, e, step, x) = tc_setup();
+
+    // --- prepare: folding and index build happen here, exactly once ---
+    let before = kernel_stats().snapshot();
+    let prepared: Vec<Prepared<Relation>> = vec![prepare(&step, x, e.schema()).unwrap()];
+    let after_prepare = kernel_stats().snapshot().since(&before);
+    assert_eq!(
+        after_prepare.const_folds, 1,
+        "exactly the rename-of-constant subtree must fold at prepare time"
+    );
+    assert_eq!(after_prepare.index_builds, 1, "one join index per constant join side");
+
+    // --- iteration: no folding, no index rebuilds, only probes ---
+    let before_loop = kernel_stats().snapshot();
+    let budget = Budget::new(None, None);
+    let out = local_fixpoint_prepared(&e, &prepared, &budget).unwrap();
+    let during_loop = kernel_stats().snapshot().since(&before_loop);
+    assert_eq!(out.len(), 12 * 13 / 2, "TC of a 12-edge chain");
+    assert!(during_loop.iterations >= 10, "chain TC needs many iterations: {during_loop:?}");
+    assert_eq!(
+        during_loop.const_folds, 0,
+        "constant subtrees must not be re-evaluated during iteration"
+    );
+    assert_eq!(
+        during_loop.index_builds, 0,
+        "the join index must be reused across all iterations, never rebuilt"
+    );
+    assert!(during_loop.join_probes > 0, "delta rows must probe the cached index");
+    assert!(during_loop.eval_nanos > 0, "per-iteration kernel timings must be recorded");
+
+    // --- distributed P_plw: prepare is shared, so still once per fixpoint
+    //     (not once per worker, not once per iteration) ---
+    let (term, workers) = (Term::cst(e.clone()).union(step.clone()).fix(x), 4usize);
+    let config = ExecConfig {
+        plan: FixpointPlan::ForcePlw,
+        local_engine: LocalEngine::SetRdd,
+        workers,
+        ..Default::default()
+    };
+    let mut ev = DistEvaluator::new(&db, config);
+    let got = ev.eval_collect(&term).unwrap();
+    assert_eq!(got.len(), 12 * 13 / 2);
+    let k = ev.stats().kernel;
+    assert_eq!(
+        k.index_builds, 1,
+        "P_plw with {workers} workers must build the join index once per fixpoint: {k:?}"
+    );
+    // The distributed evaluator hoists x-free subtrees at the Term level
+    // (evaluated once, bound to fresh constants) before `prepare` runs, so
+    // nothing is left for prepare-time folding to do.
+    assert_eq!(k.const_folds, 0, "hoisting already folded the invariant subtree: {k:?}");
+    assert!(k.iterations > 0);
+
+    // --- P_gld: the driver loop shares one prepared kernel as well ---
+    let config = ExecConfig { plan: FixpointPlan::ForceGld, workers, ..Default::default() };
+    let mut ev = DistEvaluator::new(&db, config);
+    let got = ev.eval_collect(&term).unwrap();
+    assert_eq!(got.len(), 12 * 13 / 2);
+    let k = ev.stats().kernel;
+    assert_eq!(
+        k.index_builds, 1,
+        "P_gld must build the join index once per fixpoint, not per iteration: {k:?}"
+    );
+    assert_eq!(k.const_folds, 0, "hoisting already folded the invariant subtree: {k:?}");
+}

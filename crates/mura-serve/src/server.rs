@@ -89,6 +89,15 @@ pub struct ServeStats {
     pub plan_evictions: u64,
     /// Current database epoch.
     pub epoch: u64,
+    /// Evaluation-kernel counters (process-wide, see
+    /// [`mura_core::kernel`]): build-side join/antijoin indexes built,
+    /// rows probed against them, output rows materialized, and constant
+    /// subtrees folded at prepare time.
+    pub kernel_index_builds: u64,
+    pub kernel_join_probes: u64,
+    pub kernel_antijoin_probes: u64,
+    pub kernel_rows_allocated: u64,
+    pub kernel_const_folds: u64,
 }
 
 impl ServeStats {
@@ -121,6 +130,15 @@ impl std::fmt::Display for ServeStats {
             self.result_misses,
             self.result_evictions,
             self.hit_rate() * 100.0
+        )?;
+        writeln!(
+            f,
+            "kernel       {} index builds, {} join probes / {} antijoin probes, {} rows allocated, {} const folds",
+            self.kernel_index_builds,
+            self.kernel_join_probes,
+            self.kernel_antijoin_probes,
+            self.kernel_rows_allocated,
+            self.kernel_const_folds
         )?;
         write!(f, "epoch      {}", self.epoch)
     }
@@ -342,6 +360,7 @@ fn worker_loop(inner: &ServerInner, rx: &Mutex<Receiver<Job>>) {
 
 fn stats_of(inner: &ServerInner) -> ServeStats {
     let c = &inner.counters;
+    let k = mura_core::kernel::kernel_stats().snapshot();
     ServeStats {
         submitted: c.submitted.load(Ordering::Relaxed),
         rejected: c.rejected.load(Ordering::Relaxed),
@@ -354,6 +373,11 @@ fn stats_of(inner: &ServerInner) -> ServeStats {
         result_evictions: lock(&inner.results).evictions(),
         plan_evictions: lock(&inner.plans).evictions(),
         epoch: inner.epoch.load(Ordering::Acquire),
+        kernel_index_builds: k.index_builds + k.key_index_builds,
+        kernel_join_probes: k.join_probes,
+        kernel_antijoin_probes: k.antijoin_probes,
+        kernel_rows_allocated: k.rows_allocated,
+        kernel_const_folds: k.const_folds,
     }
 }
 
