@@ -98,10 +98,11 @@ fn main() {
     let mut ref_rows = 0usize;
     for round in 0..=samples {
         let t = Instant::now();
-        let parts = cluster.par_map(seed_rel.parts(), |_, part| {
-            local_fixpoint_reference(part, &recs, x, LocalEngine::SetRdd, &budget)
-                .expect("reference fixpoint")
-        });
+        let parts = cluster
+            .try_par_map(seed_rel.parts(), |_, part| {
+                local_fixpoint_reference(part, &recs, x, LocalEngine::SetRdd, &budget)
+            })
+            .expect("reference fixpoint");
         let wall = t.elapsed();
         let mut acc = Relation::new(e.schema().clone());
         for part in parts {
@@ -124,9 +125,11 @@ fn main() {
         let t = Instant::now();
         let prepared: Vec<Prepared<Relation>> =
             recs.iter().map(|r| prepare(r, x, e.schema()).expect("prepare")).collect();
-        let parts = cluster.par_map(seed_rel.parts(), |_, part| {
-            local_fixpoint_prepared(part, &prepared, &budget).expect("optimized fixpoint")
-        });
+        let parts = cluster
+            .try_par_map(seed_rel.parts(), |_, part| {
+                local_fixpoint_prepared(part, &prepared, &budget)
+            })
+            .expect("optimized fixpoint");
         let wall = t.elapsed();
         let mut acc = Relation::new(e.schema().clone());
         for part in parts {

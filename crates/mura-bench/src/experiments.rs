@@ -393,7 +393,7 @@ fn detailed_comm(
         local_engine: mura_dist::LocalEngine::SetRdd,
         broadcast_threshold: 1_000_000,
         limits: ResourceLimits { max_rows: Some(limits.max_rows), timeout: Some(limits.timeout) },
-        cancel: None,
+        ..Default::default()
     };
     let mut qe = mura_dist::QueryEngine::with_config(db.clone(), config);
     let out = qe.run_ucrpq(query).ok()?;

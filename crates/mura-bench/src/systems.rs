@@ -170,7 +170,7 @@ fn exec_config(limits: Limits, plan: FixpointPlan, engine: LocalEngine) -> ExecC
         local_engine: engine,
         broadcast_threshold: 1_000_000,
         limits: ResourceLimits { max_rows: Some(limits.max_rows), timeout: Some(limits.timeout) },
-        cancel: None,
+        ..Default::default()
     }
 }
 

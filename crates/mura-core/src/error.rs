@@ -38,6 +38,13 @@ pub enum MuraError {
     /// Distinct from [`MuraError::Timeout`], which reports the engine-level
     /// resource limit rather than a client deadline.
     DeadlineExceeded { millis: u64 },
+    /// A cluster worker panicked while running a partition task. The panic
+    /// is captured (it no longer aborts the process); `payload` carries the
+    /// panic message. Retryable: the supervisor re-runs the task.
+    WorkerFailed { worker: usize, payload: String },
+    /// A transient task error (injected by the fault plan, or any failure a
+    /// retry may fix). Retryable.
+    TransientFault { worker: usize },
     /// Frontend (parser / translation) error.
     Frontend(String),
     /// Anything else.
@@ -71,9 +78,25 @@ impl fmt::Display for MuraError {
             MuraError::DeadlineExceeded { millis } => {
                 write!(f, "deadline exceeded (budget {millis} ms)")
             }
+            MuraError::WorkerFailed { worker, payload } => {
+                write!(f, "worker {worker} failed: {payload}")
+            }
+            MuraError::TransientFault { worker } => {
+                write!(f, "transient task failure on worker {worker}")
+            }
             MuraError::Frontend(s) => write!(f, "frontend error: {s}"),
             MuraError::Other(s) => write!(f, "{s}"),
         }
+    }
+}
+
+impl MuraError {
+    /// True for failures a task retry or a checkpoint restore may fix:
+    /// captured worker panics and transient task errors. Budget, deadline
+    /// and cancellation errors are final — retrying a cancelled query is
+    /// never correct.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, MuraError::WorkerFailed { .. } | MuraError::TransientFault { .. })
     }
 }
 

@@ -18,21 +18,37 @@
 //! Soundness does not depend on delivery order: the computed set grows
 //! monotonically toward the same least fixpoint (Proposition 1), and
 //! per-owner deduplication gives semi-naive behaviour.
+//!
+//! **Fault tolerance.** Worker bodies run under `catch_unwind`: an injected
+//! (or genuine) panic sets the abort flag and surfaces as a retryable
+//! [`MuraError::WorkerFailed`], and the supervisor in
+//! `DistEvaluator::eval_async_plan` restarts the whole fixpoint from its
+//! seed — there is no consistent mid-run snapshot of an asynchronous
+//! computation without a Chandy–Lamport-style protocol, so `P_async` always
+//! takes the "no checkpoint → full recomputation" recovery path. Injection
+//! sites are keyed at worker start (batch boundaries are timing-dependent;
+//! worker starts are not) or per accepted row by content hash (the accepted
+//! row *set* is deterministic), keeping fault counts reproducible.
 
-use crate::cluster::Cluster;
+use crate::cluster::{payload_text, Cluster};
 use crate::distrel::DistRel;
 use crate::localfix::{eval_branch, prepare, Budget, Prepared};
 use mura_core::fxhash::FxHasher;
-use mura_core::{Relation, Result, Row, Sym, Term};
+use mura_core::{MuraError, Relation, Result, Row, Sym, Term};
 use std::hash::{Hash, Hasher};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::time::Duration;
 
-fn row_owner(row: &Row, n: usize) -> usize {
+fn row_hash(row: &Row) -> u64 {
     let mut h = FxHasher::default();
     row.hash(&mut h);
-    (h.finish() as usize) % n
+    h.finish()
+}
+
+fn row_owner(row: &Row, n: usize) -> usize {
+    (row_hash(row) as usize) % n
 }
 
 /// Evaluates `μ(x = seed ∪ recs)` asynchronously. `recs` must be hoisted
@@ -44,7 +60,25 @@ pub fn eval_async(
     cluster: &Cluster,
     budget: &Budget,
 ) -> Result<DistRel> {
+    let site = cluster.fault().next_site();
+    eval_async_at(seed, recs, x, cluster, budget, site, 0)
+}
+
+/// The supervised entry point: runs one attempt of the asynchronous
+/// fixpoint at an explicit fault `site`. The restart supervisor pins the
+/// site across attempts so afflicted workers heal deterministically after
+/// [`crate::fault::FaultConfig::failures_per_site`] attempts.
+pub fn eval_async_at(
+    seed: &DistRel,
+    recs: &[Term],
+    x: Sym,
+    cluster: &Cluster,
+    budget: &Budget,
+    site: u64,
+    attempt: u32,
+) -> Result<DistRel> {
     let n = cluster.workers();
+    let fault = cluster.fault();
     let schema = seed.schema().clone();
     // Prepare once (constant folding + index builds) and share the branches
     // across all workers — the indexes are built per fixpoint, not per
@@ -64,8 +98,8 @@ pub fn eval_async(
     // processing a batch *and* sending everything derived from it.
     let in_flight = AtomicI64::new(0);
     let cross_rows = AtomicI64::new(0);
-    // A failing worker (budget/timeout) must not leave the others spinning
-    // on a counter that will never reach zero.
+    // A failing worker (budget/timeout/injected fault) must not leave the
+    // others spinning on a counter that will never reach zero.
     let abort = std::sync::atomic::AtomicBool::new(false);
 
     // Seed every worker with the rows it owns.
@@ -82,7 +116,11 @@ pub fn eval_async(
         }
     }
 
-    let results: Vec<Result<Relation>> = std::thread::scope(|scope| {
+    // Each worker returns its partition plus locally-counted row drop/dup
+    // injections; the counts reach [`FaultPlan`] stats only when the whole
+    // attempt succeeds (a worker may process any number of rows before
+    // noticing an abort, so mid-abort counts are not reproducible).
+    let results: Vec<Result<(Relation, u64, u64)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = receivers
             .into_iter()
             .enumerate()
@@ -92,71 +130,138 @@ pub fn eval_async(
                 let in_flight = &in_flight;
                 let cross_rows = &cross_rows;
                 let abort = &abort;
-                scope.spawn(move || -> Result<Relation> {
-                    let fail = |e: mura_core::MuraError| {
-                        abort.store(true, Ordering::SeqCst);
-                        e
-                    };
-                    let mut acc = Relation::new(schema.clone());
-                    loop {
-                        let batch = match inbox.recv_timeout(Duration::from_millis(1)) {
-                            Ok(b) => b,
-                            Err(_) => {
-                                if abort.load(Ordering::SeqCst)
-                                    || in_flight.load(Ordering::SeqCst) == 0
-                                {
-                                    return Ok(acc);
+                scope.spawn(move || -> Result<(Relation, u64, u64)> {
+                    let body =
+                        catch_unwind(AssertUnwindSafe(|| -> Result<(Relation, u64, u64)> {
+                            // Any failing exit must raise the abort flag, or the
+                            // surviving workers would spin forever on an
+                            // in-flight counter that can no longer reach zero.
+                            let fail = |e: MuraError| {
+                                abort.store(true, Ordering::SeqCst);
+                                e
+                            };
+                            // Worker-start injection point: a panicking or
+                            // transiently failing worker models a machine lost
+                            // mid-recursion.
+                            fault.maybe_panic(site, me, 0, attempt);
+                            fault.maybe_transient(site, me, 0, attempt).map_err(fail)?;
+                            if let Some(d) = fault.straggler_delay(site, me, 0, attempt) {
+                                std::thread::sleep(d);
+                            }
+                            let mut acc = Relation::new(schema.clone());
+                            let (mut drops, mut dups) = (0u64, 0u64);
+                            loop {
+                                let batch = match inbox.recv_timeout(Duration::from_millis(1)) {
+                                    Ok(b) => b,
+                                    Err(_) => {
+                                        if abort.load(Ordering::SeqCst)
+                                            || in_flight.load(Ordering::SeqCst) == 0
+                                        {
+                                            return Ok((acc, drops, dups));
+                                        }
+                                        // Keep deadline/cancellation live even
+                                        // while idle-waiting for batches.
+                                        budget.check().map_err(fail)?;
+                                        continue;
+                                    }
+                                };
+                                if abort.load(Ordering::SeqCst) {
+                                    return Ok((acc, drops, dups));
                                 }
-                                // Keep deadline/cancellation live even while
-                                // idle-waiting for batches.
                                 budget.check().map_err(fail)?;
-                                continue;
-                            }
-                        };
-                        if abort.load(Ordering::SeqCst) {
-                            return Ok(acc);
-                        }
-                        budget.check().map_err(fail)?;
-                        // Deduplicate against what this owner already has.
-                        let mut delta = Relation::new(schema.clone());
-                        for row in batch {
-                            if acc.insert(row.clone()) {
-                                delta.insert(row);
-                            }
-                        }
-                        if !delta.is_empty() {
-                            budget.charge(delta.len() as u64).map_err(fail)?;
-                            // Apply every recursive branch to the delta and
-                            // route the produced rows to their owners.
-                            let mut outgoing: Vec<Vec<Row>> =
-                                (0..senders.len()).map(|_| Vec::new()).collect();
-                            for p in prepared {
-                                let produced = eval_branch(p, &delta).map_err(fail)?;
-                                for row in produced.into_rows() {
-                                    outgoing[row_owner(&row, senders.len())].push(row);
+                                // Deduplicate against what this owner already
+                                // has. Each genuinely-new row is also the
+                                // deterministic injection point for message
+                                // drops (first copy lost, retransmitted) and
+                                // duplications (second copy absorbed here by
+                                // set semantics) — each owned row is accepted
+                                // exactly once per run, so the counts are
+                                // reproducible even though batch boundaries are
+                                // not.
+                                let mut delta = Relation::new(schema.clone());
+                                for row in batch {
+                                    if acc.insert(row.clone()) {
+                                        if fault.is_active() {
+                                            let h = row_hash(&row);
+                                            if fault.would_drop_row(h) {
+                                                drops += 1;
+                                            }
+                                            if fault.would_duplicate_row(h) {
+                                                dups += 1;
+                                            }
+                                        }
+                                        delta.insert(row);
+                                    }
                                 }
-                            }
-                            for (w, out) in outgoing.into_iter().enumerate() {
-                                if out.is_empty() {
-                                    continue;
+                                if !delta.is_empty() {
+                                    budget.charge(delta.len() as u64).map_err(fail)?;
+                                    // Apply every recursive branch to the delta
+                                    // and route the produced rows to their
+                                    // owners.
+                                    let mut outgoing: Vec<Vec<Row>> =
+                                        (0..senders.len()).map(|_| Vec::new()).collect();
+                                    for p in prepared {
+                                        let produced = eval_branch(p, &delta).map_err(fail)?;
+                                        for row in produced.into_rows() {
+                                            outgoing[row_owner(&row, senders.len())].push(row);
+                                        }
+                                    }
+                                    for (w, out) in outgoing.into_iter().enumerate() {
+                                        if out.is_empty() {
+                                            continue;
+                                        }
+                                        if w != me {
+                                            cross_rows
+                                                .fetch_add(out.len() as i64, Ordering::Relaxed);
+                                        }
+                                        in_flight.fetch_add(1, Ordering::SeqCst);
+                                        // A receiver is gone only if its worker
+                                        // aborted; the abort flag unblocks
+                                        // everyone.
+                                        let _ = senders[w].send(out);
+                                    }
                                 }
-                                if w != me {
-                                    cross_rows.fetch_add(out.len() as i64, Ordering::Relaxed);
-                                }
-                                in_flight.fetch_add(1, Ordering::SeqCst);
-                                // A receiver is gone only if its worker
-                                // aborted; the abort flag unblocks everyone.
-                                let _ = senders[w].send(out);
+                                in_flight.fetch_sub(1, Ordering::SeqCst);
                             }
-                        }
-                        in_flight.fetch_sub(1, Ordering::SeqCst);
-                    }
+                        }));
+                    body.unwrap_or_else(|payload| {
+                        abort.store(true, Ordering::SeqCst);
+                        Err(MuraError::WorkerFailed {
+                            worker: me,
+                            payload: payload_text(payload.as_ref()),
+                        })
+                    })
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .enumerate()
+            .map(|(i, h)| {
+                h.join().unwrap_or_else(|payload| {
+                    Err(MuraError::WorkerFailed {
+                        worker: i,
+                        payload: payload_text(payload.as_ref()),
+                    })
+                })
+            })
+            .collect()
     });
-    let parts = results.into_iter().collect::<Result<Vec<_>>>()?;
+    let mut parts = Vec::with_capacity(n);
+    let (mut drops, mut dups) = (0u64, 0u64);
+    for r in results {
+        let (part, d, u) = r?;
+        parts.push(part);
+        drops += d;
+        dups += u;
+    }
+    // The attempt succeeded: flush the per-worker injection counts.
+    if drops > 0 {
+        fault.record_drops(drops);
+    }
+    if dups > 0 {
+        fault.record_duplicates(dups);
+    }
     // Account the continuous row routing as one logical shuffle.
     let moved = cross_rows.load(Ordering::Relaxed).max(0) as u64;
     if moved > 0 {
@@ -168,7 +273,9 @@ pub fn eval_async(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultConfig, FaultPlan, RecoveryPolicy};
     use mura_core::{Database, MuraError};
+    use std::sync::Arc;
 
     fn setup() -> (Database, DistRel, Vec<Term>, Sym, Cluster) {
         let mut db = Database::new();
@@ -227,5 +334,34 @@ mod tests {
         eval_async(&seed, &recs, x, &cluster, &budget).unwrap();
         let delta = cluster.metrics().snapshot().since(&before);
         assert!(delta.rows_shuffled > 0, "{delta:?}");
+    }
+
+    #[test]
+    fn async_worker_panic_is_captured_not_fatal() {
+        let (_, seed, recs, x, _) = setup();
+        let cfg = FaultConfig { panic_prob: 1.0, seed: 11, ..Default::default() };
+        let plan = Arc::new(FaultPlan::new(cfg));
+        let cluster = Cluster::new(4).with_faults(Arc::clone(&plan), RecoveryPolicy::default());
+        let budget = Budget::new(None, None);
+        let err = eval_async(&seed, &recs, x, &cluster, &budget).unwrap_err();
+        assert!(matches!(err, MuraError::WorkerFailed { .. }), "{err:?}");
+        assert!(plan.snapshot().injected_panics > 0);
+    }
+
+    #[test]
+    fn async_heals_on_retried_attempt() {
+        // attempt ≥ failures_per_site: the same site no longer fires, so a
+        // restart of the whole fixpoint (the supervisor's recovery path)
+        // succeeds and matches the fault-free result.
+        let (_, seed, recs, x, fault_free) = setup();
+        let budget = Budget::new(None, None);
+        let expected = eval_async(&seed, &recs, x, &fault_free, &budget).unwrap();
+        let cfg = FaultConfig { panic_prob: 1.0, seed: 11, ..Default::default() };
+        let plan = Arc::new(FaultPlan::new(cfg));
+        let cluster = Cluster::new(4).with_faults(plan, RecoveryPolicy::default());
+        let site = cluster.fault().next_site();
+        assert!(eval_async_at(&seed, &recs, x, &cluster, &budget, site, 0).is_err());
+        let out = eval_async_at(&seed, &recs, x, &cluster, &budget, site, 1).unwrap();
+        assert_eq!(out.collect().sorted_rows(), expected.collect().sorted_rows());
     }
 }

@@ -1,10 +1,22 @@
-//! The simulated cluster: a worker pool plus shared communication metrics.
+//! The simulated cluster: a worker pool plus shared communication metrics
+//! and the task-level half of the fault-tolerance subsystem.
 //!
 //! Workers are real OS threads (scoped), so partition-parallel operators
 //! genuinely run in parallel; "communication" is modeled as movement of
 //! rows between partitions and is charged to [`CommStats`].
+//!
+//! Every partition task runs under a **task supervisor**: the closure is
+//! executed inside `catch_unwind`, so a panicking worker is captured as
+//! [`MuraError::WorkerFailed`] instead of aborting the process, and
+//! retryable failures (captured panics, transient errors — injected by the
+//! [`FaultPlan`] or genuine) are retried with bounded exponential backoff.
+//! Cancellation and deadlines are re-checked before every attempt, so a
+//! cancelled query stops retrying immediately.
 
+use crate::fault::{FaultPlan, RecoveryPolicy};
 use crate::metrics::CommStats;
+use mura_core::{CancellationToken, MuraError, Result};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 /// A simulated Spark-like cluster.
@@ -12,13 +24,37 @@ use std::sync::Arc;
 pub struct Cluster {
     workers: usize,
     metrics: Arc<CommStats>,
+    fault: Arc<FaultPlan>,
+    recovery: RecoveryPolicy,
+    cancel: Option<CancellationToken>,
 }
 
 impl Cluster {
-    /// A cluster with `workers` workers (the paper uses 4).
+    /// A cluster with `workers` workers (the paper uses 4) and no fault
+    /// injection.
     pub fn new(workers: usize) -> Self {
         assert!(workers >= 1, "need at least one worker");
-        Cluster { workers, metrics: Arc::new(CommStats::default()) }
+        Cluster {
+            workers,
+            metrics: Arc::new(CommStats::default()),
+            fault: Arc::new(FaultPlan::disabled()),
+            recovery: RecoveryPolicy::default(),
+            cancel: None,
+        }
+    }
+
+    /// Attaches a fault plan and recovery policy (see [`crate::fault`]).
+    pub fn with_faults(mut self, plan: Arc<FaultPlan>, recovery: RecoveryPolicy) -> Self {
+        self.fault = plan;
+        self.recovery = recovery;
+        self
+    }
+
+    /// Attaches a cancellation token, consulted before every task attempt
+    /// (including retries) so cancelled queries stop retrying.
+    pub fn with_cancel(mut self, cancel: Option<CancellationToken>) -> Self {
+        self.cancel = cancel;
+        self
     }
 
     /// Number of workers (= number of partitions of every dataset).
@@ -31,31 +67,170 @@ impl Cluster {
         &self.metrics
     }
 
+    /// The fault plan tasks are supervised under.
+    pub fn fault(&self) -> &Arc<FaultPlan> {
+        &self.fault
+    }
+
+    /// The task recovery policy.
+    pub fn recovery(&self) -> &RecoveryPolicy {
+        &self.recovery
+    }
+
     /// Runs `f(i, &items[i])` on every worker in parallel, collecting the
-    /// results in worker order.
-    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    /// results in worker order. A worker panic is captured and reported as
+    /// [`MuraError::WorkerFailed`] after the supervisor's retries are
+    /// exhausted — one bad partition no longer aborts the process.
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Result<Vec<R>>
     where
         T: Sync,
         R: Send,
         F: Fn(usize, &T) -> R + Sync,
     {
+        self.try_par_map(items, |i, item| Ok(f(i, item)))
+    }
+
+    /// Like [`Cluster::par_map`] for fallible tasks: `Err` results
+    /// short-circuit (retryable ones after supervision).
+    ///
+    /// Adds **stage-level recovery** on top of the in-task retries: the
+    /// tasks of a stage are pure functions of `items`, so when one site
+    /// exhausts its retries the whole stage re-runs at a fresh site
+    /// (Spark's lineage recomputation, bounded by
+    /// [`RecoveryPolicy::max_restores`]). Fixpoint supersteps bypass this
+    /// through [`Cluster::try_par_map_at`] — their failures escalate to the
+    /// superstep supervisor's checkpoint restore / restart instead.
+    pub fn try_par_map<T, R, F>(&self, items: &[T], f: F) -> Result<Vec<R>>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> Result<R> + Sync,
+    {
+        let mut reruns = 0u32;
+        loop {
+            match self.try_par_map_at(self.fault.next_site(), 0, items, &f) {
+                Err(e) if e.is_retryable() && reruns < self.recovery.max_restores => {
+                    if let Some(c) = &self.cancel {
+                        c.check()?;
+                    }
+                    reruns += 1;
+                    self.fault.record_stage_rerun();
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// The full supervisor entry point: runs the tasks at an explicit fault
+    /// `site` with attempt numbering starting at `attempt_base`. Superstep
+    /// supervisors (the `P_gld` driver) pin the site across replays of the
+    /// same superstep so afflicted sites heal deterministically after
+    /// `failures_per_site` attempts.
+    pub fn try_par_map_at<T, R, F>(
+        &self,
+        site: u64,
+        attempt_base: u32,
+        items: &[T],
+        f: F,
+    ) -> Result<Vec<R>>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> Result<R> + Sync,
+    {
         assert_eq!(items.len(), self.workers, "one item per worker expected");
         if self.workers == 1 {
-            return vec![f(0, &items[0])];
+            return Ok(vec![self.run_task(site, attempt_base, 0, &items[0], &f)?]);
         }
-        std::thread::scope(|s| {
+        let results: Vec<Result<R>> = std::thread::scope(|s| {
             let handles: Vec<_> = items
                 .iter()
                 .enumerate()
                 .map(|(i, item)| {
                     s.spawn({
                         let f = &f;
-                        move || f(i, item)
+                        move || self.run_task(site, attempt_base, i, item, f)
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-        })
+            handles
+                .into_iter()
+                .enumerate()
+                .map(|(i, h)| {
+                    h.join().unwrap_or_else(|payload| {
+                        // The supervisor catches task panics inside the
+                        // thread; reaching this means the harness itself
+                        // failed. Still report instead of aborting.
+                        Err(MuraError::WorkerFailed {
+                            worker: i,
+                            payload: payload_text(payload.as_ref()),
+                        })
+                    })
+                })
+                .collect()
+        });
+        results.into_iter().collect()
+    }
+
+    /// Runs one partition task under supervision: fault injection, panic
+    /// capture, bounded retries with backoff, cancellation checks.
+    fn run_task<T, R, F>(
+        &self,
+        site: u64,
+        attempt_base: u32,
+        i: usize,
+        item: &T,
+        f: &F,
+    ) -> Result<R>
+    where
+        F: Fn(usize, &T) -> Result<R>,
+    {
+        let mut retry = 0u32;
+        loop {
+            let attempt = attempt_base + retry;
+            // A cancelled or deadline-expired query must not keep retrying.
+            if let Some(c) = &self.cancel {
+                c.check()?;
+            }
+            if let Some(delay) = self.fault.straggler_delay(site, i, 0, attempt) {
+                std::thread::sleep(delay);
+            }
+            let started = std::time::Instant::now();
+            let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<R> {
+                self.fault.maybe_panic(site, i, 0, attempt);
+                self.fault.maybe_transient(site, i, 0, attempt)?;
+                f(i, item)
+            }))
+            .unwrap_or_else(|payload| {
+                Err(MuraError::WorkerFailed { worker: i, payload: payload_text(payload.as_ref()) })
+            });
+            match outcome {
+                Ok(r) => return Ok(r),
+                Err(e) if e.is_retryable() => {
+                    self.fault.record_time_lost(started.elapsed());
+                    if retry >= self.recovery.max_retries {
+                        return Err(e);
+                    }
+                    self.fault.record_retry();
+                    let backoff = self.recovery.backoff(retry);
+                    self.fault.record_time_lost(backoff);
+                    std::thread::sleep(backoff);
+                    retry += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// Extracts a human-readable message from a captured panic payload.
+pub(crate) fn payload_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked (non-string payload)".to_string()
     }
 }
 
@@ -69,19 +244,20 @@ impl Default for Cluster {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultConfig;
 
     #[test]
     fn par_map_preserves_order() {
         let c = Cluster::new(4);
         let data = vec![1u64, 2, 3, 4];
-        let out = c.par_map(&data, |i, x| (i, x * 10));
+        let out = c.par_map(&data, |i, x| (i, x * 10)).unwrap();
         assert_eq!(out, vec![(0, 10), (1, 20), (2, 30), (3, 40)]);
     }
 
     #[test]
     fn single_worker_runs_inline() {
         let c = Cluster::new(1);
-        let out = c.par_map(&[7u64], |_, x| x + 1);
+        let out = c.par_map(&[7u64], |_, x| x + 1).unwrap();
         assert_eq!(out, vec![8]);
     }
 
@@ -89,7 +265,7 @@ mod tests {
     #[should_panic(expected = "one item per worker")]
     fn wrong_partition_count_panics() {
         let c = Cluster::new(2);
-        c.par_map(&[1], |_, x| *x);
+        let _ = c.par_map(&[1], |_, x| *x);
     }
 
     #[test]
@@ -98,5 +274,103 @@ mod tests {
         let c2 = c.clone();
         c.metrics().record_shuffle(5);
         assert_eq!(c2.metrics().snapshot().rows_shuffled, 5);
+    }
+
+    #[test]
+    fn worker_panic_becomes_error_not_abort() {
+        let c = Cluster::new(4);
+        let data = vec![0u64, 1, 2, 3];
+        let err = c
+            .par_map(&data, |_, x| {
+                if *x == 2 {
+                    panic!("boom on partition 2");
+                }
+                *x
+            })
+            .unwrap_err();
+        match err {
+            MuraError::WorkerFailed { worker, payload } => {
+                assert_eq!(worker, 2);
+                assert!(payload.contains("boom"), "{payload}");
+            }
+            other => panic!("expected WorkerFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn injected_transient_is_retried_to_success() {
+        // failures_per_site(1) ≤ max_retries(2): every afflicted site heals
+        // within the retry budget, so the map always succeeds.
+        let cfg = FaultConfig { transient_prob: 0.9, seed: 5, ..Default::default() };
+        let plan = Arc::new(FaultPlan::new(cfg));
+        let c = Cluster::new(4).with_faults(Arc::clone(&plan), RecoveryPolicy::default());
+        let data = vec![1u64, 2, 3, 4];
+        let out = c.par_map(&data, |_, x| x * 2).unwrap();
+        assert_eq!(out, vec![2, 4, 6, 8]);
+        let s = plan.snapshot();
+        assert!(s.injected_transients > 0, "{s}");
+        assert_eq!(s.task_retries, s.injected_transients, "each injection costs one retry");
+    }
+
+    #[test]
+    fn injected_panic_is_retried_to_success() {
+        let cfg = FaultConfig { panic_prob: 0.9, seed: 6, ..Default::default() };
+        let plan = Arc::new(FaultPlan::new(cfg));
+        let c = Cluster::new(4).with_faults(Arc::clone(&plan), RecoveryPolicy::default());
+        let data = vec![1u64, 2, 3, 4];
+        let out = c.par_map(&data, |_, x| *x).unwrap();
+        assert_eq!(out, vec![1, 2, 3, 4]);
+        assert!(plan.snapshot().injected_panics > 0);
+    }
+
+    #[test]
+    fn hard_fault_exhausts_retries() {
+        // failures_per_site far above max_retries: the afflicted site never
+        // heals within one task's budget, so the error escalates.
+        let cfg = FaultConfig {
+            transient_prob: 1.0,
+            failures_per_site: 100,
+            seed: 1,
+            ..Default::default()
+        };
+        let plan = Arc::new(FaultPlan::new(cfg));
+        let policy = RecoveryPolicy { max_retries: 2, backoff_base_ms: 0, ..Default::default() };
+        let c = Cluster::new(2).with_faults(plan, policy);
+        let err = c.par_map(&[1u64, 2], |_, x| *x).unwrap_err();
+        assert!(matches!(err, MuraError::TransientFault { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn cancellation_stops_retry_loop() {
+        let cfg = FaultConfig {
+            transient_prob: 1.0,
+            failures_per_site: 1_000,
+            seed: 2,
+            ..Default::default()
+        };
+        let plan = Arc::new(FaultPlan::new(cfg));
+        // Enough retries that an un-checked loop would spin visibly long.
+        let policy =
+            RecoveryPolicy { max_retries: 10_000, backoff_base_ms: 1, ..Default::default() };
+        let token = CancellationToken::new();
+        token.cancel();
+        let c = Cluster::new(2).with_faults(plan, policy).with_cancel(Some(token));
+        let err = c.par_map(&[1u64, 2], |_, x| *x).unwrap_err();
+        assert!(matches!(err, MuraError::Cancelled), "{err:?}");
+    }
+
+    #[test]
+    fn straggler_injection_counted() {
+        let cfg = FaultConfig {
+            straggler_prob: 1.0,
+            straggler_delay_ms: 1,
+            seed: 3,
+            ..Default::default()
+        };
+        let plan = Arc::new(FaultPlan::new(cfg));
+        let c = Cluster::new(2).with_faults(Arc::clone(&plan), RecoveryPolicy::default());
+        let out = c.par_map(&[1u64, 2], |_, x| *x).unwrap();
+        assert_eq!(out, vec![1, 2]);
+        assert_eq!(plan.snapshot().injected_stragglers, 2);
     }
 }

@@ -103,9 +103,7 @@ impl DistRel {
 
     /// Partition-wise filter.
     pub fn filter_preds(&self, preds: &[Pred], cluster: &Cluster) -> Result<DistRel> {
-        let parts: Vec<Result<Relation>> =
-            cluster.par_map(&self.parts, |_, p| apply_filter(p, preds));
-        let parts = parts.into_iter().collect::<Result<Vec<_>>>()?;
+        let parts = cluster.try_par_map(&self.parts, |_, p| apply_filter(p, preds))?;
         Ok(DistRel {
             schema: self.schema.clone(),
             parts,
@@ -115,40 +113,45 @@ impl DistRel {
 
     /// Partition-wise rename. Keeps partitioning metadata (values do not
     /// move; the ordered key is renamed in place).
-    pub fn rename(&self, from: Sym, to: Sym, cluster: &Cluster) -> DistRel {
-        let parts = cluster.par_map(&self.parts, |_, p| p.rename(from, to));
+    pub fn rename(&self, from: Sym, to: Sym, cluster: &Cluster) -> Result<DistRel> {
+        let parts = cluster.par_map(&self.parts, |_, p| p.rename(from, to))?;
         let schema = parts[0].schema().clone();
         let partitioned_by = self
             .partitioned_by
             .as_ref()
             .map(|key| key.iter().map(|&c| if c == from { to } else { c }).collect());
-        DistRel { schema, parts, partitioned_by }
+        Ok(DistRel { schema, parts, partitioned_by })
     }
 
     /// Partition-wise antiprojection. Partitioning survives only if no key
     /// column is dropped.
-    pub fn antiproject(&self, cols: &[Sym], cluster: &Cluster) -> DistRel {
-        let parts = cluster.par_map(&self.parts, |_, p| p.antiproject(cols));
+    pub fn antiproject(&self, cols: &[Sym], cluster: &Cluster) -> Result<DistRel> {
+        let parts = cluster.par_map(&self.parts, |_, p| p.antiproject(cols))?;
         let schema = parts[0].schema().clone();
         let partitioned_by = match &self.partitioned_by {
             Some(key) if key.iter().all(|c| !cols.contains(c)) => Some(key.clone()),
             _ => None,
         };
-        DistRel { schema, parts, partitioned_by }
+        Ok(DistRel { schema, parts, partitioned_by })
     }
 
     /// Repartitions by the given ordered key. Skipped (free) when the data
     /// is already partitioned exactly this way; otherwise one shuffle of
     /// every row is charged.
-    pub fn repartition(&self, key: &[Sym], cluster: &Cluster) -> DistRel {
+    ///
+    /// This is the exchange the fault plan targets for message drops and
+    /// duplications: a dropped bucket is detected and retransmitted
+    /// (at-least-once delivery — counted, no data lost), a duplicated
+    /// bucket is delivered twice and absorbed by set semantics.
+    pub fn repartition(&self, key: &[Sym], cluster: &Cluster) -> Result<DistRel> {
         if self.partitioned_by.as_deref() == Some(key) {
-            return self.clone();
+            return Ok(self.clone());
         }
         if cluster.workers() == 1 {
             // Nothing can move between workers; only the metadata changes.
             let mut out = self.clone();
             out.partitioned_by = Some(key.to_vec());
-            return out;
+            return Ok(out);
         }
         let key_pos: Vec<usize> = key
             .iter()
@@ -156,6 +159,8 @@ impl DistRel {
             .collect();
         let n = cluster.workers();
         cluster.metrics().record_shuffle(self.len() as u64);
+        let fault = cluster.fault();
+        let exchange_site = fault.next_site();
         // Each worker buckets its partition; the driver merges buckets.
         let bucketed: Vec<Vec<Vec<Row>>> = cluster.par_map(&self.parts, |_, p| {
             let mut buckets: Vec<Vec<Row>> = (0..n).map(|_| Vec::new()).collect();
@@ -163,24 +168,38 @@ impl DistRel {
                 buckets[(key_hash(row, &key_pos) as usize) % n].push(row.clone());
             }
             buckets
-        });
+        })?;
         let mut parts: Vec<Relation> = (0..n).map(|_| Relation::new(self.schema.clone())).collect();
-        for worker_buckets in bucketed {
+        for (from, worker_buckets) in bucketed.into_iter().enumerate() {
             for (t, bucket) in worker_buckets.into_iter().enumerate() {
+                if fault.is_active() && !bucket.is_empty() {
+                    if fault.drop_exchange(exchange_site, from, t) {
+                        // Lost in transit: the receiver's ack times out and
+                        // the sender retransmits — we deliver the retry.
+                        fault.record_time_lost(std::time::Duration::from_micros(
+                            bucket.len() as u64
+                        ));
+                    }
+                    if fault.duplicate_exchange(exchange_site, from, t) {
+                        for row in &bucket {
+                            parts[t].insert(row.clone());
+                        }
+                    }
+                }
                 for row in bucket {
                     parts[t].insert(row);
                 }
             }
         }
-        DistRel { schema: self.schema.clone(), parts, partitioned_by: Some(key.to_vec()) }
+        Ok(DistRel { schema: self.schema.clone(), parts, partitioned_by: Some(key.to_vec()) })
     }
 
     /// Global distinct: partitions are sets already, so colocating equal
     /// rows (full-row repartition) suffices. Free when already partitioned
     /// by any key (equal rows already colocate).
-    pub fn distinct(&self, cluster: &Cluster) -> DistRel {
+    pub fn distinct(&self, cluster: &Cluster) -> Result<DistRel> {
         if self.partitioned_by.is_some() {
-            return self.clone();
+            return Ok(self.clone());
         }
         let key: Vec<Sym> = self.schema.columns().to_vec();
         self.repartition(&key, cluster)
@@ -189,94 +208,98 @@ impl DistRel {
     /// Set union. Partition-wise (free) when both sides share a
     /// partitioning key; otherwise both sides are repartitioned by full
     /// row first.
-    pub fn union(&self, other: &DistRel, cluster: &Cluster) -> DistRel {
+    pub fn union(&self, other: &DistRel, cluster: &Cluster) -> Result<DistRel> {
         assert_eq!(self.schema, other.schema, "union of incompatible schemas");
-        let (a, b) = self.copartition(other, cluster);
+        let (a, b) = self.copartition(other, cluster)?;
         let pairs: Vec<(Relation, Relation)> =
             a.parts.iter().cloned().zip(b.parts.iter().cloned()).collect();
-        let parts = cluster.par_map(&pairs, |_, (x, y)| x.union(y));
-        DistRel { schema: a.schema.clone(), parts, partitioned_by: a.partitioned_by.clone() }
+        let parts = cluster.par_map(&pairs, |_, (x, y)| x.union(y))?;
+        Ok(DistRel { schema: a.schema.clone(), parts, partitioned_by: a.partitioned_by.clone() })
     }
 
     /// Set difference `self \ other`; co-partitions like [`DistRel::union`].
-    pub fn minus(&self, other: &DistRel, cluster: &Cluster) -> DistRel {
+    pub fn minus(&self, other: &DistRel, cluster: &Cluster) -> Result<DistRel> {
         assert_eq!(self.schema, other.schema, "difference of incompatible schemas");
-        let (a, b) = self.copartition(other, cluster);
+        let (a, b) = self.copartition(other, cluster)?;
         let pairs: Vec<(Relation, Relation)> =
             a.parts.iter().cloned().zip(b.parts.iter().cloned()).collect();
-        let parts = cluster.par_map(&pairs, |_, (x, y)| x.minus(y));
-        DistRel { schema: a.schema.clone(), parts, partitioned_by: a.partitioned_by.clone() }
+        let parts = cluster.par_map(&pairs, |_, (x, y)| x.minus(y))?;
+        Ok(DistRel { schema: a.schema.clone(), parts, partitioned_by: a.partitioned_by.clone() })
     }
 
     /// Ensures both relations are partitioned by the same key (equal rows
     /// colocated). Free if they already share one.
-    fn copartition(&self, other: &DistRel, cluster: &Cluster) -> (DistRel, DistRel) {
+    fn copartition(&self, other: &DistRel, cluster: &Cluster) -> Result<(DistRel, DistRel)> {
         if self.partitioned_by.is_some() && self.partitioned_by == other.partitioned_by {
-            return (self.clone(), other.clone());
+            return Ok((self.clone(), other.clone()));
         }
         let key: Vec<Sym> = self.schema.columns().to_vec();
-        (self.repartition(&key, cluster), other.repartition(&key, cluster))
+        Ok((self.repartition(&key, cluster)?, other.repartition(&key, cluster)?))
     }
 
     /// Shuffle (co-partitioned) natural join on the common columns.
-    pub fn join_shuffle(&self, other: &DistRel, cluster: &Cluster) -> DistRel {
+    pub fn join_shuffle(&self, other: &DistRel, cluster: &Cluster) -> Result<DistRel> {
         let common: Vec<Sym> = self.schema.intersection(&other.schema);
         assert!(!common.is_empty(), "shuffle join requires common columns");
-        let a = self.repartition(&common, cluster);
-        let b = other.repartition(&common, cluster);
+        let a = self.repartition(&common, cluster)?;
+        let b = other.repartition(&common, cluster)?;
         let plan = mura_core::relation::join_plan(&a.schema, &b.schema);
         let pairs: Vec<(Relation, Relation)> =
             a.parts.iter().cloned().zip(b.parts.iter().cloned()).collect();
-        let parts = cluster.par_map(&pairs, |_, (x, y)| plan.execute(x, y));
+        let parts = cluster.par_map(&pairs, |_, (x, y)| plan.execute(x, y))?;
         let schema = plan.out_schema.clone();
-        DistRel { schema, parts, partitioned_by: Some(common) }
+        Ok(DistRel { schema, parts, partitioned_by: Some(common) })
     }
 
     /// Broadcast join: `other` is collected and replicated to every worker
     /// (the replication is charged to the metrics).
-    pub fn join_broadcast(&self, other: &Relation, cluster: &Cluster) -> DistRel {
+    pub fn join_broadcast(&self, other: &Relation, cluster: &Cluster) -> Result<DistRel> {
         cluster.metrics().record_broadcast(other.len() as u64, cluster.workers());
         self.join_local(other, cluster)
     }
 
     /// Joins against a relation every worker already holds (an existing
     /// broadcast variable) — no communication charged.
-    pub fn join_local(&self, other: &Relation, cluster: &Cluster) -> DistRel {
+    pub fn join_local(&self, other: &Relation, cluster: &Cluster) -> Result<DistRel> {
         let plan = mura_core::relation::join_plan(&self.schema, other.schema());
-        let parts = cluster.par_map(&self.parts, |_, p| plan.execute(p, other));
+        let parts = cluster.par_map(&self.parts, |_, p| plan.execute(p, other))?;
         // Output keeps big-side placement; metadata survives if the key is
         // still part of the output schema (it always is for natural joins).
-        DistRel {
+        Ok(DistRel {
             schema: plan.out_schema.clone(),
             parts,
             partitioned_by: self.partitioned_by.clone(),
-        }
+        })
     }
 
     /// Antijoin retaining rows of `self` without a match in `other`
     /// (broadcast of `other`, charged).
-    pub fn antijoin_broadcast(&self, other: &Relation, cluster: &Cluster) -> DistRel {
+    pub fn antijoin_broadcast(&self, other: &Relation, cluster: &Cluster) -> Result<DistRel> {
         cluster.metrics().record_broadcast(other.len() as u64, cluster.workers());
         self.antijoin_local(other, cluster)
     }
 
     /// Antijoin against a relation every worker already holds — no
     /// communication charged.
-    pub fn antijoin_local(&self, other: &Relation, cluster: &Cluster) -> DistRel {
-        let parts = cluster.par_map(&self.parts, |_, p| p.antijoin(other));
-        DistRel { schema: self.schema.clone(), parts, partitioned_by: self.partitioned_by.clone() }
+    pub fn antijoin_local(&self, other: &Relation, cluster: &Cluster) -> Result<DistRel> {
+        let parts = cluster.par_map(&self.parts, |_, p| p.antijoin(other))?;
+        Ok(DistRel {
+            schema: self.schema.clone(),
+            parts,
+            partitioned_by: self.partitioned_by.clone(),
+        })
     }
 
     /// Antijoin via co-partitioning on the common columns.
-    pub fn antijoin_shuffle(&self, other: &DistRel, cluster: &Cluster) -> DistRel {
+    pub fn antijoin_shuffle(&self, other: &DistRel, cluster: &Cluster) -> Result<DistRel> {
         let common: Vec<Sym> = self.schema.intersection(&other.schema);
         assert!(!common.is_empty(), "shuffle antijoin requires common columns");
-        let a = self.repartition(&common, cluster);
-        let b = other.repartition(&common, cluster);
+        let a = self.repartition(&common, cluster)?;
+        let b = other.repartition(&common, cluster)?;
         let pairs: Vec<(Relation, Relation)> =
             a.parts.iter().cloned().zip(b.parts.iter().cloned()).collect();
-        let parts = cluster.par_map(&pairs, |_, (x, y)| x.antijoin(y));
-        DistRel { schema: a.schema.clone(), parts, partitioned_by: a.partitioned_by.clone() }
+        let parts = cluster.par_map(&pairs, |_, (x, y)| x.antijoin(y))?;
+        Ok(DistRel { schema: a.schema.clone(), parts, partitioned_by: a.partitioned_by.clone() })
     }
 
     /// Builds a `DistRel` from explicit partitions (used by the local
@@ -323,12 +346,12 @@ mod tests {
         let c = cluster();
         let d = DistRel::from_relation(&r, &c);
         let before = c.metrics().snapshot();
-        let d2 = d.repartition(&[src], &c);
+        let d2 = d.repartition(&[src], &c).unwrap();
         let after = c.metrics().snapshot().since(&before);
         assert_eq!(after.shuffles, 1);
         assert_eq!(after.rows_shuffled, 4);
         // Idempotent: same key again is free.
-        let d3 = d2.repartition(&[src], &c);
+        let d3 = d2.repartition(&[src], &c).unwrap();
         let after2 = c.metrics().snapshot().since(&before);
         assert_eq!(after2.shuffles, 1);
         assert_eq!(d3.collect().sorted_rows(), r.sorted_rows());
@@ -340,7 +363,7 @@ mod tests {
         let src = db.intern("src");
         let r = rel(&mut db, &[(1, 2), (1, 3), (1, 4), (2, 5)]);
         let c = cluster();
-        let d = DistRel::from_relation(&r, &c).repartition(&[src], &c);
+        let d = DistRel::from_relation(&r, &c).repartition(&[src], &c).unwrap();
         // All rows with src=1 must be in a single partition.
         let mut found = None;
         for (i, p) in d.parts().iter().enumerate() {
@@ -365,7 +388,7 @@ mod tests {
         let a = DistRel::from_relation(&r1, &c);
         let b = DistRel::from_relation(&r2, &c);
         let before = c.metrics().snapshot();
-        let u = a.union(&b, &c);
+        let u = a.union(&b, &c).unwrap();
         // Both loaded with the same full-row key → no shuffle.
         assert_eq!(c.metrics().snapshot().since(&before).shuffles, 0);
         assert_eq!(u.len(), 3);
@@ -379,7 +402,7 @@ mod tests {
         let c = cluster();
         let a = DistRel::from_relation(&r1, &c);
         let b = DistRel::from_relation(&r2, &c);
-        let m = a.minus(&b, &c);
+        let m = a.minus(&b, &c).unwrap();
         assert_eq!(m.len(), 2);
         assert!(!m.collect().contains(&[Value::node(3), Value::node(4)]));
     }
@@ -393,9 +416,9 @@ mod tests {
         let r = rel(&mut db, &[(1, 2), (2, 3), (3, 4), (2, 5)]);
         let c = cluster();
         // r renamed (dst→m) joined with r renamed (src→m): length-2 paths.
-        let left = DistRel::from_relation(&r, &c).rename(dst, m, &c);
-        let right = DistRel::from_relation(&r, &c).rename(src, m, &c);
-        let j = left.join_shuffle(&right, &c);
+        let left = DistRel::from_relation(&r, &c).rename(dst, m, &c).unwrap();
+        let right = DistRel::from_relation(&r, &c).rename(src, m, &c).unwrap();
+        let j = left.join_shuffle(&right, &c).unwrap();
         let expected = r.rename(dst, m).join(&r.rename(src, m));
         assert_eq!(j.collect().sorted_rows(), expected.sorted_rows());
         assert_eq!(j.partitioned_by(), Some(&[m][..]));
@@ -409,10 +432,10 @@ mod tests {
         let m = db.intern("m");
         let r = rel(&mut db, &[(1, 2), (2, 3), (3, 4)]);
         let c = cluster();
-        let left = DistRel::from_relation(&r, &c).rename(dst, m, &c);
+        let left = DistRel::from_relation(&r, &c).rename(dst, m, &c).unwrap();
         let small = r.rename(src, m);
         let before = c.metrics().snapshot();
-        let j = left.join_broadcast(&small, &c);
+        let j = left.join_broadcast(&small, &c).unwrap();
         let d = c.metrics().snapshot().since(&before);
         assert_eq!(d.broadcasts, 1);
         assert_eq!(d.rows_broadcast, 3 * 3);
@@ -430,10 +453,10 @@ mod tests {
         let c = cluster();
         let a = DistRel::from_relation(&r1, &c);
         let expected = r1.antijoin(&filt);
-        let via_broadcast = a.antijoin_broadcast(&filt, &c);
+        let via_broadcast = a.antijoin_broadcast(&filt, &c).unwrap();
         assert_eq!(via_broadcast.collect().sorted_rows(), expected.sorted_rows());
         let b = DistRel::from_relation(&filt, &c);
-        let via_shuffle = a.antijoin_shuffle(&b, &c);
+        let via_shuffle = a.antijoin_shuffle(&b, &c).unwrap();
         assert_eq!(via_shuffle.collect().sorted_rows(), expected.sorted_rows());
     }
 
@@ -447,10 +470,10 @@ mod tests {
         let q = db.intern("q");
         let r = rel(&mut db, &[(1, 2), (1, 3), (2, 4)]);
         let c = cluster();
-        let d = DistRel::from_relation(&r, &c).repartition(&[src], &c);
-        let d2 = d.rename(src, q, &c);
+        let d = DistRel::from_relation(&r, &c).repartition(&[src], &c).unwrap();
+        let d2 = d.rename(src, q, &c).unwrap();
         assert_eq!(d2.partitioned_by(), Some(&[q][..]));
-        let d3 = d2.repartition(&[q], &c);
+        let d3 = d2.repartition(&[q], &c).unwrap();
         assert_eq!(d3.collect().sorted_rows(), r.rename(src, q).sorted_rows());
     }
 
@@ -461,10 +484,10 @@ mod tests {
         let dst = db.intern("dst");
         let r = rel(&mut db, &[(1, 2), (2, 3)]);
         let c = cluster();
-        let d = DistRel::from_relation(&r, &c).repartition(&[src], &c);
-        let dropped = d.antiproject(&[src], &c);
+        let d = DistRel::from_relation(&r, &c).repartition(&[src], &c).unwrap();
+        let dropped = d.antiproject(&[src], &c).unwrap();
         assert_eq!(dropped.partitioned_by(), None);
-        let kept = d.antiproject(&[dst], &c);
+        let kept = d.antiproject(&[dst], &c).unwrap();
         assert_eq!(kept.partitioned_by(), Some(&[src][..]));
     }
 
@@ -477,7 +500,7 @@ mod tests {
         let c = Cluster::new(2);
         let d = DistRel::from_parts(r1.schema().clone(), vec![r1.clone(), r2.clone()], None);
         assert_eq!(d.len(), 3, "duplicate present before distinct");
-        let dd = d.distinct(&c);
+        let dd = d.distinct(&c).unwrap();
         assert_eq!(dd.len(), 2);
     }
 }

@@ -35,6 +35,30 @@ impl QueryOutput {
         self.planning + self.execution
     }
 
+    /// A short health note when the query hit faults but still completed:
+    /// `Some("recovered ...")` when recovery machinery ran (task retries,
+    /// checkpoint restores or restarts), `Some("degraded ...")` when faults
+    /// were injected but absorbed without recovery (drops retransmitted,
+    /// duplicates deduplicated, stragglers waited out), `None` for a clean
+    /// run. Serving layers append this to their success responses instead
+    /// of failing the query.
+    pub fn health_note(&self) -> Option<String> {
+        let f = &self.stats.fault;
+        if f.recovered() {
+            Some(format!(
+                "recovered retries={} restores={} restarts={}",
+                f.task_retries, f.checkpoint_restores, f.full_restarts
+            ))
+        } else if f.injected() > 0 {
+            Some(format!(
+                "degraded drops={} dups={} stragglers={}",
+                f.injected_drops, f.injected_duplicates, f.injected_stragglers
+            ))
+        } else {
+            None
+        }
+    }
+
     /// Renders a physical-plan explanation: the operator tree with every
     /// fixpoint annotated by its stable columns and the plan the
     /// `PhysicalPlanGenerator` policy selects for it (§IV-B c).

@@ -11,8 +11,10 @@
 
 use crate::cluster::Cluster;
 use crate::distrel::DistRel;
+use crate::fault::{FaultConfig, FaultPlan, FaultSnapshot, RecoveryPolicy};
 use crate::localfix::{
-    eval_branch, local_fixpoint_prepared, prepare, Budget, LocalEngine, LocalRel, Prepared,
+    eval_branch, local_fixpoint_supervised, prepare, Budget, LocalEngine, LocalRel, LoopCtx,
+    Prepared,
 };
 use crate::sorted::SortedRelation;
 use mura_core::analysis::{check_fcond, decompose_fixpoint, stable_columns, TypeEnv};
@@ -66,8 +68,17 @@ pub struct ExecConfig {
     /// Budgets.
     pub limits: ResourceLimits,
     /// Cooperative cancellation / per-request deadline, checked at every
-    /// fixpoint superstep.
+    /// fixpoint superstep and inside every recovery/retry loop.
     pub cancel: Option<CancellationToken>,
+    /// Deterministic fault injection (all probabilities zero by default:
+    /// nothing is injected and the fast path is taken everywhere).
+    pub fault: FaultConfig,
+    /// Task retry / checkpoint restore policy.
+    pub recovery: RecoveryPolicy,
+    /// Checkpoint fixpoint state every this many supersteps (`0` = off).
+    /// Checkpoints are cheap (`Relation` is copy-on-write) but not free, so
+    /// the fault-free default leaves them off.
+    pub checkpoint_every: u64,
 }
 
 impl Default for ExecConfig {
@@ -79,6 +90,9 @@ impl Default for ExecConfig {
             broadcast_threshold: 1_000_000,
             limits: ResourceLimits::default(),
             cancel: None,
+            fault: FaultConfig::default(),
+            recovery: RecoveryPolicy::default(),
+            checkpoint_every: 0,
         }
     }
 }
@@ -98,6 +112,10 @@ pub struct ExecStats {
     /// timings) accumulated during this evaluation. Note: the underlying
     /// counters are process-wide, so concurrent evaluations overlap.
     pub kernel: KernelSnapshot,
+    /// Fault-injection and recovery counters for this evaluation. All-zero
+    /// on a clean run; [`FaultSnapshot::recovered`] marks a degraded (but
+    /// correct) execution.
+    pub fault: FaultSnapshot,
 }
 
 /// A value during distributed evaluation: partitioned, or replicated to
@@ -152,7 +170,10 @@ pub struct DistEvaluator<'db> {
 impl<'db> DistEvaluator<'db> {
     /// New evaluator over a database with the given configuration.
     pub fn new(db: &'db Database, config: ExecConfig) -> Self {
-        let cluster = Cluster::new(config.workers);
+        let fault = Arc::new(FaultPlan::new(config.fault));
+        let cluster = Cluster::new(config.workers)
+            .with_faults(fault, config.recovery)
+            .with_cancel(config.cancel.clone());
         let deadline = config.limits.timeout.map(|t| Instant::now() + t);
         let budget =
             Budget::new(config.limits.max_rows, deadline).with_cancel(config.cancel.clone());
@@ -184,10 +205,13 @@ impl<'db> DistEvaluator<'db> {
         check_fcond(term)?;
         let v = self.eval(term);
         self.stats.kernel = kernel_stats().snapshot().since(&self.kernel_base);
-        Ok(match v? {
-            DVal::Dist(d) => d.distinct(&self.cluster).collect(),
+        self.stats.fault = self.cluster.fault().snapshot();
+        let out = match v? {
+            DVal::Dist(d) => d.distinct(&self.cluster)?.collect(),
             DVal::Repl(r) => (*r).clone(),
-        })
+        };
+        self.stats.fault = self.cluster.fault().snapshot();
+        Ok(out)
     }
 
     fn fresh(&mut self, _hint: &str) -> Sym {
@@ -236,7 +260,7 @@ impl<'db> DistEvaluator<'db> {
                 let child = self.eval(t)?;
                 self.check_rename(child.schema(), *from, *to)?;
                 match child {
-                    DVal::Dist(d) => DVal::Dist(d.rename(*from, *to, &self.cluster)),
+                    DVal::Dist(d) => DVal::Dist(d.rename(*from, *to, &self.cluster)?),
                     DVal::Repl(r) => DVal::Repl(Arc::new(r.rename(*from, *to))),
                 }
             }
@@ -255,7 +279,7 @@ impl<'db> DistEvaluator<'db> {
                     DVal::Dist(d) => {
                         // Dropping columns can create duplicates across
                         // partitions; dedup before further use.
-                        DVal::Dist(d.antiproject(cols, &self.cluster).distinct(&self.cluster))
+                        DVal::Dist(d.antiproject(cols, &self.cluster)?.distinct(&self.cluster)?)
                     }
                     DVal::Repl(r) => DVal::Repl(Arc::new(r.antiproject(cols))),
                 }
@@ -285,7 +309,7 @@ impl<'db> DistEvaluator<'db> {
                     (x, y) => {
                         let dx = x.into_dist(&self.cluster);
                         let dy = y.into_dist(&self.cluster);
-                        DVal::Dist(dx.union(&dy, &self.cluster))
+                        DVal::Dist(dx.union(&dy, &self.cluster)?)
                     }
                 }
             }
@@ -315,7 +339,7 @@ impl<'db> DistEvaluator<'db> {
             // A replicated side joins locally on every worker (the
             // broadcast was already charged when the value was created).
             (DVal::Dist(d), DVal::Repl(r)) | (DVal::Repl(r), DVal::Dist(d)) => {
-                DVal::Dist(d.join_local(&r, &self.cluster))
+                DVal::Dist(d.join_local(&r, &self.cluster)?)
             }
             (DVal::Dist(x), DVal::Dist(y)) => {
                 let common = x.schema().intersection(y.schema());
@@ -325,9 +349,9 @@ impl<'db> DistEvaluator<'db> {
                     self.cluster
                         .metrics()
                         .record_broadcast(rel.len() as u64, self.cluster.workers());
-                    DVal::Dist(big.join_local(&rel, &self.cluster))
+                    DVal::Dist(big.join_local(&rel, &self.cluster)?)
                 } else {
-                    DVal::Dist(x.join_shuffle(&y, &self.cluster))
+                    DVal::Dist(x.join_shuffle(&y, &self.cluster)?)
                 }
             }
         })
@@ -336,7 +360,7 @@ impl<'db> DistEvaluator<'db> {
     fn antijoin(&mut self, a: DVal, b: DVal) -> Result<DVal> {
         Ok(match (a, b) {
             (DVal::Repl(x), DVal::Repl(y)) => DVal::Repl(Arc::new(x.antijoin(&y))),
-            (DVal::Dist(d), DVal::Repl(r)) => DVal::Dist(d.antijoin_local(&r, &self.cluster)),
+            (DVal::Dist(d), DVal::Repl(r)) => DVal::Dist(d.antijoin_local(&r, &self.cluster)?),
             (DVal::Repl(x), DVal::Dist(y)) => {
                 let dx = DistRel::from_relation(&x, &self.cluster);
                 self.antijoin(DVal::Dist(dx), DVal::Dist(y))?
@@ -348,9 +372,9 @@ impl<'db> DistEvaluator<'db> {
                     self.cluster
                         .metrics()
                         .record_broadcast(rel.len() as u64, self.cluster.workers());
-                    DVal::Dist(x.antijoin_local(&rel, &self.cluster))
+                    DVal::Dist(x.antijoin_local(&rel, &self.cluster)?)
                 } else {
-                    DVal::Dist(x.antijoin_shuffle(&y, &self.cluster))
+                    DVal::Dist(x.antijoin_shuffle(&y, &self.cluster)?)
                 }
             }
         })
@@ -376,12 +400,12 @@ impl<'db> DistEvaluator<'db> {
                     }
                     let ds = s.into_dist(&self.cluster);
                     let dv = v.into_dist(&self.cluster);
-                    DVal::Dist(ds.union(&dv, &self.cluster))
+                    DVal::Dist(ds.union(&dv, &self.cluster)?)
                 }
             });
         }
         let seed = seed.expect("decompose guarantees a constant part").into_dist(&self.cluster);
-        let seed = seed.distinct(&self.cluster);
+        let seed = seed.distinct(&self.cluster)?;
         if recs.is_empty() {
             return Ok(seed);
         }
@@ -416,13 +440,45 @@ impl<'db> DistEvaluator<'db> {
 
     /// `P_async`: barrier-free delta exchange (see [`crate::asyncfix`]).
     /// Like `P_plw`, workers need local copies of the loop invariants.
+    ///
+    /// Recovery: an asynchronous computation has no consistent mid-run
+    /// snapshot to checkpoint, so a retryable failure restarts the whole
+    /// fixpoint from its seed (bounded by
+    /// [`RecoveryPolicy::max_restores`]). The fault site is pinned across
+    /// attempts, so afflicted workers heal after
+    /// [`FaultConfig::failures_per_site`] attempts and the restart loop
+    /// terminates deterministically.
     fn eval_async_plan(&mut self, x: Sym, seed: DistRel, recs: &[Term]) -> Result<DistRel> {
         let mut recs_local = Vec::with_capacity(recs.len());
         for r in recs {
             recs_local.push(self.resolve_to_constants(r, x)?);
         }
         self.stats.fixpoint_iterations += 1;
-        crate::asyncfix::eval_async(&seed, &recs_local, x, &self.cluster, &self.budget)
+        let site = self.cluster.fault().next_site();
+        let mut attempt: u32 = 0;
+        loop {
+            match crate::asyncfix::eval_async_at(
+                &seed,
+                &recs_local,
+                x,
+                &self.cluster,
+                &self.budget,
+                site,
+                attempt,
+            ) {
+                Ok(out) => return Ok(out),
+                Err(e) if e.is_retryable() => {
+                    if attempt >= self.config.recovery.max_restores {
+                        return Err(e);
+                    }
+                    // A cancelled or out-of-budget query must not restart.
+                    self.budget.check()?;
+                    attempt += 1;
+                    self.cluster.fault().record_full_restart(seed.len() as u64);
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// Replaces maximal `x`-free subterms by fresh bound variables holding
@@ -459,6 +515,14 @@ impl<'db> DistEvaluator<'db> {
     /// and indexed once, before the loop starts), and the union/difference
     /// with the accumulator forces a shuffle of the new tuples each
     /// iteration (paper §IV-A1).
+    ///
+    /// The driver is also the recovery supervisor for this plan: every
+    /// [`ExecConfig::checkpoint_every`] supersteps it snapshots
+    /// `(acc, delta, iteration)` (cheap: `Relation` is copy-on-write), and
+    /// when a superstep fails with a retryable error after the cluster's
+    /// task retries are exhausted, it rolls back to the last checkpoint —
+    /// or restarts from the seed when none exists — up to
+    /// [`RecoveryPolicy::max_restores`] times.
     fn eval_gld(&mut self, x: Sym, seed: DistRel, recs: &[Term]) -> Result<DistRel> {
         // Resolve hoisted invariants to broadcast constants and compile the
         // branches once per fixpoint: constant folding and join-index
@@ -471,44 +535,98 @@ impl<'db> DistEvaluator<'db> {
         }
         let prepared: Vec<Prepared<Relation>> =
             recs_local.iter().map(|r| prepare(r, x, seed.schema())).collect::<Result<_>>()?;
-        let mut acc = seed;
+        let checkpoint_every = self.config.checkpoint_every;
+        let mut acc = seed.clone();
         let mut delta = acc.clone();
+        let mut iter: u64 = 0;
+        let mut ckpt: Option<(DistRel, DistRel, u64)> = None;
+        let mut restores: u32 = 0;
         while !delta.is_empty() {
+            // Fires between supersteps and after every restore, so a
+            // cancelled or out-of-budget query stops recovering immediately.
             self.budget.check()?;
-            self.stats.fixpoint_iterations += 1;
-            kernel_stats().record_iteration();
-            let mut new: Option<DistRel> = None;
-            for p in &prepared {
-                let start = Instant::now();
-                let results: Vec<Result<Relation>> =
-                    self.cluster.par_map(delta.parts(), |_, part| eval_branch(p, part));
-                let parts = results.into_iter().collect::<Result<Vec<_>>>()?;
-                kernel_stats().record_eval_time(start.elapsed());
-                let schema = parts[0].schema().clone();
-                let produced = DistRel::from_parts(schema, parts, None);
-                self.charge(produced.len())?;
-                new = Some(match new {
-                    None => produced,
-                    Some(n) => n.union(&produced, &self.cluster),
-                });
+            match self.gld_superstep(&prepared, &acc, &delta) {
+                Ok(None) => break,
+                Ok(Some((a, d))) => {
+                    acc = a;
+                    delta = d;
+                    iter += 1;
+                    if checkpoint_every > 0 && iter.is_multiple_of(checkpoint_every) {
+                        ckpt = Some((acc.clone(), delta.clone(), iter));
+                        self.cluster.fault().record_checkpoint();
+                    }
+                }
+                Err(e) if e.is_retryable() => {
+                    if restores >= self.config.recovery.max_restores {
+                        return Err(e);
+                    }
+                    restores += 1;
+                    match &ckpt {
+                        Some((a, d, i)) => {
+                            self.cluster
+                                .fault()
+                                .record_restore((a.len() + d.len()) as u64, iter - *i);
+                            acc = a.clone();
+                            delta = d.clone();
+                            iter = *i;
+                        }
+                        None => {
+                            self.cluster.fault().record_full_restart(seed.len() as u64);
+                            acc = seed.clone();
+                            delta = seed.clone();
+                            iter = 0;
+                        }
+                    }
+                }
+                Err(e) => return Err(e),
             }
-            let new = new.expect("at least one recursive branch");
-            if new.schema() != acc.schema() {
-                return Err(MuraError::SchemaMismatch {
-                    left: acc.schema().clone(),
-                    right: new.schema().clone(),
-                    context: "fixpoint recursive part",
-                });
-            }
-            let new = new.minus(&acc, &self.cluster);
-            self.charge(new.len())?;
-            if new.is_empty() {
-                break;
-            }
-            acc = acc.union(&new, &self.cluster);
-            delta = new;
         }
         Ok(acc)
+    }
+
+    /// One `P_gld` superstep. Returns the next `(acc, delta)` pair, or
+    /// `None` when the fixpoint is reached.
+    fn gld_superstep(
+        &mut self,
+        prepared: &[Prepared<Relation>],
+        acc: &DistRel,
+        delta: &DistRel,
+    ) -> Result<Option<(DistRel, DistRel)>> {
+        self.stats.fixpoint_iterations += 1;
+        kernel_stats().record_iteration();
+        let mut new: Option<DistRel> = None;
+        for p in prepared {
+            let start = Instant::now();
+            // Bypass stage-level reruns for the branch evaluation: a hard
+            // task failure here escalates to the superstep supervisor,
+            // which restores from the last checkpoint (or the seed).
+            let site = self.cluster.fault().next_site();
+            let parts = self
+                .cluster
+                .try_par_map_at(site, 0, delta.parts(), |_, part| eval_branch(p, part))?;
+            kernel_stats().record_eval_time(start.elapsed());
+            let schema = parts[0].schema().clone();
+            let produced = DistRel::from_parts(schema, parts, None);
+            self.charge(produced.len())?;
+            new = Some(match new {
+                None => produced,
+                Some(n) => n.union(&produced, &self.cluster)?,
+            });
+        }
+        let new = new.expect("at least one recursive branch");
+        if new.schema() != acc.schema() {
+            return Err(MuraError::SchemaMismatch {
+                left: acc.schema().clone(),
+                right: new.schema().clone(),
+                context: "fixpoint recursive part",
+            });
+        }
+        let new = new.minus(acc, &self.cluster)?;
+        self.charge(new.len())?;
+        if new.is_empty() {
+            return Ok(None);
+        }
+        Ok(Some((acc.union(&new, &self.cluster)?, new)))
     }
 
     /// `P_plw`: repartition the constant part (by the stable columns when
@@ -522,7 +640,7 @@ impl<'db> DistEvaluator<'db> {
         recs: &[Term],
         stable: &[Sym],
     ) -> Result<DistRel> {
-        let seed = if stable.is_empty() { seed } else { seed.repartition(stable, &self.cluster) };
+        let seed = if stable.is_empty() { seed } else { seed.repartition(stable, &self.cluster)? };
         // Resolve hoisted invariants to full local copies (broadcast).
         let mut recs_local = Vec::with_capacity(recs.len());
         for r in recs {
@@ -541,7 +659,7 @@ impl<'db> DistEvaluator<'db> {
         );
         Ok(if stable.is_empty() {
             // Prop. 3 general case: local fixpoints may overlap.
-            out.distinct(&self.cluster)
+            out.distinct(&self.cluster)?
         } else {
             out
         })
@@ -551,6 +669,11 @@ impl<'db> DistEvaluator<'db> {
     /// The branches are prepared **once per fixpoint** — constant folding
     /// and join-index builds are shared by every worker, so `index_builds`
     /// counts fixpoints, not workers or iterations.
+    ///
+    /// Every worker loop runs supervised (see
+    /// [`local_fixpoint_supervised`]): per-iteration fault injection, local
+    /// checkpoints, and in-loop restore/restart recovery. All workers of
+    /// one fixpoint share one fault site, allocated driver-side.
     fn run_plw_typed<R: LocalRel>(
         &self,
         seed: &DistRel,
@@ -560,10 +683,15 @@ impl<'db> DistEvaluator<'db> {
         let prepared: Vec<Prepared<R>> =
             recs.iter().map(|r| prepare(r, x, seed.schema())).collect::<Result<_>>()?;
         let budget = &self.budget;
-        let results: Vec<Result<Relation>> = self
-            .cluster
-            .par_map(seed.parts(), |_, part| local_fixpoint_prepared(part, &prepared, budget));
-        results.into_iter().collect()
+        let fault = self.cluster.fault();
+        let loop_site = fault.next_site();
+        let recovery = *self.cluster.recovery();
+        let checkpoint_every = self.config.checkpoint_every;
+        self.cluster.try_par_map(seed.parts(), |w, part| {
+            let ctx =
+                LoopCtx { budget, fault, site: loop_site, worker: w, recovery, checkpoint_every };
+            local_fixpoint_supervised(part, &prepared, &ctx)
+        })
     }
 
     /// Replaces hoisted variables by broadcast constant relations inside a

@@ -1,0 +1,573 @@
+//! Deterministic fault injection and recovery accounting.
+//!
+//! The paper's Dist-μ-RA prototype inherits Spark's lineage-based fault
+//! tolerance; our from-scratch cluster needs its own failure-handling
+//! discipline. This module provides the two halves the executor builds on:
+//!
+//! * a **fault plan** ([`FaultPlan`]) that deterministically decides, from a
+//!   SplitMix64 seed, where to inject worker panics, transient task errors,
+//!   exchange message drops/duplications and straggler delays. Decisions are
+//!   pure functions of the *site coordinates* (a driver-sequential site id,
+//!   the worker index, the superstep and the attempt number), never of
+//!   wall-clock time or thread scheduling — so the same seed over the same
+//!   query produces the same faults, the same recovery path and the same
+//!   [`FaultSnapshot`] counts on every run;
+//! * **recovery accounting** ([`FaultStats`]): every retry, checkpoint,
+//!   restore, replayed row and lost millisecond is counted, surfaced through
+//!   `ExecStats.fault` and the `mura-serve` `.stats` report, so degradation
+//!   is observable instead of silent.
+//!
+//! The recovery machinery itself lives next to the loops it protects:
+//! task-level retry with bounded exponential backoff in
+//! [`Cluster::par_map`](crate::cluster::Cluster), superstep checkpoint /
+//! restore in the `P_gld` driver and `P_plw` worker loops, and whole-fixpoint
+//! restart for `P_async` (see `DESIGN.md` §10).
+
+use mura_core::{MuraError, Result};
+use mura_datagen::SplitMix64;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Fault classes the plan can inject. The discriminant salts the RNG so the
+/// classes draw independent decisions at the same site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultClass {
+    /// The task panics (`panic!`), as if the worker process died.
+    Panic,
+    /// The task fails with a retryable [`MuraError::TransientFault`].
+    Transient,
+    /// An exchange message is lost and must be retransmitted.
+    Drop,
+    /// An exchange message is delivered twice (at-least-once delivery).
+    Duplicate,
+    /// The task is delayed by [`FaultConfig::straggler_delay_ms`].
+    Straggler,
+}
+
+impl FaultClass {
+    fn salt(self) -> u64 {
+        match self {
+            FaultClass::Panic => 0x9E37_79B9_7F4A_7C15,
+            FaultClass::Transient => 0xC2B2_AE3D_27D4_EB4F,
+            FaultClass::Drop => 0x1656_67B1_9E37_79F9,
+            FaultClass::Duplicate => 0x2545_F491_4F6C_DD1D,
+            FaultClass::Straggler => 0x9DDF_EA08_EB38_2D69,
+        }
+    }
+}
+
+/// Configuration of the deterministic fault-injection layer. All
+/// probabilities default to zero: a default config injects nothing and the
+/// executor behaves exactly as without fault tolerance.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultConfig {
+    /// Seed of the SplitMix64 decision stream. Equal seeds ⇒ equal faults.
+    pub seed: u64,
+    /// Probability that a task site hosts an injected panic.
+    pub panic_prob: f64,
+    /// Probability that a task site hosts an injected transient error.
+    pub transient_prob: f64,
+    /// Probability that an exchange bucket / routed row is dropped (and
+    /// retransmitted by the exchange layer).
+    pub drop_prob: f64,
+    /// Probability that an exchange bucket / routed row is duplicated.
+    pub duplicate_prob: f64,
+    /// Probability that a task site is a straggler.
+    pub straggler_prob: f64,
+    /// Delay injected at straggler sites.
+    pub straggler_delay_ms: u64,
+    /// How many consecutive attempts fail at an afflicted site. Values
+    /// `≤ max_retries` model transient faults (task retry recovers); larger
+    /// values model hard faults that exhaust retries and force a checkpoint
+    /// restore or restart.
+    pub failures_per_site: u32,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            seed: 0,
+            panic_prob: 0.0,
+            transient_prob: 0.0,
+            drop_prob: 0.0,
+            duplicate_prob: 0.0,
+            straggler_prob: 0.0,
+            straggler_delay_ms: 2,
+            failures_per_site: 1,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// A moderate all-class chaos profile (used by `murash --chaos` and the
+    /// chaos CI job): every fault class fires with visible frequency on
+    /// small workloads, and every failure is recoverable.
+    pub fn chaos(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            panic_prob: 0.08,
+            transient_prob: 0.08,
+            drop_prob: 0.10,
+            duplicate_prob: 0.10,
+            straggler_prob: 0.05,
+            straggler_delay_ms: 1,
+            failures_per_site: 1,
+        }
+    }
+
+    /// True when any fault class has a nonzero probability.
+    pub fn is_active(&self) -> bool {
+        self.panic_prob > 0.0
+            || self.transient_prob > 0.0
+            || self.drop_prob > 0.0
+            || self.duplicate_prob > 0.0
+            || self.straggler_prob > 0.0
+    }
+}
+
+/// How the executor recovers from failed tasks and supersteps.
+#[derive(Debug, Clone, Copy)]
+pub struct RecoveryPolicy {
+    /// Task-level retries before a failure escalates to the superstep
+    /// supervisor.
+    pub max_retries: u32,
+    /// First backoff sleep; doubles per retry.
+    pub backoff_base_ms: u64,
+    /// Backoff ceiling.
+    pub backoff_cap_ms: u64,
+    /// Checkpoint restores / full restarts before the fixpoint gives up and
+    /// reports the underlying failure.
+    pub max_restores: u32,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy { max_retries: 2, backoff_base_ms: 1, backoff_cap_ms: 50, max_restores: 8 }
+    }
+}
+
+impl RecoveryPolicy {
+    /// Bounded exponential backoff for the given retry ordinal (0-based).
+    pub fn backoff(&self, retry: u32) -> Duration {
+        let ms = self
+            .backoff_base_ms
+            .saturating_mul(1u64 << retry.min(16))
+            .min(self.backoff_cap_ms.max(self.backoff_base_ms));
+        Duration::from_millis(ms)
+    }
+}
+
+/// Point-in-time copy of [`FaultStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultSnapshot {
+    /// Injected faults, by class.
+    pub injected_panics: u64,
+    pub injected_transients: u64,
+    pub injected_drops: u64,
+    pub injected_duplicates: u64,
+    pub injected_stragglers: u64,
+    /// Task attempts that failed and were retried (with backoff).
+    pub task_retries: u64,
+    /// Whole stages re-executed at a fresh site after a task exhausted its
+    /// retries (lineage recomputation for non-fixpoint stages).
+    pub stage_reruns: u64,
+    /// Superstep checkpoints taken.
+    pub checkpoints: u64,
+    /// Fixpoints rolled back to a checkpoint after retries were exhausted.
+    pub checkpoint_restores: u64,
+    /// Fixpoints restarted from their seed (no checkpoint available).
+    pub full_restarts: u64,
+    /// Rows reloaded from checkpoints / seeds during recovery.
+    pub rows_replayed: u64,
+    /// Fixpoint iterations re-executed after restores.
+    pub iterations_replayed: u64,
+    /// Wall-clock spent in failed attempts and backoff sleeps. Excluded
+    /// from [`FaultSnapshot::counts`]: time is not deterministic.
+    pub time_lost_ms: u64,
+}
+
+impl FaultSnapshot {
+    /// Total injected faults across all classes.
+    pub fn injected(&self) -> u64 {
+        self.injected_panics
+            + self.injected_transients
+            + self.injected_drops
+            + self.injected_duplicates
+            + self.injected_stragglers
+    }
+
+    /// True when the query hit at least one fault but still completed —
+    /// i.e. the answer is correct but the execution was degraded.
+    pub fn recovered(&self) -> bool {
+        self.task_retries > 0
+            || self.stage_reruns > 0
+            || self.checkpoint_restores > 0
+            || self.full_restarts > 0
+    }
+
+    /// The deterministic projection: every counter except wall-clock time.
+    /// Two runs of the same query under the same [`FaultConfig`] seed must
+    /// compare equal under this projection.
+    pub fn counts(&self) -> FaultSnapshot {
+        FaultSnapshot { time_lost_ms: 0, ..*self }
+    }
+}
+
+impl std::fmt::Display for FaultSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "injected {} (panic {} / transient {} / drop {} / dup {} / straggler {}), \
+             retries {}, stage reruns {}, checkpoints {}, restores {}, restarts {}, \
+             rows replayed {}, iterations replayed {}, time lost {} ms",
+            self.injected(),
+            self.injected_panics,
+            self.injected_transients,
+            self.injected_drops,
+            self.injected_duplicates,
+            self.injected_stragglers,
+            self.task_retries,
+            self.stage_reruns,
+            self.checkpoints,
+            self.checkpoint_restores,
+            self.full_restarts,
+            self.rows_replayed,
+            self.iterations_replayed,
+            self.time_lost_ms
+        )
+    }
+}
+
+/// Thread-safe fault/recovery counters (one set per [`FaultPlan`]).
+#[derive(Debug, Default)]
+pub struct FaultStats {
+    injected_panics: AtomicU64,
+    injected_transients: AtomicU64,
+    injected_drops: AtomicU64,
+    injected_duplicates: AtomicU64,
+    injected_stragglers: AtomicU64,
+    task_retries: AtomicU64,
+    stage_reruns: AtomicU64,
+    checkpoints: AtomicU64,
+    checkpoint_restores: AtomicU64,
+    full_restarts: AtomicU64,
+    rows_replayed: AtomicU64,
+    iterations_replayed: AtomicU64,
+    time_lost_us: AtomicU64,
+}
+
+/// The deterministic fault-injection layer consulted by the cluster and the
+/// fixpoint loops. One plan is created per [`DistEvaluator`]
+/// (crate::exec::DistEvaluator) from `ExecConfig.fault` and shared (via
+/// `Arc`) with the cluster it drives.
+///
+/// **Determinism.** Site ids come from a driver-sequential counter
+/// ([`FaultPlan::next_site`]); every injection decision seeds a fresh
+/// [`SplitMix64`] from `(seed, class, site, worker, step)` and compares one
+/// draw against the class probability. The attempt number only gates the
+/// decision against [`FaultConfig::failures_per_site`] — an afflicted site
+/// fails exactly that many attempts, then heals — so retry loops terminate
+/// deterministically.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    cfg: FaultConfig,
+    next_site: AtomicU64,
+    stats: FaultStats,
+}
+
+impl FaultPlan {
+    /// A plan over the given configuration.
+    pub fn new(cfg: FaultConfig) -> Self {
+        FaultPlan { cfg, ..Default::default() }
+    }
+
+    /// A plan that injects nothing (all counters still work).
+    pub fn disabled() -> Self {
+        Self::new(FaultConfig::default())
+    }
+
+    /// The configuration this plan draws from.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// True when any fault class can fire.
+    pub fn is_active(&self) -> bool {
+        self.cfg.is_active()
+    }
+
+    /// Allocates the next site id. Called from driver-sequential code only
+    /// (the cluster's `par_map` entry, exchange setup, fixpoint setup), so
+    /// the id sequence is identical across runs.
+    pub fn next_site(&self) -> u64 {
+        self.next_site.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// The deterministic Bernoulli draw at a site coordinate.
+    fn roll(&self, class: FaultClass, site: u64, worker: u64, step: u64, prob: f64) -> bool {
+        if prob <= 0.0 {
+            return false;
+        }
+        // Fold the coordinates into one 64-bit key (distinct odd multipliers
+        // keep the coordinates from aliasing), then draw one SplitMix64
+        // value seeded by it.
+        let key = self
+            .cfg
+            .seed
+            .wrapping_mul(0xA076_1D64_78BD_642F)
+            .wrapping_add(class.salt())
+            .wrapping_add(site.wrapping_mul(0xE703_7ED1_A0B4_28DB))
+            .wrapping_add(worker.wrapping_mul(0x8EBC_6AF0_9C88_C6E3))
+            .wrapping_add(step.wrapping_mul(0x5897_89E6_C7B3_F71D));
+        SplitMix64::seed_from_u64(key).gen_f64() < prob
+    }
+
+    /// Whether a fault of `class` fires at `(site, worker, step)` on this
+    /// `attempt`. Afflicted sites fail their first
+    /// [`FaultConfig::failures_per_site`] attempts, then heal.
+    fn fires(&self, class: FaultClass, site: u64, worker: u64, step: u64, attempt: u32) -> bool {
+        if attempt >= self.cfg.failures_per_site {
+            return false;
+        }
+        let prob = match class {
+            FaultClass::Panic => self.cfg.panic_prob,
+            FaultClass::Transient => self.cfg.transient_prob,
+            FaultClass::Drop => self.cfg.drop_prob,
+            FaultClass::Duplicate => self.cfg.duplicate_prob,
+            FaultClass::Straggler => self.cfg.straggler_prob,
+        };
+        self.roll(class, site, worker, step, prob)
+    }
+
+    /// Panics (really) if the plan injects a worker panic here. The caller
+    /// runs inside `catch_unwind`, so the panic models a dying worker that
+    /// the supervisor observes as [`MuraError::WorkerFailed`].
+    pub fn maybe_panic(&self, site: u64, worker: usize, step: u64, attempt: u32) {
+        if self.fires(FaultClass::Panic, site, worker as u64, step, attempt) {
+            self.stats.injected_panics.fetch_add(1, Ordering::Relaxed);
+            panic!(
+                "injected worker panic (fault seed {}, site {site}, worker {worker}, step {step})",
+                self.cfg.seed
+            );
+        }
+    }
+
+    /// Fails with a retryable [`MuraError::TransientFault`] if the plan
+    /// injects a transient task error here.
+    pub fn maybe_transient(&self, site: u64, worker: usize, step: u64, attempt: u32) -> Result<()> {
+        if self.fires(FaultClass::Transient, site, worker as u64, step, attempt) {
+            self.stats.injected_transients.fetch_add(1, Ordering::Relaxed);
+            return Err(MuraError::TransientFault { worker });
+        }
+        Ok(())
+    }
+
+    /// The straggler delay to impose here, if any. Only the first attempt
+    /// of a site straggles — retries of a slow task are not slowed again.
+    pub fn straggler_delay(
+        &self,
+        site: u64,
+        worker: usize,
+        step: u64,
+        attempt: u32,
+    ) -> Option<Duration> {
+        if attempt == 0
+            && self.cfg.failures_per_site > 0
+            && self.roll(FaultClass::Straggler, site, worker as u64, step, self.cfg.straggler_prob)
+        {
+            self.stats.injected_stragglers.fetch_add(1, Ordering::Relaxed);
+            return Some(Duration::from_millis(self.cfg.straggler_delay_ms));
+        }
+        None
+    }
+
+    /// Whether the exchange bucket `from → to` at `site` is dropped. The
+    /// exchange layer counts the drop and retransmits (at-least-once
+    /// delivery), so no data is lost — only time and traffic.
+    pub fn drop_exchange(&self, site: u64, from: usize, to: usize) -> bool {
+        let fired = self.roll(FaultClass::Drop, site, from as u64, to as u64, self.cfg.drop_prob);
+        if fired {
+            self.stats.injected_drops.fetch_add(1, Ordering::Relaxed);
+        }
+        fired
+    }
+
+    /// Whether the exchange bucket `from → to` at `site` is delivered twice.
+    /// Receivers deduplicate (relations are sets), so duplication must not
+    /// change any result.
+    pub fn duplicate_exchange(&self, site: u64, from: usize, to: usize) -> bool {
+        let fired =
+            self.roll(FaultClass::Duplicate, site, from as u64, to as u64, self.cfg.duplicate_prob);
+        if fired {
+            self.stats.injected_duplicates.fetch_add(1, Ordering::Relaxed);
+        }
+        fired
+    }
+
+    /// Row-level drop decision for the asynchronous plan, keyed on the row's
+    /// content hash: async batch boundaries are timing-dependent, row
+    /// contents are not, so this keeps `P_async` fault injection
+    /// deterministic. Pure — records nothing; callers accumulate counts
+    /// locally and flush them with [`FaultPlan::record_drops`] only when the
+    /// attempt succeeds (counts recorded during an attempt that later aborts
+    /// would depend on how far each worker got before noticing the abort).
+    pub fn would_drop_row(&self, row_hash: u64) -> bool {
+        self.roll(FaultClass::Drop, row_hash, 0, 0, self.cfg.drop_prob)
+    }
+
+    /// Row-level duplication decision for the asynchronous plan (pure, see
+    /// [`FaultPlan::would_drop_row`]).
+    pub fn would_duplicate_row(&self, row_hash: u64) -> bool {
+        self.roll(FaultClass::Duplicate, row_hash, 0, 0, self.cfg.duplicate_prob)
+    }
+
+    /// Records `n` row-level drops from a successful async attempt.
+    pub fn record_drops(&self, n: u64) {
+        self.stats.injected_drops.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` row-level duplications from a successful async attempt.
+    pub fn record_duplicates(&self, n: u64) {
+        self.stats.injected_duplicates.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one task retry.
+    pub fn record_retry(&self) {
+        self.stats.task_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one stage re-execution (lineage recomputation).
+    pub fn record_stage_rerun(&self) {
+        self.stats.stage_reruns.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one superstep checkpoint.
+    pub fn record_checkpoint(&self) {
+        self.stats.checkpoints.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a rollback to a checkpoint: `rows` reloaded, `iterations`
+    /// that must be re-executed.
+    pub fn record_restore(&self, rows: u64, iterations: u64) {
+        self.stats.checkpoint_restores.fetch_add(1, Ordering::Relaxed);
+        self.stats.rows_replayed.fetch_add(rows, Ordering::Relaxed);
+        self.stats.iterations_replayed.fetch_add(iterations, Ordering::Relaxed);
+    }
+
+    /// Records a restart from the fixpoint seed (no checkpoint existed).
+    pub fn record_full_restart(&self, rows: u64) {
+        self.stats.full_restarts.fetch_add(1, Ordering::Relaxed);
+        self.stats.rows_replayed.fetch_add(rows, Ordering::Relaxed);
+    }
+
+    /// Records wall-clock lost to a failed attempt or a backoff sleep.
+    pub fn record_time_lost(&self, d: Duration) {
+        self.stats.time_lost_us.fetch_add(d.as_micros() as u64, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of the counters.
+    pub fn snapshot(&self) -> FaultSnapshot {
+        let s = &self.stats;
+        FaultSnapshot {
+            injected_panics: s.injected_panics.load(Ordering::Relaxed),
+            injected_transients: s.injected_transients.load(Ordering::Relaxed),
+            injected_drops: s.injected_drops.load(Ordering::Relaxed),
+            injected_duplicates: s.injected_duplicates.load(Ordering::Relaxed),
+            injected_stragglers: s.injected_stragglers.load(Ordering::Relaxed),
+            task_retries: s.task_retries.load(Ordering::Relaxed),
+            stage_reruns: s.stage_reruns.load(Ordering::Relaxed),
+            checkpoints: s.checkpoints.load(Ordering::Relaxed),
+            checkpoint_restores: s.checkpoint_restores.load(Ordering::Relaxed),
+            full_restarts: s.full_restarts.load(Ordering::Relaxed),
+            rows_replayed: s.rows_replayed.load(Ordering::Relaxed),
+            iterations_replayed: s.iterations_replayed.load(Ordering::Relaxed),
+            time_lost_ms: s.time_lost_us.load(Ordering::Relaxed) / 1_000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_plan_never_fires() {
+        let p = FaultPlan::disabled();
+        for site in 0..200 {
+            for w in 0..4usize {
+                assert!(p.maybe_transient(site, w, 0, 0).is_ok());
+                assert!(p.straggler_delay(site, w, 0, 0).is_none());
+                assert!(!p.drop_exchange(site, w, (w + 1) % 4));
+                assert!(!p.duplicate_exchange(site, w, (w + 1) % 4));
+                p.maybe_panic(site, w, 0, 0); // must not panic
+            }
+        }
+        assert_eq!(p.snapshot(), FaultSnapshot::default());
+    }
+
+    #[test]
+    fn decisions_are_deterministic_per_seed() {
+        let cfg = FaultConfig { transient_prob: 0.3, seed: 9, ..Default::default() };
+        let a = FaultPlan::new(cfg);
+        let b = FaultPlan::new(cfg);
+        let da: Vec<bool> =
+            (0..500).map(|s| a.maybe_transient(s, (s % 4) as usize, 0, 0).is_err()).collect();
+        let db: Vec<bool> =
+            (0..500).map(|s| b.maybe_transient(s, (s % 4) as usize, 0, 0).is_err()).collect();
+        assert_eq!(da, db);
+        assert!(da.iter().any(|&x| x), "probability 0.3 over 500 sites must fire");
+        assert!(!da.iter().all(|&x| x));
+        let c = FaultPlan::new(FaultConfig { seed: 10, ..cfg });
+        let dc: Vec<bool> =
+            (0..500).map(|s| c.maybe_transient(s, (s % 4) as usize, 0, 0).is_err()).collect();
+        assert_ne!(da, dc, "different seeds must differ somewhere");
+    }
+
+    #[test]
+    fn afflicted_sites_heal_after_failures_per_site() {
+        let cfg = FaultConfig { transient_prob: 1.0, failures_per_site: 3, ..Default::default() };
+        let p = FaultPlan::new(cfg);
+        for attempt in 0..3 {
+            assert!(p.maybe_transient(7, 1, 0, attempt).is_err(), "attempt {attempt}");
+        }
+        assert!(p.maybe_transient(7, 1, 0, 3).is_ok(), "site must heal after 3 failures");
+        assert_eq!(p.snapshot().injected_transients, 3);
+    }
+
+    #[test]
+    fn injected_panic_is_a_real_panic() {
+        let cfg = FaultConfig { panic_prob: 1.0, ..Default::default() };
+        let p = FaultPlan::new(cfg);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            p.maybe_panic(0, 0, 0, 0);
+        }));
+        assert!(caught.is_err());
+        assert_eq!(p.snapshot().injected_panics, 1);
+    }
+
+    #[test]
+    fn backoff_is_bounded() {
+        let r = RecoveryPolicy { backoff_base_ms: 2, backoff_cap_ms: 16, ..Default::default() };
+        assert_eq!(r.backoff(0), Duration::from_millis(2));
+        assert_eq!(r.backoff(1), Duration::from_millis(4));
+        assert_eq!(r.backoff(10), Duration::from_millis(16));
+    }
+
+    #[test]
+    fn snapshot_counts_projection_drops_time() {
+        let p = FaultPlan::disabled();
+        p.record_time_lost(Duration::from_millis(12));
+        p.record_retry();
+        let s = p.snapshot();
+        assert_eq!(s.time_lost_ms, 12);
+        assert_eq!(s.counts().time_lost_ms, 0);
+        assert_eq!(s.counts().task_retries, 1);
+        assert!(s.recovered());
+    }
+
+    #[test]
+    fn chaos_profile_is_active() {
+        assert!(FaultConfig::chaos(1).is_active());
+        assert!(!FaultConfig::default().is_active());
+    }
+}

@@ -29,6 +29,7 @@ pub mod cluster;
 pub mod distrel;
 pub mod engine;
 pub mod exec;
+pub mod fault;
 pub mod localfix;
 pub mod metrics;
 pub mod sorted;
@@ -37,5 +38,6 @@ pub use cluster::Cluster;
 pub use distrel::DistRel;
 pub use engine::{PlannedQuery, QueryEngine, QueryOutput};
 pub use exec::{DistEvaluator, ExecConfig, ExecStats, FixpointPlan, ResourceLimits};
+pub use fault::{FaultConfig, FaultPlan, FaultSnapshot, RecoveryPolicy};
 pub use localfix::LocalEngine;
 pub use metrics::{CommSnapshot, CommStats};

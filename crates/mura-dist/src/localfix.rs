@@ -13,12 +13,15 @@
 //! * [`LocalEngine::Sorted`] — sort-merge relations standing in for the
 //!   per-worker PostgreSQL instances of `P_plw^pg`.
 
+use crate::fault::{FaultPlan, RecoveryPolicy};
 use crate::sorted::SortedRelation;
 use mura_core::kernel::kernel_stats;
 use mura_core::{
     CancellationToken, JoinIndex, KeyIndex, MuraError, Pred, Relation, Result, Row, Schema, Sym,
     Term, Value,
 };
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
@@ -500,6 +503,41 @@ pub fn local_fixpoint(
     }
 }
 
+/// One semi-naive superstep: applies every prepared branch to `delta`,
+/// subtracts `acc`, charges the budget. Returns the next `(acc, delta)`
+/// pair, or `None` when the fixpoint is reached.
+fn local_superstep<R: LocalRel>(
+    prepared: &[Prepared<R>],
+    acc: &R,
+    delta: &R,
+    budget: &Budget,
+) -> Result<Option<(R, R)>> {
+    let stats = kernel_stats();
+    let start = Instant::now();
+    let mut new: Option<R> = None;
+    for p in prepared {
+        let produced = eval_prepared(p, delta)?;
+        new = Some(match new {
+            None => produced.into_owned(),
+            Some(n) => n.union_with(produced.get()),
+        });
+    }
+    let new = match new {
+        None => {
+            stats.record_eval_time(start.elapsed());
+            return Ok(None); // no recursive branch
+        }
+        Some(n) => n.minus_with(acc),
+    };
+    stats.record_eval_time(start.elapsed());
+    stats.record_iteration();
+    budget.charge(new.len() as u64)?;
+    if new.is_empty() {
+        return Ok(None);
+    }
+    Ok(Some((acc.union_with(&new), new)))
+}
+
 /// Runs the semi-naive loop over already-prepared branches. Distributed
 /// callers prepare once and share the branches (and their cached indexes)
 /// across all workers of the fixpoint.
@@ -508,35 +546,120 @@ pub fn local_fixpoint_prepared<R: LocalRel>(
     prepared: &[Prepared<R>],
     budget: &Budget,
 ) -> Result<Relation> {
-    let stats = kernel_stats();
     let mut acc = R::from_relation(seed);
     let mut delta = acc.clone();
     while !delta.is_empty() {
         budget.check()?;
-        let start = Instant::now();
-        let mut new: Option<R> = None;
-        for p in prepared {
-            let produced = eval_prepared(p, &delta)?;
-            new = Some(match new {
-                None => produced.into_owned(),
-                Some(n) => n.union_with(produced.get()),
-            });
-        }
-        let new = match new {
-            None => {
-                stats.record_eval_time(start.elapsed());
-                break; // no recursive branch
+        match local_superstep(prepared, &acc, &delta, budget)? {
+            None => break,
+            Some((a, d)) => {
+                acc = a;
+                delta = d;
             }
-            Some(n) => n.minus_with(&acc),
-        };
-        stats.record_eval_time(start.elapsed());
-        stats.record_iteration();
-        budget.charge(new.len() as u64)?;
-        if new.is_empty() {
-            break;
         }
-        acc = acc.union_with(&new);
-        delta = new;
+    }
+    Ok(acc.into_relation())
+}
+
+/// Per-worker supervision context for the `P_plw` loops: budget, fault
+/// plan, fault-site coordinates and the recovery/checkpoint policy.
+pub struct LoopCtx<'a> {
+    /// Shared row/deadline/cancellation budget.
+    pub budget: &'a Budget,
+    /// The fault plan injections are drawn from.
+    pub fault: &'a FaultPlan,
+    /// Fault site of this fixpoint (one per fixpoint, shared by all its
+    /// workers; allocated driver-side so it is deterministic).
+    pub site: u64,
+    /// This worker's index.
+    pub worker: usize,
+    /// Retry/restore policy.
+    pub recovery: RecoveryPolicy,
+    /// Checkpoint the local `(acc, delta, iteration)` state every this many
+    /// supersteps; `0` disables checkpointing.
+    pub checkpoint_every: u64,
+}
+
+/// The supervised worker-local semi-naive loop: like
+/// [`local_fixpoint_prepared`], plus per-iteration fault injection, panic
+/// capture, local checkpoints every [`LoopCtx::checkpoint_every`]
+/// supersteps, and restore/restart recovery when an iteration fails.
+///
+/// Iteration numbers start at 1, so in-loop injection rolls never collide
+/// with the task-level roll (step 0) of the cluster supervisor. Failure
+/// counts per iteration persist across restores, so an afflicted iteration
+/// heals after [`crate::fault::FaultConfig::failures_per_site`] failures
+/// and replays always make progress.
+pub fn local_fixpoint_supervised<R: LocalRel>(
+    seed: &Relation,
+    prepared: &[Prepared<R>],
+    ctx: &LoopCtx<'_>,
+) -> Result<Relation> {
+    if !ctx.fault.is_active() && ctx.checkpoint_every == 0 {
+        return local_fixpoint_prepared(seed, prepared, ctx.budget);
+    }
+    let mut acc = R::from_relation(seed);
+    let mut delta = acc.clone();
+    let mut iter: u64 = 0;
+    let mut ckpt: Option<(R, R, u64)> = None;
+    let mut restores: u32 = 0;
+    let mut fail_counts: HashMap<u64, u32> = HashMap::new();
+    while !delta.is_empty() {
+        // Fires between supersteps and after every restore, so a cancelled
+        // or out-of-budget query stops recovering immediately.
+        ctx.budget.check()?;
+        let next = iter + 1;
+        let attempt = *fail_counts.get(&next).unwrap_or(&0);
+        if let Some(d) = ctx.fault.straggler_delay(ctx.site, ctx.worker, next, attempt) {
+            std::thread::sleep(d);
+        }
+        let started = Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<Option<(R, R)>> {
+            ctx.fault.maybe_panic(ctx.site, ctx.worker, next, attempt);
+            ctx.fault.maybe_transient(ctx.site, ctx.worker, next, attempt)?;
+            local_superstep(prepared, &acc, &delta, ctx.budget)
+        }))
+        .unwrap_or_else(|payload| {
+            Err(MuraError::WorkerFailed {
+                worker: ctx.worker,
+                payload: crate::cluster::payload_text(payload.as_ref()),
+            })
+        });
+        match outcome {
+            Ok(None) => break,
+            Ok(Some((a, d))) => {
+                acc = a;
+                delta = d;
+                iter = next;
+                if ctx.checkpoint_every > 0 && iter.is_multiple_of(ctx.checkpoint_every) {
+                    ckpt = Some((acc.clone(), delta.clone(), iter));
+                    ctx.fault.record_checkpoint();
+                }
+            }
+            Err(e) if e.is_retryable() => {
+                ctx.fault.record_time_lost(started.elapsed());
+                *fail_counts.entry(next).or_insert(0) += 1;
+                if restores >= ctx.recovery.max_restores {
+                    return Err(e);
+                }
+                restores += 1;
+                match &ckpt {
+                    Some((a, d, i)) => {
+                        ctx.fault.record_restore((a.len() + d.len()) as u64, iter - *i);
+                        acc = a.clone();
+                        delta = d.clone();
+                        iter = *i;
+                    }
+                    None => {
+                        ctx.fault.record_full_restart(seed.len() as u64);
+                        acc = R::from_relation(seed);
+                        delta = acc.clone();
+                        iter = 0;
+                    }
+                }
+            }
+            Err(e) => return Err(e),
+        }
     }
     Ok(acc.into_relation())
 }

@@ -158,12 +158,18 @@ type QueryBlock = (String, Vec<String>);
 
 fn run_query(client: &Client, query: &str, deadline: Option<Duration>) -> ServeResult<QueryBlock> {
     let out = client.submit(query, deadline)?.wait()?;
-    let header = format!(
+    // A query that hit faults but recovered still answers with `OK` — the
+    // result is exact — plus a typed degradation note, instead of dropping
+    // the connection or failing the query.
+    let mut header = format!(
         "OK {} rows planning={:.1?} execution={:.1?}",
         out.relation.len(),
         out.planning,
         out.execution,
     );
+    if let Some(note) = out.health_note() {
+        header.push_str(&format!(" [{note}]"));
+    }
     let rows = out
         .relation
         .sorted_rows()

@@ -98,6 +98,16 @@ pub struct ServeStats {
     pub kernel_antijoin_probes: u64,
     pub kernel_rows_allocated: u64,
     pub kernel_const_folds: u64,
+    /// Queries that completed correctly but hit injected or real faults
+    /// along the way (the answer is still exact; see
+    /// `QueryOutput::health_note` (mura_dist::QueryOutput)).
+    pub degraded: u64,
+    /// Fault/recovery totals accumulated across all executed queries:
+    /// injected faults, task retries, checkpoint restores, full restarts.
+    pub faults_injected: u64,
+    pub fault_retries: u64,
+    pub fault_restores: u64,
+    pub fault_restarts: u64,
 }
 
 impl ServeStats {
@@ -140,6 +150,15 @@ impl std::fmt::Display for ServeStats {
             self.kernel_rows_allocated,
             self.kernel_const_folds
         )?;
+        writeln!(
+            f,
+            "faults       {} degraded queries, {} injected, {} retries / {} restores / {} restarts",
+            self.degraded,
+            self.faults_injected,
+            self.fault_retries,
+            self.fault_restores,
+            self.fault_restarts
+        )?;
         write!(f, "epoch      {}", self.epoch)
     }
 }
@@ -154,6 +173,11 @@ struct Counters {
     plan_misses: AtomicU64,
     result_hits: AtomicU64,
     result_misses: AtomicU64,
+    degraded: AtomicU64,
+    faults_injected: AtomicU64,
+    fault_retries: AtomicU64,
+    fault_restores: AtomicU64,
+    fault_restarts: AtomicU64,
 }
 
 struct QueryJob {
@@ -235,6 +259,16 @@ impl ServerInner {
         config.limits = self.config.limits;
         config.cancel = Some(job.token.clone());
         let out = Arc::new(engine.execute_plan_with(&planned, config)?);
+        // Accumulate fault/recovery accounting for fresh executions only —
+        // cache hits replay an old answer, not its faults.
+        let fault = &out.stats.fault;
+        if fault.injected() > 0 || fault.recovered() {
+            self.counters.degraded.fetch_add(1, Ordering::Relaxed);
+            self.counters.faults_injected.fetch_add(fault.injected(), Ordering::Relaxed);
+            self.counters.fault_retries.fetch_add(fault.task_retries, Ordering::Relaxed);
+            self.counters.fault_restores.fetch_add(fault.checkpoint_restores, Ordering::Relaxed);
+            self.counters.fault_restarts.fetch_add(fault.full_restarts, Ordering::Relaxed);
+        }
         // A load may have slipped in between planning and taking the read
         // lock. The answer is then computed against the newer data — still
         // correct to return, but not safe to file under the old epoch.
@@ -378,6 +412,11 @@ fn stats_of(inner: &ServerInner) -> ServeStats {
         kernel_antijoin_probes: k.antijoin_probes,
         kernel_rows_allocated: k.rows_allocated,
         kernel_const_folds: k.const_folds,
+        degraded: c.degraded.load(Ordering::Relaxed),
+        faults_injected: c.faults_injected.load(Ordering::Relaxed),
+        fault_retries: c.fault_retries.load(Ordering::Relaxed),
+        fault_restores: c.fault_restores.load(Ordering::Relaxed),
+        fault_restarts: c.fault_restarts.load(Ordering::Relaxed),
     }
 }
 

@@ -20,7 +20,7 @@ use mura_core::sql::to_sql;
 use mura_datagen::{load_edge_list, save_edge_list, UniprotConfig, YagoConfig};
 use mura_datalog::ucrpq_to_program;
 use mura_dist::exec::FixpointPlan;
-use mura_dist::LocalEngine;
+use mura_dist::{FaultConfig, LocalEngine};
 use mura_ucrpq::to_mura;
 
 struct Shell {
@@ -43,6 +43,8 @@ commands:
   .plan auto|gld|plw     fixpoint plan policy
   .engine setrdd|sorted  P_plw local engine
   .rewrites on|off       toggle the logical optimizer
+  .chaos <seed>|off      deterministic fault injection (panics, transient
+                         errors, message drops/dups, stragglers) + recovery
   .serve <addr>          serve queries over TCP (snapshot of the current db)
   .serve stop            stop the running server
   .classes <query>       classify a query (C1..C6)
@@ -66,18 +68,29 @@ fn main() {
             return;
         }
     }
-    if args.len() > 1 {
-        eprintln!("usage: murash [--connect <addr>]");
+    let mut config = ExecConfig::default();
+    let mut chaos_seed = None;
+    if let [_, flag, seed] = args.as_slice() {
+        if flag == "--chaos" {
+            let seed: u64 = seed.parse().unwrap_or_else(|_| {
+                eprintln!("usage: murash --chaos <seed>");
+                std::process::exit(2);
+            });
+            config.fault = FaultConfig::chaos(seed);
+            config.checkpoint_every = 2;
+            chaos_seed = Some(seed);
+        }
+    }
+    if args.len() > 1 && chaos_seed.is_none() {
+        eprintln!("usage: murash [--connect <addr>] [--chaos <seed>]");
         std::process::exit(2);
     }
-    let mut shell = Shell {
-        db: Database::new(),
-        graph: None,
-        config: ExecConfig::default(),
-        optimize: true,
-        serving: None,
-    };
+    let mut shell =
+        Shell { db: Database::new(), graph: None, config, optimize: true, serving: None };
     println!("Dist-μ-RA shell — .help for commands");
+    if let Some(seed) = chaos_seed {
+        println!("chaos mode: injecting faults with seed {seed} (checkpoint every 2 supersteps)");
+    }
     while let Some(line) = mura_datagen::io::read_line("μ> ") {
         let line = line.trim();
         if line.is_empty() {
@@ -203,6 +216,19 @@ impl Shell {
                 ["off"] => self.optimize = false,
                 _ => return arg_err("usage: .rewrites on|off"),
             },
+            "chaos" => match args {
+                ["off"] => {
+                    self.config.fault = FaultConfig::default();
+                    self.config.checkpoint_every = 0;
+                    println!("chaos off");
+                }
+                [seed] => {
+                    self.config.fault = FaultConfig::chaos(parse_num(seed)?);
+                    self.config.checkpoint_every = 2;
+                    println!("chaos on (seed {seed}, checkpoint every 2 supersteps)");
+                }
+                _ => return arg_err("usage: .chaos <seed>|off"),
+            },
             "serve" => match args {
                 ["stop"] => match self.serving.take() {
                     Some((handle, server)) => {
@@ -307,6 +333,9 @@ impl Shell {
             out.comm.rows_shuffled,
             out.comm.rows_broadcast,
         );
+        if let Some(note) = out.health_note() {
+            println!("  {note}  [{}]", out.stats.fault);
+        }
         for row in rel.sorted_rows().iter().take(20) {
             let vals: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
             println!("  ({})", vals.join(", "));
