@@ -1,0 +1,171 @@
+//! `obs-smoke`: CI gate for the observability surface.
+//!
+//! Two checks, both dependency-free:
+//!
+//! 1. **Trace schema** — reads the trace JSON named by `OBS_TRACE_FILE`
+//!    (default `trace.json`, as written by `murash --trace-out` or
+//!    `BENCH_TRACE_OUT`), parses it with the in-tree JSON codec, verifies
+//!    a parse → print → parse round trip, and validates it against the
+//!    `required` key lists of `schemas/trace.schema.json` (path
+//!    overridable via `OBS_SCHEMA`).
+//! 2. **Metrics exposition** — starts an in-process server over a small
+//!    graph, runs a transitive-closure query plus a `.profile`, fetches
+//!    `.metrics` over the TCP protocol and greps the page for every
+//!    required metric family.
+//!
+//! Exits non-zero with a list of violations on any failure.
+
+use mura_core::{Database, Relation};
+use mura_dist::QueryEngine;
+use mura_obs::json::Json;
+use mura_serve::{protocol, serve_tcp, ServeConfig, Server};
+use std::io::{BufReader, Write};
+use std::net::TcpStream;
+
+/// Metric families the `.metrics` page must expose.
+const REQUIRED_FAMILIES: &[&str] = &[
+    "mura_queries_total",
+    "mura_queries_submitted_total",
+    "mura_cache_events_total",
+    "mura_comm_shuffles_total",
+    "mura_comm_rows_shuffled_total",
+    "mura_comm_broadcasts_total",
+    "mura_comm_rows_broadcast_total",
+    "mura_faults_injected_total",
+    "mura_fault_recoveries_total",
+    "mura_degraded_queries_total",
+    "mura_kernel_events_total",
+    "mura_query_wall_seconds",
+    "mura_query_queue_seconds",
+    "mura_query_execution_seconds",
+    "mura_query_planning_seconds",
+    "mura_db_epoch",
+];
+
+/// Checks `doc` against the `required`/`properties`/`items` structure of a
+/// (draft-07-style) schema. Only the subset the trace schema uses is
+/// interpreted: required keys recurse through object properties and array
+/// items; anything else passes.
+fn validate(schema: &Json, doc: &Json, path: &str, errors: &mut Vec<String>) {
+    if let Some(required) = schema.get("required").and_then(|r| r.as_array()) {
+        for key in required.iter().filter_map(|k| k.as_str()) {
+            if doc.get(key).is_none() {
+                errors.push(format!("{path}: missing required key '{key}'"));
+            }
+        }
+    }
+    if let Some(props) = schema.get("properties").and_then(|p| p.as_object()) {
+        for (key, sub) in props {
+            if let Some(value) = doc.get(key) {
+                validate(sub, value, &format!("{path}.{key}"), errors);
+            }
+        }
+    }
+    if let Some(items) = schema.get("items") {
+        if let Some(arr) = doc.as_array() {
+            for (i, item) in arr.iter().enumerate() {
+                validate(items, item, &format!("{path}[{i}]"), errors);
+            }
+        }
+    }
+}
+
+fn check_trace_file(errors: &mut Vec<String>) {
+    let trace_path = std::env::var("OBS_TRACE_FILE").unwrap_or_else(|_| "trace.json".into());
+    let schema_path =
+        std::env::var("OBS_SCHEMA").unwrap_or_else(|_| "schemas/trace.schema.json".into());
+
+    let raw = match std::fs::read_to_string(&trace_path) {
+        Ok(s) => s,
+        Err(e) => {
+            errors.push(format!("read {trace_path}: {e}"));
+            return;
+        }
+    };
+    let doc = match Json::parse(&raw) {
+        Ok(d) => d,
+        Err(e) => {
+            errors.push(format!("{trace_path} is not valid JSON: {e}"));
+            return;
+        }
+    };
+    // Round trip: printing and re-parsing must reproduce the same value.
+    match Json::parse(&doc.to_string()) {
+        Ok(again) if again == doc => {}
+        Ok(_) => errors.push(format!("{trace_path}: print → parse round trip diverged")),
+        Err(e) => errors.push(format!("{trace_path}: re-parse of printed form failed: {e}")),
+    }
+    let schema = match std::fs::read_to_string(&schema_path).map_err(|e| e.to_string()) {
+        Ok(s) => match Json::parse(&s) {
+            Ok(j) => j,
+            Err(e) => {
+                errors.push(format!("{schema_path} is not valid JSON: {e}"));
+                return;
+            }
+        },
+        Err(e) => {
+            errors.push(format!("read {schema_path}: {e}"));
+            return;
+        }
+    };
+    validate(&schema, &doc, "$", errors);
+    let events = doc.get("traceEvents").and_then(|v| v.as_array()).map_or(0, |a| a.len());
+    if events == 0 {
+        errors.push(format!("{trace_path}: traceEvents is empty — nothing was traced"));
+    }
+    println!("obs-smoke: {trace_path} valid ({events} events, schema {schema_path})");
+}
+
+fn check_metrics_page(errors: &mut Vec<String>) {
+    let mut db = Database::new();
+    let src = db.intern("src");
+    let dst = db.intern("dst");
+    db.insert_relation("e", Relation::from_pairs(src, dst, (0..12).map(|i| (i, i + 1))));
+    let server = Server::start(QueryEngine::new(db), ServeConfig::default());
+    let handle = serve_tcp(&server, "127.0.0.1:0").expect("bind ephemeral port");
+
+    let stream = TcpStream::connect(handle.addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut send = |line: &str| -> (String, Vec<String>) {
+        let mut s = stream.try_clone().expect("clone stream");
+        s.write_all(format!("{line}\n").as_bytes()).expect("send");
+        protocol::read_response(&mut reader).expect("response")
+    };
+
+    let (status, _) = send("?x, ?y <- ?x e+ ?y");
+    if !status.starts_with("OK ") {
+        errors.push(format!("TC query failed: {status}"));
+    }
+    let (status, body) = send(".profile ?x, ?y <- ?x e+ ?y");
+    if !status.starts_with("OK profile") || !body.iter().any(|l| l.contains("superstep")) {
+        errors
+            .push(format!(".profile gave no superstep timeline: {status} / {} lines", body.len()));
+    }
+    let (status, page) = send(".metrics");
+    if status != "OK metrics" {
+        errors.push(format!(".metrics failed: {status}"));
+    }
+    for family in REQUIRED_FAMILIES {
+        if !page.iter().any(|l| l.starts_with(&format!("# TYPE {family} "))) {
+            errors.push(format!(".metrics is missing family {family}"));
+        }
+    }
+    send(".quit");
+    handle.stop();
+    server.shutdown();
+    println!("obs-smoke: .metrics exposes {} families, .profile renders", REQUIRED_FAMILIES.len());
+}
+
+fn main() {
+    let mut errors = Vec::new();
+    check_trace_file(&mut errors);
+    check_metrics_page(&mut errors);
+    if !errors.is_empty() {
+        eprintln!("obs-smoke FAILED:");
+        for e in &errors {
+            eprintln!("  - {e}");
+        }
+        std::process::exit(1);
+    }
+    println!("obs-smoke: OK");
+}

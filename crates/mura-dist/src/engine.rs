@@ -35,6 +35,12 @@ impl QueryOutput {
         self.planning + self.execution
     }
 
+    /// The per-query trace, present when the execution ran with
+    /// [`ExecConfig::trace`](crate::ExecConfig) above `Off`.
+    pub fn trace(&self) -> Option<&mura_obs::QueryTrace> {
+        self.stats.trace.as_ref()
+    }
+
     /// A short health note when the query hit faults but still completed:
     /// `Some("recovered ...")` when recovery machinery ran (task retries,
     /// checkpoint restores or restarts), `Some("degraded ...")` when faults

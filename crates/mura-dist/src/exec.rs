@@ -16,12 +16,16 @@ use crate::localfix::{
     eval_branch, local_fixpoint_supervised, prepare, Budget, LocalEngine, LocalRel, LoopCtx,
     Prepared,
 };
+use crate::metrics::CommSnapshot;
 use crate::sorted::SortedRelation;
 use mura_core::analysis::{check_fcond, decompose_fixpoint, stable_columns, TypeEnv};
 use mura_core::fxhash::FxHashMap;
 use mura_core::kernel::kernel_stats;
 use mura_core::{
     CancellationToken, Database, KernelSnapshot, MuraError, Relation, Result, Schema, Sym, Term,
+};
+use mura_obs::trace::{
+    EventKind, PlanKind, QueryTrace, RecoveryKind, TraceEvent, TraceLevel, TraceSink,
 };
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -79,6 +83,9 @@ pub struct ExecConfig {
     /// Checkpoints are cheap (`Relation` is copy-on-write) but not free, so
     /// the fault-free default leaves them off.
     pub checkpoint_every: u64,
+    /// Per-query trace level. At [`TraceLevel::Off`] (the default) no sink
+    /// exists and the fixpoint hot loops pay only a `None` check.
+    pub trace: TraceLevel,
 }
 
 impl Default for ExecConfig {
@@ -93,6 +100,7 @@ impl Default for ExecConfig {
             fault: FaultConfig::default(),
             recovery: RecoveryPolicy::default(),
             checkpoint_every: 0,
+            trace: TraceLevel::Off,
         }
     }
 }
@@ -116,6 +124,10 @@ pub struct ExecStats {
     /// on a clean run; [`FaultSnapshot::recovered`] marks a degraded (but
     /// correct) execution.
     pub fault: FaultSnapshot,
+    /// Per-query trace, recorded when [`ExecConfig::trace`] is above
+    /// [`TraceLevel::Off`]. Present even when evaluation failed, so partial
+    /// timelines of aborted queries can be inspected.
+    pub trace: Option<QueryTrace>,
 }
 
 /// A value during distributed evaluation: partitioned, or replicated to
@@ -165,6 +177,16 @@ pub struct DistEvaluator<'db> {
     /// Kernel counters at construction time; `stats.kernel` reports the
     /// delta accumulated by this evaluator.
     kernel_base: KernelSnapshot,
+    /// Event recorder, present when [`ExecConfig::trace`] is above `Off`.
+    sink: Option<Arc<TraceSink>>,
+}
+
+/// Counter baselines captured at the start of a traced window.
+struct Probe {
+    comm: CommSnapshot,
+    kernel: KernelSnapshot,
+    faults: u64,
+    t_us: u64,
 }
 
 impl<'db> DistEvaluator<'db> {
@@ -178,6 +200,7 @@ impl<'db> DistEvaluator<'db> {
         let budget =
             Budget::new(config.limits.max_rows, deadline).with_cancel(config.cancel.clone());
         let next_fresh = db.dict().len() as u32 + 1_000_000;
+        let sink = (config.trace > TraceLevel::Off).then(|| Arc::new(TraceSink::new(config.trace)));
         DistEvaluator {
             db,
             cluster,
@@ -187,6 +210,7 @@ impl<'db> DistEvaluator<'db> {
             bound: FxHashMap::default(),
             next_fresh,
             kernel_base: kernel_stats().snapshot(),
+            sink,
         }
     }
 
@@ -206,11 +230,14 @@ impl<'db> DistEvaluator<'db> {
         let v = self.eval(term);
         self.stats.kernel = kernel_stats().snapshot().since(&self.kernel_base);
         self.stats.fault = self.cluster.fault().snapshot();
+        // Attach the trace before the `?` so aborted queries keep theirs.
+        self.stats.trace = self.sink.as_ref().map(|s| s.finish());
         let out = match v? {
             DVal::Dist(d) => d.distinct(&self.cluster)?.collect(),
             DVal::Repl(r) => (*r).clone(),
         };
         self.stats.fault = self.cluster.fault().snapshot();
+        self.stats.trace = self.sink.as_ref().map(|s| s.finish());
         Ok(out)
     }
 
@@ -380,6 +407,61 @@ impl<'db> DistEvaluator<'db> {
         })
     }
 
+    // ------------------------------------------------------------- tracing
+
+    /// Allocates the id of the next fixpoint for trace events.
+    fn trace_fixpoint(&self) -> u32 {
+        self.sink.as_ref().map_or(0, |s| s.next_fixpoint())
+    }
+
+    /// Baseline for a traced window; `None` when tracing is off, so the
+    /// untraced cost is a single `Option` check.
+    fn probe(&self) -> Option<Probe> {
+        self.sink.as_ref().map(|s| Probe {
+            comm: self.cluster.metrics().snapshot(),
+            kernel: kernel_stats().snapshot(),
+            faults: self.cluster.fault().snapshot().injected(),
+            t_us: s.now_us(),
+        })
+    }
+
+    /// Like [`Self::probe`], but only at [`TraceLevel::Superstep`].
+    fn probe_superstep(&self) -> Option<Probe> {
+        if self.sink.as_deref().is_some_and(|s| s.superstep_enabled()) {
+            self.probe()
+        } else {
+            None
+        }
+    }
+
+    /// Records `ev` carrying the comm/kernel/fault deltas accumulated since
+    /// `probe` and the window's wall time. No-op when `probe` is `None`.
+    fn record_window(&self, probe: &Option<Probe>, mut ev: TraceEvent) {
+        let (Some(sink), Some(p)) = (self.sink.as_deref(), probe.as_ref()) else { return };
+        let comm = self.cluster.metrics().snapshot().since(&p.comm);
+        let kernel = kernel_stats().snapshot().since(&p.kernel);
+        ev.shuffles = comm.shuffles;
+        ev.rows_shuffled = comm.rows_shuffled;
+        ev.broadcasts = comm.broadcasts;
+        ev.rows_broadcast = comm.rows_broadcast;
+        ev.index_builds = kernel.index_builds + kernel.key_index_builds;
+        ev.join_probes = kernel.join_probes;
+        ev.antijoin_probes = kernel.antijoin_probes;
+        ev.faults = self.cluster.fault().snapshot().injected().saturating_sub(p.faults);
+        ev.t_us = p.t_us;
+        ev.dur_us = sink.now_us().saturating_sub(p.t_us);
+        sink.record(ev);
+    }
+
+    /// Records a point event (fixpoint start/end, recovery): timestamped
+    /// but without a counter window.
+    fn record_point(&self, mut ev: TraceEvent) {
+        if let Some(sink) = &self.sink {
+            ev.t_us = sink.now_us();
+            sink.record(ev);
+        }
+    }
+
     // ------------------------------------------------------------ fixpoint
 
     fn eval_fixpoint(&mut self, x: Sym, body: &Term) -> Result<DistRel> {
@@ -449,10 +531,16 @@ impl<'db> DistEvaluator<'db> {
     /// [`FaultConfig::failures_per_site`] attempts and the restart loop
     /// terminates deterministically.
     fn eval_async_plan(&mut self, x: Sym, seed: DistRel, recs: &[Term]) -> Result<DistRel> {
+        let fx = self.trace_fixpoint();
+        let mut start_ev = TraceEvent::new(EventKind::FixpointStart, fx, PlanKind::Async);
+        start_ev.delta_rows = seed.len() as u64;
+        self.record_point(start_ev);
+        let window = self.probe();
         let mut recs_local = Vec::with_capacity(recs.len());
         for r in recs {
             recs_local.push(self.resolve_to_constants(r, x)?);
         }
+        self.record_window(&window, TraceEvent::new(EventKind::Setup, fx, PlanKind::Async));
         self.stats.fixpoint_iterations += 1;
         let site = self.cluster.fault().next_site();
         let mut attempt: u32 = 0;
@@ -466,7 +554,12 @@ impl<'db> DistEvaluator<'db> {
                 site,
                 attempt,
             ) {
-                Ok(out) => return Ok(out),
+                Ok(out) => {
+                    let mut end_ev = TraceEvent::new(EventKind::FixpointEnd, fx, PlanKind::Async);
+                    end_ev.delta_rows = out.len() as u64;
+                    self.record_point(end_ev);
+                    return Ok(out);
+                }
                 Err(e) if e.is_retryable() => {
                     if attempt >= self.config.recovery.max_restores {
                         return Err(e);
@@ -475,6 +568,9 @@ impl<'db> DistEvaluator<'db> {
                     self.budget.check()?;
                     attempt += 1;
                     self.cluster.fault().record_full_restart(seed.len() as u64);
+                    let mut ev = TraceEvent::new(EventKind::Recovery, fx, PlanKind::Async);
+                    ev.recovery = RecoveryKind::Restart;
+                    self.record_point(ev);
                 }
                 Err(e) => return Err(e),
             }
@@ -524,17 +620,23 @@ impl<'db> DistEvaluator<'db> {
     /// or restarts from the seed when none exists — up to
     /// [`RecoveryPolicy::max_restores`] times.
     fn eval_gld(&mut self, x: Sym, seed: DistRel, recs: &[Term]) -> Result<DistRel> {
+        let fx = self.trace_fixpoint();
+        let mut start_ev = TraceEvent::new(EventKind::FixpointStart, fx, PlanKind::Gld);
+        start_ev.delta_rows = seed.len() as u64;
+        self.record_point(start_ev);
         // Resolve hoisted invariants to broadcast constants and compile the
         // branches once per fixpoint: constant folding and join-index
         // builds happen here, not inside the driver loop. Branch-wise
         // evaluation distributes over delta partitions because F_cond
         // guarantees linear recursion with `x` in monotone positions.
+        let setup = self.probe();
         let mut recs_local = Vec::with_capacity(recs.len());
         for r in recs {
             recs_local.push(self.resolve_to_constants(r, x)?);
         }
         let prepared: Vec<Prepared<Relation>> =
             recs_local.iter().map(|r| prepare(r, x, seed.schema())).collect::<Result<_>>()?;
+        self.record_window(&setup, TraceEvent::new(EventKind::Setup, fx, PlanKind::Gld));
         let checkpoint_every = self.config.checkpoint_every;
         let mut acc = seed.clone();
         let mut delta = acc.clone();
@@ -545,9 +647,19 @@ impl<'db> DistEvaluator<'db> {
             // Fires between supersteps and after every restore, so a
             // cancelled or out-of-budget query stops recovering immediately.
             self.budget.check()?;
+            let window = self.probe_superstep();
             match self.gld_superstep(&prepared, &acc, &delta) {
-                Ok(None) => break,
+                Ok(None) => {
+                    let mut ev = TraceEvent::new(EventKind::Superstep, fx, PlanKind::Gld);
+                    ev.iteration = iter + 1;
+                    self.record_window(&window, ev);
+                    break;
+                }
                 Ok(Some((a, d))) => {
+                    let mut ev = TraceEvent::new(EventKind::Superstep, fx, PlanKind::Gld);
+                    ev.iteration = iter + 1;
+                    ev.delta_rows = d.len() as u64;
+                    self.record_window(&window, ev);
                     acc = a;
                     delta = d;
                     iter += 1;
@@ -561,7 +673,7 @@ impl<'db> DistEvaluator<'db> {
                         return Err(e);
                     }
                     restores += 1;
-                    match &ckpt {
+                    let recovery = match &ckpt {
                         Some((a, d, i)) => {
                             self.cluster
                                 .fault()
@@ -569,18 +681,28 @@ impl<'db> DistEvaluator<'db> {
                             acc = a.clone();
                             delta = d.clone();
                             iter = *i;
+                            RecoveryKind::Restore
                         }
                         None => {
                             self.cluster.fault().record_full_restart(seed.len() as u64);
                             acc = seed.clone();
                             delta = seed.clone();
                             iter = 0;
+                            RecoveryKind::Restart
                         }
-                    }
+                    };
+                    let mut ev = TraceEvent::new(EventKind::Recovery, fx, PlanKind::Gld);
+                    ev.recovery = recovery;
+                    ev.iteration = iter;
+                    self.record_point(ev);
                 }
                 Err(e) => return Err(e),
             }
         }
+        let mut end_ev = TraceEvent::new(EventKind::FixpointEnd, fx, PlanKind::Gld);
+        end_ev.iteration = iter;
+        end_ev.delta_rows = acc.len() as u64;
+        self.record_point(end_ev);
         Ok(acc)
     }
 
@@ -640,15 +762,26 @@ impl<'db> DistEvaluator<'db> {
         recs: &[Term],
         stable: &[Sym],
     ) -> Result<DistRel> {
+        let fx = self.trace_fixpoint();
+        let mut start_ev = TraceEvent::new(EventKind::FixpointStart, fx, PlanKind::Plw);
+        start_ev.delta_rows = seed.len() as u64;
+        self.record_point(start_ev);
+        // The one-time repartition and the invariant broadcasts are the
+        // *only* communication of `P_plw`; the setup window captures both,
+        // so every later superstep event shows zero shuffled rows.
+        let window = self.probe();
         let seed = if stable.is_empty() { seed } else { seed.repartition(stable, &self.cluster)? };
         // Resolve hoisted invariants to full local copies (broadcast).
         let mut recs_local = Vec::with_capacity(recs.len());
         for r in recs {
             recs_local.push(self.resolve_to_constants(r, x)?);
         }
+        self.record_window(&window, TraceEvent::new(EventKind::Setup, fx, PlanKind::Plw));
         let parts = match self.config.local_engine {
-            LocalEngine::SetRdd => self.run_plw_typed::<Relation>(&seed, &recs_local, x)?,
-            LocalEngine::Sorted => self.run_plw_typed::<SortedRelation>(&seed, &recs_local, x)?,
+            LocalEngine::SetRdd => self.run_plw_typed::<Relation>(&seed, &recs_local, x, fx)?,
+            LocalEngine::Sorted => {
+                self.run_plw_typed::<SortedRelation>(&seed, &recs_local, x, fx)?
+            }
         };
         self.stats.fixpoint_iterations += 1; // the parallel local loops count once globally
         let schema = seed.schema().clone();
@@ -657,12 +790,16 @@ impl<'db> DistEvaluator<'db> {
             parts,
             if stable.is_empty() { None } else { Some(stable.to_vec()) },
         );
-        Ok(if stable.is_empty() {
+        let out = if stable.is_empty() {
             // Prop. 3 general case: local fixpoints may overlap.
             out.distinct(&self.cluster)?
         } else {
             out
-        })
+        };
+        let mut end_ev = TraceEvent::new(EventKind::FixpointEnd, fx, PlanKind::Plw);
+        end_ev.delta_rows = out.len() as u64;
+        self.record_point(end_ev);
+        Ok(out)
     }
 
     /// Runs the per-worker local loops of `P_plw` with one engine type.
@@ -679,6 +816,7 @@ impl<'db> DistEvaluator<'db> {
         seed: &DistRel,
         recs: &[Term],
         x: Sym,
+        fx: u32,
     ) -> Result<Vec<Relation>> {
         let prepared: Vec<Prepared<R>> =
             recs.iter().map(|r| prepare(r, x, seed.schema())).collect::<Result<_>>()?;
@@ -687,9 +825,18 @@ impl<'db> DistEvaluator<'db> {
         let loop_site = fault.next_site();
         let recovery = *self.cluster.recovery();
         let checkpoint_every = self.config.checkpoint_every;
+        let trace = self.sink.as_deref();
         self.cluster.try_par_map(seed.parts(), |w, part| {
-            let ctx =
-                LoopCtx { budget, fault, site: loop_site, worker: w, recovery, checkpoint_every };
+            let ctx = LoopCtx {
+                budget,
+                fault,
+                site: loop_site,
+                worker: w,
+                recovery,
+                checkpoint_every,
+                trace,
+                fixpoint: fx,
+            };
             local_fixpoint_supervised(part, &prepared, &ctx)
         })
     }

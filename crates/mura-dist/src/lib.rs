@@ -41,3 +41,4 @@ pub use exec::{DistEvaluator, ExecConfig, ExecStats, FixpointPlan, ResourceLimit
 pub use fault::{FaultConfig, FaultPlan, FaultSnapshot, RecoveryPolicy};
 pub use localfix::LocalEngine;
 pub use metrics::{CommSnapshot, CommStats};
+pub use mura_obs::{QueryTrace, TraceLevel};

@@ -20,6 +20,7 @@ use mura_core::{
     CancellationToken, JoinIndex, KeyIndex, MuraError, Pred, Relation, Result, Row, Schema, Sym,
     Term, Value,
 };
+use mura_obs::trace::{EventKind, PlanKind, RecoveryKind, TraceEvent, TraceSink};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -578,6 +579,12 @@ pub struct LoopCtx<'a> {
     /// Checkpoint the local `(acc, delta, iteration)` state every this many
     /// supersteps; `0` disables checkpointing.
     pub checkpoint_every: u64,
+    /// Trace sink of the query, when it records events (`None` = off).
+    /// Superstep events are only recorded at
+    /// [`mura_obs::TraceLevel::Superstep`]; recovery events at any level.
+    pub trace: Option<&'a TraceSink>,
+    /// Fixpoint id carried by this loop's trace events.
+    pub fixpoint: u32,
 }
 
 /// The supervised worker-local semi-naive loop: like
@@ -595,9 +602,25 @@ pub fn local_fixpoint_supervised<R: LocalRel>(
     prepared: &[Prepared<R>],
     ctx: &LoopCtx<'_>,
 ) -> Result<Relation> {
-    if !ctx.fault.is_active() && ctx.checkpoint_every == 0 {
+    let steps = ctx.trace.filter(|t| t.superstep_enabled());
+    if !ctx.fault.is_active() && ctx.checkpoint_every == 0 && steps.is_none() {
         return local_fixpoint_prepared(seed, prepared, ctx.budget);
     }
+    // One superstep event per iteration per worker. `P_plw` loops never
+    // communicate, so the comm fields stay zero by construction — the
+    // trace-level counterpart of the paper's claim. Kernel counters are
+    // process-wide and racy across workers, so they are left zero here.
+    let record_step = |iteration: u64, delta_rows: u64, t_us: u64, started: &Instant| {
+        if let Some(sink) = steps {
+            let mut ev = TraceEvent::new(EventKind::Superstep, ctx.fixpoint, PlanKind::Plw);
+            ev.worker = ctx.worker as i32;
+            ev.iteration = iteration;
+            ev.delta_rows = delta_rows;
+            ev.t_us = t_us;
+            ev.dur_us = started.elapsed().as_micros() as u64;
+            sink.record(ev);
+        }
+    };
     let mut acc = R::from_relation(seed);
     let mut delta = acc.clone();
     let mut iter: u64 = 0;
@@ -613,6 +636,7 @@ pub fn local_fixpoint_supervised<R: LocalRel>(
         if let Some(d) = ctx.fault.straggler_delay(ctx.site, ctx.worker, next, attempt) {
             std::thread::sleep(d);
         }
+        let t_us = steps.map_or(0, |s| s.now_us());
         let started = Instant::now();
         let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<Option<(R, R)>> {
             ctx.fault.maybe_panic(ctx.site, ctx.worker, next, attempt);
@@ -626,8 +650,12 @@ pub fn local_fixpoint_supervised<R: LocalRel>(
             })
         });
         match outcome {
-            Ok(None) => break,
+            Ok(None) => {
+                record_step(next, 0, t_us, &started);
+                break;
+            }
             Ok(Some((a, d))) => {
+                record_step(next, d.len() as u64, t_us, &started);
                 acc = a;
                 delta = d;
                 iter = next;
@@ -643,19 +671,29 @@ pub fn local_fixpoint_supervised<R: LocalRel>(
                     return Err(e);
                 }
                 restores += 1;
-                match &ckpt {
+                let recovery = match &ckpt {
                     Some((a, d, i)) => {
                         ctx.fault.record_restore((a.len() + d.len()) as u64, iter - *i);
                         acc = a.clone();
                         delta = d.clone();
                         iter = *i;
+                        RecoveryKind::Restore
                     }
                     None => {
                         ctx.fault.record_full_restart(seed.len() as u64);
                         acc = R::from_relation(seed);
                         delta = acc.clone();
                         iter = 0;
+                        RecoveryKind::Restart
                     }
+                };
+                if let Some(sink) = ctx.trace {
+                    let mut ev = TraceEvent::new(EventKind::Recovery, ctx.fixpoint, PlanKind::Plw);
+                    ev.worker = ctx.worker as i32;
+                    ev.iteration = iter;
+                    ev.recovery = recovery;
+                    ev.t_us = sink.now_us();
+                    sink.record(ev);
                 }
             }
             Err(e) => return Err(e),

@@ -45,6 +45,13 @@ impl CommStats {
     }
 
     /// Resets all counters to zero.
+    ///
+    /// Deprecated: the counters are shared by every query running on the
+    /// cluster, so a reset silently corrupts the accounting of concurrent
+    /// queries. Take a [`CommStats::snapshot`] before the work and diff it
+    /// with [`CommSnapshot::since`] instead; resetting is only safe in
+    /// single-threaded tests.
+    #[deprecated(note = "use snapshot()/since() deltas; reset corrupts concurrent accounting")]
     pub fn reset(&self) {
         self.shuffles.store(0, Ordering::Relaxed);
         self.rows_shuffled.store(0, Ordering::Relaxed);
@@ -63,9 +70,8 @@ pub struct CommSnapshot {
 }
 
 impl CommSnapshot {
-    /// Difference against an earlier snapshot. Saturates at zero: the
-    /// counters can be `reset` between the two snapshots (the benchmark
-    /// harness does this per run), which would otherwise underflow.
+    /// Difference against an earlier snapshot. Saturates at zero so a
+    /// (deprecated) `reset` between the two snapshots cannot underflow.
     pub fn since(&self, earlier: &CommSnapshot) -> CommSnapshot {
         CommSnapshot {
             shuffles: self.shuffles.saturating_sub(earlier.shuffles),
@@ -105,6 +111,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn since_saturates_after_reset() {
         // A reset between snapshots must not underflow the difference.
         let m = CommStats::default();
@@ -125,6 +132,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn reset_zeroes() {
         let m = CommStats::default();
         m.record_shuffle(10);

@@ -1,0 +1,131 @@
+//! Integration tests for per-query tracing: the trace must make the
+//! paper's communication claim observable (P_gld shuffles every
+//! iteration, P_plw only during setup) and stay deterministic under
+//! same-seed chaos.
+
+use mura_core::{Database, Relation, Term};
+use mura_dist::{DistEvaluator, ExecConfig, FaultConfig, FixpointPlan, QueryTrace, TraceLevel};
+use mura_obs::trace::{EventKind, PlanKind};
+
+/// A 12-node path graph and its transitive-closure term — enough edges
+/// for several semi-naive supersteps.
+fn tc_db() -> (Database, Term) {
+    let mut db = Database::new();
+    let src = db.intern("src");
+    let dst = db.intern("dst");
+    let m = db.intern("m");
+    let x = db.intern("X");
+    let e = db.insert_relation("E", Relation::from_pairs(src, dst, (0..12).map(|i| (i, i + 1))));
+    let step = Term::var(x).rename(dst, m).join(Term::var(e).rename(src, m)).antiproject(m);
+    let term = Term::var(e).union(step).fix(x);
+    (db, term)
+}
+
+fn run_traced(config: ExecConfig) -> QueryTrace {
+    let (db, term) = tc_db();
+    let mut ev = DistEvaluator::new(&db, config);
+    ev.eval_collect(&term).expect("query must succeed");
+    ev.stats().trace.clone().expect("trace must be recorded")
+}
+
+#[test]
+fn gld_shuffles_every_superstep() {
+    let trace = run_traced(ExecConfig {
+        plan: FixpointPlan::ForceGld,
+        trace: TraceLevel::Superstep,
+        ..Default::default()
+    });
+    let steps: Vec<_> = trace.supersteps().filter(|e| e.plan == PlanKind::Gld).collect();
+    assert!(steps.len() >= 3, "expected several supersteps, got {}", steps.len());
+    for s in steps.iter().filter(|s| s.delta_rows > 0) {
+        assert!(s.shuffles > 0, "P_gld superstep {} recorded no shuffle: {s:?}", s.iteration);
+        assert!(s.rows_shuffled > 0, "P_gld superstep {} moved no rows: {s:?}", s.iteration);
+    }
+}
+
+#[test]
+fn plw_communicates_only_during_setup() {
+    let trace = run_traced(ExecConfig {
+        plan: FixpointPlan::ForcePlw,
+        trace: TraceLevel::Superstep,
+        ..Default::default()
+    });
+    let steps: Vec<_> = trace.supersteps().filter(|e| e.plan == PlanKind::Plw).collect();
+    assert!(steps.len() >= 3, "expected per-worker supersteps, got {}", steps.len());
+    for s in &steps {
+        assert_eq!(s.shuffles, 0, "P_plw superstep shuffled: {s:?}");
+        assert_eq!(s.rows_shuffled, 0, "P_plw superstep moved rows: {s:?}");
+        assert_eq!(s.broadcasts, 0, "P_plw superstep broadcast: {s:?}");
+    }
+    // All communication (the one-time repartition by the stable column and
+    // the invariant broadcasts) lands in the setup event.
+    let setup = trace
+        .events
+        .iter()
+        .find(|e| e.kind == EventKind::Setup && e.plan == PlanKind::Plw)
+        .expect("a P_plw fixpoint records a setup event");
+    assert!(
+        setup.shuffles + setup.broadcasts > 0,
+        "setup must carry the up-front communication: {setup:?}"
+    );
+}
+
+#[test]
+fn fixpoints_bracketed_by_start_and_end() {
+    let trace = run_traced(ExecConfig { trace: TraceLevel::Superstep, ..Default::default() });
+    let starts = trace.events.iter().filter(|e| e.kind == EventKind::FixpointStart).count();
+    let ends = trace.events.iter().filter(|e| e.kind == EventKind::FixpointEnd).count();
+    assert_eq!(starts, 1);
+    assert_eq!(ends, 1);
+    // The timeline renders a header plus one row per event.
+    let table = trace.render_timeline();
+    assert_eq!(table.lines().count(), 1 + trace.events.len(), "{table}");
+}
+
+#[test]
+fn trace_off_records_nothing() {
+    let (db, term) = tc_db();
+    let mut ev = DistEvaluator::new(&db, ExecConfig::default());
+    ev.eval_collect(&term).unwrap();
+    assert!(ev.stats().trace.is_none());
+}
+
+#[test]
+fn fixpoint_level_skips_superstep_events() {
+    let trace = run_traced(ExecConfig {
+        plan: FixpointPlan::ForceGld,
+        trace: TraceLevel::Fixpoint,
+        ..Default::default()
+    });
+    assert_eq!(trace.supersteps().count(), 0, "no superstep events below Superstep level");
+    assert!(trace.events.iter().any(|e| e.kind == EventKind::FixpointStart));
+    assert!(trace.events.iter().any(|e| e.kind == EventKind::Setup));
+    assert!(trace.events.iter().any(|e| e.kind == EventKind::FixpointEnd));
+}
+
+#[test]
+fn same_seed_chaos_runs_have_identical_signatures() {
+    let chaos = |seed: u64| {
+        run_traced(ExecConfig {
+            fault: FaultConfig::chaos(seed),
+            checkpoint_every: 2,
+            trace: TraceLevel::Superstep,
+            ..Default::default()
+        })
+        .signature()
+    };
+    let a = chaos(7);
+    let b = chaos(7);
+    assert_eq!(a, b, "same-seed chaos traces must agree modulo timestamps");
+    assert!(!a.is_empty());
+}
+
+#[test]
+fn exported_json_is_valid() {
+    let trace = run_traced(ExecConfig { trace: TraceLevel::Superstep, ..Default::default() });
+    let doc = mura_obs::json::Json::parse(&trace.to_json()).expect("trace JSON parses");
+    let events = doc.get("traceEvents").and_then(|v| v.as_array()).unwrap();
+    assert_eq!(events.len(), trace.events.len());
+    let mura = doc.get("mura").expect("structured dump present");
+    assert_eq!(mura.get("level").and_then(|v| v.as_str()), Some("superstep"));
+}

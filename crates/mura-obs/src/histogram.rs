@@ -1,0 +1,227 @@
+//! Fixed log-spaced latency histograms.
+//!
+//! Buckets are powers of two in microseconds: bucket `k` counts samples
+//! `≤ 2^k µs`, for `k ∈ [0, BUCKETS)`, plus one overflow bucket. With
+//! `BUCKETS = 26` the largest finite bound is ~33.6 s — wider than any
+//! query the serving layer admits under a deadline. Log spacing keeps the
+//! relative quantile error bounded (a factor of two) at constant memory,
+//! with no samples stored: p50/p95/p99 are derived from the counts.
+//!
+//! Recording is one `fetch_add` on the bucket plus three on the aggregate
+//! counters — safe to call from every worker thread.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of finite buckets (bounds `2^0 .. 2^(BUCKETS-1)` µs).
+pub const BUCKETS: usize = 26;
+
+/// Upper bound (inclusive) of finite bucket `i`, in microseconds.
+pub fn bucket_bound_us(i: usize) -> u64 {
+    1u64 << i
+}
+
+/// Index of the bucket a sample falls into (`BUCKETS` = overflow).
+fn bucket_index(us: u64) -> usize {
+    if us <= 1 {
+        return 0;
+    }
+    let idx = (64 - (us - 1).leading_zeros()) as usize;
+    idx.min(BUCKETS)
+}
+
+/// A concurrent log-spaced histogram of microsecond latencies.
+pub struct Histogram {
+    counts: [AtomicU64; BUCKETS + 1],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample of `us` microseconds.
+    pub fn record_us(&self, us: u64) {
+        self.counts[bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Records one sample from a [`std::time::Duration`].
+    pub fn record(&self, d: std::time::Duration) {
+        self.record_us(d.as_micros() as u64);
+    }
+
+    /// Point-in-time copy of the counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: self.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum_us: self.sum_us.load(Ordering::Relaxed),
+            max_us: self.max_us.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An immutable copy of a [`Histogram`], with quantile derivation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts; `counts[BUCKETS]` is the overflow bucket.
+    pub counts: Vec<u64>,
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples in microseconds.
+    pub sum_us: u64,
+    /// Largest recorded sample in microseconds.
+    pub max_us: u64,
+}
+
+impl HistogramSnapshot {
+    /// The `q`-quantile (`0 < q ≤ 1`) in microseconds, or `None` when the
+    /// histogram is empty. Returns the upper bound of the bucket holding
+    /// the quantile rank, capped at the observed maximum (so a quantile
+    /// never exceeds any real sample, and the overflow bucket reports the
+    /// max instead of infinity).
+    pub fn quantile_us(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return if i >= BUCKETS {
+                    Some(self.max_us)
+                } else {
+                    Some(bucket_bound_us(i).min(self.max_us))
+                };
+            }
+        }
+        Some(self.max_us)
+    }
+
+    /// Mean sample in microseconds (0 when empty).
+    pub fn mean_us(&self) -> u64 {
+        self.sum_us.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// Formats a microsecond latency as a compact human string (`"1.24ms"`).
+pub fn fmt_us(us: u64) -> String {
+    if us >= 1_000_000 {
+        format!("{:.2}s", us as f64 / 1e6)
+    } else if us >= 1_000 {
+        format!("{:.2}ms", us as f64 / 1e3)
+    } else {
+        format!("{us}µs")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_math() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(5), 3);
+        // Exactly at the largest finite bound stays finite…
+        assert_eq!(bucket_index(bucket_bound_us(BUCKETS - 1)), BUCKETS - 1);
+        // …one past it overflows.
+        assert_eq!(bucket_index(bucket_bound_us(BUCKETS - 1) + 1), BUCKETS);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS);
+    }
+
+    #[test]
+    fn bounds_are_monotone() {
+        for i in 1..BUCKETS {
+            assert!(bucket_bound_us(i) > bucket_bound_us(i - 1));
+        }
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = Histogram::new();
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.quantile_us(0.5), None);
+        assert_eq!(s.quantile_us(0.99), None);
+        assert_eq!(s.mean_us(), 0);
+    }
+
+    #[test]
+    fn single_sample_is_every_quantile() {
+        let h = Histogram::new();
+        h.record_us(100);
+        let s = h.snapshot();
+        // The bucket bound (128) is capped at the observed max (100).
+        assert_eq!(s.quantile_us(0.5), Some(100));
+        assert_eq!(s.quantile_us(0.99), Some(100));
+        assert_eq!(s.quantile_us(1.0), Some(100));
+        assert_eq!(s.mean_us(), 100);
+    }
+
+    #[test]
+    fn overflow_bucket_reports_max() {
+        let h = Histogram::new();
+        let huge = bucket_bound_us(BUCKETS - 1) * 4;
+        h.record_us(huge);
+        let s = h.snapshot();
+        assert_eq!(s.counts[BUCKETS], 1);
+        assert_eq!(s.quantile_us(0.5), Some(huge));
+    }
+
+    #[test]
+    fn quantiles_split_a_bimodal_load() {
+        let h = Histogram::new();
+        for _ in 0..90 {
+            h.record_us(1_000); // ~1ms fast path
+        }
+        for _ in 0..10 {
+            h.record_us(1_000_000); // ~1s slow path
+        }
+        let s = h.snapshot();
+        let p50 = s.quantile_us(0.5).unwrap();
+        let p99 = s.quantile_us(0.99).unwrap();
+        assert!(p50 <= 1_024, "p50 {p50} should sit in the fast mode");
+        assert!(p99 >= 500_000, "p99 {p99} should sit in the slow mode");
+    }
+
+    #[test]
+    fn quantile_rank_edges() {
+        let h = Histogram::new();
+        h.record_us(10);
+        h.record_us(1_000);
+        let s = h.snapshot();
+        // q→0 clamps to rank 1 (the smallest sample's bucket).
+        assert_eq!(s.quantile_us(0.0), Some(16));
+        assert_eq!(s.quantile_us(1.0), Some(1_000));
+    }
+
+    #[test]
+    fn fmt_us_scales() {
+        assert_eq!(fmt_us(900), "900µs");
+        assert_eq!(fmt_us(1_500), "1.50ms");
+        assert_eq!(fmt_us(2_500_000), "2.50s");
+    }
+}

@@ -17,6 +17,11 @@
 //! * **Cancellation & deadlines** — every query carries a
 //!   [`CancellationToken`](mura_core::CancellationToken) checked at each
 //!   fixpoint superstep; deadlines start at submission.
+//! * **Telemetry** — log-spaced latency histograms (wall, queue wait,
+//!   execution, planning) and communication totals feed `.stats`
+//!   quantile lines and a `.metrics` Prometheus text-exposition page;
+//!   [`Client::profile`] (the `.profile` verb) runs a query with
+//!   per-superstep tracing and returns its timeline.
 //! * A line-oriented **TCP protocol** ([`protocol`]) compatible with the
 //!   `murash` shell's verbs, for out-of-process clients.
 //!

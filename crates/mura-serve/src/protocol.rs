@@ -12,7 +12,9 @@
 //! ← …
 //! ← .
 //! → .deadline 500        set a per-connection deadline (0 clears)
-//! → .stats               serving counters
+//! → .stats               serving counters incl. latency quantiles
+//! → .metrics             Prometheus text-exposition page
+//! → .profile <query>     run traced, print the superstep timeline
 //! → .rels                relations and row counts
 //! → .quit
 //! ```
@@ -117,6 +119,22 @@ fn handle_connection(stream: TcpStream, client: &Client) -> io::Result<()> {
                 let body: Vec<String> = stats.lines().map(str::to_string).collect();
                 write_block(&mut out, "OK stats", &body)?;
             }
+            ".metrics" => {
+                let page = client.metrics();
+                let body: Vec<String> = page.lines().map(str::to_string).collect();
+                write_block(&mut out, "OK metrics", &body)?;
+            }
+            _ if line.starts_with(".profile") => {
+                let query = line[".profile".len()..].trim();
+                if query.is_empty() {
+                    write_block(&mut out, "ERR usage: .profile <query>", &[])?;
+                } else {
+                    match run_profile(client, query) {
+                        Ok((header, body)) => write_block(&mut out, &header, &body)?,
+                        Err(e) => write_block(&mut out, &format!("ERR {e}"), &[])?,
+                    }
+                }
+            }
             ".rels" => {
                 let mut body = client.with_db(|db| {
                     db.relations()
@@ -155,6 +173,24 @@ fn handle_connection(stream: TcpStream, client: &Client) -> io::Result<()> {
 }
 
 type QueryBlock = (String, Vec<String>);
+
+/// Runs a query with per-superstep tracing and renders its timeline:
+/// one aligned row per trace event (fixpoint, plan, worker, iteration,
+/// delta size, rows shuffled/broadcast, probes, wall time).
+fn run_profile(client: &Client, query: &str) -> ServeResult<QueryBlock> {
+    let out = client.profile(query)?;
+    let header = format!(
+        "OK profile {} rows planning={:.1?} execution={:.1?}",
+        out.relation.len(),
+        out.planning,
+        out.execution,
+    );
+    let body = match out.trace() {
+        Some(trace) => trace.render_timeline().lines().map(str::to_string).collect(),
+        None => vec!["(no trace recorded)".to_string()],
+    };
+    Ok((header, body))
+}
 
 fn run_query(client: &Client, query: &str, deadline: Option<Duration>) -> ServeResult<QueryBlock> {
     let out = client.submit(query, deadline)?.wait()?;

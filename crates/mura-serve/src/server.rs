@@ -29,12 +29,14 @@ use crate::cache::{plan_key, LruCache};
 use crate::error::{ServeError, ServeResult};
 use mura_core::{CancellationToken, Database, Term};
 use mura_dist::exec::ResourceLimits;
-use mura_dist::{PlannedQuery, QueryEngine, QueryOutput};
+use mura_dist::{PlannedQuery, QueryEngine, QueryOutput, TraceLevel};
+use mura_obs::histogram::fmt_us;
+use mura_obs::{Histogram, PromText};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Serving configuration.
 #[derive(Debug, Clone)]
@@ -108,6 +110,27 @@ pub struct ServeStats {
     pub fault_retries: u64,
     pub fault_restores: u64,
     pub fault_restarts: u64,
+    /// Latency quantiles in microseconds, derived from the server's
+    /// log-spaced histograms (0 when no samples yet). `wall` covers
+    /// submission to answer (queue time included), `queue` the wait for a
+    /// worker, `exec` fresh (non-cached) executions only.
+    pub wall_p50_us: u64,
+    pub wall_p95_us: u64,
+    pub wall_p99_us: u64,
+    pub queue_p50_us: u64,
+    pub queue_p95_us: u64,
+    pub queue_p99_us: u64,
+    pub exec_p50_us: u64,
+    pub exec_p95_us: u64,
+    pub exec_p99_us: u64,
+    /// Communication totals accumulated across fresh executions (cache
+    /// hits replay an answer, not its communication). Derived per query
+    /// via `snapshot().since(before)` deltas, never by resetting the
+    /// shared cluster counters.
+    pub comm_shuffles: u64,
+    pub comm_rows_shuffled: u64,
+    pub comm_broadcasts: u64,
+    pub comm_rows_broadcast: u64,
 }
 
 impl ServeStats {
@@ -159,6 +182,35 @@ impl std::fmt::Display for ServeStats {
             self.fault_restores,
             self.fault_restarts
         )?;
+        writeln!(
+            f,
+            "latency      p50 {} / p95 {} / p99 {} (wall, incl. queue)",
+            fmt_us(self.wall_p50_us),
+            fmt_us(self.wall_p95_us),
+            fmt_us(self.wall_p99_us)
+        )?;
+        writeln!(
+            f,
+            "queue wait   p50 {} / p95 {} / p99 {}",
+            fmt_us(self.queue_p50_us),
+            fmt_us(self.queue_p95_us),
+            fmt_us(self.queue_p99_us)
+        )?;
+        writeln!(
+            f,
+            "execution    p50 {} / p95 {} / p99 {} (fresh runs)",
+            fmt_us(self.exec_p50_us),
+            fmt_us(self.exec_p95_us),
+            fmt_us(self.exec_p99_us)
+        )?;
+        writeln!(
+            f,
+            "comm         {} shuffles / {} rows shuffled, {} broadcasts / {} rows broadcast",
+            self.comm_shuffles,
+            self.comm_rows_shuffled,
+            self.comm_broadcasts,
+            self.comm_rows_broadcast
+        )?;
         write!(f, "epoch      {}", self.epoch)
     }
 }
@@ -180,9 +232,46 @@ struct Counters {
     fault_restarts: AtomicU64,
 }
 
+/// Latency histograms and communication totals accumulated over the
+/// server's lifetime. Histograms are log-spaced (power-of-two microsecond
+/// buckets, see [`mura_obs::histogram`]) so p50/p95/p99 and a Prometheus
+/// exposition both derive from the same counters.
+#[derive(Default)]
+struct Telemetry {
+    /// Submission → answer, queue time included. Every finished query.
+    wall: Histogram,
+    /// Submission → a worker picking the job up.
+    queue: Histogram,
+    /// Evaluator time of fresh (non-cached) executions.
+    execution: Histogram,
+    /// Planning time of plan-cache misses.
+    planning: Histogram,
+    /// Communication of fresh executions (per-query `since()` deltas).
+    shuffles: AtomicU64,
+    rows_shuffled: AtomicU64,
+    broadcasts: AtomicU64,
+    rows_broadcast: AtomicU64,
+}
+
+impl Telemetry {
+    fn record_comm(&self, comm: &mura_dist::CommSnapshot) {
+        self.shuffles.fetch_add(comm.shuffles, Ordering::Relaxed);
+        self.rows_shuffled.fetch_add(comm.rows_shuffled, Ordering::Relaxed);
+        self.broadcasts.fetch_add(comm.broadcasts, Ordering::Relaxed);
+        self.rows_broadcast.fetch_add(comm.rows_broadcast, Ordering::Relaxed);
+    }
+}
+
 struct QueryJob {
     query: String,
     token: CancellationToken,
+    /// Tracing level for this execution. Anything above `Off` also bypasses
+    /// the result cache: a cached answer has no trace to return, and a
+    /// traced answer must not be replayed to clients that never asked for
+    /// the tracing overhead.
+    trace: TraceLevel,
+    /// When the job was admitted; queue wait and wall latency both start here.
+    submitted: Instant,
     reply: std::sync::mpsc::Sender<ServeResult<Arc<QueryOutput>>>,
 }
 
@@ -199,6 +288,7 @@ struct ServerInner {
     results: Mutex<LruCache<(u64, u64), Arc<QueryOutput>>>,
     plans: Mutex<LruCache<(String, u64), Term>>,
     counters: Counters,
+    telemetry: Telemetry,
     closing: AtomicBool,
     config: ServeConfig,
 }
@@ -240,17 +330,22 @@ impl ServerInner {
                 epoch = self.epoch.load(Ordering::Acquire);
                 let planned = engine.plan_ucrpq(&job.query)?;
                 lock(&self.plans).insert((job.query.clone(), epoch), planned.plan.clone());
+                self.telemetry.planning.record(planned.planning);
                 planned
             }
         };
 
-        // Result cache: canonical plan key + epoch.
+        // Result cache: canonical plan key + epoch. Traced jobs bypass it —
+        // see `QueryJob::trace`.
+        let traced = job.trace > TraceLevel::Off;
         let result_key = (plan_key(&planned.plan), epoch);
-        if let Some(hit) = lock(&self.results).get(&result_key) {
-            self.counters.result_hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(hit);
+        if !traced {
+            if let Some(hit) = lock(&self.results).get(&result_key) {
+                self.counters.result_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(hit);
+            }
+            self.counters.result_misses.fetch_add(1, Ordering::Relaxed);
         }
-        self.counters.result_misses.fetch_add(1, Ordering::Relaxed);
 
         // Execute under the read lock: many executions run concurrently;
         // only planning and loads serialize.
@@ -258,7 +353,10 @@ impl ServerInner {
         let mut config = engine.config().clone();
         config.limits = self.config.limits;
         config.cancel = Some(job.token.clone());
+        config.trace = job.trace;
         let out = Arc::new(engine.execute_plan_with(&planned, config)?);
+        self.telemetry.execution.record(out.execution);
+        self.telemetry.record_comm(&out.comm);
         // Accumulate fault/recovery accounting for fresh executions only —
         // cache hits replay an old answer, not its faults.
         let fault = &out.stats.fault;
@@ -272,7 +370,7 @@ impl ServerInner {
         // A load may have slipped in between planning and taking the read
         // lock. The answer is then computed against the newer data — still
         // correct to return, but not safe to file under the old epoch.
-        if self.epoch.load(Ordering::Acquire) == epoch {
+        if !traced && self.epoch.load(Ordering::Acquire) == epoch {
             lock(&self.results).insert(result_key, out.clone());
         }
         Ok(out)
@@ -301,6 +399,7 @@ impl Server {
             results: Mutex::new(LruCache::new(config.result_cache)),
             plans: Mutex::new(LruCache::new(config.plan_cache)),
             counters: Counters::default(),
+            telemetry: Telemetry::default(),
             closing: AtomicBool::new(false),
             config,
         });
@@ -327,6 +426,11 @@ impl Server {
     /// Current serving counters.
     pub fn stats(&self) -> ServeStats {
         stats_of(&self.inner)
+    }
+
+    /// The full telemetry as a Prometheus text-exposition page.
+    pub fn metrics(&self) -> String {
+        metrics_of(&self.inner)
     }
 
     /// Current database epoch (bumped by every [`Server::load`]).
@@ -382,7 +486,9 @@ fn worker_loop(inner: &ServerInner, rx: &Mutex<Receiver<Job>>) {
             Ok(Job::Query(j)) => j,
             Ok(Job::Poison) | Err(_) => return,
         };
+        inner.telemetry.queue.record(job.submitted.elapsed());
         let result = inner.process(&job);
+        inner.telemetry.wall.record(job.submitted.elapsed());
         match &result {
             Ok(_) => inner.counters.completed.fetch_add(1, Ordering::Relaxed),
             Err(_) => inner.counters.failed.fetch_add(1, Ordering::Relaxed),
@@ -394,7 +500,12 @@ fn worker_loop(inner: &ServerInner, rx: &Mutex<Receiver<Job>>) {
 
 fn stats_of(inner: &ServerInner) -> ServeStats {
     let c = &inner.counters;
+    let t = &inner.telemetry;
     let k = mura_core::kernel::kernel_stats().snapshot();
+    let wall = t.wall.snapshot();
+    let queue = t.queue.snapshot();
+    let exec = t.execution.snapshot();
+    let q = |s: &mura_obs::HistogramSnapshot, p: f64| s.quantile_us(p).unwrap_or(0);
     ServeStats {
         submitted: c.submitted.load(Ordering::Relaxed),
         rejected: c.rejected.load(Ordering::Relaxed),
@@ -417,7 +528,89 @@ fn stats_of(inner: &ServerInner) -> ServeStats {
         fault_retries: c.fault_retries.load(Ordering::Relaxed),
         fault_restores: c.fault_restores.load(Ordering::Relaxed),
         fault_restarts: c.fault_restarts.load(Ordering::Relaxed),
+        wall_p50_us: q(&wall, 0.50),
+        wall_p95_us: q(&wall, 0.95),
+        wall_p99_us: q(&wall, 0.99),
+        queue_p50_us: q(&queue, 0.50),
+        queue_p95_us: q(&queue, 0.95),
+        queue_p99_us: q(&queue, 0.99),
+        exec_p50_us: q(&exec, 0.50),
+        exec_p95_us: q(&exec, 0.95),
+        exec_p99_us: q(&exec, 0.99),
+        comm_shuffles: t.shuffles.load(Ordering::Relaxed),
+        comm_rows_shuffled: t.rows_shuffled.load(Ordering::Relaxed),
+        comm_broadcasts: t.broadcasts.load(Ordering::Relaxed),
+        comm_rows_broadcast: t.rows_broadcast.load(Ordering::Relaxed),
     }
+}
+
+/// Renders the full telemetry of a server as a Prometheus text-exposition
+/// page (format 0.0.4): query outcome / cache / kernel / fault counters,
+/// communication totals, the latency histograms and the database epoch.
+fn metrics_of(inner: &ServerInner) -> String {
+    let s = stats_of(inner);
+    let t = &inner.telemetry;
+    let mut p = PromText::new();
+    p.family("mura_queries_total", "counter", "Queries by final outcome.");
+    p.sample("mura_queries_total", &[("outcome", "completed")], s.completed as f64);
+    p.sample("mura_queries_total", &[("outcome", "failed")], s.failed as f64);
+    p.sample("mura_queries_total", &[("outcome", "rejected")], s.rejected as f64);
+    p.counter("mura_queries_submitted_total", "Queries admitted into the queue.", s.submitted);
+    p.family("mura_cache_events_total", "counter", "Plan/result cache hits, misses, evictions.");
+    for (cache, hits, misses, evictions) in [
+        ("plan", s.plan_hits, s.plan_misses, s.plan_evictions),
+        ("result", s.result_hits, s.result_misses, s.result_evictions),
+    ] {
+        p.sample("mura_cache_events_total", &[("cache", cache), ("event", "hit")], hits as f64);
+        p.sample("mura_cache_events_total", &[("cache", cache), ("event", "miss")], misses as f64);
+        p.sample(
+            "mura_cache_events_total",
+            &[("cache", cache), ("event", "eviction")],
+            evictions as f64,
+        );
+    }
+    p.counter("mura_comm_shuffles_total", "Shuffle operations across executions.", s.comm_shuffles);
+    p.counter("mura_comm_rows_shuffled_total", "Rows moved by shuffles.", s.comm_rows_shuffled);
+    p.counter("mura_comm_broadcasts_total", "Broadcast operations.", s.comm_broadcasts);
+    p.counter(
+        "mura_comm_rows_broadcast_total",
+        "Rows replicated by broadcasts.",
+        s.comm_rows_broadcast,
+    );
+    p.counter("mura_faults_injected_total", "Faults injected into executions.", s.faults_injected);
+    p.family("mura_fault_recoveries_total", "counter", "Recovery actions by kind.");
+    p.sample("mura_fault_recoveries_total", &[("action", "retry")], s.fault_retries as f64);
+    p.sample("mura_fault_recoveries_total", &[("action", "restore")], s.fault_restores as f64);
+    p.sample("mura_fault_recoveries_total", &[("action", "restart")], s.fault_restarts as f64);
+    p.counter("mura_degraded_queries_total", "Queries that recovered from faults.", s.degraded);
+    p.family("mura_kernel_events_total", "counter", "Evaluation-kernel counters (process-wide).");
+    for (event, v) in [
+        ("index_build", s.kernel_index_builds),
+        ("join_probe", s.kernel_join_probes),
+        ("antijoin_probe", s.kernel_antijoin_probes),
+        ("rows_allocated", s.kernel_rows_allocated),
+        ("const_fold", s.kernel_const_folds),
+    ] {
+        p.sample("mura_kernel_events_total", &[("event", event)], v as f64);
+    }
+    p.histogram(
+        "mura_query_wall_seconds",
+        "Submission-to-answer latency, queue time included.",
+        &t.wall.snapshot(),
+    );
+    p.histogram("mura_query_queue_seconds", "Wait for a worker.", &t.queue.snapshot());
+    p.histogram(
+        "mura_query_execution_seconds",
+        "Evaluator time of fresh executions.",
+        &t.execution.snapshot(),
+    );
+    p.histogram(
+        "mura_query_planning_seconds",
+        "Planning time of plan-cache misses.",
+        &t.planning.snapshot(),
+    );
+    p.gauge("mura_db_epoch", "Current database epoch.", s.epoch as f64);
+    p.finish()
 }
 
 /// A handle for submitting queries to a [`Server`]. Cloneable and
@@ -445,9 +638,27 @@ impl Client {
         self.submit(query, Some(deadline))?.wait()
     }
 
+    /// Runs a query with per-superstep tracing forced on, bypassing the
+    /// result cache, and blocks for the answer. The output's
+    /// `stats.trace` then carries the full [`mura_dist::QueryTrace`]
+    /// (superstep timeline, communication per iteration) — see the
+    /// `.profile` protocol command.
+    pub fn profile(&self, query: &str) -> ServeResult<Arc<QueryOutput>> {
+        self.submit_traced(query, self.inner.config.default_deadline, TraceLevel::Superstep)?.wait()
+    }
+
     /// Non-blocking submission. Returns a [`Pending`] on admission, or
     /// [`ServeError::Busy`] immediately when the queue is full.
     pub fn submit(&self, query: &str, deadline: Option<Duration>) -> ServeResult<Pending> {
+        self.submit_traced(query, deadline, TraceLevel::Off)
+    }
+
+    fn submit_traced(
+        &self,
+        query: &str,
+        deadline: Option<Duration>,
+        trace: TraceLevel,
+    ) -> ServeResult<Pending> {
         if self.inner.closing.load(Ordering::SeqCst) {
             return Err(ServeError::Closed);
         }
@@ -456,7 +667,13 @@ impl Client {
             None => CancellationToken::new(),
         };
         let (reply_tx, reply_rx) = std::sync::mpsc::channel();
-        let job = QueryJob { query: query.to_string(), token: token.clone(), reply: reply_tx };
+        let job = QueryJob {
+            query: query.to_string(),
+            token: token.clone(),
+            trace,
+            submitted: Instant::now(),
+            reply: reply_tx,
+        };
         match self.tx.try_send(Job::Query(job)) {
             Ok(()) => {
                 self.inner.counters.submitted.fetch_add(1, Ordering::Relaxed);
@@ -473,6 +690,11 @@ impl Client {
     /// Current serving counters.
     pub fn stats(&self) -> ServeStats {
         stats_of(&self.inner)
+    }
+
+    /// The full telemetry as a Prometheus text-exposition page.
+    pub fn metrics(&self) -> String {
+        metrics_of(&self.inner)
     }
 
     /// Read access to the database (resolve symbols, list relations).

@@ -1,0 +1,146 @@
+//! Acceptance tests for the observability surface: `.metrics` exposition,
+//! `.profile` timelines, and latency quantiles in `.stats`.
+
+use mura_core::{Database, Relation};
+use mura_dist::exec::{ExecConfig, FixpointPlan};
+use mura_dist::QueryEngine;
+use mura_serve::{protocol, serve_tcp, ServeConfig, Server};
+use std::io::{BufReader, Write};
+use std::net::TcpStream;
+
+/// A 12-node path graph: its transitive closure needs several semi-naive
+/// supersteps, so a profile shows a real timeline.
+fn path_db() -> Database {
+    let mut db = Database::new();
+    let src = db.intern("src");
+    let dst = db.intern("dst");
+    db.insert_relation("e", Relation::from_pairs(src, dst, (0..12).map(|i| (i, i + 1))));
+    db
+}
+
+const TC: &str = "?x, ?y <- ?x e+ ?y";
+
+#[test]
+fn profile_returns_superstep_timeline() {
+    let config = ExecConfig { plan: FixpointPlan::ForceGld, ..Default::default() };
+    let server = Server::start(QueryEngine::with_config(path_db(), config), ServeConfig::default());
+    let client = server.client();
+
+    let out = client.profile(TC).unwrap();
+    let trace = out.trace().expect("profiled query carries a trace");
+    let steps: Vec<_> = trace.supersteps().collect();
+    assert!(steps.len() >= 3, "expected several supersteps, got {}", steps.len());
+    // Under P_gld every productive superstep shuffles rows.
+    for s in steps.iter().filter(|s| s.delta_rows > 0) {
+        assert!(s.rows_shuffled > 0, "superstep {} shows no shuffled rows: {s:?}", s.iteration);
+    }
+    // The rendered timeline has a header plus one row per event.
+    let table = trace.render_timeline();
+    assert_eq!(table.lines().count(), 1 + trace.events.len(), "{table}");
+    server.shutdown();
+}
+
+#[test]
+fn profile_bypasses_result_cache_and_plain_queries_stay_untraced() {
+    let server = Server::start(QueryEngine::new(path_db()), ServeConfig::default());
+    let client = server.client();
+
+    // Warm the result cache with an untraced run.
+    let plain = client.query(TC).unwrap();
+    assert!(plain.trace().is_none(), "plain queries must not pay for tracing");
+
+    // The profile must execute fresh (a cached answer has no trace)...
+    let profiled = client.profile(TC).unwrap();
+    assert!(profiled.trace().is_some());
+    assert_eq!(profiled.relation.sorted_rows(), plain.relation.sorted_rows());
+
+    // ...and must not poison the cache with a traced entry.
+    let after = client.query(TC).unwrap();
+    assert!(after.trace().is_none(), "cache must never serve traced outputs");
+    let stats = server.stats();
+    assert_eq!(stats.result_hits, 1, "only the post-profile plain query hits: {stats:?}");
+    assert_eq!(stats.result_misses, 1, "the profile run counts neither hit nor miss: {stats:?}");
+    server.shutdown();
+}
+
+#[test]
+fn stats_report_latency_quantiles_after_queries() {
+    let server = Server::start(QueryEngine::new(path_db()), ServeConfig::default());
+    let client = server.client();
+    for _ in 0..3 {
+        client.query(TC).unwrap();
+    }
+    let stats = server.stats();
+    assert!(stats.wall_p50_us > 0, "wall p50 must be recorded: {stats:?}");
+    assert!(stats.wall_p99_us >= stats.wall_p50_us);
+    assert!(stats.exec_p50_us > 0, "execution p50 must be recorded: {stats:?}");
+    assert!(stats.comm_rows_shuffled + stats.comm_rows_broadcast > 0, "comm totals: {stats:?}");
+    let text = stats.to_string();
+    assert!(text.contains("latency      p50 "), "{text}");
+    assert!(text.contains("queue wait   p50 "), "{text}");
+    server.shutdown();
+}
+
+#[test]
+fn metrics_page_has_required_families() {
+    let server = Server::start(QueryEngine::new(path_db()), ServeConfig::default());
+    let client = server.client();
+    client.query(TC).unwrap();
+    let page = server.metrics();
+    for family in [
+        "mura_queries_total",
+        "mura_cache_events_total",
+        "mura_comm_rows_shuffled_total",
+        "mura_faults_injected_total",
+        "mura_fault_recoveries_total",
+        "mura_query_wall_seconds",
+        "mura_query_queue_seconds",
+        "mura_query_execution_seconds",
+        "mura_query_planning_seconds",
+        "mura_db_epoch",
+    ] {
+        assert!(page.contains(&format!("# TYPE {family} ")), "missing family {family}:\n{page}");
+    }
+    assert!(page.contains("mura_queries_total{outcome=\"completed\"} 1"), "{page}");
+    assert!(page.contains("mura_query_wall_seconds_bucket{le=\"+Inf\"} 1"), "{page}");
+    // Every sample line is "name[{labels}] value" — no blank or malformed lines.
+    for line in page.lines().filter(|l| !l.starts_with('#')) {
+        let (name, value) = line.rsplit_once(' ').expect("sample has a value");
+        assert!(!name.is_empty() && value.parse::<f64>().is_ok(), "bad sample line: {line}");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn tcp_metrics_and_profile_commands() {
+    let server = Server::start(QueryEngine::new(path_db()), ServeConfig::default());
+    let handle = serve_tcp(&server, "127.0.0.1:0").unwrap();
+    let stream = TcpStream::connect(handle.addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let write = |line: &str| {
+        let mut s = stream.try_clone().unwrap();
+        s.write_all(format!("{line}\n").as_bytes()).unwrap();
+    };
+
+    write(&format!(".profile {TC}"));
+    let (status, body) = protocol::read_response(&mut reader).unwrap();
+    assert!(status.starts_with("OK profile "), "{status}");
+    // Header row plus at least fixpoint-start, setup, one superstep, end.
+    assert!(body.len() >= 5, "timeline too short: {body:?}");
+    assert!(body[0].contains("event"), "missing header: {}", body[0]);
+    assert!(body.iter().any(|l| l.contains("superstep")), "{body:?}");
+
+    write(".metrics");
+    let (status, body) = protocol::read_response(&mut reader).unwrap();
+    assert_eq!(status, "OK metrics");
+    assert!(body.iter().any(|l| l.starts_with("mura_queries_total{")), "{body:?}");
+
+    write(".profile");
+    let (status, _) = protocol::read_response(&mut reader).unwrap();
+    assert!(status.starts_with("ERR usage"), "{status}");
+
+    write(".quit");
+    let _ = protocol::read_response(&mut reader).unwrap();
+    handle.stop();
+    server.shutdown();
+}

@@ -20,7 +20,7 @@ use mura_core::sql::to_sql;
 use mura_datagen::{load_edge_list, save_edge_list, UniprotConfig, YagoConfig};
 use mura_datalog::ucrpq_to_program;
 use mura_dist::exec::FixpointPlan;
-use mura_dist::{FaultConfig, LocalEngine};
+use mura_dist::{FaultConfig, LocalEngine, TraceLevel};
 use mura_ucrpq::to_mura;
 
 struct Shell {
@@ -29,6 +29,9 @@ struct Shell {
     config: ExecConfig,
     optimize: bool,
     serving: Option<(mura_serve::TcpServeHandle, mura_serve::Server)>,
+    /// When set (`--trace-out <path>`), every query runs with per-superstep
+    /// tracing and the latest trace is written to this path as JSON.
+    trace_out: Option<String>,
 }
 
 const HELP: &str = "\
@@ -48,6 +51,7 @@ commands:
   .serve <addr>          serve queries over TCP (snapshot of the current db)
   .serve stop            stop the running server
   .classes <query>       classify a query (C1..C6)
+  .profile <query>       run traced and print the superstep timeline
   .explain <query>       show the physical plan with fixpoint annotations
   .plan-of <query>       show the optimized logical plan
   .sql <query>           translate the optimized plan to PostgreSQL SQL
@@ -55,41 +59,66 @@ commands:
   .help                  this text
   .quit                  exit
 anything else is parsed as a UCRPQ query and executed.
-start with `murash --connect <addr>` to talk to a remote .serve instance.";
+start with `murash --connect <addr>` to talk to a remote .serve instance,
+`--chaos <seed>` for fault injection, `--trace-out <path>` to dump each
+query's trace as JSON (Chrome-trace compatible under \"traceEvents\").";
+
+const USAGE: &str = "usage: murash [--connect <addr>] [--chaos <seed>] [--trace-out <path>]";
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    if let [_, flag, addr] = args.as_slice() {
-        if flag == "--connect" {
-            if let Err(e) = client_repl(addr) {
-                eprintln!("error: {e}");
-                std::process::exit(1);
+    let mut connect: Option<String> = None;
+    let mut chaos_seed: Option<u64> = None;
+    let mut trace_out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value\n{USAGE}");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--connect" => connect = Some(value("--connect")),
+            "--chaos" => {
+                let seed = value("--chaos");
+                chaos_seed = Some(seed.parse().unwrap_or_else(|_| {
+                    eprintln!("invalid seed '{seed}'\n{USAGE}");
+                    std::process::exit(2);
+                }));
             }
-            return;
+            "--trace-out" => trace_out = Some(value("--trace-out")),
+            _ => {
+                eprintln!("unknown flag '{flag}'\n{USAGE}");
+                std::process::exit(2);
+            }
         }
+    }
+    if let Some(addr) = connect {
+        if let Err(e) = client_repl(&addr) {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+        return;
     }
     let mut config = ExecConfig::default();
-    let mut chaos_seed = None;
-    if let [_, flag, seed] = args.as_slice() {
-        if flag == "--chaos" {
-            let seed: u64 = seed.parse().unwrap_or_else(|_| {
-                eprintln!("usage: murash --chaos <seed>");
-                std::process::exit(2);
-            });
-            config.fault = FaultConfig::chaos(seed);
-            config.checkpoint_every = 2;
-            chaos_seed = Some(seed);
-        }
+    if let Some(seed) = chaos_seed {
+        config.fault = FaultConfig::chaos(seed);
+        config.checkpoint_every = 2;
     }
-    if args.len() > 1 && chaos_seed.is_none() {
-        eprintln!("usage: murash [--connect <addr>] [--chaos <seed>]");
-        std::process::exit(2);
-    }
-    let mut shell =
-        Shell { db: Database::new(), graph: None, config, optimize: true, serving: None };
+    let mut shell = Shell {
+        db: Database::new(),
+        graph: None,
+        config,
+        optimize: true,
+        serving: None,
+        trace_out,
+    };
     println!("Dist-μ-RA shell — .help for commands");
     if let Some(seed) = chaos_seed {
         println!("chaos mode: injecting faults with seed {seed} (checkpoint every 2 supersteps)");
+    }
+    if let Some(path) = &shell.trace_out {
+        println!("tracing: every query runs at superstep level; latest trace goes to {path}");
     }
     while let Some(line) = mura_datagen::io::read_line("μ> ") {
         let line = line.trim();
@@ -269,6 +298,26 @@ impl Shell {
                 let q = parse_ucrpq(strip_cmd(full, "classes"))?;
                 println!("classes: {:?}", classify(&q));
             }
+            "profile" => {
+                let query = strip_cmd(full, "profile");
+                if query.is_empty() {
+                    return arg_err("usage: .profile <query>");
+                }
+                let out = self.execute_traced(query, TraceLevel::Superstep)?;
+                println!(
+                    "{} rows in {:.1?}  ({} fixpoint iterations)",
+                    out.relation.len(),
+                    out.wall(),
+                    out.stats.fixpoint_iterations,
+                );
+                match out.trace() {
+                    Some(trace) => {
+                        println!("{}", trace.render_timeline());
+                        self.dump_trace(trace)?;
+                    }
+                    None => println!("(no trace recorded)"),
+                }
+            }
             "explain" => {
                 let out = self.execute(strip_cmd(full, "explain"))?;
                 print!("{}", out.explain(&self.db));
@@ -311,7 +360,16 @@ impl Shell {
     }
 
     fn execute(&mut self, query: &str) -> Result<QueryOutput> {
-        let mut engine = QueryEngine::with_config(self.db.clone(), self.config.clone());
+        // `--trace-out` upgrades every plain query to superstep tracing.
+        let level =
+            if self.trace_out.is_some() { TraceLevel::Superstep } else { self.config.trace };
+        self.execute_traced(query, level)
+    }
+
+    fn execute_traced(&mut self, query: &str, level: TraceLevel) -> Result<QueryOutput> {
+        let mut config = self.config.clone();
+        config.trace = config.trace.max(level);
+        let mut engine = QueryEngine::with_config(self.db.clone(), config);
         if !self.optimize {
             engine = engine.without_rewrites();
         }
@@ -319,6 +377,15 @@ impl Shell {
         // Keep interned symbols (query columns, constants) for later use.
         self.db = engine.db().clone();
         Ok(out)
+    }
+
+    /// Writes `trace` to the `--trace-out` path (no-op when unset).
+    fn dump_trace(&self, trace: &mura_dist::QueryTrace) -> Result<()> {
+        let Some(path) = &self.trace_out else { return Ok(()) };
+        std::fs::write(path, trace.to_json())
+            .map_err(|e| MuraError::Other(format!("write {path}: {e}")))?;
+        println!("trace written to {path} ({} events)", trace.events.len());
+        Ok(())
     }
 
     fn run_query(&mut self, query: &str) -> Result<()> {
@@ -343,6 +410,9 @@ impl Shell {
         if rel.len() > 20 {
             println!("  … {} more", rel.len() - 20);
         }
+        if let Some(trace) = out.trace() {
+            self.dump_trace(trace)?;
+        }
         Ok(())
     }
 }
@@ -355,7 +425,10 @@ fn client_repl(addr: &str) -> std::io::Result<()> {
     let stream = std::net::TcpStream::connect(addr)?;
     let mut reader = std::io::BufReader::new(stream.try_clone()?);
     let mut out = stream;
-    println!("connected to {addr} — .help is server-side (.stats .rels .deadline <ms> .quit)");
+    println!(
+        "connected to {addr} — server-side verbs: .stats .metrics .profile <query> .rels \
+         .deadline <ms> .quit"
+    );
     while let Some(line) = mura_datagen::io::read_line(&format!("μ@{addr}> ")) {
         let line = line.trim();
         if line.is_empty() {
