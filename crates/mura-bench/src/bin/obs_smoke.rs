@@ -40,6 +40,12 @@ const REQUIRED_FAMILIES: &[&str] = &[
     "mura_query_execution_seconds",
     "mura_query_planning_seconds",
     "mura_db_epoch",
+    "mura_shed_total",
+    "mura_breaker_state",
+    "mura_breaker_opened_total",
+    "mura_mem_current_bytes",
+    "mura_mem_high_water_bytes",
+    "mura_drain_phase",
 ];
 
 /// Checks `doc` against the `required`/`properties`/`items` structure of a

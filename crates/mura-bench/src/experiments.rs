@@ -392,7 +392,11 @@ fn detailed_comm(
         plan,
         local_engine: mura_dist::LocalEngine::SetRdd,
         broadcast_threshold: 1_000_000,
-        limits: ResourceLimits { max_rows: Some(limits.max_rows), timeout: Some(limits.timeout) },
+        limits: ResourceLimits {
+            max_rows: Some(limits.max_rows),
+            max_bytes: None,
+            timeout: Some(limits.timeout),
+        },
         ..Default::default()
     };
     let mut qe = mura_dist::QueryEngine::with_config(db.clone(), config);

@@ -169,7 +169,11 @@ fn exec_config(limits: Limits, plan: FixpointPlan, engine: LocalEngine) -> ExecC
         plan,
         local_engine: engine,
         broadcast_threshold: 1_000_000,
-        limits: ResourceLimits { max_rows: Some(limits.max_rows), timeout: Some(limits.timeout) },
+        limits: ResourceLimits {
+            max_rows: Some(limits.max_rows),
+            max_bytes: None,
+            timeout: Some(limits.timeout),
+        },
         ..Default::default()
     }
 }

@@ -29,6 +29,11 @@ pub enum MuraError {
     /// A resource budget was exceeded (used to model the paper's
     /// "system crashed" outcomes honestly).
     ResourceExhausted { what: &'static str, limit: u64, reached: u64 },
+    /// The per-query byte budget (`ResourceLimits.max_bytes`) was exceeded.
+    /// Reported instead of letting the evaluation run the process out of
+    /// memory; `used` is the charged footprint when the budget tripped.
+    /// Not retryable: re-running the same plan allocates the same bytes.
+    MemoryExceeded { used: u64, limit: u64 },
     /// Evaluation exceeded the configured timeout.
     Timeout { millis: u64 },
     /// The query was cancelled through its [`CancellationToken`]
@@ -72,6 +77,9 @@ impl fmt::Display for MuraError {
             MuraError::ShadowedVariable(v) => write!(f, "fixpoint variable {v} is shadowed"),
             MuraError::ResourceExhausted { what, limit, reached } => {
                 write!(f, "resource exhausted: {what} reached {reached} (limit {limit})")
+            }
+            MuraError::MemoryExceeded { used, limit } => {
+                write!(f, "memory budget exceeded: {used} bytes used (limit {limit})")
             }
             MuraError::Timeout { millis } => write!(f, "evaluation timed out after {millis} ms"),
             MuraError::Cancelled => write!(f, "query cancelled"),

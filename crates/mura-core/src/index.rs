@@ -50,6 +50,7 @@ pub struct JoinIndex {
     build_key: Vec<usize>,
     build_rows: Vec<Row>,
     buckets: FxHashMap<u64, Vec<u32>>,
+    approx_bytes: u64,
 }
 
 impl JoinIndex {
@@ -69,6 +70,8 @@ impl JoinIndex {
             buckets.entry(h).or_default().push(i as u32);
         }
         kernel_stats().record_index_build();
+        let approx_bytes =
+            rows.len() as u64 * build_schema.arity() as u64 * std::mem::size_of::<Value>() as u64;
         JoinIndex {
             out_schema: plan.out_schema,
             out_src: plan.out_src,
@@ -76,6 +79,7 @@ impl JoinIndex {
             build_key: plan.right_key,
             build_rows: rows,
             buckets,
+            approx_bytes,
         }
     }
 
@@ -97,6 +101,12 @@ impl JoinIndex {
     /// True if the build side is empty (every probe yields nothing).
     pub fn is_empty(&self) -> bool {
         self.build_rows.is_empty()
+    }
+
+    /// Estimated footprint of the cached build side (payload values only),
+    /// charged against byte budgets by the fixpoint drivers.
+    pub fn approx_bytes(&self) -> u64 {
+        self.approx_bytes
     }
 
     /// Probes one row, emitting each joined output row. Returns the number
@@ -136,6 +146,7 @@ pub struct KeyIndex {
     /// Schemas share no columns: antijoin degenerates to all-or-nothing.
     disjoint: bool,
     build_empty: bool,
+    approx_bytes: u64,
 }
 
 impl KeyIndex {
@@ -165,12 +176,20 @@ impl KeyIndex {
             }
         }
         kernel_stats().record_key_index_build();
-        KeyIndex { probe_key, buckets, disjoint, build_empty }
+        let approx_bytes =
+            buckets.values().map(|b| b.iter().map(|k| k.len() as u64).sum::<u64>()).sum::<u64>()
+                * std::mem::size_of::<Value>() as u64;
+        KeyIndex { probe_key, buckets, disjoint, build_empty, approx_bytes }
     }
 
     /// Builds the key-set over a materialized relation.
     pub fn build(probe_schema: &Schema, build: &Relation) -> KeyIndex {
         KeyIndex::build_from(probe_schema, build.schema(), build.iter())
+    }
+
+    /// Estimated footprint of the cached key-set (payload values only).
+    pub fn approx_bytes(&self) -> u64 {
+        self.approx_bytes
     }
 
     /// True if `prow`'s key appears in the build side (i.e. the antijoin

@@ -44,6 +44,7 @@ pub mod eval;
 pub mod fxhash;
 pub mod index;
 pub mod kernel;
+pub mod mem;
 pub mod relation;
 pub mod schema;
 pub mod sql;
@@ -56,6 +57,7 @@ pub use error::{MuraError, Result};
 pub use eval::{eval, eval_naive_fixpoints, EvalStats, Evaluator};
 pub use index::{JoinIndex, KeyIndex};
 pub use kernel::{kernel_stats, KernelSnapshot, KernelStats};
+pub use mem::{mem_gauge, rel_bytes, MemCharge, MemGauge};
 pub use relation::{Relation, Row};
 pub use schema::Schema;
 pub use term::{Pred, Term};

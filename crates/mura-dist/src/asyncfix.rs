@@ -85,6 +85,11 @@ pub fn eval_async_at(
     // worker or per batch.
     let prepared: Vec<Prepared<Relation>> =
         recs.iter().map(|r| prepare(r, x, &schema)).collect::<Result<_>>()?;
+    // Charge the cached indexes/constants plus the seed against the byte
+    // budget before spawning any worker: an over-budget setup fails typed
+    // (MemoryExceeded) instead of mid-recursion.
+    budget.charge_bytes(prepared.iter().map(|p| p.cached_bytes()).sum())?;
+    budget.charge_bytes(mura_core::rel_bytes(seed.len() as u64, schema.arity()))?;
     let prepared = &prepared;
     // Channels: one inbox per worker.
     let mut senders: Vec<Sender<Vec<Row>>> = Vec::with_capacity(n);
@@ -145,6 +150,7 @@ pub fn eval_async_at(
                             // mid-recursion.
                             fault.maybe_panic(site, me, 0, attempt);
                             fault.maybe_transient(site, me, 0, attempt).map_err(fail)?;
+                            fault.maybe_memory_pressure(site, me, 0, attempt).map_err(fail)?;
                             if let Some(d) = fault.straggler_delay(site, me, 0, attempt) {
                                 std::thread::sleep(d);
                             }
@@ -195,6 +201,12 @@ pub fn eval_async_at(
                                 }
                                 if !delta.is_empty() {
                                     budget.charge(delta.len() as u64).map_err(fail)?;
+                                    budget
+                                        .charge_bytes(mura_core::rel_bytes(
+                                            delta.len() as u64,
+                                            schema.arity(),
+                                        ))
+                                        .map_err(fail)?;
                                     // Apply every recursive branch to the delta
                                     // and route the produced rows to their
                                     // owners.

@@ -199,6 +199,7 @@ impl Cluster {
             let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<R> {
                 self.fault.maybe_panic(site, i, 0, attempt);
                 self.fault.maybe_transient(site, i, 0, attempt)?;
+                self.fault.maybe_memory_pressure(site, i, 0, attempt)?;
                 f(i, item)
             }))
             .unwrap_or_else(|payload| {

@@ -49,12 +49,18 @@ pub enum FixpointPlan {
     ForceAsync,
 }
 
-/// Row/time budgets; exceeding them aborts with
-/// [`MuraError::ResourceExhausted`] / [`MuraError::Timeout`] — how the
-/// paper's "system crashed" and "timeout" outcomes are reproduced honestly.
+/// Row/byte/time budgets; exceeding them aborts with
+/// [`MuraError::ResourceExhausted`] / [`MuraError::MemoryExceeded`] /
+/// [`MuraError::Timeout`] — how the paper's "system crashed" and "timeout"
+/// outcomes are reproduced honestly.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ResourceLimits {
     pub max_rows: Option<u64>,
+    /// Estimated-byte budget for materialized state (deltas, accumulators,
+    /// cached join indexes and folded constants). Enforced in all three
+    /// fixpoint drivers; a breach yields [`MuraError::MemoryExceeded`]
+    /// instead of letting the query run the process out of memory.
+    pub max_bytes: Option<u64>,
     pub timeout: Option<Duration>,
 }
 
@@ -197,8 +203,9 @@ impl<'db> DistEvaluator<'db> {
             .with_faults(fault, config.recovery)
             .with_cancel(config.cancel.clone());
         let deadline = config.limits.timeout.map(|t| Instant::now() + t);
-        let budget =
-            Budget::new(config.limits.max_rows, deadline).with_cancel(config.cancel.clone());
+        let budget = Budget::new(config.limits.max_rows, deadline)
+            .with_max_bytes(config.limits.max_bytes)
+            .with_cancel(config.cancel.clone());
         let next_fresh = db.dict().len() as u32 + 1_000_000;
         let sink = (config.trace > TraceLevel::Off).then(|| Arc::new(TraceSink::new(config.trace)));
         DistEvaluator {
@@ -254,9 +261,10 @@ impl<'db> DistEvaluator<'db> {
         env
     }
 
-    fn charge(&mut self, rows: usize) -> Result<()> {
+    fn charge(&mut self, rows: usize, arity: usize) -> Result<()> {
         self.stats.produced_rows += rows as u64;
-        self.budget.charge(rows as u64)
+        self.budget.charge(rows as u64)?;
+        self.budget.charge_bytes(mura_core::rel_bytes(rows as u64, arity))
     }
 
     fn eval(&mut self, term: &Term) -> Result<DVal> {
@@ -342,7 +350,7 @@ impl<'db> DistEvaluator<'db> {
             }
             Term::Fix(x, body) => DVal::Dist(self.eval_fixpoint(*x, body)?),
         };
-        self.charge(out.len())?;
+        self.charge(out.len(), out.schema().arity())?;
         Ok(out)
     }
 
@@ -636,6 +644,9 @@ impl<'db> DistEvaluator<'db> {
         }
         let prepared: Vec<Prepared<Relation>> =
             recs_local.iter().map(|r| prepare(r, x, seed.schema())).collect::<Result<_>>()?;
+        // The cached build-side indexes and folded constants live for the
+        // whole fixpoint: charge them against the byte budget up front.
+        self.budget.charge_bytes(prepared.iter().map(|p| p.cached_bytes()).sum())?;
         self.record_window(&setup, TraceEvent::new(EventKind::Setup, fx, PlanKind::Gld));
         let checkpoint_every = self.config.checkpoint_every;
         let mut acc = seed.clone();
@@ -729,7 +740,7 @@ impl<'db> DistEvaluator<'db> {
             kernel_stats().record_eval_time(start.elapsed());
             let schema = parts[0].schema().clone();
             let produced = DistRel::from_parts(schema, parts, None);
-            self.charge(produced.len())?;
+            self.charge(produced.len(), produced.schema().arity())?;
             new = Some(match new {
                 None => produced,
                 Some(n) => n.union(&produced, &self.cluster)?,
@@ -744,7 +755,7 @@ impl<'db> DistEvaluator<'db> {
             });
         }
         let new = new.minus(acc, &self.cluster)?;
-        self.charge(new.len())?;
+        self.charge(new.len(), new.schema().arity())?;
         if new.is_empty() {
             return Ok(None);
         }
@@ -820,6 +831,8 @@ impl<'db> DistEvaluator<'db> {
     ) -> Result<Vec<Relation>> {
         let prepared: Vec<Prepared<R>> =
             recs.iter().map(|r| prepare(r, x, seed.schema())).collect::<Result<_>>()?;
+        // Shared by every worker, charged once per fixpoint.
+        self.budget.charge_bytes(prepared.iter().map(|p| p.cached_bytes()).sum())?;
         let budget = &self.budget;
         let fault = self.cluster.fault();
         let loop_site = fault.next_site();
@@ -990,7 +1003,7 @@ mod tests {
     fn budget_aborts_distributed_eval() {
         let (db, term) = paper_db();
         let config = ExecConfig {
-            limits: ResourceLimits { max_rows: Some(5), timeout: None },
+            limits: ResourceLimits { max_rows: Some(5), max_bytes: None, timeout: None },
             ..Default::default()
         };
         let mut ev = DistEvaluator::new(&db, config);

@@ -42,6 +42,12 @@ pub enum FaultClass {
     Duplicate,
     /// The task is delayed by [`FaultConfig::straggler_delay_ms`].
     Straggler,
+    /// The task observes artificial memory pressure and fails retryably
+    /// (models a worker that sheds its working set under pressure and must
+    /// replay). Distinct from a real `max_bytes` breach, which is a final
+    /// [`MuraError::MemoryExceeded`]: injected pressure heals after
+    /// [`FaultConfig::failures_per_site`] attempts, a blown budget does not.
+    MemoryPressure,
 }
 
 impl FaultClass {
@@ -52,6 +58,7 @@ impl FaultClass {
             FaultClass::Drop => 0x1656_67B1_9E37_79F9,
             FaultClass::Duplicate => 0x2545_F491_4F6C_DD1D,
             FaultClass::Straggler => 0x9DDF_EA08_EB38_2D69,
+            FaultClass::MemoryPressure => 0x6C62_272E_07BB_0142,
         }
     }
 }
@@ -74,6 +81,9 @@ pub struct FaultConfig {
     pub duplicate_prob: f64,
     /// Probability that a task site is a straggler.
     pub straggler_prob: f64,
+    /// Probability that a task site observes injected memory pressure (a
+    /// retryable failure; see [`FaultClass::MemoryPressure`]).
+    pub memory_pressure_prob: f64,
     /// Delay injected at straggler sites.
     pub straggler_delay_ms: u64,
     /// How many consecutive attempts fail at an afflicted site. Values
@@ -92,6 +102,7 @@ impl Default for FaultConfig {
             drop_prob: 0.0,
             duplicate_prob: 0.0,
             straggler_prob: 0.0,
+            memory_pressure_prob: 0.0,
             straggler_delay_ms: 2,
             failures_per_site: 1,
         }
@@ -110,6 +121,10 @@ impl FaultConfig {
             drop_prob: 0.10,
             duplicate_prob: 0.10,
             straggler_prob: 0.05,
+            // Kept at zero in the legacy chaos profile so the 6-seed chaos
+            // CI matrix keeps validating the exact same fault streams;
+            // memory-pressure chaos runs opt in explicitly.
+            memory_pressure_prob: 0.0,
             straggler_delay_ms: 1,
             failures_per_site: 1,
         }
@@ -122,6 +137,7 @@ impl FaultConfig {
             || self.drop_prob > 0.0
             || self.duplicate_prob > 0.0
             || self.straggler_prob > 0.0
+            || self.memory_pressure_prob > 0.0
     }
 }
 
@@ -166,6 +182,7 @@ pub struct FaultSnapshot {
     pub injected_drops: u64,
     pub injected_duplicates: u64,
     pub injected_stragglers: u64,
+    pub injected_memory_pressure: u64,
     /// Task attempts that failed and were retried (with backoff).
     pub task_retries: u64,
     /// Whole stages re-executed at a fresh site after a task exhausted its
@@ -194,6 +211,7 @@ impl FaultSnapshot {
             + self.injected_drops
             + self.injected_duplicates
             + self.injected_stragglers
+            + self.injected_memory_pressure
     }
 
     /// True when the query hit at least one fault but still completed —
@@ -217,7 +235,7 @@ impl std::fmt::Display for FaultSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "injected {} (panic {} / transient {} / drop {} / dup {} / straggler {}), \
+            "injected {} (panic {} / transient {} / drop {} / dup {} / straggler {} / mem {}), \
              retries {}, stage reruns {}, checkpoints {}, restores {}, restarts {}, \
              rows replayed {}, iterations replayed {}, time lost {} ms",
             self.injected(),
@@ -226,6 +244,7 @@ impl std::fmt::Display for FaultSnapshot {
             self.injected_drops,
             self.injected_duplicates,
             self.injected_stragglers,
+            self.injected_memory_pressure,
             self.task_retries,
             self.stage_reruns,
             self.checkpoints,
@@ -246,6 +265,7 @@ pub struct FaultStats {
     injected_drops: AtomicU64,
     injected_duplicates: AtomicU64,
     injected_stragglers: AtomicU64,
+    injected_memory_pressure: AtomicU64,
     task_retries: AtomicU64,
     stage_reruns: AtomicU64,
     checkpoints: AtomicU64,
@@ -335,6 +355,7 @@ impl FaultPlan {
             FaultClass::Drop => self.cfg.drop_prob,
             FaultClass::Duplicate => self.cfg.duplicate_prob,
             FaultClass::Straggler => self.cfg.straggler_prob,
+            FaultClass::MemoryPressure => self.cfg.memory_pressure_prob,
         };
         self.roll(class, site, worker, step, prob)
     }
@@ -357,6 +378,25 @@ impl FaultPlan {
     pub fn maybe_transient(&self, site: u64, worker: usize, step: u64, attempt: u32) -> Result<()> {
         if self.fires(FaultClass::Transient, site, worker as u64, step, attempt) {
             self.stats.injected_transients.fetch_add(1, Ordering::Relaxed);
+            return Err(MuraError::TransientFault { worker });
+        }
+        Ok(())
+    }
+
+    /// Fails with a retryable [`MuraError::TransientFault`] if the plan
+    /// injects memory pressure here. The afflicted site heals after
+    /// [`FaultConfig::failures_per_site`] attempts, so recovery (retry,
+    /// checkpoint restore or restart) always makes progress and same-seed
+    /// runs produce identical answers and counts.
+    pub fn maybe_memory_pressure(
+        &self,
+        site: u64,
+        worker: usize,
+        step: u64,
+        attempt: u32,
+    ) -> Result<()> {
+        if self.fires(FaultClass::MemoryPressure, site, worker as u64, step, attempt) {
+            self.stats.injected_memory_pressure.fetch_add(1, Ordering::Relaxed);
             return Err(MuraError::TransientFault { worker });
         }
         Ok(())
@@ -474,6 +514,7 @@ impl FaultPlan {
             injected_drops: s.injected_drops.load(Ordering::Relaxed),
             injected_duplicates: s.injected_duplicates.load(Ordering::Relaxed),
             injected_stragglers: s.injected_stragglers.load(Ordering::Relaxed),
+            injected_memory_pressure: s.injected_memory_pressure.load(Ordering::Relaxed),
             task_retries: s.task_retries.load(Ordering::Relaxed),
             stage_reruns: s.stage_reruns.load(Ordering::Relaxed),
             checkpoints: s.checkpoints.load(Ordering::Relaxed),

@@ -16,6 +16,7 @@
 use crate::fault::{FaultPlan, RecoveryPolicy};
 use crate::sorted::SortedRelation;
 use mura_core::kernel::kernel_stats;
+use mura_core::mem::{mem_gauge, rel_bytes};
 use mura_core::{
     CancellationToken, JoinIndex, KeyIndex, MuraError, Pred, Relation, Result, Row, Schema, Sym,
     Term, Value,
@@ -36,13 +37,21 @@ pub enum LocalEngine {
     Sorted,
 }
 
-/// Shared row budget + deadline + cancellation, checked by every worker
-/// loop. Models the paper's out-of-memory failures and timeouts, and gives
-/// the serving layer a handle to stop a query between supersteps.
+/// Shared row/byte budget + deadline + cancellation, checked by every
+/// worker loop. Models the paper's out-of-memory failures and timeouts,
+/// and gives the serving layer a handle to stop a query between
+/// supersteps.
+///
+/// Byte charges are mirrored into the process-wide
+/// [`mem_gauge`](mura_core::mem::mem_gauge) and released when the budget
+/// drops (i.e. when the query's evaluation ends), so the serving layer can
+/// observe the live cross-query working set.
 #[derive(Debug, Default)]
 pub struct Budget {
     produced: AtomicU64,
+    used_bytes: AtomicU64,
     max_rows: Option<u64>,
+    max_bytes: Option<u64>,
     deadline: Option<Instant>,
     cancel: Option<CancellationToken>,
 }
@@ -50,12 +59,25 @@ pub struct Budget {
 impl Budget {
     /// A budget with optional row cap and deadline.
     pub fn new(max_rows: Option<u64>, deadline: Option<Instant>) -> Self {
-        Budget { produced: AtomicU64::new(0), max_rows, deadline, cancel: None }
+        Budget {
+            produced: AtomicU64::new(0),
+            used_bytes: AtomicU64::new(0),
+            max_rows,
+            max_bytes: None,
+            deadline,
+            cancel: None,
+        }
     }
 
     /// Attaches a cancellation token, consulted by [`Budget::check`].
     pub fn with_cancel(mut self, cancel: Option<CancellationToken>) -> Self {
         self.cancel = cancel;
+        self
+    }
+
+    /// Attaches a byte budget, consulted by [`Budget::charge_bytes`].
+    pub fn with_max_bytes(mut self, max_bytes: Option<u64>) -> Self {
+        self.max_bytes = max_bytes;
         self
     }
 
@@ -73,6 +95,23 @@ impl Budget {
             }
         }
         self.check()
+    }
+
+    /// Charges an estimated `bytes` of materialized memory against both
+    /// this query's byte budget and the process-wide gauge. Errors with
+    /// [`MuraError::MemoryExceeded`] when the per-query budget is breached.
+    pub fn charge_bytes(&self, bytes: u64) -> Result<()> {
+        if bytes == 0 {
+            return Ok(());
+        }
+        mem_gauge().add(bytes);
+        let total = self.used_bytes.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        if let Some(limit) = self.max_bytes {
+            if total > limit {
+                return Err(MuraError::MemoryExceeded { used: total, limit });
+            }
+        }
+        Ok(())
     }
 
     /// Superstep preemption point: errors when past the engine deadline
@@ -94,6 +133,22 @@ impl Budget {
     /// Rows charged so far.
     pub fn produced(&self) -> u64 {
         self.produced.load(Ordering::Relaxed)
+    }
+
+    /// Estimated bytes charged so far.
+    pub fn used_bytes(&self) -> u64 {
+        self.used_bytes.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for Budget {
+    fn drop(&mut self) {
+        // The query is over: release its working-set estimate from the
+        // process gauge (the high-water mark is monotonic and survives).
+        let bytes = *self.used_bytes.get_mut();
+        if bytes > 0 {
+            mem_gauge().sub(bytes);
+        }
     }
 }
 
@@ -276,6 +331,28 @@ pub enum Prepared<R> {
     /// Delta-dependent subtree antijoined against a cached key-set; the
     /// schema is the subtree's output schema.
     AntijoinIdx(Box<Prepared<R>>, KeyIndex, Schema),
+}
+
+impl<R: LocalRel> Prepared<R> {
+    /// Estimated bytes held for the whole fixpoint by this branch's cached
+    /// state: build-side join/antijoin indexes plus folded constants.
+    /// Charged against the byte budget once per fixpoint, right after
+    /// [`prepare`], so an index build that would blow the budget fails
+    /// typed before iteration starts.
+    pub fn cached_bytes(&self) -> u64 {
+        match self {
+            Prepared::Delta => 0,
+            Prepared::Const(r) => rel_bytes(r.len() as u64, r.schema().arity()),
+            Prepared::Filter(_, t) | Prepared::Rename(_, _, t) | Prepared::AntiProject(_, t) => {
+                t.cached_bytes()
+            }
+            Prepared::Join(a, b) | Prepared::Antijoin(a, b) | Prepared::Union(a, b) => {
+                a.cached_bytes() + b.cached_bytes()
+            }
+            Prepared::JoinIdx(t, idx) => t.cached_bytes() + idx.approx_bytes(),
+            Prepared::AntijoinIdx(t, idx, _) => t.cached_bytes() + idx.approx_bytes(),
+        }
+    }
 }
 
 /// Result of `prep`: a fully folded constant, or a delta-dependent kernel
@@ -494,11 +571,13 @@ pub fn local_fixpoint(
         LocalEngine::SetRdd => {
             let prepared: Vec<Prepared<Relation>> =
                 recs.iter().map(|r| prepare(r, x, seed.schema())).collect::<Result<_>>()?;
+            budget.charge_bytes(prepared.iter().map(|p| p.cached_bytes()).sum())?;
             local_fixpoint_prepared(seed, &prepared, budget)
         }
         LocalEngine::Sorted => {
             let prepared: Vec<Prepared<SortedRelation>> =
                 recs.iter().map(|r| prepare(r, x, seed.schema())).collect::<Result<_>>()?;
+            budget.charge_bytes(prepared.iter().map(|p| p.cached_bytes()).sum())?;
             local_fixpoint_prepared(seed, &prepared, budget)
         }
     }
@@ -533,6 +612,7 @@ fn local_superstep<R: LocalRel>(
     stats.record_eval_time(start.elapsed());
     stats.record_iteration();
     budget.charge(new.len() as u64)?;
+    budget.charge_bytes(rel_bytes(new.len() as u64, new.schema().arity()))?;
     if new.is_empty() {
         return Ok(None);
     }
@@ -547,6 +627,9 @@ pub fn local_fixpoint_prepared<R: LocalRel>(
     prepared: &[Prepared<R>],
     budget: &Budget,
 ) -> Result<Relation> {
+    // The seed is this worker's share of the accumulator: charge it so a
+    // byte budget sees iteration-0 state, not just produced deltas.
+    budget.charge_bytes(rel_bytes(seed.len() as u64, seed.schema().arity()))?;
     let mut acc = R::from_relation(seed);
     let mut delta = acc.clone();
     while !delta.is_empty() {
@@ -606,6 +689,7 @@ pub fn local_fixpoint_supervised<R: LocalRel>(
     if !ctx.fault.is_active() && ctx.checkpoint_every == 0 && steps.is_none() {
         return local_fixpoint_prepared(seed, prepared, ctx.budget);
     }
+    ctx.budget.charge_bytes(rel_bytes(seed.len() as u64, seed.schema().arity()))?;
     // One superstep event per iteration per worker. `P_plw` loops never
     // communicate, so the comm fields stay zero by construction — the
     // trace-level counterpart of the paper's claim. Kernel counters are
@@ -641,6 +725,7 @@ pub fn local_fixpoint_supervised<R: LocalRel>(
         let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<Option<(R, R)>> {
             ctx.fault.maybe_panic(ctx.site, ctx.worker, next, attempt);
             ctx.fault.maybe_transient(ctx.site, ctx.worker, next, attempt)?;
+            ctx.fault.maybe_memory_pressure(ctx.site, ctx.worker, next, attempt)?;
             local_superstep(prepared, &acc, &delta, ctx.budget)
         }))
         .unwrap_or_else(|payload| {
@@ -798,6 +883,7 @@ fn local_fixpoint_reference_typed<R: LocalRel>(
             Some(n) => n.minus_with(&acc),
         };
         budget.charge(new.len() as u64)?;
+        budget.charge_bytes(rel_bytes(new.len() as u64, new.schema().arity()))?;
         if new.is_empty() {
             break;
         }

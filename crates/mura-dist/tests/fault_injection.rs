@@ -194,6 +194,85 @@ fn stragglers_only_cost_time() {
     }
 }
 
+/// Injected memory pressure (a worker pretending its allocation failed)
+/// is retryable: after the site heals the answer must be exact, the
+/// dedicated counter nonzero, and the run must leave recovery traces.
+#[test]
+fn memory_pressure_recovers_on_every_plan() {
+    for plan in PLANS {
+        let mut db = er_db(5);
+        let expected = centralized(&mut db, TC_QUERY);
+        let config = ExecConfig {
+            workers: 4,
+            plan,
+            fault: FaultConfig {
+                seed: chaos_seed(),
+                memory_pressure_prob: 0.9,
+                failures_per_site: 1,
+                ..Default::default()
+            },
+            checkpoint_every: 2,
+            ..Default::default()
+        };
+        let (got, f) = run(&db, TC_QUERY, config);
+        assert_eq!(got.sorted_rows(), expected.sorted_rows(), "{plan:?} under memory pressure");
+        assert!(f.injected_memory_pressure > 0, "{plan:?}: no pressure injected: {f}");
+        assert!(f.recovered(), "{plan:?}: memory pressure must leave recovery traces: {f}");
+    }
+}
+
+/// Memory-pressure injection is a pure function of (seed, site, worker,
+/// step, attempt): two runs with the same seed must agree on the answer
+/// and on every fault counter.
+#[test]
+fn memory_pressure_same_seed_is_deterministic() {
+    for plan in PLANS {
+        let mut db = er_db(5);
+        let expected = centralized(&mut db, TC_QUERY);
+        let config = || ExecConfig {
+            workers: 4,
+            plan,
+            fault: FaultConfig {
+                seed: chaos_seed(),
+                memory_pressure_prob: 0.7,
+                failures_per_site: 2,
+                ..Default::default()
+            },
+            checkpoint_every: 2,
+            ..Default::default()
+        };
+        let (r1, f1) = run(&db, TC_QUERY, config());
+        let (r2, f2) = run(&db, TC_QUERY, config());
+        assert_eq!(r1.sorted_rows(), expected.sorted_rows(), "{plan:?}: first run diverged");
+        assert_eq!(r2.sorted_rows(), expected.sorted_rows(), "{plan:?}: second run diverged");
+        assert_eq!(f1.counts(), f2.counts(), "{plan:?}: pressure counts must be reproducible");
+        assert!(f1.injected_memory_pressure > 0, "{plan:?}: no pressure injected: {f1}");
+    }
+}
+
+/// A real byte-budget breach is *not* retryable: the recovery machinery
+/// must surface `MemoryExceeded` immediately instead of burning retries
+/// on a deterministic failure.
+#[test]
+fn memory_exceeded_is_not_retried() {
+    use mura_dist::ResourceLimits;
+    for plan in PLANS {
+        let db = er_db(5);
+        let config = ExecConfig {
+            workers: 4,
+            plan,
+            limits: ResourceLimits { max_rows: None, max_bytes: Some(4 << 10), timeout: None },
+            ..Default::default()
+        };
+        let mut engine = QueryEngine::with_config(db, config);
+        let err = engine.run_ucrpq(TC_QUERY).unwrap_err();
+        assert!(
+            matches!(err, MuraError::MemoryExceeded { .. }),
+            "{plan:?}: expected MemoryExceeded, got {err:?}"
+        );
+    }
+}
+
 /// Hard faults (failing longer than the task retry budget) must fall back
 /// to superstep checkpoints (`P_gld`, `P_plw`) or a fixpoint restart
 /// (`P_async`) and still produce the exact answer.

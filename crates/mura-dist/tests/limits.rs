@@ -1,6 +1,7 @@
 //! Resource-limit coverage across all fixpoint plans: row-cap exhaustion,
-//! timeout expiry and token cancellation must abort cleanly (no hang, no
-//! panic) under `P_gld`, `P_plw` and the asynchronous evaluator.
+//! byte-budget breach, timeout expiry and token cancellation must abort
+//! cleanly (no hang, no panic) under `P_gld`, `P_plw` and the asynchronous
+//! evaluator.
 
 use mura_core::{CancellationToken, Database, MuraError, Relation};
 use mura_dist::exec::{ExecConfig, FixpointPlan, ResourceLimits};
@@ -44,7 +45,7 @@ fn run(
 #[test]
 fn max_rows_exhaustion_aborts_every_plan() {
     for plan in PLANS {
-        let limits = ResourceLimits { max_rows: Some(500), timeout: None };
+        let limits = ResourceLimits { max_rows: Some(500), max_bytes: None, timeout: None };
         let err =
             run(plan, limits, None).expect_err("closure of 160k rows must trip a 500-row cap");
         assert!(
@@ -55,9 +56,31 @@ fn max_rows_exhaustion_aborts_every_plan() {
 }
 
 #[test]
+fn max_bytes_breach_reports_memory_exceeded_on_every_plan() {
+    for plan in PLANS {
+        // 64 KiB covers the 400-row edge relation but not the 160k-row
+        // closure: the budget must trip mid-recursion, typed, on all plans.
+        let limits = ResourceLimits { max_rows: None, max_bytes: Some(64 << 10), timeout: None };
+        let err = run(plan, limits, None).expect_err("closure must blow a 64 KiB byte budget");
+        assert!(
+            matches!(err, MuraError::MemoryExceeded { .. }),
+            "{plan:?}: expected MemoryExceeded, got {err}"
+        );
+        if let MuraError::MemoryExceeded { used, limit } = err {
+            assert_eq!(limit, 64 << 10);
+            assert!(used > limit, "reported usage {used} must exceed the limit {limit}");
+        }
+    }
+}
+
+#[test]
 fn timeout_expiry_aborts_every_plan() {
     for plan in PLANS {
-        let limits = ResourceLimits { max_rows: None, timeout: Some(Duration::from_millis(1)) };
+        let limits = ResourceLimits {
+            max_rows: None,
+            max_bytes: None,
+            timeout: Some(Duration::from_millis(1)),
+        };
         let err = run(plan, limits, None).expect_err("1 ms budget must expire");
         assert!(matches!(err, MuraError::Timeout { .. }), "{plan:?}: expected Timeout, got {err}");
     }
@@ -90,8 +113,11 @@ fn token_deadline_reports_deadline_exceeded() {
 #[test]
 fn generous_limits_do_not_interfere() {
     for plan in PLANS {
-        let limits =
-            ResourceLimits { max_rows: Some(10_000_000), timeout: Some(Duration::from_secs(600)) };
+        let limits = ResourceLimits {
+            max_rows: Some(10_000_000),
+            max_bytes: Some(1 << 32),
+            timeout: Some(Duration::from_secs(600)),
+        };
         // Small cycle: this one runs to completion, keep it quick.
         let n = run_on(80, plan, limits, Some(CancellationToken::new()))
             .expect("generous budgets must not abort");

@@ -73,7 +73,6 @@ impl Json {
             _ => None,
         }
     }
-
 }
 
 /// Serializes the value back to compact JSON (so `to_string()` round-trips

@@ -11,19 +11,43 @@ use std::fmt;
 /// Result alias for serving operations.
 pub type ServeResult<T> = std::result::Result<T, ServeError>;
 
+/// Why overload protection shed a query (see [`ServeError::Overloaded`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverloadReason {
+    /// Admitting the query would push estimated memory past the
+    /// configured watermark (live gauge + cost-model estimate).
+    Memory,
+    /// The circuit breaker for this query's canonical plan is open after
+    /// repeated memory/worker failures.
+    CircuitOpen,
+}
+
+impl fmt::Display for OverloadReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OverloadReason::Memory => write!(f, "memory pressure"),
+            OverloadReason::CircuitOpen => write!(f, "circuit breaker open"),
+        }
+    }
+}
+
 /// Errors surfaced by [`crate::Server`] and [`crate::Client`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServeError {
     /// The admission queue is full. The query was **not** enqueued; the
-    /// client should back off and retry. `queue_depth` is the configured
-    /// bound that was hit.
-    Busy { queue_depth: usize },
+    /// client should back off for `retry_after_ms` and retry.
+    /// `queue_depth` is the configured bound that was hit.
+    Busy { queue_depth: usize, retry_after_ms: u64 },
+    /// Overload protection shed the query before execution: the memory
+    /// watermark would be breached, or the plan's circuit breaker is
+    /// open. The query was **not** executed; retry after `retry_after_ms`.
+    Overloaded { reason: OverloadReason, retry_after_ms: u64 },
     /// The server has shut down (or shut down while the query was queued).
     Closed,
     /// The engine rejected or aborted the query. Cancellation, deadlines
     /// and resource limits arrive here as [`MuraError::Cancelled`],
-    /// [`MuraError::DeadlineExceeded`], [`MuraError::ResourceExhausted`]
-    /// and [`MuraError::Timeout`].
+    /// [`MuraError::DeadlineExceeded`], [`MuraError::ResourceExhausted`],
+    /// [`MuraError::MemoryExceeded`] and [`MuraError::Timeout`].
     Engine(MuraError),
 }
 
@@ -42,13 +66,37 @@ impl ServeError {
     pub fn is_busy(&self) -> bool {
         matches!(self, ServeError::Busy { .. })
     }
+
+    /// True if overload protection shed the query.
+    pub fn is_overloaded(&self) -> bool {
+        matches!(self, ServeError::Overloaded { .. })
+    }
+
+    /// The retry-after hint carried by [`ServeError::Busy`] and
+    /// [`ServeError::Overloaded`]; `None` for terminal errors.
+    pub fn retry_after_ms(&self) -> Option<u64> {
+        match self {
+            ServeError::Busy { retry_after_ms, .. }
+            | ServeError::Overloaded { retry_after_ms, .. } => Some(*retry_after_ms),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for ServeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ServeError::Busy { queue_depth } => {
-                write!(f, "server busy (admission queue of {queue_depth} is full)")
+            // `retry-after-ms=<n>` is a machine-parseable token: protocol
+            // clients (murash --connect) grep for it to schedule a retry.
+            ServeError::Busy { queue_depth, retry_after_ms } => {
+                write!(
+                    f,
+                    "server busy (admission queue of {queue_depth} is full) \
+                     retry-after-ms={retry_after_ms}"
+                )
+            }
+            ServeError::Overloaded { reason, retry_after_ms } => {
+                write!(f, "server overloaded ({reason}) retry-after-ms={retry_after_ms}")
             }
             ServeError::Closed => write!(f, "server closed"),
             ServeError::Engine(e) => write!(f, "{e}"),
@@ -77,15 +125,36 @@ mod tests {
 
     #[test]
     fn classification_helpers() {
-        assert!(ServeError::Busy { queue_depth: 4 }.is_busy());
+        assert!(ServeError::Busy { queue_depth: 4, retry_after_ms: 100 }.is_busy());
         assert!(ServeError::Engine(MuraError::Cancelled).is_cancelled());
         assert!(ServeError::Engine(MuraError::DeadlineExceeded { millis: 5 }).is_deadline());
         assert!(!ServeError::Closed.is_busy());
+        let shed = ServeError::Overloaded { reason: OverloadReason::Memory, retry_after_ms: 50 };
+        assert!(shed.is_overloaded());
+        assert!(!shed.is_busy());
     }
 
     #[test]
     fn display_mentions_queue_depth() {
-        let s = ServeError::Busy { queue_depth: 7 }.to_string();
+        let s = ServeError::Busy { queue_depth: 7, retry_after_ms: 100 }.to_string();
         assert!(s.contains('7'), "{s}");
+    }
+
+    #[test]
+    fn retry_after_is_machine_parseable() {
+        for e in [
+            ServeError::Busy { queue_depth: 4, retry_after_ms: 120 },
+            ServeError::Overloaded { reason: OverloadReason::CircuitOpen, retry_after_ms: 120 },
+        ] {
+            assert_eq!(e.retry_after_ms(), Some(120));
+            let s = e.to_string();
+            let token = s
+                .split_whitespace()
+                .find_map(|t| t.strip_prefix("retry-after-ms="))
+                .expect("display carries a retry-after-ms token");
+            assert_eq!(token.parse::<u64>().unwrap(), 120, "{s}");
+        }
+        assert_eq!(ServeError::Closed.retry_after_ms(), None);
+        assert_eq!(ServeError::Engine(MuraError::Cancelled).retry_after_ms(), None);
     }
 }

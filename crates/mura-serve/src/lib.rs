@@ -10,6 +10,15 @@
 //! * **Admission control** — a bounded queue in front of the pool. When
 //!   full, [`Client::submit`] fails *immediately* with
 //!   [`ServeError::Busy`] instead of queueing without bound.
+//! * **Overload protection** — a degradation ladder past the queue:
+//!   cost-aware memory shedding (live [`mura_core::mem_gauge`] plus a
+//!   cost-model byte estimate against a watermark), a per-plan circuit
+//!   breaker that opens after repeated `MemoryExceeded`/`WorkerFailed`
+//!   and half-opens on a cooldown, and graceful drain
+//!   ([`Server::drain`], the `.drain` verb). Shed queries get a
+//!   structured [`ServeError::Overloaded`] with a machine-parseable
+//!   `retry-after-ms` hint; every admitted query terminates in exactly
+//!   one of answer or typed error.
 //! * **Caching** — an LRU result cache keyed by the canonical key of the
 //!   *optimized plan* plus the database *epoch*, and an LRU plan cache
 //!   keyed by query text plus epoch. [`Server::load`] bumps the epoch, so
@@ -51,6 +60,6 @@ pub mod protocol;
 pub mod server;
 
 pub use cache::{plan_key, LruCache};
-pub use error::{ServeError, ServeResult};
+pub use error::{OverloadReason, ServeError, ServeResult};
 pub use protocol::{read_response, serve_tcp, TcpServeHandle};
 pub use server::{Client, Pending, ServeConfig, ServeStats, Server};

@@ -16,8 +16,12 @@
 //! → .metrics             Prometheus text-exposition page
 //! → .profile <query>     run traced, print the superstep timeline
 //! → .rels                relations and row counts
+//! → .drain               graceful shutdown: finish in-flight, stop workers
 //! → .quit
 //! ```
+//!
+//! Overloaded and busy rejections reply `ERR … retry-after-ms=<n>`; the
+//! token is machine-parseable so clients can schedule a retry.
 
 use crate::error::ServeResult;
 use crate::server::{Client, Server};
@@ -123,6 +127,14 @@ fn handle_connection(stream: TcpStream, client: &Client) -> io::Result<()> {
                 let page = client.metrics();
                 let body: Vec<String> = page.lines().map(str::to_string).collect();
                 write_block(&mut out, "OK metrics", &body)?;
+            }
+            ".drain" => {
+                // Blocks until queued/in-flight queries resolve (bounded
+                // by the server's drain grace), then reports the final
+                // counters. Subsequent queries get "server closed".
+                let stats = client.request_drain();
+                let body: Vec<String> = stats.to_string().lines().map(str::to_string).collect();
+                write_block(&mut out, "OK drained", &body)?;
             }
             _ if line.starts_with(".profile") => {
                 let query = line[".profile".len()..].trim();

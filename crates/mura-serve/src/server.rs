@@ -26,12 +26,14 @@
 //!   every fixpoint superstep.
 
 use crate::cache::{plan_key, LruCache};
-use crate::error::{ServeError, ServeResult};
-use mura_core::{CancellationToken, Database, Term};
+use crate::error::{OverloadReason, ServeError, ServeResult};
+use mura_core::fxhash::FxHashMap;
+use mura_core::{mem_gauge, rel_bytes, CancellationToken, Database, Term};
 use mura_dist::exec::ResourceLimits;
 use mura_dist::{PlannedQuery, QueryEngine, QueryOutput, TraceLevel};
 use mura_obs::histogram::fmt_us;
 use mura_obs::{Histogram, PromText};
+use mura_rewrite::cost::{CostModel, Stats};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex, MutexGuard, RwLock};
@@ -54,6 +56,24 @@ pub struct ServeConfig {
     pub default_deadline: Option<Duration>,
     /// Per-query resource limits enforced during execution.
     pub limits: ResourceLimits,
+    /// Process-wide memory watermark for admission. A submission is shed
+    /// with [`ServeError::Overloaded`] when the live gauge
+    /// ([`mura_core::mem_gauge`]) plus this query's cost-model byte
+    /// estimate (available once its plan is cached) would exceed it.
+    /// `None` disables the gate.
+    pub memory_watermark_bytes: Option<u64>,
+    /// Retry hint returned on [`ServeError::Busy`] and memory sheds.
+    pub retry_after: Duration,
+    /// Consecutive breaker-class failures (`MemoryExceeded`,
+    /// `WorkerFailed`) on one canonical plan before its circuit breaker
+    /// opens. 0 disables the breaker.
+    pub breaker_threshold: u32,
+    /// How long an open breaker rejects before letting one probe through
+    /// (half-open).
+    pub breaker_cooldown: Duration,
+    /// Grace window for [`Server::drain`]: in-flight and queued queries
+    /// that outlive it are cancelled (their replies still delivered).
+    pub drain_grace: Duration,
 }
 
 impl Default for ServeConfig {
@@ -65,6 +85,11 @@ impl Default for ServeConfig {
             plan_cache: 128,
             default_deadline: None,
             limits: ResourceLimits::default(),
+            memory_watermark_bytes: None,
+            retry_after: Duration::from_millis(100),
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_secs(1),
+            drain_grace: Duration::from_secs(5),
         }
     }
 }
@@ -76,6 +101,20 @@ pub struct ServeStats {
     pub submitted: u64,
     /// Queries rejected with [`ServeError::Busy`].
     pub rejected: u64,
+    /// Queries shed with [`ServeError::Overloaded`] (memory watermark or
+    /// open circuit breaker).
+    pub shed: u64,
+    /// Circuit-breaker open transitions over the server's lifetime.
+    pub breaker_opened: u64,
+    /// Breakers currently open / half-open (instantaneous gauges).
+    pub breaker_open: u64,
+    pub breaker_half_open: u64,
+    /// Live estimated relation bytes (process-wide gauge) and its
+    /// high-water mark.
+    pub mem_current_bytes: u64,
+    pub mem_high_water_bytes: u64,
+    /// Drain progress: 0 serving, 1 draining, 2 drained.
+    pub drain_phase: u64,
     /// Queries that finished with an answer.
     pub completed: u64,
     /// Queries that finished with an error (incl. cancelled / deadline).
@@ -149,8 +188,28 @@ impl std::fmt::Display for ServeStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "submitted  {}", self.submitted)?;
         writeln!(f, "rejected   {}", self.rejected)?;
+        writeln!(f, "shed       {}", self.shed)?;
         writeln!(f, "completed  {}", self.completed)?;
         writeln!(f, "failed     {}", self.failed)?;
+        writeln!(
+            f,
+            "breakers     {} opens, {} open / {} half-open now",
+            self.breaker_opened, self.breaker_open, self.breaker_half_open
+        )?;
+        writeln!(
+            f,
+            "memory       {} bytes live, {} high water",
+            self.mem_current_bytes, self.mem_high_water_bytes
+        )?;
+        writeln!(
+            f,
+            "drain        {}",
+            match self.drain_phase {
+                0 => "serving",
+                1 => "draining",
+                _ => "drained",
+            }
+        )?;
         writeln!(
             f,
             "plan cache   {} hits / {} misses ({} evictions)",
@@ -219,6 +278,8 @@ impl std::fmt::Display for ServeStats {
 struct Counters {
     submitted: AtomicU64,
     rejected: AtomicU64,
+    shed: AtomicU64,
+    breaker_opened: AtomicU64,
     completed: AtomicU64,
     failed: AtomicU64,
     plan_hits: AtomicU64,
@@ -262,7 +323,27 @@ impl Telemetry {
     }
 }
 
+/// Circuit-breaker lifecycle for one canonical plan key:
+/// `Closed` → (threshold consecutive breaker-class failures) → `Open` →
+/// (cooldown elapses; one probe admitted) → `HalfOpen` → success closes,
+/// failure re-opens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BreakerState {
+    Closed,
+    Open,
+    HalfOpen,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Breaker {
+    state: BreakerState,
+    /// Consecutive breaker-class failures since the last success.
+    consecutive: u32,
+    opened_at: Instant,
+}
+
 struct QueryJob {
+    id: u64,
     query: String,
     token: CancellationToken,
     /// Tracing level for this execution. Anything above `Off` also bypasses
@@ -290,6 +371,17 @@ struct ServerInner {
     counters: Counters,
     telemetry: Telemetry,
     closing: AtomicBool,
+    /// 0 serving, 1 draining, 2 drained (see [`Client::request_drain`]).
+    drain_phase: AtomicU64,
+    /// Per-canonical-plan circuit breakers (see [`Breaker`]).
+    breakers: Mutex<FxHashMap<u64, Breaker>>,
+    /// Cancellation tokens of every admitted, unresolved query, so a
+    /// drain can deadline stragglers. Keyed by [`QueryJob::id`].
+    inflight: Mutex<FxHashMap<u64, CancellationToken>>,
+    next_job: AtomicU64,
+    /// Database statistics for admission cost estimates, rebuilt lazily
+    /// per epoch (`Stats::from_db` scans every relation once).
+    cost_stats: Mutex<Option<(u64, Arc<Stats>)>>,
     config: ServeConfig,
 }
 
@@ -306,6 +398,122 @@ impl ServerInner {
 
     fn write_engine(&self) -> std::sync::RwLockWriteGuard<'_, QueryEngine> {
         self.engine.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Gate on the plan's circuit breaker. An open breaker rejects with
+    /// [`ServeError::Overloaded`] until the cooldown elapses, then lets
+    /// exactly one probe through (half-open); further callers keep being
+    /// rejected until [`ServerInner::breaker_record`] settles the probe.
+    /// Never blocks, so a cancelled caller can never be parked here.
+    ///
+    /// Only the worker-side call passes `transition = true`: it owns the
+    /// Open → HalfOpen move. The submit-side check is a read-only peek,
+    /// so a query admitted there is not re-rejected by its own probe
+    /// state when the worker gates it again.
+    fn breaker_check(&self, key: u64, transition: bool) -> ServeResult<()> {
+        if self.config.breaker_threshold == 0 {
+            return Ok(());
+        }
+        let mut breakers = lock(&self.breakers);
+        let Some(b) = breakers.get_mut(&key) else { return Ok(()) };
+        let retry_after_ms = |d: Duration| (d.as_millis() as u64).max(1);
+        match b.state {
+            BreakerState::Closed => Ok(()),
+            BreakerState::Open => {
+                let elapsed = b.opened_at.elapsed();
+                if elapsed >= self.config.breaker_cooldown {
+                    if transition {
+                        b.state = BreakerState::HalfOpen; // this caller probes
+                    }
+                    Ok(())
+                } else {
+                    Err(ServeError::Overloaded {
+                        reason: OverloadReason::CircuitOpen,
+                        retry_after_ms: retry_after_ms(self.config.breaker_cooldown - elapsed),
+                    })
+                }
+            }
+            // The probe passed this gate when it performed the
+            // transition; anyone who finds HalfOpen waits for its verdict.
+            BreakerState::HalfOpen => Err(ServeError::Overloaded {
+                reason: OverloadReason::CircuitOpen,
+                retry_after_ms: retry_after_ms(self.config.retry_after),
+            }),
+        }
+    }
+
+    /// Settle a finished execution against the plan's breaker: a success
+    /// closes it; a breaker-class failure (`MemoryExceeded`,
+    /// `WorkerFailed` — deterministic re-offenders, not transient noise)
+    /// counts toward opening, and any half-open probe failure re-opens.
+    fn breaker_record(&self, key: u64, result: &ServeResult<Arc<QueryOutput>>) {
+        let threshold = self.config.breaker_threshold;
+        if threshold == 0 {
+            return;
+        }
+        use mura_core::MuraError as E;
+        let breaker_failure = matches!(
+            result,
+            Err(ServeError::Engine(E::MemoryExceeded { .. } | E::WorkerFailed { .. }))
+        );
+        let mut breakers = lock(&self.breakers);
+        if !breaker_failure {
+            if result.is_ok() {
+                breakers.remove(&key);
+            }
+            return;
+        }
+        let b = breakers.entry(key).or_insert(Breaker {
+            state: BreakerState::Closed,
+            consecutive: 0,
+            opened_at: Instant::now(),
+        });
+        b.consecutive = b.consecutive.saturating_add(1);
+        if (b.consecutive >= threshold || b.state == BreakerState::HalfOpen)
+            && b.state != BreakerState::Open
+        {
+            b.state = BreakerState::Open;
+            b.opened_at = Instant::now();
+            self.counters.breaker_opened.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Cost-model byte estimate for a plan: output cardinality × arity ×
+    /// value size, from per-epoch database statistics. `None` when the
+    /// model can't price the plan — the gate then falls back to the live
+    /// gauge alone.
+    fn estimated_bytes(&self, plan: &Term, epoch: u64) -> Option<u64> {
+        let stats = {
+            let mut slot = lock(&self.cost_stats);
+            match &*slot {
+                Some((e, s)) if *e == epoch => Arc::clone(s),
+                _ => {
+                    let s = Arc::new(Stats::from_db(self.read_engine().db()));
+                    *slot = Some((epoch, Arc::clone(&s)));
+                    s
+                }
+            }
+        };
+        let card = CostModel::new(&stats).card(plan).ok()?;
+        Some(rel_bytes(card.rows as u64, card.distinct.len().max(1)))
+    }
+
+    /// The memory-watermark admission gate: shed when the live gauge plus
+    /// this query's estimate would pass the watermark.
+    fn memory_gate(&self, estimate: u64) -> ServeResult<()> {
+        let Some(watermark) = self.config.memory_watermark_bytes else { return Ok(()) };
+        if mem_gauge().current_bytes().saturating_add(estimate) > watermark {
+            return Err(ServeError::Overloaded {
+                reason: OverloadReason::Memory,
+                retry_after_ms: (self.config.retry_after.as_millis() as u64).max(1),
+            });
+        }
+        Ok(())
+    }
+
+    fn shed(&self, e: ServeError) -> ServeError {
+        self.counters.shed.fetch_add(1, Ordering::Relaxed);
+        e
     }
 
     fn process(&self, job: &QueryJob) -> ServeResult<Arc<QueryOutput>> {
@@ -338,13 +546,23 @@ impl ServerInner {
         // Result cache: canonical plan key + epoch. Traced jobs bypass it —
         // see `QueryJob::trace`.
         let traced = job.trace > TraceLevel::Off;
-        let result_key = (plan_key(&planned.plan), epoch);
+        let key = plan_key(&planned.plan);
+        let result_key = (key, epoch);
         if !traced {
             if let Some(hit) = lock(&self.results).get(&result_key) {
                 self.counters.result_hits.fetch_add(1, Ordering::Relaxed);
                 return Ok(hit);
             }
             self.counters.result_misses.fetch_add(1, Ordering::Relaxed);
+        }
+
+        // Overload gates, now that the canonical plan is known (the
+        // submit-side copies of these gates only fire on plan-cache hits).
+        // Cache hits above skip them: replaying an answer costs nothing.
+        self.breaker_check(key, true).map_err(|e| self.shed(e))?;
+        if self.config.memory_watermark_bytes.is_some() {
+            let estimate = self.estimated_bytes(&planned.plan, epoch).unwrap_or(0);
+            self.memory_gate(estimate).map_err(|e| self.shed(e))?;
         }
 
         // Execute under the read lock: many executions run concurrently;
@@ -354,7 +572,9 @@ impl ServerInner {
         config.limits = self.config.limits;
         config.cancel = Some(job.token.clone());
         config.trace = job.trace;
-        let out = Arc::new(engine.execute_plan_with(&planned, config)?);
+        let out = engine.execute_plan_with(&planned, config).map(Arc::new).map_err(Into::into);
+        self.breaker_record(key, &out);
+        let out = out?;
         self.telemetry.execution.record(out.execution);
         self.telemetry.record_comm(&out.comm);
         // Accumulate fault/recovery accounting for fresh executions only —
@@ -401,6 +621,11 @@ impl Server {
             counters: Counters::default(),
             telemetry: Telemetry::default(),
             closing: AtomicBool::new(false),
+            drain_phase: AtomicU64::new(0),
+            breakers: Mutex::new(FxHashMap::default()),
+            inflight: Mutex::new(FxHashMap::default()),
+            next_job: AtomicU64::new(0),
+            cost_stats: Mutex::new(None),
             config,
         });
         let rx = Arc::new(Mutex::new(rx));
@@ -463,6 +688,18 @@ impl Server {
             let _ = h.join();
         }
     }
+
+    /// Graceful shutdown: stop accepting, let queued and in-flight
+    /// queries finish within `config.drain_grace` (stragglers are
+    /// cancelled, their replies still delivered — no response is ever
+    /// dropped), join the workers and return the final counters.
+    pub fn drain(mut self) -> ServeStats {
+        let stats = self.client().request_drain();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        stats
+    }
 }
 
 impl Drop for Server {
@@ -495,6 +732,7 @@ fn worker_loop(inner: &ServerInner, rx: &Mutex<Receiver<Job>>) {
         };
         // The submitter may have given up waiting; that's fine.
         let _ = job.reply.send(result);
+        lock(&inner.inflight).remove(&job.id);
     }
 }
 
@@ -506,9 +744,21 @@ fn stats_of(inner: &ServerInner) -> ServeStats {
     let queue = t.queue.snapshot();
     let exec = t.execution.snapshot();
     let q = |s: &mura_obs::HistogramSnapshot, p: f64| s.quantile_us(p).unwrap_or(0);
+    let (breaker_open, breaker_half_open) = {
+        let breakers = lock(&inner.breakers);
+        let count = |s: BreakerState| breakers.values().filter(|b| b.state == s).count() as u64;
+        (count(BreakerState::Open), count(BreakerState::HalfOpen))
+    };
     ServeStats {
         submitted: c.submitted.load(Ordering::Relaxed),
         rejected: c.rejected.load(Ordering::Relaxed),
+        shed: c.shed.load(Ordering::Relaxed),
+        breaker_opened: c.breaker_opened.load(Ordering::Relaxed),
+        breaker_open,
+        breaker_half_open,
+        mem_current_bytes: mem_gauge().current_bytes(),
+        mem_high_water_bytes: mem_gauge().high_water_bytes(),
+        drain_phase: inner.drain_phase.load(Ordering::SeqCst),
         completed: c.completed.load(Ordering::Relaxed),
         failed: c.failed.load(Ordering::Relaxed),
         plan_hits: c.plan_hits.load(Ordering::Relaxed),
@@ -556,6 +806,26 @@ fn metrics_of(inner: &ServerInner) -> String {
     p.sample("mura_queries_total", &[("outcome", "failed")], s.failed as f64);
     p.sample("mura_queries_total", &[("outcome", "rejected")], s.rejected as f64);
     p.counter("mura_queries_submitted_total", "Queries admitted into the queue.", s.submitted);
+    p.counter(
+        "mura_shed_total",
+        "Queries shed by overload protection (memory watermark or open breaker).",
+        s.shed,
+    );
+    p.family("mura_breaker_state", "gauge", "Circuit breakers currently in each state.");
+    p.sample("mura_breaker_state", &[("state", "open")], s.breaker_open as f64);
+    p.sample("mura_breaker_state", &[("state", "half_open")], s.breaker_half_open as f64);
+    p.counter("mura_breaker_opened_total", "Circuit-breaker open transitions.", s.breaker_opened);
+    p.gauge(
+        "mura_mem_current_bytes",
+        "Live estimated relation bytes (process-wide).",
+        s.mem_current_bytes as f64,
+    );
+    p.gauge(
+        "mura_mem_high_water_bytes",
+        "High-water mark of estimated relation bytes.",
+        s.mem_high_water_bytes as f64,
+    );
+    p.gauge("mura_drain_phase", "0 serving, 1 draining, 2 drained.", s.drain_phase as f64);
     p.family("mura_cache_events_total", "counter", "Plan/result cache hits, misses, evictions.");
     for (cache, hits, misses, evictions) in [
         ("plan", s.plan_hits, s.plan_misses, s.plan_evictions),
@@ -662,29 +932,109 @@ impl Client {
         if self.inner.closing.load(Ordering::SeqCst) {
             return Err(ServeError::Closed);
         }
+        // Overload gates, best effort before queueing: a cached plan gives
+        // this query's canonical key (breaker) and byte estimate; a cold
+        // query is gated on the live gauge alone and re-checked
+        // authoritatively in `process` once planned. Gates never block, so
+        // a caller with an expired deadline is never parked here.
+        let epoch = self.inner.epoch.load(Ordering::Acquire);
+        let cached_plan = lock(&self.inner.plans).get(&(query.to_string(), epoch));
+        if let Some(plan) = &cached_plan {
+            self.inner.breaker_check(plan_key(plan), false).map_err(|e| self.inner.shed(e))?;
+        }
+        if self.inner.config.memory_watermark_bytes.is_some() {
+            let estimate = cached_plan
+                .as_ref()
+                .and_then(|p| self.inner.estimated_bytes(p, epoch))
+                .unwrap_or(0);
+            self.inner.memory_gate(estimate).map_err(|e| self.inner.shed(e))?;
+        }
         let token = match deadline {
             Some(d) => CancellationToken::with_timeout(d),
             None => CancellationToken::new(),
         };
+        let id = self.inner.next_job.fetch_add(1, Ordering::Relaxed);
         let (reply_tx, reply_rx) = std::sync::mpsc::channel();
         let job = QueryJob {
+            id,
             query: query.to_string(),
             token: token.clone(),
             trace,
             submitted: Instant::now(),
             reply: reply_tx,
         };
+        // Register before enqueueing: a worker may finish (and deregister)
+        // the job before try_send even returns.
+        lock(&self.inner.inflight).insert(id, token.clone());
         match self.tx.try_send(Job::Query(job)) {
             Ok(()) => {
                 self.inner.counters.submitted.fetch_add(1, Ordering::Relaxed);
                 Ok(Pending { rx: reply_rx, token })
             }
-            Err(TrySendError::Full(_)) => {
-                self.inner.counters.rejected.fetch_add(1, Ordering::Relaxed);
-                Err(ServeError::Busy { queue_depth: self.inner.config.queue_depth.max(1) })
+            Err(send_err) => {
+                lock(&self.inner.inflight).remove(&id);
+                match send_err {
+                    TrySendError::Full(_) => {
+                        self.inner.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                        Err(ServeError::Busy {
+                            queue_depth: self.inner.config.queue_depth.max(1),
+                            retry_after_ms: (self.inner.config.retry_after.as_millis() as u64)
+                                .max(1),
+                        })
+                    }
+                    TrySendError::Disconnected(_) => Err(ServeError::Closed),
+                }
             }
-            Err(TrySendError::Disconnected(_)) => Err(ServeError::Closed),
         }
+    }
+
+    /// Initiates and completes a graceful drain from any client handle
+    /// (the `.drain` protocol verb lands here): stop admissions, let
+    /// queued and in-flight queries finish within the configured grace,
+    /// cancel stragglers (their replies are still delivered), and stop
+    /// the workers. Worker threads stay joinable by the [`Server`] owner.
+    /// Returns the final counters; concurrent callers return immediately
+    /// with the current counters.
+    pub fn request_drain(&self) -> ServeStats {
+        let first = self
+            .inner
+            .drain_phase
+            .compare_exchange(0, 1, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok();
+        if first {
+            self.inner.closing.store(true, Ordering::SeqCst);
+            let grace = self.inner.config.drain_grace;
+            // Watchdog: if the grace window passes before the queue
+            // drains, cancel everything still registered — queued jobs
+            // then resolve to `Cancelled` the moment a worker picks them
+            // up, and running ones stop at their next superstep.
+            let inner = Arc::clone(&self.inner);
+            let (done_tx, done_rx) = std::sync::mpsc::channel::<()>();
+            let watchdog = std::thread::Builder::new()
+                .name("mura-serve-drain".into())
+                .spawn(move || {
+                    if done_rx.recv_timeout(grace).is_err() {
+                        for token in lock(&inner.inflight).values() {
+                            token.cancel();
+                        }
+                    }
+                })
+                .expect("spawn drain watchdog");
+            // Blocking sends: every queued query drains ahead of the pills.
+            for _ in 0..self.inner.config.workers.max(1) {
+                let _ = self.tx.send(Job::Poison);
+            }
+            // Workers have consumed the whole queue; give executions still
+            // in flight (at most one per worker) a bounded settle window.
+            let settle = Instant::now();
+            while !lock(&self.inner.inflight).is_empty() && settle.elapsed() < grace {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            let _ = done_tx.send(());
+            let _ = watchdog.join();
+            self.inner.drain_phase.store(2, Ordering::SeqCst);
+        }
+        stats_of(&self.inner)
     }
 
     /// Current serving counters.

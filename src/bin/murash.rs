@@ -59,14 +59,18 @@ commands:
   .help                  this text
   .quit                  exit
 anything else is parsed as a UCRPQ query and executed.
-start with `murash --connect <addr>` to talk to a remote .serve instance,
+start with `murash --connect <addr>` to talk to a remote .serve instance
+(busy/overloaded replies carrying retry-after-ms are retried once),
+`murash --drain <addr>` to gracefully drain a remote server,
 `--chaos <seed>` for fault injection, `--trace-out <path>` to dump each
 query's trace as JSON (Chrome-trace compatible under \"traceEvents\").";
 
-const USAGE: &str = "usage: murash [--connect <addr>] [--chaos <seed>] [--trace-out <path>]";
+const USAGE: &str =
+    "usage: murash [--connect <addr>] [--drain <addr>] [--chaos <seed>] [--trace-out <path>]";
 
 fn main() {
     let mut connect: Option<String> = None;
+    let mut drain: Option<String> = None;
     let mut chaos_seed: Option<u64> = None;
     let mut trace_out: Option<String> = None;
     let mut args = std::env::args().skip(1);
@@ -79,6 +83,7 @@ fn main() {
         };
         match flag.as_str() {
             "--connect" => connect = Some(value("--connect")),
+            "--drain" => drain = Some(value("--drain")),
             "--chaos" => {
                 let seed = value("--chaos");
                 chaos_seed = Some(seed.parse().unwrap_or_else(|_| {
@@ -92,6 +97,13 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+    if let Some(addr) = drain {
+        if let Err(e) = drain_remote(&addr) {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+        return;
     }
     if let Some(addr) = connect {
         if let Err(e) = client_repl(&addr) {
@@ -417,9 +429,16 @@ impl Shell {
     }
 }
 
+/// Extracts the `retry-after-ms=<n>` token a busy/overloaded server embeds
+/// in its `ERR` status line.
+fn retry_after_of(status: &str) -> Option<u64> {
+    status.split_whitespace().find_map(|tok| tok.strip_prefix("retry-after-ms=")?.parse().ok())
+}
+
 /// Interactive client against a `.serve` instance: forwards each line over
 /// TCP and prints the response block (status + body up to the `.`
-/// terminator).
+/// terminator). A busy/overloaded rejection carrying a `retry-after-ms`
+/// hint is honored with one automatic retry.
 fn client_repl(addr: &str) -> std::io::Result<()> {
     use std::io::Write;
     let stream = std::net::TcpStream::connect(addr)?;
@@ -427,7 +446,7 @@ fn client_repl(addr: &str) -> std::io::Result<()> {
     let mut out = stream;
     println!(
         "connected to {addr} — server-side verbs: .stats .metrics .profile <query> .rels \
-         .deadline <ms> .quit"
+         .deadline <ms> .drain .quit"
     );
     while let Some(line) = mura_datagen::io::read_line(&format!("μ@{addr}> ")) {
         let line = line.trim();
@@ -436,7 +455,18 @@ fn client_repl(addr: &str) -> std::io::Result<()> {
         }
         out.write_all(format!("{line}\n").as_bytes())?;
         out.flush()?;
-        let (status, body) = mura_serve::read_response(&mut reader)?;
+        let (mut status, mut body) = mura_serve::read_response(&mut reader)?;
+        if status.starts_with("ERR ") {
+            if let Some(ms) = retry_after_of(&status) {
+                // Cap the wait: the hint is advisory and an interactive
+                // shell should never stall for long.
+                println!("{status} — retrying in {ms} ms");
+                std::thread::sleep(std::time::Duration::from_millis(ms.min(2_000)));
+                out.write_all(format!("{line}\n").as_bytes())?;
+                out.flush()?;
+                (status, body) = mura_serve::read_response(&mut reader)?;
+            }
+        }
         println!("{status}");
         for l in &body {
             println!("  {l}");
@@ -444,6 +474,26 @@ fn client_repl(addr: &str) -> std::io::Result<()> {
         if line == ".quit" || line == ".exit" {
             break;
         }
+    }
+    Ok(())
+}
+
+/// `murash --drain <addr>`: asks a remote `.serve` instance to drain
+/// gracefully and prints its final counters.
+fn drain_remote(addr: &str) -> std::io::Result<()> {
+    use std::io::Write;
+    let stream = std::net::TcpStream::connect(addr)?;
+    let mut reader = std::io::BufReader::new(stream.try_clone()?);
+    let mut out = stream;
+    out.write_all(b".drain\n")?;
+    out.flush()?;
+    let (status, body) = mura_serve::read_response(&mut reader)?;
+    println!("{status}");
+    for l in &body {
+        println!("  {l}");
+    }
+    if !status.starts_with("OK") {
+        std::process::exit(1);
     }
     Ok(())
 }
