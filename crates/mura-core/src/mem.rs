@@ -83,9 +83,13 @@ pub fn mem_gauge() -> &'static MemGauge {
 
 /// Estimated footprint of `rows` tuples of the given arity: payload values
 /// only, `Arc`/hash overhead excluded so sharing is never double-counted.
+///
+/// Saturates at `u64::MAX`: callers feed it cost-model cardinalities that
+/// can be astronomically large (joins multiply), and an oversized estimate
+/// must clamp — and be shed by any byte gate — rather than wrap past it.
 #[inline]
 pub fn rel_bytes(rows: u64, arity: usize) -> u64 {
-    rows * arity as u64 * std::mem::size_of::<Value>() as u64
+    rows.saturating_mul(arity as u64).saturating_mul(std::mem::size_of::<Value>() as u64)
 }
 
 /// RAII charge against the process gauge.
@@ -152,6 +156,14 @@ mod tests {
     fn rel_bytes_scales_with_arity() {
         assert_eq!(rel_bytes(10, 2), 10 * 2 * std::mem::size_of::<Value>() as u64);
         assert_eq!(rel_bytes(0, 5), 0);
+    }
+
+    #[test]
+    fn rel_bytes_saturates_instead_of_wrapping() {
+        // A 3-way join of 1e6-row relations estimates ~1e18 rows; the byte
+        // estimate must clamp so a watermark gate always sheds it.
+        assert_eq!(rel_bytes(u64::MAX, 3), u64::MAX);
+        assert_eq!(rel_bytes(1 << 62, 4), u64::MAX);
     }
 
     #[test]

@@ -102,8 +102,12 @@ pub struct ServeStats {
     /// Queries rejected with [`ServeError::Busy`].
     pub rejected: u64,
     /// Queries shed with [`ServeError::Overloaded`] (memory watermark or
-    /// open circuit breaker).
+    /// open circuit breaker), whether at submission or after admission.
     pub shed: u64,
+    /// The subset of [`shed`](Self::shed) that was already admitted when
+    /// the worker-side gates shed it. Admitted queries terminate as
+    /// exactly one of completed / failed / shed_admitted.
+    pub shed_admitted: u64,
     /// Circuit-breaker open transitions over the server's lifetime.
     pub breaker_opened: u64,
     /// Breakers currently open / half-open (instantaneous gauges).
@@ -117,7 +121,10 @@ pub struct ServeStats {
     pub drain_phase: u64,
     /// Queries that finished with an answer.
     pub completed: u64,
-    /// Queries that finished with an error (incl. cancelled / deadline).
+    /// Queries that executed and finished with an error (incl. cancelled
+    /// / deadline). Worker-side sheds count under
+    /// [`shed_admitted`](Self::shed_admitted), not here — matching
+    /// submit-side sheds, which hit neither counter.
     pub failed: u64,
     /// Plan-cache hits / misses.
     pub plan_hits: u64,
@@ -188,7 +195,7 @@ impl std::fmt::Display for ServeStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "submitted  {}", self.submitted)?;
         writeln!(f, "rejected   {}", self.rejected)?;
-        writeln!(f, "shed       {}", self.shed)?;
+        writeln!(f, "shed       {} ({} after admission)", self.shed, self.shed_admitted)?;
         writeln!(f, "completed  {}", self.completed)?;
         writeln!(f, "failed     {}", self.failed)?;
         writeln!(
@@ -279,6 +286,7 @@ struct Counters {
     submitted: AtomicU64,
     rejected: AtomicU64,
     shed: AtomicU64,
+    shed_admitted: AtomicU64,
     breaker_opened: AtomicU64,
     completed: AtomicU64,
     failed: AtomicU64,
@@ -379,8 +387,9 @@ struct ServerInner {
     /// drain can deadline stragglers. Keyed by [`QueryJob::id`].
     inflight: Mutex<FxHashMap<u64, CancellationToken>>,
     next_job: AtomicU64,
-    /// Database statistics for admission cost estimates, rebuilt lazily
-    /// per epoch (`Stats::from_db` scans every relation once).
+    /// Database statistics for admission cost estimates, built at startup
+    /// and on every [`Server::load`] (`Stats::from_db` scans every
+    /// relation once). The admission gates only read this slot.
     cost_stats: Mutex<Option<(u64, Arc<Stats>)>>,
     config: ServeConfig,
 }
@@ -446,7 +455,11 @@ impl ServerInner {
     /// closes it; a breaker-class failure (`MemoryExceeded`,
     /// `WorkerFailed` — deterministic re-offenders, not transient noise)
     /// counts toward opening, and any half-open probe failure re-opens.
-    fn breaker_record(&self, key: u64, result: &ServeResult<Arc<QueryOutput>>) {
+    /// A neutral outcome (cancelled, timeout, transient fault) proves
+    /// nothing either way; a half-open probe that ends neutrally returns
+    /// to `Open` with a fresh cooldown — it must never strand the breaker
+    /// in `HalfOpen`, which rejects everyone until the next settle.
+    fn breaker_record<T>(&self, key: u64, result: &ServeResult<T>) {
         let threshold = self.config.breaker_threshold;
         if threshold == 0 {
             return;
@@ -460,6 +473,14 @@ impl ServerInner {
         if !breaker_failure {
             if result.is_ok() {
                 breakers.remove(&key);
+            } else if let Some(b) = breakers.get_mut(&key) {
+                if b.state == BreakerState::HalfOpen {
+                    // Inconclusive probe: re-open and let a later probe
+                    // retry after the cooldown. Not counted in
+                    // `breaker_opened` — the plan wasn't convicted again.
+                    b.state = BreakerState::Open;
+                    b.opened_at = Instant::now();
+                }
             }
             return;
         }
@@ -478,23 +499,35 @@ impl ServerInner {
         }
     }
 
+    /// Rebuilds the per-epoch database statistics that back admission
+    /// cost estimates. Runs off the hot paths only — at startup and from
+    /// [`Server::load`] while the engine lock is already held — so the
+    /// gates never pay for a relation scan.
+    fn rebuild_cost_stats(&self, epoch: u64, db: &Database) {
+        if self.config.memory_watermark_bytes.is_none() {
+            return;
+        }
+        *lock(&self.cost_stats) = Some((epoch, Arc::new(Stats::from_db(db))));
+    }
+
     /// Cost-model byte estimate for a plan: output cardinality × arity ×
     /// value size, from per-epoch database statistics. `None` when the
     /// model can't price the plan — the gate then falls back to the live
-    /// gauge alone.
+    /// gauge alone. Read-only and non-blocking: stats are prebuilt by
+    /// [`ServerInner::rebuild_cost_stats`], never scanned here, and a
+    /// contended lock or stale epoch just falls through to the gauge.
     fn estimated_bytes(&self, plan: &Term, epoch: u64) -> Option<u64> {
         let stats = {
-            let mut slot = lock(&self.cost_stats);
+            let slot = self.cost_stats.try_lock().ok()?;
             match &*slot {
                 Some((e, s)) if *e == epoch => Arc::clone(s),
-                _ => {
-                    let s = Arc::new(Stats::from_db(self.read_engine().db()));
-                    *slot = Some((epoch, Arc::clone(&s)));
-                    s
-                }
+                _ => return None,
             }
         };
         let card = CostModel::new(&stats).card(plan).ok()?;
+        // `as` saturates the f64 (NaN → 0), and `rel_bytes` saturates the
+        // multiplication, so an astronomical join estimate clamps to
+        // u64::MAX and is always shed instead of wrapping past the gate.
         Some(rel_bytes(card.rows as u64, card.distinct.len().max(1)))
     }
 
@@ -559,11 +592,14 @@ impl ServerInner {
         // Overload gates, now that the canonical plan is known (the
         // submit-side copies of these gates only fire on plan-cache hits).
         // Cache hits above skip them: replaying an answer costs nothing.
-        self.breaker_check(key, true).map_err(|e| self.shed(e))?;
+        // The memory gate runs first: the breaker check may transition
+        // Open → HalfOpen for a probe, and a probe shed by a later gate
+        // would leave HalfOpen with nobody left to settle it.
         if self.config.memory_watermark_bytes.is_some() {
             let estimate = self.estimated_bytes(&planned.plan, epoch).unwrap_or(0);
             self.memory_gate(estimate).map_err(|e| self.shed(e))?;
         }
+        self.breaker_check(key, true).map_err(|e| self.shed(e))?;
 
         // Execute under the read lock: many executions run concurrently;
         // only planning and loads serialize.
@@ -628,6 +664,10 @@ impl Server {
             cost_stats: Mutex::new(None),
             config,
         });
+        {
+            let engine = inner.read_engine();
+            inner.rebuild_cost_stats(0, engine.db());
+        }
         let rx = Arc::new(Mutex::new(rx));
         let handles = (0..workers)
             .map(|i| {
@@ -669,7 +709,13 @@ impl Server {
     pub fn load(&self, f: impl FnOnce(&mut Database)) {
         let mut engine = self.inner.write_engine();
         f(engine.db_mut());
-        self.inner.epoch.fetch_add(1, Ordering::AcqRel);
+        let epoch = self.inner.epoch.fetch_add(1, Ordering::AcqRel) + 1;
+        // Verdicts and statistics from the old contents don't carry over:
+        // a breaker opened against the previous data must not keep
+        // shedding a plan that may now succeed, and the admission cost
+        // model must price against what was just loaded.
+        lock(&self.inner.breakers).clear();
+        self.inner.rebuild_cost_stats(epoch, engine.db());
     }
 
     /// Read access to the database (e.g. to resolve symbols in answers).
@@ -728,6 +774,12 @@ fn worker_loop(inner: &ServerInner, rx: &Mutex<Receiver<Job>>) {
         inner.telemetry.wall.record(job.submitted.elapsed());
         match &result {
             Ok(_) => inner.counters.completed.fetch_add(1, Ordering::Relaxed),
+            // A worker-side shed is already in `shed`; `failed` means
+            // "executed and errored", so it lands in `shed_admitted`
+            // instead — submit-side sheds hit neither.
+            Err(ServeError::Overloaded { .. }) => {
+                inner.counters.shed_admitted.fetch_add(1, Ordering::Relaxed)
+            }
             Err(_) => inner.counters.failed.fetch_add(1, Ordering::Relaxed),
         };
         // The submitter may have given up waiting; that's fine.
@@ -753,6 +805,7 @@ fn stats_of(inner: &ServerInner) -> ServeStats {
         submitted: c.submitted.load(Ordering::Relaxed),
         rejected: c.rejected.load(Ordering::Relaxed),
         shed: c.shed.load(Ordering::Relaxed),
+        shed_admitted: c.shed_admitted.load(Ordering::Relaxed),
         breaker_opened: c.breaker_opened.load(Ordering::Relaxed),
         breaker_open,
         breaker_half_open,
@@ -805,6 +858,7 @@ fn metrics_of(inner: &ServerInner) -> String {
     p.sample("mura_queries_total", &[("outcome", "completed")], s.completed as f64);
     p.sample("mura_queries_total", &[("outcome", "failed")], s.failed as f64);
     p.sample("mura_queries_total", &[("outcome", "rejected")], s.rejected as f64);
+    p.sample("mura_queries_total", &[("outcome", "shed")], s.shed_admitted as f64);
     p.counter("mura_queries_submitted_total", "Queries admitted into the queue.", s.submitted);
     p.counter(
         "mura_shed_total",
@@ -1082,5 +1136,91 @@ impl Pending {
     /// Non-blocking poll; `None` while still running.
     pub fn try_wait(&self) -> Option<ServeResult<Arc<QueryOutput>>> {
         self.rx.try_recv().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mura_core::MuraError;
+
+    /// A server whose breaker trips on the first breaker-class failure and
+    /// cools down quickly, for driving the state machine directly.
+    fn breaker_server() -> Server {
+        Server::start(
+            QueryEngine::new(Database::new()),
+            ServeConfig {
+                breaker_threshold: 1,
+                breaker_cooldown: Duration::from_millis(20),
+                ..Default::default()
+            },
+        )
+    }
+
+    fn mem_exceeded() -> ServeResult<()> {
+        Err(ServeError::Engine(MuraError::MemoryExceeded { used: 2, limit: 1 }))
+    }
+
+    fn cancelled() -> ServeResult<()> {
+        Err(ServeError::Engine(MuraError::Cancelled))
+    }
+
+    fn state_of(server: &Server, key: u64) -> Option<BreakerState> {
+        lock(&server.inner.breakers).get(&key).map(|b| b.state)
+    }
+
+    /// Regression: a half-open probe that resolves to a neutral outcome
+    /// (cancelled / timeout / transient — neither success nor a
+    /// breaker-class failure) must settle the breaker back to `Open` with
+    /// a fresh cooldown. Before the fix it stayed `HalfOpen`, whose check
+    /// arm rejects unconditionally, shedding the plan forever.
+    #[test]
+    fn neutral_probe_outcome_reopens_instead_of_stranding_half_open() {
+        let server = breaker_server();
+        let inner = &server.inner;
+        let key = 42;
+
+        inner.breaker_record(key, &mem_exceeded());
+        assert_eq!(state_of(&server, key), Some(BreakerState::Open));
+        assert!(inner.breaker_check(key, true).is_err(), "open breaker rejects");
+
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(inner.breaker_check(key, true).is_ok(), "cooldown elapsed: probe admitted");
+        assert_eq!(state_of(&server, key), Some(BreakerState::HalfOpen));
+
+        // The probe is cancelled mid-flight: inconclusive, so the breaker
+        // re-opens (cooldown restarted) instead of stranding half-open.
+        inner.breaker_record(key, &cancelled());
+        assert_eq!(state_of(&server, key), Some(BreakerState::Open));
+        assert!(inner.breaker_check(key, true).is_err(), "cooldown restarted");
+
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(inner.breaker_check(key, true).is_ok(), "a later probe is admitted again");
+        inner.breaker_record(key, &Ok(()));
+        assert_eq!(state_of(&server, key), None, "successful probe closes the breaker");
+        server.shutdown();
+    }
+
+    /// A neutral failure with no breaker history (closed state) stays
+    /// invisible to the breaker: no entry is created, nothing trips.
+    #[test]
+    fn neutral_failure_without_history_leaves_no_breaker() {
+        let server = breaker_server();
+        server.inner.breaker_record(7, &cancelled());
+        assert_eq!(state_of(&server, 7), None);
+        assert!(server.inner.breaker_check(7, true).is_ok());
+        server.shutdown();
+    }
+
+    /// Regression: loading new data clears old-epoch breakers — a plan
+    /// convicted against the previous contents gets a clean slate.
+    #[test]
+    fn load_clears_breakers() {
+        let server = breaker_server();
+        server.inner.breaker_record(42, &mem_exceeded());
+        assert_eq!(state_of(&server, 42), Some(BreakerState::Open));
+        server.load(|_| {});
+        assert_eq!(state_of(&server, 42), None, "epoch bump must reset breakers");
+        server.shutdown();
     }
 }
