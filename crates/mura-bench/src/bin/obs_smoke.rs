@@ -40,6 +40,12 @@ const REQUIRED_FAMILIES: &[&str] = &[
     "mura_query_execution_seconds",
     "mura_query_planning_seconds",
     "mura_db_epoch",
+    "mura_db_version",
+    "mura_db_delta_rows_total",
+    "mura_ivm_applied_total",
+    "mura_ivm_fallback_total",
+    "mura_ivm_rederived_rows",
+    "mura_ivm_maintenance_seconds",
     "mura_shed_total",
     "mura_breaker_state",
     "mura_breaker_opened_total",
@@ -146,6 +152,20 @@ fn check_metrics_page(errors: &mut Vec<String>) {
     if !status.starts_with("OK profile") || !body.iter().any(|l| l.contains("superstep")) {
         errors
             .push(format!(".profile gave no superstep timeline: {status} / {} lines", body.len()));
+    }
+    // Exercise the mutation verbs so the IVM families carry real samples:
+    // an insert extends the cached closure, a delete DRed-maintains it.
+    let (status, _) = send(".insert e 100 101");
+    if !status.starts_with("OK v=1 ") {
+        errors.push(format!(".insert failed: {status}"));
+    }
+    let (status, _) = send(".delete e 0 1");
+    if !status.starts_with("OK v=2 ") {
+        errors.push(format!(".delete failed: {status}"));
+    }
+    let (status, _) = send(".insert e nonsense");
+    if !status.starts_with("ERR ") {
+        errors.push(format!(".insert with a bad value must ERR, got: {status}"));
     }
     let (status, page) = send(".metrics");
     if status != "OK metrics" {

@@ -60,5 +60,5 @@ pub use kernel::{kernel_stats, KernelSnapshot, KernelStats};
 pub use mem::{mem_gauge, rel_bytes, MemCharge, MemGauge};
 pub use relation::{Relation, Row};
 pub use schema::Schema;
-pub use term::{Pred, Term};
+pub use term::{term_key, Pred, Term};
 pub use value::{Sym, Value};

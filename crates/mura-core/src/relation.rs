@@ -120,6 +120,18 @@ impl Relation {
         Arc::make_mut(&mut self.rows).insert(row)
     }
 
+    /// Removes a row; returns `true` if it was present. Like [`insert`],
+    /// mutation goes through `Arc::make_mut`, so shared row sets are
+    /// deep-copied only when a removal actually happens on a shared set.
+    ///
+    /// [`insert`]: Relation::insert
+    pub fn remove(&mut self, row: &[Value]) -> bool {
+        if !self.rows.contains(row) {
+            return false;
+        }
+        Arc::make_mut(&mut self.rows).remove(row)
+    }
+
     /// Moves all rows of `other` into `self` (schemas must match). When one
     /// side is empty this is an O(1) pointer move; otherwise the smaller row
     /// set is drained into the larger one.

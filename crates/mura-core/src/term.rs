@@ -240,6 +240,74 @@ impl Term {
     }
 }
 
+/// Canonical 64-bit structural key of a term.
+///
+/// `Term` deliberately does not implement `Hash` (constant relations embed
+/// `Arc<Relation>`), so the key is computed by a structural walk that hashes
+/// constant relations through their schema and sorted rows —
+/// order-insensitive, like relation equality. Two structurally equal terms
+/// (including equal constant contents) get the same key. The serving layer
+/// keys its result cache and circuit breakers on this, and the incremental
+/// view maintenance layer uses it to match captured fixpoint totals to the
+/// `Fix` subterms of a cached plan.
+pub fn term_key(t: &Term) -> u64 {
+    use std::hash::{Hash, Hasher};
+    fn go(t: &Term, h: &mut crate::fxhash::FxHasher) {
+        match t {
+            Term::Var(v) => {
+                0u8.hash(h);
+                v.hash(h);
+            }
+            Term::Cst(r) => {
+                1u8.hash(h);
+                r.schema().columns().hash(h);
+                for row in r.sorted_rows() {
+                    row.hash(h);
+                }
+            }
+            Term::Filter(ps, inner) => {
+                2u8.hash(h);
+                ps.hash(h);
+                go(inner, h);
+            }
+            Term::Rename(a, b, inner) => {
+                3u8.hash(h);
+                a.hash(h);
+                b.hash(h);
+                go(inner, h);
+            }
+            Term::AntiProject(cs, inner) => {
+                4u8.hash(h);
+                cs.hash(h);
+                go(inner, h);
+            }
+            Term::Join(a, b) => {
+                5u8.hash(h);
+                go(a, h);
+                go(b, h);
+            }
+            Term::Antijoin(a, b) => {
+                6u8.hash(h);
+                go(a, h);
+                go(b, h);
+            }
+            Term::Union(a, b) => {
+                7u8.hash(h);
+                go(a, h);
+                go(b, h);
+            }
+            Term::Fix(x, body) => {
+                8u8.hash(h);
+                x.hash(h);
+                go(body, h);
+            }
+        }
+    }
+    let mut h = crate::fxhash::FxHasher::default();
+    go(t, &mut h);
+    h.finish()
+}
+
 /// Pretty printer for terms (see [`Term::display`]).
 pub struct TermDisplay<'a> {
     term: &'a Term,

@@ -61,13 +61,21 @@ pub fn eval_async(
     budget: &Budget,
 ) -> Result<DistRel> {
     let site = cluster.fault().next_site();
-    eval_async_at(seed, recs, x, cluster, budget, site, 0)
+    eval_async_at(seed, recs, x, cluster, budget, site, 0, None)
 }
 
 /// The supervised entry point: runs one attempt of the asynchronous
 /// fixpoint at an explicit fault `site`. The restart supervisor pins the
 /// site across attempts so afflicted workers heal deterministically after
 /// [`crate::fault::FaultConfig::failures_per_site`] attempts.
+///
+/// `resume` carries maintained `(acc, delta)` state for incremental view
+/// maintenance: each owner preloads its slice of `acc \ delta` (known
+/// totals nothing needs to be derived from again), while the frontier
+/// `delta` travels as ordinary batches alongside the seed. A restart of
+/// the whole attempt reuses the same resume state, so recovery never
+/// degrades to a from-scratch recomputation by accident.
+#[allow(clippy::too_many_arguments)]
 pub fn eval_async_at(
     seed: &DistRel,
     recs: &[Term],
@@ -76,6 +84,7 @@ pub fn eval_async_at(
     budget: &Budget,
     site: u64,
     attempt: u32,
+    resume: Option<&(Relation, Relation)>,
 ) -> Result<DistRel> {
     let n = cluster.workers();
     let fault = cluster.fault();
@@ -114,6 +123,22 @@ pub fn eval_async_at(
             initial[row_owner(row, n)].push(row.clone());
         }
     }
+    // Resumed state: each owner preloads its slice of `acc \ delta` so
+    // nothing is re-derived from known totals, while the maintenance
+    // frontier rows travel as ordinary batches — a preloaded frontier row
+    // would be deduplicated on receipt and never derived from.
+    let mut preload: Vec<Vec<Row>> = (0..n).map(|_| Vec::new()).collect();
+    if let Some((acc0, delta0)) = resume {
+        budget.charge_bytes(mura_core::rel_bytes(acc0.len() as u64, schema.arity()))?;
+        for row in acc0.iter() {
+            if !delta0.contains(row) {
+                preload[row_owner(row, n)].push(row.clone());
+            }
+        }
+        for row in delta0.iter() {
+            initial[row_owner(row, n)].push(row.clone());
+        }
+    }
     for (w, batch) in initial.into_iter().enumerate() {
         if !batch.is_empty() {
             in_flight.fetch_add(1, Ordering::SeqCst);
@@ -128,8 +153,9 @@ pub fn eval_async_at(
     let results: Vec<Result<(Relation, u64, u64)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = receivers
             .into_iter()
+            .zip(preload)
             .enumerate()
-            .map(|(me, inbox)| {
+            .map(|(me, (inbox, mine))| {
                 let senders = senders.clone();
                 let schema = schema.clone();
                 let in_flight = &in_flight;
@@ -155,6 +181,9 @@ pub fn eval_async_at(
                                 std::thread::sleep(d);
                             }
                             let mut acc = Relation::new(schema.clone());
+                            for row in mine {
+                                acc.insert(row);
+                            }
                             let (mut drops, mut dups) = (0u64, 0u64);
                             loop {
                                 let batch = match inbox.recv_timeout(Duration::from_millis(1)) {
@@ -372,8 +401,8 @@ mod tests {
         let plan = Arc::new(FaultPlan::new(cfg));
         let cluster = Cluster::new(4).with_faults(plan, RecoveryPolicy::default());
         let site = cluster.fault().next_site();
-        assert!(eval_async_at(&seed, &recs, x, &cluster, &budget, site, 0).is_err());
-        let out = eval_async_at(&seed, &recs, x, &cluster, &budget, site, 1).unwrap();
+        assert!(eval_async_at(&seed, &recs, x, &cluster, &budget, site, 0, None).is_err());
+        let out = eval_async_at(&seed, &recs, x, &cluster, &budget, site, 1, None).unwrap();
         assert_eq!(out.collect().sorted_rows(), expected.collect().sorted_rows());
     }
 }

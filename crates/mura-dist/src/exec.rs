@@ -92,6 +92,35 @@ pub struct ExecConfig {
     /// Per-query trace level. At [`TraceLevel::Off`] (the default) no sink
     /// exists and the fixpoint hot loops pay only a `None` check.
     pub trace: TraceLevel,
+    /// Capture every fixpoint's final total into
+    /// [`ExecStats::fix_totals`], keyed by the structural
+    /// [`mura_core::term_key`] of its `Fix` subterm. The serving layer
+    /// enables this for cacheable queries so incremental view maintenance
+    /// can later resume the semi-naive loop from the captured total
+    /// instead of recomputing from the seed. The captured copy is charged
+    /// against the byte budget.
+    pub capture_fixpoints: bool,
+    /// Resume state per fixpoint (same keying as `capture_fixpoints`).
+    /// When a `Fix` subterm's key is present, the driver starts its
+    /// semi-naive loop from `acc ∪ seed ∪ delta` with frontier
+    /// `delta ∪ (seed \ acc)` instead of from the seed — the incremental
+    /// maintenance path after a database delta.
+    pub resume: Option<Arc<FxHashMap<u64, FixResume>>>,
+}
+
+/// Resumable fixpoint state for incremental view maintenance (see
+/// [`ExecConfig::resume`]): `acc` is the maintained total (survivors after
+/// delete-rederive over-deletion, or the prior total for insert-only
+/// deltas) and `delta` is the maintenance frontier — the one-step
+/// derivations a database delta introduced, from which the ordinary
+/// semi-naive loop continues. Invariant: `delta ⊆ acc` is **not** required
+/// here; the driver unions the frontier into the accumulator itself.
+#[derive(Debug, Clone)]
+pub struct FixResume {
+    /// Starting accumulator.
+    pub acc: Relation,
+    /// Starting frontier.
+    pub delta: Relation,
 }
 
 impl Default for ExecConfig {
@@ -107,6 +136,8 @@ impl Default for ExecConfig {
             recovery: RecoveryPolicy::default(),
             checkpoint_every: 0,
             trace: TraceLevel::Off,
+            capture_fixpoints: false,
+            resume: None,
         }
     }
 }
@@ -134,6 +165,11 @@ pub struct ExecStats {
     /// [`TraceLevel::Off`]. Present even when evaluation failed, so partial
     /// timelines of aborted queries can be inspected.
     pub trace: Option<QueryTrace>,
+    /// Final totals of every fixpoint evaluated with
+    /// [`ExecConfig::capture_fixpoints`] set, keyed by the structural
+    /// [`mura_core::term_key`] of the `Fix` subterm. `None` when capture
+    /// was off.
+    pub fix_totals: Option<FxHashMap<u64, Relation>>,
 }
 
 /// A value during distributed evaluation: partitioned, or replicated to
@@ -348,7 +384,7 @@ impl<'db> DistEvaluator<'db> {
                     }
                 }
             }
-            Term::Fix(x, body) => DVal::Dist(self.eval_fixpoint(*x, body)?),
+            Term::Fix(x, body) => DVal::Dist(self.eval_fixpoint(term, *x, body)?),
         };
         self.charge(out.len(), out.schema().arity())?;
         Ok(out)
@@ -472,7 +508,13 @@ impl<'db> DistEvaluator<'db> {
 
     // ------------------------------------------------------------ fixpoint
 
-    fn eval_fixpoint(&mut self, x: Sym, body: &Term) -> Result<DistRel> {
+    fn eval_fixpoint(&mut self, fix_term: &Term, x: Sym, body: &Term) -> Result<DistRel> {
+        // The structural key ties this `Fix` subterm to captured totals and
+        // resume state; only computed when either feature is on.
+        let key = (self.config.capture_fixpoints || self.config.resume.is_some())
+            .then(|| mura_core::term_key(fix_term));
+        let resume: Option<FixResume> =
+            key.and_then(|k| self.config.resume.as_ref().and_then(|m| m.get(&k))).cloned();
         let (consts, recs) = decompose_fixpoint(x, body)?;
         // Constant part.
         let mut seed: Option<DVal> = None;
@@ -497,8 +539,40 @@ impl<'db> DistEvaluator<'db> {
         let seed = seed.expect("decompose guarantees a constant part").into_dist(&self.cluster);
         let seed = seed.distinct(&self.cluster)?;
         if recs.is_empty() {
+            self.capture_total(key, &seed)?;
             return Ok(seed);
         }
+        // Fold the (possibly changed) seed into the maintained state:
+        // acc₀ = acc ∪ seed ∪ delta and delta₀ = delta ∪ (seed \ acc), so
+        // the drivers below iterate only over what the mutation could have
+        // changed while the accumulator already holds everything known.
+        let initial: Option<(Relation, Relation)> = match resume {
+            Some(r) => {
+                let seed_rel = seed.collect();
+                if seed_rel.schema() != r.acc.schema() || seed_rel.schema() != r.delta.schema() {
+                    return Err(MuraError::SchemaMismatch {
+                        left: seed_rel.schema().clone(),
+                        right: r.acc.schema().clone(),
+                        context: "fixpoint resume state",
+                    });
+                }
+                let mut delta0 = r.delta.clone();
+                for row in seed_rel.iter() {
+                    if !r.acc.contains(row) {
+                        delta0.insert(row.clone());
+                    }
+                }
+                let mut acc0 = r.acc;
+                for row in delta0.iter() {
+                    // acc ∪ seed ∪ delta = acc ∪ delta₀ (seed rows outside
+                    // acc were just folded into delta₀).
+                    acc0.insert(row.clone());
+                }
+                self.charge(acc0.len() + delta0.len(), acc0.schema().arity())?;
+                Some((acc0, delta0))
+            }
+            None => None,
+        };
         // Hoist loop invariants: x-free subterms of the recursive branches
         // are evaluated once and bound to fresh variables.
         let recs: Vec<Term> = {
@@ -511,21 +585,38 @@ impl<'db> DistEvaluator<'db> {
         // Plan selection (§IV-B c): stable column → P_plw, else P_gld.
         let mut env = self.type_env();
         let stable = stable_columns(x, body, &mut env)?;
-        match self.config.plan {
+        let out = match self.config.plan {
             FixpointPlan::Auto if !stable.is_empty() => {
                 self.stats.plw_fixpoints += 1;
-                self.eval_plw(x, seed, &recs, &stable)
+                self.eval_plw(x, seed, &recs, &stable, initial)?
             }
             FixpointPlan::ForcePlw => {
                 self.stats.plw_fixpoints += 1;
-                self.eval_plw(x, seed, &recs, &stable)
+                self.eval_plw(x, seed, &recs, &stable, initial)?
             }
-            FixpointPlan::ForceAsync => self.eval_async_plan(x, seed, &recs),
+            FixpointPlan::ForceAsync => self.eval_async_plan(x, seed, &recs, initial)?,
             _ => {
                 self.stats.gld_fixpoints += 1;
-                self.eval_gld(x, seed, &recs)
+                self.eval_gld(x, seed, &recs, initial)?
             }
+        };
+        self.capture_total(key, &out)?;
+        Ok(out)
+    }
+
+    /// Collects `rel` into [`ExecStats::fix_totals`] under `key` when
+    /// capture is enabled. The driver-side copy is charged against the byte
+    /// budget like any other materialized state.
+    fn capture_total(&mut self, key: Option<u64>, rel: &DistRel) -> Result<()> {
+        let Some(k) = key else { return Ok(()) };
+        if !self.config.capture_fixpoints {
+            return Ok(());
         }
+        let total = rel.collect();
+        self.budget
+            .charge_bytes(mura_core::rel_bytes(total.len() as u64, total.schema().arity()))?;
+        self.stats.fix_totals.get_or_insert_with(FxHashMap::default).insert(k, total);
+        Ok(())
     }
 
     /// `P_async`: barrier-free delta exchange (see [`crate::asyncfix`]).
@@ -538,7 +629,13 @@ impl<'db> DistEvaluator<'db> {
     /// attempts, so afflicted workers heal after
     /// [`FaultConfig::failures_per_site`] attempts and the restart loop
     /// terminates deterministically.
-    fn eval_async_plan(&mut self, x: Sym, seed: DistRel, recs: &[Term]) -> Result<DistRel> {
+    fn eval_async_plan(
+        &mut self,
+        x: Sym,
+        seed: DistRel,
+        recs: &[Term],
+        initial: Option<(Relation, Relation)>,
+    ) -> Result<DistRel> {
         let fx = self.trace_fixpoint();
         let mut start_ev = TraceEvent::new(EventKind::FixpointStart, fx, PlanKind::Async);
         start_ev.delta_rows = seed.len() as u64;
@@ -561,6 +658,7 @@ impl<'db> DistEvaluator<'db> {
                 &self.budget,
                 site,
                 attempt,
+                initial.as_ref(),
             ) {
                 Ok(out) => {
                     let mut end_ev = TraceEvent::new(EventKind::FixpointEnd, fx, PlanKind::Async);
@@ -627,7 +725,13 @@ impl<'db> DistEvaluator<'db> {
     /// task retries are exhausted, it rolls back to the last checkpoint —
     /// or restarts from the seed when none exists — up to
     /// [`RecoveryPolicy::max_restores`] times.
-    fn eval_gld(&mut self, x: Sym, seed: DistRel, recs: &[Term]) -> Result<DistRel> {
+    fn eval_gld(
+        &mut self,
+        x: Sym,
+        seed: DistRel,
+        recs: &[Term],
+        initial: Option<(Relation, Relation)>,
+    ) -> Result<DistRel> {
         let fx = self.trace_fixpoint();
         let mut start_ev = TraceEvent::new(EventKind::FixpointStart, fx, PlanKind::Gld);
         start_ev.delta_rows = seed.len() as u64;
@@ -649,8 +753,17 @@ impl<'db> DistEvaluator<'db> {
         self.budget.charge_bytes(prepared.iter().map(|p| p.cached_bytes()).sum())?;
         self.record_window(&setup, TraceEvent::new(EventKind::Setup, fx, PlanKind::Gld));
         let checkpoint_every = self.config.checkpoint_every;
-        let mut acc = seed.clone();
-        let mut delta = acc.clone();
+        // A resumed fixpoint starts from the maintained accumulator and
+        // frontier instead of the seed; restarts must reset to the same
+        // pair, or recovery would silently discard the maintained state.
+        let (init_acc, init_delta) = match &initial {
+            Some((a, d)) => {
+                (DistRel::from_relation(a, &self.cluster), DistRel::from_relation(d, &self.cluster))
+            }
+            None => (seed.clone(), seed.clone()),
+        };
+        let mut acc = init_acc.clone();
+        let mut delta = init_delta.clone();
         let mut iter: u64 = 0;
         let mut ckpt: Option<(DistRel, DistRel, u64)> = None;
         let mut restores: u32 = 0;
@@ -696,8 +809,8 @@ impl<'db> DistEvaluator<'db> {
                         }
                         None => {
                             self.cluster.fault().record_full_restart(seed.len() as u64);
-                            acc = seed.clone();
-                            delta = seed.clone();
+                            acc = init_acc.clone();
+                            delta = init_delta.clone();
                             iter = 0;
                             RecoveryKind::Restart
                         }
@@ -772,6 +885,7 @@ impl<'db> DistEvaluator<'db> {
         seed: DistRel,
         recs: &[Term],
         stable: &[Sym],
+        initial: Option<(Relation, Relation)>,
     ) -> Result<DistRel> {
         let fx = self.trace_fixpoint();
         let mut start_ev = TraceEvent::new(EventKind::FixpointStart, fx, PlanKind::Plw);
@@ -782,16 +896,39 @@ impl<'db> DistEvaluator<'db> {
         // so every later superstep event shows zero shuffled rows.
         let window = self.probe();
         let seed = if stable.is_empty() { seed } else { seed.repartition(stable, &self.cluster)? };
+        // Resumed state is partitioned exactly like the seed (by the stable
+        // columns when they exist), so every worker's local loop sees the
+        // accumulator and frontier rows of its own key range. Without a
+        // stable column the partitioning is arbitrary: local loops may
+        // re-derive rows another partition already holds, which the final
+        // distinct removes (the Prop. 3 general case).
+        let resumed: Option<(DistRel, DistRel)> = match &initial {
+            Some((a, d)) => {
+                let part = |r: &Relation| -> Result<DistRel> {
+                    let dr = DistRel::from_relation(r, &self.cluster);
+                    if stable.is_empty() {
+                        Ok(dr)
+                    } else {
+                        dr.repartition(stable, &self.cluster)
+                    }
+                };
+                Some((part(a)?, part(d)?))
+            }
+            None => None,
+        };
         // Resolve hoisted invariants to full local copies (broadcast).
         let mut recs_local = Vec::with_capacity(recs.len());
         for r in recs {
             recs_local.push(self.resolve_to_constants(r, x)?);
         }
         self.record_window(&window, TraceEvent::new(EventKind::Setup, fx, PlanKind::Plw));
+        let resumed = resumed.as_ref().map(|(a, d)| (a, d));
         let parts = match self.config.local_engine {
-            LocalEngine::SetRdd => self.run_plw_typed::<Relation>(&seed, &recs_local, x, fx)?,
+            LocalEngine::SetRdd => {
+                self.run_plw_typed::<Relation>(&seed, &recs_local, x, fx, resumed)?
+            }
             LocalEngine::Sorted => {
-                self.run_plw_typed::<SortedRelation>(&seed, &recs_local, x, fx)?
+                self.run_plw_typed::<SortedRelation>(&seed, &recs_local, x, fx, resumed)?
             }
         };
         self.stats.fixpoint_iterations += 1; // the parallel local loops count once globally
@@ -828,6 +965,7 @@ impl<'db> DistEvaluator<'db> {
         recs: &[Term],
         x: Sym,
         fx: u32,
+        resumed: Option<(&DistRel, &DistRel)>,
     ) -> Result<Vec<Relation>> {
         let prepared: Vec<Prepared<R>> =
             recs.iter().map(|r| prepare(r, x, seed.schema())).collect::<Result<_>>()?;
@@ -850,7 +988,10 @@ impl<'db> DistEvaluator<'db> {
                 trace,
                 fixpoint: fx,
             };
-            local_fixpoint_supervised(part, &prepared, &ctx)
+            // This worker's slice of the maintained accumulator/frontier,
+            // co-partitioned with the seed above.
+            let initial = resumed.map(|(a, d)| (&a.parts()[w], &d.parts()[w]));
+            local_fixpoint_supervised(part, &prepared, &ctx, initial)
         })
     }
 

@@ -627,11 +627,34 @@ pub fn local_fixpoint_prepared<R: LocalRel>(
     prepared: &[Prepared<R>],
     budget: &Budget,
 ) -> Result<Relation> {
-    // The seed is this worker's share of the accumulator: charge it so a
-    // byte budget sees iteration-0 state, not just produced deltas.
-    budget.charge_bytes(rel_bytes(seed.len() as u64, seed.schema().arity()))?;
-    let mut acc = R::from_relation(seed);
-    let mut delta = acc.clone();
+    local_fixpoint_prepared_from(seed, prepared, budget, None)
+}
+
+/// Like [`local_fixpoint_prepared`], but optionally starting from resumed
+/// `(acc, delta)` state instead of the seed — the incremental view
+/// maintenance path. The resumed accumulator already contains this
+/// worker's seed share, so the seed is only used when no resume state is
+/// given.
+fn local_fixpoint_prepared_from<R: LocalRel>(
+    seed: &Relation,
+    prepared: &[Prepared<R>],
+    budget: &Budget,
+    initial: Option<(&Relation, &Relation)>,
+) -> Result<Relation> {
+    // Iteration-0 state is this worker's share of the accumulator: charge
+    // it so a byte budget sees it, not just produced deltas.
+    let (mut acc, mut delta) = match initial {
+        Some((a, d)) => {
+            budget.charge_bytes(rel_bytes((a.len() + d.len()) as u64, a.schema().arity()))?;
+            (R::from_relation(a), R::from_relation(d))
+        }
+        None => {
+            budget.charge_bytes(rel_bytes(seed.len() as u64, seed.schema().arity()))?;
+            let acc = R::from_relation(seed);
+            let delta = acc.clone();
+            (acc, delta)
+        }
+    };
     while !delta.is_empty() {
         budget.check()?;
         match local_superstep(prepared, &acc, &delta, budget)? {
@@ -684,12 +707,25 @@ pub fn local_fixpoint_supervised<R: LocalRel>(
     seed: &Relation,
     prepared: &[Prepared<R>],
     ctx: &LoopCtx<'_>,
+    initial: Option<(&Relation, &Relation)>,
 ) -> Result<Relation> {
     let steps = ctx.trace.filter(|t| t.superstep_enabled());
     if !ctx.fault.is_active() && ctx.checkpoint_every == 0 && steps.is_none() {
-        return local_fixpoint_prepared(seed, prepared, ctx.budget);
+        return local_fixpoint_prepared_from(seed, prepared, ctx.budget, initial);
     }
     ctx.budget.charge_bytes(rel_bytes(seed.len() as u64, seed.schema().arity()))?;
+    // Resumed loops start from maintained `(acc, delta)` state; a full
+    // restart during recovery must reset to the same pair, not the seed.
+    let init_state = || -> (R, R) {
+        match initial {
+            Some((a, d)) => (R::from_relation(a), R::from_relation(d)),
+            None => {
+                let acc = R::from_relation(seed);
+                let delta = acc.clone();
+                (acc, delta)
+            }
+        }
+    };
     // One superstep event per iteration per worker. `P_plw` loops never
     // communicate, so the comm fields stay zero by construction — the
     // trace-level counterpart of the paper's claim. Kernel counters are
@@ -705,8 +741,7 @@ pub fn local_fixpoint_supervised<R: LocalRel>(
             sink.record(ev);
         }
     };
-    let mut acc = R::from_relation(seed);
-    let mut delta = acc.clone();
+    let (mut acc, mut delta) = init_state();
     let mut iter: u64 = 0;
     let mut ckpt: Option<(R, R, u64)> = None;
     let mut restores: u32 = 0;
@@ -766,8 +801,9 @@ pub fn local_fixpoint_supervised<R: LocalRel>(
                     }
                     None => {
                         ctx.fault.record_full_restart(seed.len() as u64);
-                        acc = R::from_relation(seed);
-                        delta = acc.clone();
+                        let (a, d) = init_state();
+                        acc = a;
+                        delta = d;
                         iter = 0;
                         RecoveryKind::Restart
                     }

@@ -10,71 +10,20 @@
 //! rows — order-insensitive, like relation equality.
 
 use mura_core::fxhash::FxHashMap;
-use mura_core::fxhash::FxHasher;
 use mura_core::Term;
-use std::hash::{Hash, Hasher};
+use std::hash::Hash;
 
 /// Canonical 64-bit key of an optimized plan.
 ///
 /// Structural over the whole term; constant relations contribute their
 /// schema and sorted rows, so plans differing only in constant contents get
-/// different keys while row insertion order is irrelevant.
+/// different keys while row insertion order is irrelevant. This is
+/// [`mura_core::term_key`]: the incremental view maintenance layer uses the
+/// same key to match captured fixpoint totals to `Fix` subterms, so the
+/// serving cache and the maintenance machinery can never disagree about
+/// plan identity.
 pub fn plan_key(plan: &Term) -> u64 {
-    let mut h = FxHasher::default();
-    hash_term(plan, &mut h);
-    h.finish()
-}
-
-fn hash_term(t: &Term, h: &mut FxHasher) {
-    match t {
-        Term::Var(v) => {
-            0u8.hash(h);
-            v.hash(h);
-        }
-        Term::Cst(r) => {
-            1u8.hash(h);
-            r.schema().columns().hash(h);
-            for row in r.sorted_rows() {
-                row.hash(h);
-            }
-        }
-        Term::Filter(ps, inner) => {
-            2u8.hash(h);
-            ps.hash(h);
-            hash_term(inner, h);
-        }
-        Term::Rename(a, b, inner) => {
-            3u8.hash(h);
-            a.hash(h);
-            b.hash(h);
-            hash_term(inner, h);
-        }
-        Term::AntiProject(cs, inner) => {
-            4u8.hash(h);
-            cs.hash(h);
-            hash_term(inner, h);
-        }
-        Term::Join(a, b) => {
-            5u8.hash(h);
-            hash_term(a, h);
-            hash_term(b, h);
-        }
-        Term::Antijoin(a, b) => {
-            6u8.hash(h);
-            hash_term(a, h);
-            hash_term(b, h);
-        }
-        Term::Union(a, b) => {
-            7u8.hash(h);
-            hash_term(a, h);
-            hash_term(b, h);
-        }
-        Term::Fix(x, body) => {
-            8u8.hash(h);
-            x.hash(h);
-            hash_term(body, h);
-        }
-    }
+    mura_core::term_key(plan)
 }
 
 /// A small LRU cache.
@@ -123,6 +72,19 @@ impl<K: Hash + Eq + Clone, V: Clone> LruCache<K, V> {
             }
         }
         self.map.insert(key, (value, self.tick));
+    }
+
+    /// Removes `key`, returning its value. Not counted as an eviction —
+    /// evictions measure capacity pressure, not explicit invalidation.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        self.map.remove(key).map(|(v, _)| v)
+    }
+
+    /// A point-in-time snapshot of every entry (arbitrary order, recency
+    /// untouched). The maintenance path iterates this outside the cache
+    /// lock so queries keep hitting while views are brought up to date.
+    pub fn entries(&self) -> Vec<(K, V)> {
+        self.map.iter().map(|(k, (v, _))| (k.clone(), v.clone())).collect()
     }
 
     /// Current number of entries.

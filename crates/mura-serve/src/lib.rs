@@ -20,9 +20,18 @@
 //!   `retry-after-ms` hint; every admitted query terminates in exactly
 //!   one of answer or typed error.
 //! * **Caching** — an LRU result cache keyed by the canonical key of the
-//!   *optimized plan* plus the database *epoch*, and an LRU plan cache
-//!   keyed by query text plus epoch. [`Server::load`] bumps the epoch, so
-//!   mutations invalidate both caches wholesale.
+//!   *optimized plan* plus the database *epoch* (bumped by
+//!   [`Server::load`] calls that change the catalog's shape), and an LRU
+//!   plan cache keyed by query text plus epoch. Cached answers also carry
+//!   the database *version* — bumped by every mutation — and only hit
+//!   while current.
+//! * **Incremental view maintenance** — [`Server::apply_delta`] (the
+//!   `.insert`/`.delete` verbs) applies an edge-level [`DeltaBatch`]
+//!   without a reload and brings cached fixpoint answers forward in
+//!   place: insertions resume the drivers' semi-naive delta loop from the
+//!   captured totals, deletions run DRed (over-delete, rederive). Views
+//!   the maintenance planner cannot or should not maintain fall back to
+//!   recompute-on-next-use — see [`mura_ivm`] and [`DeltaSummary`].
 //! * **Cancellation & deadlines** — every query carries a
 //!   [`CancellationToken`](mura_core::CancellationToken) checked at each
 //!   fixpoint superstep; deadlines start at submission.
@@ -61,5 +70,6 @@ pub mod server;
 
 pub use cache::{plan_key, LruCache};
 pub use error::{OverloadReason, ServeError, ServeResult};
+pub use mura_ivm::{DeltaBatch, RelDelta};
 pub use protocol::{read_response, serve_tcp, TcpServeHandle};
-pub use server::{Client, Pending, ServeConfig, ServeStats, Server};
+pub use server::{Client, DeltaSummary, Pending, ServeConfig, ServeStats, Server};

@@ -16,9 +16,23 @@
 //! → .metrics             Prometheus text-exposition page
 //! → .profile <query>     run traced, print the superstep timeline
 //! → .rels                relations and row counts
+//! → .insert [rel] v …    add a base row; cached views are maintained
+//! → .delete [rel] v …    remove a base row (DRed maintenance)
 //! → .drain               graceful shutdown: finish in-flight, stop workers
 //! → .quit
 //! ```
+//!
+//! Mutations reply with one status line carrying the new database version
+//! and the fate of every cached view:
+//!
+//! ```text
+//! → .insert e 7 8
+//! ← OK v=3 +1 -0 maintained=1 unaffected=0 recomputed=0
+//! ← .
+//! ```
+//!
+//! The relation name may be omitted when the database holds exactly one
+//! relation; values are node ids (integers) or bound constant names.
 //!
 //! Overloaded and busy rejections reply `ERR … retry-after-ms=<n>`; the
 //! token is machine-parseable so clients can schedule a retry.
@@ -170,6 +184,14 @@ fn handle_connection(stream: TcpStream, client: &Client) -> io::Result<()> {
                     Err(_) => write_block(&mut out, "ERR usage: .deadline <millis>", &[])?,
                 }
             }
+            _ if line == ".insert" || line.starts_with(".insert ") => {
+                let (status, body) = run_mutation(client, line[".insert".len()..].trim(), true);
+                write_block(&mut out, &status, &body)?;
+            }
+            _ if line == ".delete" || line.starts_with(".delete ") => {
+                let (status, body) = run_mutation(client, line[".delete".len()..].trim(), false);
+                write_block(&mut out, &status, &body)?;
+            }
             _ if line.starts_with('.') => {
                 write_block(&mut out, &format!("ERR unknown command '{line}'"), &[])?;
             }
@@ -185,6 +207,82 @@ fn handle_connection(stream: TcpStream, client: &Client) -> io::Result<()> {
 }
 
 type QueryBlock = (String, Vec<String>);
+
+/// Parses a mutation line (`[rel] value value …`) into a one-row
+/// [`DeltaBatch`] and applies it. Replies with a single status line so
+/// batch drivers (`murash --mutate`) get one line per mutation.
+fn run_mutation(client: &Client, args: &str, insert: bool) -> QueryBlock {
+    let verb = if insert { ".insert" } else { ".delete" };
+    let batch = client.with_db(|db| parse_mutation(db, args, insert));
+    let batch = match batch {
+        Ok(b) => b,
+        Err(e) => return (format!("ERR {verb}: {e}"), Vec::new()),
+    };
+    match client.apply_delta(batch) {
+        Ok(s) => (
+            format!(
+                "OK v={} +{} -{} maintained={} unaffected={} recomputed={}",
+                s.version, s.inserted, s.deleted, s.maintained, s.unaffected, s.recomputed
+            ),
+            Vec::new(),
+        ),
+        Err(e) => (format!("ERR {e}"), Vec::new()),
+    }
+}
+
+fn parse_mutation(
+    db: &mura_core::Database,
+    args: &str,
+    insert: bool,
+) -> Result<mura_ivm::DeltaBatch, String> {
+    use mura_core::Value;
+    let mut tokens: Vec<&str> = args.split_whitespace().collect();
+    if tokens.is_empty() {
+        return Err("usage: [relation] <value> <value> …".into());
+    }
+    // An explicit leading relation name wins; otherwise the database must
+    // hold exactly one relation (the common single-graph case).
+    let rel = match db.dict().lookup(tokens[0]).filter(|s| db.relation(*s).is_some()) {
+        Some(sym) => {
+            tokens.remove(0);
+            sym
+        }
+        None => {
+            let mut rels = db.relations().map(|(s, _)| s);
+            match (rels.next(), rels.next()) {
+                (Some(only), None) => only,
+                _ => {
+                    return Err(format!(
+                        "'{}' is not a relation and the database holds more than one",
+                        tokens[0]
+                    ))
+                }
+            }
+        }
+    };
+    let arity = db.relation(rel).ok_or_else(|| "relation vanished".to_string())?.schema().arity();
+    if tokens.len() != arity {
+        return Err(format!(
+            "relation '{}' has arity {arity}, got {} value(s)",
+            db.dict().resolve(rel),
+            tokens.len()
+        ));
+    }
+    let row: Box<[Value]> = tokens
+        .iter()
+        .map(|tok| match tok.parse::<u64>() {
+            Ok(id) => Ok(Value::node(id)),
+            Err(_) => db
+                .constant(tok)
+                .ok_or_else(|| format!("'{tok}' is neither a node id nor a bound constant")),
+        })
+        .collect::<Result<_, _>>()?;
+    let mut batch = mura_ivm::DeltaBatch::new();
+    let push =
+        if insert { mura_ivm::DeltaBatch::push_insert } else { mura_ivm::DeltaBatch::push_delete };
+    push(&mut batch, db, rel, row).map_err(|e| e.to_string())?;
+    Ok(batch)
+}
 
 /// Runs a query with per-superstep tracing and renders its timeline:
 /// one aligned row per trace event (fixpoint, plan, worker, iteration,

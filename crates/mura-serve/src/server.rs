@@ -16,10 +16,19 @@
 //!   at `queue_depth`. A full queue rejects immediately with
 //!   [`ServeError::Busy`] — the server never builds unbounded backlog.
 //! * **Caching**: a plan cache (query text → optimized plan) and a result
-//!   cache (canonical plan key → answer) both keyed additionally by the
-//!   **database epoch**, a counter bumped on every mutation through
-//!   [`Server::load`]. Old-epoch entries become unreachable and age out of
-//!   the LRU.
+//!   cache (canonical plan key → answer), both keyed additionally by the
+//!   **database epoch** (bumped when a [`Server::load`] changes the
+//!   catalog's shape). Cached answers also carry the **database version**
+//!   — a counter bumped by *every* mutation — and only hit while their
+//!   version is current.
+//! * **Incremental view maintenance**: [`Server::apply_delta`] applies an
+//!   edge-level [`DeltaBatch`] without a reload. Cached fixpoint answers
+//!   are *maintained* instead of discarded: insertions seed the drivers'
+//!   semi-naive delta loop from the old total, deletions run DRed
+//!   (over-delete, rederive) — see `mura_ivm`. Views the maintenance
+//!   planner cannot or should not maintain (non-monotone change, nested
+//!   fixpoints, cold totals, or frontier larger than a recompute under
+//!   the `rel_bytes` cost model) are dropped and recomputed on next use.
 //! * **Cancellation & deadlines**: every admitted query carries a
 //!   [`CancellationToken`]; deadlines start at submission, so time spent
 //!   queued counts against the budget. The evaluator checks the token at
@@ -27,13 +36,15 @@
 
 use crate::cache::{plan_key, LruCache};
 use crate::error::{OverloadReason, ServeError, ServeResult};
-use mura_core::fxhash::FxHashMap;
+use mura_core::fxhash::{FxHashMap, FxHasher};
 use mura_core::{mem_gauge, rel_bytes, CancellationToken, Database, Term};
 use mura_dist::exec::ResourceLimits;
-use mura_dist::{PlannedQuery, QueryEngine, QueryOutput, TraceLevel};
+use mura_dist::{FixResume, PlannedQuery, QueryEngine, QueryOutput, TraceLevel};
+use mura_ivm::{plan_maintenance, DeltaBatch, FallbackReason, IvmOutcome};
 use mura_obs::histogram::fmt_us;
 use mura_obs::{Histogram, PromText};
 use mura_rewrite::cost::{CostModel, Stats};
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex, MutexGuard, RwLock};
@@ -137,6 +148,27 @@ pub struct ServeStats {
     pub plan_evictions: u64,
     /// Current database epoch.
     pub epoch: u64,
+    /// Current database version (bumped by every mutation and load).
+    pub version: u64,
+    /// Mutation batches applied through [`Server::apply_delta`] and the
+    /// base rows they inserted / deleted (after no-op normalization).
+    pub deltas_applied: u64,
+    pub delta_rows_inserted: u64,
+    pub delta_rows_deleted: u64,
+    /// Cached views brought to the current version: maintained
+    /// incrementally (resumed fixpoint loops) vs revalidated untouched
+    /// (the batch read none of their relations).
+    pub ivm_maintained: u64,
+    pub ivm_unaffected: u64,
+    /// Cached views dropped for recompute-on-next-use (all fallback
+    /// reasons; `.metrics` breaks this down per reason).
+    pub ivm_fallbacks: u64,
+    /// Rows DRed over-deleted and then rederived across maintained views.
+    pub ivm_rederived_rows: u64,
+    /// Per-view maintenance latency quantiles in microseconds.
+    pub maint_p50_us: u64,
+    pub maint_p95_us: u64,
+    pub maint_p99_us: u64,
     /// Evaluation-kernel counters (process-wide, see
     /// [`mura_core::kernel`]): build-side join/antijoin indexes built,
     /// rows probed against them, output rows materialized, and constant
@@ -277,6 +309,25 @@ impl std::fmt::Display for ServeStats {
             self.comm_broadcasts,
             self.comm_rows_broadcast
         )?;
+        writeln!(
+            f,
+            "ivm          {} deltas (+{} -{} rows), {} maintained / {} untouched / {} recomputed, {} rows rederived",
+            self.deltas_applied,
+            self.delta_rows_inserted,
+            self.delta_rows_deleted,
+            self.ivm_maintained,
+            self.ivm_unaffected,
+            self.ivm_fallbacks,
+            self.ivm_rederived_rows
+        )?;
+        writeln!(
+            f,
+            "maintenance  p50 {} / p95 {} / p99 {} (per maintained view)",
+            fmt_us(self.maint_p50_us),
+            fmt_us(self.maint_p95_us),
+            fmt_us(self.maint_p99_us)
+        )?;
+        writeln!(f, "version    {}", self.version)?;
         write!(f, "epoch      {}", self.epoch)
     }
 }
@@ -299,6 +350,39 @@ struct Counters {
     fault_retries: AtomicU64,
     fault_restores: AtomicU64,
     fault_restarts: AtomicU64,
+    deltas_applied: AtomicU64,
+    delta_rows_inserted: AtomicU64,
+    delta_rows_deleted: AtomicU64,
+    ivm_maintained: AtomicU64,
+    ivm_unaffected: AtomicU64,
+    ivm_rederived_rows: AtomicU64,
+    /// Fallback-to-recompute decisions, per [`FallbackReason`] plus the
+    /// planner/executor-error and stale-entry buckets.
+    ivm_fallback_non_monotone: AtomicU64,
+    ivm_fallback_nested_fixpoint: AtomicU64,
+    ivm_fallback_cache_cold: AtomicU64,
+    ivm_fallback_cost: AtomicU64,
+    ivm_fallback_other: AtomicU64,
+}
+
+impl Counters {
+    fn fallback_counter(&self, reason: Option<FallbackReason>) -> &AtomicU64 {
+        match reason {
+            Some(FallbackReason::NonMonotone) => &self.ivm_fallback_non_monotone,
+            Some(FallbackReason::NestedFixpoint) => &self.ivm_fallback_nested_fixpoint,
+            Some(FallbackReason::CacheCold) => &self.ivm_fallback_cache_cold,
+            Some(FallbackReason::Cost) => &self.ivm_fallback_cost,
+            None => &self.ivm_fallback_other,
+        }
+    }
+
+    fn ivm_fallbacks(&self) -> u64 {
+        self.ivm_fallback_non_monotone.load(Ordering::Relaxed)
+            + self.ivm_fallback_nested_fixpoint.load(Ordering::Relaxed)
+            + self.ivm_fallback_cache_cold.load(Ordering::Relaxed)
+            + self.ivm_fallback_cost.load(Ordering::Relaxed)
+            + self.ivm_fallback_other.load(Ordering::Relaxed)
+    }
 }
 
 /// Latency histograms and communication totals accumulated over the
@@ -315,6 +399,9 @@ struct Telemetry {
     execution: Histogram,
     /// Planning time of plan-cache misses.
     planning: Histogram,
+    /// Per-view incremental maintenance latency (planning the resume
+    /// state + the resumed execution), maintained and untouched views.
+    maintenance: Histogram,
     /// Communication of fresh executions (per-query `since()` deltas).
     shuffles: AtomicU64,
     rows_shuffled: AtomicU64,
@@ -370,11 +457,50 @@ enum Job {
     Poison,
 }
 
+/// One result-cache slot: the answer (with its captured fixpoint totals
+/// inside `output.stats.fix_totals`) and the database version it is exact
+/// at. A lookup only hits while the stored version is current; mutations
+/// bring entries forward through incremental maintenance.
+#[derive(Clone)]
+struct CachedResult {
+    version: u64,
+    output: Arc<QueryOutput>,
+}
+
+/// What one [`Server::apply_delta`] call did: the new database version,
+/// the base-row churn, and the fate of every cached view.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeltaSummary {
+    /// Database version after the batch (unchanged for a no-op batch).
+    pub version: u64,
+    /// Base rows actually inserted / deleted (no-op rows normalized away).
+    pub inserted: u64,
+    pub deleted: u64,
+    /// Cached views maintained incrementally (resumed fixpoint loops).
+    pub maintained: u64,
+    /// Cached views untouched by the batch, revalidated as-is.
+    pub unaffected: u64,
+    /// Cached views dropped; the next query recomputes them.
+    pub recomputed: u64,
+    /// Rows DRed over-deleted and rederived across maintained views.
+    pub rederived: u64,
+}
+
 struct ServerInner {
     engine: RwLock<QueryEngine>,
-    /// Bumped (under the engine write lock) on every [`Server::load`].
+    /// Bumped (under the engine write lock) by [`Server::load`] calls
+    /// that change the catalog's *shape* (relations, columns, constants):
+    /// plans interned against the old catalog are then unreachable.
     epoch: AtomicU64,
-    results: Mutex<LruCache<(u64, u64), Arc<QueryOutput>>>,
+    /// Bumped (under the engine write lock) by **every** mutation —
+    /// [`Server::apply_delta`] and [`Server::load`] alike. Cached results
+    /// are valid at exactly one version; see [`CachedResult`].
+    version: AtomicU64,
+    /// Serializes mutations: a delta's normalize → apply → maintain
+    /// sequence is one version transition, and maintenance needs the
+    /// pre-batch relation values of exactly that one step.
+    mutation: Mutex<()>,
+    results: Mutex<LruCache<(u64, u64), CachedResult>>,
     plans: Mutex<LruCache<(String, u64), Term>>,
     counters: Counters,
     telemetry: Telemetry,
@@ -582,9 +708,18 @@ impl ServerInner {
         let key = plan_key(&planned.plan);
         let result_key = (key, epoch);
         if !traced {
-            if let Some(hit) = lock(&self.results).get(&result_key) {
+            // A hit requires the stored version to be current: an entry a
+            // mutation has not (yet) maintained is stale data, not an
+            // answer. Stale entries stay in place — maintenance or the
+            // recompute below overwrites them.
+            let version = self.version.load(Ordering::Acquire);
+            let hit = lock(&self.results)
+                .get(&result_key)
+                .filter(|c| c.version == version)
+                .map(|c| c.output);
+            if let Some(out) = hit {
                 self.counters.result_hits.fetch_add(1, Ordering::Relaxed);
-                return Ok(hit);
+                return Ok(out);
             }
             self.counters.result_misses.fetch_add(1, Ordering::Relaxed);
         }
@@ -604,10 +739,17 @@ impl ServerInner {
         // Execute under the read lock: many executions run concurrently;
         // only planning and loads serialize.
         let engine = self.read_engine();
+        // Mutations bump the version under the engine *write* lock, so this
+        // read pins a (data, version) pair consistent for the whole run.
+        let version = self.version.load(Ordering::Acquire);
         let mut config = engine.config().clone();
         config.limits = self.config.limits;
         config.cancel = Some(job.token.clone());
         config.trace = job.trace;
+        // Capture fixpoint totals alongside the answer whenever the result
+        // may be cached: they are what lets `apply_delta` maintain the
+        // entry instead of discarding it.
+        config.capture_fixpoints = !traced && self.config.result_cache > 0;
         let out = engine.execute_plan_with(&planned, config).map(Arc::new).map_err(Into::into);
         self.breaker_record(key, &out);
         let out = out?;
@@ -627,10 +769,174 @@ impl ServerInner {
         // lock. The answer is then computed against the newer data — still
         // correct to return, but not safe to file under the old epoch.
         if !traced && self.epoch.load(Ordering::Acquire) == epoch {
-            lock(&self.results).insert(result_key, out.clone());
+            lock(&self.results).insert(result_key, CachedResult { version, output: out.clone() });
         }
         Ok(out)
     }
+
+    /// Applies an edge-level delta batch as one atomic version transition:
+    /// normalize → apply to base relations → bump the version → maintain
+    /// every cached view (see the module docs). Returns what happened to
+    /// each view; the batch itself is all-or-nothing.
+    fn apply_delta(&self, mut batch: DeltaBatch) -> ServeResult<DeltaSummary> {
+        if self.closing.load(Ordering::Acquire) || self.drain_phase.load(Ordering::Acquire) > 0 {
+            return Err(ServeError::Closed);
+        }
+        // One mutation at a time: maintenance needs the pre-batch relation
+        // values of exactly one version step, so normalize → apply →
+        // maintain must not interleave with another batch.
+        let _mutation = lock(&self.mutation);
+
+        // Memory gate: a mutation storm obeys the same resource ladder as
+        // queries. The churn estimate prices the batch's own rows; the
+        // maintenance loop's frontier cost is gated per view below.
+        let rows: usize = batch.rels.values().map(|d| d.insert.len() + d.delete.len()).sum();
+        let arity = batch.rels.values().map(|d| d.insert.schema().arity()).max().unwrap_or(2);
+        self.memory_gate(rel_bytes(rows as u64, arity)).map_err(|e| self.shed(e))?;
+
+        let mut summary = DeltaSummary::default();
+        let (old_rels, version, epoch, snapshot) = {
+            let mut engine = self.write_engine();
+            batch.normalize(engine.db())?;
+            if batch.is_empty() {
+                summary.version = self.version.load(Ordering::Acquire);
+                return Ok(summary);
+            }
+            let (inserted, deleted, old_rels) = batch.apply(engine.db_mut())?;
+            let version = self.version.fetch_add(1, Ordering::AcqRel) + 1;
+            let epoch = self.epoch.load(Ordering::Acquire);
+            self.counters.deltas_applied.fetch_add(1, Ordering::Relaxed);
+            self.counters.delta_rows_inserted.fetch_add(inserted, Ordering::Relaxed);
+            self.counters.delta_rows_deleted.fetch_add(deleted, Ordering::Relaxed);
+            summary.version = version;
+            summary.inserted = inserted;
+            summary.deleted = deleted;
+            // Admission cost estimates must price the mutated data.
+            self.rebuild_cost_stats(epoch, engine.db());
+            // Snapshot the cache while still holding the write lock: result
+            // inserts happen under the engine *read* lock, so nothing can
+            // slip in between the version bump and this snapshot.
+            (old_rels, version, epoch, lock(&self.results).entries())
+        };
+
+        // Maintain under the *read* lock: queries keep flowing — they
+        // simply miss (stale version) until their view is brought forward.
+        let engine = self.read_engine();
+        let empty = FxHashMap::default();
+        for (key, cached) in snapshot {
+            if key.1 != epoch || cached.version >= version {
+                continue; // other-epoch leftovers / already-current entries
+            }
+            if cached.version + 1 != version {
+                // More than one version behind: this batch's pre-state is
+                // not the entry's post-state, so the bridge is gone.
+                lock(&self.results).remove(&key);
+                self.record_fallback(None, &mut summary);
+                continue;
+            }
+            if self.closing.load(Ordering::Acquire) || self.drain_phase.load(Ordering::Acquire) > 0
+            {
+                // Drain arrived mid-maintenance: stop doing optional work,
+                // drop the stale entry, still return a full response.
+                lock(&self.results).remove(&key);
+                self.record_fallback(None, &mut summary);
+                continue;
+            }
+            let start = Instant::now();
+            let totals = cached.output.stats.fix_totals.as_ref().unwrap_or(&empty);
+            match plan_maintenance(&cached.output.plan, engine.db(), &old_rels, &batch, totals) {
+                Ok(IvmOutcome::Unaffected) => {
+                    lock(&self.results)
+                        .insert(key, CachedResult { version, output: cached.output.clone() });
+                    self.counters.ivm_unaffected.fetch_add(1, Ordering::Relaxed);
+                    summary.unaffected += 1;
+                    self.telemetry.maintenance.record(start.elapsed());
+                }
+                Ok(IvmOutcome::Maintain(m)) => {
+                    // Cost gate: maintenance wins when the churn it must
+                    // push through the loop is smaller than the state a
+                    // recompute would rebuild, byte-priced at equal arity.
+                    let total_rows: u64 = totals.values().map(|r| r.len() as u64).sum();
+                    let churn = m.frontier_rows + m.overdeleted_rows;
+                    if rel_bytes(churn, 2) > rel_bytes(total_rows.max(1), 2) {
+                        lock(&self.results).remove(&key);
+                        self.record_fallback(Some(FallbackReason::Cost), &mut summary);
+                        continue;
+                    }
+                    let resume: FxHashMap<u64, FixResume> = m
+                        .resume
+                        .into_iter()
+                        .map(|(k, p)| (k, FixResume { acc: p.acc, delta: p.delta }))
+                        .collect();
+                    let mut config = engine.config().clone();
+                    config.limits = self.config.limits;
+                    config.capture_fixpoints = true;
+                    config.resume = Some(Arc::new(resume));
+                    let planned =
+                        PlannedQuery { plan: cached.output.plan.clone(), planning: Duration::ZERO };
+                    match engine.execute_plan_with(&planned, config) {
+                        Ok(out) => {
+                            lock(&self.results)
+                                .insert(key, CachedResult { version, output: Arc::new(out) });
+                            self.counters.ivm_maintained.fetch_add(1, Ordering::Relaxed);
+                            self.counters
+                                .ivm_rederived_rows
+                                .fetch_add(m.overdeleted_rows, Ordering::Relaxed);
+                            summary.maintained += 1;
+                            summary.rederived += m.overdeleted_rows;
+                            self.telemetry.maintenance.record(start.elapsed());
+                        }
+                        Err(_) => {
+                            lock(&self.results).remove(&key);
+                            self.record_fallback(None, &mut summary);
+                        }
+                    }
+                }
+                Ok(IvmOutcome::Fallback(reason)) => {
+                    lock(&self.results).remove(&key);
+                    self.record_fallback(Some(reason), &mut summary);
+                }
+                Err(_) => {
+                    lock(&self.results).remove(&key);
+                    self.record_fallback(None, &mut summary);
+                }
+            }
+        }
+        Ok(summary)
+    }
+
+    fn record_fallback(&self, reason: Option<FallbackReason>, summary: &mut DeltaSummary) {
+        self.counters.fallback_counter(reason).fetch_add(1, Ordering::Relaxed);
+        summary.recomputed += 1;
+    }
+}
+
+/// Order-insensitive hash of the catalog's *shape*: relation names with
+/// their column names, plus constant bindings. Two databases with the same
+/// fingerprint intern the same plans, so a [`Server::load`] that keeps the
+/// fingerprint keeps plan caches, admission history and breaker verdicts.
+fn schema_fingerprint(db: &Database) -> u64 {
+    let mut parts: Vec<u64> = Vec::new();
+    for (name, rel) in db.relations() {
+        let mut h = FxHasher::default();
+        0u8.hash(&mut h);
+        db.dict().resolve(name).hash(&mut h);
+        for col in rel.schema().columns() {
+            db.dict().resolve(*col).hash(&mut h);
+        }
+        parts.push(h.finish());
+    }
+    for (name, value) in db.constants() {
+        let mut h = FxHasher::default();
+        1u8.hash(&mut h);
+        db.dict().resolve(name).hash(&mut h);
+        value.hash(&mut h);
+        parts.push(h.finish());
+    }
+    parts.sort_unstable();
+    let mut h = FxHasher::default();
+    parts.hash(&mut h);
+    h.finish()
 }
 
 /// A running query server. Dropping (or [`Server::shutdown`]) stops the
@@ -652,6 +958,8 @@ impl Server {
         let inner = Arc::new(ServerInner {
             engine: RwLock::new(engine),
             epoch: AtomicU64::new(0),
+            version: AtomicU64::new(0),
+            mutation: Mutex::new(()),
             results: Mutex::new(LruCache::new(config.result_cache)),
             plans: Mutex::new(LruCache::new(config.plan_cache)),
             counters: Counters::default(),
@@ -698,23 +1006,51 @@ impl Server {
         metrics_of(&self.inner)
     }
 
-    /// Current database epoch (bumped by every [`Server::load`]).
+    /// Current database epoch (bumped by [`Server::load`] calls that
+    /// change the catalog's shape).
     pub fn epoch(&self) -> u64 {
         self.inner.epoch.load(Ordering::Acquire)
     }
 
+    /// Current database version (bumped by every mutation and load).
+    pub fn version(&self) -> u64 {
+        self.inner.version.load(Ordering::Acquire)
+    }
+
+    /// Applies an edge-level [`DeltaBatch`] without a reload, maintaining
+    /// cached fixpoint views incrementally (see the module docs).
+    pub fn apply_delta(&self, batch: DeltaBatch) -> ServeResult<DeltaSummary> {
+        self.inner.apply_delta(batch)
+    }
+
     /// Mutates the database (load relations, bind constants) and bumps the
-    /// epoch so cached plans and results for the old contents are never
-    /// served again. Blocks until in-flight executions finish.
+    /// version so cached results for the old contents are never served
+    /// again. Blocks until in-flight executions finish.
+    ///
+    /// Invalidation is scoped to what the load can actually have broken: a
+    /// load that changes the catalog's *shape* (relations, columns,
+    /// constants — see `schema_fingerprint`) also bumps the epoch, which
+    /// orphans cached plans and resets breaker verdicts and admission
+    /// statistics. A same-shape load (data refresh) keeps plans, breakers
+    /// and cost history — only the data-dependent result cache goes stale,
+    /// via the version bump.
     pub fn load(&self, f: impl FnOnce(&mut Database)) {
+        let _mutation = lock(&self.inner.mutation);
         let mut engine = self.inner.write_engine();
+        let before = schema_fingerprint(engine.db());
         f(engine.db_mut());
-        let epoch = self.inner.epoch.fetch_add(1, Ordering::AcqRel) + 1;
-        // Verdicts and statistics from the old contents don't carry over:
-        // a breaker opened against the previous data must not keep
-        // shedding a plan that may now succeed, and the admission cost
-        // model must price against what was just loaded.
-        lock(&self.inner.breakers).clear();
+        self.inner.version.fetch_add(1, Ordering::AcqRel);
+        let epoch = if schema_fingerprint(engine.db()) != before {
+            // Shape changed: plans interned against the old catalog are
+            // unreachable, and verdicts / statistics from the old contents
+            // don't carry over — a breaker opened against the previous
+            // schema must not keep shedding a plan that may now succeed.
+            lock(&self.inner.breakers).clear();
+            self.inner.epoch.fetch_add(1, Ordering::AcqRel) + 1
+        } else {
+            self.inner.epoch.load(Ordering::Acquire)
+        };
+        // The admission cost model must price against what was loaded.
         self.inner.rebuild_cost_stats(epoch, engine.db());
     }
 
@@ -795,6 +1131,7 @@ fn stats_of(inner: &ServerInner) -> ServeStats {
     let wall = t.wall.snapshot();
     let queue = t.queue.snapshot();
     let exec = t.execution.snapshot();
+    let maint = t.maintenance.snapshot();
     let q = |s: &mura_obs::HistogramSnapshot, p: f64| s.quantile_us(p).unwrap_or(0);
     let (breaker_open, breaker_half_open) = {
         let breakers = lock(&inner.breakers);
@@ -821,6 +1158,17 @@ fn stats_of(inner: &ServerInner) -> ServeStats {
         result_evictions: lock(&inner.results).evictions(),
         plan_evictions: lock(&inner.plans).evictions(),
         epoch: inner.epoch.load(Ordering::Acquire),
+        version: inner.version.load(Ordering::Acquire),
+        deltas_applied: c.deltas_applied.load(Ordering::Relaxed),
+        delta_rows_inserted: c.delta_rows_inserted.load(Ordering::Relaxed),
+        delta_rows_deleted: c.delta_rows_deleted.load(Ordering::Relaxed),
+        ivm_maintained: c.ivm_maintained.load(Ordering::Relaxed),
+        ivm_unaffected: c.ivm_unaffected.load(Ordering::Relaxed),
+        ivm_fallbacks: c.ivm_fallbacks(),
+        ivm_rederived_rows: c.ivm_rederived_rows.load(Ordering::Relaxed),
+        maint_p50_us: q(&maint, 0.50),
+        maint_p95_us: q(&maint, 0.95),
+        maint_p99_us: q(&maint, 0.99),
         kernel_index_builds: k.index_builds + k.key_index_builds,
         kernel_join_probes: k.join_probes,
         kernel_antijoin_probes: k.antijoin_probes,
@@ -933,7 +1281,43 @@ fn metrics_of(inner: &ServerInner) -> String {
         "Planning time of plan-cache misses.",
         &t.planning.snapshot(),
     );
+    p.family(
+        "mura_ivm_applied_total",
+        "counter",
+        "Cached views brought to the current version per mode.",
+    );
+    p.sample("mura_ivm_applied_total", &[("mode", "maintained")], s.ivm_maintained as f64);
+    p.sample("mura_ivm_applied_total", &[("mode", "unaffected")], s.ivm_unaffected as f64);
+    p.family(
+        "mura_ivm_fallback_total",
+        "counter",
+        "Cached views dropped for recompute-on-next-use, per reason.",
+    );
+    let c = &inner.counters;
+    for (reason, v) in [
+        ("non-monotone", c.ivm_fallback_non_monotone.load(Ordering::Relaxed)),
+        ("nested-fixpoint", c.ivm_fallback_nested_fixpoint.load(Ordering::Relaxed)),
+        ("cache-cold", c.ivm_fallback_cache_cold.load(Ordering::Relaxed)),
+        ("cost", c.ivm_fallback_cost.load(Ordering::Relaxed)),
+        ("other", c.ivm_fallback_other.load(Ordering::Relaxed)),
+    ] {
+        p.sample("mura_ivm_fallback_total", &[("reason", reason)], v as f64);
+    }
+    p.counter(
+        "mura_ivm_rederived_rows",
+        "Rows DRed over-deleted and rederived across maintained views.",
+        s.ivm_rederived_rows,
+    );
+    p.family("mura_db_delta_rows_total", "counter", "Base rows mutated through deltas.");
+    p.sample("mura_db_delta_rows_total", &[("op", "insert")], s.delta_rows_inserted as f64);
+    p.sample("mura_db_delta_rows_total", &[("op", "delete")], s.delta_rows_deleted as f64);
+    p.histogram(
+        "mura_ivm_maintenance_seconds",
+        "Per-view incremental maintenance latency.",
+        &t.maintenance.snapshot(),
+    );
     p.gauge("mura_db_epoch", "Current database epoch.", s.epoch as f64);
+    p.gauge("mura_db_version", "Current database version.", s.version as f64);
     p.finish()
 }
 
@@ -1105,6 +1489,18 @@ impl Client {
     pub fn with_db<R>(&self, f: impl FnOnce(&Database) -> R) -> R {
         f(self.inner.read_engine().db())
     }
+
+    /// Current database version (bumped by every mutation and load).
+    pub fn version(&self) -> u64 {
+        self.inner.version.load(Ordering::Acquire)
+    }
+
+    /// Applies an edge-level [`DeltaBatch`], maintaining cached views
+    /// incrementally — see [`Server::apply_delta`]. The `.insert` and
+    /// `.delete` protocol verbs land here.
+    pub fn apply_delta(&self, batch: DeltaBatch) -> ServeResult<DeltaSummary> {
+        self.inner.apply_delta(batch)
+    }
 }
 
 /// An admitted, in-flight query.
@@ -1212,15 +1608,42 @@ mod tests {
         server.shutdown();
     }
 
-    /// Regression: loading new data clears old-epoch breakers — a plan
-    /// convicted against the previous contents gets a clean slate.
+    /// A load that changes the catalog's shape clears old-epoch breakers —
+    /// a plan convicted against the previous contents gets a clean slate.
     #[test]
-    fn load_clears_breakers() {
+    fn schema_changing_load_clears_breakers() {
         let server = breaker_server();
         server.inner.breaker_record(42, &mem_exceeded());
         assert_eq!(state_of(&server, 42), Some(BreakerState::Open));
-        server.load(|_| {});
+        let before = server.version();
+        server.load(|db| {
+            let (a, b) = (db.intern("src"), db.intern("dst"));
+            let rel = mura_core::Relation::from_pairs(a, b, [(1, 2)]);
+            db.insert_relation(&format!("extra_{before}"), rel);
+        });
         assert_eq!(state_of(&server, 42), None, "epoch bump must reset breakers");
+        assert_eq!(server.epoch(), 1);
+        assert_eq!(server.version(), before + 1);
+        server.shutdown();
+    }
+
+    /// A same-shape load (data refresh) keeps breaker verdicts and the
+    /// epoch: only the data-dependent result cache is invalidated, via the
+    /// version bump.
+    #[test]
+    fn same_schema_load_keeps_breakers_and_epoch() {
+        let server = breaker_server();
+        server.inner.breaker_record(42, &mem_exceeded());
+        assert_eq!(state_of(&server, 42), Some(BreakerState::Open));
+        let before = server.version();
+        server.load(|_| {});
+        assert_eq!(
+            state_of(&server, 42),
+            Some(BreakerState::Open),
+            "same-shape load keeps breaker history"
+        );
+        assert_eq!(server.epoch(), 0, "epoch only moves when the shape changes");
+        assert_eq!(server.version(), before + 1, "every load is still a new version");
         server.shutdown();
     }
 }

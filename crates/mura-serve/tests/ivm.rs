@@ -1,0 +1,339 @@
+//! Acceptance tests for incremental view maintenance: random mutation
+//! sequences over random graphs must keep maintained views bit-identical
+//! to a from-scratch recompute, on all three fixpoint plans × both local
+//! engines, with and without injected faults — and the mutation path must
+//! respect the serving resource ladder (memory gate, typed errors, zero
+//! lost responses across a drain).
+
+use mura_core::{Database, Relation, Value};
+use mura_datagen::{erdos_renyi, SplitMix64};
+use mura_dist::exec::{ExecConfig, FixpointPlan};
+use mura_dist::{FaultConfig, LocalEngine, QueryEngine};
+use mura_serve::{DeltaBatch, DeltaSummary, OverloadReason, ServeConfig, ServeError, Server};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+const TC: &str = "?x, ?y <- ?x edge+ ?y";
+const NODES: u64 = 48;
+
+fn db_from_edges(edges: &[(u64, u64)]) -> Database {
+    let mut db = Database::new();
+    let src = db.intern("src");
+    let dst = db.intern("dst");
+    db.insert_relation("edge", Relation::from_pairs(src, dst, edges.iter().copied()));
+    db
+}
+
+fn row(a: u64, b: u64) -> Box<[Value]> {
+    vec![Value::node(a), Value::node(b)].into_boxed_slice()
+}
+
+fn batch_of(db: &Database, ins: &[(u64, u64)], del: &[(u64, u64)]) -> DeltaBatch {
+    let rel = db.dict().lookup("edge").expect("edge relation");
+    let mut b = DeltaBatch::new();
+    for &(x, y) in ins {
+        b.push_insert(db, rel, row(x, y)).unwrap();
+    }
+    for &(x, y) in del {
+        b.push_delete(db, rel, row(x, y)).unwrap();
+    }
+    b
+}
+
+/// Drives five rounds of random interleaved insert/delete batches (round 3
+/// delete-heavy, forcing DRed) against a server with a warmed TC view,
+/// checking after every round that the served answer is bit-identical to a
+/// fresh engine over the mirrored edge set. Returns the per-round
+/// summaries so callers can assert determinism.
+fn check_plan(plan: FixpointPlan, local: LocalEngine, seed: u64, chaos: bool) -> Vec<DeltaSummary> {
+    let g = erdos_renyi(NODES, 0.05, seed);
+    let mut edges: Vec<(u64, u64)> = g.edges.iter().map(|&(s, _, d)| (s, d)).collect();
+    edges.sort_unstable();
+    edges.dedup();
+
+    let mut config = ExecConfig { plan, local_engine: local, ..Default::default() };
+    if chaos {
+        config.fault = FaultConfig::chaos(seed);
+        config.checkpoint_every = 2;
+    }
+    let server = Server::start(
+        QueryEngine::with_config(db_from_edges(&edges), config.clone()),
+        ServeConfig::default(),
+    );
+    let client = server.client();
+
+    let mut rng = SplitMix64::seed_from_u64(seed.wrapping_mul(0x9e37_79b9) | 1);
+    let mut summaries = Vec::new();
+    for round in 0..5u64 {
+        // (Re-)warm the cached view; after a maintained round this hits.
+        client.query(TC).expect("warm query");
+
+        let (n_ins, n_del) = if round == 3 { (1, 6) } else { (4, 2) };
+        let ins: Vec<(u64, u64)> =
+            (0..n_ins).map(|_| (rng.gen_range(0..NODES), rng.gen_range(0..NODES))).collect();
+        let del: Vec<(u64, u64)> =
+            (0..n_del.min(edges.len())).filter_map(|_| rng.choose(&edges).copied()).collect();
+
+        let batch = server.with_db(|db| batch_of(db, &ins, &del));
+        summaries.push(server.apply_delta(batch).expect("apply_delta"));
+
+        // Mirror `R ← (R \ delete) ∪ insert` on the edge list.
+        edges.retain(|e| !del.contains(e));
+        edges.extend(ins.iter().copied());
+        edges.sort_unstable();
+        edges.dedup();
+
+        let got = client.query(TC).expect("query after delta");
+        let want = QueryEngine::with_config(db_from_edges(&edges), config.clone())
+            .run_ucrpq(TC)
+            .expect("recompute");
+        assert_eq!(
+            got.relation.sorted_rows(),
+            want.relation.sorted_rows(),
+            "round {round}: maintained view diverged from recompute \
+             (plan {plan:?}, engine {local:?}, seed {seed}, chaos {chaos})"
+        );
+    }
+    let stats = server.stats();
+    assert_eq!(stats.deltas_applied, 5, "every batch must be applied");
+    server.shutdown();
+    summaries
+}
+
+fn matrix_seed() -> u64 {
+    std::env::var("MURA_IVM_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(11)
+}
+
+#[test]
+fn maintained_views_match_recompute_gld() {
+    let s = check_plan(FixpointPlan::ForceGld, LocalEngine::SetRdd, matrix_seed(), false);
+    assert!(s.iter().any(|d| d.maintained >= 1), "no view was ever maintained: {s:?}");
+}
+
+#[test]
+fn maintained_views_match_recompute_plw_setrdd() {
+    let s = check_plan(FixpointPlan::ForcePlw, LocalEngine::SetRdd, matrix_seed(), false);
+    assert!(s.iter().any(|d| d.maintained >= 1), "no view was ever maintained: {s:?}");
+}
+
+#[test]
+fn maintained_views_match_recompute_plw_sorted() {
+    let s = check_plan(FixpointPlan::ForcePlw, LocalEngine::Sorted, matrix_seed(), false);
+    assert!(s.iter().any(|d| d.maintained >= 1), "no view was ever maintained: {s:?}");
+}
+
+#[test]
+fn maintained_views_match_recompute_async() {
+    check_plan(FixpointPlan::ForceAsync, LocalEngine::SetRdd, matrix_seed(), false);
+}
+
+#[test]
+fn maintained_views_match_recompute_auto_sorted() {
+    check_plan(FixpointPlan::Auto, LocalEngine::Sorted, matrix_seed().wrapping_add(1), false);
+}
+
+/// Under injected faults (panics, transient errors, drops, stragglers)
+/// maintenance must still produce exact answers, and the whole summary
+/// sequence must be deterministic for a fixed seed.
+#[test]
+fn chaos_maintenance_is_exact_and_deterministic() {
+    let seed = matrix_seed();
+    let a = check_plan(FixpointPlan::Auto, LocalEngine::SetRdd, seed, true);
+    let b = check_plan(FixpointPlan::Auto, LocalEngine::SetRdd, seed, true);
+    assert_eq!(a, b, "same seed must replay the same maintenance decisions");
+}
+
+/// A mutation that touches none of a view's relations revalidates the
+/// cached entry in place: the next lookup is a hit, not a recompute.
+#[test]
+fn unrelated_mutation_revalidates_cached_views() {
+    let mut db = db_from_edges(&[(0, 1), (1, 2), (2, 3)]);
+    let src = db.intern("src");
+    let dst = db.intern("dst");
+    db.insert_relation("other", Relation::from_pairs(src, dst, [(7, 8)]));
+    let server = Server::start(QueryEngine::new(db), ServeConfig::default());
+    let client = server.client();
+
+    let before = client.query(TC).expect("warm");
+    let batch = server.with_db(|db| {
+        let rel = db.dict().lookup("other").unwrap();
+        let mut b = DeltaBatch::new();
+        b.push_insert(db, rel, row(8, 9)).unwrap();
+        b
+    });
+    let summary = server.apply_delta(batch).expect("apply");
+    assert_eq!(summary.inserted, 1);
+    assert!(summary.unaffected >= 1, "the TC view reads only 'edge': {summary:?}");
+    assert_eq!(summary.maintained, 0);
+
+    let hits_before = server.stats().result_hits;
+    let after = client.query(TC).expect("post-delta query");
+    assert_eq!(server.stats().result_hits, hits_before + 1, "revalidated entry must hit");
+    assert_eq!(before.relation.sorted_rows(), after.relation.sorted_rows());
+    server.shutdown();
+}
+
+/// Mutations obey the same memory watermark as queries: with an absurdly
+/// low watermark the batch is shed with a typed, retryable error.
+#[test]
+fn mutation_respects_memory_watermark() {
+    let db = db_from_edges(&[(0, 1)]);
+    let server = Server::start(
+        QueryEngine::new(db),
+        ServeConfig { memory_watermark_bytes: Some(1), ..Default::default() },
+    );
+    let batch = server.with_db(|db| batch_of(db, &[(5, 6)], &[]));
+    match server.apply_delta(batch) {
+        Err(ServeError::Overloaded { reason: OverloadReason::Memory, retry_after_ms }) => {
+            assert!(retry_after_ms >= 1, "retry hint must be actionable");
+        }
+        other => panic!("expected a memory shed, got {other:?}"),
+    }
+    assert_eq!(server.stats().deltas_applied, 0);
+    assert!(server.stats().shed >= 1, "the shed must be counted");
+    server.shutdown();
+}
+
+/// A drain racing a mutation storm loses nothing: every query and every
+/// delta resolves to an answer or a typed error, and once drained further
+/// mutations are refused with `Closed`.
+#[test]
+fn drain_mid_mutation_loses_no_responses() {
+    let edges: Vec<(u64, u64)> = (0..32).map(|i| (i, (i + 1) % 32)).collect();
+    let server = Server::start(QueryEngine::new(db_from_edges(&edges)), ServeConfig::default());
+    let client = server.client();
+    client.query(TC).expect("warm");
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let querier = {
+        let client = client.clone();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut answered = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                match client.query(TC) {
+                    Ok(_) | Err(_) => answered += 1, // typed either way
+                }
+            }
+            answered
+        })
+    };
+
+    let mut applied = 0u64;
+    let mut changed = 0u64;
+    let mut refused = 0u64;
+    for i in 0..200u64 {
+        if i == 60 {
+            let drainer = client.clone();
+            std::thread::spawn(move || drainer.request_drain());
+        }
+        let batch = server.with_db(|db| batch_of(db, &[(i % 32, (i * 7) % 32)], &[]));
+        match server.apply_delta(batch) {
+            // Re-inserting an existing edge normalizes to a no-op: it
+            // resolves Ok but doesn't count as an applied delta.
+            Ok(s) => {
+                applied += 1;
+                changed += u64::from(s.inserted + s.deleted > 0);
+            }
+            Err(ServeError::Closed) => refused += 1,
+            Err(e) => panic!("mutation {i}: unexpected error {e}"),
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    let answered = querier.join().expect("querier thread");
+    assert!(answered >= 1, "querier must have made progress");
+    assert!(applied >= 1, "mutations before the drain must land");
+    assert!(refused >= 1, "mutations after the drain must be refused, typed");
+
+    let batch = server.with_db(|db| batch_of(db, &[(1, 3)], &[]));
+    assert!(
+        matches!(server.apply_delta(batch), Err(ServeError::Closed)),
+        "a drained server refuses mutations"
+    );
+    let stats = server.stats();
+    assert_eq!(stats.deltas_applied, changed, "no delta may be half-applied");
+    server.drain();
+}
+
+/// The `.insert`/`.delete` protocol verbs: named and bare forms, one-line
+/// replies carrying the new version, typed errors on bad input, and
+/// answers that reflect the mutations.
+#[test]
+fn protocol_mutation_verbs() {
+    use mura_serve::{protocol, serve_tcp};
+    use std::io::{BufReader, Write};
+    use std::net::TcpStream;
+
+    let server =
+        Server::start(QueryEngine::new(db_from_edges(&[(0, 1), (1, 2)])), ServeConfig::default());
+    let handle = serve_tcp(&server, "127.0.0.1:0").expect("bind");
+    let stream = TcpStream::connect(handle.addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut send = |line: &str| -> (String, Vec<String>) {
+        let mut s = stream.try_clone().expect("clone");
+        s.write_all(format!("{line}\n").as_bytes()).expect("send");
+        protocol::read_response(&mut reader).expect("response")
+    };
+
+    let (status, _) = send(TC);
+    assert!(status.starts_with("OK 3 rows"), "closure of a 2-path: {status}");
+
+    // Named form.
+    let (status, _) = send(".insert edge 2 3");
+    assert!(status.starts_with("OK v=1 +1 -0"), "insert reply: {status}");
+    // Bare form: exactly one relation, so the name may be omitted.
+    let (status, _) = send(".delete 0 1");
+    assert!(status.starts_with("OK v=2 +0 -1"), "delete reply: {status}");
+
+    // Arity and value errors are one-line, typed, and non-fatal.
+    let (status, _) = send(".insert edge 1");
+    assert!(status.starts_with("ERR "), "arity error: {status}");
+    let (status, _) = send(".insert edge 1 bogus");
+    assert!(status.starts_with("ERR "), "unknown constant: {status}");
+    let (status, _) = send(".insert");
+    assert!(status.starts_with("ERR "), "empty mutation: {status}");
+
+    // The served answer reflects (R \ {(0,1)}) ∪ {(2,3)}.
+    let (status, rows) = send(TC);
+    assert!(status.starts_with("OK "), "post-mutation query: {status}");
+    assert!(rows.contains(&"(1, 3)".to_string()), "new closure pair: {rows:?}");
+    assert!(!rows.iter().any(|r| r.starts_with("(0,")), "deleted source must vanish: {rows:?}");
+
+    send(".quit");
+    handle.stop();
+    server.shutdown();
+}
+
+/// Same-schema loads keep warm plans; shape-changing loads reset them.
+/// (The serve-layer unit tests cover breakers; this covers the caches
+/// end-to-end.)
+#[test]
+fn load_invalidation_is_scoped() {
+    let server =
+        Server::start(QueryEngine::new(db_from_edges(&[(0, 1), (1, 2)])), ServeConfig::default());
+    let client = server.client();
+    client.query(TC).expect("warm");
+    let plan_misses = server.stats().plan_misses;
+
+    // Data-only refresh: same shape — plans survive, results go stale.
+    server.load(|db| {
+        let src = db.intern("src");
+        let dst = db.intern("dst");
+        db.insert_relation("edge", Relation::from_pairs(src, dst, [(0, 1), (1, 2), (2, 3)]));
+    });
+    assert_eq!(server.epoch(), 0, "same shape keeps the epoch");
+    let out = client.query(TC).expect("query after refresh");
+    assert_eq!(out.relation.len(), 6, "closure of a 3-path");
+    assert_eq!(server.stats().plan_misses, plan_misses, "plan cache must survive the refresh");
+
+    // Shape change: new relation — epoch bumps, plans replanned.
+    server.load(|db| {
+        let src = db.intern("src");
+        let dst = db.intern("dst");
+        db.insert_relation("brand_new", Relation::from_pairs(src, dst, [(9, 9)]));
+    });
+    assert_eq!(server.epoch(), 1, "new relation changes the shape");
+    client.query(TC).expect("query after shape change");
+    assert_eq!(server.stats().plan_misses, plan_misses + 1, "shape change forces a replan");
+    server.shutdown();
+}

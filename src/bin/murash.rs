@@ -42,6 +42,9 @@ commands:
   .rels                  list relations
   .consts                list named constants
   .const <name> <id>     name a node
+  .insert [rel] <v> …    add a base row (node ids or constant names); a
+                         running .serve instance maintains its cached views
+  .delete [rel] <v> …    remove a base row (DRed maintenance server-side)
   .workers <n>           set worker count (default 4)
   .plan auto|gld|plw     fixpoint plan policy
   .engine setrdd|sorted  P_plw local engine
@@ -62,15 +65,18 @@ anything else is parsed as a UCRPQ query and executed.
 start with `murash --connect <addr>` to talk to a remote .serve instance
 (busy/overloaded replies carrying retry-after-ms are retried once),
 `murash --drain <addr>` to gracefully drain a remote server,
+`murash --connect <addr> --mutate <file>` to stream a batch of
+`insert`/`delete` lines and print one reply per mutation,
 `--chaos <seed>` for fault injection, `--trace-out <path>` to dump each
 query's trace as JSON (Chrome-trace compatible under \"traceEvents\").";
 
-const USAGE: &str =
-    "usage: murash [--connect <addr>] [--drain <addr>] [--chaos <seed>] [--trace-out <path>]";
+const USAGE: &str = "usage: murash [--connect <addr>] [--drain <addr>] [--mutate <file>] \
+                     [--chaos <seed>] [--trace-out <path>]";
 
 fn main() {
     let mut connect: Option<String> = None;
     let mut drain: Option<String> = None;
+    let mut mutate: Option<String> = None;
     let mut chaos_seed: Option<u64> = None;
     let mut trace_out: Option<String> = None;
     let mut args = std::env::args().skip(1);
@@ -84,6 +90,7 @@ fn main() {
         match flag.as_str() {
             "--connect" => connect = Some(value("--connect")),
             "--drain" => drain = Some(value("--drain")),
+            "--mutate" => mutate = Some(value("--mutate")),
             "--chaos" => {
                 let seed = value("--chaos");
                 chaos_seed = Some(seed.parse().unwrap_or_else(|_| {
@@ -100,6 +107,17 @@ fn main() {
     }
     if let Some(addr) = drain {
         if let Err(e) = drain_remote(&addr) {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+    if let Some(path) = mutate {
+        let Some(addr) = connect else {
+            eprintln!("--mutate requires --connect <addr>\n{USAGE}");
+            std::process::exit(2);
+        };
+        if let Err(e) = mutate_remote(&addr, &path) {
             eprintln!("error: {e}");
             std::process::exit(1);
         }
@@ -270,6 +288,40 @@ impl Shell {
                 }
                 _ => return arg_err("usage: .chaos <seed>|off"),
             },
+            "insert" | "delete" => {
+                let insert = cmd == "insert";
+                if args.is_empty() {
+                    return arg_err("usage: .insert|.delete [relation] <value> <value> …");
+                }
+                let batch = build_delta(&self.db, args, insert)?;
+                let mut local = batch.clone();
+                local.normalize(&self.db)?;
+                if local.is_empty() {
+                    println!("no-op (the database already looks like that)");
+                } else {
+                    let (ins, del, _) = local.apply(&mut self.db)?;
+                    println!("applied: +{ins} -{del} rows");
+                    if self.graph.take().is_some() {
+                        println!("(the loaded graph snapshot is now stale; .save disabled)");
+                    }
+                }
+                // A serving snapshot is kept live too: the same batch is
+                // applied there and its cached views maintained in place.
+                if let Some((_, server)) = &self.serving {
+                    match server.apply_delta(batch) {
+                        Ok(s) => println!(
+                            "server: v={} +{} -{} maintained={} unaffected={} recomputed={}",
+                            s.version,
+                            s.inserted,
+                            s.deleted,
+                            s.maintained,
+                            s.unaffected,
+                            s.recomputed
+                        ),
+                        Err(e) => println!("server: ERR {e}"),
+                    }
+                }
+            }
             "serve" => match args {
                 ["stop"] => match self.serving.take() {
                     Some((handle, server)) => {
@@ -429,6 +481,96 @@ impl Shell {
     }
 }
 
+/// Parses `[relation] value value …` into a one-row [`mura_serve::DeltaBatch`]
+/// against `db`: an explicit leading relation name wins, otherwise the
+/// database must hold exactly one relation; values are node ids or bound
+/// constant names. Mirrors the server-side `.insert`/`.delete` parsing.
+fn build_delta(db: &Database, args: &[&str], insert: bool) -> Result<mura_serve::DeltaBatch> {
+    let err = |msg: String| MuraError::Frontend(msg);
+    let mut tokens = args.to_vec();
+    let rel = match db.dict().lookup(tokens[0]).filter(|s| db.relation(*s).is_some()) {
+        Some(sym) => {
+            tokens.remove(0);
+            sym
+        }
+        None => {
+            let mut rels = db.relations().map(|(s, _)| s);
+            match (rels.next(), rels.next()) {
+                (Some(only), None) => only,
+                _ => {
+                    return Err(err(format!(
+                        "'{}' is not a relation and the database holds more than one",
+                        tokens[0]
+                    )))
+                }
+            }
+        }
+    };
+    let arity = db.relation(rel).expect("relation resolved above").schema().arity();
+    if tokens.len() != arity {
+        return Err(err(format!(
+            "relation '{}' has arity {arity}, got {} value(s)",
+            db.dict().resolve(rel),
+            tokens.len()
+        )));
+    }
+    let row: Box<[Value]> = tokens
+        .iter()
+        .map(|tok| match tok.parse::<u64>() {
+            Ok(id) => Ok(Value::node(id)),
+            Err(_) => db
+                .constant(tok)
+                .ok_or_else(|| err(format!("'{tok}' is neither a node id nor a constant"))),
+        })
+        .collect::<Result<_>>()?;
+    let mut batch = mura_serve::DeltaBatch::new();
+    if insert {
+        batch.push_insert(db, rel, row)?;
+    } else {
+        batch.push_delete(db, rel, row)?;
+    }
+    Ok(batch)
+}
+
+/// `murash --connect <addr> --mutate <file>`: streams a batch of
+/// `insert`/`delete` lines (leading dot optional, `#` comments and blank
+/// lines skipped) to a remote `.serve` instance, printing the one-line
+/// reply for each. Exits non-zero if any mutation is rejected.
+fn mutate_remote(addr: &str, path: &str) -> std::io::Result<()> {
+    use std::io::Write;
+    let text = std::fs::read_to_string(path)?;
+    let stream = std::net::TcpStream::connect(addr)?;
+    let mut reader = std::io::BufReader::new(stream.try_clone()?);
+    let mut out = stream;
+    let (mut applied, mut failed) = (0u64, 0u64);
+    for (no, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let verb = line.strip_prefix('.').unwrap_or(line);
+        if !(verb.starts_with("insert") || verb.starts_with("delete")) {
+            println!("{}:{}: ERR expected 'insert …' or 'delete …', got '{line}'", path, no + 1);
+            failed += 1;
+            continue;
+        }
+        out.write_all(format!(".{verb}\n").as_bytes())?;
+        out.flush()?;
+        let (status, _) = mura_serve::read_response(&mut reader)?;
+        println!("{}:{}: {status}", path, no + 1);
+        if status.starts_with("ERR") {
+            failed += 1;
+        } else {
+            applied += 1;
+        }
+    }
+    println!("{applied} applied, {failed} failed");
+    if failed > 0 {
+        std::process::exit(1);
+    }
+    Ok(())
+}
+
 /// Extracts the `retry-after-ms=<n>` token a busy/overloaded server embeds
 /// in its `ERR` status line.
 fn retry_after_of(status: &str) -> Option<u64> {
@@ -446,7 +588,7 @@ fn client_repl(addr: &str) -> std::io::Result<()> {
     let mut out = stream;
     println!(
         "connected to {addr} — server-side verbs: .stats .metrics .profile <query> .rels \
-         .deadline <ms> .drain .quit"
+         .insert/.delete [rel] <v> … .deadline <ms> .drain .quit"
     );
     while let Some(line) = mura_datagen::io::read_line(&format!("μ@{addr}> ")) {
         let line = line.trim();
