@@ -69,11 +69,19 @@ impl QueryOutput {
     /// fixpoint annotated by its stable columns and the plan the
     /// `PhysicalPlanGenerator` policy selects for it (§IV-B c).
     pub fn explain(&self, db: &Database) -> String {
-        let mut out = String::new();
-        let mut env = mura_core::analysis::TypeEnv::from_db(db);
-        explain_rec(&self.plan, db, &mut env, 0, &mut out);
-        out
+        explain_plan(&self.plan, db)
     }
+}
+
+/// Renders the physical-plan explanation of an arbitrary plan (the
+/// operator tree with fixpoints annotated by stable columns and selected
+/// physical plan). Used by the server's `.explain`, which plans without
+/// executing.
+pub fn explain_plan(plan: &Term, db: &Database) -> String {
+    let mut out = String::new();
+    let mut env = mura_core::analysis::TypeEnv::from_db(db);
+    explain_rec(plan, db, &mut env, 0, &mut out);
+    out
 }
 
 fn explain_rec(
@@ -203,6 +211,30 @@ impl QueryEngine {
         let q = parse_ucrpq(query)?;
         let term = to_mura(&q, &mut self.db)?;
         self.plan_term_from(&term, start)
+    }
+
+    /// Parses and optimizes a UCRPQ, returning the plan together with the
+    /// plan-space enumeration report (`None` when the rewriter is
+    /// disabled). `observed` supplies measured fixpoint cardinalities from
+    /// the server's feedback store; when present, fixpoints found there are
+    /// costed from measurement instead of static statistics.
+    pub fn plan_ucrpq_report(
+        &mut self,
+        query: &str,
+        observed: Option<&mura_rewrite::ObservedCards>,
+    ) -> Result<(PlannedQuery, Option<mura_rewrite::EnumReport>)> {
+        let start = Instant::now();
+        let q = parse_ucrpq(query)?;
+        let term = to_mura(&q, &mut self.db)?;
+        if !self.optimize {
+            return Ok((PlannedQuery { plan: term, planning: start.elapsed() }, None));
+        }
+        let mut rewriter = Rewriter::new(&mut self.db);
+        if let Some(obs) = observed {
+            rewriter = rewriter.with_observations(obs.clone());
+        }
+        let (plan, report) = rewriter.optimize_report(&term, &mut self.db)?;
+        Ok((PlannedQuery { plan, planning: start.elapsed() }, Some(report)))
     }
 
     /// Optimizes a μ-RA term without executing it.

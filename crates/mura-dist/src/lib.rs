@@ -36,7 +36,7 @@ pub mod sorted;
 
 pub use cluster::Cluster;
 pub use distrel::DistRel;
-pub use engine::{PlannedQuery, QueryEngine, QueryOutput};
+pub use engine::{explain_plan, PlannedQuery, QueryEngine, QueryOutput};
 pub use exec::{DistEvaluator, ExecConfig, ExecStats, FixResume, FixpointPlan, ResourceLimits};
 pub use fault::{FaultConfig, FaultPlan, FaultSnapshot, RecoveryPolicy};
 pub use localfix::LocalEngine;

@@ -22,7 +22,7 @@
 //! an `RL`-able right operand.
 
 use mura_core::analysis::{decompose_fixpoint, infer_schema, TypeEnv};
-use mura_core::{Dictionary, Sym, Term};
+use mura_core::{Dictionary, Pred, Sym, Term};
 
 /// A recognized (or synthesized) closure fixpoint `L* ∘ seed ∘ R*` over the
 /// binary path schema.
@@ -273,6 +273,57 @@ pub fn compose_alternatives(
                 out.push(compose(rl.emit(dict), f.seed.clone(), src, dst, dict));
             }
         }
+    }
+    out
+}
+
+/// Reversal alternatives for `σ_preds(closure)` when the predicates sit on
+/// the closure's non-stable end (the paper's *reversing a fixpoint*,
+/// needed by classes C2/C4):
+///
+/// * pure `RL(r,r)` with a `dst` filter → `LL(σ(r), r)` (and the symmetric
+///   case);
+/// * impure `RL(S,R)` with a `dst` filter → `σ(S) ∪ S ∘ LL(σ(R), R)`
+///   (the filter reaches the seed of the reversed tail closure).
+pub fn reversal_alternatives(
+    preds: &[Pred],
+    form: &ClosureForm,
+    dict: &mut Dictionary,
+) -> Vec<Term> {
+    let mut out = Vec::new();
+    let on = |col: Sym| preds.iter().all(|p| p.columns().iter().all(|c| *c == col));
+    match (&form.left, &form.right) {
+        // Right-linear, filter on dst.
+        (None, Some(r)) if on(form.dst) => {
+            let filtered_r = Term::Filter(preds.to_vec(), Box::new(r.clone()));
+            if form.is_pure() {
+                out.push(
+                    ClosureForm::left_linear(filtered_r, r.clone(), form.src, form.dst).emit(dict),
+                );
+            } else {
+                let tail =
+                    ClosureForm::left_linear(filtered_r, r.clone(), form.src, form.dst).emit(dict);
+                let seed_filtered = Term::Filter(preds.to_vec(), Box::new(form.seed.clone()));
+                let extended = compose(form.seed.clone(), tail, form.src, form.dst, dict);
+                out.push(seed_filtered.union(extended));
+            }
+        }
+        // Left-linear, filter on src.
+        (Some(l), None) if on(form.src) => {
+            let filtered_l = Term::Filter(preds.to_vec(), Box::new(l.clone()));
+            if form.is_pure() {
+                out.push(
+                    ClosureForm::right_linear(filtered_l, l.clone(), form.src, form.dst).emit(dict),
+                );
+            } else {
+                let head =
+                    ClosureForm::right_linear(filtered_l, l.clone(), form.src, form.dst).emit(dict);
+                let seed_filtered = Term::Filter(preds.to_vec(), Box::new(form.seed.clone()));
+                let extended = compose(head, form.seed.clone(), form.src, form.dst, dict);
+                out.push(seed_filtered.union(extended));
+            }
+        }
+        _ => {}
     }
     out
 }

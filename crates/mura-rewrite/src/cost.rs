@@ -7,9 +7,17 @@
 //! the cross product of column domains. The absolute numbers are rough —
 //! what matters is the *ordering* of alternative plans.
 
+use crate::memo::canon_key;
 use mura_core::analysis::decompose_fixpoint;
 use mura_core::fxhash::FxHashMap;
-use mura_core::{Database, MuraError, Pred, Result, Sym, Term};
+use mura_core::{Database, Dictionary, MuraError, Pred, Relation, Result, Sym, Term};
+use std::cell::Cell;
+
+/// Observed fixpoint totals keyed by [`canon_key`] of the `Fix` subterm
+/// (pinned-free): the server's feedback store hands these to
+/// [`CostModel::with_observed`] so repeated queries are costed from
+/// measured reality.
+pub type ObservedCards = FxHashMap<u64, f64>;
 
 /// Per-column statistics of a base relation.
 #[derive(Debug, Clone, Default)]
@@ -36,16 +44,72 @@ impl Stats {
     pub fn from_db(db: &Database) -> Stats {
         let mut rels = FxHashMap::default();
         for (name, rel) in db.relations() {
-            let mut cols = FxHashMap::default();
-            for (i, &c) in rel.schema().columns().iter().enumerate() {
-                let distinct =
-                    rel.iter().map(|row| row[i]).collect::<mura_core::fxhash::FxHashSet<_>>().len()
-                        as f64;
-                cols.insert(c, ColStats { distinct });
-            }
-            rels.insert(name, RelStats { rows: rel.len() as f64, cols });
+            rels.insert(name, Self::scan_rel(rel));
         }
         Stats { rels }
+    }
+
+    fn scan_rel(rel: &Relation) -> RelStats {
+        let mut cols = FxHashMap::default();
+        for (i, &c) in rel.schema().columns().iter().enumerate() {
+            let distinct =
+                rel.iter().map(|row| row[i]).collect::<mura_core::fxhash::FxHashSet<_>>().len()
+                    as f64;
+            cols.insert(c, ColStats { distinct });
+        }
+        RelStats { rows: rel.len() as f64, cols }
+    }
+
+    /// Folds one relation's mutation delta into the statistics without
+    /// rescanning the database. Row counts stay exact (taken from `after`);
+    /// distinct counts are estimated: inserts raise each column's count by
+    /// at most the insert count, deletions scale it down uniformly. A
+    /// relation not seen before is scanned exactly (it is new and small
+    /// relative to a full-db rescan); `after = None` drops the entry.
+    pub fn apply_delta(
+        &mut self,
+        rel: Sym,
+        inserted: usize,
+        deleted: usize,
+        after: Option<&Relation>,
+    ) {
+        let Some(after) = after else {
+            self.rels.remove(&rel);
+            return;
+        };
+        let rows = after.len() as f64;
+        match self.rels.get_mut(&rel) {
+            Some(rs) => {
+                let old_rows = rs.rows.max(1.0);
+                for cs in rs.cols.values_mut() {
+                    let mut d = cs.distinct;
+                    if inserted > 0 {
+                        // Upper bound: every inserted row carries a new value.
+                        d += inserted as f64;
+                    }
+                    if deleted > 0 && rows < old_rows {
+                        // Uniform-deletion assumption.
+                        d *= rows / old_rows;
+                    }
+                    cs.distinct = d.clamp(1.0_f64.min(rows), rows.max(1.0));
+                }
+                rs.rows = rows;
+            }
+            None => {
+                self.rels.insert(rel, Self::scan_rel(after));
+            }
+        }
+    }
+
+    /// Row estimate currently held for a base relation.
+    pub fn rows(&self, rel: Sym) -> Option<f64> {
+        self.rels.get(&rel).map(|r| r.rows)
+    }
+
+    /// Distinct-count estimate currently held for a column of a base
+    /// relation.
+    pub fn distinct(&self, rel: Sym, col: Sym) -> Option<f64> {
+        self.rels.get(&rel).and_then(|r| r.cols.get(&col)).map(|c| c.distinct)
     }
 }
 
@@ -72,6 +136,12 @@ impl Card {
 /// Cost model: estimates cardinalities and sums intermediate result sizes.
 pub struct CostModel<'s> {
     stats: &'s Stats,
+    /// Observed fixpoint totals (canonical key → measured rows) plus the
+    /// dictionary needed to canonicalize `Fix` subterms during costing.
+    observed: Option<(&'s ObservedCards, &'s Dictionary)>,
+    /// How many fixpoints were costed from an observation during the last
+    /// `cost`/`card` call(s).
+    observed_hits: Cell<usize>,
 }
 
 /// Number of recursive-step expansions assumed when a fixpoint's one-step
@@ -85,7 +155,20 @@ const GROWTH_RATE: f64 = 1.25;
 impl<'s> CostModel<'s> {
     /// New cost model over base-relation statistics.
     pub fn new(stats: &'s Stats) -> Self {
-        CostModel { stats }
+        CostModel { stats, observed: None, observed_hits: Cell::new(0) }
+    }
+
+    /// Cost model that overrides fixpoint estimates with *observed* totals
+    /// from previous executions: a `Fix` subterm whose [`canon_key`] is in
+    /// `cards` is costed at its measured size instead of the static
+    /// expansion estimate.
+    pub fn with_observed(stats: &'s Stats, cards: &'s ObservedCards, dict: &'s Dictionary) -> Self {
+        CostModel { stats, observed: Some((cards, dict)), observed_hits: Cell::new(0) }
+    }
+
+    /// Number of fixpoints costed from an observation since construction.
+    pub fn observed_hits(&self) -> usize {
+        self.observed_hits.get()
     }
 
     /// Total plan cost: the sum of estimated intermediate result sizes over
@@ -264,7 +347,7 @@ impl<'s> CostModel<'s> {
                     // Domain cap: at most the cross product of column
                     // domains reachable by the closure.
                     let cap: f64 = step_distinct.values().product::<f64>().max(seed.rows);
-                    let rows = if fanout >= 0.95 {
+                    let mut rows = if fanout >= 0.95 {
                         // Non-shrinking step: the closure grows by roughly
                         // the expected path length. We deliberately use a
                         // *fixed* growth rate rather than the one-step
@@ -277,6 +360,14 @@ impl<'s> CostModel<'s> {
                     } else {
                         (seed.rows / (1.0 - fanout).max(0.05)).min(cap)
                     };
+                    // Observed totals beat any static estimate: a previous
+                    // execution measured this exact (canonicalized) fixpoint.
+                    if let Some((cards, dict)) = self.observed {
+                        if let Some(&obs) = cards.get(&canon_key(term, dict, &[])) {
+                            rows = obs.max(1.0);
+                            self.observed_hits.set(self.observed_hits.get() + 1);
+                        }
+                    }
                     let distinct =
                         step_distinct.into_iter().map(|(c, d)| (c, d.min(rows))).collect();
                     // Fixpoints are iterated: weight their output in the
@@ -365,6 +456,37 @@ mod tests {
         let cp = cm.cost(&pushed).unwrap();
         let cu = cm.cost(&unpushed).unwrap();
         assert!(cp < cu, "pushed {cp} vs unpushed {cu}");
+    }
+
+    #[test]
+    fn stats_apply_delta_tracks_rows_and_bounds_distincts() {
+        let mut db = db_chain(100);
+        let mut stats = Stats::from_db(&db);
+        let e = db.intern("E");
+        let src = db.dict().lookup("src").unwrap();
+        let dst = db.dict().lookup("dst").unwrap();
+        assert_eq!(stats.rows(e), Some(99.0));
+        // Grow the relation; rows come exact from the post-state, distincts
+        // stay within [old, rows].
+        let grown = Relation::from_pairs(src, dst, (0..149).map(|i| (i, i + 1)));
+        stats.apply_delta(e, 50, 0, Some(&grown));
+        assert_eq!(stats.rows(e), Some(149.0));
+        let d = stats.distinct(e, src).unwrap();
+        assert!((99.0..=149.0).contains(&d), "distinct bound after insert: {d}");
+        // Shrink: distincts scale down with the uniform-deletion assumption.
+        let shrunk = Relation::from_pairs(src, dst, (0..49).map(|i| (i, i + 1)));
+        stats.apply_delta(e, 0, 100, Some(&shrunk));
+        assert_eq!(stats.rows(e), Some(49.0));
+        assert!(stats.distinct(e, src).unwrap() <= 49.0);
+        // A relation not seen before is scanned exactly.
+        let f = db.intern("F");
+        let fresh = Relation::from_pairs(src, dst, [(1, 2), (3, 4)]);
+        stats.apply_delta(f, 2, 0, Some(&fresh));
+        assert_eq!(stats.rows(f), Some(2.0));
+        assert_eq!(stats.distinct(f, src), Some(2.0));
+        // Dropping the whole relation removes the entry.
+        stats.apply_delta(e, 0, 49, None);
+        assert_eq!(stats.rows(e), None);
     }
 
     #[test]

@@ -1,0 +1,292 @@
+//! Observed-cardinality feedback: measured fixpoint totals keyed by
+//! canonical plan hash, with churn-based invalidation.
+//!
+//! After a query executes, the server folds the executor's per-fixpoint
+//! totals into a [`FeedbackStore`]. On the next planning of an equal
+//! (sub)term the enumerator costs fixpoints from these *measured* sizes
+//! instead of the static expansion estimate ([`CostModel::with_observed`]).
+//!
+//! Two staleness mechanisms keep the loop honest:
+//!
+//! * **Churn invalidation.** Every observation remembers which base
+//!   relations the fixpoint reads and each relation's cumulative churn
+//!   counter at observation time. [`FeedbackStore::note_churn`] (called on
+//!   every IVM delta) drops observations whose dependencies have since
+//!   churned materially (more than ~10% of the relation's current size,
+//!   with a small absolute floor), so feedback never outlives the data it
+//!   measured.
+//! * **Generation counter.** The store's generation bumps whenever the
+//!   observation set changes materially (new fixpoint observed, a measured
+//!   total moved by more than 25%, observations invalidated). The server's
+//!   plan cache remembers the generation a plan was optimized under and
+//!   replans when it moves — that is the whole adaptive loop.
+//!
+//! [`CostModel::with_observed`]: crate::cost::CostModel::with_observed
+
+use crate::cost::ObservedCards;
+use crate::memo::canon_key;
+use mura_core::fxhash::FxHashMap;
+use mura_core::{term_key, Dictionary, Sym, Term};
+
+/// Relative change in an observed total that counts as material (bumps the
+/// generation and forces dependent plans to re-optimize).
+const MATERIAL_ROWS_CHANGE: f64 = 0.25;
+
+/// Fraction of a relation's size that must churn before observations
+/// depending on it are dropped.
+const MATERIAL_CHURN_FRACTION: f64 = 0.10;
+
+/// Absolute churn floor: tiny relations invalidate after this many changed
+/// rows regardless of the fraction.
+const MATERIAL_CHURN_FLOOR: f64 = 8.0;
+
+#[derive(Debug, Clone)]
+struct Observation {
+    /// Measured total rows of the fixpoint.
+    rows: f64,
+    /// How many executions have confirmed this observation.
+    runs: u64,
+    /// Base relations the fixpoint reads, with each relation's cumulative
+    /// churn counter at observation time.
+    deps: Vec<(Sym, u64)>,
+}
+
+/// Per-plan-hash store of observed fixpoint cardinalities.
+#[derive(Debug, Default)]
+pub struct FeedbackStore {
+    entries: FxHashMap<u64, Observation>,
+    /// Cumulative changed-row counter per base relation.
+    churn: FxHashMap<Sym, u64>,
+    /// Last known size per base relation (sets the churn threshold).
+    sizes: FxHashMap<Sym, f64>,
+    generation: u64,
+}
+
+impl FeedbackStore {
+    /// An empty store.
+    pub fn new() -> FeedbackStore {
+        FeedbackStore::default()
+    }
+
+    /// Current generation. Plans costed under an older generation should be
+    /// re-optimized.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Number of live observations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no observations are held.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Snapshot of the observations as a `canon_key → rows` map, the shape
+    /// [`crate::cost::CostModel::with_observed`] consumes.
+    pub fn observations(&self) -> ObservedCards {
+        self.entries.iter().map(|(k, o)| (*k, o.rows)).collect()
+    }
+
+    /// Folds the executor's measured fixpoint totals (keyed by
+    /// [`term_key`] of each executed `Fix` subterm) into the store by
+    /// walking `plan` and translating to canonical keys. Returns the number
+    /// of fixpoints recorded. Bumps the generation when the observation set
+    /// changed materially.
+    pub fn record_plan(
+        &mut self,
+        plan: &Term,
+        totals: &FxHashMap<u64, f64>,
+        dict: &Dictionary,
+    ) -> usize {
+        let mut recorded = 0;
+        let mut material = false;
+        self.record_rec(plan, totals, dict, &mut recorded, &mut material);
+        if material {
+            self.generation += 1;
+        }
+        recorded
+    }
+
+    fn record_rec(
+        &mut self,
+        t: &Term,
+        totals: &FxHashMap<u64, f64>,
+        dict: &Dictionary,
+        recorded: &mut usize,
+        material: &mut bool,
+    ) {
+        if let Term::Fix(_, _) = t {
+            if let Some(&rows) = totals.get(&term_key(t)) {
+                let key = canon_key(t, dict, &[]);
+                let deps: Vec<(Sym, u64)> = {
+                    let mut rels = Vec::new();
+                    free_rels(t, &mut Vec::new(), &mut rels);
+                    rels.into_iter()
+                        .map(|r| (r, self.churn.get(&r).copied().unwrap_or(0)))
+                        .collect()
+                };
+                *recorded += 1;
+                match self.entries.get_mut(&key) {
+                    Some(obs) => {
+                        if (rows - obs.rows).abs() > MATERIAL_ROWS_CHANGE * obs.rows.max(1.0) {
+                            *material = true;
+                        }
+                        obs.rows = rows;
+                        obs.runs += 1;
+                        obs.deps = deps;
+                    }
+                    None => {
+                        *material = true;
+                        self.entries.insert(key, Observation { rows, runs: 1, deps });
+                    }
+                }
+            }
+        }
+        for c in t.children() {
+            self.record_rec(c, totals, dict, recorded, material);
+        }
+    }
+
+    /// Notes that `changed` rows of `rel` (inserts + deletes) were applied
+    /// and that the relation now holds `size_now` rows. Drops observations
+    /// whose dependency on `rel` has churned materially since they were
+    /// taken; returns how many were dropped (generation bumps when > 0).
+    pub fn note_churn(&mut self, rel: Sym, changed: usize, size_now: usize) -> usize {
+        *self.churn.entry(rel).or_insert(0) += changed as u64;
+        self.sizes.insert(rel, size_now as f64);
+        let now = self.churn[&rel];
+        let threshold = (MATERIAL_CHURN_FRACTION * size_now as f64).max(MATERIAL_CHURN_FLOOR);
+        let before = self.entries.len();
+        self.entries.retain(|_, obs| {
+            !obs.deps.iter().any(|(r, at)| *r == rel && (now - *at) as f64 > threshold)
+        });
+        let dropped = before - self.entries.len();
+        if dropped > 0 {
+            self.generation += 1;
+        }
+        dropped
+    }
+
+    /// Drops everything (shape-changing or same-shape reload: the measured
+    /// world is gone). The generation is *not* bumped — plans cached before
+    /// the clear stay structurally valid; the next recording bumps it.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.churn.clear();
+        self.sizes.clear();
+    }
+}
+
+/// Collects the base-relation variables read by `t` (free `Var`s — symbols
+/// not bound by an enclosing `Fix` within `t`).
+fn free_rels(t: &Term, bound: &mut Vec<Sym>, out: &mut Vec<Sym>) {
+    match t {
+        Term::Var(v) => {
+            if !bound.contains(v) && !out.contains(v) {
+                out.push(*v);
+            }
+        }
+        Term::Fix(x, body) => {
+            bound.push(*x);
+            free_rels(body, bound, out);
+            bound.pop();
+        }
+        _ => {
+            for c in t.children() {
+                free_rels(c, bound, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mura_core::Database;
+
+    /// `E+` fixpoint over fresh symbols, plus its term key.
+    fn tc_fix(db: &mut Database) -> Term {
+        let src = db.intern("src");
+        let dst = db.intern("dst");
+        let e = db.intern("E");
+        let x = db.dict_mut().fresh("X");
+        let m = db.dict_mut().fresh("m");
+        Term::var(e)
+            .union(Term::var(x).rename(dst, m).join(Term::var(e).rename(src, m)).antiproject(m))
+            .fix(x)
+    }
+
+    #[test]
+    fn record_then_observe_round_trips_across_fresh_symbols() {
+        let mut db = Database::new();
+        let plan1 = tc_fix(&mut db);
+        let plan2 = tc_fix(&mut db); // same plan, different fresh symbols
+        let mut fb = FeedbackStore::new();
+        let mut totals = FxHashMap::default();
+        totals.insert(term_key(&plan1), 123.0);
+        assert_eq!(fb.record_plan(&plan1, &totals, db.dict()), 1);
+        let obs = fb.observations();
+        // The observation is visible under plan2's canonical key too.
+        assert_eq!(obs.get(&canon_key(&plan2, db.dict(), &[])), Some(&123.0));
+    }
+
+    #[test]
+    fn generation_bumps_on_new_and_material_changes_only() {
+        let mut db = Database::new();
+        let plan = tc_fix(&mut db);
+        let mut fb = FeedbackStore::new();
+        let g0 = fb.generation();
+        let mut totals = FxHashMap::default();
+        totals.insert(term_key(&plan), 100.0);
+        fb.record_plan(&plan, &totals, db.dict());
+        assert!(fb.generation() > g0, "new observation must bump");
+        let g1 = fb.generation();
+        // Re-observing within tolerance: stable, no bump.
+        totals.insert(term_key(&plan), 110.0);
+        fb.record_plan(&plan, &totals, db.dict());
+        assert_eq!(fb.generation(), g1);
+        // Material move: bump.
+        totals.insert(term_key(&plan), 300.0);
+        fb.record_plan(&plan, &totals, db.dict());
+        assert!(fb.generation() > g1);
+    }
+
+    #[test]
+    fn churn_drops_dependent_observations() {
+        let mut db = Database::new();
+        let plan = tc_fix(&mut db);
+        let e = db.intern("E");
+        let other = db.intern("F");
+        let mut fb = FeedbackStore::new();
+        let mut totals = FxHashMap::default();
+        totals.insert(term_key(&plan), 100.0);
+        fb.record_plan(&plan, &totals, db.dict());
+        // Churn on an unrelated relation: observation survives.
+        assert_eq!(fb.note_churn(other, 1000, 1000), 0);
+        assert_eq!(fb.len(), 1);
+        // Small churn on E: below threshold, survives.
+        assert_eq!(fb.note_churn(e, 2, 1000), 0);
+        // Material churn on E: dropped, generation bumps.
+        let g = fb.generation();
+        assert_eq!(fb.note_churn(e, 200, 1000), 1);
+        assert!(fb.is_empty());
+        assert!(fb.generation() > g);
+    }
+
+    #[test]
+    fn clear_keeps_generation() {
+        let mut db = Database::new();
+        let plan = tc_fix(&mut db);
+        let mut fb = FeedbackStore::new();
+        let mut totals = FxHashMap::default();
+        totals.insert(term_key(&plan), 100.0);
+        fb.record_plan(&plan, &totals, db.dict());
+        let g = fb.generation();
+        fb.clear();
+        assert!(fb.is_empty());
+        assert_eq!(fb.generation(), g);
+    }
+}

@@ -19,15 +19,27 @@
 //!   become pushable.
 //!
 //! The rewriter applies cheap normalization rules greedily
-//! ([`rules`]) and takes cost-based decisions where plans genuinely diverge
-//! (closure orientation, merging, join pushing — [`closure`], [`rewriter`]),
-//! mirroring the paper's MuRewriter + CostEstimator split.
+//! ([`rules`]) and resolves the decisions where plans genuinely diverge
+//! (closure orientation, merging, join pushing — [`closure`], [`rewriter`])
+//! by **memoized enumeration** of the plan space: alternatives live in
+//! equivalence groups keyed by a canonical term hash ([`memo`]), are
+//! expanded under rule masks and a beam budget ([`enumerate`]), and the
+//! globally cheapest candidate wins — with the original greedy pipeline
+//! kept both as a member of the space and as a cost floor. Observed
+//! fixpoint cardinalities from previous executions feed back into the cost
+//! model ([`feedback`], [`cost::CostModel::with_observed`]).
 
 pub mod closure;
 pub mod cost;
+pub mod enumerate;
+pub mod feedback;
+pub mod memo;
 pub mod rewriter;
 pub mod rules;
 
 pub use closure::ClosureForm;
-pub use cost::{CostModel, Stats};
+pub use cost::{CostModel, ObservedCards, Stats};
+pub use enumerate::{EnumConfig, EnumReport, GroupSummary};
+pub use feedback::FeedbackStore;
+pub use memo::canon_key;
 pub use rewriter::{optimize, Rewriter};

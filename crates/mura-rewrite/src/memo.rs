@@ -1,0 +1,367 @@
+//! The plan-space memo: equivalence groups of μ-RA terms keyed by a
+//! canonical term hash.
+//!
+//! The enumerator ([`crate::enumerate`]) explores semantically equivalent
+//! rewritings of every closed subterm. Each subterm owns a **group**; the
+//! group's **members** are the alternative plans derived for it by the
+//! closure/normalization rule families. Two practical problems shape the
+//! design:
+//!
+//! * **Alpha-equivalence.** `ClosureForm::emit` and `compose` mint fresh
+//!   symbols (`X#7`, `m#12`) on every call, so two derivations of the same
+//!   plan never collide under [`mura_core::term_key`]. The memo therefore
+//!   keys groups by [`canon_key`], which numbers *generated* symbols by
+//!   first occurrence — structurally equal plans that differ only in fresh
+//!   symbol identity hash alike, while user-named relations and columns
+//!   keep their identity. Symbols bound by an *enclosing* fixpoint are
+//!   pinned (hashed raw): a member mentioning an outer recursion variable
+//!   is only interchangeable within that exact scope.
+//! * **Re-derivation.** Transformation rules invert each other (reversing a
+//!   closure twice is the identity), so naive expansion loops. Every member
+//!   carries a [`RuleMask`] of the rule families already applied to it; the
+//!   enumerator only expands a member through families still unset, and
+//!   the per-group key set drops duplicates arriving through other
+//!   derivation paths.
+//!
+//! Groups are cost-ordered and truncated to a beam width when sealed; the
+//! global member budget bounds the whole enumeration (see
+//! [`crate::enumerate::EnumConfig`]).
+
+use mura_core::fxhash::{FxHashMap, FxHashSet, FxHasher};
+use mura_core::{Dictionary, Sym, Term};
+use std::hash::{Hash, Hasher};
+
+/// Bitmask of transformation rule families already applied to a member.
+pub type RuleMask = u8;
+
+/// Composition-pattern alternatives (merge fixpoints / push join /
+/// reverse-then-push) were generated from this member.
+pub const RULE_COMPOSE: RuleMask = 1;
+/// Filter-over-closure reversal alternatives were generated.
+pub const RULE_REVERSE: RuleMask = 1 << 1;
+/// Join-into-fixpoint pushes were generated.
+pub const RULE_JOIN_PUSH: RuleMask = 1 << 2;
+/// The greedy pipeline rollout was applied to this member.
+pub const RULE_ROLLOUT: RuleMask = 1 << 3;
+/// All families: nothing left to derive from this member.
+pub const RULE_ALL: RuleMask = RULE_COMPOSE | RULE_REVERSE | RULE_JOIN_PUSH | RULE_ROLLOUT;
+
+/// True when `name` looks like a generated symbol (`prefix#N`, the shape
+/// [`Dictionary::fresh`] mints). Only such symbols are renamed by
+/// [`canon_key`]; user-named relations/columns always hash by identity.
+fn is_generated(name: &str) -> bool {
+    match name.split_once('#') {
+        Some((prefix, digits)) => {
+            !prefix.is_empty() && !digits.is_empty() && digits.bytes().all(|b| b.is_ascii_digit())
+        }
+        None => false,
+    }
+}
+
+/// Canonical, generation-insensitive structural hash of a term.
+///
+/// Identical to [`mura_core::term_key`] except that generated symbols
+/// (`X#3`, `m#9`, …) are replaced by their first-occurrence index in the
+/// walk, so plans that differ only in which fresh symbols a derivation
+/// minted get the same key. Distinct symbols within one term stay distinct
+/// (the numbering is injective), so no semantic information is lost.
+///
+/// `pinned` symbols — recursion variables bound by an *enclosing* fixpoint
+/// — hash by raw identity even when generated: a subterm mentioning an
+/// outer `X` must not be conflated with an equal-shaped subterm mentioning
+/// a different outer variable.
+pub fn canon_key(t: &Term, dict: &Dictionary, pinned: &[Sym]) -> u64 {
+    struct Ctx<'a> {
+        dict: &'a Dictionary,
+        pinned: &'a [Sym],
+        ids: FxHashMap<Sym, u64>,
+    }
+    impl Ctx<'_> {
+        fn sym(&mut self, s: Sym, h: &mut FxHasher) {
+            // Symbols from a foreign dictionary (terms are occasionally
+            // planned against a database other than the one they were
+            // translated with) cannot be resolved: hash them raw.
+            let generated = s.index() < self.dict.len() && is_generated(self.dict.resolve(s));
+            if !self.pinned.contains(&s) && generated {
+                let next = self.ids.len() as u64;
+                let id = *self.ids.entry(s).or_insert(next);
+                0xF5u8.hash(h);
+                id.hash(h);
+            } else {
+                0x5Fu8.hash(h);
+                s.hash(h);
+            }
+        }
+    }
+    fn go(t: &Term, ctx: &mut Ctx<'_>, h: &mut FxHasher) {
+        match t {
+            Term::Var(v) => {
+                0u8.hash(h);
+                ctx.sym(*v, h);
+            }
+            Term::Cst(r) => {
+                1u8.hash(h);
+                for c in r.schema().columns() {
+                    ctx.sym(*c, h);
+                }
+                for row in r.sorted_rows() {
+                    row.hash(h);
+                }
+            }
+            Term::Filter(ps, inner) => {
+                2u8.hash(h);
+                for p in ps {
+                    // Predicates embed column symbols; canonicalize them too.
+                    match p {
+                        mura_core::Pred::Eq(c, v) => {
+                            0u8.hash(h);
+                            ctx.sym(*c, h);
+                            v.hash(h);
+                        }
+                        mura_core::Pred::Neq(c, v) => {
+                            1u8.hash(h);
+                            ctx.sym(*c, h);
+                            v.hash(h);
+                        }
+                        mura_core::Pred::EqCol(a, b) => {
+                            2u8.hash(h);
+                            ctx.sym(*a, h);
+                            ctx.sym(*b, h);
+                        }
+                    }
+                }
+                go(inner, ctx, h);
+            }
+            Term::Rename(a, b, inner) => {
+                3u8.hash(h);
+                ctx.sym(*a, h);
+                ctx.sym(*b, h);
+                go(inner, ctx, h);
+            }
+            Term::AntiProject(cs, inner) => {
+                4u8.hash(h);
+                for c in cs {
+                    ctx.sym(*c, h);
+                }
+                go(inner, ctx, h);
+            }
+            Term::Join(a, b) => {
+                5u8.hash(h);
+                go(a, ctx, h);
+                go(b, ctx, h);
+            }
+            Term::Antijoin(a, b) => {
+                6u8.hash(h);
+                go(a, ctx, h);
+                go(b, ctx, h);
+            }
+            Term::Union(a, b) => {
+                7u8.hash(h);
+                go(a, ctx, h);
+                go(b, ctx, h);
+            }
+            Term::Fix(x, body) => {
+                8u8.hash(h);
+                ctx.sym(*x, h);
+                go(body, ctx, h);
+            }
+        }
+    }
+    let mut ctx = Ctx { dict, pinned, ids: FxHashMap::default() };
+    let mut h = FxHasher::default();
+    go(t, &mut ctx, &mut h);
+    h.finish()
+}
+
+/// Index of a group in the memo.
+pub type GroupId = usize;
+
+/// One explored plan in a group.
+#[derive(Debug, Clone)]
+pub struct Member {
+    /// The (normalized) plan.
+    pub term: Term,
+    /// Estimated cost under the enumeration's cost model; `INFINITY` when
+    /// the plan could not be costed (kept only as a last resort).
+    pub cost: f64,
+    /// Canonical key of `term`.
+    pub key: u64,
+    /// Rule families already applied to this member.
+    pub mask: RuleMask,
+}
+
+/// An equivalence class of plans for one subterm.
+#[derive(Debug, Default)]
+pub struct Group {
+    /// Explored members; cost-ordered once the group is sealed.
+    pub members: Vec<Member>,
+    /// Keys of all members ever added (also the ones beam-truncated away),
+    /// so re-derived plans are dropped instead of re-expanded.
+    keys: FxHashSet<u64>,
+}
+
+/// The plan-space memo: groups indexed by the canonical key of every term
+/// that has been explored into them.
+#[derive(Debug, Default)]
+pub struct Memo {
+    groups: Vec<Group>,
+    by_key: FxHashMap<u64, GroupId>,
+    members_total: usize,
+}
+
+impl Memo {
+    /// A fresh, empty memo.
+    pub fn new() -> Memo {
+        Memo::default()
+    }
+
+    /// The group already holding a term with this canonical key, if any.
+    pub fn lookup(&self, key: u64) -> Option<GroupId> {
+        self.by_key.get(&key).copied()
+    }
+
+    /// Creates an empty group and indexes `key` into it.
+    pub fn create(&mut self, key: u64) -> GroupId {
+        let gid = self.groups.len();
+        self.groups.push(Group::default());
+        self.by_key.insert(key, gid);
+        gid
+    }
+
+    /// Adds a member plan to `gid` unless an equal plan (by canonical key)
+    /// was already derived there. Returns whether the member was new. The
+    /// key is also indexed memo-wide so a later exploration of an equal
+    /// term reuses this group.
+    pub fn add(&mut self, gid: GroupId, term: Term, cost: f64, key: u64, mask: RuleMask) -> bool {
+        let group = &mut self.groups[gid];
+        if !group.keys.insert(key) {
+            return false;
+        }
+        group.members.push(Member { term, cost, key, mask });
+        self.members_total += 1;
+        self.by_key.entry(key).or_insert(gid);
+        true
+    }
+
+    /// Read access to a group.
+    pub fn group(&self, gid: GroupId) -> &Group {
+        &self.groups[gid]
+    }
+
+    /// Mutable access to a group's members (rule-mask updates).
+    pub fn members_mut(&mut self, gid: GroupId) -> &mut Vec<Member> {
+        &mut self.groups[gid].members
+    }
+
+    /// Cost-sorts a group (stable tie-break on key) and truncates it to
+    /// `beam` members. Truncated keys stay indexed, so the pruned plans are
+    /// not re-derived later.
+    pub fn seal(&mut self, gid: GroupId, beam: usize) {
+        let group = &mut self.groups[gid];
+        group.members.sort_by(|a, b| {
+            a.cost.partial_cmp(&b.cost).unwrap_or(std::cmp::Ordering::Equal).then(a.key.cmp(&b.key))
+        });
+        if group.members.len() > beam {
+            self.members_total -= group.members.len() - beam;
+            group.members.truncate(beam);
+        }
+    }
+
+    /// The cheapest `limit` member terms of a sealed group.
+    pub fn top_terms(&self, gid: GroupId, limit: usize) -> Vec<Term> {
+        self.groups[gid].members.iter().take(limit.max(1)).map(|m| m.term.clone()).collect()
+    }
+
+    /// Number of groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Live members across all groups.
+    pub fn member_count(&self) -> usize {
+        self.members_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mura_core::Database;
+
+    #[test]
+    fn generated_symbol_detection() {
+        assert!(is_generated("X#1"));
+        assert!(is_generated("m#42"));
+        assert!(!is_generated("src"));
+        assert!(!is_generated("#3"));
+        assert!(!is_generated("X#"));
+        assert!(!is_generated("a#b"));
+    }
+
+    #[test]
+    fn canon_key_ignores_fresh_identity() {
+        let mut db = Database::new();
+        let src = db.intern("src");
+        let dst = db.intern("dst");
+        let e = db.intern("E");
+        let mk = |db: &mut Database| {
+            let x = db.dict_mut().fresh("X");
+            let m = db.dict_mut().fresh("m");
+            Term::var(e)
+                .union(Term::var(x).rename(dst, m).join(Term::var(e).rename(src, m)).antiproject(m))
+                .fix(x)
+        };
+        let t1 = mk(&mut db);
+        let t2 = mk(&mut db);
+        assert_ne!(mura_core::term_key(&t1), mura_core::term_key(&t2));
+        assert_eq!(canon_key(&t1, db.dict(), &[]), canon_key(&t2, db.dict(), &[]));
+    }
+
+    #[test]
+    fn canon_key_distinguishes_user_symbols() {
+        let mut db = Database::new();
+        let a = db.intern("a");
+        let b = db.intern("b");
+        assert_ne!(
+            canon_key(&Term::var(a), db.dict(), &[]),
+            canon_key(&Term::var(b), db.dict(), &[])
+        );
+    }
+
+    #[test]
+    fn pinned_vars_hash_raw() {
+        let mut db = Database::new();
+        let x1 = db.dict_mut().fresh("X");
+        let x2 = db.dict_mut().fresh("X");
+        // Unpinned: alpha-equivalent.
+        assert_eq!(
+            canon_key(&Term::var(x1), db.dict(), &[]),
+            canon_key(&Term::var(x2), db.dict(), &[])
+        );
+        // Pinned (bound by an enclosing fixpoint): distinct.
+        assert_ne!(
+            canon_key(&Term::var(x1), db.dict(), &[x1, x2]),
+            canon_key(&Term::var(x2), db.dict(), &[x1, x2])
+        );
+    }
+
+    #[test]
+    fn memo_dedups_and_seals() {
+        let mut db = Database::new();
+        let a = db.intern("a");
+        let mut memo = Memo::new();
+        let key = canon_key(&Term::var(a), db.dict(), &[]);
+        let gid = memo.create(key);
+        assert!(memo.add(gid, Term::var(a), 1.0, key, 0));
+        assert!(!memo.add(gid, Term::var(a), 1.0, key, 0), "duplicate key must be dropped");
+        let b = db.intern("b");
+        let kb = canon_key(&Term::var(b), db.dict(), &[]);
+        assert!(memo.add(gid, Term::var(b), 0.5, kb, 0));
+        memo.seal(gid, 1);
+        assert_eq!(memo.group(gid).members.len(), 1);
+        assert_eq!(memo.group(gid).members[0].cost, 0.5);
+        // Truncated keys stay known.
+        assert!(!memo.add(gid, Term::var(a), 1.0, key, 0));
+        assert_eq!(memo.member_count(), 1);
+    }
+}

@@ -1,4 +1,4 @@
-//! The rewrite driver: greedy normalization + cost-based closure decisions.
+//! The rewrite driver: memoized enumeration with a greedy-pipeline floor.
 //!
 //! Mirrors the paper's architecture (§III): `MuRewriter` explores
 //! semantically equivalent plans; the `CostEstimator` selects the best
@@ -6,13 +6,29 @@
 //! rename / join pushing, §[`crate::rules`]) are applied greedily; plans
 //! genuinely diverge only at *closure decisions* — merging two fixpoints,
 //! pushing a composition into a fixpoint, or reversing a fixpoint to expose
-//! the other side — and those are chosen by estimated cost.
+//! the other side.
+//!
+//! Two strategies resolve those decisions:
+//!
+//! * [`Rewriter::optimize_pipeline`] — the original greedy sweep: at each
+//!   decision point, pick the locally cheapest alternative and move on.
+//! * [`Rewriter::optimize`] / [`Rewriter::optimize_report`] — memoized
+//!   enumeration ([`crate::enumerate`]): keep the competing alternatives in
+//!   a plan-space memo, cost every surviving candidate, and extract the
+//!   globally cheapest plan. The pipeline's plan is part of the space and
+//!   acts as a floor, so enumeration never returns a plan costed worse
+//!   than the greedy one.
+//!
+//! With [`Rewriter::with_observations`], fixpoints whose sizes were
+//! measured by a previous execution are costed from those observations
+//! instead of static estimates (the server's feedback loop).
 
-use crate::closure::{compose, recognize, ClosureForm};
-use crate::cost::{CostModel, Stats};
+use crate::closure::{compose, recognize, reversal_alternatives};
+use crate::cost::{CostModel, ObservedCards, Stats};
+use crate::enumerate::{EnumConfig, EnumReport, Enumerator};
 use crate::rules;
 use mura_core::analysis::TypeEnv;
-use mura_core::{Database, Pred, Result, Sym, Term};
+use mura_core::{Database, Dictionary, Result, Sym, Term};
 
 /// Maximum normalize+closure sweeps. Each sweep only accepts strictly
 /// cheaper plans, so this is a safety bound rather than a tuning knob.
@@ -27,6 +43,8 @@ pub struct Rewriter {
     stats: Stats,
     src: Sym,
     dst: Sym,
+    observed: Option<ObservedCards>,
+    enum_cfg: EnumConfig,
 }
 
 impl Rewriter {
@@ -35,12 +53,77 @@ impl Rewriter {
         let stats = Stats::from_db(db);
         let src = db.intern("src");
         let dst = db.intern("dst");
-        Rewriter { stats, src, dst }
+        Rewriter { stats, src, dst, observed: None, enum_cfg: EnumConfig::default() }
+    }
+
+    /// Builds a rewriter over precomputed statistics (skips the full-db
+    /// scan; the server maintains its `Stats` incrementally).
+    pub fn with_stats(stats: Stats, db: &mut Database) -> Self {
+        let src = db.intern("src");
+        let dst = db.intern("dst");
+        Rewriter { stats, src, dst, observed: None, enum_cfg: EnumConfig::default() }
+    }
+
+    /// Supplies observed fixpoint cardinalities (canonical key → measured
+    /// rows); fixpoints found in the map are costed from measurement.
+    pub fn with_observations(mut self, observed: ObservedCards) -> Self {
+        self.observed = Some(observed);
+        self
+    }
+
+    /// Overrides the enumeration budget.
+    pub fn with_enum_config(mut self, cfg: EnumConfig) -> Self {
+        self.enum_cfg = cfg;
+        self
+    }
+
+    /// True when observed cardinalities were supplied (and non-empty).
+    pub fn has_observations(&self) -> bool {
+        self.observed.as_ref().is_some_and(|o| !o.is_empty())
+    }
+
+    pub(crate) fn src(&self) -> Sym {
+        self.src
+    }
+
+    pub(crate) fn dst(&self) -> Sym {
+        self.dst
     }
 
     /// Optimizes a term: returns a semantically equivalent, estimated-cheaper
-    /// plan.
+    /// plan (memoized enumeration with the greedy pipeline as a floor).
     pub fn optimize(&self, term: &Term, db: &mut Database) -> Result<Term> {
+        Ok(self.optimize_report(term, db)?.0)
+    }
+
+    /// Like [`Rewriter::optimize`], also returning the enumeration report
+    /// (`.explain`, benchmarking).
+    pub fn optimize_report(&self, term: &Term, db: &mut Database) -> Result<(Term, EnumReport)> {
+        let pipeline = self.optimize_pipeline(term, db)?;
+        let pipeline_cost =
+            self.cost_with(&pipeline, db.dict()).map(|(c, _)| c).unwrap_or(f64::INFINITY);
+        let mut en = Enumerator::new(self, self.enum_cfg.clone());
+        let mut env = TypeEnv::from_db(db);
+        let gid = en.explore(term, db, &mut env, &mut Vec::new())?;
+        Ok(en.finish(gid, db, pipeline, pipeline_cost, IMPROVEMENT))
+    }
+
+    /// Every plan the enumerator can extract for `term` (the surviving
+    /// members of the root group plus the pipeline plan), cheapest first.
+    /// All of them are semantically equivalent to `term` — the property
+    /// tests exercise exactly this set.
+    pub fn candidates(&self, term: &Term, db: &mut Database) -> Result<Vec<Term>> {
+        let mut en = Enumerator::new(self, self.enum_cfg.clone());
+        let mut env = TypeEnv::from_db(db);
+        let gid = en.explore(term, db, &mut env, &mut Vec::new())?;
+        let mut out = en.members(gid);
+        out.push(self.optimize_pipeline(term, db)?);
+        Ok(out)
+    }
+
+    /// The original greedy strategy: repeated closure-decision sweeps with
+    /// local cost-based picks, then normalization, until a fixpoint.
+    pub fn optimize_pipeline(&self, term: &Term, db: &mut Database) -> Result<Term> {
         // Closure decisions run *before* normalization in each sweep: the
         // frontend emits pristine composition patterns, and normalization
         // (e.g. pushing a rename into a fixpoint's seed) can obscure them.
@@ -57,9 +140,21 @@ impl Rewriter {
         Ok(t)
     }
 
-    /// Estimated cost of a plan (exposed for benchmarking/ablation).
+    /// Estimated cost of a plan under static statistics (exposed for
+    /// benchmarking/ablation).
     pub fn cost(&self, term: &Term) -> Result<f64> {
         CostModel::new(&self.stats).cost(term)
+    }
+
+    /// Cost under the active model (observed cardinalities when supplied);
+    /// returns the cost and how many fixpoints were costed from an
+    /// observation, or `None` when the plan cannot be costed.
+    pub(crate) fn cost_with(&self, term: &Term, dict: &Dictionary) -> Option<(f64, usize)> {
+        let cm = match &self.observed {
+            Some(cards) => CostModel::with_observed(&self.stats, cards, dict),
+            None => CostModel::new(&self.stats),
+        };
+        cm.cost(term).ok().map(|c| (c, cm.observed_hits()))
     }
 
     /// One bottom-up sweep taking cost-based decisions at composition
@@ -104,7 +199,7 @@ impl Rewriter {
                 let original = Term::Filter(preds.clone(), Box::new(inner_opt.clone()));
                 let mut alts = Vec::new();
                 if let Some(form) = recognize(&inner_opt, self.src, self.dst, env) {
-                    alts.extend(self.reversal_alternatives(preds, &form, db));
+                    alts.extend(reversal_alternatives(preds, &form, db.dict_mut()));
                 }
                 for alt in &mut alts {
                     *alt = rules::normalize(alt, env);
@@ -161,63 +256,6 @@ impl Rewriter {
                 Term::Fix(*x, Box::new(body2?))
             }
         })
-    }
-
-    /// Reversal alternatives for `σ_preds(closure)` when the predicates sit
-    /// on the closure's non-stable end (the paper's *reversing a fixpoint*,
-    /// needed by classes C2/C4):
-    ///
-    /// * pure `RL(r,r)` with a `dst` filter → `LL(σ(r), r)` (and the
-    ///   symmetric case);
-    /// * impure `RL(S,R)` with a `dst` filter →
-    ///   `σ(S) ∪ S ∘ LL(σ(R), R)` (filter reaches the seed of the reversed
-    ///   tail closure).
-    fn reversal_alternatives(
-        &self,
-        preds: &[Pred],
-        form: &ClosureForm,
-        db: &mut Database,
-    ) -> Vec<Term> {
-        let mut out = Vec::new();
-        let on = |col: Sym| preds.iter().all(|p| p.columns().iter().all(|c| *c == col));
-        match (&form.left, &form.right) {
-            // Right-linear, filter on dst.
-            (None, Some(r)) if on(form.dst) => {
-                let filtered_r = Term::Filter(preds.to_vec(), Box::new(r.clone()));
-                if form.is_pure() {
-                    out.push(
-                        ClosureForm::left_linear(filtered_r, r.clone(), form.src, form.dst)
-                            .emit(db.dict_mut()),
-                    );
-                } else {
-                    let tail = ClosureForm::left_linear(filtered_r, r.clone(), form.src, form.dst)
-                        .emit(db.dict_mut());
-                    let seed_filtered = Term::Filter(preds.to_vec(), Box::new(form.seed.clone()));
-                    let extended =
-                        compose(form.seed.clone(), tail, form.src, form.dst, db.dict_mut());
-                    out.push(seed_filtered.union(extended));
-                }
-            }
-            // Left-linear, filter on src.
-            (Some(l), None) if on(form.src) => {
-                let filtered_l = Term::Filter(preds.to_vec(), Box::new(l.clone()));
-                if form.is_pure() {
-                    out.push(
-                        ClosureForm::right_linear(filtered_l, l.clone(), form.src, form.dst)
-                            .emit(db.dict_mut()),
-                    );
-                } else {
-                    let head = ClosureForm::right_linear(filtered_l, l.clone(), form.src, form.dst)
-                        .emit(db.dict_mut());
-                    let seed_filtered = Term::Filter(preds.to_vec(), Box::new(form.seed.clone()));
-                    let extended =
-                        compose(head, form.seed.clone(), form.src, form.dst, db.dict_mut());
-                    out.push(seed_filtered.union(extended));
-                }
-            }
-            _ => {}
-        }
-        out
     }
 
     /// Picks the cheapest among the original and the alternatives (with a

@@ -57,7 +57,9 @@
 //! let client = server.client();
 //! let out = client.query("?x, ?y <- ?x a+ ?y").unwrap();
 //! assert_eq!(out.relation.len(), 3);
-//! // Second run hits the result cache.
+//! // Early runs feed observed cardinalities back into the planner and
+//! // may replan; once converged, repeats hit the result cache.
+//! client.query("?x, ?y <- ?x a+ ?y").unwrap();
 //! client.query("?x, ?y <- ?x a+ ?y").unwrap();
 //! assert!(server.stats().result_hits >= 1);
 //! server.shutdown();

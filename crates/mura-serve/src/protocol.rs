@@ -15,6 +15,7 @@
 //! → .stats               serving counters incl. latency quantiles
 //! → .metrics             Prometheus text-exposition page
 //! → .profile <query>     run traced, print the superstep timeline
+//! → .explain <query>     plan only: enumeration digest + chosen plan
 //! → .rels                relations and row counts
 //! → .insert [rel] v …    add a base row; cached views are maintained
 //! → .delete [rel] v …    remove a base row (DRed maintenance)
@@ -149,6 +150,20 @@ fn handle_connection(stream: TcpStream, client: &Client) -> io::Result<()> {
                 let stats = client.request_drain();
                 let body: Vec<String> = stats.to_string().lines().map(str::to_string).collect();
                 write_block(&mut out, "OK drained", &body)?;
+            }
+            _ if line.starts_with(".explain") => {
+                let query = line[".explain".len()..].trim();
+                if query.is_empty() {
+                    write_block(&mut out, "ERR usage: .explain <query>", &[])?;
+                } else {
+                    match client.explain(query) {
+                        Ok(text) => {
+                            let body: Vec<String> = text.lines().map(str::to_string).collect();
+                            write_block(&mut out, "OK explain", &body)?;
+                        }
+                        Err(e) => write_block(&mut out, &format!("ERR {e}"), &[])?,
+                    }
+                }
             }
             _ if line.starts_with(".profile") => {
                 let query = line[".profile".len()..].trim();

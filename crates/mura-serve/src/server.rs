@@ -39,11 +39,13 @@ use crate::error::{OverloadReason, ServeError, ServeResult};
 use mura_core::fxhash::{FxHashMap, FxHasher};
 use mura_core::{mem_gauge, rel_bytes, CancellationToken, Database, Term};
 use mura_dist::exec::ResourceLimits;
+use mura_dist::explain_plan;
 use mura_dist::{FixResume, PlannedQuery, QueryEngine, QueryOutput, TraceLevel};
 use mura_ivm::{plan_maintenance, DeltaBatch, FallbackReason, IvmOutcome};
 use mura_obs::histogram::fmt_us;
 use mura_obs::{Histogram, PromText};
 use mura_rewrite::cost::{CostModel, Stats};
+use mura_rewrite::FeedbackStore;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
@@ -140,6 +142,12 @@ pub struct ServeStats {
     /// Plan-cache hits / misses.
     pub plan_hits: u64,
     pub plan_misses: u64,
+    /// Fixpoint cardinalities currently observed by the planner's feedback
+    /// store, and the store's generation (bumped whenever the observation
+    /// set changes materially — cached plans from older generations
+    /// re-plan).
+    pub feedback_fixpoints: u64,
+    pub feedback_generation: u64,
     /// Result-cache hits / misses.
     pub result_hits: u64,
     pub result_misses: u64,
@@ -253,6 +261,11 @@ impl std::fmt::Display for ServeStats {
             f,
             "plan cache   {} hits / {} misses ({} evictions)",
             self.plan_hits, self.plan_misses, self.plan_evictions
+        )?;
+        writeln!(
+            f,
+            "feedback     {} observed fixpoints, generation {}",
+            self.feedback_fixpoints, self.feedback_generation
         )?;
         writeln!(
             f,
@@ -486,6 +499,16 @@ pub struct DeltaSummary {
     pub rederived: u64,
 }
 
+/// One plan-cache entry: the optimized plan plus the feedback-store
+/// generation it was costed under. A hit requires the generation to still
+/// be current — new observations (or material churn) bump the generation,
+/// forcing the next run to re-plan from measured cardinalities.
+#[derive(Clone)]
+struct CachedPlan {
+    plan: Term,
+    feedback_gen: u64,
+}
+
 struct ServerInner {
     engine: RwLock<QueryEngine>,
     /// Bumped (under the engine write lock) by [`Server::load`] calls
@@ -501,7 +524,7 @@ struct ServerInner {
     /// pre-batch relation values of exactly that one step.
     mutation: Mutex<()>,
     results: Mutex<LruCache<(u64, u64), CachedResult>>,
-    plans: Mutex<LruCache<(String, u64), Term>>,
+    plans: Mutex<LruCache<(String, u64), CachedPlan>>,
     counters: Counters,
     telemetry: Telemetry,
     closing: AtomicBool,
@@ -517,6 +540,12 @@ struct ServerInner {
     /// and on every [`Server::load`] (`Stats::from_db` scans every
     /// relation once). The admission gates only read this slot.
     cost_stats: Mutex<Option<(u64, Arc<Stats>)>>,
+    /// Observed fixpoint cardinalities from completed executions, keyed by
+    /// the planner's canonical term hash. Read on every plan-cache miss so
+    /// repeated queries are re-costed from measured reality; churned or
+    /// reloaded data drops the affected observations (see `apply_delta`
+    /// and [`Server::load`]).
+    feedback: Mutex<FeedbackStore>,
     config: ServeConfig,
 }
 
@@ -636,6 +665,28 @@ impl ServerInner {
         *lock(&self.cost_stats) = Some((epoch, Arc::new(Stats::from_db(db))));
     }
 
+    /// Incremental counterpart of [`ServerInner::rebuild_cost_stats`] for
+    /// the delta path: folds a batch's per-relation churn into the existing
+    /// statistics (exact row counts, bounded distinct estimates) so a
+    /// mutation storm never pays a full-database rescan per batch.
+    fn update_cost_stats(&self, batch: &DeltaBatch, epoch: u64, db: &Database) {
+        if self.config.memory_watermark_bytes.is_none() {
+            return;
+        }
+        let mut slot = lock(&self.cost_stats);
+        match &mut *slot {
+            Some((e, stats)) if *e == epoch => {
+                let stats = Arc::make_mut(stats);
+                for (rel, d) in &batch.rels {
+                    stats.apply_delta(*rel, d.insert.len(), d.delete.len(), db.relation(*rel));
+                }
+            }
+            // No current snapshot to patch (the epoch moved without a
+            // rebuild, or startup raced): fall back to one full scan.
+            _ => *slot = Some((epoch, Arc::new(Stats::from_db(db)))),
+        }
+    }
+
     /// Cost-model byte estimate for a plan: output cardinality × arity ×
     /// value size, from per-epoch database statistics. `None` when the
     /// model can't price the plan — the gate then falls back to the live
@@ -683,20 +734,35 @@ impl ServerInner {
         // lock because UCRPQ translation interns symbols.
         let mut epoch = self.epoch.load(Ordering::Acquire);
         let plan_cache_key = (job.query.clone(), epoch);
-        let cached = lock(&self.plans).get(&plan_cache_key);
+        // A cached plan is reusable only while the feedback store is at the
+        // generation it was costed under: newer observations may well pick
+        // a different plan, so a stale generation replans below.
+        let feedback_gen = lock(&self.feedback).generation();
+        let cached =
+            lock(&self.plans).get(&plan_cache_key).filter(|c| c.feedback_gen == feedback_gen);
         let planned = match cached {
-            Some(plan) => {
+            Some(c) => {
                 self.counters.plan_hits.fetch_add(1, Ordering::Relaxed);
-                PlannedQuery { plan, planning: Duration::ZERO }
+                PlannedQuery { plan: c.plan, planning: Duration::ZERO }
             }
             None => {
                 self.counters.plan_misses.fetch_add(1, Ordering::Relaxed);
                 let mut engine = self.write_engine();
                 // Re-read under the lock: loads bump the epoch while holding
-                // it, so this pins the epoch the plan was made against.
+                // it, so this pins the epoch the plan was made against. The
+                // feedback generation is re-read too, so the cached entry is
+                // tagged with exactly the observations it was costed under.
                 epoch = self.epoch.load(Ordering::Acquire);
-                let planned = engine.plan_ucrpq(&job.query)?;
-                lock(&self.plans).insert((job.query.clone(), epoch), planned.plan.clone());
+                let (observations, feedback_gen) = {
+                    let fb = lock(&self.feedback);
+                    (fb.observations(), fb.generation())
+                };
+                let obs = (!observations.is_empty()).then_some(&observations);
+                let (planned, _report) = engine.plan_ucrpq_report(&job.query, obs)?;
+                lock(&self.plans).insert(
+                    (job.query.clone(), epoch),
+                    CachedPlan { plan: planned.plan.clone(), feedback_gen },
+                );
                 self.telemetry.planning.record(planned.planning);
                 planned
             }
@@ -746,10 +812,10 @@ impl ServerInner {
         config.limits = self.config.limits;
         config.cancel = Some(job.token.clone());
         config.trace = job.trace;
-        // Capture fixpoint totals alongside the answer whenever the result
-        // may be cached: they are what lets `apply_delta` maintain the
-        // entry instead of discarding it.
-        config.capture_fixpoints = !traced && self.config.result_cache > 0;
+        // Capture fixpoint totals alongside the answer: they are what lets
+        // `apply_delta` maintain cached entries instead of discarding them,
+        // and what feeds observed cardinalities back into the planner.
+        config.capture_fixpoints = !traced;
         let out = engine.execute_plan_with(&planned, config).map(Arc::new).map_err(Into::into);
         self.breaker_record(key, &out);
         let out = out?;
@@ -764,6 +830,16 @@ impl ServerInner {
             self.counters.fault_retries.fetch_add(fault.task_retries, Ordering::Relaxed);
             self.counters.fault_restores.fetch_add(fault.checkpoint_restores, Ordering::Relaxed);
             self.counters.fault_restarts.fetch_add(fault.full_restarts, Ordering::Relaxed);
+        }
+        // Fold measured fixpoint cardinalities back into the planner: the
+        // next plan-cache miss (for any query sharing a recursive subterm)
+        // re-costs from observed reality instead of static estimates.
+        if self.epoch.load(Ordering::Acquire) == epoch {
+            if let Some(totals) = out.stats.fix_totals.as_ref().filter(|t| !t.is_empty()) {
+                let observed: FxHashMap<u64, f64> =
+                    totals.iter().map(|(k, r)| (*k, r.len() as f64)).collect();
+                lock(&self.feedback).record_plan(&planned.plan, &observed, engine.db().dict());
+            }
         }
         // A load may have slipped in between planning and taking the read
         // lock. The answer is then computed against the newer data — still
@@ -811,8 +887,20 @@ impl ServerInner {
             summary.version = version;
             summary.inserted = inserted;
             summary.deleted = deleted;
-            // Admission cost estimates must price the mutated data.
-            self.rebuild_cost_stats(epoch, engine.db());
+            // Admission cost estimates must price the mutated data — fold
+            // the batch into the per-epoch statistics in place instead of
+            // rescanning every relation per batch.
+            self.update_cost_stats(&batch, epoch, engine.db());
+            // Tell the planner's feedback store how much each relation
+            // churned: materially churned observations are dropped and the
+            // dependent queries re-plan on their next cache miss.
+            {
+                let mut fb = lock(&self.feedback);
+                for (rel, d) in &batch.rels {
+                    let size_now = engine.db().relation(*rel).map_or(0, |r| r.len());
+                    fb.note_churn(*rel, d.insert.len() + d.delete.len(), size_now);
+                }
+            }
             // Snapshot the cache while still holding the write lock: result
             // inserts happen under the engine *read* lock, so nothing can
             // slip in between the version bump and this snapshot.
@@ -876,6 +964,21 @@ impl ServerInner {
                         PlannedQuery { plan: cached.output.plan.clone(), planning: Duration::ZERO };
                     match engine.execute_plan_with(&planned, config) {
                         Ok(out) => {
+                            // The resumed run measured the post-delta
+                            // fixpoint totals — fold them back into the
+                            // planner so an observation dropped for churn
+                            // above is immediately replaced by the fresh
+                            // one instead of waiting for a cold execution.
+                            if let Some(t) = out.stats.fix_totals.as_ref().filter(|t| !t.is_empty())
+                            {
+                                let observed: FxHashMap<u64, f64> =
+                                    t.iter().map(|(k, r)| (*k, r.len() as f64)).collect();
+                                lock(&self.feedback).record_plan(
+                                    &planned.plan,
+                                    &observed,
+                                    engine.db().dict(),
+                                );
+                            }
                             lock(&self.results)
                                 .insert(key, CachedResult { version, output: Arc::new(out) });
                             self.counters.ivm_maintained.fetch_add(1, Ordering::Relaxed);
@@ -970,6 +1073,7 @@ impl Server {
             inflight: Mutex::new(FxHashMap::default()),
             next_job: AtomicU64::new(0),
             cost_stats: Mutex::new(None),
+            feedback: Mutex::new(FeedbackStore::new()),
             config,
         });
         {
@@ -1004,6 +1108,12 @@ impl Server {
     /// The full telemetry as a Prometheus text-exposition page.
     pub fn metrics(&self) -> String {
         metrics_of(&self.inner)
+    }
+
+    /// Plans `query` without executing it and renders the planner's
+    /// decision procedure (see the `.explain` protocol verb).
+    pub fn explain(&self, query: &str) -> ServeResult<String> {
+        explain_of(&self.inner, query)
     }
 
     /// Current database epoch (bumped by [`Server::load`] calls that
@@ -1052,6 +1162,11 @@ impl Server {
         };
         // The admission cost model must price against what was loaded.
         self.inner.rebuild_cost_stats(epoch, engine.db());
+        // Loaded data invalidates everything the planner has measured —
+        // drop the observations outright. `clear` keeps the generation, so
+        // same-shape refreshes keep their cached plans until fresh
+        // observations arrive and bump it.
+        lock(&self.inner.feedback).clear();
     }
 
     /// Read access to the database (e.g. to resolve symbols in answers).
@@ -1124,6 +1239,58 @@ fn worker_loop(inner: &ServerInner, rx: &Mutex<Receiver<Job>>) {
     }
 }
 
+/// Plans a query without executing it and renders the planner's decision
+/// procedure: enumeration breadth, per-group best costs, the chosen plan
+/// and whether costing ran from observed cardinalities or static
+/// statistics. Takes the engine write lock (UCRPQ translation interns
+/// symbols) but does not populate the plan cache — an explain is a
+/// diagnostic, not an admission.
+fn explain_of(inner: &ServerInner, query: &str) -> ServeResult<String> {
+    use std::fmt::Write as _;
+    let (observations, generation) = {
+        let fb = lock(&inner.feedback);
+        (fb.observations(), fb.generation())
+    };
+    let obs = (!observations.is_empty()).then_some(&observations);
+    let mut engine = inner.write_engine();
+    let (planned, report) = engine.plan_ucrpq_report(query, obs)?;
+    let mut out = String::new();
+    match report {
+        Some(r) => {
+            let budget = if r.budget_hit { ", budget hit" } else { "" };
+            let _ = writeln!(out, "planner      memoized enumeration");
+            let _ =
+                writeln!(out, "candidates   {} terms in {} groups{budget}", r.candidates, r.groups);
+            let _ = writeln!(out, "pipeline     cost {:.0}", r.pipeline_cost);
+            let _ = writeln!(
+                out,
+                "chosen       cost {:.0} ({})",
+                r.winner_cost,
+                if r.enumerated_won { "enumerated" } else { "greedy pipeline" }
+            );
+            let costing = if r.used_observed {
+                format!(
+                    "observed cardinalities ({} fixpoints measured, feedback generation {})",
+                    r.observed_fixpoints, generation
+                )
+            } else {
+                "static statistics".to_string()
+            };
+            let _ = writeln!(out, "costing      {costing}");
+            for g in &r.group_summaries {
+                let _ =
+                    writeln!(out, "  group [{:>12.0}] x{:<3} {}", g.best_cost, g.members, g.label);
+            }
+        }
+        None => {
+            let _ = writeln!(out, "planner      off (raw translation)");
+        }
+    }
+    let _ = writeln!(out, "planning     {}", fmt_us(planned.planning.as_micros() as u64));
+    let _ = write!(out, "plan:\n{}", explain_plan(&planned.plan, engine.db()));
+    Ok(out)
+}
+
 fn stats_of(inner: &ServerInner) -> ServeStats {
     let c = &inner.counters;
     let t = &inner.telemetry;
@@ -1137,6 +1304,13 @@ fn stats_of(inner: &ServerInner) -> ServeStats {
         let breakers = lock(&inner.breakers);
         let count = |s: BreakerState| breakers.values().filter(|b| b.state == s).count() as u64;
         (count(BreakerState::Open), count(BreakerState::HalfOpen))
+    };
+    // One lock for both feedback fields: guard temporaries inside the
+    // struct literal would live to the end of the whole expression, and a
+    // second `lock` on the same mutex there self-deadlocks.
+    let (feedback_fixpoints, feedback_generation) = {
+        let fb = lock(&inner.feedback);
+        (fb.len() as u64, fb.generation())
     };
     ServeStats {
         submitted: c.submitted.load(Ordering::Relaxed),
@@ -1153,6 +1327,8 @@ fn stats_of(inner: &ServerInner) -> ServeStats {
         failed: c.failed.load(Ordering::Relaxed),
         plan_hits: c.plan_hits.load(Ordering::Relaxed),
         plan_misses: c.plan_misses.load(Ordering::Relaxed),
+        feedback_fixpoints,
+        feedback_generation,
         result_hits: c.result_hits.load(Ordering::Relaxed),
         result_misses: c.result_misses.load(Ordering::Relaxed),
         result_evictions: lock(&inner.results).evictions(),
@@ -1241,6 +1417,16 @@ fn metrics_of(inner: &ServerInner) -> String {
             evictions as f64,
         );
     }
+    p.gauge(
+        "mura_feedback_observations",
+        "Fixpoint cardinalities currently held by the planner's feedback store.",
+        s.feedback_fixpoints as f64,
+    );
+    p.gauge(
+        "mura_feedback_generation",
+        "Feedback-store generation; cached plans from older generations re-plan.",
+        s.feedback_generation as f64,
+    );
     p.counter("mura_comm_shuffles_total", "Shuffle operations across executions.", s.comm_shuffles);
     p.counter("mura_comm_rows_shuffled_total", "Rows moved by shuffles.", s.comm_rows_shuffled);
     p.counter("mura_comm_broadcasts_total", "Broadcast operations.", s.comm_broadcasts);
@@ -1355,6 +1541,14 @@ impl Client {
         self.submit_traced(query, self.inner.config.default_deadline, TraceLevel::Superstep)?.wait()
     }
 
+    /// Plans `query` without executing it and renders the planner's
+    /// decision procedure — candidate counts, per-group best costs, the
+    /// chosen plan, and whether costing used observed cardinalities. The
+    /// `.explain` protocol verb lands here.
+    pub fn explain(&self, query: &str) -> ServeResult<String> {
+        explain_of(&self.inner, query)
+    }
+
     /// Non-blocking submission. Returns a [`Pending`] on admission, or
     /// [`ServeError::Busy`] immediately when the queue is full.
     pub fn submit(&self, query: &str, deadline: Option<Duration>) -> ServeResult<Pending> {
@@ -1377,13 +1571,13 @@ impl Client {
         // a caller with an expired deadline is never parked here.
         let epoch = self.inner.epoch.load(Ordering::Acquire);
         let cached_plan = lock(&self.inner.plans).get(&(query.to_string(), epoch));
-        if let Some(plan) = &cached_plan {
-            self.inner.breaker_check(plan_key(plan), false).map_err(|e| self.inner.shed(e))?;
+        if let Some(c) = &cached_plan {
+            self.inner.breaker_check(plan_key(&c.plan), false).map_err(|e| self.inner.shed(e))?;
         }
         if self.inner.config.memory_watermark_bytes.is_some() {
             let estimate = cached_plan
                 .as_ref()
-                .and_then(|p| self.inner.estimated_bytes(p, epoch))
+                .and_then(|c| self.inner.estimated_bytes(&c.plan, epoch))
                 .unwrap_or(0);
             self.inner.memory_gate(estimate).map_err(|e| self.inner.shed(e))?;
         }

@@ -1,0 +1,172 @@
+//! Adaptive-replanning acceptance: observed fixpoint cardinalities feed
+//! back into the planner, cached plans are invalidated exactly when the
+//! measured world changes (material churn, reloads), and `.explain`
+//! surfaces the planner's decision procedure.
+
+use mura_core::{Database, Relation};
+use mura_dist::QueryEngine;
+use mura_serve::{DeltaBatch, ServeConfig, Server};
+
+const TC: &str = "?x, ?y <- ?x edge+ ?y";
+
+fn db_from_edges(edges: &[(u64, u64)]) -> Database {
+    let mut db = Database::new();
+    let src = db.intern("src");
+    let dst = db.intern("dst");
+    db.insert_relation("edge", Relation::from_pairs(src, dst, edges.iter().copied()));
+    db
+}
+
+fn chain(n: u64) -> Vec<(u64, u64)> {
+    (0..n).map(|i| (i, i + 1)).collect()
+}
+
+fn insert_batch(server: &Server, edges: &[(u64, u64)]) -> DeltaBatch {
+    server.with_db(|db| {
+        let rel = db.dict().lookup("edge").expect("edge relation");
+        let mut b = DeltaBatch::new();
+        for &(x, y) in edges {
+            let row = vec![mura_core::Value::node(x), mura_core::Value::node(y)];
+            b.push_insert(db, rel, row.into_boxed_slice()).unwrap();
+        }
+        b
+    })
+}
+
+/// Warms `query` to plan-cache convergence: run #1 records the first
+/// observations (generation bump), run #2 replans under them, run #3 hits.
+fn warm(server: &Server, query: &str) {
+    let client = server.client();
+    for _ in 0..3 {
+        client.query(query).expect("warm query");
+    }
+}
+
+#[test]
+fn first_observation_forces_one_replan_then_stabilizes() {
+    let server = Server::start(QueryEngine::new(db_from_edges(&chain(20))), ServeConfig::default());
+    let client = server.client();
+    assert_eq!(server.stats().feedback_fixpoints, 0, "no observations before any execution");
+
+    client.query(TC).unwrap();
+    let s1 = server.stats();
+    assert!(s1.feedback_fixpoints >= 1, "execution must record fixpoint totals: {s1:?}");
+    assert!(s1.feedback_generation > 0, "first observation bumps the generation");
+
+    // The plan cached before the observation is generation-stale: one
+    // replan, re-observing within tolerance (no further bump)…
+    client.query(TC).unwrap();
+    let s2 = server.stats();
+    assert_eq!(s2.plan_misses, 2, "second run must re-optimize under observed costs");
+    assert_eq!(s2.feedback_generation, s1.feedback_generation, "re-observation is stable");
+
+    // …and the loop has converged.
+    client.query(TC).unwrap();
+    assert_eq!(server.stats().plan_hits, 1, "third run hits the generation-current plan");
+    server.shutdown();
+}
+
+#[test]
+fn material_delta_drops_observations_and_replans() {
+    let server = Server::start(QueryEngine::new(db_from_edges(&chain(20))), ServeConfig::default());
+    let client = server.client();
+    warm(&server, TC);
+    let before = server.stats();
+    assert!(before.feedback_fixpoints >= 1);
+
+    // 10 new rows on a ~21-row relation: far past the ~10% churn threshold
+    // (and the absolute floor), so the observation is dropped — and, when
+    // the view is maintained rather than recomputed, immediately replaced
+    // by the maintenance run's fresh totals. Either way the generation
+    // moves, which is what invalidates the cached plan.
+    let fresh: Vec<(u64, u64)> = (100..110).map(|i| (i, i + 1)).collect();
+    server.apply_delta(insert_batch(&server, &fresh)).expect("apply_delta");
+    let after = server.stats();
+    assert!(
+        after.feedback_generation > before.feedback_generation,
+        "invalidation must bump the generation"
+    );
+
+    // The repeated query re-optimizes (stale generation) and re-observes
+    // the post-delta reality.
+    client.query(TC).unwrap();
+    let s = server.stats();
+    assert_eq!(s.plan_misses, before.plan_misses + 1, "post-churn query must replan");
+    assert!(s.feedback_fixpoints >= 1, "fresh observation recorded");
+    server.shutdown();
+}
+
+#[test]
+fn small_delta_keeps_observations_and_cached_plan() {
+    let server =
+        Server::start(QueryEngine::new(db_from_edges(&chain(200))), ServeConfig::default());
+    let client = server.client();
+    warm(&server, TC);
+    let before = server.stats();
+
+    // One row on a ~201-row relation: below both churn thresholds.
+    server.apply_delta(insert_batch(&server, &[(900, 901)])).expect("apply_delta");
+    let after = server.stats();
+    assert_eq!(after.feedback_fixpoints, before.feedback_fixpoints, "observation survives");
+    assert_eq!(after.feedback_generation, before.feedback_generation, "no invalidation");
+
+    client.query(TC).unwrap();
+    assert_eq!(
+        server.stats().plan_misses,
+        before.plan_misses,
+        "plan cache must survive an immaterial delta"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn loads_drop_stale_feedback() {
+    let server = Server::start(QueryEngine::new(db_from_edges(&chain(20))), ServeConfig::default());
+    warm(&server, TC);
+    assert!(server.stats().feedback_fixpoints >= 1);
+
+    // Same-shape refresh: the measured world is gone, observations with it.
+    server.load(|db| {
+        let src = db.intern("src");
+        let dst = db.intern("dst");
+        db.insert_relation("edge", Relation::from_pairs(src, dst, (0..50).map(|i| (i, i + 1))));
+    });
+    assert_eq!(server.stats().feedback_fixpoints, 0, "refresh must drop observations");
+
+    warm(&server, TC);
+    assert!(server.stats().feedback_fixpoints >= 1);
+
+    // Shape-changing load: same story, plus the epoch bump.
+    server.load(|db| {
+        let src = db.intern("src");
+        let dst = db.intern("dst");
+        db.insert_relation("brand_new", Relation::from_pairs(src, dst, [(1, 1)]));
+    });
+    assert_eq!(server.stats().feedback_fixpoints, 0, "shape change must drop observations");
+    server.shutdown();
+}
+
+#[test]
+fn explain_reports_planner_decisions() {
+    let server = Server::start(QueryEngine::new(db_from_edges(&chain(20))), ServeConfig::default());
+    let client = server.client();
+
+    // Cold: no observations yet — costing is static.
+    let cold = server.explain(TC).expect("explain");
+    assert!(cold.contains("memoized enumeration"), "{cold}");
+    assert!(cold.contains("candidates"), "{cold}");
+    assert!(cold.contains("group ["), "per-group best costs: {cold}");
+    assert!(cold.contains("static statistics"), "{cold}");
+    assert!(cold.contains("plan:"), "{cold}");
+
+    // Explain must not execute or admit anything.
+    let s = server.stats();
+    assert_eq!(s.completed, 0);
+    assert_eq!(s.plan_misses, 0, "explain must not touch the plan cache");
+
+    // Warm: the same query now costs its fixpoints from measured totals.
+    client.query(TC).unwrap();
+    let hot = client.explain(TC).expect("explain via client");
+    assert!(hot.contains("observed cardinalities"), "{hot}");
+    server.shutdown();
+}

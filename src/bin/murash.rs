@@ -55,7 +55,7 @@ commands:
   .serve stop            stop the running server
   .classes <query>       classify a query (C1..C6)
   .profile <query>       run traced and print the superstep timeline
-  .explain <query>       show the physical plan with fixpoint annotations
+  .explain <query>       plan only: enumeration digest + physical plan
   .plan-of <query>       show the optimized logical plan
   .sql <query>           translate the optimized plan to PostgreSQL SQL
   .datalog <query>       show the left-to-right Datalog translation
@@ -383,8 +383,36 @@ impl Shell {
                 }
             }
             "explain" => {
-                let out = self.execute(strip_cmd(full, "explain"))?;
-                print!("{}", out.explain(&self.db));
+                // Plan only — no execution. Shows the enumeration digest
+                // (candidate terms, per-group best costs, who won) and the
+                // chosen physical plan. Against a `.serve` instance the
+                // `.explain` verb additionally reports whether costing ran
+                // from observed cardinalities.
+                let query = strip_cmd(full, "explain");
+                if query.is_empty() {
+                    return arg_err("usage: .explain <query>");
+                }
+                let mut engine = QueryEngine::with_config(self.db.clone(), self.config.clone());
+                if !self.optimize {
+                    engine = engine.without_rewrites();
+                }
+                let (planned, report) = engine.plan_ucrpq_report(query, None)?;
+                if let Some(r) = report {
+                    println!(
+                        "{} candidates in {} groups{} — chosen cost {:.0} ({}) vs pipeline {:.0}",
+                        r.candidates,
+                        r.groups,
+                        if r.budget_hit { " (budget hit)" } else { "" },
+                        r.winner_cost,
+                        if r.enumerated_won { "enumerated" } else { "greedy pipeline" },
+                        r.pipeline_cost,
+                    );
+                    for g in &r.group_summaries {
+                        println!("  group [{:>12.0}] x{:<3} {}", g.best_cost, g.members, g.label);
+                    }
+                }
+                print!("{}", mura_dist::explain_plan(&planned.plan, engine.db()));
+                println!("planning: {:.1?}", planned.planning);
             }
             "plan-of" => {
                 let query = strip_cmd(full, "plan-of");
