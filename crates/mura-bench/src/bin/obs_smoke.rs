@@ -31,6 +31,12 @@ const REQUIRED_FAMILIES: &[&str] = &[
     "mura_comm_rows_shuffled_total",
     "mura_comm_broadcasts_total",
     "mura_comm_rows_broadcast_total",
+    "mura_cluster_workers",
+    "mura_cluster_workers_live",
+    "mura_cluster_respawns_total",
+    "mura_cluster_reconnects_total",
+    "mura_wire_bytes_total",
+    "mura_wire_exchange_bytes_total",
     "mura_faults_injected_total",
     "mura_fault_recoveries_total",
     "mura_degraded_queries_total",

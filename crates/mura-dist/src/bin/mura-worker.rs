@@ -1,0 +1,23 @@
+//! Worker process of the multi-process cluster backend.
+//!
+//! Spawned by [`mura_dist::proc::ProcCluster`]; binds an ephemeral
+//! loopback port, announces it as `PORT <n>` on stdout, then serves the
+//! wire protocol (see `mura_dist::wire`) until told to exit — or until
+//! stdin reaches EOF, which means the coordinator died and this process
+//! must not linger as an orphan.
+
+use std::io::Write;
+
+fn main() {
+    mura_dist::worker::exit_on_stdin_eof();
+    let result = mura_dist::worker::run_worker(|port| {
+        let mut out = std::io::stdout();
+        // The coordinator blocks on this line to learn the port.
+        writeln!(out, "PORT {port}").expect("announce port");
+        out.flush().expect("flush port announcement");
+    });
+    if let Err(e) = result {
+        eprintln!("mura-worker: {e}");
+        std::process::exit(1);
+    }
+}

@@ -15,9 +15,138 @@
 
 use crate::fault::{FaultPlan, RecoveryPolicy};
 use crate::metrics::CommStats;
-use mura_core::{CancellationToken, MuraError, Result};
+use mura_core::{CancellationToken, MuraError, Relation, Result, Row, Schema};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
+
+/// Everything a communication backend needs to run one exchange or
+/// broadcast: the fault plan and site coordinates for deterministic
+/// injection, the metrics sink for traffic accounting, the recovery policy
+/// bounding repair loops, and the cancellation token.
+pub struct ExchangeCtx<'a> {
+    /// Fault plan driving injected drops/dups (both backends) and
+    /// kills/connection-drops/socket-delays (process backend).
+    pub fault: &'a FaultPlan,
+    /// Driver-allocated fault site of this exchange.
+    pub site: u64,
+    /// Communication counters of the owning cluster.
+    pub metrics: &'a CommStats,
+    /// Bounds internal repair/retry loops.
+    pub recovery: &'a RecoveryPolicy,
+    /// Checked between repair attempts so cancelled queries stop promptly.
+    pub cancel: Option<&'a CancellationToken>,
+    /// Number of workers (= partitions).
+    pub workers: usize,
+}
+
+/// Liveness/repair counters of a communication backend (the process
+/// backend's supervisor view; the in-process simulator reports `None`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClusterHealth {
+    /// Configured worker count.
+    pub workers: u64,
+    /// Workers currently answering heartbeats.
+    pub live: u64,
+    /// Worker processes respawned since startup.
+    pub respawns: u64,
+    /// Control/heartbeat connections re-established since startup.
+    pub reconnects: u64,
+    /// Total bytes written to worker sockets (heartbeats included).
+    pub wire_tx_bytes: u64,
+    /// Total bytes read from worker sockets (heartbeats included).
+    pub wire_rx_bytes: u64,
+}
+
+/// The communication fabric behind a [`Cluster`]: how bucketed exchange
+/// data and broadcast relations move between partitions. The fixpoint
+/// drivers never see this seam — they call [`Cluster::exchange_at`] /
+/// [`Cluster::broadcast_rel`] and run unchanged on either backend.
+///
+/// Implementations: [`SimBackend`] (the in-process simulator — buckets are
+/// merged driver-side, deterministic and dependency-free) and
+/// [`crate::proc::ProcCluster`] (separate worker OS processes moving the
+/// same buckets over length-delimited TCP frames).
+pub trait CommBackend: Send + Sync + std::fmt::Debug {
+    /// Short backend name for diagnostics (`"sim"` / `"proc"`).
+    fn name(&self) -> &'static str;
+
+    /// Fixed worker count this backend supports, if any. [`Cluster`]
+    /// creation asserts compatibility when `Some`.
+    fn worker_count(&self) -> Option<usize> {
+        None
+    }
+
+    /// Performs one hash exchange: `buckets[from][to]` holds the rows
+    /// worker `from` routed to worker `to`; the result is the merged
+    /// partition of every destination. At-least-once delivery with set
+    /// semantics: injected drops are retransmitted, injected duplicates
+    /// are absorbed by the set merge.
+    fn exchange(
+        &self,
+        ctx: &ExchangeCtx<'_>,
+        schema: &Schema,
+        buckets: Vec<Vec<Vec<Row>>>,
+    ) -> Result<Vec<Relation>>;
+
+    /// Replicates `rel` to every worker. Row accounting is already done by
+    /// the caller; the process backend additionally moves the bytes.
+    fn broadcast(&self, ctx: &ExchangeCtx<'_>, rel: &Relation) -> Result<()>;
+
+    /// Supervisor health, when the backend has one.
+    fn health(&self) -> Option<ClusterHealth> {
+        None
+    }
+}
+
+/// The in-process simulator backend: buckets are merged on the driver;
+/// injected drops are counted-and-retransmitted and injected duplicates
+/// delivered twice, exactly as the exchange layer always behaved.
+#[derive(Debug, Default)]
+pub struct SimBackend;
+
+impl CommBackend for SimBackend {
+    fn name(&self) -> &'static str {
+        "sim"
+    }
+
+    fn exchange(
+        &self,
+        ctx: &ExchangeCtx<'_>,
+        schema: &Schema,
+        buckets: Vec<Vec<Vec<Row>>>,
+    ) -> Result<Vec<Relation>> {
+        let mut parts: Vec<Relation> =
+            (0..ctx.workers).map(|_| Relation::new(schema.clone())).collect();
+        for (from, worker_buckets) in buckets.into_iter().enumerate() {
+            for (t, bucket) in worker_buckets.into_iter().enumerate() {
+                if ctx.fault.is_active() && !bucket.is_empty() {
+                    if ctx.fault.drop_exchange(ctx.site, from, t) {
+                        // Lost in transit: the receiver's ack times out and
+                        // the sender retransmits — we deliver the retry.
+                        ctx.fault.record_time_lost(std::time::Duration::from_micros(
+                            bucket.len() as u64
+                        ));
+                    }
+                    if ctx.fault.duplicate_exchange(ctx.site, from, t) {
+                        for row in &bucket {
+                            parts[t].insert(row.clone());
+                        }
+                    }
+                }
+                for row in bucket {
+                    parts[t].insert(row);
+                }
+            }
+        }
+        Ok(parts)
+    }
+
+    fn broadcast(&self, _ctx: &ExchangeCtx<'_>, _rel: &Relation) -> Result<()> {
+        // Replication is free in the simulator: workers share the driver's
+        // address space, so the broadcast variable is the `Arc` itself.
+        Ok(())
+    }
+}
 
 /// A simulated Spark-like cluster.
 #[derive(Debug, Clone)]
@@ -27,6 +156,7 @@ pub struct Cluster {
     fault: Arc<FaultPlan>,
     recovery: RecoveryPolicy,
     cancel: Option<CancellationToken>,
+    backend: Arc<dyn CommBackend>,
 }
 
 impl Cluster {
@@ -40,6 +170,7 @@ impl Cluster {
             fault: Arc::new(FaultPlan::disabled()),
             recovery: RecoveryPolicy::default(),
             cancel: None,
+            backend: Arc::new(SimBackend),
         }
     }
 
@@ -54,6 +185,20 @@ impl Cluster {
     /// (including retries) so cancelled queries stop retrying.
     pub fn with_cancel(mut self, cancel: Option<CancellationToken>) -> Self {
         self.cancel = cancel;
+        self
+    }
+
+    /// Swaps the communication backend (default: [`SimBackend`]). The
+    /// worker counts must agree — partitions map 1:1 onto backend workers.
+    pub fn with_backend(mut self, backend: Arc<dyn CommBackend>) -> Self {
+        if let Some(n) = backend.worker_count() {
+            assert_eq!(
+                n, self.workers,
+                "backend has {n} workers but the cluster was built for {}",
+                self.workers
+            );
+        }
+        self.backend = backend;
         self
     }
 
@@ -75,6 +220,54 @@ impl Cluster {
     /// The task recovery policy.
     pub fn recovery(&self) -> &RecoveryPolicy {
         &self.recovery
+    }
+
+    /// The communication backend moving exchange/broadcast data.
+    pub fn backend(&self) -> &Arc<dyn CommBackend> {
+        &self.backend
+    }
+
+    /// Supervisor health of the backend (process mode), if it has one.
+    pub fn health(&self) -> Option<ClusterHealth> {
+        self.backend.health()
+    }
+
+    /// Runs one hash exchange through the backend at fault site `site`:
+    /// `buckets[from][to]` are the rows worker `from` routed to worker
+    /// `to`; returns the merged destination partitions.
+    pub fn exchange_at(
+        &self,
+        site: u64,
+        schema: &Schema,
+        buckets: Vec<Vec<Vec<Row>>>,
+    ) -> Result<Vec<Relation>> {
+        let ctx = ExchangeCtx {
+            fault: &self.fault,
+            site,
+            metrics: &self.metrics,
+            recovery: &self.recovery,
+            cancel: self.cancel.as_ref(),
+            workers: self.workers,
+        };
+        self.backend.exchange(&ctx, schema, buckets)
+    }
+
+    /// Replicates `rel` to every worker through the backend, recording the
+    /// row accounting. The simulator's broadcast is free (shared address
+    /// space); the process backend ships the encoded relation to each
+    /// worker and allocates its own fault site internally, so simulator
+    /// fault streams are unaffected by this call.
+    pub fn broadcast_rel(&self, rel: &Relation) -> Result<()> {
+        self.metrics.record_broadcast(rel.len() as u64, self.workers);
+        let ctx = ExchangeCtx {
+            fault: &self.fault,
+            site: 0,
+            metrics: &self.metrics,
+            recovery: &self.recovery,
+            cancel: self.cancel.as_ref(),
+            workers: self.workers,
+        };
+        self.backend.broadcast(&ctx, rel)
     }
 
     /// Runs `f(i, &items[i])` on every worker in parallel, collecting the

@@ -159,9 +159,9 @@ impl DistRel {
             .collect();
         let n = cluster.workers();
         cluster.metrics().record_shuffle(self.len() as u64);
-        let fault = cluster.fault();
-        let exchange_site = fault.next_site();
-        // Each worker buckets its partition; the driver merges buckets.
+        let exchange_site = cluster.fault().next_site();
+        // Each worker buckets its partition; the backend moves the buckets
+        // (driver-side merge on the simulator, real sockets on ProcCluster).
         let bucketed: Vec<Vec<Vec<Row>>> = cluster.par_map(&self.parts, |_, p| {
             let mut buckets: Vec<Vec<Row>> = (0..n).map(|_| Vec::new()).collect();
             for row in p.iter() {
@@ -169,28 +169,7 @@ impl DistRel {
             }
             buckets
         })?;
-        let mut parts: Vec<Relation> = (0..n).map(|_| Relation::new(self.schema.clone())).collect();
-        for (from, worker_buckets) in bucketed.into_iter().enumerate() {
-            for (t, bucket) in worker_buckets.into_iter().enumerate() {
-                if fault.is_active() && !bucket.is_empty() {
-                    if fault.drop_exchange(exchange_site, from, t) {
-                        // Lost in transit: the receiver's ack times out and
-                        // the sender retransmits — we deliver the retry.
-                        fault.record_time_lost(std::time::Duration::from_micros(
-                            bucket.len() as u64
-                        ));
-                    }
-                    if fault.duplicate_exchange(exchange_site, from, t) {
-                        for row in &bucket {
-                            parts[t].insert(row.clone());
-                        }
-                    }
-                }
-                for row in bucket {
-                    parts[t].insert(row);
-                }
-            }
-        }
+        let parts = cluster.exchange_at(exchange_site, &self.schema, bucketed)?;
         Ok(DistRel { schema: self.schema.clone(), parts, partitioned_by: Some(key.to_vec()) })
     }
 
@@ -254,7 +233,7 @@ impl DistRel {
     /// Broadcast join: `other` is collected and replicated to every worker
     /// (the replication is charged to the metrics).
     pub fn join_broadcast(&self, other: &Relation, cluster: &Cluster) -> Result<DistRel> {
-        cluster.metrics().record_broadcast(other.len() as u64, cluster.workers());
+        cluster.broadcast_rel(other)?;
         self.join_local(other, cluster)
     }
 
@@ -275,7 +254,7 @@ impl DistRel {
     /// Antijoin retaining rows of `self` without a match in `other`
     /// (broadcast of `other`, charged).
     pub fn antijoin_broadcast(&self, other: &Relation, cluster: &Cluster) -> Result<DistRel> {
-        cluster.metrics().record_broadcast(other.len() as u64, cluster.workers());
+        cluster.broadcast_rel(other)?;
         self.antijoin_local(other, cluster)
     }
 

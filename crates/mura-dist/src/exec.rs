@@ -9,7 +9,7 @@
 //! distinct); otherwise run `P_gld` (global driver loop, one shuffle per
 //! iteration).*
 
-use crate::cluster::Cluster;
+use crate::cluster::{Cluster, CommBackend};
 use crate::distrel::DistRel;
 use crate::fault::{FaultConfig, FaultPlan, FaultSnapshot, RecoveryPolicy};
 use crate::localfix::{
@@ -106,6 +106,11 @@ pub struct ExecConfig {
     /// `delta ∪ (seed \ acc)` instead of from the seed — the incremental
     /// maintenance path after a database delta.
     pub resume: Option<Arc<FxHashMap<u64, FixResume>>>,
+    /// Communication backend override. `None` (the default) uses the
+    /// in-process simulator; `Some` plugs in e.g. a
+    /// [`crate::proc::ProcCluster`] so exchanges and broadcasts cross real
+    /// sockets. The worker count must match [`ExecConfig::workers`].
+    pub backend: Option<Arc<dyn CommBackend>>,
 }
 
 /// Resumable fixpoint state for incremental view maintenance (see
@@ -138,6 +143,7 @@ impl Default for ExecConfig {
             trace: TraceLevel::Off,
             capture_fixpoints: false,
             resume: None,
+            backend: None,
         }
     }
 }
@@ -235,9 +241,12 @@ impl<'db> DistEvaluator<'db> {
     /// New evaluator over a database with the given configuration.
     pub fn new(db: &'db Database, config: ExecConfig) -> Self {
         let fault = Arc::new(FaultPlan::new(config.fault));
-        let cluster = Cluster::new(config.workers)
+        let mut cluster = Cluster::new(config.workers)
             .with_faults(fault, config.recovery)
             .with_cancel(config.cancel.clone());
+        if let Some(backend) = &config.backend {
+            cluster = cluster.with_backend(Arc::clone(backend));
+        }
         let deadline = config.limits.timeout.map(|t| Instant::now() + t);
         let budget = Budget::new(config.limits.max_rows, deadline)
             .with_max_bytes(config.limits.max_bytes)
@@ -317,7 +326,7 @@ impl<'db> DistEvaluator<'db> {
             Term::Cst(r) => {
                 if r.len() <= self.config.broadcast_threshold {
                     // Driver-side constant shipped to every worker.
-                    self.cluster.metrics().record_broadcast(r.len() as u64, self.cluster.workers());
+                    self.cluster.broadcast_rel(r)?;
                     DVal::Repl(r.clone())
                 } else {
                     DVal::Dist(DistRel::from_relation(r, &self.cluster))
@@ -417,9 +426,7 @@ impl<'db> DistEvaluator<'db> {
                 let (small, big) = if x.len() <= y.len() { (&x, &y) } else { (&y, &x) };
                 if small.len() <= self.config.broadcast_threshold || common.is_empty() {
                     let rel = small.collect();
-                    self.cluster
-                        .metrics()
-                        .record_broadcast(rel.len() as u64, self.cluster.workers());
+                    self.cluster.broadcast_rel(&rel)?;
                     DVal::Dist(big.join_local(&rel, &self.cluster)?)
                 } else {
                     DVal::Dist(x.join_shuffle(&y, &self.cluster)?)
@@ -440,9 +447,7 @@ impl<'db> DistEvaluator<'db> {
                 let common = x.schema().intersection(y.schema());
                 if y.len() <= self.config.broadcast_threshold || common.is_empty() {
                     let rel = y.collect();
-                    self.cluster
-                        .metrics()
-                        .record_broadcast(rel.len() as u64, self.cluster.workers());
+                    self.cluster.broadcast_rel(&rel)?;
                     DVal::Dist(x.antijoin_local(&rel, &self.cluster)?)
                 } else {
                     DVal::Dist(x.antijoin_shuffle(&y, &self.cluster)?)
@@ -488,6 +493,7 @@ impl<'db> DistEvaluator<'db> {
         ev.rows_shuffled = comm.rows_shuffled;
         ev.broadcasts = comm.broadcasts;
         ev.rows_broadcast = comm.rows_broadcast;
+        ev.wire_exchange_bytes = comm.wire_exchange_bytes;
         ev.index_builds = kernel.index_builds + kernel.key_index_builds;
         ev.join_probes = kernel.join_probes;
         ev.antijoin_probes = kernel.antijoin_probes;
@@ -1007,9 +1013,7 @@ impl<'db> DistEvaluator<'db> {
                     DVal::Dist(d) => {
                         // Workers need the full relation locally: broadcast.
                         let rel = Arc::new(d.collect());
-                        self.cluster
-                            .metrics()
-                            .record_broadcast(rel.len() as u64, self.cluster.workers());
+                        self.cluster.broadcast_rel(&rel)?;
                         let repl = DVal::Repl(rel.clone());
                         self.bound.insert(*v, repl);
                         rel

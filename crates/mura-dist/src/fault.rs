@@ -48,6 +48,16 @@ pub enum FaultClass {
     /// [`MuraError::MemoryExceeded`]: injected pressure heals after
     /// [`FaultConfig::failures_per_site`] attempts, a blown budget does not.
     MemoryPressure,
+    /// Process-mode reinterpretation of [`FaultClass::Panic`]: the worker
+    /// *process* is SIGKILLed mid-exchange (drawn from `panic_prob` under
+    /// its own salt, so thread-level and process-level chaos coexist).
+    KillWorker,
+    /// Process-mode reinterpretation of [`FaultClass::Drop`]: a live
+    /// coordinator↔worker connection is severed (drawn from `drop_prob`).
+    ConnectionDrop,
+    /// Process-mode reinterpretation of [`FaultClass::Straggler`]: socket
+    /// I/O to a worker is delayed (drawn from `straggler_prob`).
+    SocketDelay,
 }
 
 impl FaultClass {
@@ -59,6 +69,9 @@ impl FaultClass {
             FaultClass::Duplicate => 0x2545_F491_4F6C_DD1D,
             FaultClass::Straggler => 0x9DDF_EA08_EB38_2D69,
             FaultClass::MemoryPressure => 0x6C62_272E_07BB_0142,
+            FaultClass::KillWorker => 0xCBF2_9CE4_8422_2325,
+            FaultClass::ConnectionDrop => 0x100_0000_01B3_u64,
+            FaultClass::SocketDelay => 0x14_650F_B045_6A2D_u64,
         }
     }
 }
@@ -198,6 +211,16 @@ pub struct FaultSnapshot {
     pub rows_replayed: u64,
     /// Fixpoint iterations re-executed after restores.
     pub iterations_replayed: u64,
+    /// Process-mode injections: worker processes SIGKILLed mid-exchange.
+    pub killed_workers: u64,
+    /// Process-mode injections: live worker connections severed.
+    pub dropped_connections: u64,
+    /// Process-mode injections: socket operations artificially delayed.
+    pub delayed_sockets: u64,
+    /// Worker processes respawned after (injected or genuine) death.
+    pub worker_respawns: u64,
+    /// Worker connections re-established after a drop.
+    pub reconnects: u64,
     /// Wall-clock spent in failed attempts and backoff sleeps. Excluded
     /// from [`FaultSnapshot::counts`]: time is not deterministic.
     pub time_lost_ms: u64,
@@ -212,6 +235,9 @@ impl FaultSnapshot {
             + self.injected_duplicates
             + self.injected_stragglers
             + self.injected_memory_pressure
+            + self.killed_workers
+            + self.dropped_connections
+            + self.delayed_sockets
     }
 
     /// True when the query hit at least one fault but still completed —
@@ -221,13 +247,18 @@ impl FaultSnapshot {
             || self.stage_reruns > 0
             || self.checkpoint_restores > 0
             || self.full_restarts > 0
+            || self.worker_respawns > 0
+            || self.reconnects > 0
     }
 
-    /// The deterministic projection: every counter except wall-clock time.
-    /// Two runs of the same query under the same [`FaultConfig`] seed must
-    /// compare equal under this projection.
+    /// The deterministic projection: every counter except wall-clock time
+    /// and the repair counters (`worker_respawns` / `reconnects`, whose
+    /// values depend on which of the supervisor heartbeat and the exchange
+    /// path *detects* a death first — the injections themselves stay
+    /// deterministic). Two runs of the same query under the same
+    /// [`FaultConfig`] seed must compare equal under this projection.
     pub fn counts(&self) -> FaultSnapshot {
-        FaultSnapshot { time_lost_ms: 0, ..*self }
+        FaultSnapshot { time_lost_ms: 0, worker_respawns: 0, reconnects: 0, ..*self }
     }
 }
 
@@ -235,8 +266,10 @@ impl std::fmt::Display for FaultSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "injected {} (panic {} / transient {} / drop {} / dup {} / straggler {} / mem {}), \
+            "injected {} (panic {} / transient {} / drop {} / dup {} / straggler {} / mem {} / \
+             kill {} / conn-drop {} / sock-delay {}), \
              retries {}, stage reruns {}, checkpoints {}, restores {}, restarts {}, \
+             respawns {}, reconnects {}, \
              rows replayed {}, iterations replayed {}, time lost {} ms",
             self.injected(),
             self.injected_panics,
@@ -245,11 +278,16 @@ impl std::fmt::Display for FaultSnapshot {
             self.injected_duplicates,
             self.injected_stragglers,
             self.injected_memory_pressure,
+            self.killed_workers,
+            self.dropped_connections,
+            self.delayed_sockets,
             self.task_retries,
             self.stage_reruns,
             self.checkpoints,
             self.checkpoint_restores,
             self.full_restarts,
+            self.worker_respawns,
+            self.reconnects,
             self.rows_replayed,
             self.iterations_replayed,
             self.time_lost_ms
@@ -273,6 +311,11 @@ pub struct FaultStats {
     full_restarts: AtomicU64,
     rows_replayed: AtomicU64,
     iterations_replayed: AtomicU64,
+    killed_workers: AtomicU64,
+    dropped_connections: AtomicU64,
+    delayed_sockets: AtomicU64,
+    worker_respawns: AtomicU64,
+    reconnects: AtomicU64,
     time_lost_us: AtomicU64,
 }
 
@@ -350,11 +393,11 @@ impl FaultPlan {
             return false;
         }
         let prob = match class {
-            FaultClass::Panic => self.cfg.panic_prob,
+            FaultClass::Panic | FaultClass::KillWorker => self.cfg.panic_prob,
             FaultClass::Transient => self.cfg.transient_prob,
-            FaultClass::Drop => self.cfg.drop_prob,
+            FaultClass::Drop | FaultClass::ConnectionDrop => self.cfg.drop_prob,
             FaultClass::Duplicate => self.cfg.duplicate_prob,
-            FaultClass::Straggler => self.cfg.straggler_prob,
+            FaultClass::Straggler | FaultClass::SocketDelay => self.cfg.straggler_prob,
             FaultClass::MemoryPressure => self.cfg.memory_pressure_prob,
         };
         self.roll(class, site, worker, step, prob)
@@ -444,6 +487,55 @@ impl FaultPlan {
         fired
     }
 
+    /// Process-mode: whether worker `worker`'s process is SIGKILLed during
+    /// the exchange at `site` on this `attempt`. Drawn from `panic_prob`
+    /// under its own salt — the process-mode reinterpretation of a worker
+    /// panic. Afflicted (site, worker) pairs heal after
+    /// [`FaultConfig::failures_per_site`] attempts, so the exchange's
+    /// respawn-and-retry loop terminates deterministically.
+    pub fn kill_worker(&self, site: u64, worker: usize, attempt: u32) -> bool {
+        let fired = self.fires(FaultClass::KillWorker, site, worker as u64, 0, attempt);
+        if fired {
+            self.stats.killed_workers.fetch_add(1, Ordering::Relaxed);
+        }
+        fired
+    }
+
+    /// Process-mode: whether the live connection to `worker` is severed at
+    /// `site` on this `attempt` (drawn from `drop_prob`). The worker stays
+    /// alive; the coordinator must reconnect with backoff.
+    pub fn drop_connection(&self, site: u64, worker: usize, attempt: u32) -> bool {
+        let fired = self.fires(FaultClass::ConnectionDrop, site, worker as u64, 0, attempt);
+        if fired {
+            self.stats.dropped_connections.fetch_add(1, Ordering::Relaxed);
+        }
+        fired
+    }
+
+    /// Process-mode: the artificial socket delay to impose before talking
+    /// to `worker` at `site`, if any (drawn from `straggler_prob`). Only
+    /// the first attempt is delayed, mirroring [`FaultPlan::straggler_delay`].
+    pub fn delay_socket(&self, site: u64, worker: usize, attempt: u32) -> Option<Duration> {
+        if attempt == 0
+            && self.cfg.failures_per_site > 0
+            && self.roll(FaultClass::SocketDelay, site, worker as u64, 0, self.cfg.straggler_prob)
+        {
+            self.stats.delayed_sockets.fetch_add(1, Ordering::Relaxed);
+            return Some(Duration::from_millis(self.cfg.straggler_delay_ms));
+        }
+        None
+    }
+
+    /// Records one worker-process respawn (after injected or genuine death).
+    pub fn record_worker_respawn(&self) {
+        self.stats.worker_respawns.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one re-established worker connection.
+    pub fn record_reconnect(&self) {
+        self.stats.reconnects.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Row-level drop decision for the asynchronous plan, keyed on the row's
     /// content hash: async batch boundaries are timing-dependent, row
     /// contents are not, so this keeps `P_async` fault injection
@@ -522,6 +614,11 @@ impl FaultPlan {
             full_restarts: s.full_restarts.load(Ordering::Relaxed),
             rows_replayed: s.rows_replayed.load(Ordering::Relaxed),
             iterations_replayed: s.iterations_replayed.load(Ordering::Relaxed),
+            killed_workers: s.killed_workers.load(Ordering::Relaxed),
+            dropped_connections: s.dropped_connections.load(Ordering::Relaxed),
+            delayed_sockets: s.delayed_sockets.load(Ordering::Relaxed),
+            worker_respawns: s.worker_respawns.load(Ordering::Relaxed),
+            reconnects: s.reconnects.load(Ordering::Relaxed),
             time_lost_ms: s.time_lost_us.load(Ordering::Relaxed) / 1_000,
         }
     }
@@ -604,6 +701,39 @@ mod tests {
         assert_eq!(s.counts().time_lost_ms, 0);
         assert_eq!(s.counts().task_retries, 1);
         assert!(s.recovered());
+    }
+
+    #[test]
+    fn process_mode_decisions_deterministic_and_healing() {
+        let cfg = FaultConfig { panic_prob: 0.5, drop_prob: 0.5, seed: 11, ..Default::default() };
+        let a = FaultPlan::new(cfg);
+        let b = FaultPlan::new(cfg);
+        let ka: Vec<bool> = (0..200).map(|s| a.kill_worker(s, (s % 3) as usize, 0)).collect();
+        let kb: Vec<bool> = (0..200).map(|s| b.kill_worker(s, (s % 3) as usize, 0)).collect();
+        assert_eq!(ka, kb);
+        assert!(ka.iter().any(|&x| x) && !ka.iter().all(|&x| x));
+        // Independent streams: kills and connection drops differ somewhere.
+        let da: Vec<bool> = (0..200).map(|s| a.drop_connection(s, (s % 3) as usize, 0)).collect();
+        assert_ne!(ka, da);
+        // Afflicted sites heal after failures_per_site attempts.
+        let site = (0..200).find(|&s| ka[s as usize]).unwrap();
+        assert!(!b.kill_worker(site, (site % 3) as usize, 1), "attempt 1 must heal");
+        let snap = a.snapshot();
+        assert_eq!(snap.killed_workers, ka.iter().filter(|&&x| x).count() as u64);
+        assert!(snap.injected() >= snap.killed_workers + snap.dropped_connections);
+    }
+
+    #[test]
+    fn repair_counters_excluded_from_deterministic_projection() {
+        let p = FaultPlan::disabled();
+        p.record_worker_respawn();
+        p.record_reconnect();
+        let s = p.snapshot();
+        assert_eq!(s.worker_respawns, 1);
+        assert_eq!(s.reconnects, 1);
+        assert!(s.recovered());
+        assert_eq!(s.counts().worker_respawns, 0);
+        assert_eq!(s.counts().reconnects, 0);
     }
 
     #[test]

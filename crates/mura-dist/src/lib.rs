@@ -32,9 +32,12 @@ pub mod exec;
 pub mod fault;
 pub mod localfix;
 pub mod metrics;
+pub mod proc;
 pub mod sorted;
+pub mod wire;
+pub mod worker;
 
-pub use cluster::Cluster;
+pub use cluster::{Cluster, ClusterHealth, CommBackend, ExchangeCtx, SimBackend};
 pub use distrel::DistRel;
 pub use engine::{explain_plan, PlannedQuery, QueryEngine, QueryOutput};
 pub use exec::{DistEvaluator, ExecConfig, ExecStats, FixResume, FixpointPlan, ResourceLimits};
@@ -42,3 +45,4 @@ pub use fault::{FaultConfig, FaultPlan, FaultSnapshot, RecoveryPolicy};
 pub use localfix::LocalEngine;
 pub use metrics::{CommSnapshot, CommStats};
 pub use mura_obs::{QueryTrace, TraceLevel};
+pub use proc::{ProcCluster, ProcClusterConfig};

@@ -19,6 +19,16 @@ pub struct CommStats {
     pub rows_broadcast: AtomicU64,
     /// Number of broadcast operations.
     pub broadcasts: AtomicU64,
+    /// Bytes written to worker sockets (frames included). Zero on the
+    /// in-process simulator backend; real traffic on `ProcCluster`.
+    pub wire_tx_bytes: AtomicU64,
+    /// Bytes read back from worker sockets (frames included).
+    pub wire_rx_bytes: AtomicU64,
+    /// Data-plane payload bytes (exchange buckets and broadcast relations)
+    /// that crossed a socket — the counter behind the paper's `P_plw`
+    /// zero-communication claim, measured instead of simulated. Excludes
+    /// framing and control traffic.
+    pub wire_exchange_bytes: AtomicU64,
 }
 
 impl CommStats {
@@ -34,6 +44,20 @@ impl CommStats {
         self.rows_broadcast.fetch_add(rows * (workers.saturating_sub(1)) as u64, Ordering::Relaxed);
     }
 
+    /// Records `frame` bytes written to a worker socket, `payload` of which
+    /// were data-plane payload (zero for control traffic).
+    pub fn record_wire_tx(&self, frame: u64, payload: u64) {
+        self.wire_tx_bytes.fetch_add(frame, Ordering::Relaxed);
+        self.wire_exchange_bytes.fetch_add(payload, Ordering::Relaxed);
+    }
+
+    /// Records `frame` bytes read from a worker socket, `payload` of which
+    /// were data-plane payload.
+    pub fn record_wire_rx(&self, frame: u64, payload: u64) {
+        self.wire_rx_bytes.fetch_add(frame, Ordering::Relaxed);
+        self.wire_exchange_bytes.fetch_add(payload, Ordering::Relaxed);
+    }
+
     /// Immutable snapshot of the counters.
     pub fn snapshot(&self) -> CommSnapshot {
         CommSnapshot {
@@ -41,6 +65,9 @@ impl CommStats {
             rows_shuffled: self.rows_shuffled.load(Ordering::Relaxed),
             rows_broadcast: self.rows_broadcast.load(Ordering::Relaxed),
             broadcasts: self.broadcasts.load(Ordering::Relaxed),
+            wire_tx_bytes: self.wire_tx_bytes.load(Ordering::Relaxed),
+            wire_rx_bytes: self.wire_rx_bytes.load(Ordering::Relaxed),
+            wire_exchange_bytes: self.wire_exchange_bytes.load(Ordering::Relaxed),
         }
     }
 
@@ -57,6 +84,9 @@ impl CommStats {
         self.rows_shuffled.store(0, Ordering::Relaxed);
         self.rows_broadcast.store(0, Ordering::Relaxed);
         self.broadcasts.store(0, Ordering::Relaxed);
+        self.wire_tx_bytes.store(0, Ordering::Relaxed);
+        self.wire_rx_bytes.store(0, Ordering::Relaxed);
+        self.wire_exchange_bytes.store(0, Ordering::Relaxed);
     }
 }
 
@@ -67,6 +97,9 @@ pub struct CommSnapshot {
     pub rows_shuffled: u64,
     pub rows_broadcast: u64,
     pub broadcasts: u64,
+    pub wire_tx_bytes: u64,
+    pub wire_rx_bytes: u64,
+    pub wire_exchange_bytes: u64,
 }
 
 impl CommSnapshot {
@@ -78,6 +111,11 @@ impl CommSnapshot {
             rows_shuffled: self.rows_shuffled.saturating_sub(earlier.rows_shuffled),
             rows_broadcast: self.rows_broadcast.saturating_sub(earlier.rows_broadcast),
             broadcasts: self.broadcasts.saturating_sub(earlier.broadcasts),
+            wire_tx_bytes: self.wire_tx_bytes.saturating_sub(earlier.wire_tx_bytes),
+            wire_rx_bytes: self.wire_rx_bytes.saturating_sub(earlier.wire_rx_bytes),
+            wire_exchange_bytes: self
+                .wire_exchange_bytes
+                .saturating_sub(earlier.wire_exchange_bytes),
         }
     }
 }
@@ -129,6 +167,21 @@ mod tests {
         let m = CommStats::default();
         m.record_broadcast(100, 1);
         assert_eq!(m.snapshot().rows_broadcast, 0);
+    }
+
+    #[test]
+    fn wire_bytes_accumulate_and_diff() {
+        let m = CommStats::default();
+        m.record_wire_tx(100, 80);
+        m.record_wire_rx(50, 40);
+        let a = m.snapshot();
+        assert_eq!(a.wire_tx_bytes, 100);
+        assert_eq!(a.wire_rx_bytes, 50);
+        assert_eq!(a.wire_exchange_bytes, 120);
+        m.record_wire_tx(10, 0);
+        let d = m.snapshot().since(&a);
+        assert_eq!(d.wire_tx_bytes, 10);
+        assert_eq!(d.wire_exchange_bytes, 0);
     }
 
     #[test]

@@ -1,0 +1,816 @@
+//! The multi-process cluster backend: workers are separate OS processes.
+//!
+//! [`ProcCluster`] spawns `n` copies of the `mura-worker` binary, learns
+//! their ephemeral loopback ports from stdout, and connects a control
+//! socket plus a dedicated heartbeat socket to each. It implements
+//! [`CommBackend`], so the three fixpoint drivers run **unchanged** — only
+//! the exchange/broadcast data plane moves:
+//!
+//! * `exchange`: each source partition's buckets are serialized once and
+//!   relayed to the source worker ([`Msg::Relay`]), which forwards every
+//!   bucket to its destination peer over a worker↔worker connection; the
+//!   coordinator then collects each destination's inbox ([`Msg::Take`]).
+//!   Every exchanged partition genuinely crosses sockets, so the
+//!   [`crate::metrics::CommStats`] wire counters measure real traffic — the basis of the
+//!   paper's `P_plw` zero-communication claim, asserted in measured bytes.
+//! * `broadcast`: the encoded relation is shipped to every worker
+//!   ([`Msg::Bcast`]).
+//!
+//! Computation stays on the coordinator's task threads (partition tasks
+//! are Rust closures and cannot cross a process boundary); the workers are
+//! the communication fabric, and they can *really die*. A supervisor
+//! thread heartbeats every worker; a worker that misses its liveness
+//! deadline (killed, or its connection dropped) is detected, respawned
+//! when dead, and re-announced to its peers. Exchanges ride an
+//! at-least-once retry loop with fresh exchange ids (stale buffers are
+//! pruned by watermark), and failures that out-live the local repair
+//! budget escalate as retryable [`mura_core::MuraError::WorkerFailed`] into the
+//! existing recovery ladder (task retry → stage rerun → checkpoint restore
+//! → restart).
+//!
+//! Fault injection: [`FaultPlan`] process-mode decisions map to real
+//! damage — [`FaultPlan::kill_worker`] is an actual `SIGKILL` of the
+//! worker process between the relay and collect phases (buffered data is
+//! genuinely lost), [`FaultPlan::drop_connection`] severs the control
+//! socket, [`FaultPlan::delay_socket`] stalls before the operation.
+//! Orphans are impossible: each worker holds the read end of its stdin
+//! pipe and exits on EOF, so coordinator death (clean or not) reaps it.
+
+use crate::cluster::{ClusterHealth, CommBackend, ExchangeCtx};
+use crate::fault::FaultPlan;
+use crate::wire::{
+    decode_rows, encode_relation, encode_rows, read_frame, write_frame, Msg, WireError,
+};
+use mura_core::{Relation, Result, Row, Schema};
+use std::io::{BufRead, BufReader};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Configuration of a [`ProcCluster`].
+#[derive(Debug, Clone)]
+pub struct ProcClusterConfig {
+    /// Number of worker processes.
+    pub workers: usize,
+    /// Supervisor heartbeat period.
+    pub heartbeat: Duration,
+    /// A worker that does not answer a heartbeat within this deadline is
+    /// declared suspect (respawned if its process is dead).
+    pub liveness_timeout: Duration,
+    /// Read/write timeout on control sockets.
+    pub io_timeout: Duration,
+    /// How long a worker blocks a [`Msg::Take`] waiting for in-flight
+    /// exchange buckets before handing back a short count (the coordinator
+    /// then retries the whole exchange). Must stay below
+    /// [`ProcClusterConfig::io_timeout`].
+    pub take_timeout: Duration,
+    /// Bounded connection attempts (exponential backoff between them).
+    pub connect_attempts: u32,
+    /// Worker binary path override. Default resolution: `MURA_WORKER_BIN`
+    /// env var, then a `mura-worker` sibling of the current executable.
+    pub worker_bin: Option<PathBuf>,
+}
+
+impl Default for ProcClusterConfig {
+    fn default() -> Self {
+        ProcClusterConfig {
+            workers: 4,
+            heartbeat: Duration::from_millis(50),
+            liveness_timeout: Duration::from_millis(500),
+            io_timeout: Duration::from_secs(5),
+            take_timeout: Duration::from_millis(2000),
+            connect_attempts: 5,
+            worker_bin: None,
+        }
+    }
+}
+
+/// Mutable control-plane state of one worker, behind one lock so spawn,
+/// kill and send never race. Never acquire two workers' `ctl` locks at
+/// once (peer-table refreshes go worker by worker).
+#[derive(Debug, Default)]
+struct CtlSlot {
+    child: Option<Child>,
+    conn: Option<TcpStream>,
+    port: u16,
+}
+
+/// One worker as seen by the coordinator.
+#[derive(Debug, Default)]
+struct Slot {
+    ctl: Mutex<CtlSlot>,
+    /// Dedicated heartbeat connection: PING/PONG never interleaves with a
+    /// RELAY/TAKE round-trip on the control socket.
+    hb: Mutex<Option<TcpStream>>,
+    /// Answered the most recent heartbeat.
+    live: AtomicBool,
+}
+
+#[derive(Debug)]
+struct ProcInner {
+    n: usize,
+    cfg: ProcClusterConfig,
+    slots: Vec<Slot>,
+    /// Current listen ports (index = worker); refreshed on respawn.
+    ports: Mutex<Vec<u16>>,
+    /// Exchange id generator.
+    next_xid: AtomicU64,
+    /// Exchange ids currently in flight. The prune watermark sent with a
+    /// relay is the *minimum* in-flight id, so concurrent queries sharing
+    /// this backend never evict each other's buffered buckets.
+    inflight: Mutex<std::collections::BTreeSet<u64>>,
+    /// Lifetime counters (independent of any single query's [`CommStats`]).
+    wire_tx_bytes: AtomicU64,
+    wire_rx_bytes: AtomicU64,
+    respawns: AtomicU64,
+    reconnects: AtomicU64,
+    /// Startup handshake complete; connection (re)establishments from here
+    /// on count as reconnects.
+    started: AtomicBool,
+    shutdown: AtomicBool,
+}
+
+/// Resolves the worker binary: explicit config, `MURA_WORKER_BIN`, then a
+/// sibling of the current executable (tests run from `target/*/deps/`, so
+/// one extra `deps` component is stripped).
+fn worker_bin(cfg: &ProcClusterConfig) -> PathBuf {
+    if let Some(p) = &cfg.worker_bin {
+        return p.clone();
+    }
+    if let Ok(p) = std::env::var("MURA_WORKER_BIN") {
+        if !p.is_empty() {
+            return PathBuf::from(p);
+        }
+    }
+    let mut p = std::env::current_exe().unwrap_or_else(|_| PathBuf::from("mura-worker"));
+    p.pop();
+    if p.file_name().is_some_and(|d| d == "deps") {
+        p.pop();
+    }
+    p.push("mura-worker");
+    p
+}
+
+/// Spawns one worker process and waits (bounded) for its `PORT <n>`
+/// announcement. The child keeps its stdin pipe: dropping the `Child`
+/// closes the write end and the worker exits on EOF.
+fn spawn_worker(cfg: &ProcClusterConfig) -> std::result::Result<(Child, u16), WireError> {
+    let bin = worker_bin(cfg);
+    let mut child = Command::new(&bin)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .map_err(|e| {
+            WireError::Io(std::io::Error::other(format!("spawn {}: {e}", bin.display())))
+        })?;
+    let stdout = child.stdout.take().expect("worker stdout is piped");
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let mut reader = BufReader::new(stdout);
+        let mut line = String::new();
+        let _ = reader.read_line(&mut line);
+        let _ = tx.send(line);
+        // Keep draining so later worker writes to stdout can never block.
+        let mut sink = String::new();
+        while matches!(reader.read_line(&mut sink), Ok(k) if k > 0) {
+            sink.clear();
+        }
+    });
+    let line = rx.recv_timeout(Duration::from_secs(10)).map_err(|_| {
+        child.kill().ok();
+        child.wait().ok();
+        WireError::Io(std::io::Error::other("worker did not announce a port"))
+    })?;
+    match line.trim().strip_prefix("PORT ").and_then(|p| p.parse::<u16>().ok()) {
+        Some(port) => Ok((child, port)),
+        None => {
+            child.kill().ok();
+            child.wait().ok();
+            Err(WireError::Io(std::io::Error::other(format!("bad port announcement {line:?}"))))
+        }
+    }
+}
+
+/// Connects to a worker port with bounded exponential backoff.
+fn connect(
+    port: u16,
+    timeout: Duration,
+    attempts: u32,
+) -> std::result::Result<TcpStream, WireError> {
+    let addr = SocketAddr::from(([127, 0, 0, 1], port));
+    let mut backoff = Duration::from_millis(10);
+    let mut last: Option<std::io::Error> = None;
+    for i in 0..attempts.max(1) {
+        if i > 0 {
+            std::thread::sleep(backoff);
+            backoff = (backoff * 2).min(Duration::from_millis(200));
+        }
+        match TcpStream::connect_timeout(&addr, timeout) {
+            Ok(s) => {
+                s.set_nodelay(true).ok();
+                s.set_read_timeout(Some(timeout)).ok();
+                s.set_write_timeout(Some(timeout)).ok();
+                return Ok(s);
+            }
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(last.map(WireError::Io).unwrap_or(WireError::Malformed("no connection attempts")))
+}
+
+impl ProcInner {
+    fn count_tx(&self, b: u64) {
+        self.wire_tx_bytes.fetch_add(b, Ordering::Relaxed);
+    }
+
+    fn count_rx(&self, b: u64) {
+        self.wire_rx_bytes.fetch_add(b, Ordering::Relaxed);
+    }
+
+    /// Sends one request on worker `w`'s control socket and reads the
+    /// reply, (re)connecting — with a fresh [`Msg::Hello`] — as needed.
+    /// Returns `(reply, tx_bytes, rx_bytes)` including any handshake
+    /// traffic; lifetime byte totals are counted here, per-query payload
+    /// accounting is the caller's job. Any failure drops the connection.
+    fn send_ctl(&self, w: usize, msg: &Msg) -> std::result::Result<(Msg, u64, u64), WireError> {
+        let mut guard = self.slots[w].ctl.lock().unwrap();
+        let mut tx = 0u64;
+        let mut rx = 0u64;
+        if guard.conn.is_none() {
+            let port = self.ports.lock().unwrap()[w];
+            let mut conn = connect(port, self.cfg.io_timeout, self.cfg.connect_attempts)?;
+            tx += write_frame(&mut conn, &Msg::Hello { id: w as u32, n: self.n as u32 })?;
+            let (reply, k) = read_frame(&mut conn)?;
+            rx += k;
+            if reply != Msg::Ok {
+                self.count_tx(tx);
+                self.count_rx(rx);
+                return Err(WireError::Malformed("hello rejected"));
+            }
+            if self.started.load(Ordering::Relaxed) {
+                self.reconnects.fetch_add(1, Ordering::Relaxed);
+            }
+            guard.conn = Some(conn);
+        }
+        let conn = guard.conn.as_mut().expect("just connected");
+        let out = write_frame(conn, msg).and_then(|k| {
+            tx += k;
+            let (reply, k) = read_frame(conn)?;
+            rx += k;
+            Ok(reply)
+        });
+        self.count_tx(tx);
+        self.count_rx(rx);
+        match out {
+            Ok(reply) => Ok((reply, tx, rx)),
+            Err(e) => {
+                guard.conn = None;
+                Err(e)
+            }
+        }
+    }
+
+    /// Drops worker `w`'s control connection (next use reconnects).
+    fn sever(&self, w: usize) {
+        self.slots[w].ctl.lock().unwrap().conn = None;
+    }
+
+    /// Real `SIGKILL` of worker `w`'s process (fault injection / tests).
+    fn kill(&self, w: usize) {
+        let mut guard = self.slots[w].ctl.lock().unwrap();
+        if let Some(child) = &mut guard.child {
+            child.kill().ok();
+            child.wait().ok();
+        }
+        guard.conn = None;
+        self.slots[w].live.store(false, Ordering::Relaxed);
+    }
+
+    /// Repairs worker `w`: drops its control connection when `sever` is
+    /// set, and respawns the process if it is dead — then re-announces the
+    /// refreshed peer table to every worker (one control lock at a time).
+    /// `fault` (when given) receives the recovery accounting.
+    fn repair(
+        &self,
+        w: usize,
+        fault: Option<&FaultPlan>,
+        sever: bool,
+    ) -> std::result::Result<(), WireError> {
+        let respawned = {
+            let mut guard = self.slots[w].ctl.lock().unwrap();
+            if sever {
+                guard.conn = None;
+            }
+            let dead = match &mut guard.child {
+                None => true,
+                Some(c) => c.try_wait().map(|s| s.is_some()).unwrap_or(true),
+            };
+            if dead {
+                if self.shutdown.load(Ordering::Relaxed) {
+                    return Ok(());
+                }
+                self.slots[w].live.store(false, Ordering::Relaxed);
+                guard.child = None;
+                guard.conn = None;
+                let (child, port) = spawn_worker(&self.cfg)?;
+                guard.child = Some(child);
+                guard.port = port;
+                self.ports.lock().unwrap()[w] = port;
+                self.respawns.fetch_add(1, Ordering::Relaxed);
+                if let Some(f) = fault {
+                    f.record_worker_respawn();
+                }
+                true
+            } else {
+                false
+            }
+        };
+        if respawned {
+            self.sync_peers();
+        }
+        Ok(())
+    }
+
+    /// Re-announces the current port map to every worker (one control lock
+    /// at a time). Best-effort per worker: one being down does not stop
+    /// the sync — its own repair re-syncs. Called after every respawn and
+    /// after every failed exchange attempt, because a worker that missed a
+    /// respawn announcement (e.g. it was itself down at the time) would
+    /// otherwise keep delivering to the dead peer's old port forever.
+    fn sync_peers(&self) {
+        let ports = self.ports.lock().unwrap().clone();
+        for v in 0..self.n {
+            if let Ok((Msg::Ok, _, _)) = self.send_ctl(v, &Msg::Peers(ports.clone())) {
+                self.slots[v].live.store(true, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// One PING/PONG on the dedicated heartbeat connection.
+    fn heartbeat(&self, w: usize) -> bool {
+        let mut hb = self.slots[w].hb.lock().unwrap();
+        if hb.is_none() {
+            let port = self.ports.lock().unwrap()[w];
+            match connect(port, self.cfg.liveness_timeout, 1) {
+                Ok(conn) => {
+                    if self.started.load(Ordering::Relaxed) {
+                        self.reconnects.fetch_add(1, Ordering::Relaxed);
+                    }
+                    *hb = Some(conn);
+                }
+                Err(_) => return false,
+            }
+        }
+        let conn = hb.as_mut().expect("just connected");
+        let ok = write_frame(conn, &Msg::Ping).map(|k| self.count_tx(k)).is_ok()
+            && matches!(
+                read_frame(conn).map(|(m, k)| {
+                    self.count_rx(k);
+                    m
+                }),
+                Ok(Msg::Pong)
+            );
+        if !ok {
+            *hb = None;
+        }
+        ok
+    }
+
+    /// Supervisor loop: heartbeat every worker each period; a worker that
+    /// misses its liveness deadline is marked down and repaired (respawn
+    /// if the process died; connections re-establish on next use).
+    fn supervise(self: &Arc<Self>) {
+        while !self.shutdown.load(Ordering::Relaxed) {
+            for w in 0..self.n {
+                if self.shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+                if self.heartbeat(w) {
+                    self.slots[w].live.store(true, Ordering::Relaxed);
+                } else {
+                    self.slots[w].live.store(false, Ordering::Relaxed);
+                    let _ = self.repair(w, None, false);
+                }
+            }
+            std::thread::sleep(self.cfg.heartbeat);
+        }
+    }
+
+    fn health(&self) -> ClusterHealth {
+        let live = self.slots.iter().filter(|s| s.live.load(Ordering::Relaxed)).count() as u64;
+        ClusterHealth {
+            workers: self.n as u64,
+            live,
+            respawns: self.respawns.load(Ordering::Relaxed),
+            reconnects: self.reconnects.load(Ordering::Relaxed),
+            wire_tx_bytes: self.wire_tx_bytes.load(Ordering::Relaxed),
+            wire_rx_bytes: self.wire_rx_bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A cluster of real worker OS processes behind the [`CommBackend`] seam.
+/// See the module docs for the architecture.
+#[derive(Debug)]
+pub struct ProcCluster {
+    inner: Arc<ProcInner>,
+    supervisor: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl ProcCluster {
+    /// Spawns `workers` worker processes with default timings.
+    pub fn spawn(workers: usize) -> Result<Arc<ProcCluster>> {
+        Self::spawn_with(ProcClusterConfig { workers, ..Default::default() })
+    }
+
+    /// Spawns the cluster described by `cfg`: starts every worker, runs
+    /// the HELLO/PEERS handshake, then starts the heartbeat supervisor.
+    pub fn spawn_with(cfg: ProcClusterConfig) -> Result<Arc<ProcCluster>> {
+        assert!(cfg.workers >= 1, "need at least one worker");
+        let n = cfg.workers;
+        let inner = Arc::new(ProcInner {
+            n,
+            cfg,
+            slots: (0..n).map(|_| Slot::default()).collect(),
+            ports: Mutex::new(vec![0; n]),
+            next_xid: AtomicU64::new(1),
+            inflight: Mutex::new(std::collections::BTreeSet::new()),
+            wire_tx_bytes: AtomicU64::new(0),
+            wire_rx_bytes: AtomicU64::new(0),
+            respawns: AtomicU64::new(0),
+            reconnects: AtomicU64::new(0),
+            started: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+        });
+        let cluster = Arc::new(ProcCluster { inner, supervisor: Mutex::new(None) });
+        for w in 0..n {
+            let (child, port) = spawn_worker(&cluster.inner.cfg).map_err(|e| {
+                cluster.shutdown();
+                e.into_worker_failed(w)
+            })?;
+            let mut guard = cluster.inner.slots[w].ctl.lock().unwrap();
+            guard.child = Some(child);
+            guard.port = port;
+            drop(guard);
+            cluster.inner.ports.lock().unwrap()[w] = port;
+        }
+        let ports = cluster.inner.ports.lock().unwrap().clone();
+        for w in 0..n {
+            match cluster.inner.send_ctl(w, &Msg::Peers(ports.clone())) {
+                Ok((Msg::Ok, _, _)) => cluster.inner.slots[w].live.store(true, Ordering::Relaxed),
+                Ok(_) => {
+                    cluster.shutdown();
+                    return Err(WireError::Malformed("peers rejected").into_worker_failed(w));
+                }
+                Err(e) => {
+                    cluster.shutdown();
+                    return Err(e.into_worker_failed(w));
+                }
+            }
+        }
+        cluster.inner.started.store(true, Ordering::Relaxed);
+        let sup = {
+            let inner = Arc::clone(&cluster.inner);
+            std::thread::Builder::new()
+                .name("mura-proc-supervisor".into())
+                .spawn(move || inner.supervise())
+                .expect("spawn supervisor thread")
+        };
+        *cluster.supervisor.lock().unwrap() = Some(sup);
+        Ok(cluster)
+    }
+
+    /// Current supervisor view (also available as
+    /// [`CommBackend::health`]).
+    pub fn health_snapshot(&self) -> ClusterHealth {
+        self.inner.health()
+    }
+
+    /// Test hook: really `SIGKILL` worker `w`'s process. Returns whether a
+    /// process was there to kill. The supervisor (or the next exchange)
+    /// detects the death and respawns it.
+    pub fn kill_worker_process(&self, w: usize) -> bool {
+        let had = self.inner.slots[w].ctl.lock().unwrap().child.is_some();
+        self.inner.kill(w);
+        had
+    }
+
+    /// Test hook: sever worker `w`'s coordinator connections (control and
+    /// heartbeat). The worker process stays up; connections re-establish
+    /// on next use.
+    pub fn sever_connection(&self, w: usize) {
+        self.inner.sever(w);
+        *self.inner.slots[w].hb.lock().unwrap() = None;
+    }
+
+    /// Best-effort CANCEL to every worker: clears their exchange inboxes
+    /// so cancelled/drained queries do not leak buffered buckets.
+    fn cancel_all(&self) {
+        for w in 0..self.inner.n {
+            let _ = self.inner.send_ctl(w, &Msg::Cancel);
+        }
+    }
+
+    /// Stops the supervisor, asks workers to exit, and reaps them. Called
+    /// by `Drop`; safe to call more than once.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::Relaxed);
+        if let Some(h) = self.supervisor.lock().unwrap().take() {
+            h.join().ok();
+        }
+        for slot in &self.inner.slots {
+            let mut guard = slot.ctl.lock().unwrap();
+            if let Some(conn) = guard.conn.as_mut() {
+                let _ = write_frame(conn, &Msg::Exit);
+            }
+            guard.conn = None;
+            if let Some(mut child) = guard.child.take() {
+                child.kill().ok();
+                child.wait().ok();
+            }
+            slot.live.store(false, Ordering::Relaxed);
+            *slot.hb.lock().unwrap() = None;
+        }
+    }
+
+    /// One attempt of an exchange: relay every source's entries, apply the
+    /// kill injection between the phases (buffered data is genuinely
+    /// lost), then collect every destination's inbox. Errors name the
+    /// worker so the caller can repair it.
+    #[allow(clippy::type_complexity)]
+    fn try_exchange(
+        &self,
+        ctx: &ExchangeCtx<'_>,
+        schema: &Schema,
+        entries: &[Vec<(u32, Vec<u8>)>],
+        expect: &[u32],
+        attempt: u32,
+    ) -> std::result::Result<Vec<Relation>, (usize, WireError)> {
+        let inner = &self.inner;
+        let xid = inner.next_xid.fetch_add(1, Ordering::Relaxed);
+        let watermark = {
+            let mut inflight = inner.inflight.lock().unwrap();
+            inflight.insert(xid);
+            *inflight.iter().next().expect("just inserted")
+        };
+        // Deregister the xid however this attempt ends.
+        struct Deregister<'a>(&'a ProcInner, u64);
+        impl Drop for Deregister<'_> {
+            fn drop(&mut self) {
+                self.0.inflight.lock().unwrap().remove(&self.1);
+            }
+        }
+        let _dereg = Deregister(inner, xid);
+        for w in 0..inner.n {
+            if let Some(d) = ctx.fault.delay_socket(ctx.site, w, attempt) {
+                std::thread::sleep(d);
+            }
+            if ctx.fault.drop_connection(ctx.site, w, attempt) {
+                inner.sever(w);
+                // The next send on this slot re-establishes the connection.
+                ctx.fault.record_reconnect();
+            }
+        }
+        for (from, batch) in entries.iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            let payload: u64 = batch.iter().map(|(_, p)| p.len() as u64).sum();
+            let msg = Msg::Relay { xid, watermark, entries: batch.clone() };
+            let (reply, tx, rx) = inner.send_ctl(from, &msg).map_err(|e| (from, e))?;
+            ctx.metrics.record_wire_tx(tx, payload);
+            ctx.metrics.record_wire_rx(rx, 0);
+            match reply {
+                Msg::Ok => {}
+                Msg::Err(e) => {
+                    return Err((from, WireError::Io(std::io::Error::other(e))));
+                }
+                _ => return Err((from, WireError::Malformed("unexpected relay reply"))),
+            }
+        }
+        // Injection point: between relay and collect, so a killed worker
+        // takes its buffered buckets down with it.
+        for w in 0..inner.n {
+            if ctx.fault.kill_worker(ctx.site, w, attempt) {
+                inner.kill(w);
+            }
+        }
+        let mut parts: Vec<Relation> =
+            (0..inner.n).map(|_| Relation::new(schema.clone())).collect();
+        let arity = schema.arity();
+        for (to, &want) in expect.iter().enumerate() {
+            if want == 0 {
+                continue;
+            }
+            let msg = Msg::Take {
+                xid,
+                expect: want,
+                timeout_ms: inner.cfg.take_timeout.as_millis() as u64,
+            };
+            let (reply, tx, rx) = inner.send_ctl(to, &msg).map_err(|e| (to, e))?;
+            ctx.metrics.record_wire_tx(tx, 0);
+            match reply {
+                Msg::TakeReply(got) => {
+                    let payload: u64 = got.iter().map(|(_, p)| p.len() as u64).sum();
+                    ctx.metrics.record_wire_rx(rx, payload);
+                    if (got.len() as u32) < want {
+                        return Err((
+                            to,
+                            WireError::Io(std::io::Error::other(format!(
+                                "short exchange: {} of {want} buckets",
+                                got.len()
+                            ))),
+                        ));
+                    }
+                    for (_, payload) in got {
+                        let rows = decode_rows(&payload, arity).map_err(|e| (to, e))?;
+                        for row in rows {
+                            parts[to].insert(row);
+                        }
+                    }
+                }
+                _ => return Err((to, WireError::Malformed("unexpected take reply"))),
+            }
+        }
+        Ok(parts)
+    }
+}
+
+impl CommBackend for ProcCluster {
+    fn name(&self) -> &'static str {
+        "proc"
+    }
+
+    fn worker_count(&self) -> Option<usize> {
+        Some(self.inner.n)
+    }
+
+    fn exchange(
+        &self,
+        ctx: &ExchangeCtx<'_>,
+        schema: &Schema,
+        buckets: Vec<Vec<Vec<Row>>>,
+    ) -> Result<Vec<Relation>> {
+        let n = self.inner.n;
+        assert_eq!(ctx.workers, n, "exchange shape must match the process cluster");
+        let arity = schema.arity();
+        // Serialize every bucket once, and take the injection decisions
+        // once, up front: retries of the same exchange must not re-roll
+        // (or re-count) the same fault coordinates. An injected drop is a
+        // first copy lost in transit — we ship the retransmission too, so
+        // it costs real extra bytes; an injected duplicate ships twice.
+        // Both extra copies are absorbed by the set merge.
+        let mut entries: Vec<Vec<(u32, Vec<u8>)>> = vec![Vec::new(); n];
+        let mut expect = vec![0u32; n];
+        for (from, worker_buckets) in buckets.iter().enumerate() {
+            for (to, bucket) in worker_buckets.iter().enumerate() {
+                if bucket.is_empty() {
+                    continue;
+                }
+                let payload = encode_rows(arity, bucket);
+                let mut copies = 1u32;
+                if ctx.fault.is_active() {
+                    if ctx.fault.drop_exchange(ctx.site, from, to) {
+                        ctx.fault.record_time_lost(Duration::from_micros(bucket.len() as u64));
+                        copies += 1;
+                    }
+                    if ctx.fault.duplicate_exchange(ctx.site, from, to) {
+                        copies += 1;
+                    }
+                }
+                for _ in 0..copies {
+                    entries[from].push((to as u32, payload.clone()));
+                    expect[to] += 1;
+                }
+            }
+        }
+        let max_attempts = ctx.recovery.max_retries + ctx.fault.config().failures_per_site + 2;
+        let mut last: (usize, WireError) = (0, WireError::Malformed("exchange never attempted"));
+        for attempt in 0..max_attempts {
+            if let Some(c) = ctx.cancel {
+                if let Err(e) = c.check() {
+                    self.cancel_all();
+                    return Err(e);
+                }
+            }
+            match self.try_exchange(ctx, schema, &entries, &expect, attempt) {
+                Ok(parts) => return Ok(parts),
+                Err((w, e)) => {
+                    if std::env::var("MURA_PROC_DEBUG").is_ok() {
+                        eprintln!(
+                            "exchange site={} attempt={attempt} failed at w{w}: {e}",
+                            ctx.site
+                        );
+                    }
+                    last = (w, e);
+                    // Respawn whatever died, then re-announce the port map
+                    // to everyone: the failure may be a live worker still
+                    // delivering to a dead peer's old port (it missed the
+                    // respawn announcement while it was itself down).
+                    // Retry the whole exchange under a fresh xid.
+                    for v in 0..n {
+                        let sever = v == w;
+                        let _ = self.inner.repair(v, Some(ctx.fault), sever);
+                    }
+                    self.inner.sync_peers();
+                }
+            }
+        }
+        // Retryable: escalates into the recovery ladder (stage rerun,
+        // checkpoint restore, restart) exactly like a task failure.
+        Err(last.1.into_worker_failed(last.0))
+    }
+
+    fn broadcast(&self, ctx: &ExchangeCtx<'_>, rel: &Relation) -> Result<()> {
+        let payload = encode_relation(rel);
+        // The broadcast allocates its own fault site: the simulator backend
+        // never consumes one here, and site streams must stay aligned.
+        let site = ctx.fault.next_site();
+        let max_attempts = ctx.recovery.max_retries + ctx.fault.config().failures_per_site + 2;
+        for w in 0..self.inner.n {
+            let mut attempt = 0u32;
+            loop {
+                if let Some(c) = ctx.cancel {
+                    c.check()?;
+                }
+                if let Some(d) = ctx.fault.delay_socket(site, w, attempt) {
+                    std::thread::sleep(d);
+                }
+                if ctx.fault.drop_connection(site, w, attempt) {
+                    self.inner.sever(w);
+                    ctx.fault.record_reconnect();
+                }
+                if ctx.fault.kill_worker(site, w, attempt) {
+                    self.inner.kill(w);
+                }
+                let sent = match self.inner.send_ctl(w, &Msg::Bcast(payload.clone())) {
+                    Ok((Msg::Ok, tx, rx)) => {
+                        ctx.metrics.record_wire_tx(tx, payload.len() as u64);
+                        ctx.metrics.record_wire_rx(rx, 0);
+                        Ok(())
+                    }
+                    Ok(_) => Err(WireError::Malformed("unexpected broadcast reply")),
+                    Err(e) => Err(e),
+                };
+                match sent {
+                    Ok(()) => break,
+                    Err(e) => {
+                        attempt += 1;
+                        if attempt >= max_attempts {
+                            return Err(e.into_worker_failed(w));
+                        }
+                        let _ = self.inner.repair(w, Some(ctx.fault), true);
+                        self.inner.sync_peers();
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn health(&self) -> Option<ClusterHealth> {
+        Some(self.inner.health())
+    }
+}
+
+impl Drop for ProcCluster {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_bin_resolves_to_sibling() {
+        let cfg = ProcClusterConfig::default();
+        let p = worker_bin(&cfg);
+        assert_eq!(p.file_name().unwrap(), "mura-worker");
+        // Unit tests run from target/*/deps/<test-bin>; the resolved path
+        // must not point inside deps/.
+        assert!(p.parent().is_some_and(|d| d.file_name().is_none_or(|f| f != "deps")));
+    }
+
+    #[test]
+    fn explicit_worker_bin_wins() {
+        let cfg = ProcClusterConfig {
+            worker_bin: Some(PathBuf::from("/x/y/mura-worker")),
+            ..Default::default()
+        };
+        assert_eq!(worker_bin(&cfg), PathBuf::from("/x/y/mura-worker"));
+    }
+
+    #[test]
+    fn config_timings_are_ordered() {
+        let cfg = ProcClusterConfig::default();
+        assert!(cfg.take_timeout < cfg.io_timeout, "collect wait must fit inside socket timeout");
+        assert!(cfg.heartbeat < cfg.liveness_timeout);
+    }
+}

@@ -1,0 +1,200 @@
+//! The `mura-worker` process: a data-exchange node of the multi-process
+//! cluster backend ([`crate::proc::ProcCluster`]).
+//!
+//! A worker never decodes rows — exchange payloads are opaque byte blobs.
+//! Its whole job is the data plane:
+//!
+//! * on [`Msg::Relay`], forward each `(to, payload)` bucket to the
+//!   destination peer over a direct worker↔worker TCP connection
+//!   ([`Msg::Deliver`]), buffering self-addressed buckets locally;
+//! * on [`Msg::Deliver`] from a peer, buffer the bucket under its
+//!   exchange id and wake any pending [`Msg::Take`];
+//! * on [`Msg::Take`], block (bounded) until the expected number of
+//!   buckets arrived, then hand them to the coordinator.
+//!
+//! The coordinator keeps computation (the fixpoint drivers run its task
+//! threads unchanged); the workers make the *communication* real: every
+//! exchanged partition genuinely crosses two sockets, so bytes-on-the-wire
+//! accounting measures actual traffic.
+//!
+//! Liveness: the worker exits when its stdin reaches EOF (the coordinator
+//! holds the write end, so coordinator death reaps the worker — no orphan
+//! processes), or when it receives [`Msg::Exit`].
+
+use crate::wire::{read_frame, write_frame, Msg, WireError};
+use std::collections::HashMap;
+use std::io::Read;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Buffered exchange buckets awaiting a [`Msg::Take`]: `xid → [(from, payload)]`.
+type Inbox = HashMap<u64, Vec<(u32, Vec<u8>)>>;
+
+/// Shared state of one worker process.
+#[derive(Debug, Default)]
+struct WorkerState {
+    /// This worker's index, set by [`Msg::Hello`].
+    id: AtomicU32,
+    /// Peer listen ports (index = worker id), refreshed by [`Msg::Peers`]
+    /// after every respawn.
+    peers: Mutex<Vec<u16>>,
+    /// Cached outgoing peer connections, invalidated on [`Msg::Peers`].
+    peer_conns: Mutex<HashMap<u32, TcpStream>>,
+    /// Buffered exchange buckets: `xid → [(from, payload)]`.
+    inbox: Mutex<Inbox>,
+    /// Wakes [`Msg::Take`] waiters when a bucket arrives.
+    arrived: Condvar,
+}
+
+impl WorkerState {
+    fn buffer(&self, xid: u64, from: u32, payload: Vec<u8>) {
+        let mut inbox = self.inbox.lock().unwrap();
+        inbox.entry(xid).or_default().push((from, payload));
+        self.arrived.notify_all();
+    }
+
+    /// Sends `payload` to peer `to`, reconnecting once on a stale cached
+    /// connection (the peer may have been respawned on a new port).
+    fn deliver(&self, to: u32, msg: &Msg) -> Result<(), WireError> {
+        let mut conns = self.peer_conns.lock().unwrap();
+        if let Some(conn) = conns.get_mut(&to) {
+            if write_frame(conn, msg).is_ok() {
+                return Ok(());
+            }
+            conns.remove(&to);
+        }
+        let port = {
+            let peers = self.peers.lock().unwrap();
+            *peers.get(to as usize).ok_or(WireError::Malformed("unknown peer"))?
+        };
+        let addr = std::net::SocketAddr::from(([127, 0, 0, 1], port));
+        let mut conn = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
+        conn.set_nodelay(true).ok();
+        conn.set_write_timeout(Some(Duration::from_secs(5))).ok();
+        write_frame(&mut conn, msg)?;
+        conns.insert(to, conn);
+        Ok(())
+    }
+}
+
+/// Serves one accepted connection until EOF. Any connection may carry any
+/// message: the coordinator's control and heartbeat connections and peers'
+/// `Deliver` streams all land here.
+fn handle_conn(state: &Arc<WorkerState>, mut conn: TcpStream) {
+    conn.set_nodelay(true).ok();
+    loop {
+        let msg = match read_frame(&mut conn) {
+            Ok((msg, _)) => msg,
+            Err(_) => return, // EOF or a bad frame: close this connection.
+        };
+        let reply = match msg {
+            Msg::Hello { id, .. } => {
+                state.id.store(id, Ordering::SeqCst);
+                Some(Msg::Ok)
+            }
+            Msg::Peers(ports) => {
+                *state.peers.lock().unwrap() = ports;
+                // Ports may have changed (respawn): cached streams are stale.
+                state.peer_conns.lock().unwrap().clear();
+                Some(Msg::Ok)
+            }
+            Msg::Ping => Some(Msg::Pong),
+            Msg::Relay { xid, watermark, entries } => {
+                // Prune abandoned exchange attempts before buffering new ones.
+                state.inbox.lock().unwrap().retain(|&k, _| k >= watermark);
+                let me = state.id.load(Ordering::SeqCst);
+                let mut failed: Option<String> = None;
+                for (to, payload) in entries {
+                    if to == me {
+                        state.buffer(xid, me, payload);
+                        continue;
+                    }
+                    let deliver = Msg::Deliver { xid, from: me, payload };
+                    if let Err(e) = state.deliver(to, &deliver) {
+                        failed = Some(format!("deliver to {to}: {e}"));
+                        break;
+                    }
+                }
+                Some(match failed {
+                    None => Msg::Ok,
+                    Some(e) => Msg::Err(e),
+                })
+            }
+            Msg::Deliver { xid, from, payload } => {
+                state.buffer(xid, from, payload);
+                None // One-way: peers do not wait for acks.
+            }
+            Msg::Take { xid, expect, timeout_ms } => {
+                let deadline = Instant::now() + Duration::from_millis(timeout_ms);
+                let mut inbox = state.inbox.lock().unwrap();
+                loop {
+                    let have = inbox.get(&xid).map_or(0, |v| v.len());
+                    if have >= expect as usize {
+                        break;
+                    }
+                    let left = deadline.saturating_duration_since(Instant::now());
+                    if left.is_zero() {
+                        break;
+                    }
+                    let (guard, _) = state.arrived.wait_timeout(inbox, left).unwrap();
+                    inbox = guard;
+                }
+                // Hand over whatever arrived; the coordinator checks the
+                // count and retries the whole exchange (fresh xid) if short.
+                Some(Msg::TakeReply(inbox.remove(&xid).unwrap_or_default()))
+            }
+            Msg::Bcast(_payload) => {
+                // Broadcast replication traffic: the bytes crossed the wire
+                // (that is what is being measured); the replica itself is
+                // not consulted — computation stays coordinator-side.
+                Some(Msg::Ok)
+            }
+            Msg::Cancel => {
+                state.inbox.lock().unwrap().clear();
+                state.arrived.notify_all();
+                Some(Msg::Ok)
+            }
+            Msg::Exit => std::process::exit(0),
+            // Replies arriving as requests: protocol error, drop the conn.
+            Msg::Pong | Msg::Ok | Msg::Err(_) | Msg::TakeReply(_) => return,
+        };
+        if let Some(reply) = reply {
+            if write_frame(&mut conn, &reply).is_err() {
+                return;
+            }
+        }
+    }
+}
+
+/// Runs a worker: binds a loopback listener, reports the port through
+/// `on_port`, and serves connections until [`Msg::Exit`] (which exits the
+/// process). Used by the `mura-worker` binary.
+pub fn run_worker(on_port: impl FnOnce(u16)) -> std::io::Result<()> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    on_port(listener.local_addr()?.port());
+    let state = Arc::new(WorkerState::default());
+    for conn in listener.incoming() {
+        let Ok(conn) = conn else { continue };
+        let state = Arc::clone(&state);
+        std::thread::spawn(move || handle_conn(&state, conn));
+    }
+    Ok(())
+}
+
+/// Exits the process when stdin reaches EOF: the coordinator holds the
+/// write end of the pipe, so its death (clean or not) reaps this worker.
+/// Spawned as a daemon thread by the `mura-worker` binary.
+pub fn exit_on_stdin_eof() {
+    std::thread::spawn(|| {
+        let mut buf = [0u8; 64];
+        let mut stdin = std::io::stdin();
+        loop {
+            match stdin.read(&mut buf) {
+                Ok(0) | Err(_) => std::process::exit(0),
+                Ok(_) => {}
+            }
+        }
+    });
+}

@@ -154,6 +154,12 @@ pub struct TraceEvent {
     pub broadcasts: u64,
     /// Rows replicated by broadcasts during this event's window.
     pub rows_broadcast: u64,
+    /// Data-plane payload bytes that crossed worker sockets during this
+    /// event's window (zero on the in-process simulator backend). Measured,
+    /// not simulated — but excluded from [`QueryTrace::signature`] because
+    /// repair-path retransmissions under real process kills are timing
+    /// dependent.
+    pub wire_exchange_bytes: u64,
     /// Join/antijoin index builds (process-wide delta, best effort).
     pub index_builds: u64,
     /// Rows probed against cached join indexes (process-wide delta).
@@ -183,6 +189,7 @@ impl Default for TraceEvent {
             rows_shuffled: 0,
             broadcasts: 0,
             rows_broadcast: 0,
+            wire_exchange_bytes: 0,
             index_builds: 0,
             join_probes: 0,
             antijoin_probes: 0,
@@ -469,7 +476,8 @@ fn write_event_json(out: &mut String, e: &TraceEvent) {
         out,
         "{{\"kind\": \"{}\", \"fixpoint\": {}, \"plan\": \"{}\", \"worker\": {}, \
          \"iteration\": {}, \"delta_rows\": {}, \"shuffles\": {}, \"rows_shuffled\": {}, \
-         \"broadcasts\": {}, \"rows_broadcast\": {}, \"index_builds\": {}, \"join_probes\": {}, \
+         \"broadcasts\": {}, \"rows_broadcast\": {}, \"wire_exchange_bytes\": {}, \
+         \"index_builds\": {}, \"join_probes\": {}, \
          \"antijoin_probes\": {}, \"faults\": {}, \"recovery\": \"{}\", \"t_us\": {}, \
          \"dur_us\": {}}}",
         e.kind.name(),
@@ -482,6 +490,7 @@ fn write_event_json(out: &mut String, e: &TraceEvent) {
         e.rows_shuffled,
         e.broadcasts,
         e.rows_broadcast,
+        e.wire_exchange_bytes,
         e.index_builds,
         e.join_probes,
         e.antijoin_probes,

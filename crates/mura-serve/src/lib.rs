@@ -73,5 +73,5 @@ pub mod server;
 pub use cache::{plan_key, LruCache};
 pub use error::{OverloadReason, ServeError, ServeResult};
 pub use mura_ivm::{DeltaBatch, RelDelta};
-pub use protocol::{read_response, serve_tcp, TcpServeHandle};
-pub use server::{Client, DeltaSummary, Pending, ServeConfig, ServeStats, Server};
+pub use protocol::{read_response, serve_tcp, FrameError, TcpServeHandle, MAX_LINE};
+pub use server::{Client, ClusterMode, DeltaSummary, Pending, ServeConfig, ServeStats, Server};

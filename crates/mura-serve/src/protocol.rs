@@ -50,6 +50,87 @@ use std::time::Duration;
 /// Response terminator line.
 pub const TERMINATOR: &str = ".";
 
+/// Maximum accepted protocol line, in bytes. Lines are this protocol's
+/// frames: without a cap, a peer streaming an unterminated (or simply
+/// enormous) "line" — garbage bytes, a runaway generator — grows the
+/// read buffer without bound before the parser ever sees a newline.
+/// Legitimate traffic (query text, `.metrics` pages rendered line by
+/// line) stays far below a mebibyte.
+pub const MAX_LINE: usize = 1 << 20;
+
+/// Typed framing violations, carried as the payload of
+/// [`io::ErrorKind::InvalidData`] errors from the capped line reader.
+/// After either violation the stream cannot be resynchronized (the rest
+/// of the bad line is indistinguishable from new frames), so the
+/// connection must be dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// A line exceeded [`MAX_LINE`] bytes before its newline arrived.
+    TooLong { limit: usize },
+    /// A line's bytes were not valid UTF-8 (binary garbage on the port).
+    InvalidUtf8,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::TooLong { limit } => {
+                write!(f, "protocol line exceeds {limit} bytes before newline")
+            }
+            FrameError::InvalidUtf8 => write!(f, "protocol line is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Reads one `\n`-terminated line into `line` (cleared first), enforcing
+/// [`MAX_LINE`]. Returns the byte count read (0 at EOF, like
+/// `read_line`); violations surface as [`io::ErrorKind::InvalidData`]
+/// with a [`FrameError`] payload. Both the server loop and
+/// [`read_response`] frame through here, so neither side trusts the
+/// other's framing.
+fn read_line_capped(reader: &mut impl BufRead, line: &mut String) -> io::Result<usize> {
+    line.clear();
+    let mut raw: Vec<u8> = Vec::new();
+    loop {
+        let (consumed, done, overflow) = {
+            let buf = reader.fill_buf()?;
+            if buf.is_empty() {
+                (0, true, false) // EOF: return what arrived so far
+            } else {
+                let (chunk, done) = match buf.iter().position(|&b| b == b'\n') {
+                    Some(i) => (&buf[..=i], true),
+                    None => (buf, false),
+                };
+                if raw.len() + chunk.len() > MAX_LINE {
+                    (chunk.len(), done, true)
+                } else {
+                    raw.extend_from_slice(chunk);
+                    (chunk.len(), done, false)
+                }
+            }
+        };
+        reader.consume(consumed);
+        if overflow {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                FrameError::TooLong { limit: MAX_LINE },
+            ));
+        }
+        if done {
+            break;
+        }
+    }
+    match std::str::from_utf8(&raw) {
+        Ok(s) => {
+            line.push_str(s);
+            Ok(raw.len())
+        }
+        Err(_) => Err(io::Error::new(io::ErrorKind::InvalidData, FrameError::InvalidUtf8)),
+    }
+}
+
 /// A running TCP acceptor; stop it with [`TcpServeHandle::stop`].
 pub struct TcpServeHandle {
     addr: SocketAddr,
@@ -120,9 +201,17 @@ fn handle_connection(stream: TcpStream, client: &Client) -> io::Result<()> {
     let mut deadline: Option<Duration> = None;
     let mut line = String::new();
     loop {
-        line.clear();
-        if reader.read_line(&mut line)? == 0 {
-            return Ok(()); // EOF
+        match read_line_capped(&mut reader, &mut line) {
+            Ok(0) => return Ok(()), // EOF
+            Ok(_) => {}
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                // Framing violation (oversized or binary line): answer
+                // once with a typed error, then drop the connection — the
+                // rest of the bad line cannot be told apart from frames.
+                let _ = write_block(&mut out, &format!("ERR {e}"), &[]);
+                return Ok(());
+            }
+            Err(e) => return Err(e),
         }
         let line = line.trim();
         if line.is_empty() {
@@ -359,17 +448,21 @@ fn write_block(out: &mut TcpStream, status: &str, body: &[String]) -> io::Result
 }
 
 /// Client-side helper: reads one protocol response (status line + body up
-/// to the `.` terminator). Returns `(status, body)`.
+/// to the `.` terminator). Returns `(status, body)`. Lines are read
+/// through the same [`MAX_LINE`]-capped reader as the server loop, so a
+/// malicious or corrupted server cannot balloon the client either; a
+/// response truncated before its terminator is an
+/// [`io::ErrorKind::UnexpectedEof`] error, never a silent partial answer.
 pub fn read_response(reader: &mut impl BufRead) -> io::Result<(String, Vec<String>)> {
     let mut status = String::new();
-    if reader.read_line(&mut status)? == 0 {
+    if read_line_capped(reader, &mut status)? == 0 {
         return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "connection closed"));
     }
     let status = status.trim_end().to_string();
     let mut body = Vec::new();
+    let mut line = String::new();
     loop {
-        let mut line = String::new();
-        if reader.read_line(&mut line)? == 0 {
+        if read_line_capped(reader, &mut line)? == 0 {
             return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "missing terminator"));
         }
         let line = line.trim_end();
@@ -377,5 +470,51 @@ pub fn read_response(reader: &mut impl BufRead) -> io::Result<(String, Vec<Strin
             return Ok((status, body));
         }
         body.push(line.to_string());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn capped_reader_round_trips_normal_lines() {
+        let mut r = Cursor::new(b"hello\nworld\n".to_vec());
+        let mut line = String::new();
+        assert_eq!(read_line_capped(&mut r, &mut line).unwrap(), 6);
+        assert_eq!(line.trim_end(), "hello");
+        assert_eq!(read_line_capped(&mut r, &mut line).unwrap(), 6);
+        assert_eq!(line.trim_end(), "world");
+        assert_eq!(read_line_capped(&mut r, &mut line).unwrap(), 0); // EOF
+    }
+
+    #[test]
+    fn oversized_line_is_a_typed_error_not_an_allocation() {
+        // An unterminated 2 MiB blast must fail at the cap, not buffer on.
+        let mut r = Cursor::new(vec![b'x'; 2 * MAX_LINE]);
+        let mut line = String::new();
+        let e = read_line_capped(&mut r, &mut line).unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+        let frame = e.get_ref().and_then(|s| s.downcast_ref::<FrameError>());
+        assert_eq!(frame, Some(&FrameError::TooLong { limit: MAX_LINE }));
+    }
+
+    #[test]
+    fn binary_garbage_is_a_typed_error() {
+        let mut r = Cursor::new(vec![0xff, 0xfe, 0x80, b'\n']);
+        let mut line = String::new();
+        let e = read_line_capped(&mut r, &mut line).unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+        let frame = e.get_ref().and_then(|s| s.downcast_ref::<FrameError>());
+        assert_eq!(frame, Some(&FrameError::InvalidUtf8));
+    }
+
+    #[test]
+    fn truncated_response_is_unexpected_eof() {
+        // Status line arrives, body is cut off before the terminator.
+        let mut r = Cursor::new(b"OK 1 rows\n(0, 1)\n".to_vec());
+        let e = read_response(&mut r).unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof);
     }
 }

@@ -40,18 +40,37 @@ use mura_core::fxhash::{FxHashMap, FxHasher};
 use mura_core::{mem_gauge, rel_bytes, CancellationToken, Database, Term};
 use mura_dist::exec::ResourceLimits;
 use mura_dist::explain_plan;
-use mura_dist::{FixResume, PlannedQuery, QueryEngine, QueryOutput, TraceLevel};
+use mura_dist::{
+    ClusterHealth, CommBackend, FixResume, PlannedQuery, ProcCluster, ProcClusterConfig,
+    QueryEngine, QueryOutput, TraceLevel,
+};
 use mura_ivm::{plan_maintenance, DeltaBatch, FallbackReason, IvmOutcome};
 use mura_obs::histogram::fmt_us;
 use mura_obs::{Histogram, PromText};
 use mura_rewrite::cost::{CostModel, Stats};
 use mura_rewrite::FeedbackStore;
 use std::hash::{Hash, Hasher};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Where query executions exchange partitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ClusterMode {
+    /// The in-process cluster simulator (threads in this process,
+    /// simulated communication accounting). The default.
+    #[default]
+    InProcess,
+    /// A real [`ProcCluster`]: `workers` separate OS worker processes
+    /// exchanging partitions over TCP, supervised with heartbeats and
+    /// respawned on death. Wire bytes show up in the `mura_wire_bytes_total`
+    /// metrics and the cluster gauges. The process cluster's worker count
+    /// overrides the engine's `ExecConfig::workers` for every execution.
+    Processes { workers: usize },
+}
 
 /// Serving configuration.
 #[derive(Debug, Clone)]
@@ -87,6 +106,12 @@ pub struct ServeConfig {
     /// Grace window for [`Server::drain`]: in-flight and queued queries
     /// that outlive it are cancelled (their replies still delivered).
     pub drain_grace: Duration,
+    /// Communication substrate for executions (see [`ClusterMode`]).
+    pub cluster: ClusterMode,
+    /// Explicit `mura-worker` binary path for [`ClusterMode::Processes`].
+    /// `None` resolves via the `MURA_WORKER_BIN` environment variable,
+    /// then a sibling of the current executable.
+    pub worker_bin: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -103,6 +128,8 @@ impl Default for ServeConfig {
             breaker_threshold: 3,
             breaker_cooldown: Duration::from_secs(1),
             drain_grace: Duration::from_secs(5),
+            cluster: ClusterMode::InProcess,
+            worker_bin: None,
         }
     }
 }
@@ -217,6 +244,20 @@ pub struct ServeStats {
     pub comm_rows_shuffled: u64,
     pub comm_broadcasts: u64,
     pub comm_rows_broadcast: u64,
+    /// Process-cluster supervision gauges/counters: configured workers,
+    /// workers currently answering heartbeats, worker processes respawned
+    /// and control connections re-established since startup. All zero
+    /// under [`ClusterMode::InProcess`].
+    pub cluster_workers: u64,
+    pub cluster_workers_live: u64,
+    pub cluster_respawns: u64,
+    pub cluster_reconnects: u64,
+    /// Measured bytes on worker sockets across fresh executions (frames
+    /// included), and the data-plane payload subset (exchange buckets and
+    /// broadcast relations). Zero under [`ClusterMode::InProcess`].
+    pub wire_tx_bytes: u64,
+    pub wire_rx_bytes: u64,
+    pub wire_exchange_bytes: u64,
 }
 
 impl ServeStats {
@@ -324,6 +365,19 @@ impl std::fmt::Display for ServeStats {
         )?;
         writeln!(
             f,
+            "cluster      {}/{} workers live, {} respawns / {} reconnects",
+            self.cluster_workers_live,
+            self.cluster_workers,
+            self.cluster_respawns,
+            self.cluster_reconnects
+        )?;
+        writeln!(
+            f,
+            "wire         {} bytes tx / {} bytes rx ({} payload)",
+            self.wire_tx_bytes, self.wire_rx_bytes, self.wire_exchange_bytes
+        )?;
+        writeln!(
+            f,
             "ivm          {} deltas (+{} -{} rows), {} maintained / {} untouched / {} recomputed, {} rows rederived",
             self.deltas_applied,
             self.delta_rows_inserted,
@@ -420,6 +474,11 @@ struct Telemetry {
     rows_shuffled: AtomicU64,
     broadcasts: AtomicU64,
     rows_broadcast: AtomicU64,
+    /// Measured socket bytes of fresh executions ([`ClusterMode::Processes`]
+    /// only; the in-process simulator moves no bytes).
+    wire_tx_bytes: AtomicU64,
+    wire_rx_bytes: AtomicU64,
+    wire_exchange_bytes: AtomicU64,
 }
 
 impl Telemetry {
@@ -428,6 +487,9 @@ impl Telemetry {
         self.rows_shuffled.fetch_add(comm.rows_shuffled, Ordering::Relaxed);
         self.broadcasts.fetch_add(comm.broadcasts, Ordering::Relaxed);
         self.rows_broadcast.fetch_add(comm.rows_broadcast, Ordering::Relaxed);
+        self.wire_tx_bytes.fetch_add(comm.wire_tx_bytes, Ordering::Relaxed);
+        self.wire_rx_bytes.fetch_add(comm.wire_rx_bytes, Ordering::Relaxed);
+        self.wire_exchange_bytes.fetch_add(comm.wire_exchange_bytes, Ordering::Relaxed);
     }
 }
 
@@ -546,7 +608,27 @@ struct ServerInner {
     /// reloaded data drops the affected observations (see `apply_delta`
     /// and [`Server::load`]).
     feedback: Mutex<FeedbackStore>,
+    /// The process cluster backing every execution under
+    /// [`ClusterMode::Processes`]: one supervised worker fleet shared by
+    /// all concurrent queries (exchange buffers are isolated per exchange
+    /// id on the wire). `None` under [`ClusterMode::InProcess`].
+    proc: Option<Arc<ProcCluster>>,
     config: ServeConfig,
+}
+
+impl ServerInner {
+    /// Routes an execution through the process cluster when one is
+    /// configured: the backend carries its own worker count, which must
+    /// override the engine's in-process worker count so partitioning
+    /// matches the fleet.
+    fn plug_backend(&self, config: &mut mura_dist::ExecConfig) {
+        if let Some(proc) = &self.proc {
+            if let Some(n) = proc.worker_count() {
+                config.workers = n;
+            }
+            config.backend = Some(Arc::clone(proc) as Arc<dyn CommBackend>);
+        }
+    }
 }
 
 /// Poison-tolerant lock helpers: a worker that panicked mid-query must not
@@ -816,6 +898,7 @@ impl ServerInner {
         // `apply_delta` maintain cached entries instead of discarding them,
         // and what feeds observed cardinalities back into the planner.
         config.capture_fixpoints = !traced;
+        self.plug_backend(&mut config);
         let out = engine.execute_plan_with(&planned, config).map(Arc::new).map_err(Into::into);
         self.breaker_record(key, &out);
         let out = out?;
@@ -960,6 +1043,7 @@ impl ServerInner {
                     config.limits = self.config.limits;
                     config.capture_fixpoints = true;
                     config.resume = Some(Arc::new(resume));
+                    self.plug_backend(&mut config);
                     let planned =
                         PlannedQuery { plan: cached.output.plan.clone(), planning: Duration::ZERO };
                     match engine.execute_plan_with(&planned, config) {
@@ -1055,7 +1139,29 @@ impl Server {
     /// (worker count, plan policy, local engine) is used for every query;
     /// `config.limits` and the per-query cancellation token override the
     /// corresponding fields per execution.
+    ///
+    /// Panics when [`ClusterMode::Processes`] is configured and the worker
+    /// fleet cannot be spawned — use [`Server::try_start`] to handle that
+    /// failure gracefully.
     pub fn start(engine: QueryEngine, config: ServeConfig) -> Server {
+        Server::try_start(engine, config).expect("spawn process cluster")
+    }
+
+    /// Like [`Server::start`], surfacing process-cluster spawn failures
+    /// (missing `mura-worker` binary, exhausted ports) as an error instead
+    /// of panicking. [`ClusterMode::InProcess`] cannot fail.
+    pub fn try_start(engine: QueryEngine, config: ServeConfig) -> ServeResult<Server> {
+        let proc = match config.cluster {
+            ClusterMode::InProcess => None,
+            ClusterMode::Processes { workers } => {
+                let proc_cfg = ProcClusterConfig {
+                    workers: workers.max(1),
+                    worker_bin: config.worker_bin.clone(),
+                    ..ProcClusterConfig::default()
+                };
+                Some(ProcCluster::spawn_with(proc_cfg)?)
+            }
+        };
         let workers = config.workers.max(1);
         let (tx, rx) = sync_channel::<Job>(config.queue_depth.max(1));
         let inner = Arc::new(ServerInner {
@@ -1074,6 +1180,7 @@ impl Server {
             next_job: AtomicU64::new(0),
             cost_stats: Mutex::new(None),
             feedback: Mutex::new(FeedbackStore::new()),
+            proc,
             config,
         });
         {
@@ -1091,7 +1198,13 @@ impl Server {
                     .expect("spawn worker thread")
             })
             .collect();
-        Server { inner, tx, workers: handles }
+        Ok(Server { inner, tx, workers: handles })
+    }
+
+    /// Supervisor health of the process cluster, if one is configured
+    /// ([`ClusterMode::Processes`]); `None` for the in-process simulator.
+    pub fn cluster_health(&self) -> Option<ClusterHealth> {
+        self.inner.proc.as_ref().map(|p| p.health_snapshot())
     }
 
     /// A cheap, cloneable client handle. Clients stay valid for the
@@ -1184,6 +1297,12 @@ impl Server {
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
+        // Only after every in-flight execution has finished: the fleet is
+        // shared, and an exchange against dead workers would be a spurious
+        // failure instead of a served answer.
+        if let Some(proc) = &self.inner.proc {
+            proc.shutdown();
+        }
     }
 
     /// Graceful shutdown: stop accepting, let queued and in-flight
@@ -1195,6 +1314,9 @@ impl Server {
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
+        if let Some(proc) = &self.inner.proc {
+            proc.shutdown();
+        }
         stats
     }
 }
@@ -1202,7 +1324,12 @@ impl Server {
 impl Drop for Server {
     fn drop(&mut self) {
         if self.workers.is_empty() {
-            return; // already shut down explicitly
+            // Already shut down explicitly; `shutdown`/`drain` also tore
+            // down the process fleet (ProcCluster::shutdown is idempotent).
+            if let Some(proc) = &self.inner.proc {
+                proc.shutdown();
+            }
+            return;
         }
         self.inner.closing.store(true, Ordering::SeqCst);
         for _ in 0..self.workers.len() {
@@ -1210,6 +1337,9 @@ impl Drop for Server {
         }
         for h in self.workers.drain(..) {
             let _ = h.join();
+        }
+        if let Some(proc) = &self.inner.proc {
+            proc.shutdown();
         }
     }
 }
@@ -1312,6 +1442,8 @@ fn stats_of(inner: &ServerInner) -> ServeStats {
         let fb = lock(&inner.feedback);
         (fb.len() as u64, fb.generation())
     };
+    // All-zero under the in-process simulator: there is no fleet.
+    let health = inner.proc.as_ref().map(|p| p.health_snapshot()).unwrap_or_default();
     ServeStats {
         submitted: c.submitted.load(Ordering::Relaxed),
         rejected: c.rejected.load(Ordering::Relaxed),
@@ -1368,6 +1500,13 @@ fn stats_of(inner: &ServerInner) -> ServeStats {
         comm_rows_shuffled: t.rows_shuffled.load(Ordering::Relaxed),
         comm_broadcasts: t.broadcasts.load(Ordering::Relaxed),
         comm_rows_broadcast: t.rows_broadcast.load(Ordering::Relaxed),
+        cluster_workers: health.workers,
+        cluster_workers_live: health.live,
+        cluster_respawns: health.respawns,
+        cluster_reconnects: health.reconnects,
+        wire_tx_bytes: t.wire_tx_bytes.load(Ordering::Relaxed),
+        wire_rx_bytes: t.wire_rx_bytes.load(Ordering::Relaxed),
+        wire_exchange_bytes: t.wire_exchange_bytes.load(Ordering::Relaxed),
     }
 }
 
@@ -1434,6 +1573,41 @@ fn metrics_of(inner: &ServerInner) -> String {
         "mura_comm_rows_broadcast_total",
         "Rows replicated by broadcasts.",
         s.comm_rows_broadcast,
+    );
+    // Process-cluster families are emitted unconditionally (all-zero in
+    // in-process mode) so dashboards and the obs_smoke validator see a
+    // stable exposition regardless of the configured ClusterMode.
+    p.gauge(
+        "mura_cluster_workers",
+        "Configured process-cluster worker count (0 in in-process mode).",
+        s.cluster_workers as f64,
+    );
+    p.gauge(
+        "mura_cluster_workers_live",
+        "Process-cluster workers currently answering heartbeats.",
+        s.cluster_workers_live as f64,
+    );
+    p.counter(
+        "mura_cluster_respawns_total",
+        "Worker processes respawned after death or SIGKILL.",
+        s.cluster_respawns,
+    );
+    p.counter(
+        "mura_cluster_reconnects_total",
+        "Worker control connections re-established after drops.",
+        s.cluster_reconnects,
+    );
+    p.family(
+        "mura_wire_bytes_total",
+        "counter",
+        "Measured bytes on worker sockets across fresh executions, frames included.",
+    );
+    p.sample("mura_wire_bytes_total", &[("dir", "tx")], s.wire_tx_bytes as f64);
+    p.sample("mura_wire_bytes_total", &[("dir", "rx")], s.wire_rx_bytes as f64);
+    p.counter(
+        "mura_wire_exchange_bytes_total",
+        "Data-plane payload bytes that crossed worker sockets (the measured P_plw claim).",
+        s.wire_exchange_bytes,
     );
     p.counter("mura_faults_injected_total", "Faults injected into executions.", s.faults_injected);
     p.family("mura_fault_recoveries_total", "counter", "Recovery actions by kind.");

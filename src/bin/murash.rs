@@ -63,14 +63,18 @@ commands:
   .quit                  exit
 anything else is parsed as a UCRPQ query and executed.
 start with `murash --connect <addr>` to talk to a remote .serve instance
-(busy/overloaded replies carrying retry-after-ms are retried once),
+(busy/overloaded replies carrying retry-after-ms are retried once; a
+dropped connection is re-established once with backoff),
 `murash --drain <addr>` to gracefully drain a remote server,
 `murash --connect <addr> --mutate <file>` to stream a batch of
 `insert`/`delete` lines and print one reply per mutation,
+`--cluster <n>` to run queries on n real worker processes over TCP
+(`--worker-bin <path>` overrides the mura-worker binary),
 `--chaos <seed>` for fault injection, `--trace-out <path>` to dump each
 query's trace as JSON (Chrome-trace compatible under \"traceEvents\").";
 
 const USAGE: &str = "usage: murash [--connect <addr>] [--drain <addr>] [--mutate <file>] \
+                     [--cluster <n>] [--worker-bin <path>] \
                      [--chaos <seed>] [--trace-out <path>]";
 
 fn main() {
@@ -79,6 +83,8 @@ fn main() {
     let mut mutate: Option<String> = None;
     let mut chaos_seed: Option<u64> = None;
     let mut trace_out: Option<String> = None;
+    let mut cluster: Option<usize> = None;
+    let mut worker_bin: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = |flag: &str| {
@@ -99,6 +105,14 @@ fn main() {
                 }));
             }
             "--trace-out" => trace_out = Some(value("--trace-out")),
+            "--cluster" => {
+                let n = value("--cluster");
+                cluster = Some(n.parse().unwrap_or_else(|_| {
+                    eprintln!("invalid worker count '{n}'\n{USAGE}");
+                    std::process::exit(2);
+                }));
+            }
+            "--worker-bin" => worker_bin = Some(value("--worker-bin")),
             _ => {
                 eprintln!("unknown flag '{flag}'\n{USAGE}");
                 std::process::exit(2);
@@ -134,6 +148,28 @@ fn main() {
     if let Some(seed) = chaos_seed {
         config.fault = FaultConfig::chaos(seed);
         config.checkpoint_every = 2;
+    }
+    if let Some(n) = cluster {
+        let n = n.max(1);
+        let proc_cfg = mura_dist::ProcClusterConfig {
+            workers: n,
+            worker_bin: worker_bin.map(Into::into),
+            ..Default::default()
+        };
+        match mura_dist::ProcCluster::spawn_with(proc_cfg) {
+            Ok(proc) => {
+                config.workers = n;
+                config.backend = Some(proc as std::sync::Arc<dyn mura_dist::CommBackend>);
+                println!(
+                    "process cluster: {n} supervised workers over TCP \
+                     (heartbeats, respawn on death)"
+                );
+            }
+            Err(e) => {
+                eprintln!("error: spawn process cluster: {e}");
+                std::process::exit(1);
+            }
+        }
     }
     let mut shell = Shell {
         db: Database::new(),
@@ -565,11 +601,10 @@ fn build_delta(db: &Database, args: &[&str], insert: bool) -> Result<mura_serve:
 /// lines skipped) to a remote `.serve` instance, printing the one-line
 /// reply for each. Exits non-zero if any mutation is rejected.
 fn mutate_remote(addr: &str, path: &str) -> std::io::Result<()> {
-    use std::io::Write;
     let text = std::fs::read_to_string(path)?;
-    let stream = std::net::TcpStream::connect(addr)?;
-    let mut reader = std::io::BufReader::new(stream.try_clone()?);
-    let mut out = stream;
+    // No mid-stream reconnect here: a mutation whose reply was lost must
+    // not be blindly resent (it may already have applied server-side).
+    let mut conn = RemoteConn::connect(addr)?;
     let (mut applied, mut failed) = (0u64, 0u64);
     for (no, raw) in text.lines().enumerate() {
         let line = raw.trim();
@@ -582,9 +617,7 @@ fn mutate_remote(addr: &str, path: &str) -> std::io::Result<()> {
             failed += 1;
             continue;
         }
-        out.write_all(format!(".{verb}\n").as_bytes())?;
-        out.flush()?;
-        let (status, _) = mura_serve::read_response(&mut reader)?;
+        let (status, _) = conn.round_trip(&format!(".{verb}"))?;
         println!("{}:{}: {status}", path, no + 1);
         if status.starts_with("ERR") {
             failed += 1;
@@ -605,15 +638,60 @@ fn retry_after_of(status: &str) -> Option<u64> {
     status.split_whitespace().find_map(|tok| tok.strip_prefix("retry-after-ms=")?.parse().ok())
 }
 
+/// Socket read/write timeout for remote-mode connections: a hung or
+/// half-dead server surfaces as a timeout error instead of blocking the
+/// shell forever.
+const CLIENT_IO_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(30);
+
+/// One client connection to a `.serve` instance, with socket timeouts
+/// applied at connect time.
+struct RemoteConn {
+    reader: std::io::BufReader<std::net::TcpStream>,
+    out: std::net::TcpStream,
+}
+
+impl RemoteConn {
+    /// Connects with bounded exponential backoff (4 attempts, 50 → 400 ms)
+    /// and arms both socket timeouts, so neither a refused port during a
+    /// server restart nor a later stall hangs the client.
+    fn connect(addr: &str) -> std::io::Result<RemoteConn> {
+        let mut delay = std::time::Duration::from_millis(50);
+        let mut last: Option<std::io::Error> = None;
+        for attempt in 0..4 {
+            if attempt > 0 {
+                std::thread::sleep(delay);
+                delay = (delay * 2).min(std::time::Duration::from_millis(400));
+            }
+            match std::net::TcpStream::connect(addr) {
+                Ok(stream) => {
+                    stream.set_read_timeout(Some(CLIENT_IO_TIMEOUT))?;
+                    stream.set_write_timeout(Some(CLIENT_IO_TIMEOUT))?;
+                    let _ = stream.set_nodelay(true);
+                    let reader = std::io::BufReader::new(stream.try_clone()?);
+                    return Ok(RemoteConn { reader, out: stream });
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.expect("at least one connect attempt"))
+    }
+
+    /// Sends one protocol line and reads the response block.
+    fn round_trip(&mut self, line: &str) -> std::io::Result<(String, Vec<String>)> {
+        use std::io::Write;
+        self.out.write_all(format!("{line}\n").as_bytes())?;
+        self.out.flush()?;
+        mura_serve::read_response(&mut self.reader)
+    }
+}
+
 /// Interactive client against a `.serve` instance: forwards each line over
 /// TCP and prints the response block (status + body up to the `.`
 /// terminator). A busy/overloaded rejection carrying a `retry-after-ms`
-/// hint is honored with one automatic retry.
+/// hint is honored with one automatic retry; a dropped or timed-out
+/// connection is re-established once (with backoff) and the line resent.
 fn client_repl(addr: &str) -> std::io::Result<()> {
-    use std::io::Write;
-    let stream = std::net::TcpStream::connect(addr)?;
-    let mut reader = std::io::BufReader::new(stream.try_clone()?);
-    let mut out = stream;
+    let mut conn = RemoteConn::connect(addr)?;
     println!(
         "connected to {addr} — server-side verbs: .stats .metrics .profile <query> .rels \
          .insert/.delete [rel] <v> … .deadline <ms> .drain .quit"
@@ -623,18 +701,24 @@ fn client_repl(addr: &str) -> std::io::Result<()> {
         if line.is_empty() {
             continue;
         }
-        out.write_all(format!("{line}\n").as_bytes())?;
-        out.flush()?;
-        let (mut status, mut body) = mura_serve::read_response(&mut reader)?;
+        let (mut status, mut body) = match conn.round_trip(line) {
+            Ok(resp) => resp,
+            Err(e) => {
+                // One-shot recovery: reconnect with backoff, resend once.
+                // A second failure is terminal — no retry storms against a
+                // server that is actually down.
+                println!("connection lost ({e}) — reconnecting");
+                conn = RemoteConn::connect(addr)?;
+                conn.round_trip(line)?
+            }
+        };
         if status.starts_with("ERR ") {
             if let Some(ms) = retry_after_of(&status) {
                 // Cap the wait: the hint is advisory and an interactive
                 // shell should never stall for long.
                 println!("{status} — retrying in {ms} ms");
                 std::thread::sleep(std::time::Duration::from_millis(ms.min(2_000)));
-                out.write_all(format!("{line}\n").as_bytes())?;
-                out.flush()?;
-                (status, body) = mura_serve::read_response(&mut reader)?;
+                (status, body) = conn.round_trip(line)?;
             }
         }
         println!("{status}");
@@ -651,13 +735,8 @@ fn client_repl(addr: &str) -> std::io::Result<()> {
 /// `murash --drain <addr>`: asks a remote `.serve` instance to drain
 /// gracefully and prints its final counters.
 fn drain_remote(addr: &str) -> std::io::Result<()> {
-    use std::io::Write;
-    let stream = std::net::TcpStream::connect(addr)?;
-    let mut reader = std::io::BufReader::new(stream.try_clone()?);
-    let mut out = stream;
-    out.write_all(b".drain\n")?;
-    out.flush()?;
-    let (status, body) = mura_serve::read_response(&mut reader)?;
+    let mut conn = RemoteConn::connect(addr)?;
+    let (status, body) = conn.round_trip(".drain")?;
     println!("{status}");
     for l in &body {
         println!("  {l}");
