@@ -25,6 +25,12 @@
 //! (exit non-zero if the measured speedup falls below it; CI sets `2.0`),
 //! `BENCH_MAX_TRACE_OVERHEAD` (max tracing overhead in percent, default
 //! 5.0), and `BENCH_TRACE_OUT` (dump one superstep trace as JSON).
+//!
+//! `BENCH_PROC_WORKERS=<n>` (default 0 = skip) repeats the tracing
+//! overhead measurement over `n` real worker processes, so the gate also
+//! bounds the wire-side cost of span batching and TRACE flushes. The
+//! worker binary resolves via `MURA_WORKER_BIN` or as a sibling of the
+//! bench executable.
 
 use std::time::{Duration, Instant};
 
@@ -192,6 +198,49 @@ fn main() {
         println!("  trace written to {path}");
     }
 
+    // --- tracing overhead over real worker processes: the same P_plw plan
+    // behind a ProcCluster, so the measurement includes TraceCtx bytes on
+    // every exchange frame plus the span batches shipped back over TRACE
+    // frames at fixpoint end. ---
+    let proc_workers = env_u64("BENCH_PROC_WORKERS", 0) as usize;
+    let mut proc_tracing = None;
+    if proc_workers > 0 {
+        let backend: std::sync::Arc<dyn mura_dist::CommBackend> =
+            mura_dist::ProcCluster::spawn(proc_workers).expect("spawn worker processes");
+        let run_proc = |trace: TraceLevel| {
+            let config = ExecConfig {
+                plan: FixpointPlan::ForcePlw,
+                local_engine: LocalEngine::SetRdd,
+                workers: proc_workers,
+                trace,
+                backend: Some(std::sync::Arc::clone(&backend)),
+                ..Default::default()
+            };
+            let mut ev = DistEvaluator::new(&db, config);
+            let t = Instant::now();
+            let rows = ev.eval_collect(&term).expect("P_plw over processes").len();
+            (t.elapsed(), rows, ev.stats().trace.clone())
+        };
+        let (_, rows, _) = run_proc(TraceLevel::Off); // untimed warmup
+        assert_eq!(rows, opt_rows, "process backend disagrees on the fixpoint");
+        let mut p_off = Duration::MAX;
+        let mut p_traced = Duration::MAX;
+        let mut p_trace = None;
+        for _ in 0..samples {
+            p_off = p_off.min(run_proc(TraceLevel::Off).0);
+            let (wall, _, stats_trace) = run_proc(TraceLevel::Superstep);
+            p_traced = p_traced.min(wall);
+            p_trace = stats_trace;
+        }
+        let p_trace = p_trace.expect("traced process run records a trace");
+        assert!(
+            p_trace.events.iter().any(|e| e.kind.is_worker_comm()),
+            "a process-mode trace must carry worker-lane exchange events"
+        );
+        let pct = (p_traced.as_secs_f64() / p_off.as_secs_f64() - 1.0) * 100.0;
+        proc_tracing = Some((p_off, p_traced, pct, p_trace.events.len()));
+    }
+
     let reference = summarize(&ref_samples);
     let optimized = summarize(&opt_samples);
     let speedup = reference.mean_ms / optimized.mean_ms;
@@ -217,9 +266,26 @@ fn main() {
         traced_min.as_secs_f64() * 1e3,
         trace.events.len(),
     );
+    if let Some((p_off, p_traced, pct, events)) = &proc_tracing {
+        println!(
+            "  tracing ({proc_workers} procs): off {:.1} ms, superstep {:.1} ms ({events} events) → overhead {pct:+.1}%",
+            p_off.as_secs_f64() * 1e3,
+            p_traced.as_secs_f64() * 1e3,
+        );
+    }
 
+    let proc_json = proc_tracing
+        .as_ref()
+        .map(|(off, traced, pct, events)| {
+            format!(
+                "  \"tracing_proc\": {{\"workers\": {proc_workers}, \"off_min_ms\": {:.3}, \"superstep_min_ms\": {:.3}, \"overhead_pct\": {pct:.2}, \"events\": {events}}},\n",
+                off.as_secs_f64() * 1e3,
+                traced.as_secs_f64() * 1e3,
+            )
+        })
+        .unwrap_or_default();
     let json = format!(
-        "{{\n  \"bench\": \"fixpoint_tc_er\",\n  \"plan\": \"p_plw\",\n  \"engine\": \"set_rdd\",\n  \"workers\": {WORKERS},\n  \"graph\": {{\"nodes\": {n}, \"edge_prob\": {p}, \"seed\": {seed}, \"edges\": {}, \"tc_rows\": {opt_rows}}},\n  \"samples\": {samples},\n  \"iterations\": {loop_iterations},\n  \"reference\": {},\n  \"optimized\": {},\n  \"speedup\": {speedup:.3},\n  \"tracing\": {{\"off_min_ms\": {:.3}, \"superstep_min_ms\": {:.3}, \"overhead_pct\": {overhead_pct:.2}, \"events\": {}}},\n  \"comm\": {{\"shuffles\": {}, \"rows_shuffled\": {}}},\n  \"kernel\": {{\"index_builds\": {}, \"key_index_builds\": {}, \"join_probes\": {}, \"antijoin_probes\": {}, \"rows_allocated\": {}, \"const_folds\": {}, \"iterations\": {}, \"eval_nanos\": {}}}\n}}\n",
+        "{{\n  \"bench\": \"fixpoint_tc_er\",\n  \"plan\": \"p_plw\",\n  \"engine\": \"set_rdd\",\n  \"workers\": {WORKERS},\n  \"graph\": {{\"nodes\": {n}, \"edge_prob\": {p}, \"seed\": {seed}, \"edges\": {}, \"tc_rows\": {opt_rows}}},\n  \"samples\": {samples},\n  \"iterations\": {loop_iterations},\n  \"reference\": {},\n  \"optimized\": {},\n  \"speedup\": {speedup:.3},\n  \"tracing\": {{\"off_min_ms\": {:.3}, \"superstep_min_ms\": {:.3}, \"overhead_pct\": {overhead_pct:.2}, \"events\": {}}},\n{proc_json}  \"comm\": {{\"shuffles\": {}, \"rows_shuffled\": {}}},\n  \"kernel\": {{\"index_builds\": {}, \"key_index_builds\": {}, \"join_probes\": {}, \"antijoin_probes\": {}, \"rows_allocated\": {}, \"const_folds\": {}, \"iterations\": {}, \"eval_nanos\": {}}}\n}}\n",
         e.len(),
         json_timings(&reference),
         json_timings(&optimized),
@@ -250,6 +316,14 @@ fn main() {
     if overhead_pct > max_overhead {
         eprintln!("FAIL: tracing overhead {overhead_pct:.1}% above allowed {max_overhead:.1}%");
         failed = true;
+    }
+    if let Some((_, _, pct, _)) = &proc_tracing {
+        if *pct > max_overhead {
+            eprintln!(
+                "FAIL: process-mode tracing overhead {pct:.1}% above allowed {max_overhead:.1}%"
+            );
+            failed = true;
+        }
     }
     if failed {
         std::process::exit(1);

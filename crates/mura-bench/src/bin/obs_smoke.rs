@@ -35,6 +35,11 @@ const REQUIRED_FAMILIES: &[&str] = &[
     "mura_cluster_workers_live",
     "mura_cluster_respawns_total",
     "mura_cluster_reconnects_total",
+    "mura_supervisor_events_total",
+    "mura_cluster_skew_ratio",
+    "mura_trace_dropped_spans_total",
+    "mura_worker_superstep_seconds",
+    "mura_heartbeat_rtt_seconds",
     "mura_wire_bytes_total",
     "mura_wire_exchange_bytes_total",
     "mura_faults_injected_total",
@@ -127,6 +132,12 @@ fn check_trace_file(errors: &mut Vec<String>) {
         }
     };
     validate(&schema, &doc, "$", errors);
+    // The cluster-tracing schema bump: version 2 added the wire-level
+    // trace id that ties worker-side spans to their query.
+    let version = doc.get("mura").and_then(|m| m.get("version")).and_then(|v| v.as_f64());
+    if version.is_none_or(|v| v < 2.0) {
+        errors.push(format!("{trace_path}: mura.version must be >= 2, got {version:?}"));
+    }
     let events = doc.get("traceEvents").and_then(|v| v.as_array()).map_or(0, |a| a.len());
     if events == 0 {
         errors.push(format!("{trace_path}: traceEvents is empty — nothing was traced"));
@@ -139,7 +150,26 @@ fn check_metrics_page(errors: &mut Vec<String>) {
     let src = db.intern("src");
     let dst = db.intern("dst");
     db.insert_relation("e", Relation::from_pairs(src, dst, (0..12).map(|i| (i, i + 1))));
-    let server = Server::start(QueryEngine::new(db), ServeConfig::default());
+    // `OBS_CLUSTER=<n>` routes every execution through n real worker
+    // processes (the mura-worker binary resolves via `MURA_WORKER_BIN`),
+    // so the page is validated against the multi-process backend too.
+    let cluster_workers: usize =
+        std::env::var("OBS_CLUSTER").ok().and_then(|s| s.parse().ok()).unwrap_or(0);
+    let config = if cluster_workers > 0 {
+        ServeConfig {
+            cluster: mura_serve::ClusterMode::Processes { workers: cluster_workers },
+            ..Default::default()
+        }
+    } else {
+        ServeConfig::default()
+    };
+    let server = match Server::try_start(QueryEngine::new(db), config) {
+        Ok(s) => s,
+        Err(e) => {
+            errors.push(format!("start server (OBS_CLUSTER={cluster_workers}): {e}"));
+            return;
+        }
+    };
     let handle = serve_tcp(&server, "127.0.0.1:0").expect("bind ephemeral port");
 
     let stream = TcpStream::connect(handle.addr()).expect("connect");
@@ -182,10 +212,33 @@ fn check_metrics_page(errors: &mut Vec<String>) {
             errors.push(format!(".metrics is missing family {family}"));
         }
     }
+    if cluster_workers > 0 {
+        // The process backend must actually be live behind the page: the
+        // worker gauge shows the fleet and the supervisor's heartbeats
+        // have populated the RTT histogram.
+        let sample = |name: &str| {
+            page.iter()
+                .find(|l| l.starts_with(name) && !l.starts_with("# "))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse::<f64>().ok())
+        };
+        if sample("mura_cluster_workers ") != Some(cluster_workers as f64) {
+            errors.push(format!("mura_cluster_workers must read {cluster_workers}"));
+        }
+        if sample("mura_heartbeat_rtt_seconds_count").unwrap_or(0.0) < 1.0 {
+            errors.push("mura_heartbeat_rtt_seconds recorded no heartbeats".into());
+        }
+        if sample("mura_worker_superstep_seconds_count").unwrap_or(0.0) < 1.0 {
+            errors.push("mura_worker_superstep_seconds recorded no traced supersteps".into());
+        }
+    }
     send(".quit");
     handle.stop();
     server.shutdown();
-    println!("obs-smoke: .metrics exposes {} families, .profile renders", REQUIRED_FAMILIES.len());
+    println!(
+        "obs-smoke: .metrics exposes {} families, .profile renders (cluster={cluster_workers})",
+        REQUIRED_FAMILIES.len()
+    );
 }
 
 fn main() {

@@ -15,9 +15,12 @@
 
 use crate::fault::{FaultPlan, RecoveryPolicy};
 use crate::metrics::CommStats;
+use crate::wire::TraceCtx;
 use mura_core::{CancellationToken, MuraError, Relation, Result, Row, Schema};
+use mura_obs::TraceEvent;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Everything a communication backend needs to run one exchange or
 /// broadcast: the fault plan and site coordinates for deterministic
@@ -37,6 +40,9 @@ pub struct ExchangeCtx<'a> {
     pub cancel: Option<&'a CancellationToken>,
     /// Number of workers (= partitions).
     pub workers: usize,
+    /// Trace context stamped onto data-plane frames (all-zero when the
+    /// query is not being traced).
+    pub trace: TraceCtx,
 }
 
 /// Liveness/repair counters of a communication backend (the process
@@ -51,10 +57,59 @@ pub struct ClusterHealth {
     pub respawns: u64,
     /// Control/heartbeat connections re-established since startup.
     pub reconnects: u64,
+    /// Heartbeat deadlines missed by the supervisor since startup.
+    pub liveness_misses: u64,
     /// Total bytes written to worker sockets (heartbeats included).
     pub wire_tx_bytes: u64,
     /// Total bytes read from worker sockets (heartbeats included).
     pub wire_rx_bytes: u64,
+    /// Worker-side spans evicted from bounded rings before they could be
+    /// flushed to the coordinator.
+    pub trace_dropped: u64,
+    /// Relay frames handled by workers (worker-side count).
+    pub worker_relay_frames: u64,
+    /// Deliver frames handled by workers (worker-side count).
+    pub worker_deliver_frames: u64,
+    /// Take frames handled by workers (worker-side count).
+    pub worker_take_frames: u64,
+    /// Broadcast frames handled by workers (worker-side count).
+    pub worker_bcast_frames: u64,
+}
+
+/// What a supervisor journal entry records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SupervisorEventKind {
+    /// A dead worker process was respawned.
+    Respawn,
+    /// A control/heartbeat connection was re-established.
+    Reconnect,
+    /// A heartbeat deadline was missed (the worker may be respawned next).
+    LivenessMiss,
+}
+
+impl SupervisorEventKind {
+    /// Stable lowercase name (Prometheus label value / journal rendering).
+    pub fn name(self) -> &'static str {
+        match self {
+            SupervisorEventKind::Respawn => "respawn",
+            SupervisorEventKind::Reconnect => "reconnect",
+            SupervisorEventKind::LivenessMiss => "liveness_miss",
+        }
+    }
+}
+
+/// One supervisor journal entry: what happened to which worker, when
+/// (µs on the coordinator's clock since backend startup).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupervisorEvent {
+    /// Monotonic sequence number (journal order survives ring eviction).
+    pub seq: u64,
+    /// The coordinator [`Instant`] the event was journaled at.
+    pub at: Instant,
+    /// Affected worker index.
+    pub worker: u32,
+    /// What happened.
+    pub kind: SupervisorEventKind,
 }
 
 /// The communication fabric behind a [`Cluster`]: how bucketed exchange
@@ -95,6 +150,17 @@ pub trait CommBackend: Send + Sync + std::fmt::Debug {
     /// Supervisor health, when the backend has one.
     fn health(&self) -> Option<ClusterHealth> {
         None
+    }
+
+    /// Drains worker-side spans of `trace_id` into coordinator-clock
+    /// [`TraceEvent`]s with timestamps relative to `base` (the trace
+    /// sink's start instant), returning `(events, dropped)` where
+    /// `dropped` counts spans evicted from worker rings before they could
+    /// be flushed. The simulator has no remote spans — its workers record
+    /// directly into the coordinator sink — so the default is empty,
+    /// which keeps sim and proc traces identical modulo worker lanes.
+    fn flush_trace(&self, _trace_id: u64, _base: Instant) -> (Vec<TraceEvent>, u64) {
+        (Vec::new(), 0)
     }
 }
 
@@ -157,6 +223,10 @@ pub struct Cluster {
     recovery: RecoveryPolicy,
     cancel: Option<CancellationToken>,
     backend: Arc<dyn CommBackend>,
+    /// Current trace context, updated by the evaluator at fixpoint /
+    /// superstep boundaries and stamped onto every exchange or broadcast
+    /// the drivers run in between. Shared across clones like the metrics.
+    trace_ctx: Arc<Mutex<TraceCtx>>,
 }
 
 impl Cluster {
@@ -171,6 +241,7 @@ impl Cluster {
             recovery: RecoveryPolicy::default(),
             cancel: None,
             backend: Arc::new(SimBackend),
+            trace_ctx: Arc::new(Mutex::new(TraceCtx::default())),
         }
     }
 
@@ -232,6 +303,18 @@ impl Cluster {
         self.backend.health()
     }
 
+    /// Updates the trace context stamped onto subsequent data-plane
+    /// frames. The evaluator calls this at fixpoint and superstep
+    /// boundaries; with tracing off the context stays all-zero.
+    pub fn set_trace_ctx(&self, ctx: TraceCtx) {
+        *self.trace_ctx.lock().unwrap_or_else(|e| e.into_inner()) = ctx;
+    }
+
+    /// The trace context currently in effect.
+    pub fn trace_ctx(&self) -> TraceCtx {
+        *self.trace_ctx.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Runs one hash exchange through the backend at fault site `site`:
     /// `buckets[from][to]` are the rows worker `from` routed to worker
     /// `to`; returns the merged destination partitions.
@@ -248,6 +331,7 @@ impl Cluster {
             recovery: &self.recovery,
             cancel: self.cancel.as_ref(),
             workers: self.workers,
+            trace: self.trace_ctx(),
         };
         self.backend.exchange(&ctx, schema, buckets)
     }
@@ -266,6 +350,7 @@ impl Cluster {
             recovery: &self.recovery,
             cancel: self.cancel.as_ref(),
             workers: self.workers,
+            trace: self.trace_ctx(),
         };
         self.backend.broadcast(&ctx, rel)
     }

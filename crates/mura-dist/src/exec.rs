@@ -18,6 +18,7 @@ use crate::localfix::{
 };
 use crate::metrics::CommSnapshot;
 use crate::sorted::SortedRelation;
+use crate::wire::TraceCtx;
 use mura_core::analysis::{check_fcond, decompose_fixpoint, stable_columns, TypeEnv};
 use mura_core::fxhash::FxHashMap;
 use mura_core::kernel::kernel_stats;
@@ -92,6 +93,9 @@ pub struct ExecConfig {
     /// Per-query trace level. At [`TraceLevel::Off`] (the default) no sink
     /// exists and the fixpoint hot loops pay only a `None` check.
     pub trace: TraceLevel,
+    /// Serving-layer job id propagated in the wire trace context (0 when
+    /// the query runs outside the server).
+    pub query_id: u64,
     /// Capture every fixpoint's final total into
     /// [`ExecStats::fix_totals`], keyed by the structural
     /// [`mura_core::term_key`] of its `Fix` subterm. The serving layer
@@ -141,6 +145,7 @@ impl Default for ExecConfig {
             recovery: RecoveryPolicy::default(),
             checkpoint_every: 0,
             trace: TraceLevel::Off,
+            query_id: 0,
             capture_fixpoints: false,
             resume: None,
             backend: None,
@@ -253,6 +258,17 @@ impl<'db> DistEvaluator<'db> {
             .with_cancel(config.cancel.clone());
         let next_fresh = db.dict().len() as u32 + 1_000_000;
         let sink = (config.trace > TraceLevel::Off).then(|| Arc::new(TraceSink::new(config.trace)));
+        if let Some(s) = &sink {
+            // Publish the query's wire trace context up front so even
+            // pre-fixpoint exchanges (e.g. a distinct) carry it.
+            cluster.set_trace_ctx(TraceCtx {
+                trace_id: s.trace_id(),
+                query_id: config.query_id,
+                fixpoint: 0,
+                superstep: 0,
+                level: config.trace as u8,
+            });
+        }
         DistEvaluator {
             db,
             cluster,
@@ -282,13 +298,16 @@ impl<'db> DistEvaluator<'db> {
         let v = self.eval(term);
         self.stats.kernel = kernel_stats().snapshot().since(&self.kernel_base);
         self.stats.fault = self.cluster.fault().snapshot();
-        // Attach the trace before the `?` so aborted queries keep theirs.
+        // Attach the trace before the `?` so aborted queries keep theirs
+        // (including whatever worker-side spans made it back so far).
+        self.flush_worker_trace();
         self.stats.trace = self.sink.as_ref().map(|s| s.finish());
         let out = match v? {
             DVal::Dist(d) => d.distinct(&self.cluster)?.collect(),
             DVal::Repl(r) => (*r).clone(),
         };
         self.stats.fault = self.cluster.fault().snapshot();
+        self.flush_worker_trace();
         self.stats.trace = self.sink.as_ref().map(|s| s.finish());
         Ok(out)
     }
@@ -512,6 +531,33 @@ impl<'db> DistEvaluator<'db> {
         }
     }
 
+    /// Publishes `(fixpoint, superstep)` into the wire trace context so
+    /// data-plane frames sent by subsequent exchanges/broadcasts carry
+    /// the position that caused them. No-op when tracing is off.
+    fn set_trace_step(&self, fixpoint: u32, superstep: u32) {
+        let Some(sink) = self.sink.as_deref() else { return };
+        self.cluster.set_trace_ctx(TraceCtx {
+            trace_id: sink.trace_id(),
+            query_id: self.config.query_id,
+            fixpoint,
+            superstep,
+            level: sink.level() as u8,
+        });
+    }
+
+    /// Drains worker-side spans (process backend) into the coordinator
+    /// sink as clock-aligned worker-lane events. No-op when tracing is
+    /// off or the backend keeps no remote spans (the simulator).
+    fn flush_worker_trace(&self) {
+        let Some(sink) = self.sink.as_deref() else { return };
+        let (events, dropped) =
+            self.cluster.backend().flush_trace(sink.trace_id(), sink.start_instant());
+        for ev in events {
+            sink.record(ev);
+        }
+        sink.add_dropped(dropped);
+    }
+
     // ------------------------------------------------------------ fixpoint
 
     fn eval_fixpoint(&mut self, fix_term: &Term, x: Sym, body: &Term) -> Result<DistRel> {
@@ -643,6 +689,7 @@ impl<'db> DistEvaluator<'db> {
         initial: Option<(Relation, Relation)>,
     ) -> Result<DistRel> {
         let fx = self.trace_fixpoint();
+        self.set_trace_step(fx, 0);
         let mut start_ev = TraceEvent::new(EventKind::FixpointStart, fx, PlanKind::Async);
         start_ev.delta_rows = seed.len() as u64;
         self.record_point(start_ev);
@@ -667,6 +714,7 @@ impl<'db> DistEvaluator<'db> {
                 initial.as_ref(),
             ) {
                 Ok(out) => {
+                    self.flush_worker_trace();
                     let mut end_ev = TraceEvent::new(EventKind::FixpointEnd, fx, PlanKind::Async);
                     end_ev.delta_rows = out.len() as u64;
                     self.record_point(end_ev);
@@ -739,6 +787,7 @@ impl<'db> DistEvaluator<'db> {
         initial: Option<(Relation, Relation)>,
     ) -> Result<DistRel> {
         let fx = self.trace_fixpoint();
+        self.set_trace_step(fx, 0);
         let mut start_ev = TraceEvent::new(EventKind::FixpointStart, fx, PlanKind::Gld);
         start_ev.delta_rows = seed.len() as u64;
         self.record_point(start_ev);
@@ -778,6 +827,8 @@ impl<'db> DistEvaluator<'db> {
             // cancelled or out-of-budget query stops recovering immediately.
             self.budget.check()?;
             let window = self.probe_superstep();
+            // Frames shuffled by this superstep carry its 1-based number.
+            self.set_trace_step(fx, iter as u32 + 1);
             match self.gld_superstep(&prepared, &acc, &delta) {
                 Ok(None) => {
                     let mut ev = TraceEvent::new(EventKind::Superstep, fx, PlanKind::Gld);
@@ -829,6 +880,8 @@ impl<'db> DistEvaluator<'db> {
                 Err(e) => return Err(e),
             }
         }
+        self.set_trace_step(fx, 0);
+        self.flush_worker_trace();
         let mut end_ev = TraceEvent::new(EventKind::FixpointEnd, fx, PlanKind::Gld);
         end_ev.iteration = iter;
         end_ev.delta_rows = acc.len() as u64;
@@ -894,6 +947,7 @@ impl<'db> DistEvaluator<'db> {
         initial: Option<(Relation, Relation)>,
     ) -> Result<DistRel> {
         let fx = self.trace_fixpoint();
+        self.set_trace_step(fx, 0);
         let mut start_ev = TraceEvent::new(EventKind::FixpointStart, fx, PlanKind::Plw);
         start_ev.delta_rows = seed.len() as u64;
         self.record_point(start_ev);
@@ -950,6 +1004,7 @@ impl<'db> DistEvaluator<'db> {
         } else {
             out
         };
+        self.flush_worker_trace();
         let mut end_ev = TraceEvent::new(EventKind::FixpointEnd, fx, PlanKind::Plw);
         end_ev.delta_rows = out.len() as u64;
         self.record_point(end_ev);

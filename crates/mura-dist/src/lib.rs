@@ -37,7 +37,10 @@ pub mod sorted;
 pub mod wire;
 pub mod worker;
 
-pub use cluster::{Cluster, ClusterHealth, CommBackend, ExchangeCtx, SimBackend};
+pub use cluster::{
+    Cluster, ClusterHealth, CommBackend, ExchangeCtx, SimBackend, SupervisorEvent,
+    SupervisorEventKind,
+};
 pub use distrel::DistRel;
 pub use engine::{explain_plan, PlannedQuery, QueryEngine, QueryOutput};
 pub use exec::{DistEvaluator, ExecConfig, ExecStats, FixResume, FixpointPlan, ResourceLimits};
@@ -46,3 +49,4 @@ pub use localfix::LocalEngine;
 pub use metrics::{CommSnapshot, CommStats};
 pub use mura_obs::{QueryTrace, TraceLevel};
 pub use proc::{ProcCluster, ProcClusterConfig};
+pub use wire::{TraceCtx, WorkerSpan};

@@ -70,24 +70,6 @@ impl CommStats {
             wire_exchange_bytes: self.wire_exchange_bytes.load(Ordering::Relaxed),
         }
     }
-
-    /// Resets all counters to zero.
-    ///
-    /// Deprecated: the counters are shared by every query running on the
-    /// cluster, so a reset silently corrupts the accounting of concurrent
-    /// queries. Take a [`CommStats::snapshot`] before the work and diff it
-    /// with [`CommSnapshot::since`] instead; resetting is only safe in
-    /// single-threaded tests.
-    #[deprecated(note = "use snapshot()/since() deltas; reset corrupts concurrent accounting")]
-    pub fn reset(&self) {
-        self.shuffles.store(0, Ordering::Relaxed);
-        self.rows_shuffled.store(0, Ordering::Relaxed);
-        self.rows_broadcast.store(0, Ordering::Relaxed);
-        self.broadcasts.store(0, Ordering::Relaxed);
-        self.wire_tx_bytes.store(0, Ordering::Relaxed);
-        self.wire_rx_bytes.store(0, Ordering::Relaxed);
-        self.wire_exchange_bytes.store(0, Ordering::Relaxed);
-    }
 }
 
 /// A point-in-time copy of [`CommStats`].
@@ -104,7 +86,7 @@ pub struct CommSnapshot {
 
 impl CommSnapshot {
     /// Difference against an earlier snapshot. Saturates at zero so a
-    /// (deprecated) `reset` between the two snapshots cannot underflow.
+    /// stale or reordered earlier snapshot cannot underflow.
     pub fn since(&self, earlier: &CommSnapshot) -> CommSnapshot {
         CommSnapshot {
             shuffles: self.shuffles.saturating_sub(earlier.shuffles),
@@ -149,15 +131,14 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn since_saturates_after_reset() {
-        // A reset between snapshots must not underflow the difference.
+    fn since_saturates_when_earlier_is_ahead() {
+        // A snapshot diffed against a *later* one must not underflow.
         let m = CommStats::default();
         m.record_shuffle(10);
         let before = m.snapshot();
-        m.reset();
         m.record_shuffle(3);
-        let d = m.snapshot().since(&before);
+        let after = m.snapshot();
+        let d = before.since(&after);
         assert_eq!(d.shuffles, 0);
         assert_eq!(d.rows_shuffled, 0);
     }
@@ -182,14 +163,5 @@ mod tests {
         let d = m.snapshot().since(&a);
         assert_eq!(d.wire_tx_bytes, 10);
         assert_eq!(d.wire_exchange_bytes, 0);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn reset_zeroes() {
-        let m = CommStats::default();
-        m.record_shuffle(10);
-        m.reset();
-        assert_eq!(m.snapshot(), CommSnapshot::default());
     }
 }

@@ -36,20 +36,26 @@
 //! Orphans are impossible: each worker holds the read end of its stdin
 //! pipe and exits on EOF, so coordinator death (clean or not) reaps it.
 
-use crate::cluster::{ClusterHealth, CommBackend, ExchangeCtx};
+use crate::cluster::{
+    ClusterHealth, CommBackend, ExchangeCtx, SupervisorEvent, SupervisorEventKind,
+};
 use crate::fault::FaultPlan;
 use crate::wire::{
-    decode_rows, encode_relation, encode_rows, read_frame, write_frame, Msg, WireError,
+    decode_rows, encode_relation, encode_rows, read_frame, write_frame, Msg, WireError, SPAN_BCAST,
+    SPAN_DELIVER, SPAN_RELAY, SPAN_TAKE,
 };
 use mura_core::{Relation, Result, Row, Schema};
+use mura_obs::histogram::HistogramSnapshot;
+use mura_obs::{EventKind, Histogram, TraceEvent};
+use std::collections::VecDeque;
 use std::io::{BufRead, BufReader};
 use std::net::{SocketAddr, TcpStream};
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Configuration of a [`ProcCluster`].
 #[derive(Debug, Clone)]
@@ -100,7 +106,7 @@ struct CtlSlot {
 }
 
 /// One worker as seen by the coordinator.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct Slot {
     ctl: Mutex<CtlSlot>,
     /// Dedicated heartbeat connection: PING/PONG never interleaves with a
@@ -108,7 +114,32 @@ struct Slot {
     hb: Mutex<Option<TcpStream>>,
     /// Answered the most recent heartbeat.
     live: AtomicBool,
+    /// Estimated offset of this worker's monotonic clock from the
+    /// coordinator's epoch, in µs: `worker_us − coordinator_us` at the
+    /// same wall instant, from the RTT-midpoint of the best (lowest-RTT)
+    /// heartbeat. Subtracting it re-bases worker span timestamps onto the
+    /// coordinator's clock.
+    offset_us: AtomicI64,
+    /// Lowest heartbeat RTT observed so far (µs); its midpoint sample is
+    /// the tightest clock-offset bound. `u64::MAX` = no sample yet.
+    min_rtt_us: AtomicU64,
 }
+
+impl Default for Slot {
+    fn default() -> Self {
+        Slot {
+            ctl: Mutex::new(CtlSlot::default()),
+            hb: Mutex::new(None),
+            live: AtomicBool::new(false),
+            offset_us: AtomicI64::new(0),
+            min_rtt_us: AtomicU64::new(u64::MAX),
+        }
+    }
+}
+
+/// Cap on the supervisor event journal (drop-oldest; sequence numbers keep
+/// ordering observable across eviction).
+const JOURNAL_CAPACITY: usize = 1024;
 
 #[derive(Debug)]
 struct ProcInner {
@@ -128,6 +159,24 @@ struct ProcInner {
     wire_rx_bytes: AtomicU64,
     respawns: AtomicU64,
     reconnects: AtomicU64,
+    liveness_misses: AtomicU64,
+    /// Zero point of the coordinator's span clock (backend startup).
+    epoch: Instant,
+    /// Heartbeat round-trip latencies.
+    rtt_hist: Histogram,
+    /// Bounded drop-oldest supervisor event journal.
+    journal: Mutex<VecDeque<SupervisorEvent>>,
+    journal_seq: AtomicU64,
+    /// Per-trace journal read cursors (`trace_id → last merged seq`), so
+    /// each query's merge sees every supervisor event exactly once.
+    journal_cursor: Mutex<Vec<(u64, u64)>>,
+    /// Lifetime worker-side telemetry, accumulated from trace-flush
+    /// deltas: per-opcode frame counts and span-ring evictions.
+    worker_relays: AtomicU64,
+    worker_delivers: AtomicU64,
+    worker_takes: AtomicU64,
+    worker_bcasts: AtomicU64,
+    trace_dropped: AtomicU64,
     /// Startup handshake complete; connection (re)establishments from here
     /// on count as reconnects.
     started: AtomicBool,
@@ -232,6 +281,35 @@ impl ProcInner {
         self.wire_rx_bytes.fetch_add(b, Ordering::Relaxed);
     }
 
+    /// Appends a supervisor event to the bounded journal.
+    fn journal_push(&self, worker: usize, kind: SupervisorEventKind) {
+        let seq = self.journal_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let ev = SupervisorEvent { seq, at: Instant::now(), worker: worker as u32, kind };
+        let mut journal = self.journal.lock().unwrap_or_else(|e| e.into_inner());
+        if journal.len() >= JOURNAL_CAPACITY {
+            journal.pop_front();
+        }
+        journal.push_back(ev);
+    }
+
+    /// Folds one worker's trace-flush counter deltas into the lifetime
+    /// totals (workers swap their counters to zero on every flush, so the
+    /// deltas accumulate exactly once here).
+    fn apply_batch_counters(
+        &self,
+        dropped: u64,
+        relays: u64,
+        delivers: u64,
+        takes: u64,
+        bcasts: u64,
+    ) {
+        self.trace_dropped.fetch_add(dropped, Ordering::Relaxed);
+        self.worker_relays.fetch_add(relays, Ordering::Relaxed);
+        self.worker_delivers.fetch_add(delivers, Ordering::Relaxed);
+        self.worker_takes.fetch_add(takes, Ordering::Relaxed);
+        self.worker_bcasts.fetch_add(bcasts, Ordering::Relaxed);
+    }
+
     /// Sends one request on worker `w`'s control socket and reads the
     /// reply, (re)connecting — with a fresh [`Msg::Hello`] — as needed.
     /// Returns `(reply, tx_bytes, rx_bytes)` including any handshake
@@ -254,6 +332,7 @@ impl ProcInner {
             }
             if self.started.load(Ordering::Relaxed) {
                 self.reconnects.fetch_add(1, Ordering::Relaxed);
+                self.journal_push(w, SupervisorEventKind::Reconnect);
             }
             guard.conn = Some(conn);
         }
@@ -322,6 +401,11 @@ impl ProcInner {
                 guard.port = port;
                 self.ports.lock().unwrap()[w] = port;
                 self.respawns.fetch_add(1, Ordering::Relaxed);
+                self.journal_push(w, SupervisorEventKind::Respawn);
+                // A fresh process is a fresh monotonic clock: invalidate the
+                // offset estimate until a new heartbeat samples it.
+                self.slots[w].offset_us.store(0, Ordering::Relaxed);
+                self.slots[w].min_rtt_us.store(u64::MAX, Ordering::Relaxed);
                 if let Some(f) = fault {
                     f.record_worker_respawn();
                 }
@@ -332,6 +416,10 @@ impl ProcInner {
         };
         if respawned {
             self.sync_peers();
+            // Re-establish the clock offset right away instead of waiting a
+            // supervisor period; spans recorded before the next heartbeat
+            // would otherwise be merged with a stale (zero) offset.
+            self.heartbeat(w);
         }
         Ok(())
     }
@@ -351,7 +439,11 @@ impl ProcInner {
         }
     }
 
-    /// One PING/PONG on the dedicated heartbeat connection.
+    /// One PING/PONG on the dedicated heartbeat connection. The reply
+    /// carries the worker's monotonic clock; the RTT midpoint gives a
+    /// clock-offset sample (Cristian's algorithm), and the sample from the
+    /// lowest RTT observed so far — the tightest bound — is kept as the
+    /// worker's offset estimate for span merging.
     fn heartbeat(&self, w: usize) -> bool {
         let mut hb = self.slots[w].hb.lock().unwrap();
         if hb.is_none() {
@@ -360,6 +452,7 @@ impl ProcInner {
                 Ok(conn) => {
                     if self.started.load(Ordering::Relaxed) {
                         self.reconnects.fetch_add(1, Ordering::Relaxed);
+                        self.journal_push(w, SupervisorEventKind::Reconnect);
                     }
                     *hb = Some(conn);
                 }
@@ -367,14 +460,31 @@ impl ProcInner {
             }
         }
         let conn = hb.as_mut().expect("just connected");
-        let ok = write_frame(conn, &Msg::Ping).map(|k| self.count_tx(k)).is_ok()
-            && matches!(
-                read_frame(conn).map(|(m, k)| {
+        let t0 = self.epoch.elapsed().as_micros() as u64;
+        let pong = write_frame(conn, &Msg::Ping).map(|k| self.count_tx(k)).ok().and_then(|()| {
+            read_frame(conn)
+                .map(|(m, k)| {
                     self.count_rx(k);
                     m
-                }),
-                Ok(Msg::Pong)
-            );
+                })
+                .ok()
+        });
+        let ok = match pong {
+            Some(Msg::Pong { t_us }) => {
+                let t1 = self.epoch.elapsed().as_micros() as u64;
+                let rtt = t1.saturating_sub(t0);
+                self.rtt_hist.record_us(rtt);
+                let slot = &self.slots[w];
+                if rtt <= slot.min_rtt_us.load(Ordering::Relaxed) {
+                    slot.min_rtt_us.store(rtt, Ordering::Relaxed);
+                    // The worker read its clock ~halfway through the RTT.
+                    let midpoint = t0 + rtt / 2;
+                    slot.offset_us.store(t_us as i64 - midpoint as i64, Ordering::Relaxed);
+                }
+                true
+            }
+            _ => false,
+        };
         if !ok {
             *hb = None;
         }
@@ -382,8 +492,8 @@ impl ProcInner {
     }
 
     /// Supervisor loop: heartbeat every worker each period; a worker that
-    /// misses its liveness deadline is marked down and repaired (respawn
-    /// if the process died; connections re-establish on next use).
+    /// misses its liveness deadline is marked down, journaled, and repaired
+    /// (respawn if the process died; connections re-establish on next use).
     fn supervise(self: &Arc<Self>) {
         while !self.shutdown.load(Ordering::Relaxed) {
             for w in 0..self.n {
@@ -394,6 +504,8 @@ impl ProcInner {
                     self.slots[w].live.store(true, Ordering::Relaxed);
                 } else {
                     self.slots[w].live.store(false, Ordering::Relaxed);
+                    self.liveness_misses.fetch_add(1, Ordering::Relaxed);
+                    self.journal_push(w, SupervisorEventKind::LivenessMiss);
                     let _ = self.repair(w, None, false);
                 }
             }
@@ -408,8 +520,14 @@ impl ProcInner {
             live,
             respawns: self.respawns.load(Ordering::Relaxed),
             reconnects: self.reconnects.load(Ordering::Relaxed),
+            liveness_misses: self.liveness_misses.load(Ordering::Relaxed),
             wire_tx_bytes: self.wire_tx_bytes.load(Ordering::Relaxed),
             wire_rx_bytes: self.wire_rx_bytes.load(Ordering::Relaxed),
+            trace_dropped: self.trace_dropped.load(Ordering::Relaxed),
+            worker_relay_frames: self.worker_relays.load(Ordering::Relaxed),
+            worker_deliver_frames: self.worker_delivers.load(Ordering::Relaxed),
+            worker_take_frames: self.worker_takes.load(Ordering::Relaxed),
+            worker_bcast_frames: self.worker_bcasts.load(Ordering::Relaxed),
         }
     }
 }
@@ -444,6 +562,17 @@ impl ProcCluster {
             wire_rx_bytes: AtomicU64::new(0),
             respawns: AtomicU64::new(0),
             reconnects: AtomicU64::new(0),
+            liveness_misses: AtomicU64::new(0),
+            epoch: Instant::now(),
+            rtt_hist: Histogram::new(),
+            journal: Mutex::new(VecDeque::new()),
+            journal_seq: AtomicU64::new(0),
+            journal_cursor: Mutex::new(Vec::new()),
+            worker_relays: AtomicU64::new(0),
+            worker_delivers: AtomicU64::new(0),
+            worker_takes: AtomicU64::new(0),
+            worker_bcasts: AtomicU64::new(0),
+            trace_dropped: AtomicU64::new(0),
             started: AtomicBool::new(false),
             shutdown: AtomicBool::new(false),
         });
@@ -473,6 +602,12 @@ impl ProcCluster {
                 }
             }
         }
+        // Seed every worker's clock-offset estimate before the first query
+        // (and before `started`, so these handshakes do not count as
+        // reconnects); the supervisor keeps the estimates fresh after.
+        for w in 0..n {
+            cluster.inner.heartbeat(w);
+        }
         cluster.inner.started.store(true, Ordering::Relaxed);
         let sup = {
             let inner = Arc::clone(&cluster.inner);
@@ -489,6 +624,17 @@ impl ProcCluster {
     /// [`CommBackend::health`]).
     pub fn health_snapshot(&self) -> ClusterHealth {
         self.inner.health()
+    }
+
+    /// Snapshot of the heartbeat round-trip latency histogram.
+    pub fn rtt_snapshot(&self) -> HistogramSnapshot {
+        self.inner.rtt_hist.snapshot()
+    }
+
+    /// The supervisor event journal, oldest first (bounded; evicted
+    /// entries leave a gap in the `seq` numbering).
+    pub fn journal(&self) -> Vec<SupervisorEvent> {
+        self.inner.journal.lock().unwrap_or_else(|e| e.into_inner()).iter().copied().collect()
     }
 
     /// Test hook: really `SIGKILL` worker `w`'s process. Returns whether a
@@ -526,6 +672,18 @@ impl ProcCluster {
         for slot in &self.inner.slots {
             let mut guard = slot.ctl.lock().unwrap();
             if let Some(conn) = guard.conn.as_mut() {
+                // Best-effort residual drain so worker-side frame counters
+                // recorded since the last per-fixpoint flush still land in
+                // the lifetime totals.
+                if write_frame(conn, &Msg::TraceFlush { trace_id: 0 }).is_ok() {
+                    if let Ok((
+                        Msg::TraceBatch { dropped, relays, delivers, takes, bcasts, .. },
+                        _,
+                    )) = read_frame(conn)
+                    {
+                        self.inner.apply_batch_counters(dropped, relays, delivers, takes, bcasts);
+                    }
+                }
                 let _ = write_frame(conn, &Msg::Exit);
             }
             guard.conn = None;
@@ -581,7 +739,7 @@ impl ProcCluster {
                 continue;
             }
             let payload: u64 = batch.iter().map(|(_, p)| p.len() as u64).sum();
-            let msg = Msg::Relay { xid, watermark, entries: batch.clone() };
+            let msg = Msg::Relay { xid, watermark, ctx: ctx.trace, entries: batch.clone() };
             let (reply, tx, rx) = inner.send_ctl(from, &msg).map_err(|e| (from, e))?;
             ctx.metrics.record_wire_tx(tx, payload);
             ctx.metrics.record_wire_rx(rx, 0);
@@ -611,6 +769,7 @@ impl ProcCluster {
                 xid,
                 expect: want,
                 timeout_ms: inner.cfg.take_timeout.as_millis() as u64,
+                ctx: ctx.trace,
             };
             let (reply, tx, rx) = inner.send_ctl(to, &msg).map_err(|e| (to, e))?;
             ctx.metrics.record_wire_tx(tx, 0);
@@ -748,7 +907,8 @@ impl CommBackend for ProcCluster {
                 if ctx.fault.kill_worker(site, w, attempt) {
                     self.inner.kill(w);
                 }
-                let sent = match self.inner.send_ctl(w, &Msg::Bcast(payload.clone())) {
+                let msg = Msg::Bcast { ctx: ctx.trace, payload: payload.clone() };
+                let sent = match self.inner.send_ctl(w, &msg) {
                     Ok((Msg::Ok, tx, rx)) => {
                         ctx.metrics.record_wire_tx(tx, payload.len() as u64);
                         ctx.metrics.record_wire_rx(rx, 0);
@@ -775,6 +935,91 @@ impl CommBackend for ProcCluster {
 
     fn health(&self) -> Option<ClusterHealth> {
         Some(self.inner.health())
+    }
+
+    /// Drains every worker's span ring and converts the spans into
+    /// coordinator-clock [`TraceEvent`]s on that worker's lane. Clock
+    /// alignment: a span at `t_us` on worker `w`'s clock maps to
+    /// `t_us − offset(w)` µs after the coordinator's epoch, where
+    /// `offset(w)` is the RTT-midpoint estimate kept by the heartbeat.
+    /// Supervisor journal entries newer than this trace's cursor ride
+    /// along (respawns/reconnects/liveness misses show up in the merged
+    /// timeline exactly once per trace).
+    fn flush_trace(&self, trace_id: u64, base: Instant) -> (Vec<TraceEvent>, u64) {
+        let inner = &self.inner;
+        let mut events = Vec::new();
+        let mut dropped = 0u64;
+        for w in 0..inner.n {
+            let Ok((reply, _, _)) = inner.send_ctl(w, &Msg::TraceFlush { trace_id }) else {
+                continue;
+            };
+            let Msg::TraceBatch { spans, dropped: d, relays, delivers, takes, bcasts } = reply
+            else {
+                continue;
+            };
+            inner.apply_batch_counters(d, relays, delivers, takes, bcasts);
+            dropped += d;
+            let offset = inner.slots[w].offset_us.load(Ordering::Relaxed);
+            for s in spans {
+                if s.ctx.trace_id != trace_id {
+                    continue;
+                }
+                let kind = match s.kind {
+                    SPAN_RELAY => EventKind::ExchangeSend,
+                    SPAN_DELIVER => EventKind::ExchangeRecv,
+                    SPAN_TAKE => EventKind::ExchangeWait,
+                    SPAN_BCAST => EventKind::BroadcastRecv,
+                    _ => continue,
+                };
+                // Re-base onto the coordinator clock, then onto the trace
+                // sink's start. Clamped, not dropped: a slightly-off
+                // offset estimate must not lose events.
+                let coord_us = (s.t_us as i64 - offset).max(0) as u64;
+                let at = inner.epoch + Duration::from_micros(coord_us);
+                let t_us = at.saturating_duration_since(base).as_micros() as u64;
+                events.push(TraceEvent {
+                    kind,
+                    worker: w as i32,
+                    iteration: s.ctx.superstep as u64,
+                    wire_exchange_bytes: s.bytes,
+                    t_us,
+                    dur_us: s.dur_us,
+                    ..TraceEvent::new(kind, s.ctx.fixpoint, mura_obs::PlanKind::None)
+                });
+            }
+        }
+        // Merge supervisor events this trace has not seen yet.
+        let mut cursors = inner.journal_cursor.lock().unwrap_or_else(|e| e.into_inner());
+        let last = cursors.iter().find(|(t, _)| *t == trace_id).map_or(0, |&(_, s)| s);
+        let mut newest = last;
+        {
+            let journal = inner.journal.lock().unwrap_or_else(|e| e.into_inner());
+            for ev in journal.iter().filter(|ev| ev.seq > last) {
+                newest = newest.max(ev.seq);
+                // Events from before the trace began belong to earlier
+                // queries (or startup): advance past them silently.
+                let Some(rel) = ev.at.checked_duration_since(base) else { continue };
+                let kind = match ev.kind {
+                    SupervisorEventKind::Respawn => EventKind::Respawn,
+                    SupervisorEventKind::Reconnect => EventKind::Reconnect,
+                    SupervisorEventKind::LivenessMiss => EventKind::LivenessMiss,
+                };
+                events.push(TraceEvent {
+                    worker: ev.worker as i32,
+                    t_us: rel.as_micros() as u64,
+                    ..TraceEvent::new(kind, 0, mura_obs::PlanKind::None)
+                });
+            }
+        }
+        if let Some(c) = cursors.iter_mut().find(|(t, _)| *t == trace_id) {
+            c.1 = newest;
+        } else {
+            if cursors.len() >= 16 {
+                cursors.remove(0);
+            }
+            cursors.push((trace_id, newest));
+        }
+        (events, dropped)
     }
 }
 

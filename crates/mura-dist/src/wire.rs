@@ -95,6 +95,105 @@ const OP_EXIT: u8 = 10;
 const OP_OK: u8 = 11;
 const OP_ERR: u8 = 12;
 const OP_DELIVER: u8 = 13;
+const OP_TRACE_FLUSH: u8 = 14;
+const OP_TRACE: u8 = 15;
+
+/// Trace context propagated on every data-plane frame (Dapper-style): the
+/// coordinator stamps RELAY/TAKE/BCAST requests, and workers copy the
+/// context onto the DELIVER frames they forward, so a bucket arriving at a
+/// peer still knows which query/fixpoint/superstep produced it. All-zero
+/// when tracing is off (`level == 0`); workers record spans only at
+/// `level >= 2` (superstep granularity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceCtx {
+    /// Process-unique id of the coordinator's trace sink.
+    pub trace_id: u64,
+    /// Serving-layer job id (0 outside the server).
+    pub query_id: u64,
+    /// Which fixpoint of the query is communicating.
+    pub fixpoint: u32,
+    /// Superstep number (0 = setup / outside the recursion loop).
+    pub superstep: u32,
+    /// Numeric `TraceLevel` (0 = off, 1 = fixpoint, 2 = superstep).
+    pub level: u8,
+}
+
+/// Encoded size of a [`TraceCtx`] in bytes.
+const TRACE_CTX_BYTES: usize = 25;
+
+impl TraceCtx {
+    fn put(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.trace_id.to_le_bytes());
+        out.extend_from_slice(&self.query_id.to_le_bytes());
+        out.extend_from_slice(&self.fixpoint.to_le_bytes());
+        out.extend_from_slice(&self.superstep.to_le_bytes());
+        out.push(self.level);
+    }
+
+    fn get(c: &mut Cursor<'_>) -> WireResult<TraceCtx> {
+        Ok(TraceCtx {
+            trace_id: c.u64()?,
+            query_id: c.u64()?,
+            fixpoint: c.u32()?,
+            superstep: c.u32()?,
+            level: c.u8()?,
+        })
+    }
+}
+
+/// Span kinds recorded worker-side (the `kind` byte of a [`WorkerSpan`]).
+pub const SPAN_RELAY: u8 = 1;
+/// A bucket received from a peer (`Deliver`).
+pub const SPAN_DELIVER: u8 = 2;
+/// A `Take` served, duration = time spent waiting for stragglers.
+pub const SPAN_TAKE: u8 = 3;
+/// A broadcast replica received.
+pub const SPAN_BCAST: u8 = 4;
+
+/// One worker-side span, timestamped on the **worker's** monotonic clock
+/// (µs since its process start). The coordinator's merger re-bases these
+/// onto its own clock using the PING/PONG RTT-midpoint offset estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WorkerSpan {
+    /// One of [`SPAN_RELAY`], [`SPAN_DELIVER`], [`SPAN_TAKE`],
+    /// [`SPAN_BCAST`].
+    pub kind: u8,
+    /// Trace context propagated on the frame that caused this span.
+    pub ctx: TraceCtx,
+    /// Exchange id (0 for broadcasts).
+    pub xid: u64,
+    /// Data-plane payload bytes handled by this span.
+    pub bytes: u64,
+    /// Start, in µs on the worker's clock.
+    pub t_us: u64,
+    /// Duration in µs.
+    pub dur_us: u64,
+}
+
+/// Encoded size of a [`WorkerSpan`] in bytes.
+const SPAN_BYTES: usize = 1 + TRACE_CTX_BYTES + 32;
+
+impl WorkerSpan {
+    fn put(&self, out: &mut Vec<u8>) {
+        out.push(self.kind);
+        self.ctx.put(out);
+        out.extend_from_slice(&self.xid.to_le_bytes());
+        out.extend_from_slice(&self.bytes.to_le_bytes());
+        out.extend_from_slice(&self.t_us.to_le_bytes());
+        out.extend_from_slice(&self.dur_us.to_le_bytes());
+    }
+
+    fn get(c: &mut Cursor<'_>) -> WireResult<WorkerSpan> {
+        Ok(WorkerSpan {
+            kind: c.u8()?,
+            ctx: TraceCtx::get(c)?,
+            xid: c.u64()?,
+            bytes: c.u64()?,
+            t_us: c.u64()?,
+            dur_us: c.u64()?,
+        })
+    }
+}
 
 /// One protocol message (a decoded frame).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -105,19 +204,20 @@ pub enum Msg {
     Peers(Vec<u16>),
     /// Heartbeat request (supervisor liveness probe).
     Ping,
-    /// Heartbeat reply.
-    Pong,
+    /// Heartbeat reply, carrying the worker's monotonic clock (µs since
+    /// its process start) for RTT-midpoint clock alignment.
+    Pong { t_us: u64 },
     /// Exchange `xid`: forward each `(to, payload)` bucket to its peer.
     /// `watermark` is the lowest still-active exchange id; buffered buckets
     /// of older exchanges are pruned (they belong to abandoned attempts).
-    Relay { xid: u64, watermark: u64, entries: Vec<(u32, Vec<u8>)> },
+    Relay { xid: u64, watermark: u64, ctx: TraceCtx, entries: Vec<(u32, Vec<u8>)> },
     /// Collect `expect` buckets buffered for exchange `xid`, waiting up to
     /// `timeout_ms` for stragglers.
-    Take { xid: u64, expect: u32, timeout_ms: u64 },
+    Take { xid: u64, expect: u32, timeout_ms: u64, ctx: TraceCtx },
     /// Reply to [`Msg::Take`]: the `(from, payload)` buckets received.
     TakeReply(Vec<(u32, Vec<u8>)>),
     /// A broadcast relation payload replicated to this worker.
-    Bcast(Vec<u8>),
+    Bcast { ctx: TraceCtx, payload: Vec<u8> },
     /// Coordinator-side cancel/drain: discard all buffered exchange state.
     Cancel,
     /// Orderly shutdown request; the worker process exits.
@@ -126,8 +226,24 @@ pub enum Msg {
     Ok,
     /// Generic failure reply (e.g. a peer connection could not be made).
     Err(String),
-    /// Worker → worker: bucket `payload` of exchange `xid` sent by `from`.
-    Deliver { xid: u64, from: u32, payload: Vec<u8> },
+    /// Worker → worker: bucket `payload` of exchange `xid` sent by `from`,
+    /// carrying the trace context of the originating relay.
+    Deliver { xid: u64, from: u32, ctx: TraceCtx, payload: Vec<u8> },
+    /// Coordinator → worker: hand over buffered spans of `trace_id`
+    /// (0 = everything), plus the per-opcode frame-counter deltas.
+    TraceFlush { trace_id: u64 },
+    /// Reply to [`Msg::TraceFlush`]: drained spans, the number of spans
+    /// evicted from the worker's bounded ring since the last flush, and
+    /// per-opcode frame counters (relay/deliver/take/bcast) since the last
+    /// flush.
+    TraceBatch {
+        spans: Vec<WorkerSpan>,
+        dropped: u64,
+        relays: u64,
+        delivers: u64,
+        takes: u64,
+        bcasts: u64,
+    },
 }
 
 fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
@@ -153,22 +269,27 @@ impl Msg {
                 }
             }
             Msg::Ping => out.push(OP_PING),
-            Msg::Pong => out.push(OP_PONG),
-            Msg::Relay { xid, watermark, entries } => {
+            Msg::Pong { t_us } => {
+                out.push(OP_PONG);
+                out.extend_from_slice(&t_us.to_le_bytes());
+            }
+            Msg::Relay { xid, watermark, ctx, entries } => {
                 out.push(OP_RELAY);
                 out.extend_from_slice(&xid.to_le_bytes());
                 out.extend_from_slice(&watermark.to_le_bytes());
+                ctx.put(&mut out);
                 out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
                 for (to, payload) in entries {
                     out.extend_from_slice(&to.to_le_bytes());
                     put_bytes(&mut out, payload);
                 }
             }
-            Msg::Take { xid, expect, timeout_ms } => {
+            Msg::Take { xid, expect, timeout_ms, ctx } => {
                 out.push(OP_TAKE);
                 out.extend_from_slice(&xid.to_le_bytes());
                 out.extend_from_slice(&expect.to_le_bytes());
                 out.extend_from_slice(&timeout_ms.to_le_bytes());
+                ctx.put(&mut out);
             }
             Msg::TakeReply(entries) => {
                 out.push(OP_TAKE_REPLY);
@@ -178,8 +299,9 @@ impl Msg {
                     put_bytes(&mut out, payload);
                 }
             }
-            Msg::Bcast(payload) => {
+            Msg::Bcast { ctx, payload } => {
                 out.push(OP_BCAST);
+                ctx.put(&mut out);
                 put_bytes(&mut out, payload);
             }
             Msg::Cancel => out.push(OP_CANCEL),
@@ -189,11 +311,28 @@ impl Msg {
                 out.push(OP_ERR);
                 put_bytes(&mut out, msg.as_bytes());
             }
-            Msg::Deliver { xid, from, payload } => {
+            Msg::Deliver { xid, from, ctx, payload } => {
                 out.push(OP_DELIVER);
                 out.extend_from_slice(&xid.to_le_bytes());
                 out.extend_from_slice(&from.to_le_bytes());
+                ctx.put(&mut out);
                 put_bytes(&mut out, payload);
+            }
+            Msg::TraceFlush { trace_id } => {
+                out.push(OP_TRACE_FLUSH);
+                out.extend_from_slice(&trace_id.to_le_bytes());
+            }
+            Msg::TraceBatch { spans, dropped, relays, delivers, takes, bcasts } => {
+                out.push(OP_TRACE);
+                out.extend_from_slice(&dropped.to_le_bytes());
+                out.extend_from_slice(&relays.to_le_bytes());
+                out.extend_from_slice(&delivers.to_le_bytes());
+                out.extend_from_slice(&takes.to_le_bytes());
+                out.extend_from_slice(&bcasts.to_le_bytes());
+                out.extend_from_slice(&(spans.len() as u32).to_le_bytes());
+                for s in spans {
+                    s.put(&mut out);
+                }
             }
         }
         out
@@ -217,10 +356,11 @@ impl Msg {
                 Msg::Peers(ports)
             }
             OP_PING => Msg::Ping,
-            OP_PONG => Msg::Pong,
+            OP_PONG => Msg::Pong { t_us: c.u64()? },
             OP_RELAY => {
                 let xid = c.u64()?;
                 let watermark = c.u64()?;
+                let ctx = TraceCtx::get(&mut c)?;
                 let n = c.u32()? as usize;
                 if n > buf.len() {
                     return Err(WireError::Malformed("relay count exceeds frame"));
@@ -230,9 +370,14 @@ impl Msg {
                     let to = c.u32()?;
                     entries.push((to, c.bytes()?));
                 }
-                Msg::Relay { xid, watermark, entries }
+                Msg::Relay { xid, watermark, ctx, entries }
             }
-            OP_TAKE => Msg::Take { xid: c.u64()?, expect: c.u32()?, timeout_ms: c.u64()? },
+            OP_TAKE => Msg::Take {
+                xid: c.u64()?,
+                expect: c.u32()?,
+                timeout_ms: c.u64()?,
+                ctx: TraceCtx::get(&mut c)?,
+            },
             OP_TAKE_REPLY => {
                 let n = c.u32()? as usize;
                 if n > buf.len() {
@@ -245,7 +390,7 @@ impl Msg {
                 }
                 Msg::TakeReply(entries)
             }
-            OP_BCAST => Msg::Bcast(c.bytes()?),
+            OP_BCAST => Msg::Bcast { ctx: TraceCtx::get(&mut c)?, payload: c.bytes()? },
             OP_CANCEL => Msg::Cancel,
             OP_EXIT => Msg::Exit,
             OP_OK => Msg::Ok,
@@ -255,7 +400,31 @@ impl Msg {
                     .map_err(|_| WireError::Malformed("err message is not utf-8"))?;
                 Msg::Err(msg)
             }
-            OP_DELIVER => Msg::Deliver { xid: c.u64()?, from: c.u32()?, payload: c.bytes()? },
+            OP_DELIVER => Msg::Deliver {
+                xid: c.u64()?,
+                from: c.u32()?,
+                ctx: TraceCtx::get(&mut c)?,
+                payload: c.bytes()?,
+            },
+            OP_TRACE_FLUSH => Msg::TraceFlush { trace_id: c.u64()? },
+            OP_TRACE => {
+                let dropped = c.u64()?;
+                let relays = c.u64()?;
+                let delivers = c.u64()?;
+                let takes = c.u64()?;
+                let bcasts = c.u64()?;
+                let n = c.u32()? as usize;
+                // Each span costs a fixed SPAN_BYTES; reject counts the
+                // frame cannot hold before allocating for them.
+                if n.saturating_mul(SPAN_BYTES) > buf.len() {
+                    return Err(WireError::Malformed("span count exceeds frame"));
+                }
+                let mut spans = Vec::with_capacity(n);
+                for _ in 0..n {
+                    spans.push(WorkerSpan::get(&mut c)?);
+                }
+                Msg::TraceBatch { spans, dropped, relays, delivers, takes, bcasts }
+            }
             other => return Err(WireError::BadOpcode(other)),
         };
         Ok(msg)
@@ -422,25 +591,60 @@ mod tests {
         assert_eq!(n as usize, wire.len());
     }
 
+    fn test_ctx() -> TraceCtx {
+        TraceCtx { trace_id: 0xDEAD_BEEF, query_id: 42, fixpoint: 3, superstep: 7, level: 2 }
+    }
+
     #[test]
     fn messages_round_trip() {
         round_trip(Msg::Hello { id: 2, n: 4 });
         round_trip(Msg::Peers(vec![4000, 4001, 65535]));
         round_trip(Msg::Ping);
-        round_trip(Msg::Pong);
+        round_trip(Msg::Pong { t_us: 123_456_789 });
         round_trip(Msg::Relay {
             xid: 9,
             watermark: 7,
+            ctx: test_ctx(),
             entries: vec![(0, vec![1, 2, 3]), (3, vec![])],
         });
-        round_trip(Msg::Take { xid: 9, expect: 3, timeout_ms: 2000 });
+        round_trip(Msg::Take { xid: 9, expect: 3, timeout_ms: 2000, ctx: test_ctx() });
         round_trip(Msg::TakeReply(vec![(1, vec![0xFF; 32])]));
-        round_trip(Msg::Bcast(vec![5; 100]));
+        round_trip(Msg::Bcast { ctx: TraceCtx::default(), payload: vec![5; 100] });
         round_trip(Msg::Cancel);
         round_trip(Msg::Exit);
         round_trip(Msg::Ok);
         round_trip(Msg::Err("no route to peer".into()));
-        round_trip(Msg::Deliver { xid: 1, from: 2, payload: vec![9, 9] });
+        round_trip(Msg::Deliver { xid: 1, from: 2, ctx: test_ctx(), payload: vec![9, 9] });
+        round_trip(Msg::TraceFlush { trace_id: 0xDEAD_BEEF });
+        round_trip(Msg::TraceBatch {
+            spans: vec![
+                WorkerSpan {
+                    kind: SPAN_RELAY,
+                    ctx: test_ctx(),
+                    xid: 11,
+                    bytes: 4096,
+                    t_us: 1_000_000,
+                    dur_us: 250,
+                },
+                WorkerSpan::default(),
+            ],
+            dropped: 5,
+            relays: 2,
+            delivers: 8,
+            takes: 2,
+            bcasts: 1,
+        });
+    }
+
+    #[test]
+    fn span_count_lie_is_rejected() {
+        // A TRACE body claiming 2^30 spans in a tiny frame must not allocate.
+        let mut buf = vec![OP_TRACE];
+        for _ in 0..5 {
+            buf.extend_from_slice(&0u64.to_le_bytes());
+        }
+        buf.extend_from_slice(&(1u32 << 30).to_le_bytes());
+        assert!(matches!(Msg::decode(&buf), Err(WireError::Malformed(_))));
     }
 
     #[test]

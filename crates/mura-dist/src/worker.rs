@@ -17,23 +17,41 @@
 //! exchanged partition genuinely crosses two sockets, so bytes-on-the-wire
 //! accounting measures actual traffic.
 //!
+//! Telemetry: each worker is a first-class trace source. Data-plane frames
+//! carry a [`TraceCtx`]; at `TraceCtx::level >= 2` the worker records a
+//! [`WorkerSpan`] per relay/deliver/take/broadcast into a bounded
+//! drop-oldest ring, timestamped on its own monotonic clock. Per-opcode
+//! frame counters run unconditionally. [`Msg::TraceFlush`] drains the ring
+//! (and the counter deltas) back to the coordinator as a
+//! [`Msg::TraceBatch`]; the coordinator re-bases the timestamps onto its
+//! clock using the heartbeat RTT-midpoint offset estimate.
+//!
 //! Liveness: the worker exits when its stdin reaches EOF (the coordinator
 //! holds the write end, so coordinator death reaps the worker — no orphan
 //! processes), or when it receives [`Msg::Exit`].
 
-use crate::wire::{read_frame, write_frame, Msg, WireError};
-use std::collections::HashMap;
+use crate::wire::{
+    read_frame, write_frame, Msg, TraceCtx, WireError, WorkerSpan, SPAN_BCAST, SPAN_DELIVER,
+    SPAN_RELAY, SPAN_TAKE,
+};
+use std::collections::{HashMap, VecDeque};
 use std::io::Read;
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Buffered exchange buckets awaiting a [`Msg::Take`]: `xid → [(from, payload)]`.
 type Inbox = HashMap<u64, Vec<(u32, Vec<u8>)>>;
 
+/// Cap on the worker-side span ring. A long fixpoint at
+/// `TraceLevel::Superstep` keeps producing spans between flushes; beyond
+/// this many the oldest are evicted (counted, surfaced in the merge as
+/// `dropped_events`) rather than growing without bound.
+pub const WORKER_SPAN_CAPACITY: usize = 8192;
+
 /// Shared state of one worker process.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct WorkerState {
     /// This worker's index, set by [`Msg::Hello`].
     id: AtomicU32,
@@ -46,9 +64,84 @@ struct WorkerState {
     inbox: Mutex<Inbox>,
     /// Wakes [`Msg::Take`] waiters when a bucket arrives.
     arrived: Condvar,
+    /// Zero point of this worker's monotonic clock (process start).
+    epoch: Instant,
+    /// Bounded drop-oldest ring of recorded spans awaiting a flush.
+    spans: Mutex<VecDeque<WorkerSpan>>,
+    /// Spans evicted from the ring since the last flush.
+    span_dropped: AtomicU64,
+    /// Per-opcode data-plane frame counters since the last flush.
+    relays: AtomicU64,
+    delivers: AtomicU64,
+    takes: AtomicU64,
+    bcasts: AtomicU64,
 }
 
 impl WorkerState {
+    fn new() -> Self {
+        WorkerState {
+            id: AtomicU32::new(0),
+            peers: Mutex::new(Vec::new()),
+            peer_conns: Mutex::new(HashMap::new()),
+            inbox: Mutex::new(Inbox::new()),
+            arrived: Condvar::new(),
+            epoch: Instant::now(),
+            spans: Mutex::new(VecDeque::new()),
+            span_dropped: AtomicU64::new(0),
+            relays: AtomicU64::new(0),
+            delivers: AtomicU64::new(0),
+            takes: AtomicU64::new(0),
+            bcasts: AtomicU64::new(0),
+        }
+    }
+
+    /// µs since process start on this worker's monotonic clock — the
+    /// timescale of every span and of the [`Msg::Pong`] heartbeat reply.
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Records a span if the propagated context asks for superstep-level
+    /// tracing. The ring is bounded: at capacity the oldest span is
+    /// evicted and counted.
+    fn record_span(&self, kind: u8, ctx: TraceCtx, xid: u64, bytes: u64, t_us: u64, dur_us: u64) {
+        if ctx.level < 2 || ctx.trace_id == 0 {
+            return;
+        }
+        let span = WorkerSpan { kind, ctx, xid, bytes, t_us, dur_us };
+        let mut ring = self.spans.lock().unwrap();
+        if ring.len() >= WORKER_SPAN_CAPACITY {
+            ring.pop_front();
+            self.span_dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(span);
+    }
+
+    /// Drains spans of `trace_id` (0 = everything) plus the frame-counter
+    /// deltas into a [`Msg::TraceBatch`]. Counters are swap-to-zero so
+    /// repeated per-fixpoint flushes accumulate correctly coordinator-side.
+    fn flush_trace(&self, trace_id: u64) -> Msg {
+        let drained: Vec<WorkerSpan> = {
+            let mut ring = self.spans.lock().unwrap();
+            if trace_id == 0 {
+                ring.drain(..).collect()
+            } else {
+                let (matched, rest): (Vec<_>, Vec<_>) =
+                    ring.drain(..).partition(|s| s.ctx.trace_id == trace_id);
+                ring.extend(rest);
+                matched
+            }
+        };
+        Msg::TraceBatch {
+            spans: drained,
+            dropped: self.span_dropped.swap(0, Ordering::Relaxed),
+            relays: self.relays.swap(0, Ordering::Relaxed),
+            delivers: self.delivers.swap(0, Ordering::Relaxed),
+            takes: self.takes.swap(0, Ordering::Relaxed),
+            bcasts: self.bcasts.swap(0, Ordering::Relaxed),
+        }
+    }
+
     fn buffer(&self, xid: u64, from: u32, payload: Vec<u8>) {
         let mut inbox = self.inbox.lock().unwrap();
         inbox.entry(xid).or_default().push((from, payload));
@@ -100,33 +193,44 @@ fn handle_conn(state: &Arc<WorkerState>, mut conn: TcpStream) {
                 state.peer_conns.lock().unwrap().clear();
                 Some(Msg::Ok)
             }
-            Msg::Ping => Some(Msg::Pong),
-            Msg::Relay { xid, watermark, entries } => {
+            Msg::Ping => Some(Msg::Pong { t_us: state.now_us() }),
+            Msg::Relay { xid, watermark, ctx, entries } => {
+                state.relays.fetch_add(1, Ordering::Relaxed);
+                let t0 = state.now_us();
                 // Prune abandoned exchange attempts before buffering new ones.
                 state.inbox.lock().unwrap().retain(|&k, _| k >= watermark);
                 let me = state.id.load(Ordering::SeqCst);
                 let mut failed: Option<String> = None;
+                let mut bytes = 0u64;
                 for (to, payload) in entries {
+                    bytes += payload.len() as u64;
                     if to == me {
                         state.buffer(xid, me, payload);
                         continue;
                     }
-                    let deliver = Msg::Deliver { xid, from: me, payload };
+                    // Propagate the trace context onto the forwarded frame:
+                    // the receiving peer's span stays query-attributed.
+                    let deliver = Msg::Deliver { xid, from: me, ctx, payload };
                     if let Err(e) = state.deliver(to, &deliver) {
                         failed = Some(format!("deliver to {to}: {e}"));
                         break;
                     }
                 }
+                state.record_span(SPAN_RELAY, ctx, xid, bytes, t0, state.now_us() - t0);
                 Some(match failed {
                     None => Msg::Ok,
                     Some(e) => Msg::Err(e),
                 })
             }
-            Msg::Deliver { xid, from, payload } => {
+            Msg::Deliver { xid, from, ctx, payload } => {
+                state.delivers.fetch_add(1, Ordering::Relaxed);
+                state.record_span(SPAN_DELIVER, ctx, xid, payload.len() as u64, state.now_us(), 0);
                 state.buffer(xid, from, payload);
                 None // One-way: peers do not wait for acks.
             }
-            Msg::Take { xid, expect, timeout_ms } => {
+            Msg::Take { xid, expect, timeout_ms, ctx } => {
+                state.takes.fetch_add(1, Ordering::Relaxed);
+                let t0 = state.now_us();
                 let deadline = Instant::now() + Duration::from_millis(timeout_ms);
                 let mut inbox = state.inbox.lock().unwrap();
                 loop {
@@ -143,14 +247,21 @@ fn handle_conn(state: &Arc<WorkerState>, mut conn: TcpStream) {
                 }
                 // Hand over whatever arrived; the coordinator checks the
                 // count and retries the whole exchange (fresh xid) if short.
-                Some(Msg::TakeReply(inbox.remove(&xid).unwrap_or_default()))
+                let buckets = inbox.remove(&xid).unwrap_or_default();
+                drop(inbox);
+                let bytes = buckets.iter().map(|(_, p)| p.len() as u64).sum();
+                state.record_span(SPAN_TAKE, ctx, xid, bytes, t0, state.now_us() - t0);
+                Some(Msg::TakeReply(buckets))
             }
-            Msg::Bcast(_payload) => {
+            Msg::Bcast { ctx, payload } => {
                 // Broadcast replication traffic: the bytes crossed the wire
                 // (that is what is being measured); the replica itself is
                 // not consulted — computation stays coordinator-side.
+                state.bcasts.fetch_add(1, Ordering::Relaxed);
+                state.record_span(SPAN_BCAST, ctx, 0, payload.len() as u64, state.now_us(), 0);
                 Some(Msg::Ok)
             }
+            Msg::TraceFlush { trace_id } => Some(state.flush_trace(trace_id)),
             Msg::Cancel => {
                 state.inbox.lock().unwrap().clear();
                 state.arrived.notify_all();
@@ -158,7 +269,11 @@ fn handle_conn(state: &Arc<WorkerState>, mut conn: TcpStream) {
             }
             Msg::Exit => std::process::exit(0),
             // Replies arriving as requests: protocol error, drop the conn.
-            Msg::Pong | Msg::Ok | Msg::Err(_) | Msg::TakeReply(_) => return,
+            Msg::Pong { .. }
+            | Msg::Ok
+            | Msg::Err(_)
+            | Msg::TakeReply(_)
+            | Msg::TraceBatch { .. } => return,
         };
         if let Some(reply) = reply {
             if write_frame(&mut conn, &reply).is_err() {
@@ -174,7 +289,7 @@ fn handle_conn(state: &Arc<WorkerState>, mut conn: TcpStream) {
 pub fn run_worker(on_port: impl FnOnce(u16)) -> std::io::Result<()> {
     let listener = TcpListener::bind("127.0.0.1:0")?;
     on_port(listener.local_addr()?.port());
-    let state = Arc::new(WorkerState::default());
+    let state = Arc::new(WorkerState::new());
     for conn in listener.incoming() {
         let Ok(conn) = conn else { continue };
         let state = Arc::clone(&state);

@@ -168,6 +168,123 @@ fn plw_zero_wire_bytes_after_setup_gld_ships_every_superstep() {
     }
 }
 
+/// Tentpole: the merged cluster trace makes the paper's `P_plw` claim
+/// visible *from the worker lanes themselves*. Worker processes record
+/// their own exchange spans and ship them back at fixpoint end; after the
+/// clock-aligned merge, every `P_plw` worker-lane exchange event sits at
+/// superstep 0 (the one-time setup repartition and broadcasts) and none
+/// during the recursion — while `P_gld` worker lanes show exchange events
+/// on recursive supersteps too.
+#[test]
+fn plw_worker_lanes_show_zero_exchange_after_setup() {
+    let cluster = proc_cluster(4);
+    let mut db = er_db(5);
+    let expected = centralized(&mut db, TC_QUERY);
+    let traced = |plan| {
+        let mut engine = QueryEngine::with_config(
+            db.clone(),
+            ExecConfig {
+                workers: 4,
+                plan,
+                trace: TraceLevel::Superstep,
+                backend: Some(cluster.clone() as Arc<dyn CommBackend>),
+                ..Default::default()
+            },
+        );
+        let out = engine.run_ucrpq(TC_QUERY).unwrap();
+        assert_eq!(out.relation.sorted_rows(), expected.sorted_rows(), "{plan:?} diverged");
+        out.stats.trace.expect("trace recorded")
+    };
+
+    let plw = traced(FixpointPlan::ForcePlw);
+    let lanes: std::collections::BTreeSet<i32> =
+        plw.events.iter().filter(|e| e.kind.is_worker_comm()).map(|e| e.worker).collect();
+    assert!(lanes.len() >= 2, "merged P_plw trace must carry worker lanes, got {lanes:?}");
+    for e in plw.events.iter().filter(|e| e.kind.is_worker_comm()) {
+        assert_eq!(
+            e.iteration, 0,
+            "P_plw worker lane recorded an exchange during the recursion: {e:?}"
+        );
+    }
+
+    let gld = traced(FixpointPlan::ForceGld);
+    assert!(
+        gld.events.iter().any(|e| e.kind.is_worker_comm() && e.iteration > 0),
+        "P_gld worker lanes must show exchanges during the recursion"
+    );
+    cluster.shutdown();
+}
+
+/// The core trace signature is backend-independent: the same query at the
+/// same trace level yields the same timestamp-free `signature()` on the
+/// in-process simulator and on the process cluster. Worker-lane events
+/// are excluded from signatures precisely so the two stay comparable.
+#[test]
+fn sim_and_proc_trace_signatures_agree() {
+    let cluster = proc_cluster(4);
+    let db = er_db(11);
+    let run = |backend: Option<Arc<dyn CommBackend>>| {
+        let mut engine = QueryEngine::with_config(
+            db.clone(),
+            ExecConfig {
+                workers: 4,
+                plan: FixpointPlan::ForcePlw,
+                trace: TraceLevel::Superstep,
+                backend,
+                ..Default::default()
+            },
+        );
+        let out = engine.run_ucrpq(TC_QUERY).unwrap();
+        out.stats.trace.expect("trace recorded").signature()
+    };
+    let sim = run(None);
+    let proc_sig = run(Some(cluster.clone() as Arc<dyn CommBackend>));
+    assert!(!sim.is_empty());
+    assert_eq!(sim, proc_sig, "sim and proc signatures must agree modulo worker lanes");
+    cluster.shutdown();
+}
+
+/// Same-seed chaos over the *process* backend is deterministic modulo
+/// timestamps: two runs with one seed produce identical timestamp-free
+/// `signature()`s of their merged traces, even though worker kills,
+/// reconnects and retransmissions make the worker-lane span sets
+/// timing-dependent (which is why signatures exclude them).
+#[test]
+fn same_seed_proc_chaos_traces_have_identical_signatures() {
+    let base = chaos_seed();
+    let cluster = proc_cluster(3);
+    let db = er_db(5);
+    let traced = || {
+        let mut engine = QueryEngine::with_config(
+            db.clone(),
+            ExecConfig {
+                workers: 3,
+                plan: FixpointPlan::ForceGld,
+                trace: TraceLevel::Superstep,
+                fault: FaultConfig {
+                    seed: base,
+                    panic_prob: 0.4,
+                    drop_prob: 0.4,
+                    straggler_prob: 0.2,
+                    straggler_delay_ms: 1,
+                    failures_per_site: 1,
+                    ..Default::default()
+                },
+                checkpoint_every: 2,
+                backend: Some(cluster.clone() as Arc<dyn CommBackend>),
+                ..Default::default()
+            },
+        );
+        let out = engine.run_ucrpq(TC_QUERY).unwrap();
+        out.stats.trace.expect("trace recorded").signature()
+    };
+    let a = traced();
+    let b = traced();
+    assert_eq!(a, b, "same-seed process-mode chaos traces must agree modulo timestamps");
+    assert!(!a.is_empty());
+    cluster.shutdown();
+}
+
 /// Chaos: under a fixed seed the process cluster takes real `SIGKILL`s
 /// mid-exchange (between the relay and collect phases, so buffered
 /// buckets genuinely die with the worker) and severed control

@@ -120,6 +120,17 @@ fn same_seed_chaos_runs_have_identical_signatures() {
     assert!(!a.is_empty());
 }
 
+/// On the in-process simulator there is no wire, so the merge step
+/// contributes no worker-lane exchange events and drops nothing — the
+/// trace differs from a process-cluster run only by the absent lanes.
+#[test]
+fn sim_backend_merges_no_worker_lanes() {
+    let trace = run_traced(ExecConfig { trace: TraceLevel::Superstep, ..Default::default() });
+    assert!(trace.events.iter().all(|e| !e.kind.is_worker_comm()), "sim traces have no lanes");
+    assert_eq!(trace.dropped, 0);
+    assert!(trace.trace_id > 0, "every trace carries a nonzero id");
+}
+
 #[test]
 fn exported_json_is_valid() {
     let trace = run_traced(ExecConfig { trace: TraceLevel::Superstep, ..Default::default() });

@@ -30,6 +30,7 @@ fn bucket_index(us: u64) -> usize {
 }
 
 /// A concurrent log-spaced histogram of microsecond latencies.
+#[derive(Debug)]
 pub struct Histogram {
     counts: [AtomicU64; BUCKETS + 1],
     count: AtomicU64,

@@ -32,4 +32,6 @@ pub mod trace;
 
 pub use histogram::{Histogram, HistogramSnapshot, BUCKETS};
 pub use prometheus::PromText;
-pub use trace::{EventKind, PlanKind, QueryTrace, RecoveryKind, TraceEvent, TraceLevel, TraceSink};
+pub use trace::{
+    EventKind, FixpointSkew, PlanKind, QueryTrace, RecoveryKind, TraceEvent, TraceLevel, TraceSink,
+};

@@ -60,6 +60,21 @@ pub enum EventKind {
     Recovery,
     /// The fixpoint converged (carries the final size in `delta_rows`).
     FixpointEnd,
+    /// Worker lane: a relay fanned buckets out to peers (merged from a
+    /// worker-side span; `worker` is the relaying worker).
+    ExchangeSend,
+    /// Worker lane: a bucket arrived from a peer.
+    ExchangeRecv,
+    /// Worker lane: a `Take` was served; duration = straggler wait.
+    ExchangeWait,
+    /// Worker lane: a broadcast replica landed on the worker.
+    BroadcastRecv,
+    /// Supervisor journal: a dead worker process was respawned.
+    Respawn,
+    /// Supervisor journal: a control/heartbeat connection was remade.
+    Reconnect,
+    /// Supervisor journal: a heartbeat deadline was missed.
+    LivenessMiss,
 }
 
 impl EventKind {
@@ -71,7 +86,40 @@ impl EventKind {
             EventKind::Superstep => "superstep",
             EventKind::Recovery => "recovery",
             EventKind::FixpointEnd => "fixpoint_end",
+            EventKind::ExchangeSend => "exchange_send",
+            EventKind::ExchangeRecv => "exchange_recv",
+            EventKind::ExchangeWait => "exchange_wait",
+            EventKind::BroadcastRecv => "broadcast_recv",
+            EventKind::Respawn => "respawn",
+            EventKind::Reconnect => "reconnect",
+            EventKind::LivenessMiss => "liveness_miss",
         }
+    }
+
+    /// Driver-side kinds whose counts are deterministic for a given query
+    /// and fault seed. Only these enter [`QueryTrace::signature`].
+    pub fn is_core(self) -> bool {
+        matches!(
+            self,
+            EventKind::FixpointStart
+                | EventKind::Setup
+                | EventKind::Superstep
+                | EventKind::Recovery
+                | EventKind::FixpointEnd
+        )
+    }
+
+    /// Worker-lane communication kinds (merged from worker-side spans).
+    /// Timing dependent — repair-path retransmissions duplicate them — so
+    /// they are visible in timelines but excluded from signatures.
+    pub fn is_worker_comm(self) -> bool {
+        matches!(
+            self,
+            EventKind::ExchangeSend
+                | EventKind::ExchangeRecv
+                | EventKind::ExchangeWait
+                | EventKind::BroadcastRecv
+        )
     }
 }
 
@@ -212,6 +260,10 @@ impl TraceEvent {
 /// worker; ~4 MiB of `Copy` events at the default.
 pub const DEFAULT_CAPACITY: usize = 32_768;
 
+/// Process-wide trace-id allocator (ids start at 1; 0 = "no trace" on the
+/// wire).
+static NEXT_TRACE_ID: AtomicU64 = AtomicU64::new(1);
+
 struct Ring {
     buf: VecDeque<TraceEvent>,
     cap: usize,
@@ -221,6 +273,7 @@ struct Ring {
 /// drivers. Thread-safe: `P_plw` workers record concurrently.
 pub struct TraceSink {
     level: TraceLevel,
+    trace_id: u64,
     start: Instant,
     ring: Mutex<Ring>,
     dropped: AtomicU64,
@@ -238,6 +291,7 @@ impl TraceSink {
         let cap = cap.max(1);
         TraceSink {
             level,
+            trace_id: NEXT_TRACE_ID.fetch_add(1, Ordering::Relaxed),
             start: Instant::now(),
             ring: Mutex::new(Ring { buf: VecDeque::with_capacity(cap), cap }),
             dropped: AtomicU64::new(0),
@@ -248,6 +302,26 @@ impl TraceSink {
     /// The sink's recording level.
     pub fn level(&self) -> TraceLevel {
         self.level
+    }
+
+    /// Process-unique id of this sink, propagated on data-plane frames so
+    /// worker-side spans can be matched back to the query.
+    pub fn trace_id(&self) -> u64 {
+        self.trace_id
+    }
+
+    /// The instant all `t_us` timestamps are relative to — the time base
+    /// worker spans are re-based onto after clock alignment.
+    pub fn start_instant(&self) -> Instant {
+        self.start
+    }
+
+    /// Folds externally-dropped events (a worker's bounded span ring) into
+    /// this trace's `dropped` count.
+    pub fn add_dropped(&self, n: u64) {
+        if n > 0 {
+            self.dropped.fetch_add(n, Ordering::Relaxed);
+        }
     }
 
     /// True when per-superstep events should be recorded.
@@ -280,6 +354,7 @@ impl TraceSink {
         let ring = self.ring.lock().unwrap_or_else(|e| e.into_inner());
         QueryTrace {
             level: self.level,
+            trace_id: self.trace_id,
             events: ring.buf.iter().copied().collect(),
             dropped: self.dropped.load(Ordering::Relaxed),
             total_us: self.now_us(),
@@ -292,12 +367,31 @@ impl TraceSink {
 pub struct QueryTrace {
     /// The level the query recorded at.
     pub level: TraceLevel,
+    /// Process-unique id of the sink that recorded this trace.
+    pub trace_id: u64,
     /// Events in ring order (append order; worker threads may interleave).
     pub events: Vec<TraceEvent>,
-    /// Events evicted from the ring when it overflowed.
+    /// Events evicted from the ring when it overflowed (coordinator ring
+    /// plus any worker-side span-ring evictions folded in by the merge).
     pub dropped: u64,
     /// Total traced wall time in microseconds.
     pub total_us: u64,
+}
+
+/// Per-fixpoint straggler summary computed from worker-lane durations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FixpointSkew {
+    /// Which fixpoint of the query.
+    pub fixpoint: u32,
+    /// Workers that contributed at least one measured event.
+    pub workers: usize,
+    /// Busiest worker's total event time, µs.
+    pub max_us: u64,
+    /// Median worker's total event time, µs.
+    pub median_us: u64,
+    /// `max / median` — 1.0 means perfectly balanced; large values mean
+    /// one straggler dominated the fixpoint's wall clock.
+    pub skew_ratio: f64,
 }
 
 impl QueryTrace {
@@ -311,10 +405,17 @@ impl QueryTrace {
     /// sorted canonically by `(fixpoint, worker, iteration, kind)`. Two
     /// runs of the same query under the same fault seed yield equal
     /// signatures (the chaos determinism contract).
+    ///
+    /// Only core driver-side kinds ([`EventKind::is_core`]) enter the
+    /// signature: worker-lane and supervisor events are timing dependent
+    /// (repair-path retransmissions, heartbeat cadence), and excluding
+    /// them also keeps sim-backend and proc-backend signatures comparable
+    /// (the simulator has no worker lanes).
     pub fn signature(&self) -> Vec<String> {
         let mut lines: Vec<String> = self
             .events
             .iter()
+            .filter(|e| e.kind.is_core())
             .map(|e| {
                 format!(
                     "fx={} w={} it={} {} plan={} delta={} shuf={} rows_shuf={} bcast={} \
@@ -356,9 +457,10 @@ impl QueryTrace {
         out.push_str("\n  ],\n  \"displayTimeUnit\": \"ms\",\n  \"mura\": {\n");
         let _ = write!(
             out,
-            "    \"version\": 1,\n    \"level\": \"{}\",\n    \"dropped\": {},\n    \
-             \"total_us\": {},\n    \"events\": [",
+            "    \"version\": 2,\n    \"level\": \"{}\",\n    \"trace_id\": {},\n    \
+             \"dropped\": {},\n    \"total_us\": {},\n    \"events\": [",
             self.level.name(),
+            self.trace_id,
             self.dropped,
             self.total_us
         );
@@ -437,6 +539,81 @@ impl QueryTrace {
         }
         if self.dropped > 0 {
             let _ = writeln!(out, "({} events dropped by the ring buffer)", self.dropped);
+        }
+        out
+    }
+
+    /// Per-fixpoint skew summary. For each fixpoint, each worker's
+    /// [`EventKind::Superstep`] durations are summed (falling back to
+    /// worker-lane communication events when no worker recorded
+    /// supersteps, as under `P_gld` where the loop is driver-side); the
+    /// skew ratio is the busiest worker's total over the median worker's.
+    /// Fixpoints with fewer than two contributing workers are skipped —
+    /// skew needs a comparison.
+    pub fn skew_by_fixpoint(&self) -> Vec<FixpointSkew> {
+        use std::collections::BTreeMap;
+        // fixpoint → worker → (superstep_us, comm_us)
+        let mut per: BTreeMap<u32, BTreeMap<i32, (u64, u64)>> = BTreeMap::new();
+        for e in &self.events {
+            if e.worker == DRIVER {
+                continue;
+            }
+            let slot = per.entry(e.fixpoint).or_default().entry(e.worker).or_default();
+            if e.kind == EventKind::Superstep {
+                slot.0 += e.dur_us;
+            } else if e.kind.is_worker_comm() {
+                slot.1 += e.dur_us;
+            }
+        }
+        let mut out = Vec::new();
+        for (fixpoint, workers) in per {
+            let use_supersteps = workers.values().any(|&(s, _)| s > 0);
+            let mut totals: Vec<u64> = workers
+                .values()
+                .map(|&(s, c)| if use_supersteps { s } else { c })
+                .filter(|&t| t > 0)
+                .collect();
+            if totals.len() < 2 {
+                continue;
+            }
+            totals.sort_unstable();
+            let max_us = *totals.last().unwrap();
+            let median_us = totals[totals.len() / 2];
+            out.push(FixpointSkew {
+                fixpoint,
+                workers: totals.len(),
+                max_us,
+                median_us,
+                skew_ratio: max_us as f64 / median_us.max(1) as f64,
+            });
+        }
+        out
+    }
+
+    /// Renders the per-fixpoint skew summary as an aligned text table
+    /// (empty string when no fixpoint had measurable per-worker work).
+    pub fn render_skew(&self) -> String {
+        use std::fmt::Write;
+        let rows = self.skew_by_fixpoint();
+        if rows.is_empty() {
+            return String::new();
+        }
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<3} {:>7} {:>10} {:>10} {:>6}",
+            "fx", "workers", "max_ms", "median_ms", "skew"
+        );
+        for s in rows {
+            let _ = writeln!(
+                out,
+                "{:<3} {:>7} {:>10.3} {:>10.3} {:>6.2}",
+                s.fixpoint,
+                s.workers,
+                s.max_us as f64 / 1_000.0,
+                s.median_us as f64 / 1_000.0,
+                s.skew_ratio,
+            );
         }
         out
     }
@@ -531,6 +708,7 @@ mod tests {
     fn signature_ignores_time_and_order() {
         let a = QueryTrace {
             level: TraceLevel::Superstep,
+            trace_id: 1,
             events: vec![step(0, 1, 1, 5), step(0, 0, 1, 7)],
             dropped: 0,
             total_us: 100,
@@ -554,6 +732,7 @@ mod tests {
     fn json_exports_parse() {
         let t = QueryTrace {
             level: TraceLevel::Superstep,
+            trace_id: 7,
             events: vec![step(0, 0, 1, 5), step(0, 1, 1, 7)],
             dropped: 0,
             total_us: 42,
@@ -563,6 +742,8 @@ mod tests {
         assert_eq!(events.len(), 2);
         let mura = doc.get("mura").unwrap();
         assert_eq!(mura.get("level").and_then(|v| v.as_str()), Some("superstep"));
+        assert_eq!(mura.get("version").and_then(|v| v.as_f64()), Some(2.0));
+        assert_eq!(mura.get("trace_id").and_then(|v| v.as_f64()), Some(7.0));
         assert_eq!(mura.get("events").and_then(|v| v.as_array()).unwrap().len(), 2);
         let chrome = crate::json::Json::parse(&t.to_chrome_trace()).unwrap();
         assert_eq!(chrome.as_array().unwrap().len(), 2);
@@ -572,6 +753,7 @@ mod tests {
     fn timeline_has_one_row_per_event() {
         let t = QueryTrace {
             level: TraceLevel::Superstep,
+            trace_id: 1,
             events: vec![step(0, 0, 1, 5), step(0, 0, 2, 3)],
             dropped: 0,
             total_us: 42,
@@ -580,6 +762,75 @@ mod tests {
         // Header + one row per superstep.
         assert_eq!(table.lines().count(), 3, "{table}");
         assert!(table.contains("superstep"), "{table}");
+    }
+
+    #[test]
+    fn signature_excludes_worker_lane_and_supervisor_events() {
+        let a = QueryTrace { events: vec![step(0, 0, 1, 5)], ..Default::default() };
+        let mut b = a.clone();
+        b.events.push(TraceEvent {
+            worker: 1,
+            iteration: 1,
+            wire_exchange_bytes: 512,
+            ..TraceEvent::new(EventKind::ExchangeSend, 0, PlanKind::Gld)
+        });
+        b.events.push(TraceEvent {
+            worker: 1,
+            ..TraceEvent::new(EventKind::Respawn, 0, PlanKind::None)
+        });
+        assert_eq!(a.signature(), b.signature());
+        assert!(!EventKind::ExchangeSend.is_core());
+        assert!(EventKind::ExchangeWait.is_worker_comm());
+        assert!(!EventKind::Respawn.is_worker_comm());
+    }
+
+    #[test]
+    fn skew_summary_finds_the_straggler() {
+        let mut events = Vec::new();
+        for (worker, dur) in [(0, 100u64), (1, 100), (2, 100), (3, 400)] {
+            events.push(TraceEvent { dur_us: dur, ..step(0, worker, 1, 5) });
+        }
+        let t = QueryTrace { events, ..Default::default() };
+        let skew = t.skew_by_fixpoint();
+        assert_eq!(skew.len(), 1);
+        assert_eq!(skew[0].workers, 4);
+        assert_eq!(skew[0].max_us, 400);
+        assert_eq!(skew[0].median_us, 100);
+        assert!((skew[0].skew_ratio - 4.0).abs() < 1e-9);
+        let table = t.render_skew();
+        assert!(table.contains("4.00"), "{table}");
+    }
+
+    #[test]
+    fn skew_falls_back_to_comm_events_and_skips_single_worker() {
+        // Fixpoint 0: only worker-lane comm events (P_gld shape).
+        // Fixpoint 1: a single worker — no comparison, skipped.
+        let mk = |kind, fixpoint, worker, dur_us| TraceEvent {
+            worker,
+            dur_us,
+            ..TraceEvent::new(kind, fixpoint, PlanKind::Gld)
+        };
+        let t = QueryTrace {
+            events: vec![
+                mk(EventKind::ExchangeWait, 0, 0, 50),
+                mk(EventKind::ExchangeWait, 0, 1, 200),
+                mk(EventKind::Superstep, 1, 0, 10),
+            ],
+            ..Default::default()
+        };
+        let skew = t.skew_by_fixpoint();
+        assert_eq!(skew.len(), 1);
+        assert_eq!(skew[0].fixpoint, 0);
+        assert_eq!(skew[0].max_us, 200);
+    }
+
+    #[test]
+    fn trace_ids_are_unique_and_nonzero() {
+        let a = TraceSink::new(TraceLevel::Fixpoint);
+        let b = TraceSink::new(TraceLevel::Fixpoint);
+        assert_ne!(a.trace_id(), 0);
+        assert_ne!(a.trace_id(), b.trace_id());
+        assert_eq!(a.finish().trace_id, a.trace_id());
     }
 
     #[test]

@@ -400,7 +400,18 @@ fn run_profile(client: &Client, query: &str) -> ServeResult<QueryBlock> {
         out.execution,
     );
     let body = match out.trace() {
-        Some(trace) => trace.render_timeline().lines().map(str::to_string).collect(),
+        Some(trace) => {
+            let mut lines: Vec<String> =
+                trace.render_timeline().lines().map(str::to_string).collect();
+            // Cluster-aware addendum: per-fixpoint worker skew, derived
+            // from the merged worker lanes (empty for single-lane traces).
+            let skew = trace.render_skew();
+            if !skew.is_empty() {
+                lines.push(String::new());
+                lines.extend(skew.lines().map(str::to_string));
+            }
+            lines
+        }
         None => vec!["(no trace recorded)".to_string()],
     };
     Ok((header, body))

@@ -252,6 +252,13 @@ pub struct ServeStats {
     pub cluster_workers_live: u64,
     pub cluster_respawns: u64,
     pub cluster_reconnects: u64,
+    /// Heartbeat deadlines a worker missed before the supervisor stepped
+    /// in, and worker-side trace spans dropped to the bounded sink.
+    pub cluster_liveness_misses: u64,
+    pub cluster_trace_dropped: u64,
+    /// Worst per-fixpoint `max/median` worker-time ratio of the most
+    /// recent traced execution, in thousandths (0 until one is observed).
+    pub skew_ratio_milli: u64,
     /// Measured bytes on worker sockets across fresh executions (frames
     /// included), and the data-plane payload subset (exchange buckets and
     /// broadcast relations). Zero under [`ClusterMode::InProcess`].
@@ -365,11 +372,18 @@ impl std::fmt::Display for ServeStats {
         )?;
         writeln!(
             f,
-            "cluster      {}/{} workers live, {} respawns / {} reconnects",
+            "cluster      {}/{} workers live, {} respawns / {} reconnects / {} liveness misses",
             self.cluster_workers_live,
             self.cluster_workers,
             self.cluster_respawns,
-            self.cluster_reconnects
+            self.cluster_reconnects,
+            self.cluster_liveness_misses
+        )?;
+        writeln!(
+            f,
+            "skew         ratio {:.3} (last traced run), {} worker spans dropped",
+            self.skew_ratio_milli as f64 / 1000.0,
+            self.cluster_trace_dropped
         )?;
         writeln!(
             f,
@@ -479,6 +493,13 @@ struct Telemetry {
     wire_tx_bytes: AtomicU64,
     wire_rx_bytes: AtomicU64,
     wire_exchange_bytes: AtomicU64,
+    /// Per-worker per-superstep durations of traced executions, across
+    /// every worker lane of the merged trace (both cluster modes).
+    worker_superstep: Histogram,
+    /// Worst per-fixpoint `max/median` worker-time ratio observed by the
+    /// most recent traced execution, in thousandths (gauge; 0 = no traced
+    /// multi-worker fixpoint seen yet).
+    skew_ratio_milli: AtomicU64,
 }
 
 impl Telemetry {
@@ -490,6 +511,21 @@ impl Telemetry {
         self.wire_tx_bytes.fetch_add(comm.wire_tx_bytes, Ordering::Relaxed);
         self.wire_rx_bytes.fetch_add(comm.wire_rx_bytes, Ordering::Relaxed);
         self.wire_exchange_bytes.fetch_add(comm.wire_exchange_bytes, Ordering::Relaxed);
+    }
+
+    /// Folds a merged per-query trace into the server-wide skew telemetry:
+    /// every worker-lane superstep duration feeds the histogram, and the
+    /// worst per-fixpoint `max/median` ratio updates the gauge.
+    fn record_trace(&self, trace: &mura_obs::QueryTrace) {
+        for ev in &trace.events {
+            if ev.kind == mura_obs::EventKind::Superstep && ev.worker >= 0 {
+                self.worker_superstep.record_us(ev.dur_us);
+            }
+        }
+        let worst = trace.skew_by_fixpoint().iter().map(|s| (s.skew_ratio * 1000.0) as u64).max();
+        if let Some(m) = worst {
+            self.skew_ratio_milli.store(m, Ordering::Relaxed);
+        }
     }
 }
 
@@ -894,6 +930,9 @@ impl ServerInner {
         config.limits = self.config.limits;
         config.cancel = Some(job.token.clone());
         config.trace = job.trace;
+        // The job id rides in the wire-level trace context so worker-side
+        // spans can be attributed to this query in the merged timeline.
+        config.query_id = job.id;
         // Capture fixpoint totals alongside the answer: they are what lets
         // `apply_delta` maintain cached entries instead of discarding them,
         // and what feeds observed cardinalities back into the planner.
@@ -904,6 +943,9 @@ impl ServerInner {
         let out = out?;
         self.telemetry.execution.record(out.execution);
         self.telemetry.record_comm(&out.comm);
+        if let Some(trace) = &out.stats.trace {
+            self.telemetry.record_trace(trace);
+        }
         // Accumulate fault/recovery accounting for fresh executions only —
         // cache hits replay an old answer, not its faults.
         let fault = &out.stats.fault;
@@ -1504,6 +1546,9 @@ fn stats_of(inner: &ServerInner) -> ServeStats {
         cluster_workers_live: health.live,
         cluster_respawns: health.respawns,
         cluster_reconnects: health.reconnects,
+        cluster_liveness_misses: health.liveness_misses,
+        cluster_trace_dropped: health.trace_dropped,
+        skew_ratio_milli: t.skew_ratio_milli.load(Ordering::Relaxed),
         wire_tx_bytes: t.wire_tx_bytes.load(Ordering::Relaxed),
         wire_rx_bytes: t.wire_rx_bytes.load(Ordering::Relaxed),
         wire_exchange_bytes: t.wire_exchange_bytes.load(Ordering::Relaxed),
@@ -1596,6 +1641,39 @@ fn metrics_of(inner: &ServerInner) -> String {
         "mura_cluster_reconnects_total",
         "Worker control connections re-established after drops.",
         s.cluster_reconnects,
+    );
+    p.family(
+        "mura_supervisor_events_total",
+        "counter",
+        "Supervisor journal events by kind (process cluster only).",
+    );
+    for (kind, v) in [
+        ("respawn", s.cluster_respawns),
+        ("reconnect", s.cluster_reconnects),
+        ("liveness_miss", s.cluster_liveness_misses),
+    ] {
+        p.sample("mura_supervisor_events_total", &[("kind", kind)], v as f64);
+    }
+    p.gauge(
+        "mura_cluster_skew_ratio",
+        "Worst per-fixpoint max/median worker-time ratio of the last traced run.",
+        s.skew_ratio_milli as f64 / 1000.0,
+    );
+    p.counter(
+        "mura_trace_dropped_spans_total",
+        "Worker-side trace spans dropped to the bounded per-worker sink.",
+        s.cluster_trace_dropped,
+    );
+    p.histogram(
+        "mura_worker_superstep_seconds",
+        "Per-worker superstep durations across traced executions.",
+        &t.worker_superstep.snapshot(),
+    );
+    let rtt = inner.proc.as_ref().map(|p| p.rtt_snapshot()).unwrap_or_default();
+    p.histogram(
+        "mura_heartbeat_rtt_seconds",
+        "Supervisor heartbeat round-trip times (process cluster only).",
+        &rtt,
     );
     p.family(
         "mura_wire_bytes_total",

@@ -71,7 +71,9 @@ dropped connection is re-established once with backoff),
 `--cluster <n>` to run queries on n real worker processes over TCP
 (`--worker-bin <path>` overrides the mura-worker binary),
 `--chaos <seed>` for fault injection, `--trace-out <path>` to dump each
-query's trace as JSON (Chrome-trace compatible under \"traceEvents\").";
+query's trace as JSON (Chrome-trace compatible under \"traceEvents\";
+combined with --cluster the file is the clock-aligned merge of every
+worker process, one lane per worker).";
 
 const USAGE: &str = "usage: murash [--connect <addr>] [--drain <addr>] [--mutate <file>] \
                      [--cluster <n>] [--worker-bin <path>] \
@@ -138,6 +140,16 @@ fn main() {
         return;
     }
     if let Some(addr) = connect {
+        if trace_out.is_some() {
+            // Tracing happens inside the server process; a remote shell
+            // only ever sees rendered text, never the trace itself.
+            eprintln!(
+                "--trace-out needs a local session: tracing runs server-side and its \
+                 merged trace is not forwarded over the wire (use .profile against \
+                 the server to render its timeline instead)\n{USAGE}"
+            );
+            std::process::exit(2);
+        }
         if let Err(e) = client_repl(&addr) {
             eprintln!("error: {e}");
             std::process::exit(1);
@@ -413,6 +425,11 @@ impl Shell {
                 match out.trace() {
                     Some(trace) => {
                         println!("{}", trace.render_timeline());
+                        let skew = trace.render_skew();
+                        if !skew.is_empty() {
+                            println!("worker skew (per fixpoint, max/median):");
+                            print!("{skew}");
+                        }
                         self.dump_trace(trace)?;
                     }
                     None => println!("(no trace recorded)"),
@@ -507,12 +524,21 @@ impl Shell {
         Ok(out)
     }
 
-    /// Writes `trace` to the `--trace-out` path (no-op when unset).
+    /// Writes `trace` to the `--trace-out` path (no-op when unset). Under
+    /// `--cluster` this is the merged cluster trace: worker-side spans are
+    /// flushed back over the wire and clock-aligned into one lane per
+    /// worker process before the query returns.
     fn dump_trace(&self, trace: &mura_dist::QueryTrace) -> Result<()> {
         let Some(path) = &self.trace_out else { return Ok(()) };
         std::fs::write(path, trace.to_json())
             .map_err(|e| MuraError::Other(format!("write {path}: {e}")))?;
-        println!("trace written to {path} ({} events)", trace.events.len());
+        let lanes: std::collections::BTreeSet<i32> =
+            trace.events.iter().filter(|e| e.worker >= 0).map(|e| e.worker).collect();
+        println!(
+            "trace written to {path} ({} events, {} worker lanes)",
+            trace.events.len(),
+            lanes.len()
+        );
         Ok(())
     }
 
