@@ -26,6 +26,11 @@
 //! `BENCH_MAX_TRACE_OVERHEAD` (max tracing overhead in percent, default
 //! 5.0), and `BENCH_TRACE_OUT` (dump one superstep trace as JSON).
 //!
+//! A fourth section replays the same IVM mutation stream against a durable
+//! serving tier (WAL on, fsync off) and a memory-only one, gating the WAL's
+//! mutation-path overhead with `BENCH_MAX_WAL_OVERHEAD` (percent, default
+//! 10.0; `BENCH_WAL_BATCHES` sets the stream length).
+//!
 //! `BENCH_PROC_WORKERS=<n>` (default 0 = skip) repeats the tracing
 //! overhead measurement over `n` real worker processes, so the gate also
 //! bounds the wire-side cost of span batching and TRACE flushes. The
@@ -40,7 +45,9 @@ use mura_datagen::er::erdos_renyi;
 use mura_dist::localfix::{
     local_fixpoint_prepared, local_fixpoint_reference, prepare, Budget, LocalEngine, Prepared,
 };
-use mura_dist::{Cluster, DistEvaluator, DistRel, ExecConfig, FixpointPlan, TraceLevel};
+use mura_dist::{
+    Cluster, DistEvaluator, DistRel, ExecConfig, FixpointPlan, QueryEngine, TraceLevel,
+};
 
 const WORKERS: usize = 4;
 
@@ -241,6 +248,53 @@ fn main() {
         proc_tracing = Some((p_off, p_traced, pct, p_trace.events.len()));
     }
 
+    // --- WAL overhead: the identical IVM mutation stream against a durable
+    // serving tier (WAL on, fsync off — CI filesystems make fsync walls
+    // meaningless) vs a memory-only one. Incremental maintenance work is
+    // the same on both sides, so the measured delta is exactly the cost of
+    // record encode + checksum + buffered write on the mutation path. ---
+    let wal_batches = env_u64("BENCH_WAL_BATCHES", 64);
+    let wal_dir = std::env::temp_dir().join(format!("mura-bench-wal-{}", std::process::id()));
+    let run_mutation_stream = |data_dir: Option<std::path::PathBuf>| -> Duration {
+        let mut sdb = Database::new();
+        let s = sdb.intern("src");
+        let d = sdb.intern("dst");
+        sdb.insert_relation("edge", Relation::from_pairs(s, d, g.plain_edges()));
+        let config = mura_serve::ServeConfig {
+            data_dir,
+            wal_sync: mura_serve::SyncPolicy::Never,
+            snapshot_every: 0, // never: measure the WAL alone
+            ..Default::default()
+        };
+        let server =
+            mura_serve::Server::try_start(QueryEngine::new(sdb), config).expect("start server");
+        let client = server.client();
+        client.query("?x, ?y <- ?x edge+ ?y").expect("warm TC view");
+        let rel = server.with_db(|db| db.dict().lookup("edge").expect("edge relation"));
+        let t = Instant::now();
+        for i in 0..wal_batches {
+            // Fresh chain edges: never duplicates, so every batch survives
+            // normalization and drives one real maintenance round.
+            let mut batch = mura_serve::DeltaBatch::new();
+            let row = vec![mura_core::Value::node(n + i), mura_core::Value::node(n + i + 1)]
+                .into_boxed_slice();
+            server.with_db(|db| batch.push_insert(db, rel, row)).expect("push insert");
+            server.apply_delta(batch).expect("apply delta");
+        }
+        let wall = t.elapsed();
+        server.shutdown();
+        wall
+    };
+    let mut wal_off = Duration::MAX;
+    let mut wal_on = Duration::MAX;
+    for _ in 0..samples {
+        wal_off = wal_off.min(run_mutation_stream(None));
+        let _ = std::fs::remove_dir_all(&wal_dir);
+        wal_on = wal_on.min(run_mutation_stream(Some(wal_dir.clone())));
+    }
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    let wal_overhead_pct = (wal_on.as_secs_f64() / wal_off.as_secs_f64() - 1.0) * 100.0;
+
     let reference = summarize(&ref_samples);
     let optimized = summarize(&opt_samples);
     let speedup = reference.mean_ms / optimized.mean_ms;
@@ -273,6 +327,11 @@ fn main() {
             p_traced.as_secs_f64() * 1e3,
         );
     }
+    println!(
+        "  wal:       off {:.1} ms, on {:.1} ms ({wal_batches} batches, no fsync) → overhead {wal_overhead_pct:+.1}%",
+        wal_off.as_secs_f64() * 1e3,
+        wal_on.as_secs_f64() * 1e3,
+    );
 
     let proc_json = proc_tracing
         .as_ref()
@@ -285,13 +344,15 @@ fn main() {
         })
         .unwrap_or_default();
     let json = format!(
-        "{{\n  \"bench\": \"fixpoint_tc_er\",\n  \"plan\": \"p_plw\",\n  \"engine\": \"set_rdd\",\n  \"workers\": {WORKERS},\n  \"graph\": {{\"nodes\": {n}, \"edge_prob\": {p}, \"seed\": {seed}, \"edges\": {}, \"tc_rows\": {opt_rows}}},\n  \"samples\": {samples},\n  \"iterations\": {loop_iterations},\n  \"reference\": {},\n  \"optimized\": {},\n  \"speedup\": {speedup:.3},\n  \"tracing\": {{\"off_min_ms\": {:.3}, \"superstep_min_ms\": {:.3}, \"overhead_pct\": {overhead_pct:.2}, \"events\": {}}},\n{proc_json}  \"comm\": {{\"shuffles\": {}, \"rows_shuffled\": {}}},\n  \"kernel\": {{\"index_builds\": {}, \"key_index_builds\": {}, \"join_probes\": {}, \"antijoin_probes\": {}, \"rows_allocated\": {}, \"const_folds\": {}, \"iterations\": {}, \"eval_nanos\": {}}}\n}}\n",
+        "{{\n  \"bench\": \"fixpoint_tc_er\",\n  \"plan\": \"p_plw\",\n  \"engine\": \"set_rdd\",\n  \"workers\": {WORKERS},\n  \"graph\": {{\"nodes\": {n}, \"edge_prob\": {p}, \"seed\": {seed}, \"edges\": {}, \"tc_rows\": {opt_rows}}},\n  \"samples\": {samples},\n  \"iterations\": {loop_iterations},\n  \"reference\": {},\n  \"optimized\": {},\n  \"speedup\": {speedup:.3},\n  \"tracing\": {{\"off_min_ms\": {:.3}, \"superstep_min_ms\": {:.3}, \"overhead_pct\": {overhead_pct:.2}, \"events\": {}}},\n{proc_json}  \"wal\": {{\"off_min_ms\": {:.3}, \"on_min_ms\": {:.3}, \"overhead_pct\": {wal_overhead_pct:.2}, \"batches\": {wal_batches}}},\n  \"comm\": {{\"shuffles\": {}, \"rows_shuffled\": {}}},\n  \"kernel\": {{\"index_builds\": {}, \"key_index_builds\": {}, \"join_probes\": {}, \"antijoin_probes\": {}, \"rows_allocated\": {}, \"const_folds\": {}, \"iterations\": {}, \"eval_nanos\": {}}}\n}}\n",
         e.len(),
         json_timings(&reference),
         json_timings(&optimized),
         off_min.as_secs_f64() * 1e3,
         traced_min.as_secs_f64() * 1e3,
         trace.events.len(),
+        wal_off.as_secs_f64() * 1e3,
+        wal_on.as_secs_f64() * 1e3,
         comm.shuffles,
         comm.rows_shuffled,
         kernel.index_builds,
@@ -324,6 +385,14 @@ fn main() {
             );
             failed = true;
         }
+    }
+    let max_wal_overhead = env_f64("BENCH_MAX_WAL_OVERHEAD", 10.0);
+    if wal_overhead_pct > max_wal_overhead {
+        eprintln!(
+            "FAIL: WAL overhead {wal_overhead_pct:.1}% above allowed {max_wal_overhead:.1}% \
+             (no-fsync mutation path)"
+        );
+        failed = true;
     }
     if failed {
         std::process::exit(1);

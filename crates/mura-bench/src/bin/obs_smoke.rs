@@ -63,6 +63,11 @@ const REQUIRED_FAMILIES: &[&str] = &[
     "mura_mem_current_bytes",
     "mura_mem_high_water_bytes",
     "mura_drain_phase",
+    "mura_wal_appends_total",
+    "mura_wal_bytes_total",
+    "mura_snapshots_total",
+    "mura_snapshot_age_seconds",
+    "mura_recovery_replayed_batches",
 ];
 
 /// Checks `doc` against the `required`/`properties`/`items` structure of a
@@ -155,13 +160,18 @@ fn check_metrics_page(errors: &mut Vec<String>) {
     // so the page is validated against the multi-process backend too.
     let cluster_workers: usize =
         std::env::var("OBS_CLUSTER").ok().and_then(|s| s.parse().ok()).unwrap_or(0);
+    // Durable data dir so the WAL/snapshot families carry real samples
+    // (the mutation verbs below are then WAL-logged before they apply).
+    let data_dir = std::env::temp_dir().join(format!("mura-obs-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&data_dir);
+    let durable = ServeConfig { data_dir: Some(data_dir.clone()), ..Default::default() };
     let config = if cluster_workers > 0 {
         ServeConfig {
             cluster: mura_serve::ClusterMode::Processes { workers: cluster_workers },
-            ..Default::default()
+            ..durable
         }
     } else {
-        ServeConfig::default()
+        durable
     };
     let server = match Server::try_start(QueryEngine::new(db), config) {
         Ok(s) => s,
@@ -212,16 +222,35 @@ fn check_metrics_page(errors: &mut Vec<String>) {
             errors.push(format!(".metrics is missing family {family}"));
         }
     }
+    let sample = |name: &str| {
+        page.iter()
+            .find(|l| l.starts_with(name) && !l.starts_with("# "))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|v| v.parse::<f64>().ok())
+    };
+    // Durability must be live behind the page, not just present: both
+    // mutations were WAL-logged and the recovery bootstrap wrote a
+    // snapshot before the server accepted connections.
+    if sample("mura_wal_appends_total ").unwrap_or(0.0) < 2.0 {
+        errors.push("mura_wal_appends_total must count both mutations".into());
+    }
+    if sample("mura_wal_bytes_total ").unwrap_or(0.0) <= 0.0 {
+        errors.push("mura_wal_bytes_total recorded no bytes".into());
+    }
+    if sample("mura_snapshots_total ").unwrap_or(0.0) < 1.0 {
+        errors.push("mura_snapshots_total missing the bootstrap snapshot".into());
+    }
+    let (status, stats_body) = send(".stats");
+    if !status.starts_with("OK stats") {
+        errors.push(format!(".stats failed: {status}"));
+    }
+    if !stats_body.iter().any(|l| l.starts_with("durability") && l.contains("wal appends")) {
+        errors.push(".stats is missing the durability line".into());
+    }
     if cluster_workers > 0 {
         // The process backend must actually be live behind the page: the
         // worker gauge shows the fleet and the supervisor's heartbeats
         // have populated the RTT histogram.
-        let sample = |name: &str| {
-            page.iter()
-                .find(|l| l.starts_with(name) && !l.starts_with("# "))
-                .and_then(|l| l.split_whitespace().nth(1))
-                .and_then(|v| v.parse::<f64>().ok())
-        };
         if sample("mura_cluster_workers ") != Some(cluster_workers as f64) {
             errors.push(format!("mura_cluster_workers must read {cluster_workers}"));
         }
@@ -235,6 +264,7 @@ fn check_metrics_page(errors: &mut Vec<String>) {
     send(".quit");
     handle.stop();
     server.shutdown();
+    let _ = std::fs::remove_dir_all(&data_dir);
     println!(
         "obs-smoke: .metrics exposes {} families, .profile renders (cluster={cluster_workers})",
         REQUIRED_FAMILIES.len()

@@ -52,6 +52,27 @@ impl Dictionary {
         self.names.is_empty()
     }
 
+    /// Interned names in symbol order (`Sym(i)` is the `i`-th name). A
+    /// dictionary rebuilt by interning these names in order resolves every
+    /// existing symbol identically — the basis of snapshot restore.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.names.iter().map(|n| n.as_ref())
+    }
+
+    /// Current fresh-name counter. Durability snapshots persist it so a
+    /// restored dictionary generates the same fresh names the original
+    /// would have.
+    pub fn fresh_counter(&self) -> u32 {
+        self.fresh_counter
+    }
+
+    /// Restores the fresh-name counter (see [`Dictionary::fresh_counter`]).
+    /// Safe at any value: [`Dictionary::fresh`] skips names that are
+    /// already interned.
+    pub fn set_fresh_counter(&mut self, c: u32) {
+        self.fresh_counter = c;
+    }
+
     /// Interns a globally fresh symbol with the given prefix — used for
     /// fixpoint variables and intermediate column names that must not
     /// collide with anything user-visible.

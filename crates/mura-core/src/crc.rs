@@ -1,0 +1,105 @@
+//! CRC-32 (IEEE 802.3) — the integrity check shared by the worker wire
+//! protocol (`mura-dist`) and the durability layer (`mura-durable`).
+//!
+//! Hand-rolled and table-driven: the workspace builds offline with no
+//! external crates, and both users need the *same* polynomial so a frame
+//! checksummed by one layer can be audited by the other. The reflected
+//! polynomial `0xEDB8_8320` with initial value / final XOR of `!0` matches
+//! zlib's `crc32()`, Ethernet and PNG — handy when inspecting a WAL or a
+//! packet capture with standard tooling.
+
+/// The 256-entry lookup table for the reflected IEEE polynomial, computed
+/// at compile time (one shift-or-xor step per bit).
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// A streaming CRC-32 state. Feed bytes with [`Crc32::update`], finish
+/// with [`Crc32::finish`]; [`crc32`] is the one-shot convenience.
+#[derive(Debug, Clone, Copy)]
+pub struct Crc32(u32);
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+impl Crc32 {
+    /// A fresh state (initial value `!0`).
+    pub fn new() -> Self {
+        Crc32(!0)
+    }
+
+    /// Folds `bytes` into the running checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut crc = self.0;
+        for &b in bytes {
+            crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+        }
+        self.0 = crc;
+    }
+
+    /// The final checksum (applies the closing XOR; the state itself is
+    /// unchanged, so interleaved `finish` calls are running checksums).
+    pub fn finish(&self) -> u32 {
+        !self.0
+    }
+}
+
+/// One-shot CRC-32 of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The classic check value for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        // zlib: crc32("The quick brown fox jumps over the lazy dog")
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        let mut c = Crc32::new();
+        for chunk in data.chunks(7) {
+            c.update(chunk);
+        }
+        assert_eq!(c.finish(), crc32(&data));
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_checksum() {
+        let data = b"durable coordinator state".to_vec();
+        let base = crc32(&data);
+        for i in 0..data.len() {
+            for bit in 0..8 {
+                let mut flipped = data.clone();
+                flipped[i] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), base, "flip at byte {i} bit {bit} must be detected");
+            }
+        }
+    }
+}

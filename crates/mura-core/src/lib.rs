@@ -39,6 +39,7 @@
 pub mod analysis;
 pub mod cancel;
 pub mod catalog;
+pub mod crc;
 pub mod error;
 pub mod eval;
 pub mod fxhash;
@@ -53,6 +54,7 @@ pub mod value;
 
 pub use cancel::CancellationToken;
 pub use catalog::{Database, Dictionary};
+pub use crc::{crc32, Crc32};
 pub use error::{MuraError, Result};
 pub use eval::{eval, eval_naive_fixpoints, EvalStats, Evaluator};
 pub use index::{JoinIndex, KeyIndex};

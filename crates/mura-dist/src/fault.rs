@@ -58,6 +58,12 @@ pub enum FaultClass {
     /// Process-mode reinterpretation of [`FaultClass::Straggler`]: socket
     /// I/O to a worker is delayed (drawn from `straggler_prob`).
     SocketDelay,
+    /// Process-mode only: a frame on a live worker connection has seeded
+    /// bytes flipped in flight. The wire layer's CRC-32 trailer must catch
+    /// it (`WireError::BadChecksum`); the receiver closes the connection,
+    /// so the supervisor handles corruption exactly like a dropped
+    /// connection — corrupted rows are never delivered.
+    CorruptFrame,
 }
 
 impl FaultClass {
@@ -72,6 +78,7 @@ impl FaultClass {
             FaultClass::KillWorker => 0xCBF2_9CE4_8422_2325,
             FaultClass::ConnectionDrop => 0x100_0000_01B3_u64,
             FaultClass::SocketDelay => 0x14_650F_B045_6A2D_u64,
+            FaultClass::CorruptFrame => 0x27D4_EB2F_1656_67C5,
         }
     }
 }
@@ -97,6 +104,9 @@ pub struct FaultConfig {
     /// Probability that a task site observes injected memory pressure (a
     /// retryable failure; see [`FaultClass::MemoryPressure`]).
     pub memory_pressure_prob: f64,
+    /// Probability that a process-mode control frame is corrupted in
+    /// flight (seeded byte flips; see [`FaultClass::CorruptFrame`]).
+    pub corrupt_frame_prob: f64,
     /// Delay injected at straggler sites.
     pub straggler_delay_ms: u64,
     /// How many consecutive attempts fail at an afflicted site. Values
@@ -116,6 +126,7 @@ impl Default for FaultConfig {
             duplicate_prob: 0.0,
             straggler_prob: 0.0,
             memory_pressure_prob: 0.0,
+            corrupt_frame_prob: 0.0,
             straggler_delay_ms: 2,
             failures_per_site: 1,
         }
@@ -136,8 +147,10 @@ impl FaultConfig {
             straggler_prob: 0.05,
             // Kept at zero in the legacy chaos profile so the 6-seed chaos
             // CI matrix keeps validating the exact same fault streams;
-            // memory-pressure chaos runs opt in explicitly.
+            // memory-pressure and frame-corruption chaos runs opt in
+            // explicitly.
             memory_pressure_prob: 0.0,
+            corrupt_frame_prob: 0.0,
             straggler_delay_ms: 1,
             failures_per_site: 1,
         }
@@ -151,6 +164,7 @@ impl FaultConfig {
             || self.duplicate_prob > 0.0
             || self.straggler_prob > 0.0
             || self.memory_pressure_prob > 0.0
+            || self.corrupt_frame_prob > 0.0
     }
 }
 
@@ -217,6 +231,9 @@ pub struct FaultSnapshot {
     pub dropped_connections: u64,
     /// Process-mode injections: socket operations artificially delayed.
     pub delayed_sockets: u64,
+    /// Process-mode injections: frames corrupted in flight (caught by the
+    /// wire CRC, handled as dropped connections).
+    pub corrupted_frames: u64,
     /// Worker processes respawned after (injected or genuine) death.
     pub worker_respawns: u64,
     /// Worker connections re-established after a drop.
@@ -238,6 +255,7 @@ impl FaultSnapshot {
             + self.killed_workers
             + self.dropped_connections
             + self.delayed_sockets
+            + self.corrupted_frames
     }
 
     /// True when the query hit at least one fault but still completed —
@@ -267,7 +285,7 @@ impl std::fmt::Display for FaultSnapshot {
         write!(
             f,
             "injected {} (panic {} / transient {} / drop {} / dup {} / straggler {} / mem {} / \
-             kill {} / conn-drop {} / sock-delay {}), \
+             kill {} / conn-drop {} / sock-delay {} / corrupt {}), \
              retries {}, stage reruns {}, checkpoints {}, restores {}, restarts {}, \
              respawns {}, reconnects {}, \
              rows replayed {}, iterations replayed {}, time lost {} ms",
@@ -281,6 +299,7 @@ impl std::fmt::Display for FaultSnapshot {
             self.killed_workers,
             self.dropped_connections,
             self.delayed_sockets,
+            self.corrupted_frames,
             self.task_retries,
             self.stage_reruns,
             self.checkpoints,
@@ -314,6 +333,7 @@ pub struct FaultStats {
     killed_workers: AtomicU64,
     dropped_connections: AtomicU64,
     delayed_sockets: AtomicU64,
+    corrupted_frames: AtomicU64,
     worker_respawns: AtomicU64,
     reconnects: AtomicU64,
     time_lost_us: AtomicU64,
@@ -399,6 +419,7 @@ impl FaultPlan {
             FaultClass::Duplicate => self.cfg.duplicate_prob,
             FaultClass::Straggler | FaultClass::SocketDelay => self.cfg.straggler_prob,
             FaultClass::MemoryPressure => self.cfg.memory_pressure_prob,
+            FaultClass::CorruptFrame => self.cfg.corrupt_frame_prob,
         };
         self.roll(class, site, worker, step, prob)
     }
@@ -526,6 +547,27 @@ impl FaultPlan {
         None
     }
 
+    /// Process-mode: whether the next frame to `worker` at `site` is
+    /// corrupted in flight on this `attempt` (drawn from
+    /// `corrupt_frame_prob` under its own salt). Afflicted sites heal after
+    /// [`FaultConfig::failures_per_site`] attempts, so the exchange retry
+    /// loop terminates deterministically. Returns the entropy that seeds
+    /// which byte/bit to flip, keeping the damage itself reproducible.
+    pub fn corrupt_frame(&self, site: u64, worker: usize, attempt: u32) -> Option<u64> {
+        if !self.fires(FaultClass::CorruptFrame, site, worker as u64, 0, attempt) {
+            return None;
+        }
+        self.stats.corrupted_frames.fetch_add(1, Ordering::Relaxed);
+        let entropy = self
+            .cfg
+            .seed
+            .wrapping_mul(0xA076_1D64_78BD_642F)
+            .wrapping_add(FaultClass::CorruptFrame.salt())
+            .wrapping_add(site.wrapping_mul(0xE703_7ED1_A0B4_28DB))
+            .wrapping_add((worker as u64).wrapping_mul(0x8EBC_6AF0_9C88_C6E3));
+        Some(SplitMix64::seed_from_u64(entropy).next_u64())
+    }
+
     /// Records one worker-process respawn (after injected or genuine death).
     pub fn record_worker_respawn(&self) {
         self.stats.worker_respawns.fetch_add(1, Ordering::Relaxed);
@@ -617,6 +659,7 @@ impl FaultPlan {
             killed_workers: s.killed_workers.load(Ordering::Relaxed),
             dropped_connections: s.dropped_connections.load(Ordering::Relaxed),
             delayed_sockets: s.delayed_sockets.load(Ordering::Relaxed),
+            corrupted_frames: s.corrupted_frames.load(Ordering::Relaxed),
             worker_respawns: s.worker_respawns.load(Ordering::Relaxed),
             reconnects: s.reconnects.load(Ordering::Relaxed),
             time_lost_ms: s.time_lost_us.load(Ordering::Relaxed) / 1_000,

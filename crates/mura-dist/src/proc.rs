@@ -41,8 +41,8 @@ use crate::cluster::{
 };
 use crate::fault::FaultPlan;
 use crate::wire::{
-    decode_rows, encode_relation, encode_rows, read_frame, write_frame, Msg, WireError, SPAN_BCAST,
-    SPAN_DELIVER, SPAN_RELAY, SPAN_TAKE,
+    decode_rows, encode_relation, encode_rows, read_frame, write_corrupted_frame, write_frame, Msg,
+    WireError, SPAN_BCAST, SPAN_DELIVER, SPAN_RELAY, SPAN_TAKE,
 };
 use mura_core::{Relation, Result, Row, Schema};
 use mura_obs::histogram::HistogramSnapshot;
@@ -357,6 +357,21 @@ impl ProcInner {
     /// Drops worker `w`'s control connection (next use reconnects).
     fn sever(&self, w: usize) {
         self.slots[w].ctl.lock().unwrap().conn = None;
+    }
+
+    /// Fault injection: ships a frame with seeded bit rot on worker `w`'s
+    /// live control connection. The worker's frame reader surfaces
+    /// [`WireError::BadChecksum`] and closes its end, so the next control
+    /// round-trip on this slot fails exactly like a dropped connection and
+    /// rides the standard repair ladder — the corrupted frame itself is
+    /// never acted on. No-op when the slot is not connected.
+    fn corrupt_control_frame(&self, w: usize, entropy: u64) {
+        let mut guard = self.slots[w].ctl.lock().unwrap();
+        if let Some(conn) = guard.conn.as_mut() {
+            if let Ok(k) = write_corrupted_frame(conn, &Msg::Ping, entropy) {
+                self.count_tx(k);
+            }
+        }
     }
 
     /// Real `SIGKILL` of worker `w`'s process (fault injection / tests).
@@ -733,6 +748,9 @@ impl ProcCluster {
                 // The next send on this slot re-establishes the connection.
                 ctx.fault.record_reconnect();
             }
+            if let Some(entropy) = ctx.fault.corrupt_frame(ctx.site, w, attempt) {
+                inner.corrupt_control_frame(w, entropy);
+            }
         }
         for (from, batch) in entries.iter().enumerate() {
             if batch.is_empty() {
@@ -903,6 +921,9 @@ impl CommBackend for ProcCluster {
                 if ctx.fault.drop_connection(site, w, attempt) {
                     self.inner.sever(w);
                     ctx.fault.record_reconnect();
+                }
+                if let Some(entropy) = ctx.fault.corrupt_frame(site, w, attempt) {
+                    self.inner.corrupt_control_frame(w, entropy);
                 }
                 if ctx.fault.kill_worker(site, w, attempt) {
                     self.inner.kill(w);

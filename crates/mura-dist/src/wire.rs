@@ -1,12 +1,16 @@
 //! Length-delimited wire protocol for the multi-process cluster backend.
 //!
 //! Every frame on a coordinator↔worker or worker↔worker connection is
-//! `[u32 len LE][u8 opcode][body]` where `len` counts the opcode byte plus
-//! the body. Frames are capped at [`MAX_FRAME`]: a corrupt or hostile
-//! length prefix yields a typed [`WireError::Oversized`] instead of an
-//! unbounded allocation, and a connection that ends mid-frame yields
+//! `[u32 len LE][u8 opcode][body][u32 crc LE]` where `len` counts the
+//! opcode byte plus the body, and `crc` is the CRC-32 (IEEE) of exactly
+//! those `len` bytes. Frames are capped at [`MAX_FRAME`]: a corrupt or
+//! hostile length prefix yields a typed [`WireError::Oversized`] instead
+//! of an unbounded allocation, a connection that ends mid-frame yields
 //! [`WireError::Truncated`] instead of a partial read being interpreted
-//! as data.
+//! as data, and a body whose trailer does not match yields
+//! [`WireError::BadChecksum`] — the receiver closes the connection, so
+//! in-flight bit rot is handled by the same supervisor ladder as a
+//! dropped connection and corrupted rows are never delivered.
 //!
 //! Exchange payloads (partition buckets, broadcast relations) are opaque
 //! byte blobs to the workers — only the coordinator encodes and decodes
@@ -35,6 +39,9 @@ pub enum WireError {
     Oversized { len: u64 },
     /// An unknown opcode byte.
     BadOpcode(u8),
+    /// The CRC-32 trailer did not match the frame body: the bytes were
+    /// damaged in flight. The frame is discarded undelivered.
+    BadChecksum { expected: u32, got: u32 },
     /// A structurally invalid frame body.
     Malformed(&'static str),
     /// An underlying socket error.
@@ -49,6 +56,9 @@ impl fmt::Display for WireError {
                 write!(f, "frame of {len} bytes exceeds cap of {MAX_FRAME}")
             }
             WireError::BadOpcode(op) => write!(f, "unknown opcode {op}"),
+            WireError::BadChecksum { expected, got } => {
+                write!(f, "frame checksum mismatch: expected {expected:#010x}, got {got:#010x}")
+            }
             WireError::Malformed(what) => write!(f, "malformed frame: {what}"),
             WireError::Io(e) => write!(f, "socket error: {e}"),
         }
@@ -474,19 +484,40 @@ impl Cursor<'_> {
     }
 }
 
-/// Writes one frame: length prefix, then the encoded message. Returns the
-/// total bytes put on the wire (prefix included) for traffic accounting.
+/// Writes one frame: length prefix, the encoded message, then the CRC-32
+/// trailer over the encoded bytes. Returns the total bytes put on the wire
+/// (prefix and trailer included) for traffic accounting.
 pub fn write_frame(w: &mut impl Write, msg: &Msg) -> WireResult<u64> {
     let body = msg.encode();
     debug_assert!(body.len() <= MAX_FRAME);
     w.write_all(&(body.len() as u32).to_le_bytes())?;
     w.write_all(&body)?;
+    w.write_all(&mura_core::crc32(&body).to_le_bytes())?;
     w.flush()?;
-    Ok(4 + body.len() as u64)
+    Ok(8 + body.len() as u64)
 }
 
-/// Reads one frame, enforcing [`MAX_FRAME`]. Returns the decoded message
-/// and the total bytes read (prefix included).
+/// Fault injection only: writes `msg` as a frame whose body has one byte
+/// flipped *after* the CRC trailer was computed, modeling in-flight bit
+/// rot. `entropy` seeds which byte and which bit. The receiver must
+/// surface [`WireError::BadChecksum`] and drop the connection rather than
+/// act on the damaged frame.
+pub fn write_corrupted_frame(w: &mut impl Write, msg: &Msg, entropy: u64) -> WireResult<u64> {
+    let mut body = msg.encode();
+    let crc = mura_core::crc32(&body);
+    let idx = (entropy as usize) % body.len();
+    let bit = ((entropy >> 32) % 8) as u8;
+    body[idx] ^= 1 << bit;
+    w.write_all(&(body.len() as u32).to_le_bytes())?;
+    w.write_all(&body)?;
+    w.write_all(&crc.to_le_bytes())?;
+    w.flush()?;
+    Ok(8 + body.len() as u64)
+}
+
+/// Reads one frame, enforcing [`MAX_FRAME`] and the CRC-32 trailer.
+/// Returns the decoded message and the total bytes read (prefix and
+/// trailer included).
 pub fn read_frame(r: &mut impl Read) -> WireResult<(Msg, u64)> {
     let mut len_buf = [0u8; 4];
     r.read_exact(&mut len_buf)?;
@@ -499,8 +530,15 @@ pub fn read_frame(r: &mut impl Read) -> WireResult<(Msg, u64)> {
     }
     let mut body = vec![0u8; len];
     r.read_exact(&mut body)?;
+    let mut crc_buf = [0u8; 4];
+    r.read_exact(&mut crc_buf)?;
+    let expected = u32::from_le_bytes(crc_buf);
+    let got = mura_core::crc32(&body);
+    if got != expected {
+        return Err(WireError::BadChecksum { expected, got });
+    }
     let msg = Msg::decode(&body)?;
-    Ok((msg, 4 + len as u64))
+    Ok((msg, 8 + len as u64))
 }
 
 // ------------------------------------------------------------- row codec
@@ -669,6 +707,41 @@ mod tests {
         // Cut mid-header too.
         let short = vec![3u8, 0];
         assert!(matches!(read_frame(&mut short.as_slice()), Err(WireError::Truncated)));
+    }
+
+    #[test]
+    fn flipped_bit_fails_the_checksum() {
+        let msg = Msg::Relay {
+            xid: 4,
+            watermark: 1,
+            ctx: test_ctx(),
+            entries: vec![(1, vec![0xAB; 64])],
+        };
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &msg).unwrap();
+        // Flip one payload bit (past the length prefix, before the CRC).
+        for idx in [4usize, 20, wire.len() - 6] {
+            let mut damaged = wire.clone();
+            damaged[idx] ^= 0x10;
+            match read_frame(&mut damaged.as_slice()) {
+                Err(WireError::BadChecksum { expected, got }) => assert_ne!(expected, got),
+                other => panic!("flip at {idx}: expected BadChecksum, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_frame_helper_is_detected() {
+        let msg = Msg::Bcast { ctx: test_ctx(), payload: vec![7; 128] };
+        for entropy in [0u64, 1, 0xDEAD_BEEF_0000_0005, u64::MAX] {
+            let mut wire = Vec::new();
+            let n = write_corrupted_frame(&mut wire, &msg, entropy).unwrap();
+            assert_eq!(n as usize, wire.len());
+            assert!(
+                matches!(read_frame(&mut wire.as_slice()), Err(WireError::BadChecksum { .. })),
+                "entropy {entropy:#x} must yield a checksum mismatch"
+            );
+        }
     }
 
     #[test]

@@ -345,6 +345,48 @@ fn seeded_kills_and_connection_drops_recover_exactly() {
     }
 }
 
+/// Chaos: seeded in-flight frame corruption (bit flips caught by the wire
+/// CRC-32 trailer) is treated exactly like a dropped connection — the
+/// answer stays exact on every plan, corrupted rows are never delivered,
+/// and the injection counts are reproducible under a fixed seed.
+#[test]
+fn seeded_frame_corruption_recovers_exactly() {
+    let base = chaos_seed();
+    for plan in PLANS {
+        let cluster = proc_cluster(4);
+        let mut db = er_db(5);
+        let expected = centralized(&mut db, TC_QUERY);
+        let config = || ExecConfig {
+            workers: 4,
+            plan,
+            fault: FaultConfig {
+                seed: base,
+                corrupt_frame_prob: 0.4,
+                failures_per_site: 1,
+                ..Default::default()
+            },
+            checkpoint_every: 2,
+            backend: Some(cluster.clone() as Arc<dyn CommBackend>),
+            ..Default::default()
+        };
+        let (r1, f1, _) = run_on(&db, TC_QUERY, config());
+        let (r2, f2, _) = run_on(&db, TC_QUERY, config());
+        assert_eq!(
+            r1.sorted_rows(),
+            expected.sorted_rows(),
+            "{plan:?}: answer under frame corruption diverged from centralized"
+        );
+        assert_eq!(r2.sorted_rows(), expected.sorted_rows(), "{plan:?}: second run diverged");
+        assert_eq!(
+            f1.counts(),
+            f2.counts(),
+            "{plan:?}: corruption injection counts must be reproducible"
+        );
+        assert!(f1.corrupted_frames > 0, "{plan:?}: chaos injected no frame corruption: {f1}");
+        cluster.shutdown();
+    }
+}
+
 /// Supervision: an out-of-band `SIGKILL` of a worker process (no fault
 /// plan involved — the test-hook equivalent of `kill -9` from a shell) is
 /// detected by the heartbeat supervisor, which respawns the worker; a

@@ -1,0 +1,705 @@
+//! Bounds-checked binary codec for the engine types.
+//!
+//! Hand-rolled (the workspace builds offline, no serde): little-endian
+//! fixed-width integers, `u32`-length-prefixed sequences, one tag byte per
+//! enum variant. Every decode is bounds-checked against the buffer and
+//! returns a typed [`CodecError`] — decoding untrusted bytes never panics.
+//! Encoding is canonical: maps are emitted in sorted key order and
+//! relation rows in sorted row order, so equal states produce equal bytes
+//! (checksums and tests can compare encodings directly).
+
+use mura_core::{Database, Pred, Relation, Row, Schema, Sym, Term, Value};
+use mura_ivm::{DeltaBatch, RelDelta};
+use mura_rewrite::FeedbackState;
+use std::sync::Arc;
+
+/// Decoding failure. Carries the buffer offset where decoding stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer ended before the value was complete.
+    Truncated {
+        /// Offset at which more bytes were needed.
+        at: usize,
+        /// How many bytes the decoder wanted.
+        want: usize,
+    },
+    /// An enum tag byte had no corresponding variant.
+    BadTag {
+        /// Offset of the offending tag byte.
+        at: usize,
+        /// The tag value read.
+        tag: u8,
+        /// Which type was being decoded.
+        what: &'static str,
+    },
+    /// A length-prefixed string was not valid UTF-8.
+    BadUtf8 {
+        /// Offset of the string payload.
+        at: usize,
+    },
+    /// A decoded value violated an invariant (row arity, term depth…).
+    Invalid {
+        /// Offset where the violation was detected.
+        at: usize,
+        /// Human-readable description.
+        what: &'static str,
+    },
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated { at, want } => {
+                write!(f, "truncated at byte {at}: wanted {want} more bytes")
+            }
+            CodecError::BadTag { at, tag, what } => {
+                write!(f, "bad {what} tag {tag} at byte {at}")
+            }
+            CodecError::BadUtf8 { at } => write!(f, "invalid utf-8 at byte {at}"),
+            CodecError::Invalid { at, what } => write!(f, "invalid {what} at byte {at}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Decoder position over a byte buffer.
+pub struct Cur<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+/// Guards against stack exhaustion when decoding adversarial nesting.
+const MAX_TERM_DEPTH: usize = 512;
+
+impl<'a> Cur<'a> {
+    /// Starts decoding at the beginning of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Cur { buf, pos: 0 }
+    }
+
+    /// Current offset.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// True when every byte has been consumed.
+    pub fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    /// Fails with [`CodecError::Invalid`] if bytes remain.
+    pub fn expect_done(&self) -> Result<(), CodecError> {
+        if self.done() {
+            Ok(())
+        } else {
+            Err(CodecError::Invalid { at: self.pos, what: "trailing bytes" })
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.buf.len() - self.pos < n {
+            return Err(CodecError::Truncated { at: self.pos, want: n });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn i64(&mut self) -> Result<i64, CodecError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads an `f64` from its IEEE-754 bit pattern.
+    pub fn f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a `u32`-length-prefixed UTF-8 string.
+    pub fn string(&mut self) -> Result<String, CodecError> {
+        let n = self.u32()? as usize;
+        let at = self.pos;
+        let bytes = self.take(n)?;
+        std::str::from_utf8(bytes).map(|s| s.to_string()).map_err(|_| CodecError::BadUtf8 { at })
+    }
+
+    /// Reads a sequence length, sanity-capped against the bytes remaining
+    /// (`min_elem_bytes` is the smallest possible encoded element size) so
+    /// a corrupt length cannot trigger a huge allocation.
+    pub fn seq_len(&mut self, min_elem_bytes: usize) -> Result<usize, CodecError> {
+        let n = self.u32()? as usize;
+        let cap = self.buf.len() - self.pos;
+        if n.saturating_mul(min_elem_bytes.max(1)) > cap {
+            return Err(CodecError::Truncated { at: self.pos, want: n * min_elem_bytes.max(1) });
+        }
+        Ok(n)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive writers
+// ---------------------------------------------------------------------------
+
+/// Appends a little-endian `u32`.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a little-endian `u64`.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a little-endian `i64`.
+pub fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends an `f64` as its IEEE-754 bit pattern.
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+/// Appends a `u32`-length-prefixed UTF-8 string.
+pub fn put_string(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+// ---------------------------------------------------------------------------
+// Engine types
+// ---------------------------------------------------------------------------
+
+/// Encodes a symbol (its dictionary index).
+pub fn put_sym(out: &mut Vec<u8>, s: Sym) {
+    put_u32(out, s.0);
+}
+
+/// Decodes a symbol.
+pub fn get_sym(cur: &mut Cur) -> Result<Sym, CodecError> {
+    Ok(Sym(cur.u32()?))
+}
+
+/// Encodes a value (tag 0 = `Int`, 1 = `Str`).
+pub fn put_value(out: &mut Vec<u8>, v: Value) {
+    match v {
+        Value::Int(i) => {
+            out.push(0);
+            put_i64(out, i);
+        }
+        Value::Str(s) => {
+            out.push(1);
+            put_sym(out, s);
+        }
+    }
+}
+
+/// Decodes a value.
+pub fn get_value(cur: &mut Cur) -> Result<Value, CodecError> {
+    let at = cur.pos();
+    match cur.u8()? {
+        0 => Ok(Value::Int(cur.i64()?)),
+        1 => Ok(Value::Str(get_sym(cur)?)),
+        tag => Err(CodecError::BadTag { at, tag, what: "Value" }),
+    }
+}
+
+/// Encodes a schema (column symbols; already sorted by construction).
+pub fn put_schema(out: &mut Vec<u8>, s: &Schema) {
+    put_u32(out, s.arity() as u32);
+    for &c in s.columns() {
+        put_sym(out, c);
+    }
+}
+
+/// Decodes a schema.
+pub fn get_schema(cur: &mut Cur) -> Result<Schema, CodecError> {
+    let at = cur.pos();
+    let n = cur.seq_len(4)?;
+    let mut cols = Vec::with_capacity(n);
+    for _ in 0..n {
+        cols.push(get_sym(cur)?);
+    }
+    let mut sorted = cols.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    if sorted != cols {
+        return Err(CodecError::Invalid { at, what: "schema columns (unsorted or duplicated)" });
+    }
+    Ok(Schema::new(cols))
+}
+
+/// Encodes a relation: schema, row count, then rows in sorted order so the
+/// encoding is canonical.
+pub fn put_relation(out: &mut Vec<u8>, r: &Relation) {
+    put_schema(out, r.schema());
+    put_u64(out, r.len() as u64);
+    for row in r.sorted_rows() {
+        for &v in row.iter() {
+            put_value(out, v);
+        }
+    }
+}
+
+/// Decodes a relation.
+pub fn get_relation(cur: &mut Cur) -> Result<Relation, CodecError> {
+    let schema = get_schema(cur)?;
+    let at = cur.pos();
+    let n = cur.u64()? as usize;
+    let arity = schema.arity();
+    // Each value is at least 5 bytes; an empty-schema relation has at most
+    // one (empty) row.
+    let min_row = arity * 5;
+    if n.saturating_mul(min_row) > cur.buf.len() - cur.pos || (arity == 0 && n > 1) {
+        return Err(CodecError::Invalid { at, what: "relation row count" });
+    }
+    let mut rows: Vec<Row> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut row = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            row.push(get_value(cur)?);
+        }
+        rows.push(row.into_boxed_slice());
+    }
+    Ok(Relation::from_rows(schema, rows))
+}
+
+/// Encodes a filter predicate.
+pub fn put_pred(out: &mut Vec<u8>, p: &Pred) {
+    match p {
+        Pred::Eq(c, v) => {
+            out.push(0);
+            put_sym(out, *c);
+            put_value(out, *v);
+        }
+        Pred::Neq(c, v) => {
+            out.push(1);
+            put_sym(out, *c);
+            put_value(out, *v);
+        }
+        Pred::EqCol(a, b) => {
+            out.push(2);
+            put_sym(out, *a);
+            put_sym(out, *b);
+        }
+    }
+}
+
+/// Decodes a filter predicate.
+pub fn get_pred(cur: &mut Cur) -> Result<Pred, CodecError> {
+    let at = cur.pos();
+    match cur.u8()? {
+        0 => Ok(Pred::Eq(get_sym(cur)?, get_value(cur)?)),
+        1 => Ok(Pred::Neq(get_sym(cur)?, get_value(cur)?)),
+        2 => Ok(Pred::EqCol(get_sym(cur)?, get_sym(cur)?)),
+        tag => Err(CodecError::BadTag { at, tag, what: "Pred" }),
+    }
+}
+
+/// Encodes a μ-RA term (one tag byte per constructor, recursive).
+pub fn put_term(out: &mut Vec<u8>, t: &Term) {
+    match t {
+        Term::Var(v) => {
+            out.push(0);
+            put_sym(out, *v);
+        }
+        Term::Cst(r) => {
+            out.push(1);
+            put_relation(out, r);
+        }
+        Term::Filter(ps, inner) => {
+            out.push(2);
+            put_u32(out, ps.len() as u32);
+            for p in ps {
+                put_pred(out, p);
+            }
+            put_term(out, inner);
+        }
+        Term::Rename(from, to, inner) => {
+            out.push(3);
+            put_sym(out, *from);
+            put_sym(out, *to);
+            put_term(out, inner);
+        }
+        Term::AntiProject(cols, inner) => {
+            out.push(4);
+            put_u32(out, cols.len() as u32);
+            for &c in cols {
+                put_sym(out, c);
+            }
+            put_term(out, inner);
+        }
+        Term::Join(a, b) => {
+            out.push(5);
+            put_term(out, a);
+            put_term(out, b);
+        }
+        Term::Antijoin(a, b) => {
+            out.push(6);
+            put_term(out, a);
+            put_term(out, b);
+        }
+        Term::Union(a, b) => {
+            out.push(7);
+            put_term(out, a);
+            put_term(out, b);
+        }
+        Term::Fix(v, body) => {
+            out.push(8);
+            put_sym(out, *v);
+            put_term(out, body);
+        }
+    }
+}
+
+/// Decodes a μ-RA term.
+pub fn get_term(cur: &mut Cur) -> Result<Term, CodecError> {
+    get_term_at(cur, 0)
+}
+
+fn get_term_at(cur: &mut Cur, depth: usize) -> Result<Term, CodecError> {
+    let at = cur.pos();
+    if depth > MAX_TERM_DEPTH {
+        return Err(CodecError::Invalid { at, what: "term nesting depth" });
+    }
+    match cur.u8()? {
+        0 => Ok(Term::Var(get_sym(cur)?)),
+        1 => Ok(Term::Cst(Arc::new(get_relation(cur)?))),
+        2 => {
+            let n = cur.seq_len(5)?;
+            let mut ps = Vec::with_capacity(n);
+            for _ in 0..n {
+                ps.push(get_pred(cur)?);
+            }
+            Ok(Term::Filter(ps, Box::new(get_term_at(cur, depth + 1)?)))
+        }
+        3 => {
+            let from = get_sym(cur)?;
+            let to = get_sym(cur)?;
+            Ok(Term::Rename(from, to, Box::new(get_term_at(cur, depth + 1)?)))
+        }
+        4 => {
+            let n = cur.seq_len(4)?;
+            let mut cols = Vec::with_capacity(n);
+            for _ in 0..n {
+                cols.push(get_sym(cur)?);
+            }
+            Ok(Term::AntiProject(cols, Box::new(get_term_at(cur, depth + 1)?)))
+        }
+        5 => Ok(Term::Join(
+            Box::new(get_term_at(cur, depth + 1)?),
+            Box::new(get_term_at(cur, depth + 1)?),
+        )),
+        6 => Ok(Term::Antijoin(
+            Box::new(get_term_at(cur, depth + 1)?),
+            Box::new(get_term_at(cur, depth + 1)?),
+        )),
+        7 => Ok(Term::Union(
+            Box::new(get_term_at(cur, depth + 1)?),
+            Box::new(get_term_at(cur, depth + 1)?),
+        )),
+        8 => {
+            let v = get_sym(cur)?;
+            Ok(Term::Fix(v, Box::new(get_term_at(cur, depth + 1)?)))
+        }
+        tag => Err(CodecError::BadTag { at, tag, what: "Term" }),
+    }
+}
+
+/// Encodes a delta batch. Relations are emitted in sorted symbol order.
+pub fn put_delta_batch(out: &mut Vec<u8>, batch: &DeltaBatch) {
+    let mut keys: Vec<Sym> = batch.rels.keys().copied().collect();
+    keys.sort_unstable();
+    put_u32(out, keys.len() as u32);
+    for k in keys {
+        let d = &batch.rels[&k];
+        put_sym(out, k);
+        put_relation(out, &d.insert);
+        put_relation(out, &d.delete);
+    }
+}
+
+/// Decodes a delta batch.
+pub fn get_delta_batch(cur: &mut Cur) -> Result<DeltaBatch, CodecError> {
+    let n = cur.seq_len(4)?;
+    let mut batch = DeltaBatch::new();
+    for _ in 0..n {
+        let k = get_sym(cur)?;
+        let insert = get_relation(cur)?;
+        let delete = get_relation(cur)?;
+        batch.rels.insert(k, RelDelta { insert, delete });
+    }
+    Ok(batch)
+}
+
+/// Encodes a full database: dictionary (names in symbol order plus the
+/// fresh-name counter), constants, and relations, both in sorted symbol
+/// order.
+pub fn put_database(out: &mut Vec<u8>, db: &Database) {
+    let dict = db.dict();
+    put_u32(out, dict.len() as u32);
+    for name in dict.names() {
+        put_string(out, name);
+    }
+    put_u32(out, dict.fresh_counter());
+
+    let mut consts: Vec<(Sym, Value)> = db.constants().collect();
+    consts.sort_unstable_by_key(|(s, _)| *s);
+    put_u32(out, consts.len() as u32);
+    for (s, v) in consts {
+        put_sym(out, s);
+        put_value(out, v);
+    }
+
+    let mut rels: Vec<(Sym, &Relation)> = db.relations().collect();
+    rels.sort_unstable_by_key(|(s, _)| *s);
+    put_u32(out, rels.len() as u32);
+    for (s, r) in rels {
+        put_sym(out, s);
+        put_relation(out, r);
+    }
+}
+
+/// Decodes a database. Symbols resolve identically to the encoded one:
+/// names are re-interned in symbol order.
+pub fn get_database(cur: &mut Cur) -> Result<Database, CodecError> {
+    let mut db = Database::new();
+    let n_names = cur.seq_len(4)?;
+    for _ in 0..n_names {
+        let name = cur.string()?;
+        db.intern(&name);
+    }
+    let fresh = cur.u32()?;
+    db.dict_mut().set_fresh_counter(fresh);
+
+    let n_consts = cur.seq_len(5)?;
+    for _ in 0..n_consts {
+        let at = cur.pos();
+        let s = get_sym(cur)?;
+        let v = get_value(cur)?;
+        if s.index() >= db.dict().len() {
+            return Err(CodecError::Invalid { at, what: "constant symbol" });
+        }
+        let name = db.dict().resolve(s).to_string();
+        db.bind_constant(&name, v);
+    }
+
+    let n_rels = cur.seq_len(5)?;
+    for _ in 0..n_rels {
+        let at = cur.pos();
+        let s = get_sym(cur)?;
+        if s.index() >= db.dict().len() {
+            return Err(CodecError::Invalid { at, what: "relation symbol" });
+        }
+        let r = get_relation(cur)?;
+        db.insert_relation_sym(s, r);
+    }
+    Ok(db)
+}
+
+/// Encodes feedback-store state (already sorted by
+/// [`FeedbackStore::export_state`](mura_rewrite::FeedbackStore::export_state)).
+pub fn put_feedback(out: &mut Vec<u8>, fb: &FeedbackState) {
+    put_u64(out, fb.generation);
+    put_u32(out, fb.entries.len() as u32);
+    for (key, rows, runs, deps) in &fb.entries {
+        put_u64(out, *key);
+        put_f64(out, *rows);
+        put_u64(out, *runs);
+        put_u32(out, deps.len() as u32);
+        for (s, v) in deps {
+            put_sym(out, *s);
+            put_u64(out, *v);
+        }
+    }
+    put_u32(out, fb.churn.len() as u32);
+    for (s, v) in &fb.churn {
+        put_sym(out, *s);
+        put_u64(out, *v);
+    }
+    put_u32(out, fb.sizes.len() as u32);
+    for (s, v) in &fb.sizes {
+        put_sym(out, *s);
+        put_f64(out, *v);
+    }
+}
+
+/// Decodes feedback-store state.
+pub fn get_feedback(cur: &mut Cur) -> Result<FeedbackState, CodecError> {
+    let generation = cur.u64()?;
+    let n = cur.seq_len(28)?;
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        let key = cur.u64()?;
+        let rows = cur.f64()?;
+        let runs = cur.u64()?;
+        let nd = cur.seq_len(12)?;
+        let mut deps = Vec::with_capacity(nd);
+        for _ in 0..nd {
+            deps.push((get_sym(cur)?, cur.u64()?));
+        }
+        entries.push((key, rows, runs, deps));
+    }
+    let nc = cur.seq_len(12)?;
+    let mut churn = Vec::with_capacity(nc);
+    for _ in 0..nc {
+        churn.push((get_sym(cur)?, cur.u64()?));
+    }
+    let ns = cur.seq_len(12)?;
+    let mut sizes = Vec::with_capacity(ns);
+    for _ in 0..ns {
+        sizes.push((get_sym(cur)?, cur.f64()?));
+    }
+    Ok(FeedbackState { generation, entries, churn, sizes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mura_rewrite::FeedbackStore;
+
+    fn sample_db() -> Database {
+        let mut db = Database::new();
+        let src = db.intern("src");
+        let dst = db.intern("dst");
+        db.insert_relation("edge", Relation::from_pairs(src, dst, [(1, 2), (2, 3), (3, 1)]));
+        db.insert_relation("empty", Relation::new(Schema::new(vec![src])));
+        db.bind_constant("Japan", Value::node(7));
+        db.dict_mut().fresh("X");
+        db
+    }
+
+    #[test]
+    fn value_and_relation_round_trip() {
+        let db = sample_db();
+        let r = db.relation_by_name("edge").unwrap();
+        let mut out = Vec::new();
+        put_relation(&mut out, r);
+        let mut cur = Cur::new(&out);
+        let back = get_relation(&mut cur).unwrap();
+        cur.expect_done().unwrap();
+        assert_eq!(back.schema(), r.schema());
+        assert_eq!(back.sorted_rows(), r.sorted_rows());
+    }
+
+    #[test]
+    fn term_round_trip() {
+        let mut db = sample_db();
+        let src = db.intern("src");
+        let dst = db.intern("dst");
+        let x = db.dict_mut().fresh("fix");
+        let t = Term::var(db.intern("edge"))
+            .filter(Pred::Eq(src, Value::node(1)))
+            .filter(Pred::EqCol(src, dst))
+            .join(Term::cst(Relation::from_pairs(src, dst, [(4, 5)])))
+            .union(Term::var(x).rename(src, dst).antiproject(dst))
+            .antijoin(Term::var(db.intern("edge")))
+            .fix(x);
+        let mut out = Vec::new();
+        put_term(&mut out, &t);
+        let mut cur = Cur::new(&out);
+        let back = get_term(&mut cur).unwrap();
+        cur.expect_done().unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn database_round_trip_preserves_symbols_and_fresh_counter() {
+        let db = sample_db();
+        let mut out = Vec::new();
+        put_database(&mut out, &db);
+        let mut cur = Cur::new(&out);
+        let back = get_database(&mut cur).unwrap();
+        cur.expect_done().unwrap();
+        assert_eq!(back.dict().len(), db.dict().len());
+        assert_eq!(back.dict().fresh_counter(), db.dict().fresh_counter());
+        for (i, name) in db.dict().names().enumerate() {
+            assert_eq!(back.dict().resolve(Sym(i as u32)), name);
+        }
+        assert_eq!(back.constant("Japan"), Some(Value::node(7)));
+        assert_eq!(
+            back.relation_by_name("edge").unwrap().sorted_rows(),
+            db.relation_by_name("edge").unwrap().sorted_rows()
+        );
+        assert_eq!(back.relation_count(), db.relation_count());
+        // Re-encoding is byte-identical (canonical form).
+        let mut out2 = Vec::new();
+        put_database(&mut out2, &back);
+        assert_eq!(out, out2);
+    }
+
+    #[test]
+    fn delta_batch_round_trip() {
+        let db = sample_db();
+        let edge = db.dict().lookup("edge").unwrap();
+        let src = db.dict().lookup("src").unwrap();
+        let dst = db.dict().lookup("dst").unwrap();
+        let mut batch = DeltaBatch::new();
+        batch
+            .push_insert(&db, edge, vec![Value::node(9), Value::node(10)].into_boxed_slice())
+            .unwrap();
+        batch
+            .push_delete(&db, edge, vec![Value::node(1), Value::node(2)].into_boxed_slice())
+            .unwrap();
+        let _ = (src, dst);
+        let mut out = Vec::new();
+        put_delta_batch(&mut out, &batch);
+        let mut cur = Cur::new(&out);
+        let back = get_delta_batch(&mut cur).unwrap();
+        cur.expect_done().unwrap();
+        assert_eq!(back.rels.len(), 1);
+        let d = &back.rels[&edge];
+        assert_eq!(d.insert.sorted_rows(), batch.rels[&edge].insert.sorted_rows());
+        assert_eq!(d.delete.sorted_rows(), batch.rels[&edge].delete.sorted_rows());
+    }
+
+    #[test]
+    fn feedback_round_trip() {
+        let mut fb = FeedbackStore::new();
+        let db = sample_db();
+        let edge = db.dict().lookup("edge").unwrap();
+        fb.note_churn(edge, 5, 40);
+        let state = fb.export_state();
+        let mut out = Vec::new();
+        put_feedback(&mut out, &state);
+        let mut cur = Cur::new(&out);
+        let back = get_feedback(&mut cur).unwrap();
+        cur.expect_done().unwrap();
+        assert_eq!(back, state);
+    }
+
+    #[test]
+    fn truncated_and_garbage_inputs_fail_typed_not_panic() {
+        let db = sample_db();
+        let mut out = Vec::new();
+        put_database(&mut out, &db);
+        for cut in 0..out.len() {
+            let mut cur = Cur::new(&out[..cut]);
+            assert!(get_database(&mut cur).is_err(), "cut at {cut} decoded");
+        }
+        // Bad value tag.
+        let mut cur = Cur::new(&[9, 0, 0, 0, 0, 0, 0, 0, 0]);
+        assert!(matches!(get_value(&mut cur), Err(CodecError::BadTag { .. })));
+        // Absurd sequence length cannot allocate.
+        let mut huge = Vec::new();
+        put_u32(&mut huge, u32::MAX);
+        let mut cur = Cur::new(&huge);
+        assert!(get_database(&mut cur).is_err());
+    }
+}

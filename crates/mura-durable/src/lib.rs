@@ -1,0 +1,40 @@
+//! # mura-durable — coordinator durability for the serving tier
+//!
+//! The paper's coordinator holds all authoritative state in memory: the
+//! database catalog, cached materialized views with their fixpoint totals,
+//! and the cardinality-feedback store that steers plan enumeration. This
+//! crate makes that state survive a coordinator crash:
+//!
+//! * [`wal`] — a length-delimited, CRC-checksummed write-ahead log. Every
+//!   `apply_delta` batch and every schema-changing `load` is stamped with
+//!   the version it produces and fsync'd *before* it is applied. Replay is
+//!   torn-tail tolerant: a partially written final record (the only kind a
+//!   crash can produce, since records are appended sequentially and synced)
+//!   is detected by its checksum and dropped, never half-applied.
+//! * [`snapshot`] — atomic point-in-time snapshots of database + cached
+//!   views + feedback store, written to a temp file and `rename`d into
+//!   place so a crash mid-snapshot leaves the previous snapshot intact.
+//!   After a successful snapshot the WAL is reset, bounding replay work.
+//! * [`codec`] — a self-describing, bounds-checked binary codec for the
+//!   engine types (values, relations, μ-RA terms, delta batches, the
+//!   catalog, feedback state). No serde: the workspace builds offline.
+//! * [`crash`] — deterministic, env-driven crash points
+//!   (`MURA_CRASH_POINT=<site>:<n>` aborts the process on the n-th hit of
+//!   `site`) used by the crash-recovery chaos harness.
+//!
+//! Recovery = newest valid snapshot + WAL tail replay. The recovered
+//! coordinator reaches the exact version of the last durably logged
+//! record; mutations whose WAL append did not complete before the crash
+//! were never acknowledged to any client and are correctly absent.
+
+pub mod codec;
+pub mod crash;
+pub mod snapshot;
+pub mod wal;
+
+pub use crash::{crash_armed, crash_point};
+pub use snapshot::{
+    load_newest_snapshot, prune_older_snapshots, write_snapshot, SnapshotError, SnapshotState,
+    ViewSnapshot,
+};
+pub use wal::{SyncPolicy, Wal, WalError, WalRecord, WalReplay, WalTail};

@@ -19,7 +19,13 @@
 //!   observation set changes materially (new fixpoint observed, a measured
 //!   total moved by more than 25%, observations invalidated). The server's
 //!   plan cache remembers the generation a plan was optimized under and
-//!   replans when it moves — that is the whole adaptive loop.
+//!   replans when it moves — that is the whole adaptive loop. The
+//!   contrapositive is load-bearing too: observations never change
+//!   *without* a generation bump (re-observations within tolerance are
+//!   confirmations, not updates), so a plan that is generation-valid was
+//!   costed from exactly the store's current contents. Crash recovery
+//!   leans on this to rebuild plan caches by re-planning against the
+//!   restored store.
 //!
 //! [`CostModel::with_observed`]: crate::cost::CostModel::with_observed
 
@@ -131,12 +137,20 @@ impl FeedbackStore {
                 *recorded += 1;
                 match self.entries.get_mut(&key) {
                     Some(obs) => {
+                        // Invariant: observations only change when the
+                        // generation bumps. A re-observation within
+                        // tolerance *confirms* the stored value instead of
+                        // drifting it — the plan cache treats "generation
+                        // unchanged" as "costing inputs unchanged", and
+                        // crash recovery (which rebuilds plans by
+                        // re-planning against the restored store) relies on
+                        // the same property to reproduce cached plans.
                         if (rows - obs.rows).abs() > MATERIAL_ROWS_CHANGE * obs.rows.max(1.0) {
                             *material = true;
+                            obs.rows = rows;
+                            obs.deps = deps;
                         }
-                        obs.rows = rows;
                         obs.runs += 1;
-                        obs.deps = deps;
                     }
                     None => {
                         *material = true;
@@ -177,6 +191,59 @@ impl FeedbackStore {
         self.entries.clear();
         self.churn.clear();
         self.sizes.clear();
+    }
+}
+
+/// One exported observation: `(canon_key, rows, runs, deps)` where `deps`
+/// are `(relation, churn counter at observation time)` pairs.
+pub type FeedbackEntry = (u64, f64, u64, Vec<(Sym, u64)>);
+
+/// The serializable projection of a [`FeedbackStore`], used by the
+/// durability layer to carry observed cardinalities across a restart. All
+/// vectors are sorted so the export of a given store is byte-stable.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FeedbackState {
+    /// Store generation at export time.
+    pub generation: u64,
+    /// Live observations.
+    pub entries: Vec<FeedbackEntry>,
+    /// Cumulative changed-row counter per base relation.
+    pub churn: Vec<(Sym, u64)>,
+    /// Last known size per base relation.
+    pub sizes: Vec<(Sym, f64)>,
+}
+
+impl FeedbackStore {
+    /// Exports the full store state (observations, churn counters, sizes,
+    /// generation) in a deterministic order.
+    pub fn export_state(&self) -> FeedbackState {
+        let mut entries: Vec<FeedbackEntry> =
+            self.entries.iter().map(|(k, o)| (*k, o.rows, o.runs, o.deps.clone())).collect();
+        entries.sort_by_key(|e| e.0);
+        let mut churn: Vec<(Sym, u64)> = self.churn.iter().map(|(s, c)| (*s, *c)).collect();
+        churn.sort_by_key(|e| e.0);
+        let mut sizes: Vec<(Sym, f64)> = self.sizes.iter().map(|(s, z)| (*s, *z)).collect();
+        sizes.sort_by_key(|e| e.0);
+        FeedbackState { generation: self.generation, entries, churn, sizes }
+    }
+
+    /// Rebuilds a store from an exported state. Canonical keys and symbol
+    /// ids are only meaningful against the dictionary they were computed
+    /// under, so the importer must have restored that dictionary first
+    /// (the snapshot layer restores symbols by interning names in their
+    /// original order).
+    pub fn import_state(state: FeedbackState) -> FeedbackStore {
+        let mut fb = FeedbackStore { generation: state.generation, ..Default::default() };
+        for (key, rows, runs, deps) in state.entries {
+            fb.entries.insert(key, Observation { rows, runs, deps });
+        }
+        for (rel, c) in state.churn {
+            fb.churn.insert(rel, c);
+        }
+        for (rel, z) in state.sizes {
+            fb.sizes.insert(rel, z);
+        }
+        fb
     }
 }
 
@@ -274,6 +341,29 @@ mod tests {
         assert_eq!(fb.note_churn(e, 200, 1000), 1);
         assert!(fb.is_empty());
         assert!(fb.generation() > g);
+    }
+
+    #[test]
+    fn export_import_round_trips_and_is_deterministic() {
+        let mut db = Database::new();
+        let plan = tc_fix(&mut db);
+        let e = db.intern("E");
+        let mut fb = FeedbackStore::new();
+        let mut totals = FxHashMap::default();
+        totals.insert(term_key(&plan), 100.0);
+        fb.record_plan(&plan, &totals, db.dict());
+        fb.note_churn(e, 2, 1000);
+        let state = fb.export_state();
+        assert_eq!(state, fb.export_state(), "export must be byte-stable");
+        let back = FeedbackStore::import_state(state);
+        assert_eq!(back.generation(), fb.generation());
+        assert_eq!(back.observations(), fb.observations());
+        // Churn bookkeeping survives: the same material churn that would
+        // drop the observation in the original drops it in the copy.
+        let mut a = fb;
+        let mut b = back;
+        assert_eq!(a.note_churn(e, 200, 1000), b.note_churn(e, 200, 1000));
+        assert_eq!(a.generation(), b.generation());
     }
 
     #[test]

@@ -40,6 +40,6 @@ pub mod rules;
 pub use closure::ClosureForm;
 pub use cost::{CostModel, ObservedCards, Stats};
 pub use enumerate::{EnumConfig, EnumReport, GroupSummary};
-pub use feedback::FeedbackStore;
+pub use feedback::{FeedbackState, FeedbackStore};
 pub use memo::canon_key;
 pub use rewriter::{optimize, Rewriter};

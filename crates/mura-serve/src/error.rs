@@ -49,6 +49,11 @@ pub enum ServeError {
     /// [`MuraError::DeadlineExceeded`], [`MuraError::ResourceExhausted`],
     /// [`MuraError::MemoryExceeded`] and [`MuraError::Timeout`].
     Engine(MuraError),
+    /// The durability layer failed: a WAL append, snapshot write, or
+    /// crash recovery could not complete. A mutation reported with this
+    /// error was **not** durably recorded (and, for WAL appends, was not
+    /// applied); the serving process should be treated as unhealthy.
+    Durability(String),
 }
 
 impl ServeError {
@@ -100,6 +105,7 @@ impl fmt::Display for ServeError {
             }
             ServeError::Closed => write!(f, "server closed"),
             ServeError::Engine(e) => write!(f, "{e}"),
+            ServeError::Durability(what) => write!(f, "durability failure: {what}"),
         }
     }
 }

@@ -72,6 +72,7 @@ pub mod server;
 
 pub use cache::{plan_key, LruCache};
 pub use error::{OverloadReason, ServeError, ServeResult};
+pub use mura_durable::SyncPolicy;
 pub use mura_ivm::{DeltaBatch, RelDelta};
 pub use protocol::{read_response, serve_tcp, FrameError, TcpServeHandle, MAX_LINE};
 pub use server::{Client, ClusterMode, DeltaSummary, Pending, ServeConfig, ServeStats, Server};

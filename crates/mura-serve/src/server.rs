@@ -41,8 +41,12 @@ use mura_core::{mem_gauge, rel_bytes, CancellationToken, Database, Term};
 use mura_dist::exec::ResourceLimits;
 use mura_dist::explain_plan;
 use mura_dist::{
-    ClusterHealth, CommBackend, FixResume, PlannedQuery, ProcCluster, ProcClusterConfig,
-    QueryEngine, QueryOutput, TraceLevel,
+    ClusterHealth, CommBackend, CommSnapshot, ExecStats, FixResume, PlannedQuery, ProcCluster,
+    ProcClusterConfig, QueryEngine, QueryOutput, TraceLevel,
+};
+use mura_durable::{
+    crash_point, load_newest_snapshot, prune_older_snapshots, write_snapshot, SnapshotState,
+    SyncPolicy, ViewSnapshot, Wal, WalRecord,
 };
 use mura_ivm::{plan_maintenance, DeltaBatch, FallbackReason, IvmOutcome};
 use mura_obs::histogram::fmt_us;
@@ -112,6 +116,22 @@ pub struct ServeConfig {
     /// `None` resolves via the `MURA_WORKER_BIN` environment variable,
     /// then a sibling of the current executable.
     pub worker_bin: Option<PathBuf>,
+    /// Durable-state directory. `Some(dir)` turns on the write-ahead log
+    /// and snapshots: every mutation is logged (and fsync'd, per
+    /// [`ServeConfig::wal_sync`]) before it is applied, and startup
+    /// recovers the newest valid snapshot plus the WAL tail (see
+    /// [`Server::recover`]). `None` (the default) serves purely in
+    /// memory, as before.
+    pub data_dir: Option<PathBuf>,
+    /// Snapshot cadence when durability is on: after this many WAL
+    /// appends since the last snapshot, the next mutation also writes a
+    /// fresh snapshot and resets the WAL. 0 disables periodic snapshots
+    /// (the bootstrap snapshot is still written).
+    pub snapshot_every: u64,
+    /// When WAL appends fsync (see [`SyncPolicy`]). `Always` is the
+    /// durable default; `Never` is for benchmarks isolating logging
+    /// overhead from fsync latency.
+    pub wal_sync: SyncPolicy,
 }
 
 impl Default for ServeConfig {
@@ -130,6 +150,9 @@ impl Default for ServeConfig {
             drain_grace: Duration::from_secs(5),
             cluster: ClusterMode::InProcess,
             worker_bin: None,
+            data_dir: None,
+            snapshot_every: 64,
+            wal_sync: SyncPolicy::Always,
         }
     }
 }
@@ -265,6 +288,15 @@ pub struct ServeStats {
     pub wire_tx_bytes: u64,
     pub wire_rx_bytes: u64,
     pub wire_exchange_bytes: u64,
+    /// Durability counters (all zero when [`ServeConfig::data_dir`] is
+    /// unset): WAL records appended and their on-disk bytes (framing
+    /// included), snapshots written, seconds since the last snapshot, and
+    /// WAL records replayed by this process's startup recovery.
+    pub wal_appends: u64,
+    pub wal_bytes: u64,
+    pub snapshots_written: u64,
+    pub snapshot_age_seconds: u64,
+    pub recovery_replayed_batches: u64,
 }
 
 impl ServeStats {
@@ -408,6 +440,15 @@ impl std::fmt::Display for ServeStats {
             fmt_us(self.maint_p95_us),
             fmt_us(self.maint_p99_us)
         )?;
+        writeln!(
+            f,
+            "durability   {} wal appends ({} bytes), {} snapshots (age {}s), {} replayed at recovery",
+            self.wal_appends,
+            self.wal_bytes,
+            self.snapshots_written,
+            self.snapshot_age_seconds,
+            self.recovery_replayed_batches
+        )?;
         writeln!(f, "version    {}", self.version)?;
         write!(f, "epoch      {}", self.epoch)
     }
@@ -444,6 +485,12 @@ struct Counters {
     ivm_fallback_cache_cold: AtomicU64,
     ivm_fallback_cost: AtomicU64,
     ivm_fallback_other: AtomicU64,
+    /// Durability: WAL records appended / their on-disk bytes, snapshots
+    /// written, and WAL records replayed by startup recovery.
+    wal_appends: AtomicU64,
+    wal_bytes: AtomicU64,
+    snapshots_written: AtomicU64,
+    recovery_replayed: AtomicU64,
 }
 
 impl Counters {
@@ -607,6 +654,18 @@ struct CachedPlan {
     feedback_gen: u64,
 }
 
+/// Durable-storage handle: the open WAL plus snapshot bookkeeping. Lives
+/// behind a mutex taken *after* the engine lock (never the other way
+/// around) and only on mutation / telemetry paths — queries never touch it.
+struct DurableState {
+    wal: Wal,
+    dir: PathBuf,
+    /// WAL appends since the last snapshot; reaching
+    /// [`ServeConfig::snapshot_every`] triggers the next snapshot.
+    appends_since_snapshot: u64,
+    last_snapshot_at: Instant,
+}
+
 struct ServerInner {
     engine: RwLock<QueryEngine>,
     /// Bumped (under the engine write lock) by [`Server::load`] calls
@@ -649,6 +708,9 @@ struct ServerInner {
     /// all concurrent queries (exchange buffers are isolated per exchange
     /// id on the wire). `None` under [`ClusterMode::InProcess`].
     proc: Option<Arc<ProcCluster>>,
+    /// Durable storage (WAL + snapshots) when [`ServeConfig::data_dir`]
+    /// is set; `None` serves purely in memory.
+    durable: Option<Mutex<DurableState>>,
     config: ServeConfig,
 }
 
@@ -876,7 +938,18 @@ impl ServerInner {
                     (fb.observations(), fb.generation())
                 };
                 let obs = (!observations.is_empty()).then_some(&observations);
+                let superseded =
+                    lock(&self.plans).get(&(job.query.clone(), epoch)).map(|c| plan_key(&c.plan));
                 let (planned, _report) = engine.plan_ucrpq_report(&job.query, obs)?;
+                // A replan that lands on a different plan orphans the
+                // result entry cached under the old plan's key: no lookup
+                // reaches it anymore, yet maintenance would keep paying to
+                // bring it forward on every delta. Drop it now.
+                if let Some(old_key) = superseded {
+                    if old_key != plan_key(&planned.plan) {
+                        lock(&self.results).remove(&(old_key, epoch));
+                    }
+                }
                 lock(&self.plans).insert(
                     (job.query.clone(), epoch),
                     CachedPlan { plan: planned.plan.clone(), feedback_gen },
@@ -979,10 +1052,20 @@ impl ServerInner {
     /// normalize → apply to base relations → bump the version → maintain
     /// every cached view (see the module docs). Returns what happened to
     /// each view; the batch itself is all-or-nothing.
-    fn apply_delta(&self, mut batch: DeltaBatch) -> ServeResult<DeltaSummary> {
+    fn apply_delta(&self, batch: DeltaBatch) -> ServeResult<DeltaSummary> {
         if self.closing.load(Ordering::Acquire) || self.drain_phase.load(Ordering::Acquire) > 0 {
             return Err(ServeError::Closed);
         }
+        self.apply_batch(batch, true)
+    }
+
+    /// The delta machinery behind [`ServerInner::apply_delta`]. `live`
+    /// distinguishes client mutations (memory-gated, WAL-logged before they
+    /// apply, snapshot-triggering) from startup recovery replaying
+    /// already-logged records — replay must not re-log records, and must
+    /// not snapshot mid-replay (a snapshot resets the WAL, which would
+    /// discard records not yet replayed if recovery itself crashed).
+    fn apply_batch(&self, mut batch: DeltaBatch, live: bool) -> ServeResult<DeltaSummary> {
         // One mutation at a time: maintenance needs the pre-batch relation
         // values of exactly one version step, so normalize → apply →
         // maintain must not interleave with another batch.
@@ -990,10 +1073,14 @@ impl ServerInner {
 
         // Memory gate: a mutation storm obeys the same resource ladder as
         // queries. The churn estimate prices the batch's own rows; the
-        // maintenance loop's frontier cost is gated per view below.
-        let rows: usize = batch.rels.values().map(|d| d.insert.len() + d.delete.len()).sum();
-        let arity = batch.rels.values().map(|d| d.insert.schema().arity()).max().unwrap_or(2);
-        self.memory_gate(rel_bytes(rows as u64, arity)).map_err(|e| self.shed(e))?;
+        // maintenance loop's frontier cost is gated per view below. Replay
+        // is exempt — recovery must converge to the pre-crash state
+        // regardless of the memory gauge's warm-up transient.
+        if live {
+            let rows: usize = batch.rels.values().map(|d| d.insert.len() + d.delete.len()).sum();
+            let arity = batch.rels.values().map(|d| d.insert.schema().arity()).max().unwrap_or(2);
+            self.memory_gate(rel_bytes(rows as u64, arity)).map_err(|e| self.shed(e))?;
+        }
 
         let mut summary = DeltaSummary::default();
         let (old_rels, version, epoch, snapshot) = {
@@ -1003,7 +1090,41 @@ impl ServerInner {
                 summary.version = self.version.load(Ordering::Acquire);
                 return Ok(summary);
             }
-            let (inserted, deleted, old_rels) = batch.apply(engine.db_mut())?;
+            // Durability: log and fsync the normalized batch *before* it is
+            // applied, stamped with the version it will produce. A crash
+            // after the append replays the batch at recovery; a crash
+            // before it recovers to the pre-batch state — either way the
+            // client's ack (which only happens after the append) never lies.
+            let mut wal_mark = None;
+            if live {
+                if let Some(durable) = &self.durable {
+                    let next = self.version.load(Ordering::Acquire) + 1;
+                    let mut d = lock(durable);
+                    let mark = (d.wal.bytes(), d.wal.appends());
+                    let bytes = d
+                        .wal
+                        .append_delta(next, &batch)
+                        .map_err(|e| ServeError::Durability(format!("wal append: {e}")))?;
+                    self.counters.wal_appends.fetch_add(1, Ordering::Relaxed);
+                    self.counters.wal_bytes.fetch_add(bytes, Ordering::Relaxed);
+                    d.appends_since_snapshot += 1;
+                    wal_mark = Some(mark);
+                }
+            }
+            let (inserted, deleted, old_rels) = match batch.apply(engine.db_mut()) {
+                Ok(applied) => applied,
+                Err(e) => {
+                    // Apply failed after the batch was logged: truncate the
+                    // record so recovery never replays a mutation the
+                    // server rejected.
+                    if let (Some((bytes, appends)), Some(durable)) = (wal_mark, &self.durable) {
+                        let mut d = lock(durable);
+                        let _ = d.wal.rollback_to(bytes, appends);
+                        d.appends_since_snapshot = d.appends_since_snapshot.saturating_sub(1);
+                    }
+                    return Err(e.into());
+                }
+            };
             let version = self.version.fetch_add(1, Ordering::AcqRel) + 1;
             let epoch = self.epoch.load(Ordering::Acquire);
             self.counters.deltas_applied.fetch_add(1, Ordering::Relaxed);
@@ -1037,6 +1158,11 @@ impl ServerInner {
         let engine = self.read_engine();
         let empty = FxHashMap::default();
         for (key, cached) in snapshot {
+            // Chaos hook: a crash here leaves the batch durably logged and
+            // applied but the view maintenance half-done. Recovery replays
+            // the batch from the WAL over the last snapshot, which re-runs
+            // maintenance from a consistent pre-batch state.
+            crash_point("maintain_mid");
             if key.1 != epoch || cached.version >= version {
                 continue; // other-epoch leftovers / already-current entries
             }
@@ -1131,7 +1257,174 @@ impl ServerInner {
                 }
             }
         }
+        if live {
+            self.maybe_snapshot(engine.db())?;
+        }
         Ok(summary)
+    }
+
+    /// Writes a snapshot if the WAL has accumulated `snapshot_every`
+    /// appends since the last one. Called with the engine read lock held
+    /// (mutations are serialized by the mutation mutex, so the database
+    /// cannot change underneath the snapshot).
+    fn maybe_snapshot(&self, db: &Database) -> ServeResult<()> {
+        let due = match &self.durable {
+            Some(durable) if self.config.snapshot_every > 0 => {
+                lock(durable).appends_since_snapshot >= self.config.snapshot_every
+            }
+            _ => false,
+        };
+        if due {
+            self.snapshot_now(db)?;
+        }
+        Ok(())
+    }
+
+    /// Writes an atomic snapshot of the current database, cached views and
+    /// planner feedback, prunes older snapshots, and resets the WAL. The
+    /// caller must hold an engine lock (read or write) so the state is
+    /// frozen; mutations are additionally serialized by the mutation mutex.
+    fn snapshot_now(&self, db: &Database) -> ServeResult<()> {
+        let Some(durable) = &self.durable else { return Ok(()) };
+        let version = self.version.load(Ordering::Acquire);
+        let epoch = self.epoch.load(Ordering::Acquire);
+        // Persist only views that are exactly current: stale entries would
+        // be dropped by maintenance anyway, and other-epoch leftovers are
+        // unreachable after a load.
+        let mut views: Vec<ViewSnapshot> = lock(&self.results)
+            .entries()
+            .into_iter()
+            .filter(|(key, cached)| key.1 == epoch && cached.version == version)
+            .map(|(_, cached)| ViewSnapshot {
+                plan: cached.output.plan.clone(),
+                relation: cached.output.relation.clone(),
+                fix_totals: cached
+                    .output
+                    .stats
+                    .fix_totals
+                    .as_ref()
+                    .map(|m| m.iter().map(|(k, r)| (*k, r.clone())).collect())
+                    .unwrap_or_default(),
+            })
+            .collect();
+        // Stable bytes: equal server states must snapshot identically.
+        views.sort_by_key(|v| plan_key(&v.plan));
+        // Plans ride along rather than being re-derived at recovery: the
+        // planner costs against live cardinalities, so a replan after
+        // restore could legally pick a different plan than the one the
+        // persisted view is keyed under, orphaning the view.
+        let mut plans: Vec<(String, Term, u64)> = lock(&self.plans)
+            .entries()
+            .into_iter()
+            .filter(|(key, _)| key.1 == epoch)
+            .map(|(key, cached)| (key.0, cached.plan, cached.feedback_gen))
+            .collect();
+        plans.sort_by(|a, b| a.0.cmp(&b.0));
+        let state = SnapshotState {
+            version,
+            epoch,
+            db: db.clone(),
+            views,
+            feedback: lock(&self.feedback).export_state(),
+            plans,
+        };
+        let mut d = lock(durable);
+        write_snapshot(&d.dir, &state)
+            .map_err(|e| ServeError::Durability(format!("snapshot write: {e}")))?;
+        let _ = prune_older_snapshots(&d.dir, version);
+        // The snapshot now covers everything in the WAL — reset it so
+        // recovery replay is bounded by one snapshot interval.
+        d.wal.reset().map_err(|e| ServeError::Durability(format!("wal reset: {e}")))?;
+        d.appends_since_snapshot = 0;
+        d.last_snapshot_at = Instant::now();
+        self.counters.snapshots_written.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Installs a restored snapshot as the server's live state: database,
+    /// version/epoch, planner feedback, and cached views (re-inserted with
+    /// zeroed timings — they answer queries and maintain incrementally, but
+    /// carry no execution telemetry from the previous process).
+    fn restore_snapshot(&self, snap: SnapshotState) {
+        {
+            let mut engine = self.write_engine();
+            *engine.db_mut() = snap.db;
+        }
+        self.version.store(snap.version, Ordering::Release);
+        self.epoch.store(snap.epoch, Ordering::Release);
+        *lock(&self.feedback) = FeedbackStore::import_state(snap.feedback);
+        {
+            let mut plans = lock(&self.plans);
+            for (query, plan, feedback_gen) in snap.plans {
+                plans.insert((query, snap.epoch), CachedPlan { plan, feedback_gen });
+            }
+        }
+        let mut results = lock(&self.results);
+        for view in snap.views {
+            let key = (plan_key(&view.plan), snap.epoch);
+            let stats = ExecStats {
+                fix_totals: Some(view.fix_totals.into_iter().collect()),
+                ..Default::default()
+            };
+            let output = QueryOutput {
+                relation: view.relation,
+                planning: Duration::ZERO,
+                execution: Duration::ZERO,
+                stats,
+                comm: CommSnapshot::default(),
+                plan: view.plan,
+            };
+            results.insert(key, CachedResult { version: snap.version, output: Arc::new(output) });
+        }
+    }
+
+    /// Replays WAL records on top of the restored snapshot. Records at or
+    /// below the restored version are skipped (covers a crash between the
+    /// snapshot rename and the WAL reset). Returns how many records were
+    /// applied.
+    fn replay_wal(&self, records: Vec<WalRecord>) -> ServeResult<u64> {
+        let mut replayed = 0u64;
+        for record in records {
+            if record.version() <= self.version.load(Ordering::Acquire) {
+                continue;
+            }
+            match record {
+                WalRecord::Delta { version, batch } => {
+                    match self.apply_batch(batch, false) {
+                        Ok(summary) => {
+                            if summary.version != version {
+                                return Err(ServeError::Durability(format!(
+                                    "replay version drift: wal says {version}, \
+                                     apply produced {}",
+                                    summary.version
+                                )));
+                            }
+                        }
+                        // A batch the engine rejects now was rejected (and
+                        // rolled back) before the crash too — skip it.
+                        // Failed applies never bumped the version, so the
+                        // stamps of later records still line up.
+                        Err(ServeError::Engine(_)) => continue,
+                        Err(e) => return Err(e),
+                    }
+                }
+                WalRecord::Load { version, epoch, db } => {
+                    let _mutation = lock(&self.mutation);
+                    let mut engine = self.write_engine();
+                    *engine.db_mut() = db;
+                    self.version.store(version, Ordering::Release);
+                    if self.epoch.load(Ordering::Acquire) != epoch {
+                        self.epoch.store(epoch, Ordering::Release);
+                        lock(&self.breakers).clear();
+                    }
+                    self.rebuild_cost_stats(epoch, engine.db());
+                    lock(&self.feedback).clear();
+                }
+            }
+            replayed += 1;
+        }
+        self.counters.recovery_replayed.fetch_add(replayed, Ordering::Relaxed);
+        Ok(replayed)
     }
 
     fn record_fallback(&self, reason: Option<FallbackReason>, summary: &mut DeltaSummary) {
@@ -1204,6 +1497,29 @@ impl Server {
                 Some(ProcCluster::spawn_with(proc_cfg)?)
             }
         };
+        // Durability: open the data directory before serving starts. The
+        // newest valid snapshot plus the WAL tail reconstruct the exact
+        // pre-crash state; both are installed below, before worker threads
+        // can observe (or mutate) anything.
+        let mut restored = None;
+        let mut tail = Vec::new();
+        let durable = match &config.data_dir {
+            Some(dir) => {
+                let (snap, _skipped_corrupt) = load_newest_snapshot(dir)
+                    .map_err(|e| ServeError::Durability(format!("snapshot load: {e}")))?;
+                restored = snap;
+                let (wal, replay) = Wal::open(dir, config.wal_sync)
+                    .map_err(|e| ServeError::Durability(format!("wal open: {e}")))?;
+                tail = replay.records;
+                Some(Mutex::new(DurableState {
+                    wal,
+                    dir: dir.clone(),
+                    appends_since_snapshot: 0,
+                    last_snapshot_at: Instant::now(),
+                }))
+            }
+            None => None,
+        };
         let workers = config.workers.max(1);
         let (tx, rx) = sync_channel::<Job>(config.queue_depth.max(1));
         let inner = Arc::new(ServerInner {
@@ -1222,12 +1538,28 @@ impl Server {
             next_job: AtomicU64::new(0),
             cost_stats: Mutex::new(None),
             feedback: Mutex::new(FeedbackStore::new()),
+            durable,
             proc,
             config,
         });
+        let had_snapshot = restored.is_some();
+        let had_tail = !tail.is_empty();
+        if let Some(snap) = restored {
+            inner.restore_snapshot(snap);
+        }
+        if had_tail {
+            inner.replay_wal(tail)?;
+        }
         {
             let engine = inner.read_engine();
-            inner.rebuild_cost_stats(0, engine.db());
+            // Cost stats are rebuilt, not restored: they are derived state
+            // and the recovered database is the source of truth.
+            inner.rebuild_cost_stats(inner.epoch.load(Ordering::Acquire), engine.db());
+            // Bound the next recovery: a fresh directory gets a bootstrap
+            // snapshot at version 0, a replayed one folds its WAL tail in.
+            if inner.durable.is_some() && (!had_snapshot || had_tail) {
+                inner.snapshot_now(engine.db())?;
+            }
         }
         let rx = Arc::new(Mutex::new(rx));
         let handles = (0..workers)
@@ -1241,6 +1573,23 @@ impl Server {
             })
             .collect();
         Ok(Server { inner, tx, workers: handles })
+    }
+
+    /// Starts a server against a durable data directory, recovering any
+    /// state a previous process left there: the newest valid snapshot is
+    /// restored and the WAL tail replayed to the exact pre-crash version
+    /// (database, cached views, planner feedback). Equivalent to
+    /// [`Server::try_start`] except that it *requires*
+    /// [`ServeConfig::data_dir`] to be set — call it when restart-safety is
+    /// the point, so a misconfigured caller fails loudly instead of
+    /// silently serving volatile state.
+    pub fn recover(engine: QueryEngine, config: ServeConfig) -> ServeResult<Server> {
+        if config.data_dir.is_none() {
+            return Err(ServeError::Durability(
+                "Server::recover requires ServeConfig::data_dir".into(),
+            ));
+        }
+        Server::try_start(engine, config)
     }
 
     /// Supervisor health of the process cluster, if one is configured
@@ -1300,11 +1649,18 @@ impl Server {
     /// and cost history — only the data-dependent result cache goes stale,
     /// via the version bump.
     pub fn load(&self, f: impl FnOnce(&mut Database)) {
+        self.try_load(f).expect("durable load");
+    }
+
+    /// Like [`Server::load`], surfacing durability failures (the WAL
+    /// append of the post-load database) instead of panicking. Without a
+    /// [`ServeConfig::data_dir`] this cannot fail.
+    pub fn try_load(&self, f: impl FnOnce(&mut Database)) -> ServeResult<()> {
         let _mutation = lock(&self.inner.mutation);
         let mut engine = self.inner.write_engine();
         let before = schema_fingerprint(engine.db());
         f(engine.db_mut());
-        self.inner.version.fetch_add(1, Ordering::AcqRel);
+        let version = self.inner.version.fetch_add(1, Ordering::AcqRel) + 1;
         let epoch = if schema_fingerprint(engine.db()) != before {
             // Shape changed: plans interned against the old catalog are
             // unreachable, and verdicts / statistics from the old contents
@@ -1322,6 +1678,24 @@ impl Server {
         // same-shape refreshes keep their cached plans until fresh
         // observations arrive and bump it.
         lock(&self.inner.feedback).clear();
+        // Durability: a load's mutator is an opaque closure, so the WAL
+        // records its *outcome* — the complete post-load database — rather
+        // than the operation. Logged before this call returns, so a caller
+        // that saw `Ok` can rely on the load surviving a crash.
+        if let Some(durable) = &self.inner.durable {
+            {
+                let mut d = lock(durable);
+                let bytes = d
+                    .wal
+                    .append_load(version, epoch, engine.db())
+                    .map_err(|e| ServeError::Durability(format!("wal append (load): {e}")))?;
+                self.inner.counters.wal_appends.fetch_add(1, Ordering::Relaxed);
+                self.inner.counters.wal_bytes.fetch_add(bytes, Ordering::Relaxed);
+                d.appends_since_snapshot += 1;
+            }
+            self.inner.maybe_snapshot(engine.db())?;
+        }
+        Ok(())
     }
 
     /// Read access to the database (e.g. to resolve symbols in answers).
@@ -1552,6 +1926,15 @@ fn stats_of(inner: &ServerInner) -> ServeStats {
         wire_tx_bytes: t.wire_tx_bytes.load(Ordering::Relaxed),
         wire_rx_bytes: t.wire_rx_bytes.load(Ordering::Relaxed),
         wire_exchange_bytes: t.wire_exchange_bytes.load(Ordering::Relaxed),
+        wal_appends: c.wal_appends.load(Ordering::Relaxed),
+        wal_bytes: c.wal_bytes.load(Ordering::Relaxed),
+        snapshots_written: c.snapshots_written.load(Ordering::Relaxed),
+        snapshot_age_seconds: inner
+            .durable
+            .as_ref()
+            .map(|d| lock(d).last_snapshot_at.elapsed().as_secs())
+            .unwrap_or(0),
+        recovery_replayed_batches: c.recovery_replayed.load(Ordering::Relaxed),
     }
 }
 
@@ -1753,6 +2136,27 @@ fn metrics_of(inner: &ServerInner) -> String {
         "mura_ivm_maintenance_seconds",
         "Per-view incremental maintenance latency.",
         &t.maintenance.snapshot(),
+    );
+    p.counter(
+        "mura_wal_appends_total",
+        "Write-ahead-log records appended (delta batches and loads).",
+        s.wal_appends,
+    );
+    p.counter("mura_wal_bytes_total", "Bytes appended to the write-ahead log.", s.wal_bytes);
+    p.counter(
+        "mura_snapshots_total",
+        "Durable snapshots written (periodic, bootstrap and post-recovery).",
+        s.snapshots_written,
+    );
+    p.gauge(
+        "mura_snapshot_age_seconds",
+        "Seconds since the last durable snapshot (0 when durability is off).",
+        s.snapshot_age_seconds as f64,
+    );
+    p.counter(
+        "mura_recovery_replayed_batches",
+        "WAL records replayed during the last crash recovery.",
+        s.recovery_replayed_batches,
     );
     p.gauge("mura_db_epoch", "Current database epoch.", s.epoch as f64);
     p.gauge("mura_db_version", "Current database version.", s.version as f64);

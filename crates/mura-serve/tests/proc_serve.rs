@@ -148,6 +148,7 @@ fn concurrent_drain_over_proc_backend_loses_no_responses() {
                         Err(ServeError::Engine(_)) => {
                             outcomes.engine_err.fetch_add(1, Ordering::Relaxed)
                         }
+                        Err(ServeError::Durability(e)) => panic!("durability off: {e}"),
                     };
                 }
             })

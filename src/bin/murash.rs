@@ -32,6 +32,9 @@ struct Shell {
     /// When set (`--trace-out <path>`), every query runs with per-superstep
     /// tracing and the latest trace is written to this path as JSON.
     trace_out: Option<String>,
+    /// When set (`--data-dir <dir>`), `.serve` starts durable: WAL +
+    /// snapshots in this directory, recovery on restart.
+    data_dir: Option<String>,
 }
 
 const HELP: &str = "\
@@ -70,13 +73,16 @@ dropped connection is re-established once with backoff),
 `insert`/`delete` lines and print one reply per mutation,
 `--cluster <n>` to run queries on n real worker processes over TCP
 (`--worker-bin <path>` overrides the mura-worker binary),
+`--data-dir <dir>` to make .serve durable: every mutation is WAL-logged
+and periodically snapshotted there, and a restarted `murash --data-dir`
+.serve recovers to the exact pre-crash version with the same answers,
 `--chaos <seed>` for fault injection, `--trace-out <path>` to dump each
 query's trace as JSON (Chrome-trace compatible under \"traceEvents\";
 combined with --cluster the file is the clock-aligned merge of every
 worker process, one lane per worker).";
 
 const USAGE: &str = "usage: murash [--connect <addr>] [--drain <addr>] [--mutate <file>] \
-                     [--cluster <n>] [--worker-bin <path>] \
+                     [--cluster <n>] [--worker-bin <path>] [--data-dir <dir>] \
                      [--chaos <seed>] [--trace-out <path>]";
 
 fn main() {
@@ -87,6 +93,7 @@ fn main() {
     let mut trace_out: Option<String> = None;
     let mut cluster: Option<usize> = None;
     let mut worker_bin: Option<String> = None;
+    let mut data_dir: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = |flag: &str| {
@@ -115,6 +122,7 @@ fn main() {
                 }));
             }
             "--worker-bin" => worker_bin = Some(value("--worker-bin")),
+            "--data-dir" => data_dir = Some(value("--data-dir")),
             _ => {
                 eprintln!("unknown flag '{flag}'\n{USAGE}");
                 std::process::exit(2);
@@ -190,6 +198,7 @@ fn main() {
         optimize: true,
         serving: None,
         trace_out,
+        data_dir,
     };
     println!("Dist-μ-RA shell — .help for commands");
     if let Some(seed) = chaos_seed {
@@ -393,8 +402,29 @@ impl Shell {
                     if !self.optimize {
                         engine = engine.without_rewrites();
                     }
-                    let server =
-                        mura_serve::Server::start(engine, mura_serve::ServeConfig::default());
+                    let server = match &self.data_dir {
+                        // Durable: recover the directory (snapshot + WAL
+                        // tail win over the shell's in-memory snapshot),
+                        // then keep logging every mutation there.
+                        Some(dir) => {
+                            let config = mura_serve::ServeConfig {
+                                data_dir: Some(dir.into()),
+                                ..Default::default()
+                            };
+                            let server = mura_serve::Server::recover(engine, config)
+                                .map_err(|e| MuraError::Other(format!("recover {dir}: {e}")))?;
+                            let stats = server.stats();
+                            println!(
+                                "durable in {dir}: recovered v={} (replayed {} WAL records)",
+                                server.version(),
+                                stats.recovery_replayed_batches
+                            );
+                            server
+                        }
+                        None => {
+                            mura_serve::Server::start(engine, mura_serve::ServeConfig::default())
+                        }
+                    };
                     let handle = mura_serve::serve_tcp(&server, addr)
                         .map_err(|e| MuraError::Other(format!("bind {addr}: {e}")))?;
                     println!(
@@ -625,7 +655,13 @@ fn build_delta(db: &Database, args: &[&str], insert: bool) -> Result<mura_serve:
 /// `murash --connect <addr> --mutate <file>`: streams a batch of
 /// `insert`/`delete` lines (leading dot optional, `#` comments and blank
 /// lines skipped) to a remote `.serve` instance, printing the one-line
-/// reply for each. Exits non-zero if any mutation is rejected.
+/// reply for each. Busy replies carrying `retry-after-ms` are retried per
+/// line up to [`MUTATE_RETRIES`] times, honoring the hint. Exits non-zero
+/// if any mutation is rejected.
+/// Bounded retries per `--mutate` line when the server answers busy with a
+/// `retry-after-ms` hint.
+const MUTATE_RETRIES: u32 = 3;
+
 fn mutate_remote(addr: &str, path: &str) -> std::io::Result<()> {
     let text = std::fs::read_to_string(path)?;
     // No mid-stream reconnect here: a mutation whose reply was lost must
@@ -643,7 +679,26 @@ fn mutate_remote(addr: &str, path: &str) -> std::io::Result<()> {
             failed += 1;
             continue;
         }
-        let (status, _) = conn.round_trip(&format!(".{verb}"))?;
+        // A busy/overloaded rejection is safe to resend: the server replied
+        // without applying, so this is not the lost-reply case above. Honor
+        // the server's retry-after-ms hint, bounded so a persistently
+        // overloaded server fails the line instead of stalling the stream.
+        let mut status;
+        let mut attempts = 0u32;
+        loop {
+            (status, _) = conn.round_trip(&format!(".{verb}"))?;
+            attempts += 1;
+            let Some(ms) = retry_after_of(&status) else { break };
+            if attempts > MUTATE_RETRIES {
+                break;
+            }
+            println!(
+                "{}:{}: {status} — retrying in {ms} ms ({attempts}/{MUTATE_RETRIES})",
+                path,
+                no + 1
+            );
+            std::thread::sleep(std::time::Duration::from_millis(ms.min(2_000)));
+        }
         println!("{}:{}: {status}", path, no + 1);
         if status.starts_with("ERR") {
             failed += 1;
